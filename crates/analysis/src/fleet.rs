@@ -1,0 +1,195 @@
+//! Fleet analytics: where the Top 500's carbon actually sits.
+//!
+//! The paper aggregates to one number; a site operator or policy maker
+//! wants the carbon cut by country, vendor and accelerator family. This
+//! module builds those breakdowns from the pipeline output through the
+//! `frame` group-by machinery (the study's dataframe substrate).
+
+use easyc::SystemFootprint;
+use frame::agg::{group_by, AggFn};
+use frame::{Column, DataFrame};
+use top500::list::Top500List;
+
+/// One group's share of the fleet footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupShare {
+    /// Group key ("United States", "HPE", "NVIDIA", ... or "(unknown)").
+    pub key: String,
+    /// Systems in the group.
+    pub systems: usize,
+    /// Operational carbon total, MT CO2e (covered systems only).
+    pub operational_mt: f64,
+    /// Embodied carbon total, MT CO2e.
+    pub embodied_mt: f64,
+}
+
+/// Dimension to break the fleet down by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimension {
+    /// Hosting country.
+    Country,
+    /// System vendor.
+    Vendor,
+    /// Accelerator description ("(cpu-only)" for unaccelerated systems).
+    Accelerator,
+}
+
+impl Dimension {
+    fn label(self) -> &'static str {
+        match self {
+            Dimension::Country => "country",
+            Dimension::Vendor => "vendor",
+            Dimension::Accelerator => "accelerator",
+        }
+    }
+
+    fn key_of(self, sys: &top500::record::SystemRecord) -> Option<String> {
+        match self {
+            Dimension::Country => sys.country.clone(),
+            Dimension::Vendor => sys.vendor.clone(),
+            Dimension::Accelerator => {
+                Some(sys.accelerator.clone().unwrap_or_else(|| "(cpu-only)".to_string()))
+            }
+        }
+    }
+}
+
+/// Builds a dataframe `(key, operational, embodied)` from a list and its
+/// footprints, then reduces it with the frame group-by.
+pub fn breakdown(
+    list: &Top500List,
+    footprints: &[SystemFootprint],
+    dimension: Dimension,
+) -> Vec<GroupShare> {
+    assert_eq!(list.len(), footprints.len(), "footprints must match the list");
+    let keys: Vec<Option<String>> =
+        list.systems().iter().map(|s| dimension.key_of(s)).collect();
+    let op: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::operational_mt).collect();
+    let emb: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::embodied_mt).collect();
+
+    let df = DataFrame::new()
+        .with_column(dimension.label(), Column::Str(keys))
+        .expect("fresh frame")
+        .with_column("op", Column::F64(op))
+        .expect("equal length")
+        .with_column("emb", Column::F64(emb))
+        .expect("equal length");
+
+    let grouped = group_by(
+        &df,
+        dimension.label(),
+        &[("op", AggFn::Sum), ("emb", AggFn::Sum), ("op", AggFn::Count)],
+    )
+    .expect("columns exist");
+
+    let mut shares: Vec<GroupShare> = (0..grouped.len())
+        .map(|i| {
+            let key = match grouped.value(dimension.label(), i).expect("in range") {
+                frame::Value::Str(s) => s,
+                _ => "(unknown)".to_string(),
+            };
+            let get = |col: &str| -> f64 {
+                grouped
+                    .value(col, i)
+                    .expect("in range")
+                    .as_f64()
+                    .unwrap_or(0.0)
+            };
+            GroupShare {
+                key,
+                systems: df
+                    .column(dimension.label())
+                    .expect("key column")
+                    .as_str()
+                    .expect("string column")
+                    .iter()
+                    .filter(|k| {
+                        k.as_deref().unwrap_or("(unknown)")
+                            == grouped
+                                .value(dimension.label(), i)
+                                .ok()
+                                .and_then(|v| v.as_str().map(str::to_string))
+                                .as_deref()
+                                .unwrap_or("(unknown)")
+                    })
+                    .count(),
+                operational_mt: get("op_sum"),
+                embodied_mt: get("emb_sum"),
+            }
+        })
+        .collect();
+    shares.sort_by(|a, b| b.operational_mt.partial_cmp(&a.operational_mt).expect("finite"));
+    shares
+}
+
+/// Concentration: fraction of the fleet's operational carbon carried by
+/// the top `k` groups.
+pub fn concentration(shares: &[GroupShare], k: usize) -> f64 {
+    let total: f64 = shares.iter().map(|s| s.operational_mt).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    shares.iter().take(k).map(|s| s.operational_mt).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::StudyPipeline;
+    use easyc::EasyC;
+
+    fn setup() -> (Top500List, Vec<SystemFootprint>) {
+        let out = StudyPipeline::new(500, 7).run();
+        let footprints = EasyC::new().assess_list(&out.full);
+        (out.full, footprints)
+    }
+
+    #[test]
+    fn country_breakdown_covers_fleet_total() {
+        let (list, footprints) = setup();
+        let shares = breakdown(&list, &footprints, Dimension::Country);
+        let total: f64 = shares.iter().map(|s| s.operational_mt).sum();
+        let direct: f64 = footprints.iter().filter_map(SystemFootprint::operational_mt).sum();
+        assert!((total - direct).abs() < 1e-6 * direct.max(1.0));
+        let systems: usize = shares.iter().map(|s| s.systems).sum();
+        assert_eq!(systems, 500);
+    }
+
+    #[test]
+    fn shares_sorted_descending() {
+        let (list, footprints) = setup();
+        let shares = breakdown(&list, &footprints, Dimension::Vendor);
+        for pair in shares.windows(2) {
+            assert!(pair[0].operational_mt >= pair[1].operational_mt);
+        }
+    }
+
+    #[test]
+    fn accelerator_dimension_has_cpu_only_group() {
+        let (list, footprints) = setup();
+        let shares = breakdown(&list, &footprints, Dimension::Accelerator);
+        assert!(shares.iter().any(|s| s.key == "(cpu-only)"));
+    }
+
+    #[test]
+    fn concentration_monotone_in_k() {
+        let (list, footprints) = setup();
+        let shares = breakdown(&list, &footprints, Dimension::Country);
+        let c1 = concentration(&shares, 1);
+        let c3 = concentration(&shares, 3);
+        let call = concentration(&shares, shares.len());
+        assert!(c1 <= c3 + 1e-12);
+        assert!((call - 1.0).abs() < 1e-9);
+        // The US share dominates in the calibrated mix.
+        assert!(c1 > 0.15, "largest group share {c1}");
+    }
+
+    #[test]
+    fn mismatched_lengths_panic() {
+        let (list, footprints) = setup();
+        let result = std::panic::catch_unwind(|| {
+            breakdown(&list, &footprints[..10], Dimension::Country)
+        });
+        assert!(result.is_err());
+    }
+}

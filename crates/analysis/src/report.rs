@@ -1,0 +1,256 @@
+//! Run the whole study and emit artifacts (text + CSV + JSON).
+
+use crate::figures::{self, CarbonByRank, CoverageByRange, Fig2, Fig4, Fig7, Fig9, Table1};
+use crate::pipeline::{PipelineOutput, StudyPipeline};
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Headline numbers of the study, serialisable for EXPERIMENTS.md.
+#[derive(Debug, Clone, Serialize)]
+pub struct Headline {
+    /// Reference (appendix-derived) numbers.
+    pub reference: ReferenceHeadline,
+    /// Pipeline (synthetic) numbers.
+    pub pipeline: PipelineHeadline,
+}
+
+/// Numbers recomputed from the embedded appendix.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReferenceHeadline {
+    /// Operational coverage: top500.org scenario.
+    pub op_coverage_top500: usize,
+    /// Operational coverage: +public scenario.
+    pub op_coverage_public: usize,
+    /// Embodied coverage: top500.org scenario.
+    pub emb_coverage_top500: usize,
+    /// Embodied coverage: +public scenario.
+    pub emb_coverage_public: usize,
+    /// Operational total of the interpolated 500, MT CO2e.
+    pub op_total_mt: f64,
+    /// Embodied total of the interpolated 500, MT CO2e.
+    pub emb_total_mt: f64,
+    /// Operational sensitivity (+public vs baseline), fraction.
+    pub op_sensitivity: f64,
+    /// Embodied sensitivity change, thousand MT.
+    pub emb_sensitivity_kmt: f64,
+    /// Vehicle equivalent of the operational total.
+    pub op_vehicles: f64,
+    /// Vehicle equivalent of the embodied total.
+    pub emb_vehicles: f64,
+    /// Projected 2030 / 2024 operational ratio.
+    pub op_growth_2030: f64,
+    /// Projected 2030 / 2024 embodied ratio.
+    pub emb_growth_2030: f64,
+}
+
+/// Numbers from the synthetic end-to-end pipeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineHeadline {
+    /// Systems in the synthetic list.
+    pub systems: usize,
+    /// Operational coverage at baseline.
+    pub op_coverage_baseline: usize,
+    /// Operational coverage after enrichment.
+    pub op_coverage_enriched: usize,
+    /// Embodied coverage at baseline.
+    pub emb_coverage_baseline: usize,
+    /// Embodied coverage after enrichment.
+    pub emb_coverage_enriched: usize,
+    /// Operational interpolated total, MT.
+    pub op_total_mt: f64,
+    /// Embodied interpolated total, MT.
+    pub emb_total_mt: f64,
+}
+
+/// The complete study output.
+pub struct StudyReport {
+    /// Headline numbers.
+    pub headline: Headline,
+    /// Pipeline raw output.
+    pub pipeline: PipelineOutput,
+}
+
+/// Runs everything with the default 500-system synthetic list.
+pub fn run_study(seed: u64) -> StudyReport {
+    let rows = top500::appendix::load();
+    let pipeline = StudyPipeline::new(500, seed).run();
+
+    let fig7 = Fig7::from_appendix(&rows);
+    let fig9 = Fig9::from_appendix(&rows);
+    let fig10 = figures::fig10(&rows);
+    let reference = ReferenceHeadline {
+        op_coverage_top500: rows.iter().filter(|r| r.operational.top500.is_some()).count(),
+        op_coverage_public: rows.iter().filter(|r| r.operational.public.is_some()).count(),
+        emb_coverage_top500: rows.iter().filter(|r| r.embodied.top500.is_some()).count(),
+        emb_coverage_public: rows.iter().filter(|r| r.embodied.public.is_some()).count(),
+        op_total_mt: fig7.op_interpolated.total_mt,
+        emb_total_mt: fig7.emb_interpolated.total_mt,
+        op_sensitivity: fig9.operational.relative_change(),
+        emb_sensitivity_kmt: fig9.embodied.total_change_mt() / 1000.0,
+        op_vehicles: fig7.op_interpolated.equivalences().vehicles,
+        emb_vehicles: fig7.emb_interpolated.equivalences().vehicles,
+        op_growth_2030: fig10.operational.overall_growth(),
+        emb_growth_2030: fig10.embodied.overall_growth(),
+    };
+    let pipeline_headline = PipelineHeadline {
+        systems: pipeline.full.len(),
+        op_coverage_baseline: pipeline.baseline_results.coverage.operational,
+        op_coverage_enriched: pipeline.enriched_results.coverage.operational,
+        emb_coverage_baseline: pipeline.baseline_results.coverage.embodied,
+        emb_coverage_enriched: pipeline.enriched_results.coverage.embodied,
+        op_total_mt: pipeline.operational_summary.full_total,
+        emb_total_mt: pipeline.embodied_summary.full_total,
+    };
+    StudyReport {
+        headline: Headline { reference, pipeline: pipeline_headline },
+        pipeline,
+    }
+}
+
+impl StudyReport {
+    /// One-screen text summary.
+    pub fn summary(&self) -> String {
+        let r = &self.headline.reference;
+        let p = &self.headline.pipeline;
+        format!(
+            "Top 500 carbon footprint (reference, from embedded Table II)\n\
+             ------------------------------------------------------------\n\
+             coverage  operational: {}/500 (top500.org) -> {}/500 (+public)\n\
+             coverage  embodied:    {}/500 (top500.org) -> {}/500 (+public)\n\
+             total     operational: {:.2} M MT CO2e (~{:.0}k vehicles)\n\
+             total     embodied:    {:.2} M MT CO2e (~{:.0}k vehicles)\n\
+             sensitivity: operational {:+.2}%, embodied {:+.1} kMT\n\
+             2030 projection: operational x{:.2}, embodied x{:.2}\n\
+             \n\
+             Synthetic pipeline ({} systems, EasyC end-to-end)\n\
+             ------------------------------------------------------------\n\
+             coverage  operational: {} -> {}\n\
+             coverage  embodied:    {} -> {}\n\
+             totals    operational {:.2} M MT, embodied {:.2} M MT\n",
+            r.op_coverage_top500,
+            r.op_coverage_public,
+            r.emb_coverage_top500,
+            r.emb_coverage_public,
+            r.op_total_mt / 1e6,
+            r.op_vehicles / 1e3,
+            r.emb_total_mt / 1e6,
+            r.emb_vehicles / 1e3,
+            r.op_sensitivity * 100.0,
+            r.emb_sensitivity_kmt,
+            r.op_growth_2030,
+            r.emb_growth_2030,
+            p.systems,
+            p.op_coverage_baseline,
+            p.op_coverage_enriched,
+            p.emb_coverage_baseline,
+            p.emb_coverage_enriched,
+            p.op_total_mt / 1e6,
+            p.emb_total_mt / 1e6,
+        )
+    }
+
+    /// Writes all figure/table artifacts under `dir`.
+    pub fn write_artifacts(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let rows = top500::appendix::load();
+        fs::write(dir.join("summary.txt"), self.summary())?;
+        fs::write(
+            dir.join("headline.json"),
+            serde_json::to_string_pretty(&self.headline).expect("serialisable"),
+        )?;
+        fs::write(dir.join("fig2_missingness.csv"), Fig2::from_list(&self.pipeline.baseline).to_csv())?;
+        fs::write(
+            dir.join("table1_incompleteness.csv"),
+            Table1::from_lists(&self.pipeline.baseline, &self.pipeline.enriched).to_csv(),
+        )?;
+        fs::write(dir.join("fig3_baseline_scatter.csv"), CarbonByRank::fig3(&rows).to_csv())?;
+        fs::write(dir.join("fig4_coverage_reference.csv"), Fig4::reference(&rows).to_csv())?;
+        fs::write(dir.join("fig4_coverage_pipeline.csv"), Fig4::pipeline(&self.pipeline).to_csv())?;
+        fs::write(
+            dir.join("fig5_op_coverage_ranges.csv"),
+            CoverageByRange::from_appendix(&rows, false).to_csv(),
+        )?;
+        fs::write(
+            dir.join("fig6_emb_coverage_ranges.csv"),
+            CoverageByRange::from_appendix(&rows, true).to_csv(),
+        )?;
+        fs::write(dir.join("fig8_full_assessment.csv"), CarbonByRank::fig8(&rows).to_csv())?;
+        fs::write(dir.join("fig9_sensitivity.csv"), Fig9::from_appendix(&rows).to_csv())?;
+        let p = figures::fig10(&rows);
+        let mut fig10_csv = String::from("year,operational_mt,embodied_mt\n");
+        for (op, emb) in p.operational.points.iter().zip(&p.embodied.points) {
+            fig10_csv.push_str(&format!("{},{:.0},{:.0}\n", op.year, op.value, emb.value));
+        }
+        fs::write(dir.join("fig10_projection.csv"), fig10_csv)?;
+        let (op_panel, emb_panel) = figures::fig11(&rows);
+        let mut fig11_csv = String::from("year,op_projected,op_ideal,emb_projected,emb_ideal\n");
+        for i in 0..op_panel.projected.points.len() {
+            fig11_csv.push_str(&format!(
+                "{},{:.3},{:.3},{:.3},{:.3}\n",
+                op_panel.projected.points[i].year,
+                op_panel.projected.points[i].value,
+                op_panel.ideal.points[i].value,
+                emb_panel.projected.points[i].value,
+                emb_panel.ideal.points[i].value,
+            ));
+        }
+        fs::write(dir.join("fig11_perf_per_carbon.csv"), fig11_csv)?;
+        fs::write(dir.join("table2_per_system.txt"), figures::table2_render(&rows))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_headline_consistent() {
+        let report = run_study(7);
+        let r = &report.headline.reference;
+        assert_eq!(r.op_coverage_top500, 391);
+        assert_eq!(r.emb_coverage_public, 404);
+        assert!((r.op_total_mt / 1.39e6 - 1.0).abs() < 0.01);
+        assert!((r.emb_total_mt / 1.88e6 - 1.0).abs() < 0.01);
+        assert!((r.op_vehicles / 325_000.0 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let report = run_study(7);
+        let text = report.summary();
+        assert!(text.contains("391/500"));
+        assert!(text.contains("490/500"));
+        assert!(text.contains("1.39 M MT"));
+        assert!(text.contains("1.88 M MT"));
+    }
+
+    #[test]
+    fn artifacts_written() {
+        let dir = std::env::temp_dir().join(format!("easyc-artifacts-{}", std::process::id()));
+        let report = run_study(7);
+        report.write_artifacts(&dir).unwrap();
+        for file in [
+            "summary.txt",
+            "headline.json",
+            "fig2_missingness.csv",
+            "table1_incompleteness.csv",
+            "fig3_baseline_scatter.csv",
+            "fig4_coverage_reference.csv",
+            "fig5_op_coverage_ranges.csv",
+            "fig6_emb_coverage_ranges.csv",
+            "fig8_full_assessment.csv",
+            "fig9_sensitivity.csv",
+            "fig10_projection.csv",
+            "fig11_perf_per_carbon.csv",
+            "table2_per_system.txt",
+        ] {
+            assert!(dir.join(file).exists(), "{file} missing");
+        }
+        let json = std::fs::read_to_string(dir.join("headline.json")).unwrap();
+        assert!(json.contains("op_coverage_top500"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: how many peers should interpolation average?
+//!
+//! The paper chooses the nearest 10 (5 per side). This bench sweeps the
+//! window and scores each choice against the authors' own interpolated
+//! column (leave-the-gaps-in accuracy), then times the interpolator.
+
+use analysis::interpolate::nearest_peer_interpolation;
+use bench::{appendix_rows, banner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn accuracy_vs_authors(peers_per_side: usize) -> f64 {
+    let rows = appendix_rows();
+    let public: Vec<Option<f64>> = rows.iter().map(|r| r.operational.public).collect();
+    let ours = nearest_peer_interpolation(&public, peers_per_side).expect("non-empty");
+    // Score only on the rows the authors had to interpolate.
+    let mut rel_err_sum = 0.0;
+    let mut n = 0usize;
+    for (row, our_value) in rows.iter().zip(&ours) {
+        if row.operational.public.is_none() {
+            let theirs = row.operational.interpolated.expect("interp column complete");
+            rel_err_sum += ((our_value - theirs) / theirs).abs();
+            n += 1;
+        }
+    }
+    rel_err_sum / n as f64
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    banner("Ablation", "interpolation window vs the authors' interpolated column");
+    println!("{:>6}  {:>22}", "peers", "mean relative error");
+    for peers in [1usize, 2, 3, 5, 10, 25] {
+        println!("{peers:>6}  {:>21.1}%", accuracy_vs_authors(peers) * 100.0);
+    }
+    println!("(paper uses 5 per side)");
+
+    let rows = appendix_rows();
+    let public: Vec<Option<f64>> = rows.iter().map(|r| r.operational.public).collect();
+    let mut group = c.benchmark_group("ablation/interpolation_window");
+    for peers in [1usize, 5, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, &p| {
+            b.iter(|| nearest_peer_interpolation(std::hint::black_box(&public), p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ablation
+}
+criterion_main!(benches);

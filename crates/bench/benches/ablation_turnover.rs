@@ -1,0 +1,46 @@
+//! Ablation: which lever controls future carbon growth?
+//!
+//! The turnover simulation exposes the projection's physics: sweeping the
+//! entrants' efficiency and density improvements shows how much faster
+//! silicon would have to improve to flatten the operational curve — the
+//! paper's "architectural customization and accelerators is not enough"
+//! claim, quantified.
+
+use analysis::turnover::{simulate, TurnoverConfig};
+use bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_turnover(c: &mut Criterion) {
+    banner("Ablation", "turnover levers vs emergent per-cycle carbon growth");
+    println!(
+        "{:>12} {:>10} {:>18} {:>18}",
+        "efficiency", "density", "op growth/cycle", "emb growth/cycle"
+    );
+    for (eff, dens) in [(1.00, 1.00), (1.04, 1.07), (1.10, 1.10), (1.20, 1.20)] {
+        let run = simulate(&TurnoverConfig {
+            entrant_efficiency_factor: eff,
+            entrant_density_factor: dens,
+            cycles: 8,
+            ..Default::default()
+        });
+        println!(
+            "{:>12.2} {:>10.2} {:>17.1}% {:>17.1}%",
+            eff,
+            dens,
+            run.operational_growth_per_cycle() * 100.0,
+            run.embodied_growth_per_cycle() * 100.0
+        );
+    }
+    println!("(paper regime: +5%/cycle operational, +1%/cycle embodied)");
+
+    c.bench_function("ablation/turnover_8_cycles", |b| {
+        b.iter(|| simulate(std::hint::black_box(&TurnoverConfig { cycles: 8, ..Default::default() })))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_turnover
+}
+criterion_main!(benches);

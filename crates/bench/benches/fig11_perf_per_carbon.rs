@@ -1,0 +1,33 @@
+//! Figure 11: projected performance-to-carbon ratio vs the Dennard ideal.
+
+use analysis::figures;
+use bench::{appendix_rows, banner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let rows = appendix_rows();
+    let (op_panel, emb_panel) = figures::fig11(&rows);
+    banner("Figure 11", "PFlops per thousand MT CO2e, projected vs ideal (2x/18mo)");
+    for i in 0..op_panel.projected.points.len() {
+        println!(
+            "  {}  op {:>6.2} (ideal {:>7.1})   emb {:>6.2} (ideal {:>7.1})",
+            op_panel.projected.points[i].year,
+            op_panel.projected.points[i].value,
+            op_panel.ideal.points[i].value,
+            emb_panel.projected.points[i].value,
+            emb_panel.ideal.points[i].value,
+        );
+    }
+    println!("paper: projected improves ~0.2 PFlop/s per kMT per year; ideal runs away");
+
+    c.bench_function("fig11/perf_per_carbon", |b| {
+        b.iter(|| figures::fig11(std::hint::black_box(&rows)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig11
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 2: structural information reported for different data items.
+
+use analysis::figures::Fig2;
+use bench::{banner, pipeline_run};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let out = pipeline_run();
+    let fig = Fig2::from_list(&out.baseline);
+    banner("Figure 2", "# of systems missing k data items (synthetic top500.org)");
+    println!("{}", fig.render());
+
+    c.bench_function("fig2/missingness_histogram", |b| {
+        b.iter(|| Fig2::from_list(std::hint::black_box(&out.baseline)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig2
+}
+criterion_main!(benches);

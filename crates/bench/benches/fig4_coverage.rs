@@ -1,0 +1,27 @@
+//! Figure 4: carbon-footprint reporting coverage per method.
+
+use analysis::figures::Fig4;
+use bench::{appendix_rows, banner, pipeline_run};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    let rows = appendix_rows();
+    banner("Figure 4", "coverage: GHG vs EasyC(top500.org) vs EasyC(+public)");
+    println!("reference (appendix Table II):\n{}", Fig4::reference(&rows).render());
+    let out = pipeline_run();
+    println!("pipeline (synthetic list):\n{}", Fig4::pipeline(&out).render());
+
+    c.bench_function("fig4/coverage_reference", |b| {
+        b.iter(|| Fig4::reference(std::hint::black_box(&rows)))
+    });
+    c.bench_function("fig4/coverage_pipeline_full_study", |b| {
+        b.iter(|| Fig4::pipeline(std::hint::black_box(&out)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 5: operational coverage by rank range, two data scenarios.
+
+use analysis::figures::CoverageByRange;
+use bench::{appendix_rows, banner, pipeline_run};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let rows = appendix_rows();
+    let fig = CoverageByRange::from_appendix(&rows, false);
+    banner("Figure 5", "operational coverage by rank range");
+    println!("{}", fig.render());
+    let out = pipeline_run();
+    let pipeline_fig = CoverageByRange::from_pipeline(&out, false);
+    println!("pipeline edition (synthetic):\n{}", pipeline_fig.render());
+
+    c.bench_function("fig5/op_coverage_by_range_reference", |b| {
+        b.iter(|| CoverageByRange::from_appendix(std::hint::black_box(&rows), false))
+    });
+    c.bench_function("fig5/op_coverage_by_range_pipeline", |b| {
+        b.iter(|| CoverageByRange::from_pipeline(std::hint::black_box(&out), false))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig5
+}
+criterion_main!(benches);

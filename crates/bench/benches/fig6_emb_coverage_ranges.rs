@@ -1,0 +1,31 @@
+//! Figure 6: embodied coverage by rank range, two data scenarios.
+
+use analysis::figures::CoverageByRange;
+use bench::{appendix_rows, banner, pipeline_run};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig6(c: &mut Criterion) {
+    let rows = appendix_rows();
+    let fig = CoverageByRange::from_appendix(&rows, true);
+    banner("Figure 6", "embodied coverage by rank range");
+    println!("{}", fig.render());
+    let out = pipeline_run();
+    println!(
+        "pipeline edition (synthetic):\n{}",
+        CoverageByRange::from_pipeline(&out, true).render()
+    );
+
+    c.bench_function("fig6/emb_coverage_by_range_reference", |b| {
+        b.iter(|| CoverageByRange::from_appendix(std::hint::black_box(&rows), true))
+    });
+    c.bench_function("fig6/emb_coverage_by_range_pipeline", |b| {
+        b.iter(|| CoverageByRange::from_pipeline(std::hint::black_box(&out), true))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 7: total and average carbon footprint, covered vs interpolated.
+
+use analysis::figures::Fig7;
+use analysis::interpolate::interpolate_with_summary;
+use bench::{appendix_rows, banner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    let rows = appendix_rows();
+    let fig = Fig7::from_appendix(&rows);
+    banner("Figure 7", "total and average operational (1 yr) + embodied carbon");
+    println!("{}", fig.render());
+    println!(
+        "paper: 1.37M -> 1.39M MT operational (+1.74%), 1.53M -> 1.88M MT embodied (+23.18%)"
+    );
+
+    let op_public: Vec<Option<f64>> = rows.iter().map(|r| r.operational.public).collect();
+    c.bench_function("fig7/aggregate_from_appendix", |b| {
+        b.iter(|| Fig7::from_appendix(std::hint::black_box(&rows)))
+    });
+    c.bench_function("fig7/nearest_peer_interpolation_500", |b| {
+        b.iter(|| interpolate_with_summary(std::hint::black_box(&op_public), 5))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig7
+}
+criterion_main!(benches);

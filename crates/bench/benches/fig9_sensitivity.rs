@@ -1,0 +1,35 @@
+//! Figure 9: change between Baseline and Baseline+PublicInfo.
+
+use analysis::figures::Fig9;
+use bench::{appendix_rows, banner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig9(c: &mut Criterion) {
+    let rows = appendix_rows();
+    let fig = Fig9::from_appendix(&rows);
+    banner("Figure 9", "sensitivity to adding public information");
+    println!(
+        "operational: {:+.0} MT ({:+.2}%), newly covered {}",
+        fig.operational.total_change_mt(),
+        fig.operational.relative_change() * 100.0,
+        fig.operational.newly_covered
+    );
+    println!(
+        "embodied:    {:+.0} MT ({:+.1}%), newly covered {}",
+        fig.embodied.total_change_mt(),
+        fig.embodied.relative_change() * 100.0,
+        fig.embodied.newly_covered
+    );
+    println!("paper: +2.85% (38 kMT) operational; +670.48 kMT (78%) embodied");
+
+    c.bench_function("fig9/sensitivity_from_appendix", |b| {
+        b.iter(|| Fig9::from_appendix(std::hint::black_box(&rows)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig9
+}
+criterion_main!(benches);

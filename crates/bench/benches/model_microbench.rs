@@ -1,0 +1,48 @@
+//! Microbenchmarks of the EasyC model itself: single-system assessment,
+//! full-list assessment, and Monte-Carlo uncertainty.
+
+use bench::BENCH_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use easyc::uncertainty::{operational_interval, PriorUncertainty};
+use easyc::EasyC;
+use top500::synthetic::{generate_full, SyntheticConfig};
+
+fn bench_model(c: &mut Criterion) {
+    let tool = EasyC::new();
+    let list = generate_full(&SyntheticConfig { n: 500, seed: BENCH_SEED, ..Default::default() });
+    let one = list.systems()[10].clone();
+
+    c.bench_function("model/assess_single_system", |b| {
+        b.iter(|| tool.assess(std::hint::black_box(&one)))
+    });
+
+    let mut group = c.benchmark_group("model/assess_list");
+    for n in [100u32, 500, 2000, 10_000] {
+        let big = generate_full(&SyntheticConfig { n, seed: BENCH_SEED, ..Default::default() });
+        group.throughput(Throughput::Elements(u64::from(n)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &big, |b, list| {
+            b.iter(|| tool.assess_list(std::hint::black_box(list)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("model/monte_carlo_1k_samples", |b| {
+        b.iter(|| {
+            operational_interval(
+                &tool,
+                std::hint::black_box(&one),
+                &PriorUncertainty::default(),
+                1000,
+                0.95,
+                7,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_model
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: worker-count scaling of the parallel substrate on the
+//! assessment workload (DESIGN.md calls out the build-vs-rayon decision —
+//! this bench is the evidence the substrate scales).
+
+use bench::BENCH_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use easyc::{EasyC, EasyCConfig};
+use top500::synthetic::{generate_full, SyntheticConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let list =
+        generate_full(&SyntheticConfig { n: 20_000, seed: BENCH_SEED, ..Default::default() });
+
+    let mut group = c.benchmark_group("parallel/assess_20k_by_workers");
+    group.throughput(Throughput::Elements(list.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let tool = EasyC::with_config(EasyCConfig { workers, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &tool, |b, tool| {
+            b.iter(|| tool.assess_list(std::hint::black_box(&list)))
+        });
+    }
+    group.finish();
+
+    let values: Vec<f64> = (0..1_000_000).map(|i| (i % 997) as f64).collect();
+    let mut group = c.benchmark_group("parallel/reduce_1m_by_workers");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| parallel::par_reduce(std::hint::black_box(&values), w, 0.0, |&x| x, |a, b| a + b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table I: data EasyC requires vs what each source provides.
+
+use analysis::figures::Table1;
+use bench::{banner, pipeline_run};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let out = pipeline_run();
+    let table = Table1::from_lists(&out.baseline, &out.enriched);
+    banner("Table I", "# systems incomplete per metric (top500.org vs +public)");
+    println!("{}", table.render());
+    println!("paper reference: nodes/GPUs 209->86, memory 499->292, SSD 500->450");
+
+    c.bench_function("table1/incompleteness_counts", |b| {
+        b.iter(|| {
+            Table1::from_lists(
+                std::hint::black_box(&out.baseline),
+                std::hint::black_box(&out.enriched),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

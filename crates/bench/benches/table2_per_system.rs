@@ -1,0 +1,27 @@
+//! Table II: per-system operational and embodied carbon, three scenarios.
+
+use analysis::figures::table2_render;
+use bench::{appendix_rows, banner};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let rows = appendix_rows();
+    banner("Table II", "per-system footprints (first 15 of 500 shown)");
+    let head: Vec<_> = rows.iter().take(15).cloned().collect();
+    println!("{}", table2_render(&head));
+    println!("... ({} more systems)", rows.len() - 15);
+
+    c.bench_function("table2/load_and_validate", |b| {
+        b.iter(|| std::hint::black_box(top500::appendix::load()))
+    });
+    c.bench_function("table2/render_500", |b| {
+        b.iter(|| table2_render(std::hint::black_box(&rows)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table2
+}
+criterion_main!(benches);

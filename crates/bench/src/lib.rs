@@ -1,0 +1,26 @@
+//! Shared setup for the figure-regeneration benches.
+//!
+//! Every bench target regenerates one table or figure of the paper: it
+//! prints the rows/series once (so `cargo bench` output *is* the
+//! reproduction) and then times the generation under Criterion.
+
+use analysis::pipeline::{PipelineOutput, StudyPipeline};
+use top500::appendix::AppendixRow;
+
+/// The seed every bench uses, matching the examples.
+pub const BENCH_SEED: u64 = 0x5EED_CAFE;
+
+/// Appendix rows (reference data).
+pub fn appendix_rows() -> Vec<AppendixRow> {
+    top500::appendix::load()
+}
+
+/// A full pipeline run over the synthetic 500.
+pub fn pipeline_run() -> PipelineOutput {
+    StudyPipeline::new(500, BENCH_SEED).run()
+}
+
+/// Prints a banner separating the reproduction output from timing noise.
+pub fn banner(figure: &str, caption: &str) {
+    println!("\n=== {figure} — {caption} ===");
+}

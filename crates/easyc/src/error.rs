@@ -1,0 +1,85 @@
+//! Typed failure modes of the EasyC estimators.
+
+use std::fmt;
+
+/// Result alias for EasyC operations.
+pub type Result<T> = std::result::Result<T, EasyCError>;
+
+/// Why an estimate could not be produced. These are *data* failures — the
+/// model never panics on strange records, it reports what was missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EasyCError {
+    /// No usable power path: no measured energy/power, no device counts
+    /// for a TDP roll-up, and no basis for an efficiency prior.
+    NoPowerPath {
+        /// Rank of the offending system (diagnostics).
+        rank: u32,
+    },
+    /// Embodied estimation lacks structural data (no node, CPU or
+    /// accelerator counts derivable).
+    NoStructuralData {
+        /// Rank of the offending system.
+        rank: u32,
+    },
+    /// The system lists an accelerator but its device count is unknown, so
+    /// the silicon roll-up cannot be anchored.
+    UnknownAcceleratorCount {
+        /// Rank of the offending system.
+        rank: u32,
+    },
+    /// The accelerator is reported only as a coarse family label ("NVIDIA
+    /// GPU"), which cannot identify the silicon — the paper's "Top500.org
+    /// does not capture adequate accelerator information".
+    GenericAcceleratorLabel {
+        /// Rank of the offending system.
+        rank: u32,
+    },
+    /// A field carried a non-physical value (negative power, zero cores…).
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Offending value, stringified.
+        value: String,
+    },
+}
+
+impl fmt::Display for EasyCError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EasyCError::NoPowerPath { rank } => {
+                write!(f, "system #{rank}: no usable power path for operational carbon")
+            }
+            EasyCError::NoStructuralData { rank } => {
+                write!(f, "system #{rank}: no structural data for embodied carbon")
+            }
+            EasyCError::UnknownAcceleratorCount { rank } => {
+                write!(f, "system #{rank}: accelerator present but device count unknown")
+            }
+            EasyCError::GenericAcceleratorLabel { rank } => {
+                write!(
+                    f,
+                    "system #{rank}: accelerator reported only as a family label; \
+                     silicon cannot be identified"
+                )
+            }
+            EasyCError::InvalidField { field, value } => {
+                write!(f, "invalid value for {field}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EasyCError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(EasyCError::NoPowerPath { rank: 7 }.to_string().contains("#7"));
+        assert!(EasyCError::InvalidField { field: "power_kw", value: "-1".into() }
+            .to_string()
+            .contains("power_kw"));
+    }
+}

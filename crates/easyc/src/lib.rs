@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! `easyc` — the paper's primary contribution: a carbon-footprint model for
+//! computing systems that needs only **seven key data metrics** instead of
+//! the GHG Protocol's hundreds.
+//!
+//! The tool produces two outputs per system:
+//!
+//! - **Operational carbon** (1 year, MT CO2e): facility energy × average
+//!   carbon intensity of the local grid. Facility energy is derived from the
+//!   best available *power path* — measured annual energy, measured LINPACK
+//!   power, device-level TDP roll-up, or an Rmax/efficiency prior — times
+//!   PUE and utilisation priors from [`hwdb`].
+//! - **Embodied carbon** (MT CO2e): an ACT-style component roll-up — CPU and
+//!   accelerator dies (area × fab intensity / yield), HBM and DRAM, SSD,
+//!   chassis and interconnect — with statistical priors filling anything
+//!   the seven metrics do not pin down.
+//!
+//! The module structure mirrors the paper:
+//! [`metrics`] (the seven metrics), [`operational`], [`embodied`],
+//! [`coverage`] (who can be estimated under which data scenario),
+//! [`estimator`] (the public facade), [`uncertainty`] (Monte-Carlo bands).
+
+pub mod coverage;
+pub mod embodied;
+pub mod error;
+pub mod estimator;
+pub mod metrics;
+pub mod operational;
+pub mod uncertainty;
+
+pub use coverage::{coverage, CoverageReport, Scenario};
+pub use embodied::{EmbodiedBreakdown, EmbodiedEstimate};
+pub use error::{EasyCError, Result};
+pub use estimator::{EasyC, EasyCConfig, SystemFootprint};
+pub use metrics::SevenMetrics;
+pub use operational::{AciSource, OperationalEstimate, PowerPath};

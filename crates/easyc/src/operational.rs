@@ -1,0 +1,315 @@
+//! Operational carbon: `energy × average carbon intensity`.
+//!
+//! ```text
+//! C_op[MT CO2e/yr] = P_avg[kW] × 8760 h × PUE × util × ACI[g/kWh] / 1e6
+//! ```
+//!
+//! The art is in `P_avg`. EasyC tries four *power paths* in order of
+//! fidelity; which one fires is recorded in the estimate so the sensitivity
+//! study can attribute changes to data additions.
+
+use crate::error::{EasyCError, Result};
+use crate::metrics::SevenMetrics;
+use hwdb::accel::AccelVendor;
+use hwdb::efficiency::{gflops_per_watt_prior, MachineClass, DEFAULT_UTILIZATION};
+use hwdb::grid::{country_aci, regional_aci, Region, REGIONAL_ACI_RELATIVE_UNCERTAINTY};
+use hwdb::pue::{infer_site_class, DEFAULT_PUE};
+use top500::record::SystemRecord;
+
+/// Hours in the modelled year.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Which data supplied the average power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerPath {
+    /// Site-disclosed annual energy (best; already includes utilisation).
+    MeasuredEnergy,
+    /// Top500 measured LINPACK power.
+    MeasuredPower,
+    /// Roll-up of CPU socket and accelerator TDPs.
+    DeviceTdp,
+    /// Rmax divided by a Green500-anchored efficiency prior (CPU-only
+    /// systems or systems with an identified accelerator family).
+    RmaxEfficiency,
+}
+
+impl PowerPath {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerPath::MeasuredEnergy => "measured annual energy",
+            PowerPath::MeasuredPower => "measured LINPACK power",
+            PowerPath::DeviceTdp => "device TDP roll-up",
+            PowerPath::RmaxEfficiency => "Rmax / efficiency prior",
+        }
+    }
+}
+
+/// Where the grid carbon intensity came from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AciSource {
+    /// National annual average.
+    Country(f64),
+    /// Regional mean with the paper's ±77.5 % refinement uncertainty.
+    Regional(f64),
+    /// World-average prior (nothing about the site is known).
+    WorldPrior(f64),
+}
+
+impl AciSource {
+    /// The gCO2e/kWh value.
+    pub fn value(self) -> f64 {
+        match self {
+            AciSource::Country(v) | AciSource::Regional(v) | AciSource::WorldPrior(v) => v,
+        }
+    }
+
+    /// Relative half-width of the uncertainty band.
+    pub fn relative_uncertainty(self) -> f64 {
+        match self {
+            AciSource::Country(_) => 0.10,
+            AciSource::Regional(_) | AciSource::WorldPrior(_) => {
+                REGIONAL_ACI_RELATIVE_UNCERTAINTY
+            }
+        }
+    }
+}
+
+/// A completed operational estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationalEstimate {
+    /// Annual operational carbon, MT CO2e.
+    pub mt_co2e: f64,
+    /// Average IT power used, kW.
+    pub power_kw: f64,
+    /// Which power path fired.
+    pub path: PowerPath,
+    /// Grid intensity used.
+    pub aci: AciSource,
+    /// PUE applied.
+    pub pue: f64,
+    /// Utilisation applied (1.0 when the path already includes it).
+    pub utilization: f64,
+}
+
+/// Resolves the grid intensity for a record.
+pub fn resolve_aci(record: &SystemRecord) -> AciSource {
+    if let Some(aci) = record.country.as_deref().and_then(country_aci) {
+        return AciSource::Country(aci);
+    }
+    if let Some(region) = record.region {
+        return AciSource::Regional(regional_aci(region));
+    }
+    AciSource::WorldPrior(regional_aci(Region::World))
+}
+
+/// Resolves the average IT power (kW) and the path that provided it.
+/// `metrics` must come from the same record.
+pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f64, PowerPath)> {
+    if let Some(energy) = metrics.annual_energy_mwh {
+        if energy <= 0.0 {
+            return Err(EasyCError::InvalidField {
+                field: "annual_energy_mwh",
+                value: energy.to_string(),
+            });
+        }
+        // Convert to an equivalent average power; utilisation is baked in.
+        return Ok((energy * 1000.0 / HOURS_PER_YEAR, PowerPath::MeasuredEnergy));
+    }
+    if let Some(power) = record.power_kw {
+        if power <= 0.0 {
+            return Err(EasyCError::InvalidField { field: "power_kw", value: power.to_string() });
+        }
+        return Ok((power, PowerPath::MeasuredPower));
+    }
+    // Device TDP roll-up needs the structural counts.
+    if let (Some(nodes), Some(gpus)) = (metrics.nodes, metrics.gpus) {
+        if record.has_accelerator() || metrics.cpus.is_some() {
+            let cpu_spec = record
+                .processor
+                .as_deref()
+                .map(|p| hwdb::cpu::lookup_or_generic(p).0)
+                .unwrap_or(&hwdb::cpu::GENERIC_CPU);
+            let sockets = metrics.cpus.unwrap_or(nodes * 2);
+            let accel_watts = record
+                .accelerator
+                .as_deref()
+                .map(|a| hwdb::accel::lookup_or_mainstream(a).0.tdp_watts)
+                .unwrap_or(0.0);
+            // 10 % node overhead (NICs, fans, VRM losses) + 200 W base.
+            let watts = (sockets as f64 * cpu_spec.tdp_watts
+                + gpus as f64 * accel_watts) * 1.1
+                + nodes as f64 * 200.0;
+            return Ok((watts / 1000.0, PowerPath::DeviceTdp));
+        }
+    }
+    // CPU-only systems can always fall back to the socket roll-up even
+    // without a node count (sockets from total cores).
+    if !record.has_accelerator() {
+        if let Some(sockets) = metrics.cpus {
+            let cpu_spec = record
+                .processor
+                .as_deref()
+                .map(|p| hwdb::cpu::lookup_or_generic(p).0)
+                .unwrap_or(&hwdb::cpu::GENERIC_CPU);
+            let watts = sockets as f64 * cpu_spec.tdp_watts * 1.1 + sockets as f64 * 100.0;
+            return Ok((watts / 1000.0, PowerPath::DeviceTdp));
+        }
+        // Last resort for CPU machines: efficiency prior on Rmax.
+        let gfw = gflops_per_watt_prior(
+            MachineClass::CpuOnly,
+            metrics.operation_year.unwrap_or(2020),
+        );
+        return Ok((record.rmax_tflops * 1000.0 / gfw / 1000.0, PowerPath::RmaxEfficiency));
+    }
+    // Accelerated system without measured power and without device counts:
+    // an Rmax/efficiency prior would hide a 2-4x spread across accelerator
+    // configurations, so EasyC declines (the paper: power "is essential
+    // when information on the number of compute nodes and GPU nodes is
+    // unavailable" — this is the 109-system operational gap).
+    let _ = AccelVendor::Other;
+    Err(EasyCError::NoPowerPath { rank: record.rank })
+}
+
+/// Full operational estimate for a record.
+pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<OperationalEstimate> {
+    let (power_kw, path) = resolve_power(record, metrics)?;
+    let aci = resolve_aci(record);
+    let pue = match record.rank {
+        0 => DEFAULT_PUE,
+        rank => infer_site_class(rank, record.has_accelerator()).pue(),
+    };
+    // Measured energy already reflects real load; other paths need the
+    // utilisation de-rating.
+    let utilization = match path {
+        PowerPath::MeasuredEnergy => 1.0,
+        _ => metrics.utilization.unwrap_or(DEFAULT_UTILIZATION),
+    };
+    let mt_co2e = power_kw * HOURS_PER_YEAR * pue * utilization * aci.value() / 1.0e6;
+    Ok(OperationalEstimate { mt_co2e, power_kw, path, aci, pue, utilization })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frontier_like() -> SystemRecord {
+        let mut r = SystemRecord::bare(2, 1.353e6, 2.055e6);
+        r.name = Some("Frontier-like".into());
+        r.country = Some("United States".into());
+        r.processor = Some("AMD Optimized 3rd Generation EPYC 64C 2GHz".into());
+        r.accelerator = Some("AMD Instinct MI250X".into());
+        r.accelerator_count = Some(37632);
+        r.node_count = Some(9408);
+        r.cpu_count = Some(9408);
+        r.total_cores = Some(8_699_904);
+        r.power_kw = Some(22_786.0);
+        r.year = Some(2022);
+        r
+    }
+
+    #[test]
+    fn frontier_scale_operational_matches_paper_magnitude() {
+        let r = frontier_like();
+        let m = SevenMetrics::extract(&r);
+        let est = estimate(&r, &m).unwrap();
+        assert_eq!(est.path, PowerPath::MeasuredPower);
+        // Paper Table II: Frontier ≈ 59.6–60.0 thousand MT CO2e.
+        assert!(est.mt_co2e > 40_000.0 && est.mt_co2e < 80_000.0, "{}", est.mt_co2e);
+    }
+
+    #[test]
+    fn measured_energy_preferred_over_power() {
+        let mut r = frontier_like();
+        r.annual_energy_mwh = Some(160_000.0);
+        let m = SevenMetrics::extract(&r);
+        let est = estimate(&r, &m).unwrap();
+        assert_eq!(est.path, PowerPath::MeasuredEnergy);
+        assert_eq!(est.utilization, 1.0);
+    }
+
+    #[test]
+    fn tdp_path_when_power_missing() {
+        let mut r = frontier_like();
+        r.power_kw = None;
+        let m = SevenMetrics::extract(&r);
+        let est = estimate(&r, &m).unwrap();
+        assert_eq!(est.path, PowerPath::DeviceTdp);
+        // TDP roll-up should land within 2x of the measured 22.8 MW.
+        assert!(est.power_kw > 11_000.0 && est.power_kw < 46_000.0, "{}", est.power_kw);
+    }
+
+    #[test]
+    fn accelerated_without_power_or_counts_fails() {
+        // Even a well-known accelerator is not enough: without power or
+        // device counts the configuration spread is too wide (paper §IV-A).
+        let mut r = frontier_like();
+        r.power_kw = None;
+        r.node_count = None;
+        r.accelerator_count = None;
+        r.cpu_count = None;
+        r.total_cores = None;
+        let m = SevenMetrics::extract(&r);
+        assert_eq!(estimate(&r, &m).unwrap_err(), EasyCError::NoPowerPath { rank: 2 });
+    }
+
+    #[test]
+    fn unknown_accelerator_without_counts_fails() {
+        let mut r = frontier_like();
+        r.power_kw = None;
+        r.node_count = None;
+        r.accelerator_count = None;
+        r.cpu_count = None;
+        r.total_cores = None;
+        r.accelerator = Some("Custom AI Accelerator X1".into());
+        let m = SevenMetrics::extract(&r);
+        let err = estimate(&r, &m).unwrap_err();
+        assert_eq!(err, EasyCError::NoPowerPath { rank: 2 });
+    }
+
+    #[test]
+    fn cpu_only_always_estimable() {
+        let mut r = SystemRecord::bare(300, 2000.0, 3000.0);
+        r.processor = Some("Xeon Platinum 8380 40C 2.3GHz".into());
+        r.total_cores = Some(80_000);
+        let m = SevenMetrics::extract(&r);
+        let est = estimate(&r, &m).unwrap();
+        assert_eq!(est.path, PowerPath::DeviceTdp);
+        assert!(est.mt_co2e > 0.0);
+    }
+
+    #[test]
+    fn higher_aci_means_more_carbon() {
+        let mut fr = frontier_like();
+        fr.country = Some("France".into());
+        let mut pl = frontier_like();
+        pl.country = Some("Poland".into());
+        let m_fr = SevenMetrics::extract(&fr);
+        let m_pl = SevenMetrics::extract(&pl);
+        let est_fr = estimate(&fr, &m_fr).unwrap();
+        let est_pl = estimate(&pl, &m_pl).unwrap();
+        assert!(est_pl.mt_co2e > est_fr.mt_co2e * 5.0);
+    }
+
+    #[test]
+    fn regional_fallback_has_wide_uncertainty() {
+        let mut r = frontier_like();
+        r.country = None;
+        r.region = Some(Region::Europe);
+        let m = SevenMetrics::extract(&r);
+        let est = estimate(&r, &m).unwrap();
+        assert!(matches!(est.aci, AciSource::Regional(_)));
+        assert_eq!(est.aci.relative_uncertainty(), 0.775);
+    }
+
+    #[test]
+    fn negative_power_is_invalid_field() {
+        let mut r = frontier_like();
+        r.power_kw = Some(-5.0);
+        let m = SevenMetrics::extract(&r);
+        assert!(matches!(
+            estimate(&r, &m),
+            Err(EasyCError::InvalidField { field: "power_kw", .. })
+        ));
+    }
+}

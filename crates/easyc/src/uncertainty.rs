@@ -1,0 +1,343 @@
+//! Monte-Carlo uncertainty quantification for EasyC estimates.
+//!
+//! Each prior in the model carries an uncertainty band (ACI source ±10 % or
+//! ±77.5 %, PUE ±10 %, utilisation ±15 %, fab factors ±20 %). This module
+//! resamples a system's footprint with those bands using the reproducible
+//! RNG streams from `parallel`, producing percentile intervals that are
+//! independent of thread count.
+
+use crate::estimator::EasyC;
+use crate::metrics::SevenMetrics;
+use crate::operational::{self};
+use frame::stats;
+use parallel::rng::RngStreams;
+use top500::record::SystemRecord;
+
+/// Relative 1-sigma widths of the model priors.
+#[derive(Debug, Clone, Copy)]
+pub struct PriorUncertainty {
+    /// PUE prior spread.
+    pub pue: f64,
+    /// Utilisation prior spread.
+    pub utilization: f64,
+    /// Fab-intensity spread (embodied).
+    pub fab: f64,
+    /// Memory/storage prior spread (embodied).
+    pub capacity_priors: f64,
+}
+
+impl Default for PriorUncertainty {
+    fn default() -> PriorUncertainty {
+        PriorUncertainty { pue: 0.10, utilization: 0.15, fab: 0.20, capacity_priors: 0.30 }
+    }
+}
+
+/// A two-sided percentile interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Central (point) estimate, MT CO2e.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Relative half-width of the interval.
+    pub fn relative_halfwidth(&self) -> f64 {
+        if self.point == 0.0 {
+            0.0
+        } else {
+            (self.hi - self.lo) / (2.0 * self.point.abs())
+        }
+    }
+}
+
+/// Monte-Carlo interval for the operational estimate of one system.
+/// Returns `None` when the system is not estimable.
+pub fn operational_interval(
+    tool: &EasyC,
+    record: &SystemRecord,
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    let metrics = SevenMetrics::extract(record);
+    let base = operational::estimate(record, &metrics).ok()?;
+    let aci_sigma = base.aci.relative_uncertainty() / 2.0; // band → ~2 sigma
+    let streams = RngStreams::new(seed ^ u64::from(record.rank));
+    let draws = parallel::par_map_chunked(
+        &(0..samples).collect::<Vec<_>>(),
+        tool.config().workers,
+        |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let mut rng = streams.stream((start + i) as u64);
+                    let aci = base.aci.value() * rng.next_lognormal(0.0, aci_sigma);
+                    let pue = (base.pue * rng.next_lognormal(0.0, priors.pue)).max(1.0);
+                    let util = (base.utilization
+                        * rng.next_lognormal(0.0, priors.utilization))
+                    .clamp(0.05, 1.0);
+                    base.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
+                })
+                .collect()
+        },
+    );
+    let alpha = (1.0 - level) / 2.0;
+    Some(Interval {
+        point: base.mt_co2e,
+        lo: stats::quantile(&draws, alpha)?,
+        hi: stats::quantile(&draws, 1.0 - alpha)?,
+    })
+}
+
+/// Monte-Carlo interval for the embodied estimate of one system.
+pub fn embodied_interval(
+    tool: &EasyC,
+    record: &SystemRecord,
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    let metrics = SevenMetrics::extract(record);
+    let base = crate::embodied::estimate(record, &metrics).ok()?;
+    let b = base.breakdown;
+    let streams = RngStreams::new(seed ^ (u64::from(record.rank) << 32));
+    let draws = parallel::par_map_chunked(
+        &(0..samples).collect::<Vec<_>>(),
+        tool.config().workers,
+        |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let mut rng = streams.stream((start + i) as u64);
+                    let fab = rng.next_lognormal(0.0, priors.fab);
+                    let cap = rng.next_lognormal(0.0, priors.capacity_priors);
+                    ((b.cpu_kg + b.accelerator_kg) * fab
+                        + (b.dram_kg + b.storage_kg) * cap
+                        + b.chassis_kg
+                        + b.interconnect_kg)
+                        / 1000.0
+                })
+                .collect()
+        },
+    );
+    let alpha = (1.0 - level) / 2.0;
+    Some(Interval {
+        point: base.mt_co2e,
+        lo: stats::quantile(&draws, alpha)?,
+        hi: stats::quantile(&draws, 1.0 - alpha)?,
+    })
+}
+
+/// Monte-Carlo interval for the *fleet total* operational carbon.
+///
+/// Per-system prior draws are correlated where the physics is correlated
+/// (one global fab/PUE regime draw per sample, since prior errors are
+/// systematic, not independent per system — the paper's §V point about
+/// systematic error) and independent where it is not (per-system ACI
+/// noise). Systems without an estimate contribute nothing.
+pub fn fleet_operational_interval(
+    tool: &EasyC,
+    systems: &[SystemRecord],
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    // Pre-compute the per-system base estimates once.
+    let bases: Vec<_> = systems
+        .iter()
+        .filter_map(|r| {
+            let m = SevenMetrics::extract(r);
+            operational::estimate(r, &m).ok()
+        })
+        .collect();
+    if bases.is_empty() || samples == 0 {
+        return None;
+    }
+    let point: f64 = bases.iter().map(|b| b.mt_co2e).sum();
+    let streams = RngStreams::new(seed ^ 0xF1EE_7000);
+    let sample_indices: Vec<usize> = (0..samples).collect();
+    let draws = parallel::par_map_chunked(
+        &sample_indices,
+        tool.config().workers,
+        |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(offset, _)| {
+                    let sample = start + offset;
+                    let mut global = streams.stream(sample as u64);
+                    // Systematic components: one draw per sample.
+                    let pue_factor = global.next_lognormal(0.0, priors.pue);
+                    let util_factor = global.next_lognormal(0.0, priors.utilization);
+                    bases
+                        .iter()
+                        .enumerate()
+                        .map(|(i, b)| {
+                            // Idiosyncratic ACI noise: per system per sample.
+                            let mut local = streams
+                                .stream(((sample as u64) << 32) | (i as u64 + 1));
+                            let aci_sigma = b.aci.relative_uncertainty() / 2.0;
+                            let aci = b.aci.value() * local.next_lognormal(0.0, aci_sigma);
+                            let pue = (b.pue * pue_factor).max(1.0);
+                            let util = (b.utilization * util_factor).clamp(0.05, 1.0);
+                            b.power_kw * operational::HOURS_PER_YEAR * pue * util * aci
+                                / 1.0e6
+                        })
+                        .sum::<f64>()
+                })
+                .collect()
+        },
+    );
+    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
+    Some(Interval {
+        point,
+        lo: stats::quantile(&draws, alpha)?,
+        hi: stats::quantile(&draws, 1.0 - alpha)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use top500::synthetic::{generate_full, SyntheticConfig};
+
+    fn system() -> SystemRecord {
+        generate_full(&SyntheticConfig { n: 10, ..Default::default() })
+            .systems()[2]
+            .clone()
+    }
+
+    #[test]
+    fn interval_brackets_point() {
+        let tool = EasyC::new();
+        let iv = operational_interval(
+            &tool,
+            &system(),
+            &PriorUncertainty::default(),
+            500,
+            0.95,
+            42,
+        )
+        .unwrap();
+        assert!(iv.lo <= iv.point * 1.05, "lo {} point {}", iv.lo, iv.point);
+        assert!(iv.hi >= iv.point * 0.95, "hi {} point {}", iv.hi, iv.point);
+        assert!(iv.lo < iv.hi);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let rec = system();
+        let priors = PriorUncertainty::default();
+        let tool1 = EasyC::with_config(crate::EasyCConfig { workers: 1, ..Default::default() });
+        let tool8 = EasyC::with_config(crate::EasyCConfig { workers: 8, ..Default::default() });
+        let a = operational_interval(&tool1, &rec, &priors, 300, 0.9, 7).unwrap();
+        let b = operational_interval(&tool8, &rec, &priors, 300, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_priors_widen_interval() {
+        let rec = system();
+        let tool = EasyC::new();
+        let narrow = embodied_interval(&tool, &rec, &PriorUncertainty::default(), 400, 0.95, 7)
+            .unwrap();
+        let wide_priors = PriorUncertainty {
+            fab: 0.6,
+            capacity_priors: 0.8,
+            ..PriorUncertainty::default()
+        };
+        let wide = embodied_interval(&tool, &rec, &wide_priors, 400, 0.95, 7).unwrap();
+        assert!(wide.relative_halfwidth() > narrow.relative_halfwidth());
+    }
+
+    #[test]
+    fn fleet_interval_brackets_total() {
+        let list = generate_full(&SyntheticConfig { n: 100, ..Default::default() });
+        let tool = EasyC::new();
+        let iv = fleet_operational_interval(
+            &tool,
+            list.systems(),
+            &PriorUncertainty::default(),
+            400,
+            0.9,
+            11,
+        )
+        .unwrap();
+        assert!(iv.lo < iv.point && iv.point < iv.hi * 1.2, "{iv:?}");
+        assert!(iv.lo > 0.0);
+    }
+
+    #[test]
+    fn fleet_interval_deterministic_across_workers() {
+        let list = generate_full(&SyntheticConfig { n: 60, ..Default::default() });
+        let a = fleet_operational_interval(
+            &EasyC::with_config(crate::EasyCConfig { workers: 1, ..Default::default() }),
+            list.systems(),
+            &PriorUncertainty::default(),
+            200,
+            0.9,
+            5,
+        )
+        .unwrap();
+        let b = fleet_operational_interval(
+            &EasyC::with_config(crate::EasyCConfig { workers: 8, ..Default::default() }),
+            list.systems(),
+            &PriorUncertainty::default(),
+            200,
+            0.9,
+            5,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn systematic_priors_widen_fleet_interval_more_than_independent_would() {
+        // With systematic (shared) PUE/util draws, fleet-total uncertainty
+        // does NOT average out across systems: relative width stays near
+        // the single-system width instead of shrinking by sqrt(n).
+        let list = generate_full(&SyntheticConfig { n: 100, ..Default::default() });
+        let tool = EasyC::new();
+        let priors = PriorUncertainty::default();
+        let fleet =
+            fleet_operational_interval(&tool, list.systems(), &priors, 600, 0.9, 3).unwrap();
+        let fleet_rel = fleet.relative_halfwidth();
+        assert!(
+            fleet_rel > 0.05,
+            "systematic error must not vanish in the aggregate, got {fleet_rel}"
+        );
+    }
+
+    #[test]
+    fn fleet_interval_none_for_empty() {
+        let tool = EasyC::new();
+        assert!(fleet_operational_interval(
+            &tool,
+            &[],
+            &PriorUncertainty::default(),
+            10,
+            0.9,
+            1
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn unestimable_system_yields_none() {
+        let bare = SystemRecord::bare(1, 100.0, 120.0);
+        let mut r = bare.clone();
+        r.accelerator = Some("Unknown Custom Thing".into());
+        let tool = EasyC::new();
+        assert!(embodied_interval(&tool, &r, &PriorUncertainty::default(), 10, 0.9, 1)
+            .is_none());
+    }
+}

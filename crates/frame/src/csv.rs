@@ -1,0 +1,326 @@
+//! Minimal CSV reader/writer (RFC 4180 quoting, empty field = null).
+//!
+//! The Top 500 appendix dataset and every figure artifact round-trip through
+//! this module, so it is tested for quoting, embedded separators, CRLF and
+//! type inference.
+
+use crate::column::{Column, Value};
+use crate::error::{FrameError, Result};
+use crate::frame::DataFrame;
+
+/// Splits one logical CSV record that has already been isolated (no embedded
+/// newlines — those are handled by [`parse`]).
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                ',' => fields.push(std::mem::take(&mut field)),
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(FrameError::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv { line: line_no, message: "unterminated quote".into() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Joins raw text lines into logical records, re-merging lines that were
+/// split inside a quoted field.
+fn logical_records(text: &str) -> Vec<(usize, String)> {
+    let mut records = Vec::new();
+    let mut pending = String::new();
+    let mut pending_start = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        if pending.is_empty() {
+            pending_start = i + 1;
+            pending.push_str(line);
+        } else {
+            pending.push('\n');
+            pending.push_str(line);
+        }
+        // A record is complete when it contains an even number of quotes.
+        if pending.matches('"').count().is_multiple_of(2) {
+            records.push((pending_start, std::mem::take(&mut pending)));
+        }
+    }
+    if !pending.is_empty() {
+        records.push((pending_start, pending));
+    }
+    records
+}
+
+/// Infers a cell value: empty → null, else i64, else f64, else bool, else str.
+fn infer_value(field: &str) -> Value {
+    if field.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = field.parse::<i64>() {
+        return Value::I64(i);
+    }
+    if let Ok(f) = field.parse::<f64>() {
+        return Value::F64(f);
+    }
+    match field {
+        "true" | "TRUE" | "True" => Value::Bool(true),
+        "false" | "FALSE" | "False" => Value::Bool(false),
+        _ => Value::Str(field.to_string()),
+    }
+}
+
+/// Column type lattice used during inference: Null < I64 < F64, anything
+/// else degrades to Str; Bool only merges with Bool/Null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Unknown,
+    I64,
+    F64,
+    Bool,
+    Str,
+}
+
+impl Kind {
+    fn merge(self, v: &Value) -> Kind {
+        let vk = match v {
+            Value::Null => return self,
+            Value::I64(_) => Kind::I64,
+            Value::F64(_) => Kind::F64,
+            Value::Bool(_) => Kind::Bool,
+            Value::Str(_) => Kind::Str,
+        };
+        match (self, vk) {
+            (Kind::Unknown, k) => k,
+            (a, b) if a == b => a,
+            (Kind::I64, Kind::F64) | (Kind::F64, Kind::I64) => Kind::F64,
+            _ => Kind::Str,
+        }
+    }
+}
+
+/// Parses CSV text (first record = header) into a typed [`DataFrame`].
+///
+/// Types are inferred per column across all rows; mixed int/float widens to
+/// float, any other mixture falls back to string. Empty fields become nulls.
+pub fn parse(text: &str) -> Result<DataFrame> {
+    let mut records = logical_records(text);
+    // Trailing blank lines are newline artifacts, not records; interior
+    // blank lines are one empty (null) field — meaningful for one-column
+    // data, a field-count error otherwise.
+    while records.last().map(|(_, r)| r.is_empty()).unwrap_or(false) {
+        records.pop();
+    }
+    let mut iter = records.into_iter();
+    let (header_line, header) = match iter.next() {
+        Some(h) => h,
+        None => return Ok(DataFrame::new()),
+    };
+    let names = split_record(&header, header_line)?;
+    let mut cells: Vec<Vec<Value>> = vec![Vec::new(); names.len()];
+    for (line_no, record) in iter {
+        let fields = split_record(&record, line_no)?;
+        if fields.len() != names.len() {
+            return Err(FrameError::Csv {
+                line: line_no,
+                message: format!("expected {} fields, got {}", names.len(), fields.len()),
+            });
+        }
+        for (col, field) in cells.iter_mut().zip(&fields) {
+            col.push(infer_value(field));
+        }
+    }
+    let mut df = DataFrame::new();
+    for (name, values) in names.into_iter().zip(cells) {
+        let kind = values.iter().fold(Kind::Unknown, Kind::merge);
+        let column = match kind {
+            Kind::I64 => Column::I64(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        Value::I64(i) => Some(*i),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            Kind::F64 => Column::F64(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        Value::F64(f) => Some(*f),
+                        Value::I64(i) => Some(*i as f64),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            Kind::Bool => Column::Bool(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Bool(b) => Some(*b),
+                        _ => None,
+                    })
+                    .collect(),
+            ),
+            // Unknown (all nulls) defaults to string.
+            Kind::Str | Kind::Unknown => Column::Str(
+                values
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => Some(s.clone()),
+                        Value::I64(i) => Some(i.to_string()),
+                        Value::F64(f) => Some(f.to_string()),
+                        Value::Bool(b) => Some(b.to_string()),
+                        Value::Null => None,
+                    })
+                    .collect(),
+            ),
+        };
+        df.add_column(name, column)?;
+    }
+    Ok(df)
+}
+
+/// Quotes a field when it contains separators, quotes or newlines.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialises a frame to CSV text (header + rows, `\n` separators, empty
+/// field for nulls).
+pub fn write(df: &DataFrame) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &df.names().iter().map(|n| escape(n)).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    for row in 0..df.len() {
+        let mut fields = Vec::with_capacity(df.width());
+        for name in df.names() {
+            let v = df.value(name, row).expect("in-range row and known column");
+            fields.push(escape(&v.to_string()));
+        }
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_types() {
+        let df = parse("rank,name,power\n1,Frontier,22.7\n2,Aurora,\n").unwrap();
+        assert_eq!(df.len(), 2);
+        assert_eq!(df.column("rank").unwrap().type_name(), "i64");
+        assert_eq!(df.column("power").unwrap().type_name(), "f64");
+        assert_eq!(df.value("power", 1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let df = parse("x\n1\n2.5\n").unwrap();
+        assert_eq!(df.column("x").unwrap().type_name(), "f64");
+        assert_eq!(df.numeric("x").unwrap(), vec![Some(1.0), Some(2.5)]);
+    }
+
+    #[test]
+    fn mixed_number_string_degrades_to_str() {
+        let df = parse("x\n1\nabc\n").unwrap();
+        assert_eq!(df.column("x").unwrap().type_name(), "str");
+        assert_eq!(df.value("x", 0).unwrap(), Value::Str("1".into()));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas() {
+        let df = parse("name,v\n\"MareNostrum 5, ACC\",3\n").unwrap();
+        assert_eq!(
+            df.value("name", 0).unwrap(),
+            Value::Str("MareNostrum 5, ACC".into())
+        );
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let df = parse("name\n\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(df.value("name", 0).unwrap(), Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let df = parse("name,v\n\"two\nlines\",1\n").unwrap();
+        assert_eq!(df.len(), 1);
+        assert_eq!(df.value("name", 0).unwrap(), Value::Str("two\nlines".into()));
+    }
+
+    #[test]
+    fn crlf_handled() {
+        let df = parse("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(df.len(), 1);
+        assert_eq!(df.value("b", 0).unwrap(), Value::I64(2));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_error() {
+        let err = parse("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, FrameError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(parse("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let text = "rank,name,power\n1,Frontier,22.7\n2,\"X, Y\",\n";
+        let df = parse(text).unwrap();
+        let df2 = parse(&write(&df)).unwrap();
+        assert_eq!(df, df2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_frame() {
+        let df = parse("").unwrap();
+        assert_eq!(df.width(), 0);
+        assert_eq!(df.len(), 0);
+    }
+
+    #[test]
+    fn bool_inference() {
+        let df = parse("flag\ntrue\nfalse\n\n").unwrap();
+        assert_eq!(df.column("flag").unwrap().type_name(), "bool");
+    }
+}

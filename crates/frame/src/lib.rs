@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `frame` — a small, typed, columnar data library.
+//!
+//! The EasyC study is fundamentally a dataframe/statistics workload: a list of
+//! 500 systems with many optional attributes, filtered, grouped, aggregated and
+//! interpolated. Rust has no pandas, so this crate supplies the minimal
+//! substrate the study needs:
+//!
+//! - [`Column`]: a nullable, typed column (`f64` / `i64` / `String` / `bool`).
+//! - [`DataFrame`]: an ordered collection of equal-length named columns with
+//!   selection, filtering, sorting and group-by.
+//! - [`csv`]: dependency-free CSV reader/writer with quoting and null handling.
+//! - [`stats`]: descriptive statistics with explicit missing-value semantics,
+//!   linear regression, histograms and bootstrap resampling.
+//!
+//! Everything is deterministic and allocates predictably; hot paths take
+//! slices, not owned vectors (see the workspace performance guide).
+
+pub mod agg;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod frame;
+pub mod series;
+pub mod stats;
+
+pub use column::{Column, Value};
+pub use error::{FrameError, Result};
+pub use frame::DataFrame;
+pub use series::Series;

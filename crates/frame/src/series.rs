@@ -1,0 +1,129 @@
+//! A named column with statistics helpers — the 1-D counterpart of
+//! [`DataFrame`](crate::DataFrame).
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::stats;
+
+/// A named, nullable 1-D array. `Series` is the unit the statistics layer
+/// operates on: it normalises integer columns to `f64` views and carries its
+/// name into error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    column: Column,
+}
+
+impl Series {
+    /// Wraps a column under a name.
+    pub fn new(name: impl Into<String>, column: Column) -> Series {
+        Series { name: name.into(), column }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying column.
+    pub fn column(&self) -> &Column {
+        &self.column
+    }
+
+    /// Row count including nulls.
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// Non-null count.
+    pub fn count_present(&self) -> usize {
+        self.column.count_present()
+    }
+
+    /// Numeric values with nulls dropped. Errors for non-numeric series.
+    pub fn numeric_present(&self) -> Result<Vec<f64>> {
+        Ok(self
+            .column
+            .numeric(&self.name)?
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
+    /// Sum over present values (0.0 for an all-null series).
+    pub fn sum(&self) -> Result<f64> {
+        Ok(stats::sum(&self.numeric_present()?))
+    }
+
+    /// Mean over present values; errors when no values are present.
+    pub fn mean(&self) -> Result<f64> {
+        let v = self.numeric_present()?;
+        stats::mean(&v).ok_or(FrameError::Empty("mean"))
+    }
+
+    /// Median over present values; errors when no values are present.
+    pub fn median(&self) -> Result<f64> {
+        let v = self.numeric_present()?;
+        stats::quantile(&v, 0.5).ok_or(FrameError::Empty("median"))
+    }
+
+    /// Minimum over present values.
+    pub fn min(&self) -> Result<f64> {
+        let v = self.numeric_present()?;
+        v.iter().copied().reduce(f64::min).ok_or(FrameError::Empty("min"))
+    }
+
+    /// Maximum over present values.
+    pub fn max(&self) -> Result<f64> {
+        let v = self.numeric_present()?;
+        v.iter().copied().reduce(f64::max).ok_or(FrameError::Empty("max"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Series {
+        Series::new("x", Column::F64(vec![Some(1.0), None, Some(3.0), Some(2.0)]))
+    }
+
+    #[test]
+    fn sum_skips_nulls() {
+        assert_eq!(series().sum().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn mean_skips_nulls() {
+        assert_eq!(series().mean().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn median_of_three() {
+        assert_eq!(series().median().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(series().min().unwrap(), 1.0);
+        assert_eq!(series().max().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn empty_mean_errors() {
+        let s = Series::new("e", Column::F64(vec![None, None]));
+        assert!(matches!(s.mean(), Err(FrameError::Empty(_))));
+        assert_eq!(s.sum().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn string_series_is_not_numeric() {
+        let s = Series::new("s", Column::from_str_iter(["a", "b"]));
+        assert!(s.mean().is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! The fail-closed GHG Protocol accounting computation.
+
+use crate::checklist::{RequiredMetric, EMBODIED_CHECKLIST, OPERATIONAL_CHECKLIST};
+use std::collections::HashMap;
+
+/// Supplied metric values, keyed by checklist id. Values are in the natural
+/// unit of each metric; the toy tabulation below only needs a consistent
+/// subset, but *presence* of every required id is what the protocol checks.
+#[derive(Debug, Clone, Default)]
+pub struct GhgInputs {
+    values: HashMap<&'static str, f64>,
+}
+
+impl GhgInputs {
+    /// Empty input set.
+    pub fn new() -> GhgInputs {
+        GhgInputs::default()
+    }
+
+    /// Sets a metric value.
+    pub fn set(&mut self, id: &'static str, value: f64) -> &mut Self {
+        self.values.insert(id, value);
+        self
+    }
+
+    /// Gets a metric value.
+    pub fn get(&self, id: &str) -> Option<f64> {
+        self.values.get(id).copied()
+    }
+
+    /// Number of supplied metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing has been supplied.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Ids from `checklist` that are not supplied.
+    pub fn missing<'a>(&self, checklist: &'a [RequiredMetric]) -> Vec<&'a RequiredMetric> {
+        checklist.iter().filter(|m| !self.values.contains_key(m.id)).collect()
+    }
+}
+
+/// A completed inventory (only constructible when every input is present).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhgInventory {
+    /// Scope 1+2 annual emissions, MT CO2e.
+    pub operational_mt: f64,
+    /// Scope 3 embodied emissions, MT CO2e.
+    pub embodied_mt: f64,
+}
+
+/// Error type: the protocol refuses to estimate with gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingMetrics {
+    /// Ids of the absent metrics.
+    pub ids: Vec<&'static str>,
+}
+
+impl std::fmt::Display for MissingMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GHG protocol computation blocked; {} metrics missing: {}",
+            self.ids.len(),
+            self.ids.join(", "))
+    }
+}
+
+impl std::error::Error for MissingMetrics {}
+
+/// Runs the operational (scope 1+2) tabulation. Fails closed when any
+/// checklist metric is absent.
+pub fn operational(inputs: &GhgInputs) -> Result<f64, MissingMetrics> {
+    let missing = inputs.missing(OPERATIONAL_CHECKLIST);
+    if !missing.is_empty() {
+        return Err(MissingMetrics { ids: missing.iter().map(|m| m.id).collect() });
+    }
+    // Simplified tabulation once everything is present: facility energy ×
+    // supplier factor, minus renewable instruments, plus direct sources.
+    let energy_kwh = inputs.get("metered_facility_energy_kwh_monthly").unwrap() * 12.0;
+    let factor = inputs.get("grid_supplier_emission_factor_monthly").unwrap(); // kg/kWh
+    let losses = 1.0 + inputs.get("grid_transmission_losses").unwrap();
+    let recs_kwh = inputs.get("rec_purchases_mwh").unwrap() * 1000.0;
+    let diesel_litres = inputs.get("diesel_fuel_litres").unwrap();
+    let refrigerant_kg = inputs.get("refrigerant_leakage_kg").unwrap();
+    let scope2 = ((energy_kwh - recs_kwh).max(0.0) * factor * losses) / 1000.0;
+    let scope1 = (diesel_litres * 2.68 + refrigerant_kg * 1430.0) / 1000.0;
+    Ok(scope1 + scope2)
+}
+
+/// Runs the embodied (scope 3) tabulation; fail-closed like
+/// [`operational`].
+pub fn embodied(inputs: &GhgInputs) -> Result<f64, MissingMetrics> {
+    let missing = inputs.missing(EMBODIED_CHECKLIST);
+    if !missing.is_empty() {
+        return Err(MissingMetrics { ids: missing.iter().map(|m| m.id).collect() });
+    }
+    let cpu_dies = inputs.get("bom_cpu_model_counts").unwrap();
+    let cpu_area = inputs.get("cpu_die_area_per_model").unwrap();
+    let gpu_dies = inputs.get("bom_gpu_model_counts").unwrap();
+    let gpu_area = inputs.get("gpu_die_area_per_model").unwrap();
+    let fab_energy = inputs.get("cpu_fab_energy_mix").unwrap(); // kg/cm²
+    let yield_fraction = inputs.get("cpu_fab_yield").unwrap().clamp(0.05, 1.0);
+    let dram_gb = inputs.get("bom_dimm_inventory").unwrap();
+    let dram_factor = inputs.get("dram_fab_energy_per_gb").unwrap();
+    let transport = inputs.get("upstream_transport_tonne_km").unwrap() * 0.1 / 1000.0;
+    let silicon = (cpu_dies * cpu_area + gpu_dies * gpu_area) * fab_energy / yield_fraction;
+    Ok((silicon + dram_gb * dram_factor) / 1000.0 + transport)
+}
+
+/// Full inventory — both computations must succeed.
+pub fn inventory(inputs: &GhgInputs) -> Result<GhgInventory, MissingMetrics> {
+    let operational_mt = operational(inputs)?;
+    let embodied_mt = embodied(inputs)?;
+    Ok(GhgInventory { operational_mt, embodied_mt })
+}
+
+/// Fills every operational + embodied metric with a plausible value for a
+/// site that *does* have full internal telemetry — used by tests and the
+/// coverage study to show the method works when (and only when) everything
+/// is known.
+pub fn fully_instrumented_example() -> GhgInputs {
+    let mut inputs = GhgInputs::new();
+    for m in OPERATIONAL_CHECKLIST.iter().chain(EMBODIED_CHECKLIST) {
+        // Representative magnitudes for a mid-size (~2 MW) HPC site.
+        let value = match m.id {
+            "metered_it_energy_kwh_monthly" => 1.3e6,
+            "metered_facility_energy_kwh_monthly" => 1.5e6,
+            "grid_supplier_emission_factor_monthly" => 0.38,
+            "grid_transmission_losses" => 0.05,
+            "rec_purchases_mwh" => 2000.0,
+            "diesel_fuel_litres" => 4000.0,
+            "refrigerant_leakage_kg" => 12.0,
+            "bom_cpu_model_counts" => 5000.0,
+            "cpu_die_area_per_model" => 7.4,
+            "bom_gpu_model_counts" => 2000.0,
+            "gpu_die_area_per_model" => 8.26,
+            "cpu_fab_energy_mix" => 1.6,
+            "cpu_fab_yield" => 0.85,
+            "bom_dimm_inventory" => 1.2e6,
+            "dram_fab_energy_per_gb" => 0.3,
+            "upstream_transport_tonne_km" => 5.0e5,
+            _ => 1.0,
+        };
+        inputs.set(m.id, value);
+    }
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_fail_closed() {
+        let err = operational(&GhgInputs::new()).unwrap_err();
+        assert_eq!(err.ids.len(), OPERATIONAL_CHECKLIST.len());
+        assert!(embodied(&GhgInputs::new()).is_err());
+    }
+
+    #[test]
+    fn one_missing_metric_still_fails() {
+        let mut inputs = fully_instrumented_example();
+        // Re-create without one metric.
+        let mut partial = GhgInputs::new();
+        for m in OPERATIONAL_CHECKLIST.iter().chain(EMBODIED_CHECKLIST) {
+            if m.id != "refrigerant_leakage_kg" {
+                partial.set(m.id, inputs.get(m.id).unwrap());
+            }
+        }
+        let err = operational(&partial).unwrap_err();
+        assert_eq!(err.ids, vec!["refrigerant_leakage_kg"]);
+        assert!(inputs.set("x", 0.0).get("x").is_some());
+    }
+
+    #[test]
+    fn fully_instrumented_site_gets_inventory() {
+        let inv = inventory(&fully_instrumented_example()).unwrap();
+        assert!(inv.operational_mt > 0.0);
+        assert!(inv.embodied_mt > 0.0);
+        // Sanity: a ~2 MW site lands in the thousands of MT CO2e.
+        assert!(inv.operational_mt > 1000.0 && inv.operational_mt < 20_000.0);
+    }
+
+    #[test]
+    fn recs_reduce_scope2() {
+        let base = fully_instrumented_example();
+        let mut more_recs = base.clone();
+        more_recs.set("rec_purchases_mwh", 10_000.0);
+        let a = operational(&base).unwrap();
+        let b = operational(&more_recs).unwrap();
+        assert!(b < a);
+    }
+
+    #[test]
+    fn error_display_lists_ids() {
+        let err = operational(&GhgInputs::new()).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("blocked"));
+        assert!(text.contains("metered_it_energy_kwh_monthly"));
+    }
+}

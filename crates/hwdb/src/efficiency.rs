@@ -1,0 +1,82 @@
+//! System-level energy-efficiency priors (GFlops per watt).
+//!
+//! Used by the last-resort operational power path: when neither measured
+//! power nor node/GPU counts are available, EasyC estimates power as
+//! `Rmax / efficiency`, with the efficiency prior chosen by machine class
+//! and generation. Priors are anchored on Green500 medians per class.
+
+use crate::accel::AccelVendor;
+
+/// Machine class for efficiency priors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineClass {
+    /// CPU-only cluster.
+    CpuOnly,
+    /// Accelerated by the given vendor's parts.
+    Accelerated(AccelVendor),
+}
+
+/// Green500-anchored LINPACK efficiency prior, GFlops/W, by class and
+/// installation year.
+pub fn gflops_per_watt_prior(class: MachineClass, year: u32) -> f64 {
+    // Base medians for a 2022-vintage machine.
+    let base = match class {
+        MachineClass::CpuOnly => 5.0,
+        MachineClass::Accelerated(AccelVendor::Nvidia) => 26.0,
+        MachineClass::Accelerated(AccelVendor::Amd) => 52.0,
+        MachineClass::Accelerated(AccelVendor::Intel) => 25.0,
+        MachineClass::Accelerated(AccelVendor::Nec) => 10.0,
+        MachineClass::Accelerated(AccelVendor::DomesticCn) => 6.0,
+        MachineClass::Accelerated(AccelVendor::Other) => 15.0,
+    };
+    // Post-Dennard drift: ~15 %/year improvement for accelerated parts,
+    // ~8 %/year for CPUs, anchored at 2022 and clamped to a plausible span.
+    let rate: f64 = match class {
+        MachineClass::CpuOnly => 1.08,
+        MachineClass::Accelerated(_) => 1.15,
+    };
+    let years = f64::from(year.clamp(2012, 2030)) - 2022.0;
+    base * rate.powf(years)
+}
+
+/// Typical HPC utilisation prior (fraction of peak power drawn on average
+/// over a year, folding in load and idle periods).
+pub const DEFAULT_UTILIZATION: f64 = 0.8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerated_beats_cpu_only() {
+        let cpu = gflops_per_watt_prior(MachineClass::CpuOnly, 2024);
+        let gpu = gflops_per_watt_prior(MachineClass::Accelerated(AccelVendor::Nvidia), 2024);
+        assert!(gpu > cpu);
+    }
+
+    #[test]
+    fn newer_is_more_efficient() {
+        let old = gflops_per_watt_prior(MachineClass::CpuOnly, 2016);
+        let new = gflops_per_watt_prior(MachineClass::CpuOnly, 2024);
+        assert!(new > old);
+    }
+
+    #[test]
+    fn year_clamped() {
+        let a = gflops_per_watt_prior(MachineClass::CpuOnly, 1990);
+        let b = gflops_per_watt_prior(MachineClass::CpuOnly, 2012);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn amd_instinct_era_highest() {
+        // Frontier-class efficiency ~52 GFlops/W matches Green500 2022.
+        let amd = gflops_per_watt_prior(MachineClass::Accelerated(AccelVendor::Amd), 2022);
+        assert!((amd - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_prior_in_unit_interval() {
+        assert!(DEFAULT_UTILIZATION > 0.0 && DEFAULT_UTILIZATION <= 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! `hwdb` — hardware and carbon-factor databases for the EasyC model.
+//!
+//! EasyC's premise is that a handful of metrics plus *good priors* beat
+//! exhaustive accounting. The priors live here:
+//!
+//! - [`cpu`]: processor models → cores, TDP, die area, process node.
+//! - [`accel`]: GPUs / accelerators → TDP, die + HBM, process node; novel
+//!   accelerators fall back to a mainstream approximation (the paper notes
+//!   this causes systematic underestimates — we reproduce that behaviour).
+//! - [`grid`]: average carbon intensity (ACI) of electricity by country,
+//!   with regional means for unknown locations.
+//! - [`fab`]: ACT-style wafer-fab carbon intensity per process node
+//!   (kgCO2e per cm² of good die).
+//! - [`memory`]: DRAM and SSD embodied factors per GB.
+//! - [`parse`]: parser for Top500-style processor description strings.
+//! - [`pue`] / [`efficiency`]: PUE priors per site class and GFlops/W priors
+//!   per machine generation for the power-from-Rmax fallback.
+//!
+//! All tables are plain `const` data — no I/O, no lazy statics — so lookups
+//! are allocation-free and can be exercised from property tests.
+
+pub mod accel;
+pub mod cpu;
+pub mod efficiency;
+pub mod fab;
+pub mod grid;
+pub mod memory;
+pub mod parse;
+pub mod pue;
+
+pub use accel::{AccelSpec, AccelVendor};
+pub use cpu::CpuSpec;
+pub use fab::ProcessNode;
+pub use grid::{country_aci, regional_aci, Region};

@@ -1,0 +1,143 @@
+//! Parser for Top500-style processor description strings.
+//!
+//! top500.org encodes the processor as free text like
+//! `"AMD Optimized 3rd Generation EPYC 64C 2GHz"` or
+//! `"Xeon Platinum 8480C 56C 2GHz"`. The per-socket core count (`64C`) is
+//! the one structural number EasyC needs to turn *total cores* into a
+//! *socket count* — which drives both TDP-based power and die-count-based
+//! embodied carbon.
+
+/// Parsed fields of a processor description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedProcessor {
+    /// Cores per socket, from the `<n>C` token, if present.
+    pub cores_per_socket: Option<u32>,
+    /// Clock in GHz, from the `<x>GHz` token, if present.
+    pub clock_ghz: Option<f64>,
+    /// The description with the structural tokens removed (model text).
+    pub model_text: String,
+}
+
+/// Parses a Top500 processor string. Never fails — absent tokens simply
+/// yield `None` fields.
+pub fn parse_processor(text: &str) -> ParsedProcessor {
+    let mut cores = None;
+    let mut clock = None;
+    let mut model_tokens: Vec<&str> = Vec::new();
+    for token in text.split_whitespace() {
+        if let Some(c) = parse_cores_token(token) {
+            // First <n>C token wins; later ones (rare) are kept as text.
+            if cores.is_none() {
+                cores = Some(c);
+                continue;
+            }
+        }
+        if let Some(g) = parse_ghz_token(token) {
+            if clock.is_none() {
+                clock = Some(g);
+                continue;
+            }
+        }
+        model_tokens.push(token);
+    }
+    ParsedProcessor { cores_per_socket: cores, clock_ghz: clock, model_text: model_tokens.join(" ") }
+}
+
+/// `64C` → 64. Rejects bare numbers and SKU-like tokens (e.g. `8480C` is a
+/// SKU, not a core count — real core counts on the list are ≤ 260).
+fn parse_cores_token(token: &str) -> Option<u32> {
+    let digits = token.strip_suffix(['C', 'c'])?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let n: u32 = digits.parse().ok()?;
+    // SKU numbers (8480C, 6338C…) are 4+ digits; core counts are 1–3.
+    if (1..=320).contains(&n) {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// `2.45GHz` or `2GHz` → GHz value.
+fn parse_ghz_token(token: &str) -> Option<f64> {
+    let lower = token.to_ascii_lowercase();
+    let digits = lower.strip_suffix("ghz")?;
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse::<f64>().ok().filter(|g| (0.1..=10.0).contains(g))
+}
+
+/// Derives the socket count from total cores and a per-socket core count
+/// (rounding up — partial sockets don't exist, the description is the
+/// approximation). Returns `None` for non-positive inputs.
+pub fn socket_count(total_cores: u64, cores_per_socket: u32) -> Option<u64> {
+    if total_cores == 0 || cores_per_socket == 0 {
+        return None;
+    }
+    Some(total_cores.div_ceil(u64::from(cores_per_socket)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epyc_description() {
+        let p = parse_processor("AMD Optimized 3rd Generation EPYC 64C 2GHz");
+        assert_eq!(p.cores_per_socket, Some(64));
+        assert_eq!(p.clock_ghz, Some(2.0));
+        assert_eq!(p.model_text, "AMD Optimized 3rd Generation EPYC");
+    }
+
+    #[test]
+    fn xeon_sku_not_mistaken_for_cores() {
+        let p = parse_processor("Xeon Platinum 8480C 56C 2GHz");
+        assert_eq!(p.cores_per_socket, Some(56));
+        assert!(p.model_text.contains("8480C"));
+    }
+
+    #[test]
+    fn fractional_clock() {
+        let p = parse_processor("Fujitsu A64FX 48C 2.2GHz");
+        assert_eq!(p.clock_ghz, Some(2.2));
+        assert_eq!(p.cores_per_socket, Some(48));
+    }
+
+    #[test]
+    fn missing_tokens_are_none() {
+        let p = parse_processor("Sunway SW26010");
+        assert_eq!(p.cores_per_socket, None);
+        assert_eq!(p.clock_ghz, None);
+        assert_eq!(p.model_text, "Sunway SW26010");
+    }
+
+    #[test]
+    fn sw26010_many_core_token() {
+        let p = parse_processor("Sunway SW26010 260C 1.45GHz");
+        assert_eq!(p.cores_per_socket, Some(260));
+    }
+
+    #[test]
+    fn socket_count_rounds_up() {
+        assert_eq!(socket_count(100, 64), Some(2));
+        assert_eq!(socket_count(128, 64), Some(2));
+        assert_eq!(socket_count(0, 64), None);
+        assert_eq!(socket_count(10, 0), None);
+    }
+
+    #[test]
+    fn empty_string() {
+        let p = parse_processor("");
+        assert_eq!(p.cores_per_socket, None);
+        assert_eq!(p.model_text, "");
+    }
+
+    #[test]
+    fn ghz_range_guard() {
+        // "9000GHz" is nonsense and must not parse as a clock.
+        let p = parse_processor("Foo 9000GHz");
+        assert_eq!(p.clock_ghz, None);
+    }
+}

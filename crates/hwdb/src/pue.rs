@@ -1,0 +1,82 @@
+//! Power usage effectiveness (PUE) priors.
+//!
+//! PUE multiplies IT power into facility power. Leading liquid-cooled HPC
+//! sites run near 1.1; air-cooled enterprise rooms near 1.5; the global
+//! datacenter average hovers near 1.56 (Uptime Institute 2024).
+
+/// Site cooling class, inferred from system size and vendor when the site
+/// does not disclose PUE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Purpose-built leadership facility (liquid cooling, heat reuse).
+    LeadershipLiquidCooled,
+    /// Modern hyperscale cloud hall.
+    Hyperscale,
+    /// University / lab machine room.
+    Institutional,
+    /// Legacy air-cooled room.
+    LegacyAirCooled,
+}
+
+impl SiteClass {
+    /// PUE prior for the class.
+    pub fn pue(self) -> f64 {
+        match self {
+            SiteClass::LeadershipLiquidCooled => 1.1,
+            SiteClass::Hyperscale => 1.2,
+            SiteClass::Institutional => 1.4,
+            SiteClass::LegacyAirCooled => 1.6,
+        }
+    }
+}
+
+/// Global default PUE when nothing about the site is known.
+pub const DEFAULT_PUE: f64 = 1.35;
+
+/// Heuristic site classification from rank and accelerator presence:
+/// the Top 10 are leadership facilities; large accelerated systems usually
+/// sit in modern halls; small CPU machines skew institutional.
+pub fn infer_site_class(rank: u32, has_accelerator: bool) -> SiteClass {
+    match (rank, has_accelerator) {
+        (1..=10, _) => SiteClass::LeadershipLiquidCooled,
+        (_, true) if rank <= 100 => SiteClass::Hyperscale,
+        (_, true) => SiteClass::Institutional,
+        (_, false) if rank <= 50 => SiteClass::Hyperscale,
+        _ => SiteClass::Institutional,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pue_ordering() {
+        assert!(SiteClass::LeadershipLiquidCooled.pue() < SiteClass::Hyperscale.pue());
+        assert!(SiteClass::Hyperscale.pue() < SiteClass::Institutional.pue());
+        assert!(SiteClass::Institutional.pue() < SiteClass::LegacyAirCooled.pue());
+    }
+
+    #[test]
+    fn all_pue_at_least_one() {
+        for class in [
+            SiteClass::LeadershipLiquidCooled,
+            SiteClass::Hyperscale,
+            SiteClass::Institutional,
+            SiteClass::LegacyAirCooled,
+        ] {
+            assert!(class.pue() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn top10_is_leadership() {
+        assert_eq!(infer_site_class(1, true), SiteClass::LeadershipLiquidCooled);
+        assert_eq!(infer_site_class(10, false), SiteClass::LeadershipLiquidCooled);
+    }
+
+    #[test]
+    fn tail_cpu_system_is_institutional() {
+        assert_eq!(infer_site_class(400, false), SiteClass::Institutional);
+    }
+}

@@ -1,0 +1,214 @@
+#![warn(missing_docs)]
+
+//! `parallel` — a small data-parallel execution substrate.
+//!
+//! The study's heavy loops (Monte-Carlo uncertainty over the Top 500,
+//! synthetic-list parameter sweeps in the benches) are embarrassingly
+//! parallel. Instead of pulling in rayon, this crate provides the minimal
+//! pieces on top of `crossbeam::scope`:
+//!
+//! - [`par_map`] / [`par_map_chunked`]: parallel map over a slice with
+//!   deterministic output ordering.
+//! - [`par_reduce`]: chunked parallel reduction (associative op).
+//! - [`pool::ThreadPool`]: a long-lived worker pool for irregular task sets.
+//! - [`rng::RngStreams`]: reproducible per-task RNG streams (SplitMix64
+//!   seeded counters), so parallel Monte-Carlo results are independent of
+//!   thread count and scheduling.
+//!
+//! Results are bit-identical regardless of worker count: inputs are split
+//! into fixed chunks by index, never work-stolen mid-chunk.
+
+pub mod pool;
+pub mod rng;
+
+use std::num::NonZeroUsize;
+
+/// Returns the effective parallelism: `std::thread::available_parallelism`
+/// with a fallback of 4.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+}
+
+/// Splits `len` items into at most `parts` contiguous ranges of nearly equal
+/// size (difference ≤ 1). Empty ranges are omitted.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Parallel map preserving input order. `f` must be `Sync`; each worker
+/// processes one contiguous chunk so false sharing on the output is bounded
+/// to chunk edges.
+pub fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let ranges = split_ranges(items.len(), workers.max(1));
+    if ranges.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    {
+        let out_chunks = split_mut_by_ranges(&mut out, &ranges);
+        crossbeam::scope(|s| {
+            for (range, chunk) in ranges.iter().cloned().zip(out_chunks) {
+                let f = &f;
+                s.spawn(move |_| {
+                    for (slot, item) in chunk.iter_mut().zip(&items[range]) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        })
+        .expect("worker panicked in par_map");
+    }
+    out.into_iter().map(|v| v.expect("all slots written")).collect()
+}
+
+/// Parallel map where `f` receives `(start_index, chunk)` and returns a
+/// vector per chunk; chunks are concatenated in order. Useful when per-item
+/// closures would be too fine-grained.
+pub fn par_map_chunked<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> Vec<U> + Sync,
+{
+    let ranges = split_ranges(items.len(), workers.max(1));
+    if ranges.len() <= 1 {
+        return f(0, items);
+    }
+    let mut parts: Vec<Option<Vec<U>>> = Vec::with_capacity(ranges.len());
+    parts.resize_with(ranges.len(), || None);
+    crossbeam::scope(|s| {
+        for (slot, range) in parts.iter_mut().zip(ranges.iter().cloned()) {
+            let f = &f;
+            s.spawn(move |_| {
+                *slot = Some(f(range.start, &items[range]));
+            });
+        }
+    })
+    .expect("worker panicked in par_map_chunked");
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts {
+        out.extend(part.expect("all chunks computed"));
+    }
+    out
+}
+
+/// Chunked parallel reduction. `map` projects each item, `op` combines — it
+/// must be associative with `identity` as neutral element. The reduction
+/// tree is fixed by chunk boundaries (deterministic for a given `workers`).
+pub fn par_reduce<T, U, M, O>(items: &[T], workers: usize, identity: U, map: M, op: O) -> U
+where
+    T: Sync,
+    U: Send + Sync + Clone,
+    M: Fn(&T) -> U + Sync,
+    O: Fn(U, U) -> U + Sync,
+{
+    let partials = par_map_chunked(items, workers, |_, chunk| {
+        vec![chunk.iter().fold(identity.clone(), |acc, item| op(acc, map(item)))]
+    });
+    partials.into_iter().fold(identity, op)
+}
+
+/// Splits a mutable slice into disjoint chunks matching `ranges` (which must
+/// be contiguous, ascending and cover a prefix of the slice).
+fn split_mut_by_ranges<'a, T>(
+    slice: &'a mut [T],
+    ranges: &[std::ops::Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut chunks = Vec::with_capacity(ranges.len());
+    let mut rest = slice;
+    let mut consumed = 0;
+    for r in ranges {
+        debug_assert_eq!(r.start, consumed, "ranges must be contiguous");
+        let (head, tail) = rest.split_at_mut(r.len());
+        chunks.push(head);
+        rest = tail;
+        consumed += r.len();
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_all() {
+        let ranges = split_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn split_ranges_more_parts_than_items() {
+        let ranges = split_ranges(2, 8);
+        assert_eq!(ranges, vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn split_ranges_empty() {
+        assert!(split_ranges(0, 4).is_empty());
+        assert!(split_ranges(4, 0).is_empty());
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 7, 64] {
+            assert_eq!(par_map(&items, workers, |x| x * x), seq);
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_chunked_concatenates_in_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map_chunked(&items, 7, |start, chunk| {
+            chunk.iter().enumerate().map(|(i, &v)| (start + i, v)).collect()
+        });
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+            assert_eq!(i, *v);
+        }
+    }
+
+    #[test]
+    fn par_reduce_sum_is_worker_invariant() {
+        let items: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.25).collect();
+        let expect: f64 = items.iter().sum();
+        for workers in [1, 2, 5, 16] {
+            let got = par_reduce(&items, workers, 0.0, |&x| x, |a, b| a + b);
+            assert!((got - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn par_reduce_max() {
+        let items: Vec<i64> = vec![3, -1, 9, 4];
+        let m = par_reduce(&items, 3, i64::MIN, |&x| x, i64::max);
+        assert_eq!(m, 9);
+    }
+}

@@ -1,0 +1,181 @@
+//! A long-lived worker pool for irregular task sets.
+//!
+//! [`par_map`](crate::par_map) spawns scoped threads per call, which is fine
+//! for large chunks but wasteful for many small, heterogeneous jobs (e.g.
+//! per-figure pipelines in the bench harness). `ThreadPool` keeps workers
+//! alive and feeds them boxed closures through a crossbeam channel.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Tracks in-flight jobs so `wait` can block until quiescence.
+struct Inflight {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Inflight {
+    fn incr(&self) {
+        *self.count.lock() += 1;
+    }
+
+    fn decr(&self) {
+        let mut n = self.count.lock();
+        *n -= 1;
+        if *n == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut n = self.count.lock();
+        while *n != 0 {
+            self.zero.wait(&mut n);
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+///
+/// Jobs that panic poison neither the pool nor other jobs: the panic is
+/// caught, counted, and surfaced through [`ThreadPool::panics`].
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    inflight: Arc<Inflight>,
+    panics: Arc<Mutex<usize>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers (at least 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let size = size.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let inflight = Arc::new(Inflight { count: Mutex::new(0), zero: Condvar::new() });
+        let panics = Arc::new(Mutex::new(0usize));
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = receiver.clone();
+            let inflight = Arc::clone(&inflight);
+            let panics = Arc::clone(&panics);
+            let handle = std::thread::Builder::new()
+                .name(format!("pool-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        if result.is_err() {
+                            *panics.lock() += 1;
+                        }
+                        inflight.decr();
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
+        }
+        ThreadPool { sender: Some(sender), workers, inflight, panics }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.inflight.incr();
+        self.sender
+            .as_ref()
+            .expect("pool alive while not dropped")
+            .send(Box::new(job))
+            .expect("workers alive while pool not dropped");
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait(&self) {
+        self.inflight.wait_zero();
+    }
+
+    /// Number of jobs that panicked since the pool was created.
+    pub fn panics(&self) -> usize {
+        *self.panics.lock()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers after draining queued jobs.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("injected failure");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+        assert_eq!(pool.panics(), 5);
+    }
+
+    #[test]
+    fn wait_on_idle_pool_returns() {
+        let pool = ThreadPool::new(1);
+        pool.wait();
+    }
+
+    #[test]
+    fn size_is_at_least_one() {
+        assert_eq!(ThreadPool::new(0).size(), 1);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(1);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop without wait: workers drain the channel before exiting.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,307 @@
+//! CSV import/export for Top500-style system lists.
+//!
+//! top500.org exports its list as CSV; a site that licenses the real data
+//! (or any federation keeping its own inventory) can feed it straight into
+//! the pipeline through this module. The schema is a pragmatic superset of
+//! the top500.org export: unknown columns are ignored, absent columns mean
+//! "item not reported" — which is exactly the missingness the study models.
+
+use crate::list::Top500List;
+use crate::record::SystemRecord;
+use frame::{csv, DataFrame, FrameError, Value};
+
+/// Column names recognised by the importer (case-sensitive, snake_case).
+pub const COLUMNS: &[&str] = &[
+    "rank",
+    "name",
+    "country",
+    "region",
+    "year",
+    "vendor",
+    "processor",
+    "total_cores",
+    "accelerator",
+    "accelerator_count",
+    "rmax_tflops",
+    "rpeak_tflops",
+    "nmax",
+    "power_kw",
+    "node_count",
+    "cpu_count",
+    "memory_gb",
+    "memory_type",
+    "ssd_gb",
+    "utilization",
+    "annual_energy_mwh",
+];
+
+/// Import error: structural problems with the CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportError {
+    /// The CSV itself failed to parse.
+    Csv(FrameError),
+    /// A required column is absent.
+    MissingColumn(&'static str),
+    /// A row had no usable rank or Rmax.
+    BadRow {
+        /// 0-based row index within the data rows.
+        row: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Csv(e) => write!(f, "CSV error: {e}"),
+            ImportError::MissingColumn(c) => write!(f, "required column `{c}` missing"),
+            ImportError::BadRow { row, message } => write!(f, "row {row}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<FrameError> for ImportError {
+    fn from(e: FrameError) -> ImportError {
+        ImportError::Csv(e)
+    }
+}
+
+fn opt_f64(df: &DataFrame, col: &str, row: usize) -> Option<f64> {
+    df.value(col, row).ok().and_then(|v| v.as_f64())
+}
+
+fn opt_u64(df: &DataFrame, col: &str, row: usize) -> Option<u64> {
+    opt_f64(df, col, row).filter(|v| *v >= 0.0).map(|v| v as u64)
+}
+
+fn opt_str(df: &DataFrame, col: &str, row: usize) -> Option<String> {
+    match df.value(col, row) {
+        Ok(Value::Str(s)) if !s.is_empty() => Some(s),
+        Ok(Value::I64(i)) => Some(i.to_string()),
+        Ok(Value::F64(x)) => Some(x.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses a Top500-style CSV into a list. `rank` and `rmax_tflops` are
+/// required; everything else is optional and becomes a missing item.
+pub fn import_csv(text: &str) -> Result<Top500List, ImportError> {
+    // `#`-prefixed lines are comments (the `template` command emits them).
+    let cleaned: String = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let df = csv::parse(&cleaned)?;
+    for required in ["rank", "rmax_tflops"] {
+        if !df.names().iter().any(|n| n == required) {
+            return Err(ImportError::MissingColumn(if required == "rank" {
+                "rank"
+            } else {
+                "rmax_tflops"
+            }));
+        }
+    }
+    let has = |c: &str| df.names().iter().any(|n| n == c);
+    let mut systems = Vec::with_capacity(df.len());
+    for row in 0..df.len() {
+        let rank = opt_u64(&df, "rank", row)
+            .ok_or_else(|| ImportError::BadRow { row, message: "rank not a number".into() })?;
+        let rmax = opt_f64(&df, "rmax_tflops", row).filter(|v| *v > 0.0).ok_or_else(|| {
+            ImportError::BadRow { row, message: "rmax_tflops missing or non-positive".into() }
+        })?;
+        let rpeak = if has("rpeak_tflops") {
+            opt_f64(&df, "rpeak_tflops", row).unwrap_or(rmax * 1.4)
+        } else {
+            rmax * 1.4
+        };
+        let mut s = SystemRecord::bare(rank as u32, rmax, rpeak);
+        if has("name") {
+            s.name = opt_str(&df, "name", row);
+        }
+        if has("country") {
+            s.country = opt_str(&df, "country", row);
+            s.region = s.country.as_deref().and_then(hwdb::grid::country_region);
+        }
+        if has("region") {
+            // Explicit region wins over the country-derived default (it is
+            // the only location signal anonymous systems carry).
+            if let Some(region) = opt_str(&df, "region", row).as_deref().and_then(hwdb::grid::Region::parse) {
+                s.region = Some(region);
+            }
+        }
+        if has("year") {
+            s.year = opt_u64(&df, "year", row).map(|y| y as u32);
+        }
+        if has("vendor") {
+            s.vendor = opt_str(&df, "vendor", row);
+        }
+        if has("processor") {
+            s.processor = opt_str(&df, "processor", row);
+        }
+        if has("total_cores") {
+            s.total_cores = opt_u64(&df, "total_cores", row);
+        }
+        if has("accelerator") {
+            s.accelerator = opt_str(&df, "accelerator", row);
+        }
+        if has("accelerator_count") {
+            s.accelerator_count = opt_u64(&df, "accelerator_count", row);
+        }
+        if has("nmax") {
+            s.nmax = opt_u64(&df, "nmax", row);
+        }
+        if has("power_kw") {
+            s.power_kw = opt_f64(&df, "power_kw", row);
+        }
+        if has("node_count") {
+            s.node_count = opt_u64(&df, "node_count", row);
+        }
+        if has("cpu_count") {
+            s.cpu_count = opt_u64(&df, "cpu_count", row);
+        }
+        if has("memory_gb") {
+            s.memory_gb = opt_f64(&df, "memory_gb", row);
+        }
+        if has("memory_type") {
+            s.memory_type = opt_str(&df, "memory_type", row);
+        }
+        if has("ssd_gb") {
+            s.ssd_gb = opt_f64(&df, "ssd_gb", row);
+        }
+        if has("utilization") {
+            s.utilization = opt_f64(&df, "utilization", row);
+        }
+        if has("annual_energy_mwh") {
+            s.annual_energy_mwh = opt_f64(&df, "annual_energy_mwh", row);
+        }
+        systems.push(s);
+    }
+    Ok(Top500List::new(systems))
+}
+
+/// Serialises a list back to the canonical CSV schema (all columns, empty
+/// fields for missing items). `import_csv(export_csv(list))` round-trips.
+pub fn export_csv(list: &Top500List) -> String {
+    let mut out = COLUMNS.join(",");
+    out.push('\n');
+    for s in list.systems() {
+        let quote = |v: &Option<String>| -> String {
+            match v {
+                Some(text) if text.contains(',') || text.contains('"') => {
+                    format!("\"{}\"", text.replace('"', "\"\""))
+                }
+                Some(text) => text.clone(),
+                None => String::new(),
+            }
+        };
+        let num = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_default();
+        let int = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
+        let fields = [
+            s.rank.to_string(),
+            quote(&s.name),
+            quote(&s.country),
+            s.region.map(|r| r.as_str().to_string()).unwrap_or_default(),
+            s.year.map(|y| y.to_string()).unwrap_or_default(),
+            quote(&s.vendor),
+            quote(&s.processor),
+            int(s.total_cores),
+            quote(&s.accelerator),
+            int(s.accelerator_count),
+            format!("{}", s.rmax_tflops),
+            format!("{}", s.rpeak_tflops),
+            int(s.nmax),
+            num(s.power_kw),
+            int(s.node_count),
+            int(s.cpu_count),
+            num(s.memory_gb),
+            quote(&s.memory_type),
+            num(s.ssd_gb),
+            num(s.utilization),
+            num(s.annual_energy_mwh),
+        ];
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
+
+    #[test]
+    fn minimal_csv_imports() {
+        let list = import_csv("rank,rmax_tflops\n1,1000\n2,500\n").unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.by_rank(1).unwrap().rmax_tflops, 1000.0);
+        // Rpeak defaulted.
+        assert!(list.by_rank(2).unwrap().rpeak_tflops > 500.0);
+    }
+
+    #[test]
+    fn full_schema_imports() {
+        let text = "rank,name,country,processor,total_cores,accelerator,accelerator_count,rmax_tflops,power_kw,node_count\n\
+                    1,Frontier,United States,AMD EPYC 64C 2GHz,8699904,AMD Instinct MI250X,37632,1353000,22786,9408\n";
+        let list = import_csv(text).unwrap();
+        let s = list.by_rank(1).unwrap();
+        assert_eq!(s.name.as_deref(), Some("Frontier"));
+        assert_eq!(s.accelerator_count, Some(37632));
+        assert_eq!(s.power_kw, Some(22786.0));
+        assert!(s.region.is_some(), "region derived from country");
+    }
+
+    #[test]
+    fn missing_required_column_fails() {
+        assert_eq!(
+            import_csv("name\nfoo\n").unwrap_err(),
+            ImportError::MissingColumn("rank")
+        );
+        assert_eq!(
+            import_csv("rank\n1\n").unwrap_err(),
+            ImportError::MissingColumn("rmax_tflops")
+        );
+    }
+
+    #[test]
+    fn bad_rmax_is_row_error() {
+        let err = import_csv("rank,rmax_tflops\n1,-5\n").unwrap_err();
+        assert!(matches!(err, ImportError::BadRow { row: 0, .. }));
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let full = generate_full(&SyntheticConfig { n: 50, ..Default::default() });
+        let masked = mask_baseline(&full, &MaskRates::default(), 3);
+        let back = import_csv(&export_csv(&masked)).unwrap();
+        assert_eq!(back.len(), masked.len());
+        for (a, b) in masked.systems().iter().zip(back.systems()) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.node_count, b.node_count);
+            assert_eq!(a.accelerator, b.accelerator);
+            assert_eq!(a.power_kw, b.power_kw);
+            assert_eq!(a.memory_gb, b.memory_gb);
+            assert_eq!(a.utilization, b.utilization);
+        }
+    }
+
+    #[test]
+    fn quoted_names_with_commas_roundtrip() {
+        let mut s = SystemRecord::bare(1, 100.0, 140.0);
+        s.name = Some("MareNostrum 5, ACC".into());
+        let list = Top500List::new(vec![s]);
+        let back = import_csv(&export_csv(&list)).unwrap();
+        assert_eq!(back.by_rank(1).unwrap().name.as_deref(), Some("MareNostrum 5, ACC"));
+    }
+
+    #[test]
+    fn unknown_columns_ignored() {
+        let list = import_csv("rank,rmax_tflops,frobnication\n1,10,whatever\n").unwrap();
+        assert_eq!(list.len(), 1);
+    }
+}

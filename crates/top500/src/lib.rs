@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! `top500` — the Top 500 dataset substrate.
+//!
+//! The paper uses the November 2024 Top 500 list; we cannot fetch it, so this
+//! crate supplies two faithful stand-ins (see DESIGN.md §2):
+//!
+//! 1. [`appendix`]: the paper's own appendix **Table II**, transcribed
+//!    verbatim — per-system operational and embodied carbon under the three
+//!    data scenarios (top500.org / +public info / +interpolated). All
+//!    aggregate figures of the paper are recomputed from it, and our
+//!    transcription reproduces the published coverage counts (391/490/500
+//!    operational, 283/404/500 embodied) and totals (1.39 M / 1.88 M MT
+//!    CO2e) exactly.
+//! 2. [`synthetic`]: a calibrated generator of *raw* Top500-style system
+//!    records with realistic structural distributions and the missingness
+//!    patterns of the paper's Figure 2 / Table I, used to exercise the EasyC
+//!    model pipeline end to end.
+//!
+//! Supporting modules: [`record`] (the 19-data-item schema), [`enrich`]
+//! (the "+public info" augmentation pass), [`list`] (rank-range utilities).
+
+pub mod appendix;
+pub mod enrich;
+pub mod io;
+pub mod list;
+pub mod record;
+pub mod synthetic;
+
+pub use appendix::{AppendixRow, ScenarioValues};
+pub use list::{RankRange, Top500List, RANK_RANGES};
+pub use record::{DataItem, SystemRecord};

@@ -1,0 +1,32 @@
+//! Coverage study: who can be assessed, with which data (Figs 2, 4, 5, 6
+//! and Table I).
+//!
+//! ```text
+//! cargo run --release --example coverage_report
+//! ```
+
+use top500_carbon::analysis::figures::{CoverageByRange, Fig2, Fig4, Table1};
+use top500_carbon::analysis::StudyPipeline;
+
+fn main() {
+    let rows = top500_carbon::top500::appendix::load();
+    let out = StudyPipeline::new(500, 0x5EED_CAFE).run();
+
+    println!("Figure 2 — structural information missing per system (synthetic top500.org)");
+    println!("{}", Fig2::from_list(&out.baseline).render());
+
+    println!("Table I — data EasyC requires vs availability");
+    println!("{}", Table1::from_lists(&out.baseline, &out.enriched).render());
+
+    println!("Figure 4 — reporting coverage by method (reference: appendix Table II)");
+    println!("{}", Fig4::reference(&rows).render());
+
+    println!("Figure 4 — reporting coverage by method (pipeline: synthetic list)");
+    println!("{}", Fig4::pipeline(&out).render());
+
+    println!("Figure 5 — operational coverage by rank range (reference)");
+    println!("{}", CoverageByRange::from_appendix(&rows, false).render());
+
+    println!("Figure 6 — embodied coverage by rank range (reference)");
+    println!("{}", CoverageByRange::from_appendix(&rows, true).render());
+}

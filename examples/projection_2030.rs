@@ -1,0 +1,53 @@
+//! Projection of the Top 500 footprint through 2030 (Figures 10 and 11).
+//!
+//! ```text
+//! cargo run --release --example projection_2030
+//! ```
+
+use top500_carbon::analysis::figures;
+use top500_carbon::analysis::projection::{annualized, EMB_GROWTH_PER_CYCLE, OP_GROWTH_PER_CYCLE};
+
+fn main() {
+    let rows = top500_carbon::top500::appendix::load();
+
+    println!(
+        "growth model: {:.0} systems replaced per list, 2 lists/yr",
+        top500_carbon::analysis::projection::SYSTEMS_ADDED_PER_CYCLE
+    );
+    println!(
+        "annualized growth: operational {:.1}%/yr, embodied {:.1}%/yr\n",
+        annualized(OP_GROWTH_PER_CYCLE) * 100.0,
+        annualized(EMB_GROWTH_PER_CYCLE) * 100.0
+    );
+
+    let p = figures::fig10(&rows);
+    println!("Figure 10 — projected Top 500 carbon (thousand MT CO2e)");
+    println!("{:>6} {:>14} {:>12}", "year", "operational", "embodied");
+    for (op, emb) in p.operational.points.iter().zip(&p.embodied.points) {
+        println!("{:>6} {:>14.0} {:>12.0}", op.year, op.value / 1000.0, emb.value / 1000.0);
+    }
+    println!(
+        "\n2030 vs 2024: operational x{:.2}, embodied x{:.2}\n",
+        p.operational.overall_growth(),
+        p.embodied.overall_growth()
+    );
+
+    let (op_panel, emb_panel) = figures::fig11(&rows);
+    println!("Figure 11 — performance per carbon (PFlops / thousand MT CO2e)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "year", "op projected", "op ideal", "emb projected", "emb ideal"
+    );
+    for i in 0..op_panel.projected.points.len() {
+        println!(
+            "{:>6} {:>14.2} {:>14.1} {:>14.2} {:>14.1}",
+            op_panel.projected.points[i].year,
+            op_panel.projected.points[i].value,
+            op_panel.ideal.points[i].value,
+            emb_panel.projected.points[i].value,
+            emb_panel.ideal.points[i].value,
+        );
+    }
+    println!("\nThe Dennard-era ideal (2x / 18 months) pulls away by >10x within the decade:");
+    println!("perf/carbon progress cannot offset 10.3%/yr total growth.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: estimate the carbon footprint of one HPC system with EasyC.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Shows the "less than a person-hour per year" workflow the paper argues
+//! for: fill in the few metrics you know, get operational and embodied
+//! carbon with provenance.
+
+use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::top500::SystemRecord;
+
+fn main() {
+    // Describe your system with whatever you know. Missing fields are fine;
+    // EasyC fills them with priors or reports why it cannot estimate.
+    let mut system = SystemRecord::bare(42, 15_000.0, 22_000.0);
+    system.name = Some("campus-cluster".to_string());
+    system.country = Some("United States".to_string());
+    system.year = Some(2023);
+    system.processor = Some("AMD EPYC 9654 96C 2.4GHz".to_string());
+    system.total_cores = Some(98_304); // 512 dual-socket nodes
+    system.node_count = Some(512);
+    system.accelerator = Some("NVIDIA H100 SXM5".to_string());
+    system.accelerator_count = Some(2_048);
+    system.memory_gb = Some(512.0 * 1024.0);
+    system.ssd_gb = Some(2.0e6);
+
+    let tool = EasyC::new();
+    let footprint: SystemFootprint = tool.assess(&system);
+
+    println!("== EasyC quickstart: {} ==", system.name.as_deref().unwrap());
+    match &footprint.operational {
+        Ok(op) => {
+            println!("operational carbon : {:>10.0} MT CO2e/yr", op.mt_co2e);
+            println!("  power            : {:>10.0} kW (via {})", op.power_kw, op.path.label());
+            println!("  grid intensity   : {:>10.0} gCO2e/kWh", op.aci.value());
+            println!("  PUE x util       : {:.2} x {:.2}", op.pue, op.utilization);
+        }
+        Err(e) => println!("operational carbon : not estimable ({e})"),
+    }
+    match &footprint.embodied {
+        Ok(emb) => {
+            println!("embodied carbon    : {:>10.0} MT CO2e", emb.mt_co2e);
+            let b = emb.breakdown;
+            println!("  accelerators     : {:>10.0} MT", b.accelerator_kg / 1000.0);
+            println!("  CPUs             : {:>10.0} MT", b.cpu_kg / 1000.0);
+            println!("  DRAM             : {:>10.0} MT", b.dram_kg / 1000.0);
+            println!("  storage          : {:>10.0} MT", b.storage_kg / 1000.0);
+            println!("  chassis+fabric   : {:>10.0} MT", (b.chassis_kg + b.interconnect_kg) / 1000.0);
+            println!(
+                "  annualized (5 y) : {:>10.0} MT CO2e/yr",
+                tool.annualized_embodied_mt(&footprint).unwrap()
+            );
+        }
+        Err(e) => println!("embodied carbon    : not estimable ({e})"),
+    }
+}

@@ -1,0 +1,57 @@
+//! Sensitivity of the assessment to adding public data (Figure 9).
+//!
+//! ```text
+//! cargo run --release --example sensitivity_study
+//! ```
+
+use top500_carbon::analysis::figures::Fig9;
+
+fn main() {
+    let rows = top500_carbon::top500::appendix::load();
+    let fig = Fig9::from_appendix(&rows);
+
+    println!("Figure 9 — effect of adding public info (Baseline -> +PublicInfo)\n");
+    let op = &fig.operational;
+    println!("operational:");
+    println!("  baseline total : {:>10.0} MT", op.baseline_total_mt);
+    println!("  enriched total : {:>10.0} MT", op.enriched_total_mt);
+    println!(
+        "  net change     : {:>10.0} MT ({:+.2}%)",
+        op.total_change_mt(),
+        op.relative_change() * 100.0
+    );
+    println!("  newly covered  : {:>10} systems", op.newly_covered);
+    println!(
+        "  largest single-system change: {:+.0} / {:+.0} MT",
+        op.max_increase_mt, op.max_decrease_mt
+    );
+
+    let emb = &fig.embodied;
+    println!("\nembodied:");
+    println!("  baseline total : {:>10.0} MT", emb.baseline_total_mt);
+    println!("  enriched total : {:>10.0} MT", emb.enriched_total_mt);
+    println!(
+        "  net change     : {:>10.0} MT ({:+.1}%)",
+        emb.total_change_mt(),
+        emb.relative_change() * 100.0
+    );
+    println!("  newly covered  : {:>10} systems", emb.newly_covered);
+
+    // Top movers, the systems Figure 9's spikes correspond to.
+    let mut movers: Vec<_> = fig
+        .operational
+        .diffs
+        .iter()
+        .filter_map(|d| d.diff_mt.map(|v| (d.rank, v)))
+        .collect();
+    movers.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+    println!("\nlargest operational movers (rank, change in MT):");
+    for (rank, diff) in movers.iter().take(8) {
+        let name = rows
+            .iter()
+            .find(|r| r.rank == *rank)
+            .and_then(|r| r.name.clone())
+            .unwrap_or_else(|| "(unnamed)".to_string());
+        println!("  #{rank:<4} {name:<28} {diff:>+9.0}");
+    }
+}

@@ -1,0 +1,59 @@
+//! A research-computing-centre sustainability report with uncertainty
+//! bands — the PEARC-style single-site EasyC use case, including the
+//! "gentle slope": adding a measured PUE narrows the estimate.
+//!
+//! ```text
+//! cargo run --release --example site_report
+//! ```
+
+use top500_carbon::easyc::uncertainty::{embodied_interval, operational_interval, PriorUncertainty};
+use top500_carbon::easyc::{EasyC, EasyCConfig};
+use top500_carbon::top500::SystemRecord;
+
+fn main() {
+    // A mid-size university machine: the operator knows node counts and
+    // hardware, but has no facility metering.
+    let mut system = SystemRecord::bare(180, 6_200.0, 9_000.0);
+    system.name = Some("uni-hpc".to_string());
+    system.country = Some("Germany".to_string());
+    system.year = Some(2022);
+    system.processor = Some("Xeon Platinum 8380 40C 2.3GHz".to_string());
+    system.total_cores = Some(61_440);
+    system.node_count = Some(768);
+    system.accelerator = Some("NVIDIA A100 SXM4 80GB".to_string());
+    system.accelerator_count = Some(512);
+
+    let priors = PriorUncertainty::default();
+    let tool = EasyC::new();
+
+    println!("== {} annual sustainability report ==\n", system.name.as_deref().unwrap());
+    let op = operational_interval(&tool, &system, &priors, 4000, 0.95, 2024).unwrap();
+    println!(
+        "operational: {:>7.0} MT CO2e/yr  (95% CI {:.0} - {:.0}, priors only)",
+        op.point, op.lo, op.hi
+    );
+    let emb = embodied_interval(&tool, &system, &priors, 4000, 0.95, 2024).unwrap();
+    println!(
+        "embodied:    {:>7.0} MT CO2e     (95% CI {:.0} - {:.0})",
+        emb.point, emb.lo, emb.hi
+    );
+
+    // Gentle slope: the operator measures the site PUE (1.25) — one extra
+    // metric, sharper estimate.
+    let measured = EasyC::with_config(EasyCConfig { pue_override: Some(1.25), ..Default::default() });
+    let priors_with_pue = PriorUncertainty { pue: 0.02, ..priors };
+    let op2 = operational_interval(&measured, &system, &priors_with_pue, 4000, 0.95, 2024).unwrap();
+    println!(
+        "\nwith measured PUE=1.25 (one extra metric):\n\
+         operational: {:>7.0} MT CO2e/yr  (95% CI {:.0} - {:.0})",
+        op2.point, op2.lo, op2.hi
+    );
+    let narrow = (op2.hi - op2.lo) / (op.hi - op.lo);
+    println!("interval width: {:.0}% of the prior-only report", narrow * 100.0);
+
+    println!(
+        "\nfor context: {:.0} gasoline vehicles, {:.0} homes",
+        top500_carbon::analysis::aggregate::Equivalences::of_mt(op.point).vehicles,
+        top500_carbon::analysis::aggregate::Equivalences::of_mt(op.point).homes,
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the Top 500 / EasyC carbon-footprint reproduction.
+//!
+//! This crate re-exports the workspace members so the examples and
+//! integration tests in the repository root can use a single import path.
+//! The actual implementation lives in `crates/*`:
+//!
+//! - [`easyc`] — the paper's primary contribution: the seven-metric carbon
+//!   footprint model (operational + embodied).
+//! - [`top500`] — the Top 500 dataset substrate (embedded appendix Table II,
+//!   synthetic list generator, public-info enrichment).
+//! - [`hwdb`] — hardware and carbon-factor databases.
+//! - [`ghg`] — the GHG-protocol style exhaustive accounting baseline.
+//! - [`analysis`] — study pipelines regenerating every paper table and figure.
+//! - [`frame`] — columnar mini-dataframe and statistics substrate.
+//! - [`parallel`] — crossbeam-based parallel execution substrate.
+
+pub use analysis;
+pub use easyc;
+pub use frame;
+pub use ghg;
+pub use hwdb;
+pub use parallel;
+pub use top500;

@@ -1,0 +1,134 @@
+//! `top500-carbon` — command-line interface to the EasyC study.
+//!
+//! ```text
+//! top500-carbon study [artifacts_dir]       run the full Top 500 study
+//! top500-carbon assess <systems.csv>        assess systems from a CSV
+//! top500-carbon template                    print the CSV input template
+//! top500-carbon figures <dir>               write every figure/table CSV
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use top500_carbon::analysis::report::run_study;
+use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::top500::io::{export_csv, import_csv, COLUMNS};
+use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
+
+const DEFAULT_SEED: u64 = 0x5EED_CAFE;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("study") => cmd_study(args.get(1).map(Path::new)),
+        Some("assess") => match args.get(1) {
+            Some(path) => cmd_assess(Path::new(path)),
+            None => usage("assess requires a CSV path"),
+        },
+        Some("template") => cmd_template(),
+        Some("figures") => match args.get(1) {
+            Some(dir) => cmd_figures(Path::new(dir)),
+            None => usage("figures requires an output directory"),
+        },
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("no command given"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("error: {problem}\n");
+    eprintln!("usage:");
+    eprintln!("  top500-carbon study [artifacts_dir]   run the full Top 500 study");
+    eprintln!("  top500-carbon assess <systems.csv>    assess systems from a CSV");
+    eprintln!("  top500-carbon template                print the CSV input template");
+    eprintln!("  top500-carbon figures <dir>           write every figure/table CSV");
+    ExitCode::FAILURE
+}
+
+fn cmd_study(artifacts: Option<&Path>) -> ExitCode {
+    let report = run_study(DEFAULT_SEED);
+    println!("{}", report.summary());
+    if let Some(dir) = artifacts {
+        if let Err(e) = report.write_artifacts(dir) {
+            eprintln!("error: could not write artifacts to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote figure artifacts to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_assess(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let list = match import_csv(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tool = EasyC::new();
+    let footprints = tool.assess_list(&list);
+    println!(
+        "{:<6} {:<28} {:>14} {:>14}  {}",
+        "rank", "name", "op (MT/yr)", "emb (MT)", "notes"
+    );
+    let mut op_total = 0.0;
+    let mut emb_total = 0.0;
+    for (sys, fp) in list.systems().iter().zip(&footprints) {
+        let note = match (&fp.operational, &fp.embodied) {
+            (Ok(_), Ok(_)) => String::new(),
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => e.to_string(),
+            (Err(a), Err(_)) => a.to_string(),
+        };
+        op_total += fp.operational_mt().unwrap_or(0.0);
+        emb_total += fp.embodied_mt().unwrap_or(0.0);
+        println!(
+            "{:<6} {:<28} {:>14} {:>14}  {}",
+            sys.rank,
+            sys.name.as_deref().unwrap_or(""),
+            fp.operational_mt().map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into()),
+            fp.embodied_mt().map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into()),
+            note
+        );
+    }
+    let covered_op = footprints.iter().filter(|f| f.operational_mt().is_some()).count();
+    let covered_emb = footprints.iter().filter(|f| f.embodied_mt().is_some()).count();
+    println!(
+        "\n{} systems; coverage {covered_op} operational / {covered_emb} embodied",
+        list.len()
+    );
+    println!("totals: {op_total:.0} MT CO2e/yr operational, {emb_total:.0} MT CO2e embodied");
+    ExitCode::SUCCESS
+}
+
+fn cmd_template() -> ExitCode {
+    println!("# Fill one row per system; leave unknown fields empty.");
+    println!("# Required: rank, rmax_tflops. Everything else improves fidelity.");
+    println!("{}", COLUMNS.join(","));
+    // A worked example row to copy from: a masked synthetic system.
+    let demo = generate_full(&SyntheticConfig { n: 1, seed: DEFAULT_SEED, ..Default::default() });
+    print!("{}", export_csv(&demo).lines().skip(1).collect::<Vec<_>>().join("\n"));
+    println!();
+    ExitCode::SUCCESS
+}
+
+fn cmd_figures(dir: &Path) -> ExitCode {
+    let report = run_study(DEFAULT_SEED);
+    match report.write_artifacts(dir) {
+        Ok(()) => {
+            println!("wrote all figure/table artifacts to {}", dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Failure injection: malformed or hostile inputs must produce typed
+//! errors, never panics or silent garbage.
+
+use top500_carbon::easyc::{EasyC, EasyCError};
+use top500_carbon::frame::{csv, FrameError};
+use top500_carbon::ghg::account::{operational, GhgInputs};
+use top500_carbon::top500::SystemRecord;
+
+#[test]
+fn contradictory_record_negative_power() {
+    let mut r = SystemRecord::bare(1, 1000.0, 1500.0);
+    r.power_kw = Some(-22.0);
+    let fp = EasyC::new().assess(&r);
+    assert!(matches!(
+        fp.operational,
+        Err(EasyCError::InvalidField { field: "power_kw", .. })
+    ));
+}
+
+#[test]
+fn contradictory_record_zero_energy() {
+    let mut r = SystemRecord::bare(1, 1000.0, 1500.0);
+    r.annual_energy_mwh = Some(0.0);
+    let fp = EasyC::new().assess(&r);
+    assert!(matches!(
+        fp.operational,
+        Err(EasyCError::InvalidField { field: "annual_energy_mwh", .. })
+    ));
+}
+
+#[test]
+fn record_with_nothing_useful() {
+    let r = SystemRecord::bare(321, 2500.0, 4000.0);
+    let fp = EasyC::new().assess(&r);
+    // CPU-only without cores: operational falls to the Rmax prior, but
+    // embodied has no structural anchor at all.
+    assert!(fp.operational.is_ok());
+    assert!(matches!(fp.embodied, Err(EasyCError::NoStructuralData { rank: 321 })));
+}
+
+#[test]
+fn accelerated_with_generic_label_blocks_embodied() {
+    let mut r = SystemRecord::bare(7, 90_000.0, 120_000.0);
+    r.node_count = Some(1000);
+    r.cpu_count = Some(1000);
+    r.processor = Some("AMD EPYC 7763 64C 2.45GHz".to_string());
+    r.accelerator = Some("NVIDIA GPU".to_string());
+    r.accelerator_count = Some(4000);
+    let fp = EasyC::new().assess(&r);
+    assert!(matches!(
+        fp.embodied,
+        Err(EasyCError::GenericAcceleratorLabel { rank: 7 })
+    ));
+    // Operational is still fine — TDP path uses the vendor fallback wattage.
+    assert!(fp.operational.is_ok());
+}
+
+#[test]
+fn errors_render_human_messages() {
+    let err = EasyCError::NoPowerPath { rank: 123 };
+    assert!(err.to_string().contains("123"));
+    let err = EasyCError::GenericAcceleratorLabel { rank: 9 };
+    assert!(err.to_string().contains("family label"));
+}
+
+#[test]
+fn csv_parser_rejects_malformed_not_panics() {
+    for bad in [
+        "a,b\n1\n",          // field count
+        "a\n\"unterminated\n", // quote
+        "a,b\n1,2,3\n",      // too many fields
+    ] {
+        match csv::parse(bad) {
+            Err(FrameError::Csv { .. }) => {}
+            other => panic!("expected CSV error for {bad:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn ghg_names_every_missing_metric() {
+    let err = operational(&GhgInputs::new()).unwrap_err();
+    assert!(err.ids.len() >= 20);
+    assert!(err.ids.contains(&"refrigerant_leakage_kg"));
+}
+
+#[test]
+fn thread_pool_survives_panicking_workloads() {
+    let pool = top500_carbon::parallel::pool::ThreadPool::new(4);
+    for i in 0..50 {
+        pool.execute(move || {
+            if i % 3 == 0 {
+                panic!("injected");
+            }
+        });
+    }
+    pool.wait();
+    assert_eq!(pool.panics(), 17);
+    // Pool still usable after panics.
+    pool.execute(|| {});
+    pool.wait();
+}
+
+#[test]
+fn interpolation_of_hostile_series() {
+    use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
+    // All-missing: refuses rather than inventing numbers.
+    assert_eq!(nearest_peer_interpolation(&vec![None; 500], 5), None);
+    // Single value: everything becomes that value.
+    let mut series = vec![None; 100];
+    series[37] = Some(42.0);
+    let filled = nearest_peer_interpolation(&series, 5).unwrap();
+    assert!(filled.iter().all(|&v| v == 42.0));
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration: synthetic list → EasyC → interpolation →
+//! aggregation must reproduce the qualitative structure of paper §IV.
+
+use top500_carbon::analysis::figures::{CoverageByRange, Fig2, Fig4, Table1};
+use top500_carbon::analysis::StudyPipeline;
+use top500_carbon::easyc::{EasyC, Scenario};
+use top500_carbon::ghg;
+
+#[test]
+fn coverage_ordering_ghg_lt_baseline_lt_enriched() {
+    let out = StudyPipeline::new(500, 99).run();
+    let ghg_cov = ghg::coverage::coverage(out.baseline.systems());
+    assert!(ghg_cov.operational < out.baseline_results.coverage.operational);
+    assert_eq!(ghg_cov.embodied, 0, "paper: NONE report embodied under GHG");
+    assert!(
+        out.baseline_results.coverage.operational
+            < out.enriched_results.coverage.operational
+    );
+    assert!(out.baseline_results.coverage.embodied < out.enriched_results.coverage.embodied);
+}
+
+#[test]
+fn interpolated_totals_exceed_covered_totals() {
+    let out = StudyPipeline::new(500, 99).run();
+    assert!(out.operational_summary.full_total >= out.operational_summary.covered_total);
+    assert!(out.embodied_summary.full_total >= out.embodied_summary.covered_total);
+    // All 500 systems end with values.
+    assert_eq!(out.operational_interpolated.len(), 500);
+    assert!(out.operational_interpolated.iter().all(|v| *v > 0.0));
+    assert!(out.embodied_interpolated.iter().all(|v| *v > 0.0));
+}
+
+#[test]
+fn coverage_gap_skews_to_high_ranks_for_embodied() {
+    // Paper Fig 6a: the Top 150 are the embodied problem children.
+    let out = StudyPipeline::new(500, 99).run();
+    let fig = CoverageByRange::from_pipeline(&out, true);
+    let top_band = fig.ranges.iter().find(|(r, _, _)| r.lo == 26).unwrap();
+    let tail_band = fig.ranges.iter().find(|(r, _, _)| r.lo == 351).unwrap();
+    assert!(
+        top_band.1 < tail_band.1,
+        "top-of-list embodied coverage {} should trail the tail {}",
+        top_band.1,
+        tail_band.1
+    );
+}
+
+#[test]
+fn figure_generators_agree_with_pipeline_counts() {
+    let out = StudyPipeline::new(500, 99).run();
+    let fig4 = Fig4::pipeline(&out);
+    assert_eq!(fig4.methods[1].1, out.baseline_results.coverage.operational);
+    assert_eq!(fig4.methods[2].2, out.enriched_results.coverage.embodied);
+
+    let fig2 = Fig2::from_list(&out.baseline);
+    let total: usize = fig2.bars.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, 500);
+
+    let table1 = Table1::from_lists(&out.baseline, &out.enriched);
+    assert_eq!(table1.rows.len(), 8);
+}
+
+#[test]
+fn assessment_is_deterministic_across_thread_counts() {
+    let out = StudyPipeline::new(200, 5).run();
+    let tool_serial = EasyC::with_config(top500_carbon::easyc::EasyCConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let tool_parallel = EasyC::with_config(top500_carbon::easyc::EasyCConfig {
+        workers: 16,
+        ..Default::default()
+    });
+    let a = tool_serial.assess_list(&out.enriched);
+    let b = tool_parallel.assess_list(&out.enriched);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.operational_mt(), y.operational_mt());
+        assert_eq!(x.embodied_mt(), y.embodied_mt());
+    }
+}
+
+#[test]
+fn scenario_labels_cover_both_inputs() {
+    assert_ne!(Scenario::Baseline.label(), Scenario::BaselinePlusPublic.label());
+}
+
+#[test]
+fn larger_lists_scale() {
+    // The pipeline is not hard-wired to 500 systems.
+    let out = StudyPipeline::new(1000, 3).run();
+    assert_eq!(out.full.len(), 1000);
+    assert_eq!(out.operational_interpolated.len(), 1000);
+}

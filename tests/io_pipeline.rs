@@ -1,0 +1,65 @@
+//! Integration: the CSV import path feeds the same pipeline as the
+//! in-memory lists — a user bringing the real top500.org export gets the
+//! identical model.
+
+use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::ghg;
+use top500_carbon::top500::io::{export_csv, import_csv};
+use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
+
+#[test]
+fn csv_roundtrip_preserves_footprints() {
+    let full = generate_full(&SyntheticConfig { n: 120, ..Default::default() });
+    let masked = mask_baseline(&full, &MaskRates::default(), 9);
+    let reloaded = import_csv(&export_csv(&masked)).unwrap();
+
+    let tool = EasyC::new();
+    let before = tool.assess_list(&masked);
+    let after = tool.assess_list(&reloaded);
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.operational_mt(), b.operational_mt(), "rank {}", a.rank);
+        assert_eq!(a.embodied_mt(), b.embodied_mt(), "rank {}", a.rank);
+    }
+}
+
+#[test]
+fn effort_comparison_easyc_vs_ghg() {
+    // The paper's practicability argument, executable: EasyC fits under a
+    // person-hour; the GHG checklist costs weeks.
+    let easyc_hours = top500_carbon::easyc::metrics::effort_minutes_per_system() / 60.0;
+    let ghg_hours = ghg::coverage::effort_hours_per_system();
+    assert!(easyc_hours < 1.0);
+    assert!(ghg_hours / easyc_hours > 50.0, "GHG {ghg_hours} h vs EasyC {easyc_hours} h");
+}
+
+#[test]
+fn imported_list_supports_interpolation_study() {
+    let full = generate_full(&SyntheticConfig { n: 200, ..Default::default() });
+    let masked = mask_baseline(&full, &MaskRates::default(), 2);
+    let list = import_csv(&export_csv(&masked)).unwrap();
+    let footprints = EasyC::new().assess_list(&list);
+    let op: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::operational_mt).collect();
+    let (filled, summary) =
+        top500_carbon::analysis::interpolate::interpolate_with_summary(&op, 5).unwrap();
+    assert_eq!(filled.len(), 200);
+    assert!(summary.covered > 100);
+    assert!(summary.full_total >= summary.covered_total);
+}
+
+#[test]
+fn import_tolerates_sparse_real_world_export() {
+    // A file with only the columns the public top500.org export carries.
+    let text = "rank,name,country,processor,total_cores,rmax_tflops,rpeak_tflops,power_kw\n\
+                1,BigIron,Germany,AMD EPYC 9654 96C 2.4GHz,1105920,379700,531000,\n\
+                2,SmallIron,France,Xeon Platinum 8380 40C 2.3GHz,64000,4500,6200,2100\n";
+    let list = import_csv(text).unwrap();
+    let footprints = EasyC::new().assess_list(&list);
+    // BigIron: CPU-only without power → TDP path still succeeds.
+    assert!(footprints[0].operational_mt().is_some());
+    // SmallIron has measured power → estimable too, with French ACI.
+    assert!(footprints[1].operational_mt().is_some());
+    assert!(
+        footprints[0].operational_mt().unwrap() > footprints[1].operational_mt().unwrap()
+    );
+}

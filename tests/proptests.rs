@@ -1,0 +1,239 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
+use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::frame::{csv, stats, Column, DataFrame};
+use top500_carbon::top500::SystemRecord;
+
+// ------------------------------------------------------------ interpolation
+
+proptest! {
+    #[test]
+    fn interpolation_preserves_present_values(
+        values in prop::collection::vec(prop::option::of(0.0f64..1e6), 0..200)
+    ) {
+        match nearest_peer_interpolation(&values, 5) {
+            Some(filled) => {
+                prop_assert_eq!(filled.len(), values.len());
+                for (orig, out) in values.iter().zip(&filled) {
+                    if let Some(v) = orig {
+                        prop_assert_eq!(v, out);
+                    }
+                }
+            }
+            None => prop_assert!(values.iter().all(Option::is_none) && !values.is_empty()),
+        }
+    }
+
+    #[test]
+    fn interpolated_values_bounded_by_present_extremes(
+        values in prop::collection::vec(prop::option::of(0.0f64..1e6), 1..200)
+    ) {
+        prop_assume!(values.iter().any(Option::is_some));
+        let present: Vec<f64> = values.iter().flatten().copied().collect();
+        let (lo, hi) = (
+            present.iter().copied().fold(f64::INFINITY, f64::min),
+            present.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let filled = nearest_peer_interpolation(&values, 5).unwrap();
+        for v in filled {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn interpolation_translation_equivariant(
+        values in prop::collection::vec(prop::option::of(0.0f64..1e5), 1..100),
+        shift in 0.0f64..1e5
+    ) {
+        prop_assume!(values.iter().any(Option::is_some));
+        let shifted: Vec<Option<f64>> = values.iter().map(|v| v.map(|x| x + shift)).collect();
+        let a = nearest_peer_interpolation(&values, 5).unwrap();
+        let b = nearest_peer_interpolation(&shifted, 5).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x + shift - y).abs() < 1e-6);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- stats
+
+proptest! {
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&values, lo_q).unwrap();
+        let b = stats::quantile(&values, hi_q).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn mean_between_min_and_max(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = stats::mean(&values).unwrap();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+
+    #[test]
+    fn kahan_sum_matches_naive_for_moderate_values(
+        values in prop::collection::vec(-1e6f64..1e6, 0..200)
+    ) {
+        let naive: f64 = values.iter().sum();
+        prop_assert!((stats::sum(&values) - naive).abs() < 1e-3);
+    }
+}
+
+// --------------------------------------------------------------------- CSV
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_arbitrary_strings(
+        cells in prop::collection::vec("[ -~]{0,20}", 1..20)
+    ) {
+        // Build a one-column string frame; quoting must survive a roundtrip.
+        // (Purely-numeric strings legitimately re-parse as numbers, so make
+        // each value unambiguously textual.)
+        let values: Vec<String> = cells.iter().map(|c| format!("s:{c}")).collect();
+        let df = DataFrame::new()
+            .with_column("text", Column::from_str_iter(values.clone()))
+            .unwrap();
+        let text = csv::write(&df);
+        let back = csv::parse(&text).unwrap();
+        prop_assert_eq!(back.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            let cell = back.value("text", i).unwrap();
+            prop_assert_eq!(cell.as_str().unwrap(), v.as_str());
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_numeric_with_nulls(
+        values in prop::collection::vec(prop::option::of(-1e9f64..1e9), 1..50)
+    ) {
+        // An all-null column has no type evidence and re-parses as string;
+        // the numeric round-trip claim needs at least one number.
+        prop_assume!(values.iter().any(Option::is_some));
+        let df = DataFrame::new()
+            .with_column("x", Column::F64(values.clone()))
+            .unwrap();
+        let back = csv::parse(&csv::write(&df)).unwrap();
+        let parsed = back.numeric("x").unwrap();
+        for (orig, round) in values.iter().zip(&parsed) {
+            match (orig, round) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() <= a.abs() * 1e-12),
+                (None, None) => {}
+                other => prop_assert!(false, "null mismatch {other:?}"),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- EasyC
+
+fn arb_record() -> impl Strategy<Value = SystemRecord> {
+    (
+        1u32..=500,
+        1.0f64..2e6,
+        prop::option::of(1u64..10_000),
+        prop::option::of(1u64..100_000),
+        prop::option::of(0.0f64..50_000.0),
+        prop::bool::ANY,
+    )
+        .prop_map(|(rank, rmax, nodes, gpus, power, accelerated)| {
+            let mut r = SystemRecord::bare(rank, rmax, rmax * 1.4);
+            r.processor = Some("AMD EPYC 7763 64C 2.45GHz".to_string());
+            r.total_cores = nodes.map(|n| n * 128);
+            r.node_count = nodes;
+            r.country = Some("United States".to_string());
+            if accelerated {
+                r.accelerator = Some("NVIDIA A100 SXM4 80GB".to_string());
+                r.accelerator_count = gpus;
+            }
+            r.power_kw = power.filter(|p| *p > 0.0);
+            r
+        })
+}
+
+proptest! {
+    #[test]
+    fn estimates_never_panic_and_are_finite(record in arb_record()) {
+        let fp: SystemFootprint = EasyC::new().assess(&record);
+        if let Some(v) = fp.operational_mt() {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+        if let Some(v) = fp.embodied_mt() {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn more_accelerators_never_less_embodied(
+        record in arb_record(),
+        nodes in 1u64..10_000,
+        gpus in 1u64..50_000,
+        extra in 1u64..10_000
+    ) {
+        // Force an estimable accelerated configuration so the property is
+        // exercised on every generated case.
+        let mut record = record;
+        record.node_count = Some(nodes);
+        record.total_cores = Some(nodes * 128);
+        record.accelerator = Some("NVIDIA A100 SXM4 80GB".to_string());
+        record.accelerator_count = Some(gpus);
+        let tool = EasyC::new();
+        let base = tool.assess(&record);
+        let mut bigger = record.clone();
+        bigger.accelerator_count = Some(gpus + extra);
+        let more = tool.assess(&bigger);
+        prop_assert!(more.embodied_mt().unwrap() >= base.embodied_mt().unwrap());
+    }
+
+    #[test]
+    fn higher_measured_power_means_more_operational(
+        record in arb_record(),
+        factor in 1.1f64..10.0
+    ) {
+        prop_assume!(record.power_kw.is_some());
+        let tool = EasyC::new();
+        let base = tool.assess(&record);
+        prop_assume!(base.operational_mt().is_some());
+        let mut hotter = record.clone();
+        hotter.power_kw = record.power_kw.map(|p| p * factor);
+        let more = tool.assess(&hotter);
+        prop_assert!(more.operational_mt().unwrap() > base.operational_mt().unwrap());
+    }
+}
+
+// ------------------------------------------------------------ parallelism
+
+proptest! {
+    #[test]
+    fn par_reduce_sum_matches_serial(
+        values in prop::collection::vec(-1e6f64..1e6, 0..2000),
+        workers in 1usize..16
+    ) {
+        let serial: f64 = values.iter().sum();
+        let par = top500_carbon::parallel::par_reduce(&values, workers, 0.0, |&x| x, |a, b| a + b);
+        prop_assert!((serial - par).abs() < 1e-3);
+    }
+
+    #[test]
+    fn split_ranges_is_a_partition(len in 0usize..10_000, parts in 0usize..64) {
+        let ranges = top500_carbon::parallel::split_ranges(len, parts);
+        let mut covered = 0usize;
+        for (i, r) in ranges.iter().enumerate() {
+            prop_assert_eq!(r.start, covered, "range {} not contiguous", i);
+            prop_assert!(!r.is_empty());
+            covered = r.end;
+        }
+        if len > 0 && parts > 0 {
+            prop_assert_eq!(covered, len);
+        }
+    }
+}
