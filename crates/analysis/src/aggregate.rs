@@ -12,6 +12,17 @@ pub const GRAMS_PER_VEHICLE_MILE: f64 = 400.0;
 /// Annual electricity emissions of a typical home, MT CO2e.
 pub const HOME_MT_PER_YEAR: f64 = 4.0;
 
+/// Empty (and vectorised) float reductions can legally yield `-0.0` — the
+/// additive identity LLVM uses for fadd reductions — which then renders as
+/// `-0` in reports. Collapse it to positive zero.
+fn normalize_zero(total: f64) -> f64 {
+    if total == 0.0 {
+        0.0
+    } else {
+        total
+    }
+}
+
 /// Totals over a carbon series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aggregate {
@@ -27,21 +38,29 @@ impl Aggregate {
     /// Aggregates the present values of a series.
     pub fn of(values: &[Option<f64>]) -> Aggregate {
         let present: Vec<f64> = values.iter().flatten().copied().collect();
-        let total: f64 = present.iter().sum();
+        let total = normalize_zero(present.iter().sum());
         Aggregate {
             count: present.len(),
             total_mt: total,
-            mean_mt: if present.is_empty() { 0.0 } else { total / present.len() as f64 },
+            mean_mt: if present.is_empty() {
+                0.0
+            } else {
+                total / present.len() as f64
+            },
         }
     }
 
     /// Aggregates a complete series.
     pub fn of_complete(values: &[f64]) -> Aggregate {
-        let total: f64 = values.iter().sum();
+        let total = normalize_zero(values.iter().sum());
         Aggregate {
             count: values.len(),
             total_mt: total,
-            mean_mt: if values.is_empty() { 0.0 } else { total / values.len() as f64 },
+            mean_mt: if values.is_empty() {
+                0.0
+            } else {
+                total / values.len() as f64
+            },
         }
     }
 
@@ -96,17 +115,33 @@ mod tests {
     fn paper_operational_vehicle_equivalence() {
         // 1.39 M MT CO2e ↔ ≈ 325 k vehicles (paper abstract).
         let eq = Equivalences::of_mt(1.39e6);
-        assert!((eq.vehicles / 325_000.0 - 1.0).abs() < 0.01, "{}", eq.vehicles);
+        assert!(
+            (eq.vehicles / 325_000.0 - 1.0).abs() < 0.01,
+            "{}",
+            eq.vehicles
+        );
         // and ≈ 3.5 billion vehicle miles.
-        assert!((eq.vehicle_miles / 3.5e9 - 1.0).abs() < 0.01, "{}", eq.vehicle_miles);
+        assert!(
+            (eq.vehicle_miles / 3.5e9 - 1.0).abs() < 0.01,
+            "{}",
+            eq.vehicle_miles
+        );
     }
 
     #[test]
     fn paper_embodied_vehicle_equivalence() {
         // 1.88 M MT CO2e ↔ ≈ 439 k vehicles and ≈ 4.8 G passenger miles.
         let eq = Equivalences::of_mt(1.88e6);
-        assert!((eq.vehicles / 439_000.0 - 1.0).abs() < 0.01, "{}", eq.vehicles);
-        assert!((eq.vehicle_miles / 4.8e9 - 1.0).abs() < 0.03, "{}", eq.vehicle_miles);
+        assert!(
+            (eq.vehicles / 439_000.0 - 1.0).abs() < 0.01,
+            "{}",
+            eq.vehicles
+        );
+        assert!(
+            (eq.vehicle_miles / 4.8e9 - 1.0).abs() < 0.03,
+            "{}",
+            eq.vehicle_miles
+        );
     }
 
     #[test]
@@ -117,7 +152,10 @@ mod tests {
         let op: Vec<Option<f64>> = rows.iter().map(|r| r.operational.interpolated).collect();
         let agg = Aggregate::of(&op);
         let homes_per_system = Equivalences::of_mt(agg.mean_mt).homes;
-        assert!(homes_per_system > 300.0 && homes_per_system < 3000.0, "{homes_per_system}");
+        assert!(
+            homes_per_system > 300.0 && homes_per_system < 3000.0,
+            "{homes_per_system}"
+        );
     }
 
     #[test]

@@ -36,23 +36,30 @@ impl Fig2 {
         for sys in list.systems() {
             counts[sys.missing_count()] += 1;
         }
-        let mut bars: Vec<(String, usize)> =
-            (1..=max_items).map(|k| (k.to_string(), counts[k])).collect();
+        let mut bars: Vec<(String, usize)> = (1..=max_items)
+            .map(|k| (k.to_string(), counts[k]))
+            .collect();
         bars.push(("None".to_string(), counts[0]));
         Fig2 { bars }
     }
 
     /// Text rendering.
     pub fn render(&self) -> String {
-        let rows: Vec<Vec<String>> =
-            self.bars.iter().map(|(l, c)| vec![l.clone(), c.to_string()]).collect();
+        let rows: Vec<Vec<String>> = self
+            .bars
+            .iter()
+            .map(|(l, c)| vec![l.clone(), c.to_string()])
+            .collect();
         text_table(&["Data Items Missing", "# of Systems"], &rows)
     }
 
     /// CSV rendering.
     pub fn to_csv(&self) -> String {
-        let rows: Vec<Vec<String>> =
-            self.bars.iter().map(|(l, c)| vec![l.clone(), c.to_string()]).collect();
+        let rows: Vec<Vec<String>> = self
+            .bars
+            .iter()
+            .map(|(l, c)| vec![l.clone(), c.to_string()])
+            .collect();
         csv_table(&["missing_items", "systems"], &rows)
     }
 }
@@ -117,7 +124,11 @@ impl Table1 {
             })
             .collect();
         text_table(
-            &["Type", "# Incomplete [Top500.org]", "# Incomplete [Other Public]"],
+            &[
+                "Type",
+                "# Incomplete [Top500.org]",
+                "# Incomplete [Other Public]",
+            ],
             &rows,
         )
     }
@@ -180,7 +191,10 @@ impl CarbonByRank {
 
     /// Number of points with an embodied value.
     pub fn embodied_count(&self) -> usize {
-        self.points.iter().filter(|(_, _, emb)| emb.is_some()).count()
+        self.points
+            .iter()
+            .filter(|(_, _, emb)| emb.is_some())
+            .count()
     }
 
     /// CSV rendering.
@@ -209,8 +223,14 @@ impl Fig4 {
     /// Reference edition from appendix coverage counts (GHG from the
     /// paper's observation: none report under the protocol).
     pub fn reference(rows: &[AppendixRow]) -> Fig4 {
-        let op_t = rows.iter().filter(|r| r.operational.top500.is_some()).count();
-        let op_p = rows.iter().filter(|r| r.operational.public.is_some()).count();
+        let op_t = rows
+            .iter()
+            .filter(|r| r.operational.top500.is_some())
+            .count();
+        let op_p = rows
+            .iter()
+            .filter(|r| r.operational.public.is_some())
+            .count();
         let emb_t = rows.iter().filter(|r| r.embodied.top500.is_some()).count();
         let emb_p = rows.iter().filter(|r| r.embodied.public.is_some()).count();
         Fig4 {
@@ -287,8 +307,16 @@ impl CoverageByRange {
     /// Builds from appendix presence columns. `embodied` selects Figure 6.
     pub fn from_appendix(rows: &[AppendixRow], embodied: bool) -> CoverageByRange {
         let covered = |row: &AppendixRow, public: bool| -> bool {
-            let sv = if embodied { &row.embodied } else { &row.operational };
-            if public { sv.public.is_some() } else { sv.top500.is_some() }
+            let sv = if embodied {
+                &row.embodied
+            } else {
+                &row.operational
+            };
+            if public {
+                sv.public.is_some()
+            } else {
+                sv.top500.is_some()
+            }
         };
         let ranges = RANK_RANGES
             .iter()
@@ -362,9 +390,7 @@ impl CoverageByRange {
         let rows: Vec<Vec<String>> = self
             .ranges
             .iter()
-            .map(|&(range, base, publ)| {
-                vec![range.label(), pct(base), pct(publ)]
-            })
+            .map(|&(range, base, publ)| vec![range.label(), pct(base), pct(publ)])
             .collect();
         text_table(
             &["Rank Range", "Coverage (Top500.org)", "Coverage (+ public)"],
@@ -381,7 +407,10 @@ impl CoverageByRange {
                 vec![range.label(), format!("{base:.4}"), format!("{publ:.4}")]
             })
             .collect();
-        csv_table(&["rank_range", "coverage_baseline", "coverage_public"], &rows)
+        csv_table(
+            &["rank_range", "coverage_baseline", "coverage_public"],
+            &rows,
+        )
     }
 }
 
@@ -419,7 +448,10 @@ impl Fig7 {
     pub fn render(&self) -> String {
         let rows = vec![
             vec![
-                format!("{},{} (Total)", self.op_covered.count, self.emb_covered.count),
+                format!(
+                    "{},{} (Total)",
+                    self.op_covered.count, self.emb_covered.count
+                ),
                 format!("{:.0}", self.op_covered.total_mt / 1000.0),
                 format!("{:.0}", self.emb_covered.total_mt / 1000.0),
             ],
@@ -473,9 +505,7 @@ impl Fig9 {
             .diffs
             .iter()
             .zip(&self.embodied.diffs)
-            .map(|(op, emb)| {
-                vec![op.rank.to_string(), opt(op.diff_mt), opt(emb.diff_mt)]
-            })
+            .map(|(op, emb)| vec![op.rank.to_string(), opt(op.diff_mt), opt(emb.diff_mt)])
             .collect();
         csv_table(&["rank", "op_diff_mt", "emb_diff_mt"], &rows)
     }
@@ -490,10 +520,16 @@ pub fn fig10(rows: &[AppendixRow]) -> Projection {
 
 /// Figure 11 panels (operational, embodied) from appendix totals.
 pub fn fig11(rows: &[AppendixRow]) -> (PerfPerCarbon, PerfPerCarbon) {
-    let op_kmt: f64 =
-        rows.iter().filter_map(|r| r.operational.interpolated).sum::<f64>() / 1000.0;
-    let emb_kmt: f64 =
-        rows.iter().filter_map(|r| r.embodied.interpolated).sum::<f64>() / 1000.0;
+    let op_kmt: f64 = rows
+        .iter()
+        .filter_map(|r| r.operational.interpolated)
+        .sum::<f64>()
+        / 1000.0;
+    let emb_kmt: f64 = rows
+        .iter()
+        .filter_map(|r| r.embodied.interpolated)
+        .sum::<f64>()
+        / 1000.0;
     (
         projection::figure11(TOTAL_RMAX_PFLOPS_NOV2024, op_kmt),
         projection::figure11(TOTAL_RMAX_PFLOPS_NOV2024, emb_kmt),
@@ -520,7 +556,16 @@ pub fn table2_render(rows: &[AppendixRow]) -> String {
         })
         .collect();
     text_table(
-        &["Rank", "System Name", "Op[t500]", "Op[+pub]", "Op[+interp]", "Emb[t500]", "Emb[+pub]", "Emb[+interp]"],
+        &[
+            "Rank",
+            "System Name",
+            "Op[t500]",
+            "Op[+pub]",
+            "Op[+interp]",
+            "Emb[t500]",
+            "Emb[+pub]",
+            "Emb[+interp]",
+        ],
         &body,
     )
 }
@@ -541,8 +586,8 @@ mod tests {
         let total: usize = fig.bars.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 500);
         assert_eq!(fig.bars.len(), 20); // 1..19 + None
-        // Nothing is complete under top500.org data (Table I: memory/SSD
-        // always missing) → the None bar is empty.
+                                        // Nothing is complete under top500.org data (Table I: memory/SSD
+                                        // always missing) → the None bar is empty.
         assert_eq!(fig.bars.last().unwrap().1, 0);
     }
 
@@ -557,10 +602,26 @@ mod tests {
                 row.metric
             );
         }
-        let nodes = t.rows.iter().find(|r| r.metric == "# of Compute Nodes").unwrap();
-        assert!((170..=250).contains(&nodes.incomplete_top500), "{}", nodes.incomplete_top500);
-        assert!((55..=125).contains(&nodes.incomplete_public), "{}", nodes.incomplete_public);
-        let year = t.rows.iter().find(|r| r.metric == "Operation Year").unwrap();
+        let nodes = t
+            .rows
+            .iter()
+            .find(|r| r.metric == "# of Compute Nodes")
+            .unwrap();
+        assert!(
+            (170..=250).contains(&nodes.incomplete_top500),
+            "{}",
+            nodes.incomplete_top500
+        );
+        assert!(
+            (55..=125).contains(&nodes.incomplete_public),
+            "{}",
+            nodes.incomplete_public
+        );
+        let year = t
+            .rows
+            .iter()
+            .find(|r| r.metric == "Operation Year")
+            .unwrap();
         assert_eq!(year.incomplete_top500, 0); // Table I: 0
     }
 
@@ -682,9 +743,13 @@ mod tests {
     fn renders_are_nonempty() {
         let out = StudyPipeline::new(100, 7).run();
         assert!(!Fig2::from_list(&out.baseline).render().is_empty());
-        assert!(!Table1::from_lists(&out.baseline, &out.enriched).render().is_empty());
+        assert!(!Table1::from_lists(&out.baseline, &out.enriched)
+            .render()
+            .is_empty());
         assert!(!Fig4::pipeline(&out).render().is_empty());
-        assert!(!CoverageByRange::from_pipeline(&out, true).to_csv().is_empty());
+        assert!(!CoverageByRange::from_pipeline(&out, true)
+            .to_csv()
+            .is_empty());
         assert!(!CarbonByRank::fig3(&rows()).to_csv().is_empty());
     }
 }

@@ -5,7 +5,8 @@
 //! module builds those breakdowns from the pipeline output through the
 //! `frame` group-by machinery (the study's dataframe substrate).
 
-use easyc::SystemFootprint;
+use crate::aggregate::Aggregate;
+use easyc::{BatchEngine, CoverageReport, EasyCConfig, ScenarioMatrix, SystemFootprint};
 use frame::agg::{group_by, AggFn};
 use frame::{Column, DataFrame};
 use top500::list::Top500List;
@@ -47,9 +48,11 @@ impl Dimension {
         match self {
             Dimension::Country => sys.country.clone(),
             Dimension::Vendor => sys.vendor.clone(),
-            Dimension::Accelerator => {
-                Some(sys.accelerator.clone().unwrap_or_else(|| "(cpu-only)".to_string()))
-            }
+            Dimension::Accelerator => Some(
+                sys.accelerator
+                    .clone()
+                    .unwrap_or_else(|| "(cpu-only)".to_string()),
+            ),
         }
     }
 }
@@ -61,11 +64,20 @@ pub fn breakdown(
     footprints: &[SystemFootprint],
     dimension: Dimension,
 ) -> Vec<GroupShare> {
-    assert_eq!(list.len(), footprints.len(), "footprints must match the list");
-    let keys: Vec<Option<String>> =
-        list.systems().iter().map(|s| dimension.key_of(s)).collect();
-    let op: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::operational_mt).collect();
-    let emb: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::embodied_mt).collect();
+    assert_eq!(
+        list.len(),
+        footprints.len(),
+        "footprints must match the list"
+    );
+    let keys: Vec<Option<String>> = list.systems().iter().map(|s| dimension.key_of(s)).collect();
+    let op: Vec<Option<f64>> = footprints
+        .iter()
+        .map(SystemFootprint::operational_mt)
+        .collect();
+    let emb: Vec<Option<f64>> = footprints
+        .iter()
+        .map(SystemFootprint::embodied_mt)
+        .collect();
 
     let df = DataFrame::new()
         .with_column(dimension.label(), Column::Str(keys))
@@ -78,7 +90,11 @@ pub fn breakdown(
     let grouped = group_by(
         &df,
         dimension.label(),
-        &[("op", AggFn::Sum), ("emb", AggFn::Sum), ("op", AggFn::Count)],
+        &[
+            ("op", AggFn::Sum),
+            ("emb", AggFn::Sum),
+            ("op", AggFn::Count),
+        ],
     )
     .expect("columns exist");
 
@@ -118,8 +134,115 @@ pub fn breakdown(
             }
         })
         .collect();
-    shares.sort_by(|a, b| b.operational_mt.partial_cmp(&a.operational_mt).expect("finite"));
+    shares.sort_by(|a, b| {
+        b.operational_mt
+            .partial_cmp(&a.operational_mt)
+            .expect("finite")
+    });
     shares
+}
+
+/// One scenario's fleet-level summary from a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub name: String,
+    /// Coverage counts under the scenario.
+    pub coverage: CoverageReport,
+    /// Operational aggregate over covered systems.
+    pub operational: Aggregate,
+    /// Embodied aggregate over covered systems.
+    pub embodied: Aggregate,
+}
+
+/// Sweeps a whole scenario matrix over the list in ONE batch pass (shared
+/// metric extraction) and summarises each scenario — the replacement for
+/// re-running the assessment N times.
+pub fn scenario_sweep(
+    list: &Top500List,
+    matrix: &ScenarioMatrix,
+    config: EasyCConfig,
+) -> Vec<ScenarioSummary> {
+    summarize_output(&BatchEngine::with_config(config).assess_matrix(list, matrix))
+}
+
+/// Summarises an already-computed batch output (no re-assessment).
+pub fn summarize_output(out: &easyc::BatchOutput) -> Vec<ScenarioSummary> {
+    out.slices
+        .iter()
+        .map(|slice| {
+            let op: Vec<Option<f64>> = slice
+                .footprints
+                .iter()
+                .map(SystemFootprint::operational_mt)
+                .collect();
+            let emb: Vec<Option<f64>> = slice
+                .footprints
+                .iter()
+                .map(SystemFootprint::embodied_mt)
+                .collect();
+            ScenarioSummary {
+                name: slice.scenario.name.clone(),
+                coverage: slice.coverage,
+                operational: Aggregate::of(&op),
+                embodied: Aggregate::of(&emb),
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep as an aligned text table.
+pub fn render_sweep(summaries: &[ScenarioSummary]) -> String {
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                format!("{}/{}", s.coverage.operational, s.coverage.total),
+                format!("{}/{}", s.coverage.embodied, s.coverage.total),
+                format!("{:.0}", s.operational.total_mt),
+                format!("{:.0}", s.embodied.total_mt),
+            ]
+        })
+        .collect();
+    crate::render::text_table(
+        &[
+            "Scenario",
+            "Op coverage",
+            "Emb coverage",
+            "Op total (MT)",
+            "Emb total (MT)",
+        ],
+        &rows,
+    )
+}
+
+/// CSV rendering of a sweep.
+pub fn sweep_to_csv(summaries: &[ScenarioSummary]) -> String {
+    let rows: Vec<Vec<String>> = summaries
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                s.coverage.operational.to_string(),
+                s.coverage.embodied.to_string(),
+                s.coverage.total.to_string(),
+                format!("{:.1}", s.operational.total_mt),
+                format!("{:.1}", s.embodied.total_mt),
+            ]
+        })
+        .collect();
+    crate::render::csv_table(
+        &[
+            "scenario",
+            "op_covered",
+            "emb_covered",
+            "total",
+            "op_total_mt",
+            "emb_total_mt",
+        ],
+        &rows,
+    )
 }
 
 /// Concentration: fraction of the fleet's operational carbon carried by
@@ -149,7 +272,10 @@ mod tests {
         let (list, footprints) = setup();
         let shares = breakdown(&list, &footprints, Dimension::Country);
         let total: f64 = shares.iter().map(|s| s.operational_mt).sum();
-        let direct: f64 = footprints.iter().filter_map(SystemFootprint::operational_mt).sum();
+        let direct: f64 = footprints
+            .iter()
+            .filter_map(SystemFootprint::operational_mt)
+            .sum();
         assert!((total - direct).abs() < 1e-6 * direct.max(1.0));
         let systems: usize = shares.iter().map(|s| s.systems).sum();
         assert_eq!(systems, 500);
@@ -185,11 +311,44 @@ mod tests {
     }
 
     #[test]
+    fn scenario_sweep_one_pass_matches_separate_runs() {
+        use easyc::{DataScenario, MetricBit, MetricMask};
+        let out = StudyPipeline::new(120, 11).run();
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let summaries = scenario_sweep(&out.baseline, &matrix, easyc::EasyCConfig::default());
+        assert_eq!(summaries.len(), 2);
+        // The "full" slice must agree with a direct assessment.
+        let direct = EasyC::new().assess_list(&out.baseline);
+        let direct_total: f64 = direct
+            .iter()
+            .filter_map(SystemFootprint::operational_mt)
+            .sum();
+        assert_eq!(summaries[0].operational.total_mt, direct_total);
+        assert_eq!(
+            summaries[0].coverage,
+            easyc::CoverageReport::from_footprints(&direct)
+        );
+        // Hiding power can only reduce operational coverage.
+        assert!(summaries[1].coverage.operational <= summaries[0].coverage.operational);
+        let text = render_sweep(&summaries);
+        assert!(text.contains("no-power"));
+        let csv = sweep_to_csv(&summaries);
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
     fn mismatched_lengths_panic() {
         let (list, footprints) = setup();
-        let result = std::panic::catch_unwind(|| {
-            breakdown(&list, &footprints[..10], Dimension::Country)
-        });
+        let result =
+            std::panic::catch_unwind(|| breakdown(&list, &footprints[..10], Dimension::Country));
         assert!(result.is_err());
     }
 }

@@ -15,7 +15,11 @@ pub fn nearest_peer_interpolation(
     peers_per_side: usize,
 ) -> Option<Vec<f64>> {
     if values.iter().all(Option::is_none) {
-        return if values.is_empty() { Some(Vec::new()) } else { None };
+        return if values.is_empty() {
+            Some(Vec::new())
+        } else {
+            None
+        };
     }
     let out = values
         .iter()
@@ -48,7 +52,10 @@ fn interpolate_at(values: &[Option<f64>], i: usize, peers_per_side: usize) -> f6
             break;
         }
     }
-    debug_assert!(!peers.is_empty(), "caller guarantees at least one present value");
+    debug_assert!(
+        !peers.is_empty(),
+        "caller guarantees at least one present value"
+    );
     peers.iter().sum::<f64>() / peers.len() as f64
 }
 

@@ -3,10 +3,14 @@
 //! Mirrors the paper's §IV workflow: generate the list → apply top500.org
 //! missingness → run EasyC (Baseline) → add public info → run EasyC again
 //! (+PublicInfo) → interpolate the remainder → aggregate.
+//!
+//! Both scenario runs go through the staged [`easyc::BatchEngine`]; the
+//! coverage counts are read off the batch footprints directly instead of
+//! re-running every estimator a second time.
 
 use crate::aggregate::Aggregate;
 use crate::interpolate::{interpolate_with_summary, InterpolationSummary};
-use easyc::{coverage, CoverageReport, EasyC, SystemFootprint};
+use easyc::{BatchEngine, CoverageReport, DataScenario, Scenario, SystemFootprint};
 use top500::enrich::{enrich, RevealRates};
 use top500::list::Top500List;
 use top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
@@ -57,24 +61,41 @@ pub struct PipelineOutput {
 impl StudyPipeline {
     /// Pipeline over `n` synthetic systems with the given seed.
     pub fn new(n: u32, seed: u64) -> StudyPipeline {
-        StudyPipeline { synthetic: SyntheticConfig { n, seed, ..SyntheticConfig::default() } }
+        StudyPipeline {
+            synthetic: SyntheticConfig {
+                n,
+                seed,
+                ..SyntheticConfig::default()
+            },
+        }
     }
 
     /// Runs the full study.
     pub fn run(&self) -> PipelineOutput {
-        let tool = EasyC::new();
+        let engine = BatchEngine::new();
         let full = generate_full(&self.synthetic);
         let baseline = mask_baseline(&full, &MaskRates::default(), self.synthetic.seed);
-        let enriched =
-            enrich(&baseline, &full, &RevealRates::default(), self.synthetic.seed);
+        let enriched = enrich(
+            &baseline,
+            &full,
+            &RevealRates::default(),
+            self.synthetic.seed,
+        );
 
-        let baseline_results = assess_scenario(&tool, &baseline);
-        let enriched_results = assess_scenario(&tool, &enriched);
+        let baseline_results = assess_scenario(&engine, &baseline, Scenario::Baseline.label());
+        let enriched_results =
+            assess_scenario(&engine, &enriched, Scenario::BaselinePlusPublic.label());
 
-        let op_series: Vec<Option<f64>> =
-            enriched_results.footprints.iter().map(SystemFootprint::operational_mt).collect();
-        let emb_series: Vec<Option<f64>> =
-            enriched_results.footprints.iter().map(SystemFootprint::embodied_mt).collect();
+        let op_series: Vec<Option<f64>> = enriched_results
+            .footprints
+            .iter()
+            .map(SystemFootprint::operational_mt)
+            .collect();
+        let emb_series: Vec<Option<f64>> = enriched_results
+            .footprints
+            .iter()
+            .map(SystemFootprint::embodied_mt)
+            .collect();
         let (operational_interpolated, operational_summary) =
             interpolate_with_summary(&op_series, 5).expect("some systems covered");
         let (embodied_interpolated, embodied_summary) =
@@ -94,12 +115,21 @@ impl StudyPipeline {
     }
 }
 
-fn assess_scenario(tool: &EasyC, list: &Top500List) -> ScenarioResults {
-    let footprints = tool.assess_list(list);
-    let op: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::operational_mt).collect();
-    let emb: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::embodied_mt).collect();
+fn assess_scenario(engine: &BatchEngine, list: &Top500List, label: &str) -> ScenarioResults {
+    let ctx = engine.context(list);
+    let footprints = engine.assess(&ctx, &DataScenario::full(label));
+    let op: Vec<Option<f64>> = footprints
+        .iter()
+        .map(SystemFootprint::operational_mt)
+        .collect();
+    let emb: Vec<Option<f64>> = footprints
+        .iter()
+        .map(SystemFootprint::embodied_mt)
+        .collect();
     ScenarioResults {
-        coverage: coverage(list),
+        // Coverage is "the estimator returned Ok" — read it off the batch
+        // results instead of running every estimator a second time.
+        coverage: CoverageReport::from_footprints(&footprints),
         operational: Aggregate::of(&op),
         embodied: Aggregate::of(&emb),
         footprints,
@@ -118,7 +148,9 @@ mod tests {
     fn pipeline_reproduces_paper_shape() {
         let out = output();
         // Coverage ordering: GHG (≈0) < baseline < enriched < full.
-        assert!(out.baseline_results.coverage.operational < out.enriched_results.coverage.operational);
+        assert!(
+            out.baseline_results.coverage.operational < out.enriched_results.coverage.operational
+        );
         assert!(out.baseline_results.coverage.embodied < out.enriched_results.coverage.embodied);
         // Interpolated total exceeds the covered total (gaps are filled).
         assert!(out.operational_summary.full_total > out.operational_summary.covered_total);
@@ -131,8 +163,7 @@ mod tests {
         // far more gaps to fill.
         let out = output();
         assert!(
-            out.embodied_summary.relative_increase()
-                > out.operational_summary.relative_increase()
+            out.embodied_summary.relative_increase() > out.operational_summary.relative_increase()
         );
     }
 

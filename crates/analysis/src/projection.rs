@@ -70,7 +70,10 @@ pub fn project(label: &str, base: f64, annual_rate: f64) -> ProjectionSeries {
             value: base * (1.0 + annual_rate).powi((year - BASE_YEAR) as i32),
         })
         .collect();
-    ProjectionSeries { label: label.to_string(), points }
+    ProjectionSeries {
+        label: label.to_string(),
+        points,
+    }
 }
 
 /// The full Figure 10 projection pair.
@@ -122,8 +125,7 @@ pub fn figure11(total_pflops_2024: f64, carbon_kmt_2024: f64) -> PerfPerCarbon {
         points: (BASE_YEAR..=END_YEAR)
             .map(|year| ProjectedYear {
                 year,
-                value: base_ratio
-                    + RATIO_LINEAR_GROWTH_PER_YEAR * f64::from(year - BASE_YEAR),
+                value: base_ratio + RATIO_LINEAR_GROWTH_PER_YEAR * f64::from(year - BASE_YEAR),
             })
             .collect(),
     };

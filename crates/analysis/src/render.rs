@@ -23,7 +23,10 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
     for row in rows {
-        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push_str(&render_row(
+            row.iter().map(String::as_str).collect(),
+            &widths,
+        ));
         out.push('\n');
     }
     out
@@ -58,7 +61,10 @@ mod tests {
     fn aligned_table() {
         let table = text_table(
             &["rank", "name"],
-            &[vec!["1".into(), "El Capitan".into()], vec!["500".into(), "Marlyn".into()]],
+            &[
+                vec!["1".into(), "El Capitan".into()],
+                vec!["500".into(), "Marlyn".into()],
+            ],
         );
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4);

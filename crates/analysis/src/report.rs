@@ -1,14 +1,15 @@
 //! Run the whole study and emit artifacts (text + CSV + JSON).
 
 use crate::figures::{self, CarbonByRank, CoverageByRange, Fig2, Fig4, Fig7, Fig9, Table1};
+use crate::fleet::{self, ScenarioSummary};
 use crate::pipeline::{PipelineOutput, StudyPipeline};
-use serde::Serialize;
+use easyc::{DataScenario, EasyCConfig, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// Headline numbers of the study, serialisable for EXPERIMENTS.md.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Headline {
     /// Reference (appendix-derived) numbers.
     pub reference: ReferenceHeadline,
@@ -17,7 +18,7 @@ pub struct Headline {
 }
 
 /// Numbers recomputed from the embedded appendix.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReferenceHeadline {
     /// Operational coverage: top500.org scenario.
     pub op_coverage_top500: usize,
@@ -46,7 +47,7 @@ pub struct ReferenceHeadline {
 }
 
 /// Numbers from the synthetic end-to-end pipeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineHeadline {
     /// Systems in the synthetic list.
     pub systems: usize,
@@ -64,25 +65,108 @@ pub struct PipelineHeadline {
     pub emb_total_mt: f64,
 }
 
+impl Headline {
+    /// Pretty-printed JSON (hand-rolled; the environment has no serde).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let r = &self.reference;
+        let p = &self.pipeline;
+        format!(
+            "{{\n  \"reference\": {{\n    \"op_coverage_top500\": {},\n    \"op_coverage_public\": {},\n    \"emb_coverage_top500\": {},\n    \"emb_coverage_public\": {},\n    \"op_total_mt\": {},\n    \"emb_total_mt\": {},\n    \"op_sensitivity\": {},\n    \"emb_sensitivity_kmt\": {},\n    \"op_vehicles\": {},\n    \"emb_vehicles\": {},\n    \"op_growth_2030\": {},\n    \"emb_growth_2030\": {}\n  }},\n  \"pipeline\": {{\n    \"systems\": {},\n    \"op_coverage_baseline\": {},\n    \"op_coverage_enriched\": {},\n    \"emb_coverage_baseline\": {},\n    \"emb_coverage_enriched\": {},\n    \"op_total_mt\": {},\n    \"emb_total_mt\": {}\n  }}\n}}\n",
+            r.op_coverage_top500,
+            r.op_coverage_public,
+            r.emb_coverage_top500,
+            r.emb_coverage_public,
+            num(r.op_total_mt),
+            num(r.emb_total_mt),
+            num(r.op_sensitivity),
+            num(r.emb_sensitivity_kmt),
+            num(r.op_vehicles),
+            num(r.emb_vehicles),
+            num(r.op_growth_2030),
+            num(r.emb_growth_2030),
+            p.systems,
+            p.op_coverage_baseline,
+            p.op_coverage_enriched,
+            p.emb_coverage_baseline,
+            p.emb_coverage_enriched,
+            num(p.op_total_mt),
+            num(p.emb_total_mt),
+        )
+    }
+}
+
 /// The complete study output.
 pub struct StudyReport {
     /// Headline numbers.
     pub headline: Headline,
     /// Pipeline raw output.
     pub pipeline: PipelineOutput,
+    /// Scenario sweep of the enriched synthetic list (one batch pass over
+    /// [`default_scenario_matrix`]).
+    pub sweep: Vec<ScenarioSummary>,
+}
+
+/// The scenario matrix the study sweeps by default: ground truth, the two
+/// dominant missing-data situations, and two site-knowledge overrides.
+pub fn default_scenario_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new()
+        .with(DataScenario::full("full"))
+        .with(DataScenario::masked(
+            "no-power",
+            MetricMask::ALL
+                .without(MetricBit::PowerKw)
+                .without(MetricBit::AnnualEnergy),
+        ))
+        .with(DataScenario::masked(
+            "no-structure",
+            MetricMask::ALL
+                .without(MetricBit::Nodes)
+                .without(MetricBit::Gpus)
+                .without(MetricBit::Cpus),
+        ))
+        .with(
+            DataScenario::full("site-pue-1.1").with_overrides(OverrideSet {
+                pue: Some(1.1),
+                ..OverrideSet::NONE
+            }),
+        )
+        .with(
+            DataScenario::full("clean-grid-50g").with_overrides(OverrideSet {
+                aci_g_per_kwh: Some(50.0),
+                ..OverrideSet::NONE
+            }),
+        )
 }
 
 /// Runs everything with the default 500-system synthetic list.
 pub fn run_study(seed: u64) -> StudyReport {
     let rows = top500::appendix::load();
     let pipeline = StudyPipeline::new(500, seed).run();
+    let sweep = fleet::scenario_sweep(
+        &pipeline.enriched,
+        &default_scenario_matrix(),
+        EasyCConfig::default(),
+    );
 
     let fig7 = Fig7::from_appendix(&rows);
     let fig9 = Fig9::from_appendix(&rows);
     let fig10 = figures::fig10(&rows);
     let reference = ReferenceHeadline {
-        op_coverage_top500: rows.iter().filter(|r| r.operational.top500.is_some()).count(),
-        op_coverage_public: rows.iter().filter(|r| r.operational.public.is_some()).count(),
+        op_coverage_top500: rows
+            .iter()
+            .filter(|r| r.operational.top500.is_some())
+            .count(),
+        op_coverage_public: rows
+            .iter()
+            .filter(|r| r.operational.public.is_some())
+            .count(),
         emb_coverage_top500: rows.iter().filter(|r| r.embodied.top500.is_some()).count(),
         emb_coverage_public: rows.iter().filter(|r| r.embodied.public.is_some()).count(),
         op_total_mt: fig7.op_interpolated.total_mt,
@@ -104,8 +188,12 @@ pub fn run_study(seed: u64) -> StudyReport {
         emb_total_mt: pipeline.embodied_summary.full_total,
     };
     StudyReport {
-        headline: Headline { reference, pipeline: pipeline_headline },
+        headline: Headline {
+            reference,
+            pipeline: pipeline_headline,
+        },
         pipeline,
+        sweep,
     }
 }
 
@@ -156,18 +244,27 @@ impl StudyReport {
         fs::create_dir_all(dir)?;
         let rows = top500::appendix::load();
         fs::write(dir.join("summary.txt"), self.summary())?;
+        fs::write(dir.join("headline.json"), self.headline.to_json())?;
         fs::write(
-            dir.join("headline.json"),
-            serde_json::to_string_pretty(&self.headline).expect("serialisable"),
+            dir.join("fig2_missingness.csv"),
+            Fig2::from_list(&self.pipeline.baseline).to_csv(),
         )?;
-        fs::write(dir.join("fig2_missingness.csv"), Fig2::from_list(&self.pipeline.baseline).to_csv())?;
         fs::write(
             dir.join("table1_incompleteness.csv"),
             Table1::from_lists(&self.pipeline.baseline, &self.pipeline.enriched).to_csv(),
         )?;
-        fs::write(dir.join("fig3_baseline_scatter.csv"), CarbonByRank::fig3(&rows).to_csv())?;
-        fs::write(dir.join("fig4_coverage_reference.csv"), Fig4::reference(&rows).to_csv())?;
-        fs::write(dir.join("fig4_coverage_pipeline.csv"), Fig4::pipeline(&self.pipeline).to_csv())?;
+        fs::write(
+            dir.join("fig3_baseline_scatter.csv"),
+            CarbonByRank::fig3(&rows).to_csv(),
+        )?;
+        fs::write(
+            dir.join("fig4_coverage_reference.csv"),
+            Fig4::reference(&rows).to_csv(),
+        )?;
+        fs::write(
+            dir.join("fig4_coverage_pipeline.csv"),
+            Fig4::pipeline(&self.pipeline).to_csv(),
+        )?;
         fs::write(
             dir.join("fig5_op_coverage_ranges.csv"),
             CoverageByRange::from_appendix(&rows, false).to_csv(),
@@ -176,8 +273,14 @@ impl StudyReport {
             dir.join("fig6_emb_coverage_ranges.csv"),
             CoverageByRange::from_appendix(&rows, true).to_csv(),
         )?;
-        fs::write(dir.join("fig8_full_assessment.csv"), CarbonByRank::fig8(&rows).to_csv())?;
-        fs::write(dir.join("fig9_sensitivity.csv"), Fig9::from_appendix(&rows).to_csv())?;
+        fs::write(
+            dir.join("fig8_full_assessment.csv"),
+            CarbonByRank::fig8(&rows).to_csv(),
+        )?;
+        fs::write(
+            dir.join("fig9_sensitivity.csv"),
+            Fig9::from_appendix(&rows).to_csv(),
+        )?;
         let p = figures::fig10(&rows);
         let mut fig10_csv = String::from("year,operational_mt,embodied_mt\n");
         for (op, emb) in p.operational.points.iter().zip(&p.embodied.points) {
@@ -197,7 +300,14 @@ impl StudyReport {
             ));
         }
         fs::write(dir.join("fig11_perf_per_carbon.csv"), fig11_csv)?;
-        fs::write(dir.join("table2_per_system.txt"), figures::table2_render(&rows))?;
+        fs::write(
+            dir.join("table2_per_system.txt"),
+            figures::table2_render(&rows),
+        )?;
+        fs::write(
+            dir.join("scenario_sweep.csv"),
+            fleet::sweep_to_csv(&self.sweep),
+        )?;
         Ok(())
     }
 }
@@ -215,6 +325,25 @@ mod tests {
         assert!((r.op_total_mt / 1.39e6 - 1.0).abs() < 0.01);
         assert!((r.emb_total_mt / 1.88e6 - 1.0).abs() < 0.01);
         assert!((r.op_vehicles / 325_000.0 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn study_sweep_covers_default_matrix() {
+        let report = run_study(7);
+        assert_eq!(report.sweep.len(), default_scenario_matrix().len());
+        let full = &report.sweep[0];
+        let no_structure = report
+            .sweep
+            .iter()
+            .find(|s| s.name == "no-structure")
+            .unwrap();
+        assert!(no_structure.coverage.embodied < full.coverage.embodied);
+        let clean = report
+            .sweep
+            .iter()
+            .find(|s| s.name == "clean-grid-50g")
+            .unwrap();
+        assert!(clean.operational.total_mt < full.operational.total_mt);
     }
 
     #[test]
@@ -246,6 +375,7 @@ mod tests {
             "fig10_projection.csv",
             "fig11_perf_per_carbon.csv",
             "table2_per_system.txt",
+            "scenario_sweep.csv",
         ] {
             assert!(dir.join(file).exists(), "{file} missing");
         }

@@ -77,16 +77,59 @@ pub fn from_scenarios(pairs: &[(u32, Option<f64>, Option<f64>)]) -> SensitivityR
             }
             _ => None,
         };
-        diffs.push(RankDiff { rank, diff_mt: diff });
+        diffs.push(RankDiff {
+            rank,
+            diff_mt: diff,
+        });
     }
     SensitivityReport {
         diffs,
         baseline_total_mt: baseline_total,
         enriched_total_mt: enriched_total,
         newly_covered,
-        max_increase_mt: if max_increase.is_finite() { max_increase } else { 0.0 },
-        max_decrease_mt: if max_decrease.is_finite() { max_decrease } else { 0.0 },
+        max_increase_mt: if max_increase.is_finite() {
+            max_increase
+        } else {
+            0.0
+        },
+        max_decrease_mt: if max_decrease.is_finite() {
+            max_decrease
+        } else {
+            0.0
+        },
     }
+}
+
+/// Builds a report from two batch-assessed footprint slices of the same
+/// list (e.g. two [`easyc::ScenarioSlice`]s), so scenario sensitivity
+/// studies run off ONE batch pass instead of bespoke re-runs. `embodied`
+/// selects which output is compared.
+pub fn from_footprints(
+    baseline: &[easyc::SystemFootprint],
+    enriched: &[easyc::SystemFootprint],
+    embodied: bool,
+) -> SensitivityReport {
+    assert_eq!(
+        baseline.len(),
+        enriched.len(),
+        "slices must cover the same list"
+    );
+    let pick = |fp: &easyc::SystemFootprint| -> Option<f64> {
+        if embodied {
+            fp.embodied_mt()
+        } else {
+            fp.operational_mt()
+        }
+    };
+    let pairs: Vec<_> = baseline
+        .iter()
+        .zip(enriched)
+        .map(|(b, e)| {
+            debug_assert_eq!(b.rank, e.rank);
+            (b.rank, pick(b), pick(e))
+        })
+        .collect();
+    from_scenarios(&pairs)
 }
 
 /// Operational sensitivity from appendix rows.
@@ -100,8 +143,10 @@ pub fn operational(rows: &[AppendixRow]) -> SensitivityReport {
 
 /// Embodied sensitivity from appendix rows.
 pub fn embodied(rows: &[AppendixRow]) -> SensitivityReport {
-    let pairs: Vec<_> =
-        rows.iter().map(|r| (r.rank, r.embodied.top500, r.embodied.public)).collect();
+    let pairs: Vec<_> = rows
+        .iter()
+        .map(|r| (r.rank, r.embodied.top500, r.embodied.public))
+        .collect();
     from_scenarios(&pairs)
 }
 
@@ -161,7 +206,10 @@ mod tests {
             }
         }
         assert!(max_rel <= 0.80, "max relative change {max_rel}");
-        assert!(max_rel >= 0.5, "expected some large refinements, max {max_rel}");
+        assert!(
+            max_rel >= 0.5,
+            "expected some large refinements, max {max_rel}"
+        );
     }
 
     #[test]
@@ -178,16 +226,51 @@ mod tests {
         // increasing the carbon footprint".
         let rows = top500::appendix::load();
         let report = embodied(&rows);
-        let increases =
-            report.diffs.iter().filter(|d| d.diff_mt.is_some_and(|v| v > 0.0)).count();
-        let decreases =
-            report.diffs.iter().filter(|d| d.diff_mt.is_some_and(|v| v < 0.0)).count();
-        assert!(increases > decreases, "increases {increases} vs decreases {decreases}");
+        let increases = report
+            .diffs
+            .iter()
+            .filter(|d| d.diff_mt.is_some_and(|v| v > 0.0))
+            .count();
+        let decreases = report
+            .diffs
+            .iter()
+            .filter(|d| d.diff_mt.is_some_and(|v| v < 0.0))
+            .count();
+        assert!(
+            increases > decreases,
+            "increases {increases} vs decreases {decreases}"
+        );
+    }
+
+    #[test]
+    fn footprint_report_matches_scenario_slices() {
+        use crate::pipeline::StudyPipeline;
+        let out = StudyPipeline::new(100, 13).run();
+        let report = from_footprints(
+            &out.baseline_results.footprints,
+            &out.enriched_results.footprints,
+            false,
+        );
+        assert_eq!(report.diffs.len(), 100);
+        let manual_newly = out
+            .baseline_results
+            .footprints
+            .iter()
+            .zip(&out.enriched_results.footprints)
+            .filter(|(b, e)| b.operational_mt().is_none() && e.operational_mt().is_some())
+            .count();
+        assert_eq!(report.newly_covered, manual_newly);
+        assert!(manual_newly > 0, "enrichment should cover new systems");
+        assert!(report.enriched_total_mt >= report.baseline_total_mt);
     }
 
     #[test]
     fn synthetic_report_totals() {
-        let pairs = vec![(1, Some(100.0), Some(110.0)), (2, None, Some(50.0)), (3, Some(20.0), Some(20.0))];
+        let pairs = vec![
+            (1, Some(100.0), Some(110.0)),
+            (2, None, Some(50.0)),
+            (3, Some(20.0), Some(20.0)),
+        ];
         let report = from_scenarios(&pairs);
         assert_eq!(report.baseline_total_mt, 120.0);
         assert_eq!(report.enriched_total_mt, 180.0);

@@ -93,7 +93,10 @@ fn growth_per_cycle(series: impl Iterator<Item = f64>) -> f64 {
 /// Runs the turnover simulation on the ground-truth synthetic list.
 pub fn simulate(config: &TurnoverConfig) -> TurnoverRun {
     let tool = EasyC::new();
-    let mut list = generate_full(&SyntheticConfig { seed: config.seed, ..Default::default() });
+    let mut list = generate_full(&SyntheticConfig {
+        seed: config.seed,
+        ..Default::default()
+    });
     let mut cycles = Vec::with_capacity(config.cycles as usize + 1);
     cycles.push(totals(&tool, &list, 0));
 
@@ -106,8 +109,14 @@ pub fn simulate(config: &TurnoverConfig) -> TurnoverRun {
 
 fn totals(tool: &EasyC, list: &Top500List, cycle: u32) -> CycleTotals {
     let footprints = tool.assess_list(list);
-    let op: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::operational_mt).collect();
-    let emb: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::embodied_mt).collect();
+    let op: Vec<Option<f64>> = footprints
+        .iter()
+        .map(SystemFootprint::operational_mt)
+        .collect();
+    let emb: Vec<Option<f64>> = footprints
+        .iter()
+        .map(SystemFootprint::embodied_mt)
+        .collect();
     CycleTotals {
         cycle,
         operational_mt: Aggregate::of(&op).total_mt,
@@ -140,10 +149,15 @@ fn advance_one_cycle(list: &Top500List, config: &TurnoverConfig, cycle: u32) -> 
         entrant.rpeak_tflops = donor.rpeak_tflops * perf;
         entrant.power_kw = donor.power_kw.map(|p| p * power_scale);
         entrant.annual_energy_mwh = donor.annual_energy_mwh.map(|e| e * power_scale);
-        entrant.node_count = donor.node_count.map(|n| ((n as f64) * node_scale).ceil() as u64);
-        entrant.cpu_count = donor.cpu_count.map(|n| ((n as f64) * node_scale).ceil() as u64);
-        entrant.accelerator_count =
-            donor.accelerator_count.map(|n| ((n as f64) * node_scale).ceil() as u64);
+        entrant.node_count = donor
+            .node_count
+            .map(|n| ((n as f64) * node_scale).ceil() as u64);
+        entrant.cpu_count = donor
+            .cpu_count
+            .map(|n| ((n as f64) * node_scale).ceil() as u64);
+        entrant.accelerator_count = donor
+            .accelerator_count
+            .map(|n| ((n as f64) * node_scale).ceil() as u64);
         entrant.memory_gb = donor.memory_gb.map(|m| m * node_scale);
         entrant.ssd_gb = donor.ssd_gb.map(|s| s * node_scale);
         entrant.name = Some(format!("entrant-c{cycle}-{i}"));
@@ -164,7 +178,10 @@ mod tests {
     use crate::projection;
 
     fn run() -> TurnoverRun {
-        simulate(&TurnoverConfig { cycles: 8, ..Default::default() })
+        simulate(&TurnoverConfig {
+            cycles: 8,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -190,7 +207,10 @@ mod tests {
         let emb = run.embodied_growth_per_cycle();
         assert!((0.01..=0.12).contains(&op), "operational growth/cycle {op}");
         assert!((0.0..=0.06).contains(&emb), "embodied growth/cycle {emb}");
-        assert!(op > emb, "operational should outgrow embodied (op {op}, emb {emb})");
+        assert!(
+            op > emb,
+            "operational should outgrow embodied (op {op}, emb {emb})"
+        );
     }
 
     #[test]
@@ -204,7 +224,10 @@ mod tests {
 
     #[test]
     fn list_stays_at_500_and_ranked() {
-        let config = TurnoverConfig { cycles: 3, ..Default::default() };
+        let config = TurnoverConfig {
+            cycles: 3,
+            ..Default::default()
+        };
         let tool = EasyC::new();
         let mut list = generate_full(&SyntheticConfig::default());
         for cycle in 1..=config.cycles {
@@ -231,7 +254,10 @@ mod tests {
         // a meaningful share lands in the top half of the list.
         let mean_entrant_rank =
             entrants.iter().map(|s| s.rank as f64).sum::<f64>() / entrants.len() as f64;
-        assert!(mean_entrant_rank < 320.0, "entrants too low, mean rank {mean_entrant_rank}");
+        assert!(
+            mean_entrant_rank < 320.0,
+            "entrants too low, mean rank {mean_entrant_rank}"
+        );
         let top_half = entrants.iter().filter(|s| s.rank <= 250).count();
         assert!(top_half >= 10, "only {top_half} entrants in the top half");
     }

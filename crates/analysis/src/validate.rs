@@ -31,8 +31,12 @@ impl ShapeComparison {
 /// Returns `None` when either series has no positive values.
 pub fn compare_shapes(reference: &[f64], pipeline: &[f64]) -> Option<ShapeComparison> {
     let log_centered = |values: &[f64]| -> Option<Vec<f64>> {
-        let logs: Vec<f64> =
-            values.iter().copied().filter(|v| *v > 0.0).map(f64::ln).collect();
+        let logs: Vec<f64> = values
+            .iter()
+            .copied()
+            .filter(|v| *v > 0.0)
+            .map(f64::ln)
+            .collect();
         if logs.is_empty() {
             return None;
         }
@@ -89,8 +93,7 @@ mod tests {
     #[test]
     fn pipeline_operational_shape_close_to_paper() {
         let out = StudyPipeline::new(500, 0x5EED_CAFE).run();
-        let cmp =
-            compare_shapes(&reference_operational(), &out.operational_interpolated).unwrap();
+        let cmp = compare_shapes(&reference_operational(), &out.operational_interpolated).unwrap();
         // Same heavy-tail family: KS below 0.45 in log space, concentration
         // within 0.25. (Identical data would be 0; unrelated distributions
         // typically exceed 0.6.)

@@ -17,7 +17,10 @@ fn accuracy_vs_authors(peers_per_side: usize) -> f64 {
     let mut n = 0usize;
     for (row, our_value) in rows.iter().zip(&ours) {
         if row.operational.public.is_none() {
-            let theirs = row.operational.interpolated.expect("interp column complete");
+            let theirs = row
+                .operational
+                .interpolated
+                .expect("interp column complete");
             rel_err_sum += ((our_value - theirs) / theirs).abs();
             n += 1;
         }
@@ -26,7 +29,10 @@ fn accuracy_vs_authors(peers_per_side: usize) -> f64 {
 }
 
 fn bench_ablation(c: &mut Criterion) {
-    banner("Ablation", "interpolation window vs the authors' interpolated column");
+    banner(
+        "Ablation",
+        "interpolation window vs the authors' interpolated column",
+    );
     println!("{:>6}  {:>22}", "peers", "mean relative error");
     for peers in [1usize, 2, 3, 5, 10, 25] {
         println!("{peers:>6}  {:>21.1}%", accuracy_vs_authors(peers) * 100.0);

@@ -11,7 +11,10 @@ use bench::banner;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_turnover(c: &mut Criterion) {
-    banner("Ablation", "turnover levers vs emergent per-cycle carbon growth");
+    banner(
+        "Ablation",
+        "turnover levers vs emergent per-cycle carbon growth",
+    );
     println!(
         "{:>12} {:>10} {:>18} {:>18}",
         "efficiency", "density", "op growth/cycle", "emb growth/cycle"
@@ -34,7 +37,12 @@ fn bench_turnover(c: &mut Criterion) {
     println!("(paper regime: +5%/cycle operational, +1%/cycle embodied)");
 
     c.bench_function("ablation/turnover_8_cycles", |b| {
-        b.iter(|| simulate(std::hint::black_box(&TurnoverConfig { cycles: 8, ..Default::default() })))
+        b.iter(|| {
+            simulate(std::hint::black_box(&TurnoverConfig {
+                cycles: 8,
+                ..Default::default()
+            }))
+        })
     });
 }
 

@@ -7,9 +7,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fig10(c: &mut Criterion) {
     let rows = appendix_rows();
     let p = figures::fig10(&rows);
-    banner("Figure 10", "projected operational and embodied carbon (kMT CO2e)");
+    banner(
+        "Figure 10",
+        "projected operational and embodied carbon (kMT CO2e)",
+    );
     for (op, emb) in p.operational.points.iter().zip(&p.embodied.points) {
-        println!("  {}  op {:>7.0}  emb {:>7.0}", op.year, op.value / 1e3, emb.value / 1e3);
+        println!(
+            "  {}  op {:>7.0}  emb {:>7.0}",
+            op.year,
+            op.value / 1e3,
+            emb.value / 1e3
+        );
     }
     println!(
         "2030/2024: op x{:.2} (paper: 1.8x), emb x{:.2} (paper: 1.1x)",

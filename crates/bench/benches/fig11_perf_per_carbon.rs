@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fig11(c: &mut Criterion) {
     let rows = appendix_rows();
     let (op_panel, emb_panel) = figures::fig11(&rows);
-    banner("Figure 11", "PFlops per thousand MT CO2e, projected vs ideal (2x/18mo)");
+    banner(
+        "Figure 11",
+        "PFlops per thousand MT CO2e, projected vs ideal (2x/18mo)",
+    );
     for i in 0..op_panel.projected.points.len() {
         println!(
             "  {}  op {:>6.2} (ideal {:>7.1})   emb {:>6.2} (ideal {:>7.1})",

@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fig2(c: &mut Criterion) {
     let out = pipeline_run();
     let fig = Fig2::from_list(&out.baseline);
-    banner("Figure 2", "# of systems missing k data items (synthetic top500.org)");
+    banner(
+        "Figure 2",
+        "# of systems missing k data items (synthetic top500.org)",
+    );
     println!("{}", fig.render());
 
     c.bench_function("fig2/missingness_histogram", |b| {

@@ -7,15 +7,30 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fig3(c: &mut Criterion) {
     let rows = appendix_rows();
     let fig = CarbonByRank::fig3(&rows);
-    banner("Figure 3", "Top 500 carbon footprint vs rank (Top500.org data)");
+    banner(
+        "Figure 3",
+        "Top 500 carbon footprint vs rank (Top500.org data)",
+    );
     println!(
         "operational points: {} / 500 (paper: 391)\nembodied points:    {} / 500 (paper: 283)",
         fig.operational_count(),
         fig.embodied_count()
     );
-    let max_op = fig.points.iter().filter_map(|(_, op, _)| *op).fold(0.0, f64::max);
-    let max_emb = fig.points.iter().filter_map(|(_, _, emb)| *emb).fold(0.0, f64::max);
-    println!("max operational: {:.0} kMT; max embodied: {:.0} kMT", max_op / 1e3, max_emb / 1e3);
+    let max_op = fig
+        .points
+        .iter()
+        .filter_map(|(_, op, _)| *op)
+        .fold(0.0, f64::max);
+    let max_emb = fig
+        .points
+        .iter()
+        .filter_map(|(_, _, emb)| *emb)
+        .fold(0.0, f64::max);
+    println!(
+        "max operational: {:.0} kMT; max embodied: {:.0} kMT",
+        max_op / 1e3,
+        max_emb / 1e3
+    );
     for (rank, op, emb) in fig.points.iter().take(10) {
         println!(
             "  #{rank:<3} op {:>8} emb {:>8}",

@@ -6,10 +6,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_fig4(c: &mut Criterion) {
     let rows = appendix_rows();
-    banner("Figure 4", "coverage: GHG vs EasyC(top500.org) vs EasyC(+public)");
-    println!("reference (appendix Table II):\n{}", Fig4::reference(&rows).render());
+    banner(
+        "Figure 4",
+        "coverage: GHG vs EasyC(top500.org) vs EasyC(+public)",
+    );
+    println!(
+        "reference (appendix Table II):\n{}",
+        Fig4::reference(&rows).render()
+    );
     let out = pipeline_run();
-    println!("pipeline (synthetic list):\n{}", Fig4::pipeline(&out).render());
+    println!(
+        "pipeline (synthetic list):\n{}",
+        Fig4::pipeline(&out).render()
+    );
 
     c.bench_function("fig4/coverage_reference", |b| {
         b.iter(|| Fig4::reference(std::hint::black_box(&rows)))

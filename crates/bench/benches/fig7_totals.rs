@@ -8,11 +8,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fig7(c: &mut Criterion) {
     let rows = appendix_rows();
     let fig = Fig7::from_appendix(&rows);
-    banner("Figure 7", "total and average operational (1 yr) + embodied carbon");
-    println!("{}", fig.render());
-    println!(
-        "paper: 1.37M -> 1.39M MT operational (+1.74%), 1.53M -> 1.88M MT embodied (+23.18%)"
+    banner(
+        "Figure 7",
+        "total and average operational (1 yr) + embodied carbon",
     );
+    println!("{}", fig.render());
+    println!("paper: 1.37M -> 1.39M MT operational (+1.74%), 1.53M -> 1.88M MT embodied (+23.18%)");
 
     let op_public: Vec<Option<f64>> = rows.iter().map(|r| r.operational.public).collect();
     c.bench_function("fig7/aggregate_from_appendix", |b| {

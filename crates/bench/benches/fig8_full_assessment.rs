@@ -1,13 +1,19 @@
 //! Figure 8: full Top 500 assessment by rank (with interpolated systems).
 
 use analysis::figures::CarbonByRank;
-use bench::{appendix_rows, banner, pipeline_run};
+use analysis::report::default_scenario_matrix;
+use bench::{appendix_rows, banner, pipeline_run, BENCH_SEED};
 use criterion::{criterion_group, criterion_main, Criterion};
+use easyc::BatchEngine;
+use top500::synthetic::{generate_full, SyntheticConfig};
 
 fn bench_fig8(c: &mut Criterion) {
     let rows = appendix_rows();
     let fig = CarbonByRank::fig8(&rows);
-    banner("Figure 8", "full assessment: all 500 systems, interpolation included");
+    banner(
+        "Figure 8",
+        "full assessment: all 500 systems, interpolation included",
+    );
     println!(
         "operational points: {} / 500; embodied points: {} / 500",
         fig.operational_count(),
@@ -24,9 +30,33 @@ fn bench_fig8(c: &mut Criterion) {
     c.bench_function("fig8/reference_series", |b| {
         b.iter(|| CarbonByRank::fig8(std::hint::black_box(&rows)))
     });
-    // The pipeline edition: synthetic end-to-end including interpolation.
+    // The pipeline edition: synthetic end-to-end including interpolation,
+    // now routed through the staged batch engine.
     c.bench_function("fig8/pipeline_end_to_end_500", |b| {
         b.iter(|| std::hint::black_box(pipeline_run()))
+    });
+    // Scenario-matrix edition: the full default matrix in one batch pass
+    // (shared metric extraction) versus per-scenario re-assessment.
+    let list = generate_full(&SyntheticConfig {
+        seed: BENCH_SEED,
+        ..Default::default()
+    });
+    let matrix = default_scenario_matrix();
+    let engine = BatchEngine::new();
+    c.bench_function("fig8/batch_matrix_5_scenarios", |b| {
+        b.iter(|| engine.assess_matrix(std::hint::black_box(&list), std::hint::black_box(&matrix)))
+    });
+    c.bench_function("fig8/per_scenario_reassessment", |b| {
+        b.iter(|| {
+            matrix
+                .scenarios()
+                .iter()
+                .map(|s| {
+                    let ctx = engine.context(std::hint::black_box(&list));
+                    engine.assess(&ctx, s)
+                })
+                .collect::<Vec<_>>()
+        })
     });
 }
 

@@ -9,7 +9,11 @@ use top500::synthetic::{generate_full, SyntheticConfig};
 
 fn bench_model(c: &mut Criterion) {
     let tool = EasyC::new();
-    let list = generate_full(&SyntheticConfig { n: 500, seed: BENCH_SEED, ..Default::default() });
+    let list = generate_full(&SyntheticConfig {
+        n: 500,
+        seed: BENCH_SEED,
+        ..Default::default()
+    });
     let one = list.systems()[10].clone();
 
     c.bench_function("model/assess_single_system", |b| {
@@ -18,7 +22,11 @@ fn bench_model(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("model/assess_list");
     for n in [100u32, 500, 2000, 10_000] {
-        let big = generate_full(&SyntheticConfig { n, seed: BENCH_SEED, ..Default::default() });
+        let big = generate_full(&SyntheticConfig {
+            n,
+            seed: BENCH_SEED,
+            ..Default::default()
+        });
         group.throughput(Throughput::Elements(u64::from(n)));
         group.bench_with_input(BenchmarkId::from_parameter(n), &big, |b, list| {
             b.iter(|| tool.assess_list(std::hint::black_box(list)))

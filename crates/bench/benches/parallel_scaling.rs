@@ -4,20 +4,65 @@
 
 use bench::BENCH_SEED;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use easyc::{EasyC, EasyCConfig};
+use easyc::scenario::{DataScenario, MetricBit, MetricMask, ScenarioMatrix};
+use easyc::{BatchEngine, EasyC, EasyCConfig};
 use top500::synthetic::{generate_full, SyntheticConfig};
 
 fn bench_scaling(c: &mut Criterion) {
-    let list =
-        generate_full(&SyntheticConfig { n: 20_000, seed: BENCH_SEED, ..Default::default() });
+    let list = generate_full(&SyntheticConfig {
+        n: 20_000,
+        seed: BENCH_SEED,
+        ..Default::default()
+    });
 
+    // The staged batch engine is the hot path behind assess_list.
     let mut group = c.benchmark_group("parallel/assess_20k_by_workers");
     group.throughput(Throughput::Elements(list.len() as u64));
     for workers in [1usize, 2, 4, 8] {
-        let tool = EasyC::with_config(EasyCConfig { workers, ..Default::default() });
+        let tool = EasyC::with_config(EasyCConfig {
+            workers,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::from_parameter(workers), &tool, |b, tool| {
             b.iter(|| tool.assess_list(std::hint::black_box(&list)))
         });
+    }
+    group.finish();
+
+    // Scenario-matrix scaling: three scenarios over the 20k list in one
+    // batch pass, by worker count (shared MetricsStage, per-scenario
+    // Operational/Embodied stages).
+    let matrix = ScenarioMatrix::new()
+        .with(DataScenario::full("full"))
+        .with(DataScenario::masked(
+            "no-power",
+            MetricMask::ALL
+                .without(MetricBit::PowerKw)
+                .without(MetricBit::AnnualEnergy),
+        ))
+        .with(DataScenario::masked(
+            "no-structure",
+            MetricMask::ALL
+                .without(MetricBit::Nodes)
+                .without(MetricBit::Gpus)
+                .without(MetricBit::Cpus),
+        ));
+    let mut group = c.benchmark_group("parallel/matrix_20k_x3_by_workers");
+    group.throughput(Throughput::Elements((3 * list.len()) as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let engine = BatchEngine::with_config(EasyCConfig {
+            workers,
+            ..Default::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    engine.assess_matrix(std::hint::black_box(&list), std::hint::black_box(&matrix))
+                })
+            },
+        );
     }
     group.finish();
 
@@ -26,7 +71,9 @@ fn bench_scaling(c: &mut Criterion) {
     group.throughput(Throughput::Elements(values.len() as u64));
     for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| parallel::par_reduce(std::hint::black_box(&values), w, 0.0, |&x| x, |a, b| a + b))
+            b.iter(|| {
+                parallel::par_reduce(std::hint::black_box(&values), w, 0.0, |&x| x, |a, b| a + b)
+            })
         });
     }
     group.finish();

@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_table1(c: &mut Criterion) {
     let out = pipeline_run();
     let table = Table1::from_lists(&out.baseline, &out.enriched);
-    banner("Table I", "# systems incomplete per metric (top500.org vs +public)");
+    banner(
+        "Table I",
+        "# systems incomplete per metric (top500.org vs +public)",
+    );
     println!("{}", table.render());
     println!("paper reference: nodes/GPUs 209->86, memory 499->292, SSD 500->450");
 

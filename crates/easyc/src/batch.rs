@@ -1,0 +1,499 @@
+//! Staged batch assessment engine.
+//!
+//! The seed assessed systems strictly one at a time; scenario studies
+//! re-ran the whole extraction per variant. This module runs the model as
+//! three explicit stages over a shared [`AssessmentContext`]:
+//!
+//! ```text
+//! MetricsStage      extract the seven metrics once per system
+//!    ↓
+//! OperationalStage  power path + grid intensity, overrides applied inside
+//!    ↓
+//! EmbodiedStage     ACT-style component roll-up
+//! ```
+//!
+//! Every stage is chunk-parallel via [`parallel::par_map_chunked`] and
+//! bit-identical to the serial per-system path ([`EasyC::assess`]) for any
+//! worker count — both paths call the same per-record estimator functions
+//! in the same order. A whole [`ScenarioMatrix`] is assessed in one pass:
+//! the metrics extraction is shared across scenarios, and per-scenario
+//! masks/overrides are applied inside the stages (no post-hoc rescaling).
+//!
+//! Results are also available columnar ([`BatchOutput::to_frame`]) for the
+//! `frame` group-by/CSV machinery.
+
+use crate::coverage::CoverageReport;
+use crate::estimator::{EasyC, EasyCConfig, SystemFootprint};
+use crate::metrics::SevenMetrics;
+use crate::scenario::{DataScenario, MetricMask, ScenarioMatrix};
+use crate::{embodied, operational};
+use frame::{Column, DataFrame};
+use top500::list::Top500List;
+use top500::record::SystemRecord;
+
+/// Shared, immutable per-list state reused across stages, scenarios and
+/// Monte-Carlo samples: the list itself plus the extracted seven metrics.
+#[derive(Debug, Clone)]
+pub struct AssessmentContext<'a> {
+    list: &'a Top500List,
+    metrics: Vec<SevenMetrics>,
+}
+
+impl<'a> AssessmentContext<'a> {
+    /// Runs [`MetricsStage`] over the list.
+    pub fn new(list: &'a Top500List, workers: usize) -> AssessmentContext<'a> {
+        AssessmentContext {
+            list,
+            metrics: MetricsStage::run(list, workers),
+        }
+    }
+
+    /// The underlying list.
+    pub fn list(&self) -> &'a Top500List {
+        self.list
+    }
+
+    /// Extracted metrics, rank order (parallel to `list().systems()`).
+    pub fn metrics(&self) -> &[SevenMetrics] {
+        &self.metrics
+    }
+
+    /// Number of systems.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+/// Stage 1: metric extraction (processor-string parsing, CPU derivation).
+/// The most repeat-prone work in the seed — here it runs once per list.
+pub struct MetricsStage;
+
+impl MetricsStage {
+    /// Extracts [`SevenMetrics`] for every system, chunk-parallel.
+    pub fn run(list: &Top500List, workers: usize) -> Vec<SevenMetrics> {
+        parallel::par_map_chunked(list.systems(), workers, |_, chunk| {
+            chunk.iter().map(SevenMetrics::extract).collect()
+        })
+    }
+}
+
+/// A scenario's effective view of one system: the masked record and
+/// metrics the estimators actually see.
+fn scenario_view<'a>(
+    scenario: &DataScenario,
+    record: &'a SystemRecord,
+    metrics: &'a SevenMetrics,
+) -> (
+    std::borrow::Cow<'a, SystemRecord>,
+    std::borrow::Cow<'a, SevenMetrics>,
+) {
+    if scenario.mask == MetricMask::ALL {
+        (
+            std::borrow::Cow::Borrowed(record),
+            std::borrow::Cow::Borrowed(metrics),
+        )
+    } else {
+        (
+            std::borrow::Cow::Owned(scenario.mask.apply_record(record)),
+            std::borrow::Cow::Owned(scenario.mask.apply_metrics(record, metrics)),
+        )
+    }
+}
+
+/// Assesses one system under one scenario. This is the single code path
+/// shared by the serial facade and the batch stages — bit-identity between
+/// them holds by construction.
+pub(crate) fn assess_one(
+    record: &SystemRecord,
+    metrics: &SevenMetrics,
+    scenario: &DataScenario,
+) -> SystemFootprint {
+    let (record, metrics) = scenario_view(scenario, record, metrics);
+    let operational = operational::estimate_with(&record, &metrics, &scenario.overrides);
+    let embodied = embodied::estimate(&record, &metrics);
+    SystemFootprint {
+        rank: record.rank,
+        operational,
+        embodied,
+    }
+}
+
+/// Stage 2: operational carbon over the whole context.
+pub struct OperationalStage;
+
+impl OperationalStage {
+    /// Operational estimates under `scenario`, rank order, chunk-parallel.
+    pub fn run(
+        ctx: &AssessmentContext<'_>,
+        scenario: &DataScenario,
+        workers: usize,
+    ) -> Vec<crate::error::Result<operational::OperationalEstimate>> {
+        let systems = ctx.list().systems();
+        parallel::par_map_chunked(systems, workers, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, record)| {
+                    let (record, metrics) =
+                        scenario_view(scenario, record, &ctx.metrics[start + i]);
+                    operational::estimate_with(&record, &metrics, &scenario.overrides)
+                })
+                .collect()
+        })
+    }
+}
+
+/// Stage 3: embodied carbon over the whole context.
+pub struct EmbodiedStage;
+
+impl EmbodiedStage {
+    /// Embodied estimates under `scenario`, rank order, chunk-parallel.
+    pub fn run(
+        ctx: &AssessmentContext<'_>,
+        scenario: &DataScenario,
+        workers: usize,
+    ) -> Vec<crate::error::Result<embodied::EmbodiedEstimate>> {
+        let systems = ctx.list().systems();
+        parallel::par_map_chunked(systems, workers, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, record)| {
+                    let (record, metrics) =
+                        scenario_view(scenario, record, &ctx.metrics[start + i]);
+                    embodied::estimate(&record, &metrics)
+                })
+                .collect()
+        })
+    }
+}
+
+/// One scenario's results from a batch pass.
+#[derive(Debug, Clone)]
+pub struct ScenarioSlice {
+    /// The scenario that produced this slice.
+    pub scenario: DataScenario,
+    /// Per-system footprints, rank order.
+    pub footprints: Vec<SystemFootprint>,
+    /// Coverage counts, derived from the footprints themselves (coverage
+    /// is *by construction* "the estimator returned `Ok`").
+    pub coverage: CoverageReport,
+}
+
+/// The results of assessing a list under a scenario matrix.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// One slice per scenario, matrix order.
+    pub slices: Vec<ScenarioSlice>,
+}
+
+impl BatchOutput {
+    /// Slice by scenario name.
+    pub fn slice(&self, name: &str) -> Option<&ScenarioSlice> {
+        self.slices.iter().find(|s| s.scenario.name == name)
+    }
+
+    /// Columnar layout of every (scenario, system) result:
+    /// `scenario, rank, operational_mt, embodied_mt, power_kw, pue,
+    /// utilization, power_path, note` (nulls where not estimable).
+    pub fn to_frame(&self) -> DataFrame {
+        let rows: usize = self.slices.iter().map(|s| s.footprints.len()).sum();
+        let mut scenario = Vec::with_capacity(rows);
+        let mut rank = Vec::with_capacity(rows);
+        let mut op_mt = Vec::with_capacity(rows);
+        let mut emb_mt = Vec::with_capacity(rows);
+        let mut power = Vec::with_capacity(rows);
+        let mut pue = Vec::with_capacity(rows);
+        let mut util = Vec::with_capacity(rows);
+        let mut path = Vec::with_capacity(rows);
+        let mut note = Vec::with_capacity(rows);
+        for slice in &self.slices {
+            for fp in &slice.footprints {
+                scenario.push(Some(slice.scenario.name.clone()));
+                rank.push(Some(i64::from(fp.rank)));
+                op_mt.push(fp.operational_mt());
+                emb_mt.push(fp.embodied_mt());
+                let op = fp.operational.as_ref().ok();
+                power.push(op.map(|e| e.power_kw));
+                pue.push(op.map(|e| e.pue));
+                util.push(op.map(|e| e.utilization));
+                path.push(op.map(|e| e.path.label().to_string()));
+                note.push(match (&fp.operational, &fp.embodied) {
+                    (Ok(_), Ok(_)) => None,
+                    (Err(e), _) | (_, Err(e)) => Some(e.to_string()),
+                });
+            }
+        }
+        DataFrame::new()
+            .with_column("scenario", Column::Str(scenario))
+            .and_then(|df| df.with_column("rank", Column::I64(rank)))
+            .and_then(|df| df.with_column("operational_mt", Column::F64(op_mt)))
+            .and_then(|df| df.with_column("embodied_mt", Column::F64(emb_mt)))
+            .and_then(|df| df.with_column("power_kw", Column::F64(power)))
+            .and_then(|df| df.with_column("pue", Column::F64(pue)))
+            .and_then(|df| df.with_column("utilization", Column::F64(util)))
+            .and_then(|df| df.with_column("power_path", Column::Str(path)))
+            .and_then(|df| df.with_column("note", Column::Str(note)))
+            .expect("fresh frame with equal-length columns")
+    }
+}
+
+/// The staged batch assessment engine.
+#[derive(Debug, Clone, Default)]
+pub struct BatchEngine {
+    config: EasyCConfig,
+}
+
+impl BatchEngine {
+    /// Engine with default configuration.
+    pub fn new() -> BatchEngine {
+        BatchEngine::default()
+    }
+
+    /// Engine with a custom configuration.
+    pub fn with_config(config: EasyCConfig) -> BatchEngine {
+        BatchEngine { config }
+    }
+
+    /// Engine matching an [`EasyC`] facade's configuration.
+    pub fn from_tool(tool: &EasyC) -> BatchEngine {
+        BatchEngine {
+            config: *tool.config(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EasyCConfig {
+        &self.config
+    }
+
+    /// Builds the shared context (runs [`MetricsStage`]).
+    pub fn context<'a>(&self, list: &'a Top500List) -> AssessmentContext<'a> {
+        AssessmentContext::new(list, self.config.workers)
+    }
+
+    /// The scenario implied by this configuration's overrides (full mask;
+    /// the config-level PUE/utilisation overrides, which the serial facade
+    /// applies too).
+    pub fn config_scenario(&self) -> DataScenario {
+        DataScenario::full("default").with_overrides(self.config.overrides())
+    }
+
+    /// Assesses the whole context under one scenario: the operational and
+    /// embodied stages run over one masked view per record (computed once,
+    /// not once per stage), chunk-parallel. Scenario overrides take
+    /// precedence over configuration overrides (matching
+    /// [`EasyC::assess_scenario`]).
+    pub fn assess(
+        &self,
+        ctx: &AssessmentContext<'_>,
+        scenario: &DataScenario,
+    ) -> Vec<SystemFootprint> {
+        let scenario = &DataScenario {
+            name: scenario.name.clone(),
+            mask: scenario.mask,
+            overrides: scenario.overrides.or(self.config.overrides()),
+        };
+        let systems = ctx.list().systems();
+        parallel::par_map_chunked(systems, self.config.workers, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, record)| assess_one(record, &ctx.metrics[start + i], scenario))
+                .collect()
+        })
+    }
+
+    /// Assesses a list under the configuration's default scenario (the
+    /// staged replacement for the seed's per-system loop).
+    pub fn assess_list(&self, list: &Top500List) -> Vec<SystemFootprint> {
+        let ctx = self.context(list);
+        self.assess(&ctx, &self.config_scenario())
+    }
+
+    /// Assesses a list under every scenario of a matrix in one pass,
+    /// sharing the extraction stage across scenarios.
+    pub fn assess_matrix(&self, list: &Top500List, matrix: &ScenarioMatrix) -> BatchOutput {
+        let ctx = self.context(list);
+        self.assess_matrix_ctx(&ctx, matrix)
+    }
+
+    /// [`BatchEngine::assess_matrix`] over a pre-built context.
+    pub fn assess_matrix_ctx(
+        &self,
+        ctx: &AssessmentContext<'_>,
+        matrix: &ScenarioMatrix,
+    ) -> BatchOutput {
+        let slices = matrix
+            .scenarios()
+            .iter()
+            .map(|scenario| {
+                let footprints = self.assess(ctx, scenario);
+                let coverage = CoverageReport::from_footprints(&footprints);
+                ScenarioSlice {
+                    scenario: scenario.clone(),
+                    footprints,
+                    coverage,
+                }
+            })
+            .collect();
+        BatchOutput { slices }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{MetricBit, OverrideSet};
+    use top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
+
+    fn list() -> Top500List {
+        generate_full(&SyntheticConfig {
+            n: 80,
+            ..Default::default()
+        })
+    }
+
+    fn assert_identical(a: &[SystemFootprint], b: &[SystemFootprint]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.rank, y.rank);
+            assert_eq!(x.operational, y.operational);
+            assert_eq!(x.embodied, y.embodied);
+        }
+    }
+
+    #[test]
+    fn batch_bit_identical_to_serial_across_workers() {
+        let list = list();
+        let tool = EasyC::new();
+        let serial: Vec<_> = list.systems().iter().map(|s| tool.assess(s)).collect();
+        for workers in [1, 2, 3, 7, 16] {
+            let engine = BatchEngine::with_config(EasyCConfig {
+                workers,
+                ..Default::default()
+            });
+            assert_identical(&engine.assess_list(&list), &serial);
+        }
+    }
+
+    #[test]
+    fn masked_scenario_batch_matches_serial_scenario() {
+        let list = list();
+        let scenario = DataScenario::masked(
+            "no-power",
+            MetricMask::ALL
+                .without(MetricBit::PowerKw)
+                .without(MetricBit::AnnualEnergy),
+        );
+        let tool = EasyC::new();
+        let serial: Vec<_> = list
+            .systems()
+            .iter()
+            .map(|s| tool.assess_scenario(s, &scenario))
+            .collect();
+        for workers in [1, 4] {
+            let engine = BatchEngine::with_config(EasyCConfig {
+                workers,
+                ..Default::default()
+            });
+            let ctx = engine.context(&list);
+            assert_identical(&engine.assess(&ctx, &scenario), &serial);
+        }
+    }
+
+    #[test]
+    fn matrix_shares_context_and_reports_coverage() {
+        let full = list();
+        let masked = mask_baseline(&full, &MaskRates::default(), 3);
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-structure",
+                    MetricMask::ALL
+                        .without(MetricBit::Nodes)
+                        .without(MetricBit::Gpus)
+                        .without(MetricBit::Cpus),
+                ));
+        let engine = BatchEngine::new();
+        let out = engine.assess_matrix(&masked, &matrix);
+        assert_eq!(out.slices.len(), 2);
+        let full_slice = out.slice("full").unwrap();
+        let degraded = out.slice("no-structure").unwrap();
+        assert_eq!(full_slice.coverage.total, masked.len());
+        // Hiding the structural metrics can only reduce coverage.
+        assert!(degraded.coverage.embodied <= full_slice.coverage.embodied);
+        assert!(degraded.coverage.operational <= full_slice.coverage.operational);
+        // And it must reduce embodied coverage on a realistic list.
+        assert!(degraded.coverage.embodied < full_slice.coverage.embodied);
+    }
+
+    #[test]
+    fn override_scenario_scales_inside_stages() {
+        let list = list();
+        let engine = BatchEngine::new();
+        let ctx = engine.context(&list);
+        let base = engine.assess(&ctx, &DataScenario::full("base"));
+        let double_pue = DataScenario::full("pue2").with_overrides(OverrideSet {
+            pue: Some(2.6),
+            ..OverrideSet::NONE
+        });
+        let overridden = engine.assess(&ctx, &double_pue);
+        for (b, o) in base.iter().zip(&overridden) {
+            if let (Ok(b), Ok(o)) = (&b.operational, &o.operational) {
+                assert_eq!(o.pue, 2.6);
+                let expected = b.mt_co2e / b.pue * 2.6;
+                assert!((o.mt_co2e - expected).abs() < 1e-9 * expected.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn frame_layout_covers_every_scenario_row() {
+        let list = list();
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("a"))
+            .with(DataScenario::full("b"));
+        let out = BatchEngine::new().assess_matrix(&list, &matrix);
+        let df = out.to_frame();
+        assert_eq!(df.len(), 2 * list.len());
+        assert_eq!(df.width(), 9);
+        let op = df.numeric("operational_mt").unwrap();
+        let covered = op.iter().filter(|v| v.is_some()).count();
+        assert_eq!(
+            covered,
+            out.slices
+                .iter()
+                .map(|s| s.coverage.operational)
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn coverage_from_footprints_matches_estimator_construction() {
+        let full = list();
+        let masked = mask_baseline(&full, &MaskRates::default(), 5);
+        let engine = BatchEngine::new();
+        let footprints = engine.assess_list(&masked);
+        let cov = CoverageReport::from_footprints(&footprints);
+        assert_eq!(cov, crate::coverage::coverage(&masked));
+    }
+
+    #[test]
+    fn context_is_reusable() {
+        let list = list();
+        let engine = BatchEngine::new();
+        let ctx = engine.context(&list);
+        let a = engine.assess(&ctx, &DataScenario::full("x"));
+        let b = engine.assess(&ctx, &DataScenario::full("y"));
+        assert_identical(&a, &b);
+        assert_eq!(ctx.len(), list.len());
+        assert!(!ctx.is_empty());
+    }
+}

@@ -97,7 +97,10 @@ pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<Embodie
         .or_else(|| cpus.map(|c| c.div_ceil(2)))
         .expect("nodes or cpus present (checked above)");
     if node_count == 0 {
-        return Err(EasyCError::InvalidField { field: "node_count", value: "0".into() });
+        return Err(EasyCError::InvalidField {
+            field: "node_count",
+            value: "0".into(),
+        });
     }
     let cpu_sockets = cpus.unwrap_or(node_count * 2);
 
@@ -107,7 +110,12 @@ pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<Embodie
         .as_deref()
         .map(hwdb::cpu::lookup_or_generic)
         .unwrap_or((&hwdb::cpu::GENERIC_CPU, true));
-    let cpu_kg = silicon_kg(cpu_sockets as f64, cpu_spec.die_area_cm2, cpu_spec.node, false);
+    let cpu_kg = silicon_kg(
+        cpu_sockets as f64,
+        cpu_spec.die_area_cm2,
+        cpu_spec.node,
+        false,
+    );
 
     // Accelerator silicon + HBM. A coarse family label ("NVIDIA GPU")
     // cannot identify the silicon and blocks the estimate; a *specific* but
@@ -120,8 +128,7 @@ pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<Embodie
         }
         let (spec, fell_back) = hwdb::accel::lookup_or_mainstream(description);
         let dies = silicon_kg(accel_count as f64, spec.die_area_cm2, spec.node, true);
-        let hbm = accel_count as f64
-            * dram_embodied_kg(spec.hbm_gb, Some(MemoryType::Hbm3));
+        let hbm = accel_count as f64 * dram_embodied_kg(spec.hbm_gb, Some(MemoryType::Hbm3));
         (dies + hbm, fell_back)
     } else {
         (0.0, false)
@@ -200,7 +207,11 @@ mod tests {
         let r = accelerated();
         let m = SevenMetrics::extract(&r);
         let est = estimate(&r, &m).unwrap();
-        assert!(est.mt_co2e > 5_000.0 && est.mt_co2e < 150_000.0, "{}", est.mt_co2e);
+        assert!(
+            est.mt_co2e > 5_000.0 && est.mt_co2e < 150_000.0,
+            "{}",
+            est.mt_co2e
+        );
     }
 
     #[test]
@@ -218,7 +229,10 @@ mod tests {
         r.node_count = None;
         r.total_cores = None;
         let m = SevenMetrics::extract(&r);
-        assert!(matches!(estimate(&r, &m), Err(EasyCError::NoStructuralData { .. })));
+        assert!(matches!(
+            estimate(&r, &m),
+            Err(EasyCError::NoStructuralData { .. })
+        ));
     }
 
     #[test]
@@ -289,6 +303,9 @@ mod tests {
         r.node_count = Some(0);
         r.total_cores = None;
         let m = SevenMetrics::extract(&r);
-        assert!(matches!(estimate(&r, &m), Err(EasyCError::InvalidField { .. })));
+        assert!(matches!(
+            estimate(&r, &m),
+            Err(EasyCError::InvalidField { .. })
+        ));
     }
 }

@@ -47,13 +47,19 @@ impl fmt::Display for EasyCError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EasyCError::NoPowerPath { rank } => {
-                write!(f, "system #{rank}: no usable power path for operational carbon")
+                write!(
+                    f,
+                    "system #{rank}: no usable power path for operational carbon"
+                )
             }
             EasyCError::NoStructuralData { rank } => {
                 write!(f, "system #{rank}: no structural data for embodied carbon")
             }
             EasyCError::UnknownAcceleratorCount { rank } => {
-                write!(f, "system #{rank}: accelerator present but device count unknown")
+                write!(
+                    f,
+                    "system #{rank}: accelerator present but device count unknown"
+                )
             }
             EasyCError::GenericAcceleratorLabel { rank } => {
                 write!(
@@ -77,9 +83,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(EasyCError::NoPowerPath { rank: 7 }.to_string().contains("#7"));
-        assert!(EasyCError::InvalidField { field: "power_kw", value: "-1".into() }
+        assert!(EasyCError::NoPowerPath { rank: 7 }
             .to_string()
-            .contains("power_kw"));
+            .contains("#7"));
+        assert!(EasyCError::InvalidField {
+            field: "power_kw",
+            value: "-1".into()
+        }
+        .to_string()
+        .contains("power_kw"));
     }
 }

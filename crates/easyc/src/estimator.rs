@@ -1,9 +1,15 @@
 //! The public EasyC facade: estimate one system or a whole list.
+//!
+//! Single-system assessment and the batch engine share one code path
+//! ([`crate::batch::assess_one`]): configuration overrides are applied
+//! *inside* the estimators, never by rescaling finished estimates.
 
-use crate::embodied::{self, EmbodiedEstimate};
+use crate::batch::{assess_one, BatchEngine};
+use crate::embodied::EmbodiedEstimate;
 use crate::error::Result;
 use crate::metrics::SevenMetrics;
-use crate::operational::{self, OperationalEstimate};
+use crate::operational::OperationalEstimate;
+use crate::scenario::{DataScenario, OverrideSet};
 use top500::list::Top500List;
 use top500::record::SystemRecord;
 
@@ -28,6 +34,17 @@ impl Default for EasyCConfig {
             utilization_override: None,
             lifetime_years: 5.0,
             workers: parallel::default_workers(),
+        }
+    }
+}
+
+impl EasyCConfig {
+    /// The configuration's overrides as a scenario [`OverrideSet`].
+    pub fn overrides(&self) -> OverrideSet {
+        OverrideSet {
+            pue: self.pue_override,
+            utilization: self.utilization_override,
+            aci_g_per_kwh: None,
         }
     }
 }
@@ -77,35 +94,47 @@ impl EasyC {
         &self.config
     }
 
-    /// Assesses one system.
-    pub fn assess(&self, record: &SystemRecord) -> SystemFootprint {
-        let metrics = SevenMetrics::extract(record);
-        let mut operational = operational::estimate(record, &metrics);
-        if let Ok(est) = &mut operational {
-            // Apply config overrides by re-scaling the prior-based terms.
-            if let Some(pue) = self.config.pue_override {
-                est.mt_co2e *= pue / est.pue;
-                est.pue = pue;
-            }
-            if let Some(util) = self.config.utilization_override {
-                if est.utilization > 0.0 && est.utilization != 1.0 {
-                    est.mt_co2e *= util / est.utilization;
-                    est.utilization = util;
-                }
-            }
-        }
-        let embodied = embodied::estimate(record, &metrics);
-        SystemFootprint { rank: record.rank, operational, embodied }
+    /// The scenario implied by this configuration (full data visibility,
+    /// with the configured PUE/utilisation overrides).
+    fn default_scenario(&self) -> DataScenario {
+        DataScenario::full("default").with_overrides(self.config.overrides())
     }
 
-    /// Assesses a whole list in parallel (deterministic output order).
+    /// Assesses one system. Configuration overrides are applied inside the
+    /// estimators — in particular the utilisation override now applies even
+    /// when the estimated utilisation is exactly 1.0 (the seed's rescaling
+    /// hack silently skipped that case).
+    pub fn assess(&self, record: &SystemRecord) -> SystemFootprint {
+        self.assess_scenario(record, &self.default_scenario())
+    }
+
+    /// Assesses one system under an explicit data scenario. Scenario
+    /// overrides take precedence over configuration overrides.
+    pub fn assess_scenario(
+        &self,
+        record: &SystemRecord,
+        scenario: &DataScenario,
+    ) -> SystemFootprint {
+        let metrics = SevenMetrics::extract(record);
+        let effective = DataScenario {
+            name: scenario.name.clone(),
+            mask: scenario.mask,
+            overrides: scenario.overrides.or(self.config.overrides()),
+        };
+        assess_one(record, &metrics, &effective)
+    }
+
+    /// Assesses a whole list through the staged batch engine (deterministic
+    /// output order, bit-identical to serial [`EasyC::assess`] calls).
     pub fn assess_list(&self, list: &Top500List) -> Vec<SystemFootprint> {
-        parallel::par_map(list.systems(), self.config.workers, |record| self.assess(record))
+        BatchEngine::from_tool(self).assess_list(list)
     }
 
     /// Annualised embodied carbon of a footprint, MT CO2e/yr.
     pub fn annualized_embodied_mt(&self, footprint: &SystemFootprint) -> Option<f64> {
-        footprint.embodied_mt().map(|mt| mt / self.config.lifetime_years)
+        footprint
+            .embodied_mt()
+            .map(|mt| mt / self.config.lifetime_years)
     }
 }
 
@@ -116,7 +145,10 @@ mod tests {
 
     #[test]
     fn assess_list_matches_serial() {
-        let list = generate_full(&SyntheticConfig { n: 64, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 64,
+            ..Default::default()
+        });
         let tool = EasyC::new();
         let par = tool.assess_list(&list);
         let ser: Vec<_> = list.systems().iter().map(|s| tool.assess(s)).collect();
@@ -129,7 +161,10 @@ mod tests {
 
     #[test]
     fn pue_override_scales_operational() {
-        let list = generate_full(&SyntheticConfig { n: 4, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 4,
+            ..Default::default()
+        });
         let sys = &list.systems()[0];
         let base = EasyC::new().assess(sys).operational_mt().unwrap();
         let tool = EasyC::with_config(EasyCConfig {
@@ -142,7 +177,10 @@ mod tests {
 
     #[test]
     fn annualized_embodied_divides_by_lifetime() {
-        let list = generate_full(&SyntheticConfig { n: 1, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 1,
+            ..Default::default()
+        });
         let tool = EasyC::new();
         let fp = tool.assess(&list.systems()[0]);
         let total = fp.embodied_mt().unwrap();
@@ -152,7 +190,10 @@ mod tests {
 
     #[test]
     fn footprint_accessors() {
-        let list = generate_full(&SyntheticConfig { n: 1, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 1,
+            ..Default::default()
+        });
         let fp = EasyC::new().assess(&list.systems()[0]);
         assert_eq!(fp.rank, 1);
         assert!(fp.operational_mt().unwrap() > 0.0);

@@ -16,22 +16,40 @@
 //!   chassis and interconnect — with statistical priors filling anything
 //!   the seven metrics do not pin down.
 //!
-//! The module structure mirrors the paper:
-//! [`metrics`] (the seven metrics), [`operational`], [`embodied`],
-//! [`coverage`] (who can be estimated under which data scenario),
-//! [`estimator`] (the public facade), [`uncertainty`] (Monte-Carlo bands).
+//! The module structure mirrors the paper, plus the batch engine layers:
+//!
+//! - [`metrics`] — the seven metrics and their extraction.
+//! - [`operational`] / [`embodied`] — the two estimators; overrides are
+//!   applied inside the computation ([`operational::estimate_with`]).
+//! - [`coverage`] — who can be estimated under which data scenario.
+//! - [`scenario`] — composable data scenarios: per-metric availability
+//!   masks ([`scenario::MetricMask`]), prior overrides
+//!   ([`scenario::OverrideSet`]) and scenario matrices
+//!   ([`scenario::ScenarioMatrix`]).
+//! - [`batch`] — the staged batch assessment engine
+//!   (`MetricsStage → OperationalStage → EmbodiedStage` over a shared
+//!   [`batch::AssessmentContext`], chunk-parallel, bit-identical to the
+//!   serial path).
+//! - [`estimator`] — the public facade, routed through the same code path
+//!   as the batch engine.
+//! - [`uncertainty`] — Monte-Carlo bands, reusing the assessment context
+//!   across samples.
 
+pub mod batch;
 pub mod coverage;
 pub mod embodied;
 pub mod error;
 pub mod estimator;
 pub mod metrics;
 pub mod operational;
+pub mod scenario;
 pub mod uncertainty;
 
+pub use batch::{AssessmentContext, BatchEngine, BatchOutput, ScenarioSlice};
 pub use coverage::{coverage, CoverageReport, Scenario};
 pub use embodied::{EmbodiedBreakdown, EmbodiedEstimate};
 pub use error::{EasyCError, Result};
 pub use estimator::{EasyC, EasyCConfig, SystemFootprint};
 pub use metrics::SevenMetrics;
 pub use operational::{AciSource, OperationalEstimate, PowerPath};
+pub use scenario::{DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};

@@ -10,6 +10,7 @@
 
 use crate::error::{EasyCError, Result};
 use crate::metrics::SevenMetrics;
+use crate::scenario::OverrideSet;
 use hwdb::accel::AccelVendor;
 use hwdb::efficiency::{gflops_per_watt_prior, MachineClass, DEFAULT_UTILIZATION};
 use hwdb::grid::{country_aci, regional_aci, Region, REGIONAL_ACI_RELATIVE_UNCERTAINTY};
@@ -54,13 +55,18 @@ pub enum AciSource {
     Regional(f64),
     /// World-average prior (nothing about the site is known).
     WorldPrior(f64),
+    /// Site-supplied intensity (scenario override, e.g. contracted supply).
+    Site(f64),
 }
 
 impl AciSource {
     /// The gCO2e/kWh value.
     pub fn value(self) -> f64 {
         match self {
-            AciSource::Country(v) | AciSource::Regional(v) | AciSource::WorldPrior(v) => v,
+            AciSource::Country(v)
+            | AciSource::Regional(v)
+            | AciSource::WorldPrior(v)
+            | AciSource::Site(v) => v,
         }
     }
 
@@ -68,9 +74,8 @@ impl AciSource {
     pub fn relative_uncertainty(self) -> f64 {
         match self {
             AciSource::Country(_) => 0.10,
-            AciSource::Regional(_) | AciSource::WorldPrior(_) => {
-                REGIONAL_ACI_RELATIVE_UNCERTAINTY
-            }
+            AciSource::Site(_) => 0.05,
+            AciSource::Regional(_) | AciSource::WorldPrior(_) => REGIONAL_ACI_RELATIVE_UNCERTAINTY,
         }
     }
 }
@@ -118,7 +123,10 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
     }
     if let Some(power) = record.power_kw {
         if power <= 0.0 {
-            return Err(EasyCError::InvalidField { field: "power_kw", value: power.to_string() });
+            return Err(EasyCError::InvalidField {
+                field: "power_kw",
+                value: power.to_string(),
+            });
         }
         return Ok((power, PowerPath::MeasuredPower));
     }
@@ -137,8 +145,7 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
                 .map(|a| hwdb::accel::lookup_or_mainstream(a).0.tdp_watts)
                 .unwrap_or(0.0);
             // 10 % node overhead (NICs, fans, VRM losses) + 200 W base.
-            let watts = (sockets as f64 * cpu_spec.tdp_watts
-                + gpus as f64 * accel_watts) * 1.1
+            let watts = (sockets as f64 * cpu_spec.tdp_watts + gpus as f64 * accel_watts) * 1.1
                 + nodes as f64 * 200.0;
             return Ok((watts / 1000.0, PowerPath::DeviceTdp));
         }
@@ -160,7 +167,10 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
             MachineClass::CpuOnly,
             metrics.operation_year.unwrap_or(2020),
         );
-        return Ok((record.rmax_tflops * 1000.0 / gfw / 1000.0, PowerPath::RmaxEfficiency));
+        return Ok((
+            record.rmax_tflops * 1000.0 / gfw / 1000.0,
+            PowerPath::RmaxEfficiency,
+        ));
     }
     // Accelerated system without measured power and without device counts:
     // an Rmax/efficiency prior would hide a 2-4x spread across accelerator
@@ -171,22 +181,52 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
     Err(EasyCError::NoPowerPath { rank: record.rank })
 }
 
-/// Full operational estimate for a record.
+/// Full operational estimate for a record with default priors.
 pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<OperationalEstimate> {
+    estimate_with(record, metrics, &OverrideSet::NONE)
+}
+
+/// Full operational estimate with scenario overrides applied *inside* the
+/// computation (no post-hoc rescaling):
+///
+/// - `overrides.pue` replaces the site-class PUE prior.
+/// - `overrides.utilization` replaces the utilisation factor wherever one
+///   applies — every power path except measured energy, which already
+///   reflects real load. In particular it applies even when the estimated
+///   utilisation would have been exactly 1.0 (the seed's rescaling hack
+///   silently skipped that case).
+/// - `overrides.aci_g_per_kwh` replaces the resolved grid intensity.
+pub fn estimate_with(
+    record: &SystemRecord,
+    metrics: &SevenMetrics,
+    overrides: &OverrideSet,
+) -> Result<OperationalEstimate> {
     let (power_kw, path) = resolve_power(record, metrics)?;
-    let aci = resolve_aci(record);
-    let pue = match record.rank {
+    let aci = match overrides.aci_g_per_kwh {
+        Some(v) => AciSource::Site(v),
+        None => resolve_aci(record),
+    };
+    let pue = overrides.pue.unwrap_or_else(|| match record.rank {
         0 => DEFAULT_PUE,
         rank => infer_site_class(rank, record.has_accelerator()).pue(),
-    };
+    });
     // Measured energy already reflects real load; other paths need the
     // utilisation de-rating.
     let utilization = match path {
         PowerPath::MeasuredEnergy => 1.0,
-        _ => metrics.utilization.unwrap_or(DEFAULT_UTILIZATION),
+        _ => overrides
+            .utilization
+            .unwrap_or_else(|| metrics.utilization.unwrap_or(DEFAULT_UTILIZATION)),
     };
     let mt_co2e = power_kw * HOURS_PER_YEAR * pue * utilization * aci.value() / 1.0e6;
-    Ok(OperationalEstimate { mt_co2e, power_kw, path, aci, pue, utilization })
+    Ok(OperationalEstimate {
+        mt_co2e,
+        power_kw,
+        path,
+        aci,
+        pue,
+        utilization,
+    })
 }
 
 #[cfg(test)]
@@ -215,7 +255,11 @@ mod tests {
         let est = estimate(&r, &m).unwrap();
         assert_eq!(est.path, PowerPath::MeasuredPower);
         // Paper Table II: Frontier ≈ 59.6–60.0 thousand MT CO2e.
-        assert!(est.mt_co2e > 40_000.0 && est.mt_co2e < 80_000.0, "{}", est.mt_co2e);
+        assert!(
+            est.mt_co2e > 40_000.0 && est.mt_co2e < 80_000.0,
+            "{}",
+            est.mt_co2e
+        );
     }
 
     #[test]
@@ -236,7 +280,11 @@ mod tests {
         let est = estimate(&r, &m).unwrap();
         assert_eq!(est.path, PowerPath::DeviceTdp);
         // TDP roll-up should land within 2x of the measured 22.8 MW.
-        assert!(est.power_kw > 11_000.0 && est.power_kw < 46_000.0, "{}", est.power_kw);
+        assert!(
+            est.power_kw > 11_000.0 && est.power_kw < 46_000.0,
+            "{}",
+            est.power_kw
+        );
     }
 
     #[test]
@@ -250,7 +298,10 @@ mod tests {
         r.cpu_count = None;
         r.total_cores = None;
         let m = SevenMetrics::extract(&r);
-        assert_eq!(estimate(&r, &m).unwrap_err(), EasyCError::NoPowerPath { rank: 2 });
+        assert_eq!(
+            estimate(&r, &m).unwrap_err(),
+            EasyCError::NoPowerPath { rank: 2 }
+        );
     }
 
     #[test]
@@ -303,13 +354,88 @@ mod tests {
     }
 
     #[test]
+    fn pue_override_applies_inside_estimate() {
+        let r = frontier_like();
+        let m = SevenMetrics::extract(&r);
+        let base = estimate(&r, &m).unwrap();
+        let ov = OverrideSet {
+            pue: Some(base.pue * 2.0),
+            ..OverrideSet::NONE
+        };
+        let overridden = estimate_with(&r, &m, &ov).unwrap();
+        assert_eq!(overridden.pue, base.pue * 2.0);
+        assert!((overridden.mt_co2e / base.mt_co2e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_override_applies_even_at_unit_estimate() {
+        // Regression for the seed's `est.utilization != 1.0` guard: a
+        // record reporting exactly 100 % utilisation on a TDP path must
+        // still honour the override (the old rescale hack silently skipped
+        // it). See ISSUE 1, satellite 2.
+        let mut r = frontier_like();
+        r.power_kw = None; // force the DeviceTdp path
+        r.utilization = Some(1.0);
+        let m = SevenMetrics::extract(&r);
+        let base = estimate(&r, &m).unwrap();
+        assert_eq!(base.path, PowerPath::DeviceTdp);
+        assert_eq!(base.utilization, 1.0);
+        let ov = OverrideSet {
+            utilization: Some(0.5),
+            ..OverrideSet::NONE
+        };
+        let halved = estimate_with(&r, &m, &ov).unwrap();
+        assert_eq!(halved.utilization, 0.5);
+        assert!((halved.mt_co2e / base.mt_co2e - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_override_never_touches_measured_energy() {
+        let mut r = frontier_like();
+        r.annual_energy_mwh = Some(160_000.0);
+        let m = SevenMetrics::extract(&r);
+        let ov = OverrideSet {
+            utilization: Some(0.5),
+            ..OverrideSet::NONE
+        };
+        let est = estimate_with(&r, &m, &ov).unwrap();
+        assert_eq!(est.path, PowerPath::MeasuredEnergy);
+        assert_eq!(est.utilization, 1.0);
+    }
+
+    #[test]
+    fn aci_override_replaces_grid_source() {
+        let r = frontier_like();
+        let m = SevenMetrics::extract(&r);
+        let ov = OverrideSet {
+            aci_g_per_kwh: Some(50.0),
+            ..OverrideSet::NONE
+        };
+        let est = estimate_with(&r, &m, &ov).unwrap();
+        assert_eq!(est.aci, AciSource::Site(50.0));
+        assert_eq!(est.aci.relative_uncertainty(), 0.05);
+        let base = estimate(&r, &m).unwrap();
+        assert!(est.mt_co2e < base.mt_co2e);
+    }
+
+    #[test]
+    fn empty_overrides_are_bit_identical_to_estimate() {
+        let r = frontier_like();
+        let m = SevenMetrics::extract(&r);
+        assert_eq!(estimate(&r, &m), estimate_with(&r, &m, &OverrideSet::NONE));
+    }
+
+    #[test]
     fn negative_power_is_invalid_field() {
         let mut r = frontier_like();
         r.power_kw = Some(-5.0);
         let m = SevenMetrics::extract(&r);
         assert!(matches!(
             estimate(&r, &m),
-            Err(EasyCError::InvalidField { field: "power_kw", .. })
+            Err(EasyCError::InvalidField {
+                field: "power_kw",
+                ..
+            })
         ));
     }
 }

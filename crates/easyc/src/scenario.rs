@@ -1,0 +1,654 @@
+//! Composable data-availability scenarios.
+//!
+//! The study's original `Scenario` enum hard-codes two data situations
+//! (top500.org only, + public info). Real assessment questions are richer:
+//! *what if nobody reports measured power?* *what if a site knows its PUE?*
+//! *what if the grid intensity is contracted renewable?* This module
+//! generalises the enum into data:
+//!
+//! - [`MetricMask`]: a bitmask over the assessment inputs (the seven
+//!   metrics, the optional refinements, measured power and site location).
+//!   Masked inputs are treated as unreported.
+//! - [`OverrideSet`]: values substituted *inside* the estimators (PUE,
+//!   utilisation, grid intensity) — replacing the seed's post-hoc rescaling
+//!   hack.
+//! - [`DataScenario`]: a named `(mask, overrides)` pair.
+//! - [`ScenarioMatrix`]: an ordered collection of scenarios, assessable in
+//!   one batch pass by [`crate::batch::BatchEngine`], loadable from CSV for
+//!   the `sweep` CLI command.
+
+use crate::coverage::Scenario;
+use crate::metrics::SevenMetrics;
+use top500::record::SystemRecord;
+
+/// One assessment input that a scenario can mask out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricBit {
+    /// Year the system entered operation.
+    OperationYear,
+    /// Number of compute nodes.
+    Nodes,
+    /// Number of accelerator devices.
+    Gpus,
+    /// Number of CPU sockets (including the derived count).
+    Cpus,
+    /// Memory capacity.
+    MemoryGb,
+    /// Memory technology string.
+    MemoryType,
+    /// SSD capacity.
+    SsdGb,
+    /// Measured annual energy (optional refinement).
+    AnnualEnergy,
+    /// Average utilisation (optional refinement).
+    Utilization,
+    /// Measured LINPACK power.
+    PowerKw,
+    /// Site location (country and region; grid falls to the world prior).
+    Location,
+}
+
+impl MetricBit {
+    /// All maskable inputs, in bit order.
+    pub const ALL: [MetricBit; 11] = [
+        MetricBit::OperationYear,
+        MetricBit::Nodes,
+        MetricBit::Gpus,
+        MetricBit::Cpus,
+        MetricBit::MemoryGb,
+        MetricBit::MemoryType,
+        MetricBit::SsdGb,
+        MetricBit::AnnualEnergy,
+        MetricBit::Utilization,
+        MetricBit::PowerKw,
+        MetricBit::Location,
+    ];
+
+    /// Spec-string token (used by [`MetricMask::parse`]).
+    pub fn token(self) -> &'static str {
+        match self {
+            MetricBit::OperationYear => "year",
+            MetricBit::Nodes => "nodes",
+            MetricBit::Gpus => "gpus",
+            MetricBit::Cpus => "cpus",
+            MetricBit::MemoryGb => "memory",
+            MetricBit::MemoryType => "memtype",
+            MetricBit::SsdGb => "ssd",
+            MetricBit::AnnualEnergy => "energy",
+            MetricBit::Utilization => "util",
+            MetricBit::PowerKw => "power",
+            MetricBit::Location => "location",
+        }
+    }
+
+    fn from_token(token: &str) -> Option<MetricBit> {
+        MetricBit::ALL.iter().copied().find(|b| b.token() == token)
+    }
+
+    const fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// Which assessment inputs a scenario can see. A set bit means *visible*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricMask(u16);
+
+impl Default for MetricMask {
+    fn default() -> MetricMask {
+        MetricMask::ALL
+    }
+}
+
+impl MetricMask {
+    /// Every input visible (the ground-truth scenario).
+    pub const ALL: MetricMask = MetricMask((1 << MetricBit::ALL.len()) - 1);
+
+    /// No input visible.
+    pub const NONE: MetricMask = MetricMask(0);
+
+    /// Mask from raw bits (extra bits are discarded).
+    pub fn from_bits(bits: u16) -> MetricMask {
+        MetricMask(bits & MetricMask::ALL.0)
+    }
+
+    /// Raw bit representation.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// True when `bit`'s input is visible.
+    pub fn contains(self, bit: MetricBit) -> bool {
+        self.0 & bit.bit() != 0
+    }
+
+    /// Copy with `bit` visible.
+    pub fn with(self, bit: MetricBit) -> MetricMask {
+        MetricMask(self.0 | bit.bit())
+    }
+
+    /// Copy with `bit` hidden.
+    pub fn without(self, bit: MetricBit) -> MetricMask {
+        MetricMask(self.0 & !bit.bit())
+    }
+
+    /// Inputs visible in either mask.
+    pub fn union(self, other: MetricMask) -> MetricMask {
+        MetricMask(self.0 | other.0)
+    }
+
+    /// Inputs visible in both masks.
+    pub fn intersect(self, other: MetricMask) -> MetricMask {
+        MetricMask(self.0 & other.0)
+    }
+
+    /// Inputs hidden by this mask.
+    pub fn complement(self) -> MetricMask {
+        MetricMask(!self.0 & MetricMask::ALL.0)
+    }
+
+    /// Number of visible inputs.
+    pub fn visible_count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Parses a spec string: whitespace-separated tokens starting from
+    /// `all` or `none`, with `-token` hiding and `+token`/`token` showing
+    /// an input, e.g. `"all -power -energy"` or `"none +nodes +gpus"`.
+    pub fn parse(spec: &str) -> Result<MetricMask, String> {
+        let mut tokens = spec.split_whitespace();
+        let mut mask = match tokens.next() {
+            Some("all") | None => MetricMask::ALL,
+            Some("none") => MetricMask::NONE,
+            Some(other) => {
+                // Allow starting directly with +/- tokens (implies `all`).
+                let mut m = MetricMask::ALL;
+                m = apply_token(m, other)?;
+                m
+            }
+        };
+        for token in tokens {
+            mask = apply_token(mask, token)?;
+        }
+        Ok(mask)
+    }
+
+    /// Canonical spec string; `parse` round-trips it.
+    pub fn to_spec(self) -> String {
+        let hidden: Vec<&str> = MetricBit::ALL
+            .iter()
+            .filter(|b| !self.contains(**b))
+            .map(|b| b.token())
+            .collect();
+        if hidden.is_empty() {
+            return "all".to_string();
+        }
+        if hidden.len() == MetricBit::ALL.len() {
+            return "none".to_string();
+        }
+        if hidden.len() > MetricBit::ALL.len() / 2 {
+            let visible: Vec<String> = MetricBit::ALL
+                .iter()
+                .filter(|b| self.contains(**b))
+                .map(|b| format!("+{}", b.token()))
+                .collect();
+            format!("none {}", visible.join(" "))
+        } else {
+            let hidden: Vec<String> = hidden.iter().map(|t| format!("-{t}")).collect();
+            format!("all {}", hidden.join(" "))
+        }
+    }
+
+    /// The masked view of a record's extracted metrics.
+    pub fn apply_metrics(self, record: &SystemRecord, metrics: &SevenMetrics) -> SevenMetrics {
+        let mut out = metrics.clone();
+        if !self.contains(MetricBit::OperationYear) {
+            out.operation_year = None;
+        }
+        if !self.contains(MetricBit::Nodes) {
+            out.nodes = None;
+        }
+        if !self.contains(MetricBit::Gpus) {
+            // Hiding the device count leaves CPU-only systems trivially
+            // known (zero accelerators), matching `SevenMetrics::extract`.
+            out.gpus = if record.has_accelerator() {
+                None
+            } else {
+                Some(0)
+            };
+        }
+        if !self.contains(MetricBit::Cpus) {
+            out.cpus = None;
+        }
+        if !self.contains(MetricBit::MemoryGb) {
+            out.memory_gb = None;
+        }
+        if !self.contains(MetricBit::MemoryType) {
+            out.memory_type = None;
+        }
+        if !self.contains(MetricBit::SsdGb) {
+            out.ssd_gb = None;
+        }
+        if !self.contains(MetricBit::AnnualEnergy) {
+            out.annual_energy_mwh = None;
+        }
+        if !self.contains(MetricBit::Utilization) {
+            out.utilization = None;
+        }
+        out
+    }
+
+    /// The masked view of the non-metric record inputs (measured power and
+    /// location). Metric fields are untouched — estimators read them
+    /// through [`MetricMask::apply_metrics`].
+    pub fn apply_record(self, record: &SystemRecord) -> SystemRecord {
+        let mut out = record.clone();
+        if !self.contains(MetricBit::PowerKw) {
+            out.power_kw = None;
+        }
+        if !self.contains(MetricBit::Location) {
+            out.country = None;
+            out.region = None;
+        }
+        out
+    }
+}
+
+fn apply_token(mask: MetricMask, token: &str) -> Result<MetricMask, String> {
+    let (hide, name) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token.strip_prefix('+').unwrap_or(token)),
+    };
+    let bit = MetricBit::from_token(name)
+        .ok_or_else(|| format!("unknown metric token `{name}` in mask spec"))?;
+    Ok(if hide {
+        mask.without(bit)
+    } else {
+        mask.with(bit)
+    })
+}
+
+/// Values substituted inside the estimators, replacing priors (and, for
+/// utilisation and PUE, any record-reported value). These apply *during*
+/// estimation — there is no post-hoc rescaling.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverrideSet {
+    /// Force this PUE for every site.
+    pub pue: Option<f64>,
+    /// Force this utilisation wherever a utilisation factor applies
+    /// (never on the measured-energy path, which already includes load).
+    pub utilization: Option<f64>,
+    /// Force this grid carbon intensity, gCO2e/kWh (e.g. a contracted
+    /// renewable supply).
+    pub aci_g_per_kwh: Option<f64>,
+}
+
+impl OverrideSet {
+    /// No overrides: priors and record data apply.
+    pub const NONE: OverrideSet = OverrideSet {
+        pue: None,
+        utilization: None,
+        aci_g_per_kwh: None,
+    };
+
+    /// True when no override is set.
+    pub fn is_empty(&self) -> bool {
+        self.pue.is_none() && self.utilization.is_none() && self.aci_g_per_kwh.is_none()
+    }
+
+    /// This set, with unset fields filled from `fallback`.
+    pub fn or(self, fallback: OverrideSet) -> OverrideSet {
+        OverrideSet {
+            pue: self.pue.or(fallback.pue),
+            utilization: self.utilization.or(fallback.utilization),
+            aci_g_per_kwh: self.aci_g_per_kwh.or(fallback.aci_g_per_kwh),
+        }
+    }
+}
+
+/// A named data scenario: which inputs are visible and which priors are
+/// overridden.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataScenario {
+    /// Display name.
+    pub name: String,
+    /// Input visibility.
+    pub mask: MetricMask,
+    /// Prior substitutions.
+    pub overrides: OverrideSet,
+}
+
+impl DataScenario {
+    /// Scenario with everything visible and no overrides.
+    pub fn full(name: impl Into<String>) -> DataScenario {
+        DataScenario {
+            name: name.into(),
+            mask: MetricMask::ALL,
+            overrides: OverrideSet::NONE,
+        }
+    }
+
+    /// Scenario with a custom mask and no overrides.
+    pub fn masked(name: impl Into<String>, mask: MetricMask) -> DataScenario {
+        DataScenario {
+            name: name.into(),
+            mask,
+            overrides: OverrideSet::NONE,
+        }
+    }
+
+    /// Builder: sets the override set.
+    pub fn with_overrides(mut self, overrides: OverrideSet) -> DataScenario {
+        self.overrides = overrides;
+        self
+    }
+
+    /// True when the scenario changes nothing (full mask, no overrides).
+    pub fn is_identity(&self) -> bool {
+        self.mask == MetricMask::ALL && self.overrides.is_empty()
+    }
+
+    /// The legacy fixed scenarios as data. The legacy enum encoded *which
+    /// list* was assessed (masked vs enriched records); as a `DataScenario`
+    /// both see every field the list carries.
+    pub fn from_legacy(scenario: Scenario) -> DataScenario {
+        DataScenario::full(scenario.label())
+    }
+}
+
+/// An ordered set of scenarios to assess in one batch pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioMatrix {
+    scenarios: Vec<DataScenario>,
+}
+
+impl ScenarioMatrix {
+    /// Empty matrix.
+    pub fn new() -> ScenarioMatrix {
+        ScenarioMatrix::default()
+    }
+
+    /// Matrix holding the given scenarios.
+    pub fn from_scenarios(scenarios: Vec<DataScenario>) -> ScenarioMatrix {
+        ScenarioMatrix { scenarios }
+    }
+
+    /// The two scenarios of the paper, as data.
+    pub fn legacy() -> ScenarioMatrix {
+        ScenarioMatrix::from_scenarios(vec![
+            DataScenario::from_legacy(Scenario::Baseline),
+            DataScenario::from_legacy(Scenario::BaselinePlusPublic),
+        ])
+    }
+
+    /// Appends a scenario (builder style).
+    pub fn with(mut self, scenario: DataScenario) -> ScenarioMatrix {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Appends a scenario.
+    pub fn push(&mut self, scenario: DataScenario) {
+        self.scenarios.push(scenario);
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when the matrix has no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// The scenarios, in assessment order.
+    pub fn scenarios(&self) -> &[DataScenario] {
+        &self.scenarios
+    }
+
+    /// Scenario by name.
+    pub fn by_name(&self, name: &str) -> Option<&DataScenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Parses a scenario matrix from CSV text with columns
+    /// `name,mask[,pue_override][,utilization_override][,aci_override]`.
+    /// `mask` uses the [`MetricMask::parse`] spec syntax; empty override
+    /// cells leave the prior in place.
+    pub fn from_csv(text: &str) -> Result<ScenarioMatrix, String> {
+        let df = frame::csv::parse(text).map_err(|e| e.to_string())?;
+        let name_col = df.column("name").map_err(|e| e.to_string())?;
+        let mask_col = df.column("mask").map_err(|e| e.to_string())?;
+        let numeric = |col: &str| -> Result<Option<Vec<Option<f64>>>, String> {
+            if !df.names().iter().any(|n| n == col) {
+                return Ok(None);
+            }
+            match df.numeric(col) {
+                Ok(values) => Ok(Some(values)),
+                // An all-empty column has no type evidence and parses as
+                // string; treat it as "no overrides in this column".
+                Err(e) => {
+                    let column = df.column(col).map_err(|e| e.to_string())?;
+                    let all_null =
+                        (0..df.len()).all(|i| matches!(column.value(i), frame::Value::Null));
+                    if all_null {
+                        Ok(Some(vec![None; df.len()]))
+                    } else {
+                        Err(e.to_string())
+                    }
+                }
+            }
+        };
+        let pue = numeric("pue_override")?;
+        let util = numeric("utilization_override")?;
+        let aci = numeric("aci_override")?;
+        let mut scenarios = Vec::with_capacity(df.len());
+        // Numeric-looking cells (a name column of years, say) are
+        // type-inferred by the CSV reader; render the cell text, never the
+        // Rust debug representation.
+        fn cell_text(value: frame::Value) -> String {
+            match value {
+                frame::Value::Str(s) => s,
+                frame::Value::I64(v) => v.to_string(),
+                frame::Value::F64(v) => v.to_string(),
+                frame::Value::Bool(b) => b.to_string(),
+                frame::Value::Null => String::new(),
+            }
+        }
+        for i in 0..df.len() {
+            let name = cell_text(name_col.value(i));
+            let mask_spec = match mask_col.value(i) {
+                frame::Value::Null => "all".to_string(),
+                other => cell_text(other),
+            };
+            let mask =
+                MetricMask::parse(&mask_spec).map_err(|e| format!("scenario `{name}`: {e}"))?;
+            let overrides = OverrideSet {
+                pue: pue.as_ref().and_then(|v| v[i]),
+                utilization: util.as_ref().and_then(|v| v[i]),
+                aci_g_per_kwh: aci.as_ref().and_then(|v| v[i]),
+            };
+            scenarios.push(DataScenario {
+                name,
+                mask,
+                overrides,
+            });
+        }
+        Ok(ScenarioMatrix { scenarios })
+    }
+
+    /// CSV template for the `sweep` command.
+    pub fn csv_template() -> String {
+        "name,mask,pue_override,utilization_override,aci_override\n\
+         full,all,,,\n\
+         no-power,all -power -energy,,,\n\
+         no-structure,all -nodes -gpus -cpus,,,\n\
+         site-pue,all,1.1,,\n\
+         clean-grid,all,,,50\n"
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accelerated() -> SystemRecord {
+        let mut r = SystemRecord::bare(7, 90_000.0, 120_000.0);
+        r.country = Some("United States".into());
+        r.processor = Some("AMD EPYC 7763 64C 2.45GHz".into());
+        r.accelerator = Some("NVIDIA A100 SXM4 80GB".into());
+        r.accelerator_count = Some(4000);
+        r.node_count = Some(1000);
+        r.total_cores = Some(128_000);
+        r.power_kw = Some(5_000.0);
+        r.memory_gb = Some(512_000.0);
+        r.utilization = Some(0.8);
+        r
+    }
+
+    #[test]
+    fn mask_bit_algebra() {
+        let m = MetricMask::ALL.without(MetricBit::PowerKw);
+        assert!(!m.contains(MetricBit::PowerKw));
+        assert!(m.contains(MetricBit::Nodes));
+        assert_eq!(m.with(MetricBit::PowerKw), MetricMask::ALL);
+        assert_eq!(m.union(m.complement()), MetricMask::ALL);
+        assert_eq!(m.intersect(m.complement()), MetricMask::NONE);
+        assert_eq!(MetricMask::ALL.visible_count(), 11);
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(MetricMask::parse("all").unwrap(), MetricMask::ALL);
+        assert_eq!(MetricMask::parse("none").unwrap(), MetricMask::NONE);
+        let m = MetricMask::parse("all -power -energy").unwrap();
+        assert!(!m.contains(MetricBit::PowerKw));
+        assert!(!m.contains(MetricBit::AnnualEnergy));
+        assert!(m.contains(MetricBit::Nodes));
+        let n = MetricMask::parse("none +nodes +gpus").unwrap();
+        assert_eq!(n.visible_count(), 2);
+        assert!(MetricMask::parse("all -warp").is_err());
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for bits in 0..=MetricMask::ALL.bits() {
+            let mask = MetricMask::from_bits(bits);
+            assert_eq!(
+                MetricMask::parse(&mask.to_spec()).unwrap(),
+                mask,
+                "{}",
+                mask.to_spec()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_metrics_hides_fields() {
+        let r = accelerated();
+        let m = SevenMetrics::extract(&r);
+        let masked = MetricMask::ALL
+            .without(MetricBit::Gpus)
+            .without(MetricBit::MemoryGb)
+            .without(MetricBit::Utilization)
+            .apply_metrics(&r, &m);
+        assert_eq!(masked.gpus, None);
+        assert_eq!(masked.memory_gb, None);
+        assert_eq!(masked.utilization, None);
+        assert_eq!(masked.nodes, m.nodes);
+    }
+
+    #[test]
+    fn gpu_mask_keeps_cpu_only_trivial() {
+        let mut r = accelerated();
+        r.accelerator = None;
+        r.accelerator_count = None;
+        let m = SevenMetrics::extract(&r);
+        let masked = MetricMask::ALL
+            .without(MetricBit::Gpus)
+            .apply_metrics(&r, &m);
+        assert_eq!(masked.gpus, Some(0));
+    }
+
+    #[test]
+    fn apply_record_hides_power_and_location() {
+        let r = accelerated();
+        let masked = MetricMask::ALL
+            .without(MetricBit::PowerKw)
+            .without(MetricBit::Location)
+            .apply_record(&r);
+        assert_eq!(masked.power_kw, None);
+        assert_eq!(masked.country, None);
+        assert_eq!(masked.region, None);
+        assert_eq!(masked.accelerator, r.accelerator);
+    }
+
+    #[test]
+    fn override_set_merge() {
+        let a = OverrideSet {
+            pue: Some(1.2),
+            ..OverrideSet::NONE
+        };
+        let b = OverrideSet {
+            pue: Some(1.5),
+            utilization: Some(0.7),
+            ..OverrideSet::NONE
+        };
+        let merged = a.or(b);
+        assert_eq!(merged.pue, Some(1.2));
+        assert_eq!(merged.utilization, Some(0.7));
+        assert!(OverrideSet::NONE.is_empty());
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn legacy_conversion() {
+        let matrix = ScenarioMatrix::legacy();
+        assert_eq!(matrix.len(), 2);
+        assert!(matrix.scenarios()[0].is_identity());
+        assert_eq!(matrix.scenarios()[0].name, Scenario::Baseline.label());
+        assert!(matrix
+            .by_name(Scenario::BaselinePlusPublic.label())
+            .is_some());
+    }
+
+    #[test]
+    fn matrix_from_csv_roundtrip() {
+        let matrix = ScenarioMatrix::from_csv(&ScenarioMatrix::csv_template()).unwrap();
+        assert_eq!(matrix.len(), 5);
+        assert!(matrix.by_name("full").unwrap().is_identity());
+        let no_power = matrix.by_name("no-power").unwrap();
+        assert!(!no_power.mask.contains(MetricBit::PowerKw));
+        assert!(!no_power.mask.contains(MetricBit::AnnualEnergy));
+        assert_eq!(matrix.by_name("site-pue").unwrap().overrides.pue, Some(1.1));
+        assert_eq!(
+            matrix
+                .by_name("clean-grid")
+                .unwrap()
+                .overrides
+                .aci_g_per_kwh,
+            Some(50.0)
+        );
+    }
+
+    #[test]
+    fn matrix_from_csv_keeps_numeric_names_textual() {
+        // A name column of bare numbers is type-inferred as integers by the
+        // CSV reader; scenario names must still round-trip as text.
+        let matrix = ScenarioMatrix::from_csv("name,mask\n2024,all\n1,all -power\n").unwrap();
+        assert!(matrix.by_name("2024").unwrap().is_identity());
+        assert!(!matrix
+            .by_name("1")
+            .unwrap()
+            .mask
+            .contains(MetricBit::PowerKw));
+    }
+
+    #[test]
+    fn matrix_from_csv_rejects_bad_mask() {
+        let err = ScenarioMatrix::from_csv("name,mask\nbroken,all -nope\n").unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+}

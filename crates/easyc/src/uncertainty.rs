@@ -6,11 +6,14 @@
 //! RNG streams from `parallel`, producing percentile intervals that are
 //! independent of thread count.
 
+use crate::batch::{AssessmentContext, OperationalStage};
 use crate::estimator::EasyC;
 use crate::metrics::SevenMetrics;
-use crate::operational::{self};
+use crate::operational::{self, OperationalEstimate};
+use crate::scenario::{DataScenario, ScenarioMatrix};
 use frame::stats;
 use parallel::rng::RngStreams;
+use top500::list::Top500List;
 use top500::record::SystemRecord;
 
 /// Relative 1-sigma widths of the model priors.
@@ -28,7 +31,12 @@ pub struct PriorUncertainty {
 
 impl Default for PriorUncertainty {
     fn default() -> PriorUncertainty {
-        PriorUncertainty { pue: 0.10, utilization: 0.15, fab: 0.20, capacity_priors: 0.30 }
+        PriorUncertainty {
+            pue: 0.10,
+            utilization: 0.15,
+            fab: 0.20,
+            capacity_priors: 0.30,
+        }
     }
 }
 
@@ -65,7 +73,9 @@ pub fn operational_interval(
     seed: u64,
 ) -> Option<Interval> {
     let metrics = SevenMetrics::extract(record);
-    let base = operational::estimate(record, &metrics).ok()?;
+    // The tool's configured overrides apply inside the estimate, exactly as
+    // they do in `EasyC::assess` — the interval brackets the same point.
+    let base = operational::estimate_with(record, &metrics, &tool.config().overrides()).ok()?;
     let aci_sigma = base.aci.relative_uncertainty() / 2.0; // band → ~2 sigma
     let streams = RngStreams::new(seed ^ u64::from(record.rank));
     let draws = parallel::par_map_chunked(
@@ -79,9 +89,8 @@ pub fn operational_interval(
                     let mut rng = streams.stream((start + i) as u64);
                     let aci = base.aci.value() * rng.next_lognormal(0.0, aci_sigma);
                     let pue = (base.pue * rng.next_lognormal(0.0, priors.pue)).max(1.0);
-                    let util = (base.utilization
-                        * rng.next_lognormal(0.0, priors.utilization))
-                    .clamp(0.05, 1.0);
+                    let util = (base.utilization * rng.next_lognormal(0.0, priors.utilization))
+                        .clamp(0.05, 1.0);
                     base.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
                 })
                 .collect()
@@ -151,24 +160,86 @@ pub fn fleet_operational_interval(
     level: f64,
     seed: u64,
 ) -> Option<Interval> {
-    // Pre-compute the per-system base estimates once.
+    // Pre-compute the per-system base estimates once, with the tool's
+    // configured overrides applied inside, matching `EasyC::assess`.
+    let overrides = tool.config().overrides();
     let bases: Vec<_> = systems
         .iter()
         .filter_map(|r| {
             let m = SevenMetrics::extract(r);
-            operational::estimate(r, &m).ok()
+            operational::estimate_with(r, &m, &overrides).ok()
         })
         .collect();
+    fleet_interval_from_bases(tool, &bases, priors, samples, level, seed)
+}
+
+/// [`fleet_operational_interval`] over a pre-built [`AssessmentContext`]
+/// and an explicit scenario: the metric extraction is reused across every
+/// Monte-Carlo draw (and across scenarios when called per matrix row)
+/// instead of being recomputed per invocation.
+pub fn fleet_operational_interval_ctx(
+    tool: &EasyC,
+    ctx: &AssessmentContext<'_>,
+    scenario: &DataScenario,
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    // Scenario overrides beat configuration overrides, exactly as in
+    // `BatchEngine::assess`.
+    let effective = DataScenario {
+        name: scenario.name.clone(),
+        mask: scenario.mask,
+        overrides: scenario.overrides.or(tool.config().overrides()),
+    };
+    let bases: Vec<OperationalEstimate> =
+        OperationalStage::run(ctx, &effective, tool.config().workers)
+            .into_iter()
+            .filter_map(|r| r.ok())
+            .collect();
+    fleet_interval_from_bases(tool, &bases, priors, samples, level, seed)
+}
+
+/// Fleet-total operational intervals for every scenario of a matrix,
+/// sharing one context (one extraction pass) across all of them.
+pub fn scenario_intervals(
+    tool: &EasyC,
+    list: &Top500List,
+    matrix: &ScenarioMatrix,
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Vec<(String, Option<Interval>)> {
+    let ctx = AssessmentContext::new(list, tool.config().workers);
+    matrix
+        .scenarios()
+        .iter()
+        .map(|scenario| {
+            let interval =
+                fleet_operational_interval_ctx(tool, &ctx, scenario, priors, samples, level, seed);
+            (scenario.name.clone(), interval)
+        })
+        .collect()
+}
+
+fn fleet_interval_from_bases(
+    tool: &EasyC,
+    bases: &[OperationalEstimate],
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
     if bases.is_empty() || samples == 0 {
         return None;
     }
     let point: f64 = bases.iter().map(|b| b.mt_co2e).sum();
     let streams = RngStreams::new(seed ^ 0xF1EE_7000);
     let sample_indices: Vec<usize> = (0..samples).collect();
-    let draws = parallel::par_map_chunked(
-        &sample_indices,
-        tool.config().workers,
-        |start, chunk| {
+    let draws =
+        parallel::par_map_chunked(&sample_indices, tool.config().workers, |start, chunk| {
             chunk
                 .iter()
                 .enumerate()
@@ -183,20 +254,18 @@ pub fn fleet_operational_interval(
                         .enumerate()
                         .map(|(i, b)| {
                             // Idiosyncratic ACI noise: per system per sample.
-                            let mut local = streams
-                                .stream(((sample as u64) << 32) | (i as u64 + 1));
+                            let mut local =
+                                streams.stream(((sample as u64) << 32) | (i as u64 + 1));
                             let aci_sigma = b.aci.relative_uncertainty() / 2.0;
                             let aci = b.aci.value() * local.next_lognormal(0.0, aci_sigma);
                             let pue = (b.pue * pue_factor).max(1.0);
                             let util = (b.utilization * util_factor).clamp(0.05, 1.0);
-                            b.power_kw * operational::HOURS_PER_YEAR * pue * util * aci
-                                / 1.0e6
+                            b.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
                         })
                         .sum::<f64>()
                 })
                 .collect()
-        },
-    );
+        });
     let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
     Some(Interval {
         point,
@@ -211,8 +280,11 @@ mod tests {
     use top500::synthetic::{generate_full, SyntheticConfig};
 
     fn system() -> SystemRecord {
-        generate_full(&SyntheticConfig { n: 10, ..Default::default() })
-            .systems()[2]
+        generate_full(&SyntheticConfig {
+            n: 10,
+            ..Default::default()
+        })
+        .systems()[2]
             .clone()
     }
 
@@ -237,8 +309,14 @@ mod tests {
     fn deterministic_across_worker_counts() {
         let rec = system();
         let priors = PriorUncertainty::default();
-        let tool1 = EasyC::with_config(crate::EasyCConfig { workers: 1, ..Default::default() });
-        let tool8 = EasyC::with_config(crate::EasyCConfig { workers: 8, ..Default::default() });
+        let tool1 = EasyC::with_config(crate::EasyCConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let tool8 = EasyC::with_config(crate::EasyCConfig {
+            workers: 8,
+            ..Default::default()
+        });
         let a = operational_interval(&tool1, &rec, &priors, 300, 0.9, 7).unwrap();
         let b = operational_interval(&tool8, &rec, &priors, 300, 0.9, 7).unwrap();
         assert_eq!(a, b);
@@ -248,8 +326,8 @@ mod tests {
     fn wider_priors_widen_interval() {
         let rec = system();
         let tool = EasyC::new();
-        let narrow = embodied_interval(&tool, &rec, &PriorUncertainty::default(), 400, 0.95, 7)
-            .unwrap();
+        let narrow =
+            embodied_interval(&tool, &rec, &PriorUncertainty::default(), 400, 0.95, 7).unwrap();
         let wide_priors = PriorUncertainty {
             fab: 0.6,
             capacity_priors: 0.8,
@@ -261,7 +339,10 @@ mod tests {
 
     #[test]
     fn fleet_interval_brackets_total() {
-        let list = generate_full(&SyntheticConfig { n: 100, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 100,
+            ..Default::default()
+        });
         let tool = EasyC::new();
         let iv = fleet_operational_interval(
             &tool,
@@ -278,9 +359,15 @@ mod tests {
 
     #[test]
     fn fleet_interval_deterministic_across_workers() {
-        let list = generate_full(&SyntheticConfig { n: 60, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 60,
+            ..Default::default()
+        });
         let a = fleet_operational_interval(
-            &EasyC::with_config(crate::EasyCConfig { workers: 1, ..Default::default() }),
+            &EasyC::with_config(crate::EasyCConfig {
+                workers: 1,
+                ..Default::default()
+            }),
             list.systems(),
             &PriorUncertainty::default(),
             200,
@@ -289,7 +376,10 @@ mod tests {
         )
         .unwrap();
         let b = fleet_operational_interval(
-            &EasyC::with_config(crate::EasyCConfig { workers: 8, ..Default::default() }),
+            &EasyC::with_config(crate::EasyCConfig {
+                workers: 8,
+                ..Default::default()
+            }),
             list.systems(),
             &PriorUncertainty::default(),
             200,
@@ -305,7 +395,10 @@ mod tests {
         // With systematic (shared) PUE/util draws, fleet-total uncertainty
         // does NOT average out across systems: relative width stays near
         // the single-system width instead of shrinking by sqrt(n).
-        let list = generate_full(&SyntheticConfig { n: 100, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 100,
+            ..Default::default()
+        });
         let tool = EasyC::new();
         let priors = PriorUncertainty::default();
         let fleet =
@@ -318,17 +411,95 @@ mod tests {
     }
 
     #[test]
+    fn intervals_honour_config_overrides() {
+        // The interval must bracket the same point `EasyC::assess` reports
+        // when the tool carries a PUE override.
+        let rec = system();
+        let tool = EasyC::with_config(crate::EasyCConfig {
+            pue_override: Some(1.25),
+            ..Default::default()
+        });
+        let point = tool.assess(&rec).operational_mt().unwrap();
+        let iv =
+            operational_interval(&tool, &rec, &PriorUncertainty::default(), 300, 0.9, 9).unwrap();
+        assert_eq!(iv.point, point);
+        let fleet = fleet_operational_interval(
+            &tool,
+            std::slice::from_ref(&rec),
+            &PriorUncertainty::default(),
+            300,
+            0.9,
+            9,
+        )
+        .unwrap();
+        assert_eq!(fleet.point, point);
+    }
+
+    #[test]
+    fn context_variant_bit_identical_to_record_variant() {
+        let list = generate_full(&SyntheticConfig {
+            n: 80,
+            ..Default::default()
+        });
+        let tool = EasyC::new();
+        let priors = PriorUncertainty::default();
+        let direct =
+            fleet_operational_interval(&tool, list.systems(), &priors, 200, 0.9, 17).unwrap();
+        let ctx = AssessmentContext::new(&list, tool.config().workers);
+        let via_ctx = fleet_operational_interval_ctx(
+            &tool,
+            &ctx,
+            &DataScenario::full("full"),
+            &priors,
+            200,
+            0.9,
+            17,
+        )
+        .unwrap();
+        assert_eq!(direct, via_ctx);
+    }
+
+    #[test]
+    fn scenario_intervals_share_one_context() {
+        use crate::scenario::{MetricBit, MetricMask};
+        let list = generate_full(&SyntheticConfig {
+            n: 60,
+            ..Default::default()
+        });
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let results = scenario_intervals(
+            &EasyC::new(),
+            &list,
+            &matrix,
+            &PriorUncertainty::default(),
+            150,
+            0.9,
+            3,
+        );
+        assert_eq!(results.len(), 2);
+        let full = results[0].1.unwrap();
+        let degraded = results[1].1.unwrap();
+        // Hiding measured power moves systems onto prior-based paths; the
+        // fleet point estimate changes but both remain well-formed.
+        assert!(full.lo < full.hi && degraded.lo < degraded.hi);
+        assert_ne!(full.point, degraded.point);
+    }
+
+    #[test]
     fn fleet_interval_none_for_empty() {
         let tool = EasyC::new();
-        assert!(fleet_operational_interval(
-            &tool,
-            &[],
-            &PriorUncertainty::default(),
-            10,
-            0.9,
-            1
-        )
-        .is_none());
+        assert!(
+            fleet_operational_interval(&tool, &[], &PriorUncertainty::default(), 10, 0.9, 1)
+                .is_none()
+        );
     }
 
     #[test]
@@ -337,7 +508,6 @@ mod tests {
         let mut r = bare.clone();
         r.accelerator = Some("Unknown Custom Thing".into());
         let tool = EasyC::new();
-        assert!(embodied_interval(&tool, &r, &PriorUncertainty::default(), 10, 0.9, 1)
-            .is_none());
+        assert!(embodied_interval(&tool, &r, &PriorUncertainty::default(), 10, 0.9, 1).is_none());
     }
 }

@@ -97,8 +97,12 @@ mod tests {
 
     #[test]
     fn group_sum_and_count() {
-        let g = group_by(&df(), "country", &[("carbon", AggFn::Sum), ("carbon", AggFn::Count)])
-            .unwrap();
+        let g = group_by(
+            &df(),
+            "country",
+            &[("carbon", AggFn::Sum), ("carbon", AggFn::Count)],
+        )
+        .unwrap();
         assert_eq!(g.len(), 3);
         // US first (first appearance order).
         assert_eq!(g.value("country", 0).unwrap(), Value::Str("US".into()));
@@ -123,7 +127,11 @@ mod tests {
         let g = group_by(
             &df(),
             "country",
-            &[("carbon", AggFn::Min), ("carbon", AggFn::Max), ("carbon", AggFn::Median)],
+            &[
+                ("carbon", AggFn::Min),
+                ("carbon", AggFn::Max),
+                ("carbon", AggFn::Median),
+            ],
         )
         .unwrap();
         assert_eq!(g.value("carbon_min", 0).unwrap(), Value::F64(10.0));

@@ -46,7 +46,10 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(FrameError::Csv { line: line_no, message: "unterminated quote".into() });
+        return Err(FrameError::Csv {
+            line: line_no,
+            message: "unterminated quote".into(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -221,7 +224,11 @@ fn escape(field: &str) -> String {
 pub fn write(df: &DataFrame) -> String {
     let mut out = String::new();
     out.push_str(
-        &df.names().iter().map(|n| escape(n)).collect::<Vec<_>>().join(","),
+        &df.names()
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(","),
     );
     out.push('\n');
     for row in 0..df.len() {
@@ -275,14 +282,20 @@ mod tests {
     #[test]
     fn escaped_quotes() {
         let df = parse("name\n\"say \"\"hi\"\"\"\n").unwrap();
-        assert_eq!(df.value("name", 0).unwrap(), Value::Str("say \"hi\"".into()));
+        assert_eq!(
+            df.value("name", 0).unwrap(),
+            Value::Str("say \"hi\"".into())
+        );
     }
 
     #[test]
     fn embedded_newline_in_quotes() {
         let df = parse("name,v\n\"two\nlines\",1\n").unwrap();
         assert_eq!(df.len(), 1);
-        assert_eq!(df.value("name", 0).unwrap(), Value::Str("two\nlines".into()));
+        assert_eq!(
+            df.value("name", 0).unwrap(),
+            Value::Str("two\nlines".into())
+        );
     }
 
     #[test]

@@ -54,14 +54,19 @@ impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FrameError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
-            FrameError::LengthMismatch { column, got, expected } => write!(
+            FrameError::LengthMismatch {
+                column,
+                got,
+                expected,
+            } => write!(
                 f,
                 "column `{column}` has length {got} but the frame has {expected} rows"
             ),
-            FrameError::TypeMismatch { column, requested, actual } => write!(
-                f,
-                "column `{column}` is of type {actual}, not {requested}"
-            ),
+            FrameError::TypeMismatch {
+                column,
+                requested,
+                actual,
+            } => write!(f, "column `{column}` is of type {actual}, not {requested}"),
             FrameError::DuplicateColumn(name) => write!(f, "column `{name}` already exists"),
             FrameError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             FrameError::RowOutOfBounds { row, len } => {
@@ -87,14 +92,21 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let e = FrameError::LengthMismatch { column: "x".into(), got: 3, expected: 5 };
+        let e = FrameError::LengthMismatch {
+            column: "x".into(),
+            got: 3,
+            expected: 5,
+        };
         assert!(e.to_string().contains("length 3"));
         assert!(e.to_string().contains("5 rows"));
     }
 
     #[test]
     fn display_csv() {
-        let e = FrameError::Csv { line: 7, message: "unterminated quote".into() };
+        let e = FrameError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 

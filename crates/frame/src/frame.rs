@@ -93,7 +93,10 @@ impl DataFrame {
     /// One cell as an owned [`Value`].
     pub fn value(&self, name: &str, row: usize) -> Result<Value> {
         if row >= self.rows {
-            return Err(FrameError::RowOutOfBounds { row, len: self.rows });
+            return Err(FrameError::RowOutOfBounds {
+                row,
+                len: self.rows,
+            });
         }
         Ok(self.column(name)?.value(row))
     }
@@ -110,7 +113,10 @@ impl DataFrame {
     /// New frame holding the rows at `indices` (may repeat / reorder).
     pub fn take(&self, indices: &[usize]) -> Result<DataFrame> {
         if let Some(&bad) = indices.iter().find(|&&i| i >= self.rows) {
-            return Err(FrameError::RowOutOfBounds { row: bad, len: self.rows });
+            return Err(FrameError::RowOutOfBounds {
+                row: bad,
+                len: self.rows,
+            });
         }
         let mut out = DataFrame::new();
         for (name, col) in self.names.iter().zip(&self.columns) {
@@ -253,13 +259,17 @@ mod tests {
 
     #[test]
     fn duplicate_column_rejected() {
-        let err = sample().with_column("rank", Column::from_i64([9, 9, 9, 9])).unwrap_err();
+        let err = sample()
+            .with_column("rank", Column::from_i64([9, 9, 9, 9]))
+            .unwrap_err();
         assert!(matches!(err, FrameError::DuplicateColumn(_)));
     }
 
     #[test]
     fn length_mismatch_rejected() {
-        let err = sample().with_column("x", Column::from_i64([1])).unwrap_err();
+        let err = sample()
+            .with_column("x", Column::from_i64([1]))
+            .unwrap_err();
         assert!(matches!(err, FrameError::LengthMismatch { .. }));
     }
 

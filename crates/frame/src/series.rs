@@ -17,7 +17,10 @@ pub struct Series {
 impl Series {
     /// Wraps a column under a name.
     pub fn new(name: impl Into<String>, column: Column) -> Series {
-        Series { name: name.into(), column }
+        Series {
+            name: name.into(),
+            column,
+        }
     }
 
     /// The series name.
@@ -75,13 +78,19 @@ impl Series {
     /// Minimum over present values.
     pub fn min(&self) -> Result<f64> {
         let v = self.numeric_present()?;
-        v.iter().copied().reduce(f64::min).ok_or(FrameError::Empty("min"))
+        v.iter()
+            .copied()
+            .reduce(f64::min)
+            .ok_or(FrameError::Empty("min"))
     }
 
     /// Maximum over present values.
     pub fn max(&self) -> Result<f64> {
         let v = self.numeric_present()?;
-        v.iter().copied().reduce(f64::max).ok_or(FrameError::Empty("max"))
+        v.iter()
+            .copied()
+            .reduce(f64::max)
+            .ok_or(FrameError::Empty("max"))
     }
 }
 
@@ -90,7 +99,10 @@ mod tests {
     use super::*;
 
     fn series() -> Series {
-        Series::new("x", Column::F64(vec![Some(1.0), None, Some(3.0), Some(2.0)]))
+        Series::new(
+            "x",
+            Column::F64(vec![Some(1.0), None, Some(3.0), Some(2.0)]),
+        )
     }
 
     #[test]

@@ -112,8 +112,16 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { 1.0 - (syy - slope * sxy) / syy };
-    Some(LinearFit { slope, intercept, r2 })
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        1.0 - (syy - slope * sxy) / syy
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 /// Fits exponential growth `y = a * g^x` by OLS on `ln y`; returns

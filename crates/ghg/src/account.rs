@@ -40,7 +40,10 @@ impl GhgInputs {
 
     /// Ids from `checklist` that are not supplied.
     pub fn missing<'a>(&self, checklist: &'a [RequiredMetric]) -> Vec<&'a RequiredMetric> {
-        checklist.iter().filter(|m| !self.values.contains_key(m.id)).collect()
+        checklist
+            .iter()
+            .filter(|m| !self.values.contains_key(m.id))
+            .collect()
     }
 }
 
@@ -62,9 +65,12 @@ pub struct MissingMetrics {
 
 impl std::fmt::Display for MissingMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "GHG protocol computation blocked; {} metrics missing: {}",
+        write!(
+            f,
+            "GHG protocol computation blocked; {} metrics missing: {}",
             self.ids.len(),
-            self.ids.join(", "))
+            self.ids.join(", ")
+        )
     }
 }
 
@@ -75,7 +81,9 @@ impl std::error::Error for MissingMetrics {}
 pub fn operational(inputs: &GhgInputs) -> Result<f64, MissingMetrics> {
     let missing = inputs.missing(OPERATIONAL_CHECKLIST);
     if !missing.is_empty() {
-        return Err(MissingMetrics { ids: missing.iter().map(|m| m.id).collect() });
+        return Err(MissingMetrics {
+            ids: missing.iter().map(|m| m.id).collect(),
+        });
     }
     // Simplified tabulation once everything is present: facility energy ×
     // supplier factor, minus renewable instruments, plus direct sources.
@@ -95,7 +103,9 @@ pub fn operational(inputs: &GhgInputs) -> Result<f64, MissingMetrics> {
 pub fn embodied(inputs: &GhgInputs) -> Result<f64, MissingMetrics> {
     let missing = inputs.missing(EMBODIED_CHECKLIST);
     if !missing.is_empty() {
-        return Err(MissingMetrics { ids: missing.iter().map(|m| m.id).collect() });
+        return Err(MissingMetrics {
+            ids: missing.iter().map(|m| m.id).collect(),
+        });
     }
     let cpu_dies = inputs.get("bom_cpu_model_counts").unwrap();
     let cpu_area = inputs.get("cpu_die_area_per_model").unwrap();
@@ -114,7 +124,10 @@ pub fn embodied(inputs: &GhgInputs) -> Result<f64, MissingMetrics> {
 pub fn inventory(inputs: &GhgInputs) -> Result<GhgInventory, MissingMetrics> {
     let operational_mt = operational(inputs)?;
     let embodied_mt = embodied(inputs)?;
-    Ok(GhgInventory { operational_mt, embodied_mt })
+    Ok(GhgInventory {
+        operational_mt,
+        embodied_mt,
+    })
 }
 
 /// Fills every operational + embodied metric with a plausible value for a

@@ -21,7 +21,11 @@ pub struct RequiredMetric {
 
 macro_rules! metric {
     ($id:literal, $scope:expr, $avail:literal) => {
-        RequiredMetric { id: $id, scope: $scope, publicly_available: $avail }
+        RequiredMetric {
+            id: $id,
+            scope: $scope,
+            publicly_available: $avail,
+        }
     };
 }
 
@@ -101,7 +105,10 @@ mod tests {
             .chain(EMBODIED_CHECKLIST)
             .filter(|m| m.publicly_available)
             .count();
-        assert!(public * 4 < total_metric_count(), "only a small fraction is public");
+        assert!(
+            public * 4 < total_metric_count(),
+            "only a small fraction is public"
+        );
     }
 
     #[test]

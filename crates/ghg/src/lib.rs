@@ -18,5 +18,5 @@ pub mod coverage;
 pub mod scopes;
 
 pub use account::{GhgInputs, GhgInventory};
-pub use checklist::{RequiredMetric, OPERATIONAL_CHECKLIST, EMBODIED_CHECKLIST};
+pub use checklist::{RequiredMetric, EMBODIED_CHECKLIST, OPERATIONAL_CHECKLIST};
 pub use scopes::Scope;

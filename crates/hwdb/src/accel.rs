@@ -49,33 +49,270 @@ pub struct AccelSpec {
 }
 
 /// Accelerator database; most-specific patterns first.
+// The A40's real die area happens to round to 6.28 cm^2; it is data, not
+// an approximation of a mathematical constant.
+#[allow(clippy::approx_constant)]
 pub const ACCELS: &[AccelSpec] = &[
-    AccelSpec { pattern: "gh200", model: "NVIDIA GH200", vendor: AccelVendor::Nvidia, tdp_watts: 900.0, die_area_cm2: 8.14 + 5.5, hbm_gb: 96.0, node: ProcessNode::N5, gflops_per_watt: 50.0 },
-    AccelSpec { pattern: "h100", model: "NVIDIA H100", vendor: AccelVendor::Nvidia, tdp_watts: 700.0, die_area_cm2: 8.14, hbm_gb: 80.0, node: ProcessNode::N5, gflops_per_watt: 48.0 },
-    AccelSpec { pattern: "h200", model: "NVIDIA H200", vendor: AccelVendor::Nvidia, tdp_watts: 700.0, die_area_cm2: 8.14, hbm_gb: 141.0, node: ProcessNode::N5, gflops_per_watt: 48.0 },
-    AccelSpec { pattern: "a100", model: "NVIDIA A100", vendor: AccelVendor::Nvidia, tdp_watts: 400.0, die_area_cm2: 8.26, hbm_gb: 40.0, node: ProcessNode::N7, gflops_per_watt: 24.0 },
-    AccelSpec { pattern: "v100", model: "NVIDIA V100", vendor: AccelVendor::Nvidia, tdp_watts: 300.0, die_area_cm2: 8.15, hbm_gb: 16.0, node: ProcessNode::N16, gflops_per_watt: 23.0 },
-    AccelSpec { pattern: "p100", model: "NVIDIA P100", vendor: AccelVendor::Nvidia, tdp_watts: 300.0, die_area_cm2: 6.1, hbm_gb: 16.0, node: ProcessNode::N16, gflops_per_watt: 15.0 },
-    AccelSpec { pattern: "b200", model: "NVIDIA B200", vendor: AccelVendor::Nvidia, tdp_watts: 1000.0, die_area_cm2: 16.0, hbm_gb: 192.0, node: ProcessNode::N3, gflops_per_watt: 60.0 },
-    AccelSpec { pattern: "mi300a", model: "AMD Instinct MI300A", vendor: AccelVendor::Amd, tdp_watts: 760.0, die_area_cm2: 10.2, hbm_gb: 128.0, node: ProcessNode::N5, gflops_per_watt: 80.0 },
-    AccelSpec { pattern: "mi300x", model: "AMD Instinct MI300X", vendor: AccelVendor::Amd, tdp_watts: 750.0, die_area_cm2: 10.2, hbm_gb: 192.0, node: ProcessNode::N5, gflops_per_watt: 80.0 },
-    AccelSpec { pattern: "mi250x", model: "AMD Instinct MI250X", vendor: AccelVendor::Amd, tdp_watts: 560.0, die_area_cm2: 14.5, hbm_gb: 128.0, node: ProcessNode::N7, gflops_per_watt: 85.0 },
-    AccelSpec { pattern: "mi250", model: "AMD Instinct MI250", vendor: AccelVendor::Amd, tdp_watts: 560.0, die_area_cm2: 14.5, hbm_gb: 128.0, node: ProcessNode::N7, gflops_per_watt: 80.0 },
-    AccelSpec { pattern: "mi210", model: "AMD Instinct MI210", vendor: AccelVendor::Amd, tdp_watts: 300.0, die_area_cm2: 7.2, hbm_gb: 64.0, node: ProcessNode::N7, gflops_per_watt: 75.0 },
-    AccelSpec { pattern: "max 1550", model: "Intel Data Center GPU Max 1550", vendor: AccelVendor::Intel, tdp_watts: 600.0, die_area_cm2: 12.8, hbm_gb: 128.0, node: ProcessNode::N7, gflops_per_watt: 87.0 },
-    AccelSpec { pattern: "ponte vecchio", model: "Intel Ponte Vecchio", vendor: AccelVendor::Intel, tdp_watts: 600.0, die_area_cm2: 12.8, hbm_gb: 128.0, node: ProcessNode::N7, gflops_per_watt: 87.0 },
-    AccelSpec { pattern: "sx-aurora", model: "NEC SX-Aurora TSUBASA", vendor: AccelVendor::Nec, tdp_watts: 300.0, die_area_cm2: 5.0, hbm_gb: 48.0, node: ProcessNode::N16, gflops_per_watt: 16.0 },
-    AccelSpec { pattern: "matrix-2000", model: "NUDT Matrix-2000", vendor: AccelVendor::DomesticCn, tdp_watts: 240.0, die_area_cm2: 6.0, hbm_gb: 0.0, node: ProcessNode::N16, gflops_per_watt: 10.0 },
-    AccelSpec { pattern: "deep computing processor", model: "Sugon DCU", vendor: AccelVendor::DomesticCn, tdp_watts: 300.0, die_area_cm2: 6.0, hbm_gb: 16.0, node: ProcessNode::N7, gflops_per_watt: 25.0 },
-    AccelSpec { pattern: "gb200", model: "NVIDIA GB200", vendor: AccelVendor::Nvidia, tdp_watts: 1200.0, die_area_cm2: 16.0 + 5.5, hbm_gb: 192.0, node: ProcessNode::N3, gflops_per_watt: 67.0 },
-    AccelSpec { pattern: "a40", model: "NVIDIA A40", vendor: AccelVendor::Nvidia, tdp_watts: 300.0, die_area_cm2: 6.28, hbm_gb: 48.0, node: ProcessNode::N7, gflops_per_watt: 2.0 },
-    AccelSpec { pattern: "a30", model: "NVIDIA A30", vendor: AccelVendor::Nvidia, tdp_watts: 165.0, die_area_cm2: 8.26, hbm_gb: 24.0, node: ProcessNode::N7, gflops_per_watt: 31.0 },
-    AccelSpec { pattern: "t4", model: "NVIDIA T4", vendor: AccelVendor::Nvidia, tdp_watts: 70.0, die_area_cm2: 5.45, hbm_gb: 16.0, node: ProcessNode::N16, gflops_per_watt: 4.0 },
-    AccelSpec { pattern: "k80", model: "NVIDIA K80", vendor: AccelVendor::Nvidia, tdp_watts: 300.0, die_area_cm2: 11.0, hbm_gb: 24.0, node: ProcessNode::N28, gflops_per_watt: 6.2 },
-    AccelSpec { pattern: "mi100", model: "AMD Instinct MI100", vendor: AccelVendor::Amd, tdp_watts: 300.0, die_area_cm2: 7.5, hbm_gb: 32.0, node: ProcessNode::N7, gflops_per_watt: 38.0 },
-    AccelSpec { pattern: "mi60", model: "AMD Radeon Instinct MI60", vendor: AccelVendor::Amd, tdp_watts: 300.0, die_area_cm2: 3.31, hbm_gb: 32.0, node: ProcessNode::N7, gflops_per_watt: 24.0 },
-    AccelSpec { pattern: "mi325x", model: "AMD Instinct MI325X", vendor: AccelVendor::Amd, tdp_watts: 1000.0, die_area_cm2: 10.2, hbm_gb: 256.0, node: ProcessNode::N5, gflops_per_watt: 82.0 },
-    AccelSpec { pattern: "pezy-sc3", model: "PEZY-SC3", vendor: AccelVendor::Other, tdp_watts: 470.0, die_area_cm2: 7.86, hbm_gb: 32.0, node: ProcessNode::N7, gflops_per_watt: 42.0 },
+    AccelSpec {
+        pattern: "gh200",
+        model: "NVIDIA GH200",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 900.0,
+        die_area_cm2: 8.14 + 5.5,
+        hbm_gb: 96.0,
+        node: ProcessNode::N5,
+        gflops_per_watt: 50.0,
+    },
+    AccelSpec {
+        pattern: "h100",
+        model: "NVIDIA H100",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 700.0,
+        die_area_cm2: 8.14,
+        hbm_gb: 80.0,
+        node: ProcessNode::N5,
+        gflops_per_watt: 48.0,
+    },
+    AccelSpec {
+        pattern: "h200",
+        model: "NVIDIA H200",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 700.0,
+        die_area_cm2: 8.14,
+        hbm_gb: 141.0,
+        node: ProcessNode::N5,
+        gflops_per_watt: 48.0,
+    },
+    AccelSpec {
+        pattern: "a100",
+        model: "NVIDIA A100",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 400.0,
+        die_area_cm2: 8.26,
+        hbm_gb: 40.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 24.0,
+    },
+    AccelSpec {
+        pattern: "v100",
+        model: "NVIDIA V100",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 300.0,
+        die_area_cm2: 8.15,
+        hbm_gb: 16.0,
+        node: ProcessNode::N16,
+        gflops_per_watt: 23.0,
+    },
+    AccelSpec {
+        pattern: "p100",
+        model: "NVIDIA P100",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 300.0,
+        die_area_cm2: 6.1,
+        hbm_gb: 16.0,
+        node: ProcessNode::N16,
+        gflops_per_watt: 15.0,
+    },
+    AccelSpec {
+        pattern: "b200",
+        model: "NVIDIA B200",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 1000.0,
+        die_area_cm2: 16.0,
+        hbm_gb: 192.0,
+        node: ProcessNode::N3,
+        gflops_per_watt: 60.0,
+    },
+    AccelSpec {
+        pattern: "mi300a",
+        model: "AMD Instinct MI300A",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 760.0,
+        die_area_cm2: 10.2,
+        hbm_gb: 128.0,
+        node: ProcessNode::N5,
+        gflops_per_watt: 80.0,
+    },
+    AccelSpec {
+        pattern: "mi300x",
+        model: "AMD Instinct MI300X",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 750.0,
+        die_area_cm2: 10.2,
+        hbm_gb: 192.0,
+        node: ProcessNode::N5,
+        gflops_per_watt: 80.0,
+    },
+    AccelSpec {
+        pattern: "mi250x",
+        model: "AMD Instinct MI250X",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 560.0,
+        die_area_cm2: 14.5,
+        hbm_gb: 128.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 85.0,
+    },
+    AccelSpec {
+        pattern: "mi250",
+        model: "AMD Instinct MI250",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 560.0,
+        die_area_cm2: 14.5,
+        hbm_gb: 128.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 80.0,
+    },
+    AccelSpec {
+        pattern: "mi210",
+        model: "AMD Instinct MI210",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 300.0,
+        die_area_cm2: 7.2,
+        hbm_gb: 64.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 75.0,
+    },
+    AccelSpec {
+        pattern: "max 1550",
+        model: "Intel Data Center GPU Max 1550",
+        vendor: AccelVendor::Intel,
+        tdp_watts: 600.0,
+        die_area_cm2: 12.8,
+        hbm_gb: 128.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 87.0,
+    },
+    AccelSpec {
+        pattern: "ponte vecchio",
+        model: "Intel Ponte Vecchio",
+        vendor: AccelVendor::Intel,
+        tdp_watts: 600.0,
+        die_area_cm2: 12.8,
+        hbm_gb: 128.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 87.0,
+    },
+    AccelSpec {
+        pattern: "sx-aurora",
+        model: "NEC SX-Aurora TSUBASA",
+        vendor: AccelVendor::Nec,
+        tdp_watts: 300.0,
+        die_area_cm2: 5.0,
+        hbm_gb: 48.0,
+        node: ProcessNode::N16,
+        gflops_per_watt: 16.0,
+    },
+    AccelSpec {
+        pattern: "matrix-2000",
+        model: "NUDT Matrix-2000",
+        vendor: AccelVendor::DomesticCn,
+        tdp_watts: 240.0,
+        die_area_cm2: 6.0,
+        hbm_gb: 0.0,
+        node: ProcessNode::N16,
+        gflops_per_watt: 10.0,
+    },
+    AccelSpec {
+        pattern: "deep computing processor",
+        model: "Sugon DCU",
+        vendor: AccelVendor::DomesticCn,
+        tdp_watts: 300.0,
+        die_area_cm2: 6.0,
+        hbm_gb: 16.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 25.0,
+    },
+    AccelSpec {
+        pattern: "gb200",
+        model: "NVIDIA GB200",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 1200.0,
+        die_area_cm2: 16.0 + 5.5,
+        hbm_gb: 192.0,
+        node: ProcessNode::N3,
+        gflops_per_watt: 67.0,
+    },
+    AccelSpec {
+        pattern: "a40",
+        model: "NVIDIA A40",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 300.0,
+        die_area_cm2: 6.28,
+        hbm_gb: 48.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 2.0,
+    },
+    AccelSpec {
+        pattern: "a30",
+        model: "NVIDIA A30",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 165.0,
+        die_area_cm2: 8.26,
+        hbm_gb: 24.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 31.0,
+    },
+    AccelSpec {
+        pattern: "t4",
+        model: "NVIDIA T4",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 70.0,
+        die_area_cm2: 5.45,
+        hbm_gb: 16.0,
+        node: ProcessNode::N16,
+        gflops_per_watt: 4.0,
+    },
+    AccelSpec {
+        pattern: "k80",
+        model: "NVIDIA K80",
+        vendor: AccelVendor::Nvidia,
+        tdp_watts: 300.0,
+        die_area_cm2: 11.0,
+        hbm_gb: 24.0,
+        node: ProcessNode::N28,
+        gflops_per_watt: 6.2,
+    },
+    AccelSpec {
+        pattern: "mi100",
+        model: "AMD Instinct MI100",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 300.0,
+        die_area_cm2: 7.5,
+        hbm_gb: 32.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 38.0,
+    },
+    AccelSpec {
+        pattern: "mi60",
+        model: "AMD Radeon Instinct MI60",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 300.0,
+        die_area_cm2: 3.31,
+        hbm_gb: 32.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 24.0,
+    },
+    AccelSpec {
+        pattern: "mi325x",
+        model: "AMD Instinct MI325X",
+        vendor: AccelVendor::Amd,
+        tdp_watts: 1000.0,
+        die_area_cm2: 10.2,
+        hbm_gb: 256.0,
+        node: ProcessNode::N5,
+        gflops_per_watt: 82.0,
+    },
+    AccelSpec {
+        pattern: "pezy-sc3",
+        model: "PEZY-SC3",
+        vendor: AccelVendor::Other,
+        tdp_watts: 470.0,
+        die_area_cm2: 7.86,
+        hbm_gb: 32.0,
+        node: ProcessNode::N7,
+        gflops_per_watt: 42.0,
+    },
 ];
 
 /// Mainstream approximation used for unrecognised accelerators: an A100.
@@ -150,8 +387,14 @@ mod tests {
 
     #[test]
     fn h100_sxm_variants_match() {
-        assert_eq!(lookup("NVIDIA H100 SXM5 64GB").unwrap().model, "NVIDIA H100");
-        assert_eq!(lookup("nvidia h100 80gb pcie").unwrap().model, "NVIDIA H100");
+        assert_eq!(
+            lookup("NVIDIA H100 SXM5 64GB").unwrap().model,
+            "NVIDIA H100"
+        );
+        assert_eq!(
+            lookup("nvidia h100 80gb pcie").unwrap().model,
+            "NVIDIA H100"
+        );
     }
 
     #[test]
@@ -180,7 +423,10 @@ mod tests {
     #[test]
     fn generic_labels_do_not_resolve() {
         for label in GENERIC_LABELS {
-            assert!(lookup(label).is_none(), "{label} should not resolve to silicon");
+            assert!(
+                lookup(label).is_none(),
+                "{label} should not resolve to silicon"
+            );
         }
     }
 
@@ -196,7 +442,10 @@ mod tests {
     #[test]
     fn longest_pattern_beats_short_overlaps() {
         // "mi325x" must not be hijacked by shorter overlapping patterns.
-        assert_eq!(lookup("AMD Instinct MI325X").unwrap().model, "AMD Instinct MI325X");
+        assert_eq!(
+            lookup("AMD Instinct MI325X").unwrap().model,
+            "AMD Instinct MI325X"
+        );
         assert_eq!(lookup("NVIDIA GB200 NVL72").unwrap().model, "NVIDIA GB200");
         assert_eq!(lookup("NVIDIA Tesla K80").unwrap().model, "NVIDIA K80");
         assert_eq!(lookup("PEZY-SC3 custom").unwrap().model, "PEZY-SC3");

@@ -27,49 +27,350 @@ pub struct CpuSpec {
 
 /// The CPU database. Longest/most-specific patterns first.
 pub const CPUS: &[CpuSpec] = &[
-    CpuSpec { pattern: "epyc 9754", family: "AMD EPYC Bergamo", cores_per_socket: 128, tdp_watts: 360.0, die_area_cm2: 8.7, node: ProcessNode::N5 },
-    CpuSpec { pattern: "epyc 9654", family: "AMD EPYC Genoa", cores_per_socket: 96, tdp_watts: 360.0, die_area_cm2: 10.3, node: ProcessNode::N5 },
-    CpuSpec { pattern: "epyc 9554", family: "AMD EPYC Genoa", cores_per_socket: 64, tdp_watts: 360.0, die_area_cm2: 8.5, node: ProcessNode::N5 },
-    CpuSpec { pattern: "epyc 7763", family: "AMD EPYC Milan", cores_per_socket: 64, tdp_watts: 280.0, die_area_cm2: 7.4, node: ProcessNode::N7 },
-    CpuSpec { pattern: "epyc 7742", family: "AMD EPYC Rome", cores_per_socket: 64, tdp_watts: 225.0, die_area_cm2: 7.4, node: ProcessNode::N7 },
-    CpuSpec { pattern: "epyc 7713", family: "AMD EPYC Milan", cores_per_socket: 64, tdp_watts: 225.0, die_area_cm2: 7.4, node: ProcessNode::N7 },
-    CpuSpec { pattern: "epyc 7543", family: "AMD EPYC Milan", cores_per_socket: 32, tdp_watts: 225.0, die_area_cm2: 5.8, node: ProcessNode::N7 },
-    CpuSpec { pattern: "epyc 7a53", family: "AMD EPYC Trento", cores_per_socket: 64, tdp_watts: 225.0, die_area_cm2: 7.4, node: ProcessNode::N7 },
-    CpuSpec { pattern: "4th generation epyc", family: "AMD EPYC Genoa", cores_per_socket: 96, tdp_watts: 360.0, die_area_cm2: 10.3, node: ProcessNode::N5 },
-    CpuSpec { pattern: "3rd generation epyc", family: "AMD EPYC Milan", cores_per_socket: 64, tdp_watts: 280.0, die_area_cm2: 7.4, node: ProcessNode::N7 },
-    CpuSpec { pattern: "epyc", family: "AMD EPYC (generic)", cores_per_socket: 64, tdp_watts: 280.0, die_area_cm2: 7.4, node: ProcessNode::N7 },
-    CpuSpec { pattern: "xeon platinum 8480", family: "Intel Sapphire Rapids", cores_per_socket: 56, tdp_watts: 350.0, die_area_cm2: 15.7, node: ProcessNode::N10 },
-    CpuSpec { pattern: "xeon platinum 8470", family: "Intel Sapphire Rapids", cores_per_socket: 52, tdp_watts: 350.0, die_area_cm2: 15.7, node: ProcessNode::N10 },
-    CpuSpec { pattern: "xeon platinum 8380", family: "Intel Ice Lake", cores_per_socket: 40, tdp_watts: 270.0, die_area_cm2: 6.6, node: ProcessNode::N10 },
-    CpuSpec { pattern: "xeon platinum 8368", family: "Intel Ice Lake", cores_per_socket: 38, tdp_watts: 270.0, die_area_cm2: 6.6, node: ProcessNode::N10 },
-    CpuSpec { pattern: "xeon platinum 8280", family: "Intel Cascade Lake", cores_per_socket: 28, tdp_watts: 205.0, die_area_cm2: 6.9, node: ProcessNode::N16 },
-    CpuSpec { pattern: "xeon platinum 8168", family: "Intel Skylake-SP", cores_per_socket: 24, tdp_watts: 205.0, die_area_cm2: 6.9, node: ProcessNode::N16 },
-    CpuSpec { pattern: "xeon max 9470", family: "Intel Sapphire Rapids HBM", cores_per_socket: 52, tdp_watts: 350.0, die_area_cm2: 15.7, node: ProcessNode::N10 },
-    CpuSpec { pattern: "xeon cpu max", family: "Intel Sapphire Rapids HBM", cores_per_socket: 52, tdp_watts: 350.0, die_area_cm2: 15.7, node: ProcessNode::N10 },
-    CpuSpec { pattern: "xeon gold 63", family: "Intel Ice Lake Gold", cores_per_socket: 32, tdp_watts: 205.0, die_area_cm2: 6.6, node: ProcessNode::N10 },
-    CpuSpec { pattern: "xeon gold 62", family: "Intel Cascade Lake Gold", cores_per_socket: 24, tdp_watts: 150.0, die_area_cm2: 6.9, node: ProcessNode::N16 },
-    CpuSpec { pattern: "xeon gold", family: "Intel Xeon Gold (generic)", cores_per_socket: 28, tdp_watts: 205.0, die_area_cm2: 6.9, node: ProcessNode::N16 },
-    CpuSpec { pattern: "xeon", family: "Intel Xeon (generic)", cores_per_socket: 32, tdp_watts: 250.0, die_area_cm2: 7.0, node: ProcessNode::N10 },
-    CpuSpec { pattern: "a64fx", family: "Fujitsu A64FX", cores_per_socket: 48, tdp_watts: 160.0, die_area_cm2: 4.0, node: ProcessNode::N7 },
-    CpuSpec { pattern: "power9", family: "IBM POWER9", cores_per_socket: 22, tdp_watts: 250.0, die_area_cm2: 6.9, node: ProcessNode::N16 },
-    CpuSpec { pattern: "sw26010", family: "Sunway SW26010", cores_per_socket: 260, tdp_watts: 300.0, die_area_cm2: 5.0, node: ProcessNode::N28 },
-    CpuSpec { pattern: "grace", family: "NVIDIA Grace", cores_per_socket: 72, tdp_watts: 250.0, die_area_cm2: 5.5, node: ProcessNode::N5 },
-    CpuSpec { pattern: "sparc64", family: "Fujitsu SPARC64", cores_per_socket: 32, tdp_watts: 160.0, die_area_cm2: 4.9, node: ProcessNode::N28 },
-    CpuSpec { pattern: "thunderx2", family: "Marvell ThunderX2", cores_per_socket: 32, tdp_watts: 180.0, die_area_cm2: 4.5, node: ProcessNode::N16 },
-    CpuSpec { pattern: "hygon", family: "Hygon Dhyana", cores_per_socket: 32, tdp_watts: 200.0, die_area_cm2: 4.5, node: ProcessNode::N16 },
-    CpuSpec { pattern: "matrix-2000", family: "NUDT Matrix-2000 host", cores_per_socket: 12, tdp_watts: 240.0, die_area_cm2: 6.0, node: ProcessNode::N16 },
-    CpuSpec { pattern: "epyc 9965", family: "AMD EPYC Turin Dense", cores_per_socket: 192, tdp_watts: 500.0, die_area_cm2: 11.0, node: ProcessNode::N3 },
-    CpuSpec { pattern: "epyc 9755", family: "AMD EPYC Turin", cores_per_socket: 128, tdp_watts: 500.0, die_area_cm2: 11.5, node: ProcessNode::N3 },
-    CpuSpec { pattern: "epyc 7h12", family: "AMD EPYC Rome HPC", cores_per_socket: 64, tdp_watts: 280.0, die_area_cm2: 7.4, node: ProcessNode::N7 },
-    CpuSpec { pattern: "epyc 7402", family: "AMD EPYC Rome", cores_per_socket: 24, tdp_watts: 180.0, die_area_cm2: 5.0, node: ProcessNode::N7 },
-    CpuSpec { pattern: "xeon 6980p", family: "Intel Granite Rapids", cores_per_socket: 128, tdp_watts: 500.0, die_area_cm2: 17.0, node: ProcessNode::N5 },
-    CpuSpec { pattern: "xeon platinum 9242", family: "Intel Cascade Lake-AP", cores_per_socket: 48, tdp_watts: 350.0, die_area_cm2: 13.8, node: ProcessNode::N16 },
-    CpuSpec { pattern: "e5-2690", family: "Intel Xeon Broadwell/Haswell", cores_per_socket: 14, tdp_watts: 135.0, die_area_cm2: 4.6, node: ProcessNode::N28 },
-    CpuSpec { pattern: "e5-2680", family: "Intel Xeon Broadwell/Haswell", cores_per_socket: 14, tdp_watts: 120.0, die_area_cm2: 4.6, node: ProcessNode::N28 },
-    CpuSpec { pattern: "xeon phi", family: "Intel Xeon Phi (KNL)", cores_per_socket: 68, tdp_watts: 215.0, die_area_cm2: 6.8, node: ProcessNode::N16 },
-    CpuSpec { pattern: "power10", family: "IBM POWER10", cores_per_socket: 15, tdp_watts: 250.0, die_area_cm2: 6.0, node: ProcessNode::N7 },
-    CpuSpec { pattern: "kunpeng", family: "Huawei Kunpeng 920", cores_per_socket: 64, tdp_watts: 180.0, die_area_cm2: 4.6, node: ProcessNode::N7 },
-    CpuSpec { pattern: "ft-2000", family: "Phytium FT-2000+", cores_per_socket: 64, tdp_watts: 100.0, die_area_cm2: 4.0, node: ProcessNode::N16 },
+    CpuSpec {
+        pattern: "epyc 9754",
+        family: "AMD EPYC Bergamo",
+        cores_per_socket: 128,
+        tdp_watts: 360.0,
+        die_area_cm2: 8.7,
+        node: ProcessNode::N5,
+    },
+    CpuSpec {
+        pattern: "epyc 9654",
+        family: "AMD EPYC Genoa",
+        cores_per_socket: 96,
+        tdp_watts: 360.0,
+        die_area_cm2: 10.3,
+        node: ProcessNode::N5,
+    },
+    CpuSpec {
+        pattern: "epyc 9554",
+        family: "AMD EPYC Genoa",
+        cores_per_socket: 64,
+        tdp_watts: 360.0,
+        die_area_cm2: 8.5,
+        node: ProcessNode::N5,
+    },
+    CpuSpec {
+        pattern: "epyc 7763",
+        family: "AMD EPYC Milan",
+        cores_per_socket: 64,
+        tdp_watts: 280.0,
+        die_area_cm2: 7.4,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "epyc 7742",
+        family: "AMD EPYC Rome",
+        cores_per_socket: 64,
+        tdp_watts: 225.0,
+        die_area_cm2: 7.4,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "epyc 7713",
+        family: "AMD EPYC Milan",
+        cores_per_socket: 64,
+        tdp_watts: 225.0,
+        die_area_cm2: 7.4,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "epyc 7543",
+        family: "AMD EPYC Milan",
+        cores_per_socket: 32,
+        tdp_watts: 225.0,
+        die_area_cm2: 5.8,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "epyc 7a53",
+        family: "AMD EPYC Trento",
+        cores_per_socket: 64,
+        tdp_watts: 225.0,
+        die_area_cm2: 7.4,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "4th generation epyc",
+        family: "AMD EPYC Genoa",
+        cores_per_socket: 96,
+        tdp_watts: 360.0,
+        die_area_cm2: 10.3,
+        node: ProcessNode::N5,
+    },
+    CpuSpec {
+        pattern: "3rd generation epyc",
+        family: "AMD EPYC Milan",
+        cores_per_socket: 64,
+        tdp_watts: 280.0,
+        die_area_cm2: 7.4,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "epyc",
+        family: "AMD EPYC (generic)",
+        cores_per_socket: 64,
+        tdp_watts: 280.0,
+        die_area_cm2: 7.4,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "xeon platinum 8480",
+        family: "Intel Sapphire Rapids",
+        cores_per_socket: 56,
+        tdp_watts: 350.0,
+        die_area_cm2: 15.7,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "xeon platinum 8470",
+        family: "Intel Sapphire Rapids",
+        cores_per_socket: 52,
+        tdp_watts: 350.0,
+        die_area_cm2: 15.7,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "xeon platinum 8380",
+        family: "Intel Ice Lake",
+        cores_per_socket: 40,
+        tdp_watts: 270.0,
+        die_area_cm2: 6.6,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "xeon platinum 8368",
+        family: "Intel Ice Lake",
+        cores_per_socket: 38,
+        tdp_watts: 270.0,
+        die_area_cm2: 6.6,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "xeon platinum 8280",
+        family: "Intel Cascade Lake",
+        cores_per_socket: 28,
+        tdp_watts: 205.0,
+        die_area_cm2: 6.9,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "xeon platinum 8168",
+        family: "Intel Skylake-SP",
+        cores_per_socket: 24,
+        tdp_watts: 205.0,
+        die_area_cm2: 6.9,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "xeon max 9470",
+        family: "Intel Sapphire Rapids HBM",
+        cores_per_socket: 52,
+        tdp_watts: 350.0,
+        die_area_cm2: 15.7,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "xeon cpu max",
+        family: "Intel Sapphire Rapids HBM",
+        cores_per_socket: 52,
+        tdp_watts: 350.0,
+        die_area_cm2: 15.7,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "xeon gold 63",
+        family: "Intel Ice Lake Gold",
+        cores_per_socket: 32,
+        tdp_watts: 205.0,
+        die_area_cm2: 6.6,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "xeon gold 62",
+        family: "Intel Cascade Lake Gold",
+        cores_per_socket: 24,
+        tdp_watts: 150.0,
+        die_area_cm2: 6.9,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "xeon gold",
+        family: "Intel Xeon Gold (generic)",
+        cores_per_socket: 28,
+        tdp_watts: 205.0,
+        die_area_cm2: 6.9,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "xeon",
+        family: "Intel Xeon (generic)",
+        cores_per_socket: 32,
+        tdp_watts: 250.0,
+        die_area_cm2: 7.0,
+        node: ProcessNode::N10,
+    },
+    CpuSpec {
+        pattern: "a64fx",
+        family: "Fujitsu A64FX",
+        cores_per_socket: 48,
+        tdp_watts: 160.0,
+        die_area_cm2: 4.0,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "power9",
+        family: "IBM POWER9",
+        cores_per_socket: 22,
+        tdp_watts: 250.0,
+        die_area_cm2: 6.9,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "sw26010",
+        family: "Sunway SW26010",
+        cores_per_socket: 260,
+        tdp_watts: 300.0,
+        die_area_cm2: 5.0,
+        node: ProcessNode::N28,
+    },
+    CpuSpec {
+        pattern: "grace",
+        family: "NVIDIA Grace",
+        cores_per_socket: 72,
+        tdp_watts: 250.0,
+        die_area_cm2: 5.5,
+        node: ProcessNode::N5,
+    },
+    CpuSpec {
+        pattern: "sparc64",
+        family: "Fujitsu SPARC64",
+        cores_per_socket: 32,
+        tdp_watts: 160.0,
+        die_area_cm2: 4.9,
+        node: ProcessNode::N28,
+    },
+    CpuSpec {
+        pattern: "thunderx2",
+        family: "Marvell ThunderX2",
+        cores_per_socket: 32,
+        tdp_watts: 180.0,
+        die_area_cm2: 4.5,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "hygon",
+        family: "Hygon Dhyana",
+        cores_per_socket: 32,
+        tdp_watts: 200.0,
+        die_area_cm2: 4.5,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "matrix-2000",
+        family: "NUDT Matrix-2000 host",
+        cores_per_socket: 12,
+        tdp_watts: 240.0,
+        die_area_cm2: 6.0,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "epyc 9965",
+        family: "AMD EPYC Turin Dense",
+        cores_per_socket: 192,
+        tdp_watts: 500.0,
+        die_area_cm2: 11.0,
+        node: ProcessNode::N3,
+    },
+    CpuSpec {
+        pattern: "epyc 9755",
+        family: "AMD EPYC Turin",
+        cores_per_socket: 128,
+        tdp_watts: 500.0,
+        die_area_cm2: 11.5,
+        node: ProcessNode::N3,
+    },
+    CpuSpec {
+        pattern: "epyc 7h12",
+        family: "AMD EPYC Rome HPC",
+        cores_per_socket: 64,
+        tdp_watts: 280.0,
+        die_area_cm2: 7.4,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "epyc 7402",
+        family: "AMD EPYC Rome",
+        cores_per_socket: 24,
+        tdp_watts: 180.0,
+        die_area_cm2: 5.0,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "xeon 6980p",
+        family: "Intel Granite Rapids",
+        cores_per_socket: 128,
+        tdp_watts: 500.0,
+        die_area_cm2: 17.0,
+        node: ProcessNode::N5,
+    },
+    CpuSpec {
+        pattern: "xeon platinum 9242",
+        family: "Intel Cascade Lake-AP",
+        cores_per_socket: 48,
+        tdp_watts: 350.0,
+        die_area_cm2: 13.8,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "e5-2690",
+        family: "Intel Xeon Broadwell/Haswell",
+        cores_per_socket: 14,
+        tdp_watts: 135.0,
+        die_area_cm2: 4.6,
+        node: ProcessNode::N28,
+    },
+    CpuSpec {
+        pattern: "e5-2680",
+        family: "Intel Xeon Broadwell/Haswell",
+        cores_per_socket: 14,
+        tdp_watts: 120.0,
+        die_area_cm2: 4.6,
+        node: ProcessNode::N28,
+    },
+    CpuSpec {
+        pattern: "xeon phi",
+        family: "Intel Xeon Phi (KNL)",
+        cores_per_socket: 68,
+        tdp_watts: 215.0,
+        die_area_cm2: 6.8,
+        node: ProcessNode::N16,
+    },
+    CpuSpec {
+        pattern: "power10",
+        family: "IBM POWER10",
+        cores_per_socket: 15,
+        tdp_watts: 250.0,
+        die_area_cm2: 6.0,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "kunpeng",
+        family: "Huawei Kunpeng 920",
+        cores_per_socket: 64,
+        tdp_watts: 180.0,
+        die_area_cm2: 4.6,
+        node: ProcessNode::N7,
+    },
+    CpuSpec {
+        pattern: "ft-2000",
+        family: "Phytium FT-2000+",
+        cores_per_socket: 64,
+        tdp_watts: 100.0,
+        die_area_cm2: 4.0,
+        node: ProcessNode::N16,
+    },
 ];
 
 /// Generic prior used when no pattern matches: a mid-range 64-core server

@@ -77,6 +77,7 @@ mod tests {
 
     #[test]
     fn utilization_prior_in_unit_interval() {
-        assert!(DEFAULT_UTILIZATION > 0.0 && DEFAULT_UTILIZATION <= 1.0);
+        let util = DEFAULT_UTILIZATION;
+        assert!(util > 0.0 && util <= 1.0);
     }
 }

@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn ssd_cheaper_than_dram_per_gb() {
-        assert!(SSD_KG_PER_GB < DEFAULT_DRAM_KG_PER_GB);
-        assert!(HDD_KG_PER_GB < SSD_KG_PER_GB);
+        let (hdd, ssd, dram) = (HDD_KG_PER_GB, SSD_KG_PER_GB, DEFAULT_DRAM_KG_PER_GB);
+        assert!(ssd < dram);
+        assert!(hdd < ssd);
     }
 }

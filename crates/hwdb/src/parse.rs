@@ -40,7 +40,11 @@ pub fn parse_processor(text: &str) -> ParsedProcessor {
         }
         model_tokens.push(token);
     }
-    ParsedProcessor { cores_per_socket: cores, clock_ghz: clock, model_text: model_tokens.join(" ") }
+    ParsedProcessor {
+        cores_per_socket: cores,
+        clock_ghz: clock,
+        model_text: model_tokens.join(" "),
+    }
 }
 
 /// `64C` → 64. Rejects bare numbers and SKU-like tokens (e.g. `8480C` is a
@@ -66,7 +70,10 @@ fn parse_ghz_token(token: &str) -> Option<f64> {
     if digits.is_empty() {
         return None;
     }
-    digits.parse::<f64>().ok().filter(|g| (0.1..=10.0).contains(g))
+    digits
+        .parse::<f64>()
+        .ok()
+        .filter(|g| (0.1..=10.0).contains(g))
 }
 
 /// Derives the socket count from total cores and a per-socket core count

@@ -72,7 +72,10 @@ mod tests {
     #[test]
     fn top10_is_leadership() {
         assert_eq!(infer_site_class(1, true), SiteClass::LeadershipLiquidCooled);
-        assert_eq!(infer_site_class(10, false), SiteClass::LeadershipLiquidCooled);
+        assert_eq!(
+            infer_site_class(10, false),
+            SiteClass::LeadershipLiquidCooled
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! The study's heavy loops (Monte-Carlo uncertainty over the Top 500,
 //! synthetic-list parameter sweeps in the benches) are embarrassingly
 //! parallel. Instead of pulling in rayon, this crate provides the minimal
-//! pieces on top of `crossbeam::scope`:
+//! pieces on top of `std::thread::scope`:
 //!
 //! - [`par_map`] / [`par_map_chunked`]: parallel map over a slice with
 //!   deterministic output ordering.
@@ -26,7 +26,9 @@ use std::num::NonZeroUsize;
 /// Returns the effective parallelism: `std::thread::available_parallelism`
 /// with a fallback of 4.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
 }
 
 /// Splits `len` items into at most `parts` contiguous ranges of nearly equal
@@ -65,19 +67,21 @@ where
     out.resize_with(items.len(), || None);
     {
         let out_chunks = split_mut_by_ranges(&mut out, &ranges);
-        crossbeam::scope(|s| {
+        // std scoped threads join on scope exit and propagate worker panics.
+        std::thread::scope(|s| {
             for (range, chunk) in ranges.iter().cloned().zip(out_chunks) {
                 let f = &f;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (slot, item) in chunk.iter_mut().zip(&items[range]) {
                         *slot = Some(f(item));
                     }
                 });
             }
-        })
-        .expect("worker panicked in par_map");
+        });
     }
-    out.into_iter().map(|v| v.expect("all slots written")).collect()
+    out.into_iter()
+        .map(|v| v.expect("all slots written"))
+        .collect()
 }
 
 /// Parallel map where `f` receives `(start_index, chunk)` and returns a
@@ -95,15 +99,14 @@ where
     }
     let mut parts: Vec<Option<Vec<U>>> = Vec::with_capacity(ranges.len());
     parts.resize_with(ranges.len(), || None);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, range) in parts.iter_mut().zip(ranges.iter().cloned()) {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(f(range.start, &items[range]));
             });
         }
-    })
-    .expect("worker panicked in par_map_chunked");
+    });
     let mut out = Vec::with_capacity(items.len());
     for part in parts {
         out.extend(part.expect("all chunks computed"));
@@ -122,7 +125,9 @@ where
     O: Fn(U, U) -> U + Sync,
 {
     let partials = par_map_chunked(items, workers, |_, chunk| {
-        vec![chunk.iter().fold(identity.clone(), |acc, item| op(acc, map(item)))]
+        vec![chunk
+            .iter()
+            .fold(identity.clone(), |acc, item| op(acc, map(item)))]
     });
     partials.into_iter().fold(identity, op)
 }
@@ -187,7 +192,11 @@ mod tests {
     fn par_map_chunked_concatenates_in_order() {
         let items: Vec<usize> = (0..100).collect();
         let out = par_map_chunked(&items, 7, |start, chunk| {
-            chunk.iter().enumerate().map(|(i, &v)| (start + i, v)).collect()
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (start + i, v))
+                .collect()
         });
         for (i, (idx, v)) in out.iter().enumerate() {
             assert_eq!(i, *idx);

@@ -3,11 +3,11 @@
 //! [`par_map`](crate::par_map) spawns scoped threads per call, which is fine
 //! for large chunks but wasteful for many small, heterogeneous jobs (e.g.
 //! per-figure pipelines in the bench harness). `ThreadPool` keeps workers
-//! alive and feeds them boxed closures through a crossbeam channel.
+//! alive and feeds them boxed closures through an mpsc channel shared by a
+//! mutex (std-only; no crossbeam).
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -20,11 +20,11 @@ struct Inflight {
 
 impl Inflight {
     fn incr(&self) {
-        *self.count.lock() += 1;
+        *self.count.lock().expect("inflight lock") += 1;
     }
 
     fn decr(&self) {
-        let mut n = self.count.lock();
+        let mut n = self.count.lock().expect("inflight lock");
         *n -= 1;
         if *n == 0 {
             self.zero.notify_all();
@@ -32,9 +32,9 @@ impl Inflight {
     }
 
     fn wait_zero(&self) {
-        let mut n = self.count.lock();
+        let mut n = self.count.lock().expect("inflight lock");
         while *n != 0 {
-            self.zero.wait(&mut n);
+            n = self.zero.wait(n).expect("inflight lock");
         }
     }
 }
@@ -54,29 +54,42 @@ impl ThreadPool {
     /// Creates a pool with `size` workers (at least 1).
     pub fn new(size: usize) -> ThreadPool {
         let size = size.max(1);
-        let (sender, receiver) = unbounded::<Job>();
-        let inflight = Arc::new(Inflight { count: Mutex::new(0), zero: Condvar::new() });
+        let (sender, receiver) = channel::<Job>();
+        let receiver: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(receiver));
+        let inflight = Arc::new(Inflight {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        });
         let panics = Arc::new(Mutex::new(0usize));
         let mut workers = Vec::with_capacity(size);
         for i in 0..size {
-            let rx = receiver.clone();
+            let rx = Arc::clone(&receiver);
             let inflight = Arc::clone(&inflight);
             let panics = Arc::clone(&panics);
             let handle = std::thread::Builder::new()
                 .name(format!("pool-worker-{i}"))
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                        if result.is_err() {
-                            *panics.lock() += 1;
-                        }
-                        inflight.decr();
+                .spawn(move || loop {
+                    // Hold the lock only for the receive, never while the
+                    // job runs, so workers drain the queue concurrently.
+                    let job = match rx.lock().expect("receiver lock").recv() {
+                        Ok(job) => job,
+                        Err(_) => break,
+                    };
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    if result.is_err() {
+                        *panics.lock().expect("panic counter lock") += 1;
                     }
+                    inflight.decr();
                 })
                 .expect("failed to spawn pool worker");
             workers.push(handle);
         }
-        ThreadPool { sender: Some(sender), workers, inflight, panics }
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            inflight,
+            panics,
+        }
     }
 
     /// Number of worker threads.
@@ -101,7 +114,7 @@ impl ThreadPool {
 
     /// Number of jobs that panicked since the pool was created.
     pub fn panics(&self) -> usize {
-        *self.panics.lock()
+        *self.panics.lock().expect("panic counter lock")
     }
 }
 

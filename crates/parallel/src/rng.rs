@@ -3,9 +3,7 @@
 //! Each logical task gets its own counter-seeded SplitMix64 generator, so a
 //! simulation's output depends only on `(seed, task_index)` — never on thread
 //! count or interleaving. SplitMix64 is tiny, passes BigCrush for this use,
-//! and needs no external dependency beyond `rand`'s traits.
-
-use rand::RngCore;
+//! and needs no external dependencies at all.
 
 /// SplitMix64 PRNG (Steele, Lea, Flood 2014). One 64-bit state word; each
 /// `next_u64` advances by the golden-gamma constant and mixes.
@@ -61,16 +59,19 @@ impl SplitMix64 {
     }
 }
 
-impl RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
+impl SplitMix64 {
+    /// High 32 bits of the next output.
+    pub fn next_u32(&mut self) -> u32 {
         (self.next() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// Alias of [`SplitMix64::next`] (mirrors the `rand::RngCore` name).
+    pub fn next_u64(&mut self) -> u64 {
         self.next()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with generator output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -80,11 +81,6 @@ impl RngCore for SplitMix64 {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

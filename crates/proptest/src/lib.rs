@@ -1,0 +1,579 @@
+#![warn(missing_docs)]
+
+//! A minimal, API-compatible stand-in for the `proptest` property-testing
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the subset of the proptest surface its tests use: the [`proptest!`]
+//! macro, the [`Strategy`] trait with `prop_map`, numeric range strategies,
+//! tuple composition, `prop::collection::vec`, `prop::option::of`,
+//! `prop::bool::ANY`, simple `"[a-z]{m,n}"` string patterns, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Semantics: each property runs for a fixed number of cases drawn from a
+//! deterministic RNG seeded per test (seeded from the test name), so runs
+//! are reproducible. There is no shrinking — a failing case panics with the
+//! assertion message; the deterministic seed makes the failure replayable.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Upper bound on `prop_assume!` rejections before a property gives up.
+pub const MAX_REJECTS: usize = 4096;
+
+// ------------------------------------------------------------------- RNG
+
+/// Deterministic SplitMix64 generator driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator from an explicit seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Deterministic generator derived from a test name.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+// ------------------------------------------------------------- Strategy
+
+/// A generator of test values (shim of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+/// `&str` regex-like patterns of the shape `[class]{m,n}` (optionally a
+/// sequence of such atoms, literals allowed). Supports character ranges
+/// inside the class, e.g. `"[ -~]{0,20}"` or `"[a-z0-9]{4}"`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_len as u64
+                + if atom.max_len > atom.min_len {
+                    rng.below((atom.max_len - atom.min_len + 1) as u64)
+                } else {
+                    0
+                };
+            for _ in 0..n {
+                let c = atom.alphabet[rng.below(atom.alphabet.len() as u64) as usize];
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Result<Vec<PatternAtom>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .ok_or("unterminated character class")?
+                + i;
+            let mut alphabet = Vec::new();
+            let class = &chars[i + 1..close];
+            let mut j = 0;
+            while j < class.len() {
+                if j + 2 < class.len() && class[j + 1] == '-' {
+                    let (lo, hi) = (class[j] as u32, class[j + 2] as u32);
+                    if lo > hi {
+                        return Err(format!("inverted range {}-{}", class[j], class[j + 2]));
+                    }
+                    alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    alphabet.push(class[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            alphabet
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        if alphabet.is_empty() {
+            return Err("empty character class".to_string());
+        }
+        let (min_len, max_len) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated repetition")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                    hi.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().map_err(|e| e.to_string())?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if min_len > max_len {
+            return Err(format!("repetition {{{min_len},{max_len}}} is inverted"));
+        }
+        atoms.push(PatternAtom {
+            alphabet,
+            min_len,
+            max_len,
+        });
+    }
+    Ok(atoms)
+}
+
+// --------------------------------------------------------- prop modules
+
+/// Strategy constructors, mirroring `proptest::prop`'s namespace.
+pub mod prop {
+    use super::{Strategy, TestRng};
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Size bounds for generated collections.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        /// Generates `Vec`s of `element` values with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// The [`vec`] strategy.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo + 1) as u64;
+                let n = self.size.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        /// Generates `None` half the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// The [`of`] strategy.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.next_u64() & 1 == 0 {
+                    Some(self.inner.new_value(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn new_value(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 0
+            }
+        }
+    }
+
+    /// Numeric strategy namespace (ranges themselves implement
+    /// [`Strategy`]; this module exists for API familiarity).
+    pub mod num {}
+
+    // Re-exported so `prop::Strategy` paths also work.
+    pub use super::Strategy as StrategyTrait;
+
+    /// Draws one value from a strategy (used by generated test runners).
+    pub fn draw<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+        strategy.new_value(rng)
+    }
+}
+
+// ----------------------------------------------------------- test runner
+
+/// Why a property case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// An assertion failed; the property fails with this message.
+    Fail(String),
+}
+
+/// Everything the [`proptest!`] macro needs in scope.
+pub mod test_runner {
+    pub use super::{TestCaseError, TestRng};
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`DEFAULT_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                let mut cases = 0usize;
+                let mut rejects = 0usize;
+                while cases < $crate::DEFAULT_CASES {
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::new_value(&$strat, &mut rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => cases += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < $crate::MAX_REJECTS,
+                                "property {} rejected too many cases ({} accepted)",
+                                stringify!($name),
+                                cases
+                            );
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// mid-draw) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0f64..10.0, n in 1usize..50) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..50).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u32..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn option_of_produces_both(values in prop::collection::vec(prop::option::of(0u64..9), 64..65)) {
+            prop_assert!(values.iter().any(Option::is_some));
+            prop_assert!(values.iter().any(Option::is_none));
+        }
+
+        #[test]
+        fn string_pattern_matches_class(s in "[ -~]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn prop_map_transforms(y in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert!(y % 2 == 0 && y < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = super::TestRng::from_name("t");
+        let mut b = super::TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fixed_count_pattern() {
+        let mut rng = super::TestRng::new(1);
+        let s = super::Strategy::new_value(&"[a-c]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}

@@ -77,8 +77,16 @@ pub fn frame_to_rows(df: &DataFrame) -> Vec<AppendixRow> {
                 frame::Value::F64(v) => Some(v.to_string()),
                 _ => None,
             },
-            operational: ScenarioValues { top500: op_t[i], public: op_p[i], interpolated: op_i[i] },
-            embodied: ScenarioValues { top500: emb_t[i], public: emb_p[i], interpolated: emb_i[i] },
+            operational: ScenarioValues {
+                top500: op_t[i],
+                public: op_p[i],
+                interpolated: op_i[i],
+            },
+            embodied: ScenarioValues {
+                top500: emb_t[i],
+                public: emb_p[i],
+                interpolated: emb_i[i],
+            },
         })
         .collect()
 }
@@ -148,11 +156,23 @@ mod tests {
     #[test]
     fn coverage_counts_match_paper() {
         let rows = load();
-        assert_eq!(count(&rows, |r| r.operational.top500), paper::OP_COVERAGE_TOP500);
-        assert_eq!(count(&rows, |r| r.operational.public), paper::OP_COVERAGE_PUBLIC);
+        assert_eq!(
+            count(&rows, |r| r.operational.top500),
+            paper::OP_COVERAGE_TOP500
+        );
+        assert_eq!(
+            count(&rows, |r| r.operational.public),
+            paper::OP_COVERAGE_PUBLIC
+        );
         assert_eq!(count(&rows, |r| r.operational.interpolated), 500);
-        assert_eq!(count(&rows, |r| r.embodied.top500), paper::EMB_COVERAGE_TOP500);
-        assert_eq!(count(&rows, |r| r.embodied.public), paper::EMB_COVERAGE_PUBLIC);
+        assert_eq!(
+            count(&rows, |r| r.embodied.top500),
+            paper::EMB_COVERAGE_TOP500
+        );
+        assert_eq!(
+            count(&rows, |r| r.embodied.public),
+            paper::EMB_COVERAGE_PUBLIC
+        );
         assert_eq!(count(&rows, |r| r.embodied.interpolated), 500);
     }
 
@@ -164,10 +184,22 @@ mod tests {
         let op_p = total(&rows, |r| r.operational.public);
         let emb_p = total(&rows, |r| r.embodied.public);
         // Paper rounds to 3 significant figures; allow 1 %.
-        assert!((op_i / paper::OP_TOTAL_INTERPOLATED_MT - 1.0).abs() < 0.01, "op_i={op_i}");
-        assert!((emb_i / paper::EMB_TOTAL_INTERPOLATED_MT - 1.0).abs() < 0.01, "emb_i={emb_i}");
-        assert!((op_p / paper::OP_TOTAL_COVERED_MT - 1.0).abs() < 0.01, "op_p={op_p}");
-        assert!((emb_p / paper::EMB_TOTAL_COVERED_MT - 1.0).abs() < 0.01, "emb_p={emb_p}");
+        assert!(
+            (op_i / paper::OP_TOTAL_INTERPOLATED_MT - 1.0).abs() < 0.01,
+            "op_i={op_i}"
+        );
+        assert!(
+            (emb_i / paper::EMB_TOTAL_INTERPOLATED_MT - 1.0).abs() < 0.01,
+            "emb_i={emb_i}"
+        );
+        assert!(
+            (op_p / paper::OP_TOTAL_COVERED_MT - 1.0).abs() < 0.01,
+            "op_p={op_p}"
+        );
+        assert!(
+            (emb_p / paper::EMB_TOTAL_COVERED_MT - 1.0).abs() < 0.01,
+            "emb_p={emb_p}"
+        );
     }
 
     #[test]
@@ -179,8 +211,14 @@ mod tests {
         let emb_i = total(&rows, |r| r.embodied.interpolated);
         let op_delta = op_i / op_p - 1.0;
         let emb_delta = emb_i / emb_p - 1.0;
-        assert!((op_delta - paper::OP_INTERPOLATION_DELTA).abs() < 0.001, "op {op_delta}");
-        assert!((emb_delta - paper::EMB_INTERPOLATION_DELTA).abs() < 0.001, "emb {emb_delta}");
+        assert!(
+            (op_delta - paper::OP_INTERPOLATION_DELTA).abs() < 0.001,
+            "op {op_delta}"
+        );
+        assert!(
+            (emb_delta - paper::EMB_INTERPOLATION_DELTA).abs() < 0.001,
+            "emb {emb_delta}"
+        );
     }
 
     #[test]
@@ -191,7 +229,11 @@ mod tests {
                     assert!(sv.public.is_some(), "rank {} lost public value", row.rank);
                 }
                 if sv.public.is_some() {
-                    assert!(sv.interpolated.is_some(), "rank {} lost interp value", row.rank);
+                    assert!(
+                        sv.interpolated.is_some(),
+                        "rank {} lost interp value",
+                        row.rank
+                    );
                     assert_eq!(sv.public, sv.interpolated, "rank {}", row.rank);
                 }
             }
@@ -201,8 +243,14 @@ mod tests {
     #[test]
     fn interpolated_only_counts() {
         let rows = load();
-        let op_only = rows.iter().filter(|r| r.operational.is_interpolated_only()).count();
-        let emb_only = rows.iter().filter(|r| r.embodied.is_interpolated_only()).count();
+        let op_only = rows
+            .iter()
+            .filter(|r| r.operational.is_interpolated_only())
+            .count();
+        let emb_only = rows
+            .iter()
+            .filter(|r| r.embodied.is_interpolated_only())
+            .count();
         assert_eq!(op_only, 10); // "adding the missing 10 systems"
         assert_eq!(emb_only, 96); // "adding the missing 96 systems"
     }
@@ -210,11 +258,20 @@ mod tests {
     #[test]
     fn named_examples_present() {
         let rows = load();
-        let frontier = rows.iter().find(|r| r.name.as_deref() == Some("Frontier")).unwrap();
+        let frontier = rows
+            .iter()
+            .find(|r| r.name.as_deref() == Some("Frontier"))
+            .unwrap();
         assert_eq!(frontier.rank, 2);
         assert_eq!(frontier.embodied.public, Some(133225.0));
-        let lumi = rows.iter().find(|r| r.name.as_deref() == Some("LUMI")).unwrap();
-        let leonardo = rows.iter().find(|r| r.name.as_deref() == Some("Leonardo")).unwrap();
+        let lumi = rows
+            .iter()
+            .find(|r| r.name.as_deref() == Some("LUMI"))
+            .unwrap();
+        let leonardo = rows
+            .iter()
+            .find(|r| r.name.as_deref() == Some("Leonardo"))
+            .unwrap();
         // Paper: 4.3x operational difference between LUMI and Leonardo.
         let ratio = leonardo.operational.public.unwrap() / lumi.operational.public.unwrap();
         assert!((ratio - 4.3).abs() < 0.1, "ratio {ratio}");
@@ -224,17 +281,31 @@ mod tests {
     fn frontier_vs_el_capitan_embodied_ratio() {
         // Paper: Frontier embodied 2.6x higher than El Capitan.
         let rows = load();
-        let frontier = rows.iter().find(|r| r.name.as_deref() == Some("Frontier")).unwrap();
-        let el_capitan = rows.iter().find(|r| r.name.as_deref() == Some("El Capitan")).unwrap();
+        let frontier = rows
+            .iter()
+            .find(|r| r.name.as_deref() == Some("Frontier"))
+            .unwrap();
+        let el_capitan = rows
+            .iter()
+            .find(|r| r.name.as_deref() == Some("El Capitan"))
+            .unwrap();
         let ratio = frontier.embodied.public.unwrap() / el_capitan.embodied.public.unwrap();
         assert!((ratio - 2.6).abs() < 0.1, "ratio {ratio}");
     }
 
     #[test]
     fn best_measured_prefers_public() {
-        let sv = ScenarioValues { top500: Some(1.0), public: Some(2.0), interpolated: Some(2.0) };
+        let sv = ScenarioValues {
+            top500: Some(1.0),
+            public: Some(2.0),
+            interpolated: Some(2.0),
+        };
         assert_eq!(sv.best_measured(), Some(2.0));
-        let sv = ScenarioValues { top500: Some(1.0), public: None, interpolated: Some(1.0) };
+        let sv = ScenarioValues {
+            top500: Some(1.0),
+            public: None,
+            interpolated: Some(1.0),
+        };
         assert_eq!(sv.best_measured(), Some(1.0));
     }
 }

@@ -168,15 +168,27 @@ mod tests {
             }
         }
         // And it actually revealed a material number of node counts.
-        let before = baseline.systems().iter().filter(|s| s.node_count.is_some()).count();
-        let after = enriched.systems().iter().filter(|s| s.node_count.is_some()).count();
+        let before = baseline
+            .systems()
+            .iter()
+            .filter(|s| s.node_count.is_some())
+            .count();
+        let after = enriched
+            .systems()
+            .iter()
+            .filter(|s| s.node_count.is_some())
+            .count();
         assert!(after > before + 50, "before {before}, after {after}");
     }
 
     #[test]
     fn node_count_missing_drops_toward_86() {
         let (_, _, enriched) = setup();
-        let missing = enriched.systems().iter().filter(|s| s.node_count.is_none()).count();
+        let missing = enriched
+            .systems()
+            .iter()
+            .filter(|s| s.node_count.is_none())
+            .count();
         // Table I: 86/500 missing after public info (± sampling noise).
         assert!((55..=125).contains(&missing), "missing {missing}");
     }
@@ -184,7 +196,11 @@ mod tests {
     #[test]
     fn utilization_stays_mostly_hidden() {
         let (_, _, enriched) = setup();
-        let present = enriched.systems().iter().filter(|s| s.utilization.is_some()).count();
+        let present = enriched
+            .systems()
+            .iter()
+            .filter(|s| s.utilization.is_some())
+            .count();
         assert!(present <= 15, "utilization present for {present} systems");
     }
 

@@ -74,7 +74,9 @@ fn opt_f64(df: &DataFrame, col: &str, row: usize) -> Option<f64> {
 }
 
 fn opt_u64(df: &DataFrame, col: &str, row: usize) -> Option<u64> {
-    opt_f64(df, col, row).filter(|v| *v >= 0.0).map(|v| v as u64)
+    opt_f64(df, col, row)
+        .filter(|v| *v >= 0.0)
+        .map(|v| v as u64)
 }
 
 fn opt_str(df: &DataFrame, col: &str, row: usize) -> Option<String> {
@@ -108,11 +110,16 @@ pub fn import_csv(text: &str) -> Result<Top500List, ImportError> {
     let has = |c: &str| df.names().iter().any(|n| n == c);
     let mut systems = Vec::with_capacity(df.len());
     for row in 0..df.len() {
-        let rank = opt_u64(&df, "rank", row)
-            .ok_or_else(|| ImportError::BadRow { row, message: "rank not a number".into() })?;
-        let rmax = opt_f64(&df, "rmax_tflops", row).filter(|v| *v > 0.0).ok_or_else(|| {
-            ImportError::BadRow { row, message: "rmax_tflops missing or non-positive".into() }
+        let rank = opt_u64(&df, "rank", row).ok_or_else(|| ImportError::BadRow {
+            row,
+            message: "rank not a number".into(),
         })?;
+        let rmax = opt_f64(&df, "rmax_tflops", row)
+            .filter(|v| *v > 0.0)
+            .ok_or_else(|| ImportError::BadRow {
+                row,
+                message: "rmax_tflops missing or non-positive".into(),
+            })?;
         let rpeak = if has("rpeak_tflops") {
             opt_f64(&df, "rpeak_tflops", row).unwrap_or(rmax * 1.4)
         } else {
@@ -129,7 +136,10 @@ pub fn import_csv(text: &str) -> Result<Top500List, ImportError> {
         if has("region") {
             // Explicit region wins over the country-derived default (it is
             // the only location signal anonymous systems carry).
-            if let Some(region) = opt_str(&df, "region", row).as_deref().and_then(hwdb::grid::Region::parse) {
+            if let Some(region) = opt_str(&df, "region", row)
+                .as_deref()
+                .and_then(hwdb::grid::Region::parse)
+            {
                 s.region = Some(region);
             }
         }
@@ -275,7 +285,10 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_records() {
-        let full = generate_full(&SyntheticConfig { n: 50, ..Default::default() });
+        let full = generate_full(&SyntheticConfig {
+            n: 50,
+            ..Default::default()
+        });
         let masked = mask_baseline(&full, &MaskRates::default(), 3);
         let back = import_csv(&export_csv(&masked)).unwrap();
         assert_eq!(back.len(), masked.len());
@@ -296,7 +309,10 @@ mod tests {
         s.name = Some("MareNostrum 5, ACC".into());
         let list = Top500List::new(vec![s]);
         let back = import_csv(&export_csv(&list)).unwrap();
-        assert_eq!(back.by_rank(1).unwrap().name.as_deref(), Some("MareNostrum 5, ACC"));
+        assert_eq!(
+            back.by_rank(1).unwrap().name.as_deref(),
+            Some("MareNostrum 5, ACC")
+        );
     }
 
     #[test]

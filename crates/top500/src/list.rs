@@ -91,7 +91,10 @@ impl Top500List {
 
     /// System by rank, if present.
     pub fn by_rank(&self, rank: u32) -> Option<&SystemRecord> {
-        self.systems.binary_search_by_key(&rank, |s| s.rank).ok().map(|i| &self.systems[i])
+        self.systems
+            .binary_search_by_key(&rank, |s| s.rank)
+            .ok()
+            .map(|i| &self.systems[i])
     }
 
     /// Systems whose rank falls in `range`.

@@ -87,7 +87,11 @@ impl SystemRecord {
 
     /// Which of the 19 reportable data items are missing on this record.
     pub fn missing_items(&self) -> Vec<DataItem> {
-        DataItem::ALL.iter().copied().filter(|item| !self.has_item(*item)).collect()
+        DataItem::ALL
+            .iter()
+            .copied()
+            .filter(|item| !self.has_item(*item))
+            .collect()
     }
 
     /// Number of missing data items (the x-axis of the paper's Figure 2).
@@ -252,7 +256,11 @@ mod tests {
     fn all_items_distinct() {
         let mut seen = std::collections::HashSet::new();
         for item in DataItem::ALL {
-            assert!(seen.insert(item.label()), "duplicate label {}", item.label());
+            assert!(
+                seen.insert(item.label()),
+                "duplicate label {}",
+                item.label()
+            );
         }
         assert_eq!(seen.len(), 19);
     }

@@ -159,7 +159,15 @@ fn generate_system(config: &SyntheticConfig, streams: &RngStreams, rank: u32) ->
     let cores_per_socket = parsed.cores_per_socket.unwrap_or(64);
 
     // Node architecture: accelerated nodes carry 4 or 8 devices.
-    let gpus_per_node = if accelerated { if rng.next_f64() < 0.6 { 4 } else { 8 } } else { 0 };
+    let gpus_per_node = if accelerated {
+        if rng.next_f64() < 0.6 {
+            4
+        } else {
+            8
+        }
+    } else {
+        0
+    };
     let sockets_per_node = if accelerated { 1 } else { 2 };
 
     // Per-node LINPACK throughput (TFlop/s) from the device mix.
@@ -184,10 +192,10 @@ fn generate_system(config: &SyntheticConfig, streams: &RngStreams, rank: u32) ->
         .as_deref()
         .map(|a| hwdb::accel::lookup_or_mainstream(a).0.tdp_watts)
         .unwrap_or(0.0);
-    let node_watts =
-        (f64::from(sockets_per_node) * cpu_spec.tdp_watts + f64::from(gpus_per_node) * accel_watts)
-            * 1.1
-            + 200.0;
+    let node_watts = (f64::from(sockets_per_node) * cpu_spec.tdp_watts
+        + f64::from(gpus_per_node) * accel_watts)
+        * 1.1
+        + 200.0;
     let power_kw = node_count as f64 * node_watts / 1000.0;
 
     // Memory: 512 GB per CPU node, 1 TB per accelerated node + HBM.
@@ -212,7 +220,11 @@ fn generate_system(config: &SyntheticConfig, streams: &RngStreams, rank: u32) ->
         country,
         region,
         year: Some(year),
-        vendor: Some(pick_weighted(&mut rng, VENDORS).unwrap_or("Self-made").to_string()),
+        vendor: Some(
+            pick_weighted(&mut rng, VENDORS)
+                .unwrap_or("Self-made")
+                .to_string(),
+        ),
         processor: Some(processor.to_string()),
         total_cores: Some(total_cores),
         accelerator,
@@ -387,7 +399,10 @@ mod tests {
 
     #[test]
     fn generates_requested_count() {
-        let list = generate_full(&SyntheticConfig { n: 100, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 100,
+            ..Default::default()
+        });
         assert_eq!(list.len(), 100);
     }
 
@@ -413,13 +428,19 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate_full(&SyntheticConfig::default());
-        let b = generate_full(&SyntheticConfig { seed: 1, ..Default::default() });
+        let b = generate_full(&SyntheticConfig {
+            seed: 1,
+            ..Default::default()
+        });
         assert_ne!(a.systems(), b.systems());
     }
 
     #[test]
     fn full_records_are_complete() {
-        let list = generate_full(&SyntheticConfig { n: 50, ..Default::default() });
+        let list = generate_full(&SyntheticConfig {
+            n: 50,
+            ..Default::default()
+        });
         for s in list.systems() {
             assert!(s.node_count.is_some());
             assert!(s.power_kw.is_some());
@@ -432,12 +453,24 @@ mod tests {
     #[test]
     fn accelerator_adoption_is_top_heavy() {
         let list = generate_full(&SyntheticConfig::default());
-        let top100 =
-            list.systems().iter().take(100).filter(|s| s.has_accelerator()).count();
-        let tail100 =
-            list.systems().iter().skip(400).filter(|s| s.has_accelerator()).count();
+        let top100 = list
+            .systems()
+            .iter()
+            .take(100)
+            .filter(|s| s.has_accelerator())
+            .count();
+        let tail100 = list
+            .systems()
+            .iter()
+            .skip(400)
+            .filter(|s| s.has_accelerator())
+            .count();
         assert!(top100 > tail100, "top {top100} vs tail {tail100}");
-        let total = list.systems().iter().filter(|s| s.has_accelerator()).count();
+        let total = list
+            .systems()
+            .iter()
+            .filter(|s| s.has_accelerator())
+            .count();
         assert!((150..=260).contains(&total), "total accelerated {total}");
     }
 
@@ -445,11 +478,21 @@ mod tests {
     fn mask_hides_fields_at_calibrated_rates() {
         let full = generate_full(&SyntheticConfig::default());
         let masked = mask_baseline(&full, &MaskRates::default(), 7);
-        let nodes_missing =
-            masked.systems().iter().filter(|s| s.node_count.is_none()).count();
+        let nodes_missing = masked
+            .systems()
+            .iter()
+            .filter(|s| s.node_count.is_none())
+            .count();
         // 209/500 ± sampling noise.
-        assert!((170..=250).contains(&nodes_missing), "nodes missing {nodes_missing}");
-        let ssd_missing = masked.systems().iter().filter(|s| s.ssd_gb.is_none()).count();
+        assert!(
+            (170..=250).contains(&nodes_missing),
+            "nodes missing {nodes_missing}"
+        );
+        let ssd_missing = masked
+            .systems()
+            .iter()
+            .filter(|s| s.ssd_gb.is_none())
+            .count();
         assert_eq!(ssd_missing, 500);
         let year_missing = masked.systems().iter().filter(|s| s.year.is_none()).count();
         assert_eq!(year_missing, 0);
@@ -470,14 +513,19 @@ mod tests {
     fn power_gap_in_26_to_100_band() {
         let full = generate_full(&SyntheticConfig::default());
         let masked = mask_baseline(&full, &MaskRates::default(), 7);
-        let band: Vec<_> =
-            masked.systems().iter().filter(|s| (26..=100).contains(&s.rank)).collect();
-        let tail: Vec<_> =
-            masked.systems().iter().filter(|s| s.rank > 300).collect();
+        let band: Vec<_> = masked
+            .systems()
+            .iter()
+            .filter(|s| (26..=100).contains(&s.rank))
+            .collect();
+        let tail: Vec<_> = masked.systems().iter().filter(|s| s.rank > 300).collect();
         let band_missing =
             band.iter().filter(|s| s.power_kw.is_none()).count() as f64 / band.len() as f64;
         let tail_missing =
             tail.iter().filter(|s| s.power_kw.is_none()).count() as f64 / tail.len() as f64;
-        assert!(band_missing > tail_missing, "band {band_missing} tail {tail_missing}");
+        assert!(
+            band_missing > tail_missing,
+            "band {band_missing} tail {tail_missing}"
+        );
     }
 }

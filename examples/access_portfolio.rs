@@ -92,19 +92,32 @@ fn main() {
         println!(
             "{:<18} {:>12} {:>14} {:>12}",
             site.name.as_deref().unwrap_or("?"),
-            fp.operational_mt().map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into()),
-            fp.embodied_mt().map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into()),
+            fp.operational_mt()
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "—".into()),
+            fp.embodied_mt()
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "—".into()),
             path
         );
         footprints.push(fp);
     }
 
-    let op_total: f64 = footprints.iter().filter_map(SystemFootprint::operational_mt).sum();
-    let emb_total: f64 = footprints.iter().filter_map(SystemFootprint::embodied_mt).sum();
+    let op_total: f64 = footprints
+        .iter()
+        .filter_map(SystemFootprint::operational_mt)
+        .sum();
+    let emb_total: f64 = footprints
+        .iter()
+        .filter_map(SystemFootprint::embodied_mt)
+        .sum();
     let eq = Equivalences::of_mt(op_total);
     println!("\nportfolio operational total: {op_total:.0} MT CO2e/yr");
     println!("portfolio embodied total:    {emb_total:.0} MT CO2e");
-    println!("equivalent to {:.0} vehicles / {:.0} homes annually", eq.vehicles, eq.homes);
+    println!(
+        "equivalent to {:.0} vehicles / {:.0} homes annually",
+        eq.vehicles, eq.homes
+    );
 
     let iv = fleet_operational_interval(
         &tool,

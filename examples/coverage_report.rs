@@ -16,7 +16,10 @@ fn main() {
     println!("{}", Fig2::from_list(&out.baseline).render());
 
     println!("Table I — data EasyC requires vs availability");
-    println!("{}", Table1::from_lists(&out.baseline, &out.enriched).render());
+    println!(
+        "{}",
+        Table1::from_lists(&out.baseline, &out.enriched).render()
+    );
 
     println!("Figure 4 — reporting coverage by method (reference: appendix Table II)");
     println!("{}", Fig4::reference(&rows).render());

@@ -12,7 +12,10 @@ use top500_carbon::easyc::EasyC;
 
 fn print_breakdown(title: &str, shares: &[top500_carbon::analysis::fleet::GroupShare]) {
     println!("{title}");
-    println!("{:<34} {:>7} {:>14} {:>14}", "group", "systems", "op (kMT/yr)", "emb (kMT)");
+    println!(
+        "{:<34} {:>7} {:>14} {:>14}",
+        "group", "systems", "op (kMT/yr)", "emb (kMT)"
+    );
     for share in shares.iter().take(10) {
         println!(
             "{:<34} {:>7} {:>14.1} {:>14.1}",
@@ -47,7 +50,10 @@ fn main() {
 
     println!("== List-turnover simulation (mechanism behind Figure 10) ==");
     let run = simulate(&TurnoverConfig::default());
-    println!("{:>6} {:>16} {:>14} {:>16}", "cycle", "op (kMT/yr)", "emb (kMT)", "Rmax (EFlops)");
+    println!(
+        "{:>6} {:>16} {:>14} {:>16}",
+        "cycle", "op (kMT/yr)", "emb (kMT)", "Rmax (EFlops)"
+    );
     for c in &run.cycles {
         println!(
             "{:>6} {:>16.0} {:>14.0} {:>16.2}",

@@ -24,7 +24,12 @@ fn main() {
     println!("Figure 10 — projected Top 500 carbon (thousand MT CO2e)");
     println!("{:>6} {:>14} {:>12}", "year", "operational", "embodied");
     for (op, emb) in p.operational.points.iter().zip(&p.embodied.points) {
-        println!("{:>6} {:>14.0} {:>12.0}", op.year, op.value / 1000.0, emb.value / 1000.0);
+        println!(
+            "{:>6} {:>14.0} {:>12.0}",
+            op.year,
+            op.value / 1000.0,
+            emb.value / 1000.0
+        );
     }
     println!(
         "\n2030 vs 2024: operational x{:.2}, embodied x{:.2}\n",

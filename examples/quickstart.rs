@@ -29,11 +29,18 @@ fn main() {
     let tool = EasyC::new();
     let footprint: SystemFootprint = tool.assess(&system);
 
-    println!("== EasyC quickstart: {} ==", system.name.as_deref().unwrap());
+    println!(
+        "== EasyC quickstart: {} ==",
+        system.name.as_deref().unwrap()
+    );
     match &footprint.operational {
         Ok(op) => {
             println!("operational carbon : {:>10.0} MT CO2e/yr", op.mt_co2e);
-            println!("  power            : {:>10.0} kW (via {})", op.power_kw, op.path.label());
+            println!(
+                "  power            : {:>10.0} kW (via {})",
+                op.power_kw,
+                op.path.label()
+            );
             println!("  grid intensity   : {:>10.0} gCO2e/kWh", op.aci.value());
             println!("  PUE x util       : {:.2} x {:.2}", op.pue, op.utilization);
         }
@@ -43,11 +50,17 @@ fn main() {
         Ok(emb) => {
             println!("embodied carbon    : {:>10.0} MT CO2e", emb.mt_co2e);
             let b = emb.breakdown;
-            println!("  accelerators     : {:>10.0} MT", b.accelerator_kg / 1000.0);
+            println!(
+                "  accelerators     : {:>10.0} MT",
+                b.accelerator_kg / 1000.0
+            );
             println!("  CPUs             : {:>10.0} MT", b.cpu_kg / 1000.0);
             println!("  DRAM             : {:>10.0} MT", b.dram_kg / 1000.0);
             println!("  storage          : {:>10.0} MT", b.storage_kg / 1000.0);
-            println!("  chassis+fabric   : {:>10.0} MT", (b.chassis_kg + b.interconnect_kg) / 1000.0);
+            println!(
+                "  chassis+fabric   : {:>10.0} MT",
+                (b.chassis_kg + b.interconnect_kg) / 1000.0
+            );
             println!(
                 "  annualized (5 y) : {:>10.0} MT CO2e/yr",
                 tool.annualized_embodied_mt(&footprint).unwrap()

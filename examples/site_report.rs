@@ -6,7 +6,9 @@
 //! cargo run --release --example site_report
 //! ```
 
-use top500_carbon::easyc::uncertainty::{embodied_interval, operational_interval, PriorUncertainty};
+use top500_carbon::easyc::uncertainty::{
+    embodied_interval, operational_interval, PriorUncertainty,
+};
 use top500_carbon::easyc::{EasyC, EasyCConfig};
 use top500_carbon::top500::SystemRecord;
 
@@ -26,7 +28,10 @@ fn main() {
     let priors = PriorUncertainty::default();
     let tool = EasyC::new();
 
-    println!("== {} annual sustainability report ==\n", system.name.as_deref().unwrap());
+    println!(
+        "== {} annual sustainability report ==\n",
+        system.name.as_deref().unwrap()
+    );
     let op = operational_interval(&tool, &system, &priors, 4000, 0.95, 2024).unwrap();
     println!(
         "operational: {:>7.0} MT CO2e/yr  (95% CI {:.0} - {:.0}, priors only)",
@@ -40,8 +45,14 @@ fn main() {
 
     // Gentle slope: the operator measures the site PUE (1.25) — one extra
     // metric, sharper estimate.
-    let measured = EasyC::with_config(EasyCConfig { pue_override: Some(1.25), ..Default::default() });
-    let priors_with_pue = PriorUncertainty { pue: 0.02, ..priors };
+    let measured = EasyC::with_config(EasyCConfig {
+        pue_override: Some(1.25),
+        ..Default::default()
+    });
+    let priors_with_pue = PriorUncertainty {
+        pue: 0.02,
+        ..priors
+    };
     let op2 = operational_interval(&measured, &system, &priors_with_pue, 4000, 0.95, 2024).unwrap();
     println!(
         "\nwith measured PUE=1.25 (one extra metric):\n\
@@ -49,7 +60,10 @@ fn main() {
         op2.point, op2.lo, op2.hi
     );
     let narrow = (op2.hi - op2.lo) / (op.hi - op.lo);
-    println!("interval width: {:.0}% of the prior-only report", narrow * 100.0);
+    println!(
+        "interval width: {:.0}% of the prior-only report",
+        narrow * 100.0
+    );
 
     println!(
         "\nfor context: {:.0} gasoline vehicles, {:.0} homes",

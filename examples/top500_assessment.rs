@@ -46,7 +46,9 @@ fn main() {
 
     if let Some(dir) = std::env::args().nth(1) {
         let dir = PathBuf::from(dir);
-        report.write_artifacts(&dir).expect("artifact directory writable");
+        report
+            .write_artifacts(&dir)
+            .expect("artifact directory writable");
         println!("wrote figure artifacts to {}", dir.display());
     } else {
         println!("(pass a directory argument to write all figure CSVs)");

@@ -5,14 +5,21 @@
 //! The actual implementation lives in `crates/*`:
 //!
 //! - [`easyc`] — the paper's primary contribution: the seven-metric carbon
-//!   footprint model (operational + embodied).
+//!   footprint model (operational + embodied), including the composable
+//!   data-scenario layer (`easyc::scenario`: availability masks, prior
+//!   overrides, scenario matrices) and the staged batch assessment engine
+//!   (`easyc::batch`: `MetricsStage → OperationalStage → EmbodiedStage`
+//!   over a shared context, chunk-parallel, bit-identical to serial).
 //! - [`top500`] — the Top 500 dataset substrate (embedded appendix Table II,
 //!   synthetic list generator, public-info enrichment).
 //! - [`hwdb`] — hardware and carbon-factor databases.
 //! - [`ghg`] — the GHG-protocol style exhaustive accounting baseline.
-//! - [`analysis`] — study pipelines regenerating every paper table and figure.
-//! - [`frame`] — columnar mini-dataframe and statistics substrate.
-//! - [`parallel`] — crossbeam-based parallel execution substrate.
+//! - [`analysis`] — study pipelines regenerating every paper table and
+//!   figure, scenario sweeps (`analysis::fleet::scenario_sweep`) and
+//!   batch-slice sensitivity (`analysis::sensitivity::from_footprints`).
+//! - [`frame`] — columnar mini-dataframe and statistics substrate (batch
+//!   results are exposed columnar via `easyc::BatchOutput::to_frame`).
+//! - [`parallel`] — std-only deterministic parallel execution substrate.
 
 pub use analysis;
 pub use easyc;

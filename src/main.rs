@@ -5,14 +5,20 @@
 //! top500-carbon assess <systems.csv>        assess systems from a CSV
 //! top500-carbon template                    print the CSV input template
 //! top500-carbon figures <dir>               write every figure/table CSV
+//! top500-carbon sweep <scenarios.csv> [systems.csv] [--out results.csv]
+//!                                           batch-assess a scenario matrix
+//! top500-carbon sweep-template              print the scenario CSV template
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use top500_carbon::analysis::fleet::{render_sweep, summarize_output};
 use top500_carbon::analysis::report::run_study;
-use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::easyc::{BatchEngine, EasyC, EasyCConfig, ScenarioMatrix};
+use top500_carbon::frame;
 use top500_carbon::top500::io::{export_csv, import_csv, COLUMNS};
+use top500_carbon::top500::list::Top500List;
 use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
 
 const DEFAULT_SEED: u64 = 0x5EED_CAFE;
@@ -30,6 +36,14 @@ fn main() -> ExitCode {
             Some(dir) => cmd_figures(Path::new(dir)),
             None => usage("figures requires an output directory"),
         },
+        Some("sweep") => match args.get(1) {
+            Some(path) => cmd_sweep(Path::new(path), &args[2..]),
+            None => usage("sweep requires a scenarios CSV path"),
+        },
+        Some("sweep-template") => {
+            print!("{}", ScenarioMatrix::csv_template());
+            ExitCode::SUCCESS
+        }
         Some(other) => usage(&format!("unknown command `{other}`")),
         None => usage("no command given"),
     }
@@ -42,7 +56,84 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("  top500-carbon assess <systems.csv>    assess systems from a CSV");
     eprintln!("  top500-carbon template                print the CSV input template");
     eprintln!("  top500-carbon figures <dir>           write every figure/table CSV");
+    eprintln!("  top500-carbon sweep <scenarios.csv> [systems.csv] [--out results.csv]");
+    eprintln!("                                        batch-assess a scenario matrix");
+    eprintln!("  top500-carbon sweep-template          print the scenario CSV template");
     ExitCode::FAILURE
+}
+
+/// Runs a scenario matrix over a system list (a CSV, or the synthetic 500)
+/// in one batch pass; optionally writes the full columnar results.
+fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
+    let text = match std::fs::read_to_string(scenarios_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", scenarios_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let matrix = match ScenarioMatrix::from_csv(&text) {
+        Ok(m) if !m.is_empty() => m,
+        Ok(_) => {
+            eprintln!("error: scenario matrix is empty");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out_path: Option<&str> = None;
+    let mut systems_path: Option<&str> = None;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--out" {
+            match iter.next() {
+                Some(p) => out_path = Some(p),
+                None => return usage("--out requires a path"),
+            }
+        } else {
+            systems_path = Some(arg);
+        }
+    }
+    let list: Top500List = match systems_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match import_csv(&text) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => generate_full(&SyntheticConfig {
+            seed: DEFAULT_SEED,
+            ..Default::default()
+        }),
+    };
+    println!(
+        "sweeping {} scenarios over {} systems (one batch pass)\n",
+        matrix.len(),
+        list.len()
+    );
+    let engine = BatchEngine::with_config(EasyCConfig::default());
+    let output = engine.assess_matrix(&list, &matrix);
+    println!("{}", render_sweep(&summarize_output(&output)));
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(path, frame::csv::write(&output.to_frame())) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote per-system scenario results to {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_study(artifacts: Option<&Path>) -> ExitCode {
@@ -76,8 +167,8 @@ fn cmd_assess(path: &Path) -> ExitCode {
     let tool = EasyC::new();
     let footprints = tool.assess_list(&list);
     println!(
-        "{:<6} {:<28} {:>14} {:>14}  {}",
-        "rank", "name", "op (MT/yr)", "emb (MT)", "notes"
+        "{:<6} {:<28} {:>14} {:>14}  notes",
+        "rank", "name", "op (MT/yr)", "emb (MT)"
     );
     let mut op_total = 0.0;
     let mut emb_total = 0.0;
@@ -93,13 +184,23 @@ fn cmd_assess(path: &Path) -> ExitCode {
             "{:<6} {:<28} {:>14} {:>14}  {}",
             sys.rank,
             sys.name.as_deref().unwrap_or(""),
-            fp.operational_mt().map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into()),
-            fp.embodied_mt().map(|v| format!("{v:.0}")).unwrap_or_else(|| "—".into()),
+            fp.operational_mt()
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "—".into()),
+            fp.embodied_mt()
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "—".into()),
             note
         );
     }
-    let covered_op = footprints.iter().filter(|f| f.operational_mt().is_some()).count();
-    let covered_emb = footprints.iter().filter(|f| f.embodied_mt().is_some()).count();
+    let covered_op = footprints
+        .iter()
+        .filter(|f| f.operational_mt().is_some())
+        .count();
+    let covered_emb = footprints
+        .iter()
+        .filter(|f| f.embodied_mt().is_some())
+        .count();
     println!(
         "\n{} systems; coverage {covered_op} operational / {covered_emb} embodied",
         list.len()
@@ -113,8 +214,19 @@ fn cmd_template() -> ExitCode {
     println!("# Required: rank, rmax_tflops. Everything else improves fidelity.");
     println!("{}", COLUMNS.join(","));
     // A worked example row to copy from: a masked synthetic system.
-    let demo = generate_full(&SyntheticConfig { n: 1, seed: DEFAULT_SEED, ..Default::default() });
-    print!("{}", export_csv(&demo).lines().skip(1).collect::<Vec<_>>().join("\n"));
+    let demo = generate_full(&SyntheticConfig {
+        n: 1,
+        seed: DEFAULT_SEED,
+        ..Default::default()
+    });
+    print!(
+        "{}",
+        export_csv(&demo)
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
     println!();
     ExitCode::SUCCESS
 }

@@ -1,0 +1,216 @@
+//! Acceptance tests for the staged batch assessment engine: the batch path
+//! must be bit-identical to the serial per-system path for the full
+//! synthetic 500, under every scenario, at any worker count; and the
+//! figure pipelines must produce the same results through the new engine.
+
+use top500_carbon::analysis::report::default_scenario_matrix;
+use top500_carbon::analysis::StudyPipeline;
+use top500_carbon::easyc::{
+    BatchEngine, DataScenario, EasyC, EasyCConfig, MetricBit, MetricMask, OverrideSet,
+    ScenarioMatrix, SystemFootprint,
+};
+use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
+
+fn full_500() -> top500_carbon::top500::list::Top500List {
+    generate_full(&SyntheticConfig {
+        n: 500,
+        seed: 0x5EED_CAFE,
+        ..Default::default()
+    })
+}
+
+fn scenario_matrix() -> ScenarioMatrix {
+    default_scenario_matrix()
+        .with(DataScenario::masked(
+            "anonymous-sites",
+            MetricMask::ALL.without(MetricBit::Location),
+        ))
+        .with(
+            DataScenario::masked(
+                "bare-minimum",
+                MetricMask::parse("none +nodes +gpus +cpus").expect("valid spec"),
+            )
+            .with_overrides(OverrideSet {
+                utilization: Some(0.55),
+                ..OverrideSet::NONE
+            }),
+        )
+}
+
+fn assert_bit_identical(a: &[SystemFootprint], b: &[SystemFootprint], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.rank, y.rank, "{what}: rank order");
+        assert_eq!(
+            x.operational, y.operational,
+            "{what}: rank {} operational",
+            x.rank
+        );
+        assert_eq!(x.embodied, y.embodied, "{what}: rank {} embodied", x.rank);
+    }
+}
+
+#[test]
+fn batch_bit_identical_to_serial_for_every_scenario_and_worker_count() {
+    let list = full_500();
+    let serial_tool = EasyC::new();
+    for scenario in scenario_matrix().scenarios() {
+        let serial: Vec<SystemFootprint> = list
+            .systems()
+            .iter()
+            .map(|s| serial_tool.assess_scenario(s, scenario))
+            .collect();
+        for workers in [1usize, 2, 5, 16] {
+            let engine = BatchEngine::with_config(EasyCConfig {
+                workers,
+                ..Default::default()
+            });
+            let ctx = engine.context(&list);
+            let batch = engine.assess(&ctx, scenario);
+            assert_bit_identical(
+                &batch,
+                &serial,
+                &format!("scenario `{}` workers {workers}", scenario.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_pass_equals_independent_passes() {
+    let list = full_500();
+    let matrix = scenario_matrix();
+    let engine = BatchEngine::new();
+    let combined = engine.assess_matrix(&list, &matrix);
+    assert_eq!(combined.slices.len(), matrix.len());
+    for (slice, scenario) in combined.slices.iter().zip(matrix.scenarios()) {
+        let ctx = engine.context(&list);
+        let independent = engine.assess(&ctx, scenario);
+        assert_bit_identical(&slice.footprints, &independent, &scenario.name);
+        // Coverage read off the footprints must match the slice's report.
+        assert_eq!(
+            slice.coverage,
+            top500_carbon::easyc::CoverageReport::from_footprints(&independent)
+        );
+    }
+}
+
+#[test]
+fn masked_list_matches_masked_scenario_semantics() {
+    // Masking the power column via the scenario must equal physically
+    // removing it from the records.
+    let list = full_500();
+    let engine = BatchEngine::new();
+    let scenario = DataScenario::masked(
+        "no-power",
+        MetricMask::ALL
+            .without(MetricBit::PowerKw)
+            .without(MetricBit::AnnualEnergy),
+    );
+    let ctx = engine.context(&list);
+    let via_mask = engine.assess(&ctx, &scenario);
+
+    let mut stripped = list.clone();
+    for record in stripped.systems_mut() {
+        record.power_kw = None;
+        record.annual_energy_mwh = None;
+    }
+    let via_records = engine.assess_list(&stripped);
+    assert_bit_identical(&via_mask, &via_records, "mask vs stripped records");
+}
+
+#[test]
+fn pipeline_through_batch_engine_unchanged_from_serial_reference() {
+    // The figure pipelines now run on the batch engine; their per-system
+    // numbers must still equal a plain serial assessment of the same lists.
+    let out = StudyPipeline::new(500, 0x5EED_CAFE).run();
+    let tool = EasyC::new();
+    for (list, results, label) in [
+        (&out.baseline, &out.baseline_results, "baseline"),
+        (&out.enriched, &out.enriched_results, "enriched"),
+    ] {
+        let serial: Vec<SystemFootprint> = list.systems().iter().map(|s| tool.assess(s)).collect();
+        assert_bit_identical(&results.footprints, &serial, label);
+        assert_eq!(
+            results.coverage.operational,
+            serial.iter().filter(|f| f.operational.is_ok()).count(),
+            "{label} coverage"
+        );
+    }
+}
+
+#[test]
+fn overrides_inside_stages_replace_rescaling() {
+    // PUE override: linear in PUE, so direct application must scale the
+    // footprint exactly, including on masked lists.
+    let full = full_500();
+    let masked = mask_baseline(&full, &MaskRates::default(), 7);
+    let engine = BatchEngine::new();
+    let ctx = engine.context(&masked);
+    let base = engine.assess(&ctx, &DataScenario::full("base"));
+    let pue = engine.assess(
+        &ctx,
+        &DataScenario::full("pue").with_overrides(OverrideSet {
+            pue: Some(2.0),
+            ..OverrideSet::NONE
+        }),
+    );
+    for (b, o) in base.iter().zip(&pue) {
+        match (&b.operational, &o.operational) {
+            (Ok(b), Ok(o)) => {
+                assert_eq!(o.pue, 2.0);
+                let expected = b.mt_co2e / b.pue * 2.0;
+                assert!(
+                    (o.mt_co2e - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+                    "expected {expected}, got {}",
+                    o.mt_co2e
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            other => panic!("override changed coverage: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn utilization_override_regression_full_list() {
+    // The seed's rescale hack skipped the override when the estimated
+    // utilisation was exactly 1.0. The staged path applies it uniformly on
+    // every non-measured-energy power path.
+    let list = full_500();
+    let tool = EasyC::with_config(EasyCConfig {
+        utilization_override: Some(0.5),
+        ..Default::default()
+    });
+    let overridden = tool.assess_list(&list);
+    for fp in &overridden {
+        if let Ok(op) = &fp.operational {
+            match op.path {
+                top500_carbon::easyc::PowerPath::MeasuredEnergy => {
+                    assert_eq!(op.utilization, 1.0, "rank {}", fp.rank)
+                }
+                _ => assert_eq!(op.utilization, 0.5, "rank {}", fp.rank),
+            }
+        }
+    }
+}
+
+#[test]
+fn columnar_frame_matches_typed_results() {
+    let list = generate_full(&SyntheticConfig {
+        n: 120,
+        ..Default::default()
+    });
+    let matrix = scenario_matrix();
+    let out = BatchEngine::new().assess_matrix(&list, &matrix);
+    let df = out.to_frame();
+    assert_eq!(df.len(), matrix.len() * list.len());
+    let op = df.numeric("operational_mt").expect("operational column");
+    let mut row = 0;
+    for slice in &out.slices {
+        for fp in &slice.footprints {
+            assert_eq!(op[row], fp.operational_mt(), "row {row}");
+            row += 1;
+        }
+    }
+}

@@ -13,7 +13,10 @@ fn contradictory_record_negative_power() {
     let fp = EasyC::new().assess(&r);
     assert!(matches!(
         fp.operational,
-        Err(EasyCError::InvalidField { field: "power_kw", .. })
+        Err(EasyCError::InvalidField {
+            field: "power_kw",
+            ..
+        })
     ));
 }
 
@@ -24,7 +27,10 @@ fn contradictory_record_zero_energy() {
     let fp = EasyC::new().assess(&r);
     assert!(matches!(
         fp.operational,
-        Err(EasyCError::InvalidField { field: "annual_energy_mwh", .. })
+        Err(EasyCError::InvalidField {
+            field: "annual_energy_mwh",
+            ..
+        })
     ));
 }
 
@@ -35,7 +41,10 @@ fn record_with_nothing_useful() {
     // CPU-only without cores: operational falls to the Rmax prior, but
     // embodied has no structural anchor at all.
     assert!(fp.operational.is_ok());
-    assert!(matches!(fp.embodied, Err(EasyCError::NoStructuralData { rank: 321 })));
+    assert!(matches!(
+        fp.embodied,
+        Err(EasyCError::NoStructuralData { rank: 321 })
+    ));
 }
 
 #[test]
@@ -66,9 +75,9 @@ fn errors_render_human_messages() {
 #[test]
 fn csv_parser_rejects_malformed_not_panics() {
     for bad in [
-        "a,b\n1\n",          // field count
+        "a,b\n1\n",            // field count
         "a\n\"unterminated\n", // quote
-        "a,b\n1,2,3\n",      // too many fields
+        "a,b\n1,2,3\n",        // too many fields
     ] {
         match csv::parse(bad) {
             Err(FrameError::Csv { .. }) => {}

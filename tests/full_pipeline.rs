@@ -12,10 +12,7 @@ fn coverage_ordering_ghg_lt_baseline_lt_enriched() {
     let ghg_cov = ghg::coverage::coverage(out.baseline.systems());
     assert!(ghg_cov.operational < out.baseline_results.coverage.operational);
     assert_eq!(ghg_cov.embodied, 0, "paper: NONE report embodied under GHG");
-    assert!(
-        out.baseline_results.coverage.operational
-            < out.enriched_results.coverage.operational
-    );
+    assert!(out.baseline_results.coverage.operational < out.enriched_results.coverage.operational);
     assert!(out.baseline_results.coverage.embodied < out.enriched_results.coverage.embodied);
 }
 
@@ -81,7 +78,10 @@ fn assessment_is_deterministic_across_thread_counts() {
 
 #[test]
 fn scenario_labels_cover_both_inputs() {
-    assert_ne!(Scenario::Baseline.label(), Scenario::BaselinePlusPublic.label());
+    assert_ne!(
+        Scenario::Baseline.label(),
+        Scenario::BaselinePlusPublic.label()
+    );
 }
 
 #[test]

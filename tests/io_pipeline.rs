@@ -9,7 +9,10 @@ use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, 
 
 #[test]
 fn csv_roundtrip_preserves_footprints() {
-    let full = generate_full(&SyntheticConfig { n: 120, ..Default::default() });
+    let full = generate_full(&SyntheticConfig {
+        n: 120,
+        ..Default::default()
+    });
     let masked = mask_baseline(&full, &MaskRates::default(), 9);
     let reloaded = import_csv(&export_csv(&masked)).unwrap();
 
@@ -30,16 +33,25 @@ fn effort_comparison_easyc_vs_ghg() {
     let easyc_hours = top500_carbon::easyc::metrics::effort_minutes_per_system() / 60.0;
     let ghg_hours = ghg::coverage::effort_hours_per_system();
     assert!(easyc_hours < 1.0);
-    assert!(ghg_hours / easyc_hours > 50.0, "GHG {ghg_hours} h vs EasyC {easyc_hours} h");
+    assert!(
+        ghg_hours / easyc_hours > 50.0,
+        "GHG {ghg_hours} h vs EasyC {easyc_hours} h"
+    );
 }
 
 #[test]
 fn imported_list_supports_interpolation_study() {
-    let full = generate_full(&SyntheticConfig { n: 200, ..Default::default() });
+    let full = generate_full(&SyntheticConfig {
+        n: 200,
+        ..Default::default()
+    });
     let masked = mask_baseline(&full, &MaskRates::default(), 2);
     let list = import_csv(&export_csv(&masked)).unwrap();
     let footprints = EasyC::new().assess_list(&list);
-    let op: Vec<Option<f64>> = footprints.iter().map(SystemFootprint::operational_mt).collect();
+    let op: Vec<Option<f64>> = footprints
+        .iter()
+        .map(SystemFootprint::operational_mt)
+        .collect();
     let (filled, summary) =
         top500_carbon::analysis::interpolate::interpolate_with_summary(&op, 5).unwrap();
     assert_eq!(filled.len(), 200);
@@ -59,7 +71,5 @@ fn import_tolerates_sparse_real_world_export() {
     assert!(footprints[0].operational_mt().is_some());
     // SmallIron has measured power → estimable too, with French ACI.
     assert!(footprints[1].operational_mt().is_some());
-    assert!(
-        footprints[0].operational_mt().unwrap() > footprints[1].operational_mt().unwrap()
-    );
+    assert!(footprints[0].operational_mt().unwrap() > footprints[1].operational_mt().unwrap());
 }

@@ -12,7 +12,9 @@ fn abstract_coverage_claims() {
     // "we were able to model the operational carbon of 391 HPC systems and
     // the embodied carbon of 283 HPC systems"
     assert_eq!(
-        rows.iter().filter(|r| r.operational.top500.is_some()).count(),
+        rows.iter()
+            .filter(|r| r.operational.top500.is_some())
+            .count(),
         paper::OP_COVERAGE_TOP500
     );
     assert_eq!(
@@ -118,6 +120,12 @@ fn vehicle_equivalences() {
     let fig7 = Fig7::from_appendix(&rows);
     let op_vehicles = fig7.op_interpolated.equivalences().vehicles;
     let emb_vehicles = fig7.emb_interpolated.equivalences().vehicles;
-    assert!((op_vehicles / paper::OP_VEHICLES_EQUIV - 1.0).abs() < 0.02, "{op_vehicles}");
-    assert!((emb_vehicles / paper::EMB_VEHICLES_EQUIV - 1.0).abs() < 0.02, "{emb_vehicles}");
+    assert!(
+        (op_vehicles / paper::OP_VEHICLES_EQUIV - 1.0).abs() < 0.02,
+        "{op_vehicles}"
+    );
+    assert!(
+        (emb_vehicles / paper::EMB_VEHICLES_EQUIV - 1.0).abs() < 0.02,
+        "{emb_vehicles}"
+    );
 }

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
-use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::easyc::{
+    DataScenario, EasyC, MetricMask, ScenarioMatrix, SevenMetrics, SystemFootprint,
+};
 use top500_carbon::frame::{csv, stats, Column, DataFrame};
 use top500_carbon::top500::SystemRecord;
 
@@ -207,6 +209,82 @@ proptest! {
         hotter.power_kw = record.power_kw.map(|p| p * factor);
         let more = tool.assess(&hotter);
         prop_assert!(more.operational_mt().unwrap() > base.operational_mt().unwrap());
+    }
+}
+
+// ------------------------------------------------------- scenario masks
+
+fn arb_mask() -> impl Strategy<Value = MetricMask> {
+    (0u16..0x800).prop_map(MetricMask::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn mask_composition_laws(a in arb_mask(), b in arb_mask(), c in arb_mask()) {
+        // Boolean-algebra laws the ScenarioMatrix composition relies on.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        prop_assert_eq!(a.union(b.union(c)), a.union(b).union(c));
+        prop_assert_eq!(a.intersect(b.intersect(c)), a.intersect(b).intersect(c));
+        prop_assert_eq!(a.intersect(b.union(c)), a.intersect(b).union(a.intersect(c)));
+        prop_assert_eq!(a.complement().complement(), a);
+        prop_assert_eq!(a.union(a.complement()), MetricMask::ALL);
+        prop_assert_eq!(a.intersect(a.complement()), MetricMask::NONE);
+        prop_assert_eq!(a.union(MetricMask::NONE), a);
+        prop_assert_eq!(a.intersect(MetricMask::ALL), a);
+    }
+
+    #[test]
+    fn mask_spec_roundtrips(mask in arb_mask()) {
+        let spec = mask.to_spec();
+        prop_assert_eq!(MetricMask::parse(&spec).unwrap(), mask, "spec {}", spec);
+    }
+
+    #[test]
+    fn mask_application_is_idempotent_and_monotone(
+        record in arb_record(),
+        mask in arb_mask()
+    ) {
+        let metrics = SevenMetrics::extract(&record);
+        let once = mask.apply_metrics(&record, &metrics);
+        let twice = mask.apply_metrics(&record, &once);
+        prop_assert_eq!(&once, &twice);
+        // Masking never reveals data: visible-field count only shrinks.
+        prop_assert!(once.present_count() <= metrics.present_count());
+        // Composing masks equals applying the intersection.
+        let narrower = mask.intersect(MetricMask::ALL.without(
+            top500_carbon::easyc::MetricBit::Nodes,
+        ));
+        let composed = narrower.apply_metrics(&record, &metrics);
+        let sequential = MetricMask::ALL
+            .without(top500_carbon::easyc::MetricBit::Nodes)
+            .apply_metrics(&record, &mask.apply_metrics(&record, &metrics));
+        prop_assert_eq!(composed, sequential);
+    }
+
+    #[test]
+    fn masked_assessment_never_panics(record in arb_record(), mask in arb_mask()) {
+        let scenario = DataScenario::masked("prop", mask);
+        let fp = EasyC::new().assess_scenario(&record, &scenario);
+        if let Some(v) = fp.operational_mt() {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+        if let Some(v) = fp.embodied_mt() {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_preserves_scenario_order(masks in prop::collection::vec(arb_mask(), 1..8)) {
+        let mut matrix = ScenarioMatrix::new();
+        for (i, mask) in masks.iter().enumerate() {
+            matrix.push(DataScenario::masked(format!("s{i}"), *mask));
+        }
+        prop_assert_eq!(matrix.len(), masks.len());
+        for (i, scenario) in matrix.scenarios().iter().enumerate() {
+            prop_assert_eq!(&scenario.name, &format!("s{i}"));
+            prop_assert_eq!(scenario.mask, masks[i]);
+        }
     }
 }
 
