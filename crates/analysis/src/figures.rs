@@ -293,124 +293,196 @@ impl Fig4 {
 
 // ----------------------------------------------------------- Figures 5 & 6
 
-/// Coverage by rank range under both scenarios (Figure 5 = operational,
-/// Figure 6 = embodied).
+/// Coverage by rank range, one panel (column) per scenario. The paper's
+/// fixed two-scenario editions (Figure 5 = operational, Figure 6 =
+/// embodied) are the `baseline`/`public` instantiations; arbitrary
+/// [`ScenarioMatrix`](easyc::ScenarioMatrix) sweeps render one
+/// coverage-by-rank panel per scenario through [`CoverageByRange::from_slices`]
+/// or [`CoverageByRange::from_matrix`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoverageByRange {
     /// Output ("Operational" / "Embodied").
     pub output: String,
-    /// `(range, covered fraction baseline, covered fraction +public)`.
-    pub ranges: Vec<(RankRange, f64, f64)>,
+    /// Panel (scenario) labels, column order.
+    pub scenarios: Vec<String>,
+    /// `(range, covered fraction per scenario)`, one fraction per panel.
+    pub rows: Vec<(RankRange, Vec<f64>)>,
+}
+
+/// Coverage fractions per rank range from per-range covered-predicate
+/// columns: `panels[p]` yields `(rank, covered)` pairs for panel `p`.
+fn coverage_rows(panels: &[Vec<(u32, bool)>]) -> Vec<(RankRange, Vec<f64>)> {
+    RANK_RANGES
+        .iter()
+        .map(|&range| {
+            let fractions = panels
+                .iter()
+                .map(|panel| {
+                    let in_range: Vec<bool> = panel
+                        .iter()
+                        .filter(|(rank, _)| range.contains(*rank))
+                        .map(|&(_, covered)| covered)
+                        .collect();
+                    let total = in_range.len().max(1) as f64;
+                    in_range.iter().filter(|&&c| c).count() as f64 / total
+                })
+                .collect();
+            (range, fractions)
+        })
+        .collect()
+}
+
+fn output_label(embodied: bool) -> String {
+    if embodied { "Embodied" } else { "Operational" }.to_string()
+}
+
+fn footprint_panel(footprints: &[easyc::SystemFootprint], embodied: bool) -> Vec<(u32, bool)> {
+    footprints
+        .iter()
+        .map(|fp| {
+            let covered = if embodied {
+                fp.embodied_mt().is_some()
+            } else {
+                fp.operational_mt().is_some()
+            };
+            (fp.rank, covered)
+        })
+        .collect()
 }
 
 impl CoverageByRange {
     /// Builds from appendix presence columns. `embodied` selects Figure 6.
     pub fn from_appendix(rows: &[AppendixRow], embodied: bool) -> CoverageByRange {
-        let covered = |row: &AppendixRow, public: bool| -> bool {
-            let sv = if embodied {
-                &row.embodied
-            } else {
-                &row.operational
-            };
-            if public {
-                sv.public.is_some()
-            } else {
-                sv.top500.is_some()
-            }
+        let panel = |public: bool| -> Vec<(u32, bool)> {
+            rows.iter()
+                .map(|row| {
+                    let sv = if embodied {
+                        &row.embodied
+                    } else {
+                        &row.operational
+                    };
+                    let covered = if public {
+                        sv.public.is_some()
+                    } else {
+                        sv.top500.is_some()
+                    };
+                    (row.rank, covered)
+                })
+                .collect()
         };
-        let ranges = RANK_RANGES
-            .iter()
-            .map(|&range| {
-                let in_range: Vec<&AppendixRow> =
-                    rows.iter().filter(|r| range.contains(r.rank)).collect();
-                let total = in_range.len().max(1) as f64;
-                let base = in_range.iter().filter(|r| covered(r, false)).count() as f64;
-                let publ = in_range.iter().filter(|r| covered(r, true)).count() as f64;
-                (range, base / total, publ / total)
-            })
-            .collect();
         CoverageByRange {
-            output: if embodied { "Embodied" } else { "Operational" }.to_string(),
-            ranges,
+            output: output_label(embodied),
+            scenarios: vec!["baseline".to_string(), "public".to_string()],
+            rows: coverage_rows(&[panel(false), panel(true)]),
         }
     }
 
     /// Builds from pipeline footprints. `embodied` selects the output.
     pub fn from_pipeline(out: &PipelineOutput, embodied: bool) -> CoverageByRange {
-        let pick = |fp: &easyc::SystemFootprint| -> bool {
-            if embodied {
-                fp.embodied_mt().is_some()
-            } else {
-                fp.operational_mt().is_some()
-            }
-        };
-        let ranges = RANK_RANGES
-            .iter()
-            .map(|&range| {
-                let base: Vec<bool> = out
-                    .baseline_results
-                    .footprints
-                    .iter()
-                    .filter(|fp| range.contains(fp.rank))
-                    .map(pick)
-                    .collect();
-                let publ: Vec<bool> = out
-                    .enriched_results
-                    .footprints
-                    .iter()
-                    .filter(|fp| range.contains(fp.rank))
-                    .map(pick)
-                    .collect();
-                let total = base.len().max(1) as f64;
-                (
-                    range,
-                    base.iter().filter(|&&c| c).count() as f64 / total,
-                    publ.iter().filter(|&&c| c).count() as f64 / total,
-                )
-            })
-            .collect();
         CoverageByRange {
-            output: if embodied { "Embodied" } else { "Operational" }.to_string(),
-            ranges,
+            output: output_label(embodied),
+            scenarios: vec!["baseline".to_string(), "public".to_string()],
+            rows: coverage_rows(&[
+                footprint_panel(&out.baseline_results.footprints, embodied),
+                footprint_panel(&out.enriched_results.footprints, embodied),
+            ]),
         }
+    }
+
+    /// Builds one panel per scenario from sweep slices (an
+    /// [`easyc::AssessmentOutput`] or legacy batch output).
+    pub fn from_slices(slices: &[easyc::ScenarioSlice], embodied: bool) -> CoverageByRange {
+        CoverageByRange {
+            output: output_label(embodied),
+            scenarios: slices.iter().map(|s| s.scenario.name.clone()).collect(),
+            rows: coverage_rows(
+                &slices
+                    .iter()
+                    .map(|s| footprint_panel(&s.footprints, embodied))
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+
+    /// Runs a whole [`easyc::ScenarioMatrix`] over `list` through one
+    /// [`easyc::Assessment`] session and renders coverage-by-rank panels
+    /// per scenario.
+    pub fn from_matrix(
+        list: &top500::list::Top500List,
+        matrix: &easyc::ScenarioMatrix,
+        config: easyc::EasyCConfig,
+        embodied: bool,
+    ) -> CoverageByRange {
+        let output = easyc::Assessment::of(list)
+            .config(config)
+            .scenarios(matrix)
+            .run();
+        CoverageByRange::from_slices(output.slices(), embodied)
+    }
+
+    /// Coverage fraction of the full-list bucket for panel `scenario`;
+    /// `None` when no such panel exists.
+    pub fn overall_of(&self, scenario: usize) -> Option<f64> {
+        self.rows
+            .last()
+            .expect("1-500 bucket present")
+            .1
+            .get(scenario)
+            .copied()
     }
 
     /// Coverage fraction of the full-list bucket under the given scenario.
+    /// Only meaningful for the fixed two-panel editions
+    /// ([`CoverageByRange::from_appendix`] / [`CoverageByRange::from_pipeline`]:
+    /// `false` = baseline, `true` = +public); panics on any other panel
+    /// layout — use [`CoverageByRange::overall_of`] for arbitrary matrices.
     pub fn overall(&self, public: bool) -> f64 {
-        let &(_, base, publ) = self.ranges.last().expect("1-500 bucket present");
-        if public {
-            publ
-        } else {
-            base
-        }
+        assert_eq!(
+            self.scenarios.len(),
+            2,
+            "overall(bool) addresses the two-panel baseline/public editions; \
+             this figure has panels {:?} — use overall_of(index)",
+            self.scenarios
+        );
+        self.overall_of(usize::from(public))
+            .expect("two-panel figure")
     }
 
-    /// Text rendering.
+    /// Text rendering: one coverage column per scenario panel.
     pub fn render(&self) -> String {
-        let rows: Vec<Vec<String>> = self
-            .ranges
-            .iter()
-            .map(|&(range, base, publ)| vec![range.label(), pct(base), pct(publ)])
+        let headers: Vec<String> = std::iter::once("Rank Range".to_string())
+            .chain(self.scenarios.iter().map(|s| format!("Coverage ({s})")))
             .collect();
-        text_table(
-            &["Rank Range", "Coverage (Top500.org)", "Coverage (+ public)"],
-            &rows,
-        )
-    }
-
-    /// CSV rendering.
-    pub fn to_csv(&self) -> String {
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let rows: Vec<Vec<String>> = self
-            .ranges
+            .rows
             .iter()
-            .map(|&(range, base, publ)| {
-                vec![range.label(), format!("{base:.4}"), format!("{publ:.4}")]
+            .map(|(range, fractions)| {
+                std::iter::once(range.label())
+                    .chain(fractions.iter().map(|&f| pct(f)))
+                    .collect()
             })
             .collect();
-        csv_table(
-            &["rank_range", "coverage_baseline", "coverage_public"],
-            &rows,
-        )
+        text_table(&header_refs, &rows)
+    }
+
+    /// CSV rendering: `rank_range` plus one `coverage_<scenario>` column
+    /// per panel.
+    pub fn to_csv(&self) -> String {
+        let headers: Vec<String> = std::iter::once("rank_range".to_string())
+            .chain(self.scenarios.iter().map(|s| format!("coverage_{s}")))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(range, fractions)| {
+                std::iter::once(range.label())
+                    .chain(fractions.iter().map(|f| format!("{f:.4}")))
+                    .collect()
+            })
+            .collect();
+        csv_table(&header_refs, &rows)
     }
 }
 
@@ -665,7 +737,8 @@ mod tests {
         let fig = CoverageByRange::from_appendix(&rows(), false);
         // Paper: gaps emerge "surprisingly high in the rankings 26-50,
         // 51-75, 76-100" and public info renders nearly full coverage.
-        for &(range, base, publ) in &fig.ranges {
+        for (range, fractions) in &fig.rows {
+            let (base, publ) = (fractions[0], fractions[1]);
             if range.lo == 26 || range.lo == 51 || range.lo == 76 {
                 assert!(base < 0.9, "range {} base {base}", range.label());
                 assert!(publ > base, "range {} did not improve", range.label());
@@ -680,9 +753,9 @@ mod tests {
         let fig = CoverageByRange::from_appendix(&rows(), true);
         // Paper: "For many systems in the Top 150, there was insufficient
         // data" — top-range embodied coverage below the tail's.
-        let top = fig.ranges.iter().find(|(r, _, _)| r.lo == 26).unwrap();
-        let tail = fig.ranges.iter().find(|(r, _, _)| r.lo == 301).unwrap();
-        assert!(top.1 < tail.1, "top {} tail {}", top.1, tail.1);
+        let top = fig.rows.iter().find(|(r, _)| r.lo == 26).unwrap();
+        let tail = fig.rows.iter().find(|(r, _)| r.lo == 301).unwrap();
+        assert!(top.1[0] < tail.1[0], "top {} tail {}", top.1[0], tail.1[0]);
         assert!((fig.overall(true) - 0.808).abs() < 0.001);
     }
 
@@ -690,11 +763,68 @@ mod tests {
     fn fig5_pipeline_same_shape() {
         let out = StudyPipeline::new(500, 7).run();
         let fig = CoverageByRange::from_pipeline(&out, false);
-        assert_eq!(fig.ranges.len(), 14);
+        assert_eq!(fig.rows.len(), 14);
+        assert_eq!(fig.scenarios, vec!["baseline", "public"]);
         // Public info never reduces coverage in any band.
-        for &(_, base, publ) in &fig.ranges {
-            assert!(publ >= base - 1e-9);
+        for (_, fractions) in &fig.rows {
+            assert!(fractions[1] >= fractions[0] - 1e-9);
         }
+    }
+
+    #[test]
+    fn coverage_panels_per_scenario_from_matrix() {
+        use easyc::{DataScenario, MetricBit, MetricMask, ScenarioMatrix};
+        let out = StudyPipeline::new(200, 7).run();
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked(
+                "no-structure",
+                MetricMask::ALL
+                    .without(MetricBit::Nodes)
+                    .without(MetricBit::Gpus)
+                    .without(MetricBit::Cpus),
+            ))
+            .with(DataScenario::masked(
+                "no-power",
+                MetricMask::ALL
+                    .without(MetricBit::PowerKw)
+                    .without(MetricBit::AnnualEnergy),
+            ));
+        let fig = CoverageByRange::from_matrix(
+            &out.enriched,
+            &matrix,
+            easyc::EasyCConfig::default(),
+            true,
+        );
+        assert_eq!(fig.scenarios, vec!["full", "no-structure", "no-power"]);
+        assert_eq!(fig.rows.len(), 14);
+        // Hiding structure can only hurt embodied coverage, in every band.
+        for (range, fractions) in &fig.rows {
+            assert!(
+                fractions[1] <= fractions[0] + 1e-9,
+                "range {}",
+                range.label()
+            );
+        }
+        // Panels must agree with a direct session's slice coverage.
+        let session = easyc::Assessment::of(&out.enriched)
+            .scenarios(&matrix)
+            .run();
+        let direct = CoverageByRange::from_slices(session.slices(), true);
+        assert_eq!(fig, direct);
+        assert!(
+            (fig.overall_of(0).unwrap()
+                - session.slice("full").unwrap().coverage.embodied_fraction())
+            .abs()
+                < 1e-9
+        );
+        // CSV carries one column per scenario.
+        let csv = fig.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains("coverage_no-structure"));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! `frame` group-by machinery (the study's dataframe substrate).
 
 use crate::aggregate::Aggregate;
-use easyc::{BatchEngine, CoverageReport, EasyCConfig, ScenarioMatrix, SystemFootprint};
+use easyc::{
+    Assessment, CoverageReport, EasyCConfig, ScenarioMatrix, ScenarioSlice, SystemFootprint,
+};
 use frame::agg::{group_by, AggFn};
 use frame::{Column, DataFrame};
 use top500::list::Top500List;
@@ -155,20 +157,28 @@ pub struct ScenarioSummary {
     pub embodied: Aggregate,
 }
 
-/// Sweeps a whole scenario matrix over the list in ONE batch pass (shared
-/// metric extraction) and summarises each scenario — the replacement for
-/// re-running the assessment N times.
+/// Sweeps a whole scenario matrix over the list in ONE interleaved session
+/// pass (shared metric extraction, (scenario × chunk) items on one pool)
+/// and summarises each scenario — the replacement for re-running the
+/// assessment N times.
 pub fn scenario_sweep(
     list: &Top500List,
     matrix: &ScenarioMatrix,
     config: EasyCConfig,
 ) -> Vec<ScenarioSummary> {
-    summarize_output(&BatchEngine::with_config(config).assess_matrix(list, matrix))
+    summarize_slices(
+        Assessment::of(list)
+            .config(config)
+            .scenarios(matrix)
+            .run()
+            .slices(),
+    )
 }
 
-/// Summarises an already-computed batch output (no re-assessment).
-pub fn summarize_output(out: &easyc::BatchOutput) -> Vec<ScenarioSummary> {
-    out.slices
+/// Summarises already-computed scenario slices (no re-assessment) — from
+/// an [`easyc::AssessmentOutput`] or the legacy `BatchOutput`.
+pub fn summarize_slices(slices: &[ScenarioSlice]) -> Vec<ScenarioSummary> {
+    slices
         .iter()
         .map(|slice| {
             let op: Vec<Option<f64>> = slice
@@ -189,6 +199,11 @@ pub fn summarize_output(out: &easyc::BatchOutput) -> Vec<ScenarioSummary> {
             }
         })
         .collect()
+}
+
+/// Summarises an already-computed batch output (no re-assessment).
+pub fn summarize_output(out: &easyc::BatchOutput) -> Vec<ScenarioSummary> {
+    summarize_slices(out.slices())
 }
 
 /// Renders a sweep as an aligned text table.
@@ -259,11 +274,10 @@ pub fn concentration(shares: &[GroupShare], k: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::pipeline::StudyPipeline;
-    use easyc::EasyC;
 
     fn setup() -> (Top500List, Vec<SystemFootprint>) {
         let out = StudyPipeline::new(500, 7).run();
-        let footprints = EasyC::new().assess_list(&out.full);
+        let footprints = Assessment::of(&out.full).run().into_footprints();
         (out.full, footprints)
     }
 
@@ -326,7 +340,7 @@ mod tests {
         let summaries = scenario_sweep(&out.baseline, &matrix, easyc::EasyCConfig::default());
         assert_eq!(summaries.len(), 2);
         // The "full" slice must agree with a direct assessment.
-        let direct = EasyC::new().assess_list(&out.baseline);
+        let direct = Assessment::of(&out.baseline).run().into_footprints();
         let direct_total: f64 = direct
             .iter()
             .filter_map(SystemFootprint::operational_mt)

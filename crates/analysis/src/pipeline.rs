@@ -4,13 +4,13 @@
 //! missingness → run EasyC (Baseline) → add public info → run EasyC again
 //! (+PublicInfo) → interpolate the remainder → aggregate.
 //!
-//! Both scenario runs go through the staged [`easyc::BatchEngine`]; the
-//! coverage counts are read off the batch footprints directly instead of
-//! re-running every estimator a second time.
+//! Both scenario runs go through the unified [`easyc::Assessment`] session;
+//! the coverage counts are read off the session footprints directly instead
+//! of re-running every estimator a second time.
 
 use crate::aggregate::Aggregate;
 use crate::interpolate::{interpolate_with_summary, InterpolationSummary};
-use easyc::{BatchEngine, CoverageReport, DataScenario, Scenario, SystemFootprint};
+use easyc::{Assessment, CoverageReport, DataScenario, Scenario, SystemFootprint};
 use top500::enrich::{enrich, RevealRates};
 use top500::list::Top500List;
 use top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
@@ -72,7 +72,6 @@ impl StudyPipeline {
 
     /// Runs the full study.
     pub fn run(&self) -> PipelineOutput {
-        let engine = BatchEngine::new();
         let full = generate_full(&self.synthetic);
         let baseline = mask_baseline(&full, &MaskRates::default(), self.synthetic.seed);
         let enriched = enrich(
@@ -82,9 +81,8 @@ impl StudyPipeline {
             self.synthetic.seed,
         );
 
-        let baseline_results = assess_scenario(&engine, &baseline, Scenario::Baseline.label());
-        let enriched_results =
-            assess_scenario(&engine, &enriched, Scenario::BaselinePlusPublic.label());
+        let baseline_results = assess_scenario(&baseline, Scenario::Baseline.label());
+        let enriched_results = assess_scenario(&enriched, Scenario::BaselinePlusPublic.label());
 
         let op_series: Vec<Option<f64>> = enriched_results
             .footprints
@@ -115,9 +113,11 @@ impl StudyPipeline {
     }
 }
 
-fn assess_scenario(engine: &BatchEngine, list: &Top500List, label: &str) -> ScenarioResults {
-    let ctx = engine.context(list);
-    let footprints = engine.assess(&ctx, &DataScenario::full(label));
+fn assess_scenario(list: &Top500List, label: &str) -> ScenarioResults {
+    let footprints = Assessment::of(list)
+        .scenario(DataScenario::full(label))
+        .run()
+        .into_footprints();
     let op: Vec<Option<f64>> = footprints
         .iter()
         .map(SystemFootprint::operational_mt)

@@ -3,7 +3,10 @@
 use crate::figures::{self, CarbonByRank, CoverageByRange, Fig2, Fig4, Fig7, Fig9, Table1};
 use crate::fleet::{self, ScenarioSummary};
 use crate::pipeline::{PipelineOutput, StudyPipeline};
-use easyc::{DataScenario, EasyCConfig, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
+use easyc::{
+    Assessment, AssessmentOutput, DataScenario, EasyCConfig, MetricBit, MetricMask, OverrideSet,
+    ScenarioMatrix,
+};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -108,9 +111,12 @@ pub struct StudyReport {
     pub headline: Headline,
     /// Pipeline raw output.
     pub pipeline: PipelineOutput,
-    /// Scenario sweep of the enriched synthetic list (one batch pass over
-    /// [`default_scenario_matrix`]).
+    /// Scenario sweep of the enriched synthetic list (one interleaved
+    /// [`Assessment`] session over [`default_scenario_matrix`]).
     pub sweep: Vec<ScenarioSummary>,
+    /// The raw session output behind `sweep` (per-scenario footprints),
+    /// kept so figures can render per-scenario panels without re-assessing.
+    pub sweep_output: AssessmentOutput,
 }
 
 /// The scenario matrix the study sweeps by default: ground truth, the two
@@ -149,11 +155,11 @@ pub fn default_scenario_matrix() -> ScenarioMatrix {
 pub fn run_study(seed: u64) -> StudyReport {
     let rows = top500::appendix::load();
     let pipeline = StudyPipeline::new(500, seed).run();
-    let sweep = fleet::scenario_sweep(
-        &pipeline.enriched,
-        &default_scenario_matrix(),
-        EasyCConfig::default(),
-    );
+    let sweep_output = Assessment::of(&pipeline.enriched)
+        .config(EasyCConfig::default())
+        .scenarios(&default_scenario_matrix())
+        .run();
+    let sweep = fleet::summarize_slices(sweep_output.slices());
 
     let fig7 = Fig7::from_appendix(&rows);
     let fig9 = Fig9::from_appendix(&rows);
@@ -194,6 +200,7 @@ pub fn run_study(seed: u64) -> StudyReport {
         },
         pipeline,
         sweep,
+        sweep_output,
     }
 }
 
@@ -308,6 +315,16 @@ impl StudyReport {
             dir.join("scenario_sweep.csv"),
             fleet::sweep_to_csv(&self.sweep),
         )?;
+        // Coverage-by-rank panels per sweep scenario (the generalised
+        // Figures 5/6 over the whole scenario matrix).
+        fs::write(
+            dir.join("sweep_op_coverage_ranges.csv"),
+            CoverageByRange::from_slices(self.sweep_output.slices(), false).to_csv(),
+        )?;
+        fs::write(
+            dir.join("sweep_emb_coverage_ranges.csv"),
+            CoverageByRange::from_slices(self.sweep_output.slices(), true).to_csv(),
+        )?;
         Ok(())
     }
 }
@@ -376,6 +393,8 @@ mod tests {
             "fig11_perf_per_carbon.csv",
             "table2_per_system.txt",
             "scenario_sweep.csv",
+            "sweep_op_coverage_ranges.csv",
+            "sweep_emb_coverage_ranges.csv",
         ] {
             assert!(dir.join(file).exists(), "{file} missing");
         }

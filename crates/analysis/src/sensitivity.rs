@@ -132,6 +132,23 @@ pub fn from_footprints(
     from_scenarios(&pairs)
 }
 
+/// Sensitivity between two named scenarios of one [`easyc::Assessment`]
+/// session output: `variant − baseline` per rank, so what-if questions
+/// ("what does losing measured power cost?") read straight off a single
+/// session run. Returns `None` when either scenario is absent.
+pub fn between(
+    output: &easyc::AssessmentOutput,
+    baseline: &str,
+    variant: &str,
+    embodied: bool,
+) -> Option<SensitivityReport> {
+    Some(from_footprints(
+        output.footprints(baseline)?,
+        output.footprints(variant)?,
+        embodied,
+    ))
+}
+
 /// Operational sensitivity from appendix rows.
 pub fn operational(rows: &[AppendixRow]) -> SensitivityReport {
     let pairs: Vec<_> = rows
@@ -262,6 +279,35 @@ mod tests {
         assert_eq!(report.newly_covered, manual_newly);
         assert!(manual_newly > 0, "enrichment should cover new systems");
         assert!(report.enriched_total_mt >= report.baseline_total_mt);
+    }
+
+    #[test]
+    fn between_reads_session_scenarios() {
+        use easyc::{Assessment, DataScenario, MetricBit, MetricMask, ScenarioMatrix};
+        use top500::synthetic::{generate_full, SyntheticConfig};
+        let list = generate_full(&SyntheticConfig {
+            n: 60,
+            ..Default::default()
+        });
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let output = Assessment::of(&list).scenarios(&matrix).run();
+        let report = between(&output, "full", "no-power", false).unwrap();
+        assert_eq!(report.diffs.len(), 60);
+        let manual = from_footprints(
+            output.footprints("full").unwrap(),
+            output.footprints("no-power").unwrap(),
+            false,
+        );
+        assert_eq!(report, manual);
+        assert!(between(&output, "full", "missing", false).is_none());
     }
 
     #[test]

@@ -108,7 +108,10 @@ pub fn simulate(config: &TurnoverConfig) -> TurnoverRun {
 }
 
 fn totals(tool: &EasyC, list: &Top500List, cycle: u32) -> CycleTotals {
-    let footprints = tool.assess_list(list);
+    let footprints = easyc::Assessment::of(list)
+        .config(*tool.config())
+        .run()
+        .into_footprints();
     let op: Vec<Option<f64>> = footprints
         .iter()
         .map(SystemFootprint::operational_mt)
@@ -228,14 +231,13 @@ mod tests {
             cycles: 3,
             ..Default::default()
         };
-        let tool = EasyC::new();
         let mut list = generate_full(&SyntheticConfig::default());
         for cycle in 1..=config.cycles {
             list = advance_one_cycle(&list, &config, cycle);
             assert_eq!(list.len(), 500);
             let ranks: Vec<u32> = list.systems().iter().map(|s| s.rank).collect();
             assert_eq!(ranks, (1..=500).collect::<Vec<_>>());
-            let _ = tool.assess_list(&list);
+            let _ = easyc::Assessment::of(&list).run().into_footprints();
         }
     }
 

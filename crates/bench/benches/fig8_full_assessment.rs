@@ -4,7 +4,7 @@ use analysis::figures::CarbonByRank;
 use analysis::report::default_scenario_matrix;
 use bench::{appendix_rows, banner, pipeline_run, BENCH_SEED};
 use criterion::{criterion_group, criterion_main, Criterion};
-use easyc::BatchEngine;
+use easyc::Assessment;
 use top500::synthetic::{generate_full, SyntheticConfig};
 
 fn bench_fig8(c: &mut Criterion) {
@@ -35,16 +35,20 @@ fn bench_fig8(c: &mut Criterion) {
     c.bench_function("fig8/pipeline_end_to_end_500", |b| {
         b.iter(|| std::hint::black_box(pipeline_run()))
     });
-    // Scenario-matrix edition: the full default matrix in one batch pass
-    // (shared metric extraction) versus per-scenario re-assessment.
+    // Scenario-matrix edition: the full default matrix in one interleaved
+    // session (shared metric extraction, (scenario × chunk) items on one
+    // pool) versus per-scenario re-assessment through fresh sessions.
     let list = generate_full(&SyntheticConfig {
         seed: BENCH_SEED,
         ..Default::default()
     });
     let matrix = default_scenario_matrix();
-    let engine = BatchEngine::new();
-    c.bench_function("fig8/batch_matrix_5_scenarios", |b| {
-        b.iter(|| engine.assess_matrix(std::hint::black_box(&list), std::hint::black_box(&matrix)))
+    c.bench_function("fig8/session_matrix_5_scenarios", |b| {
+        b.iter(|| {
+            Assessment::of(std::hint::black_box(&list))
+                .scenarios(std::hint::black_box(&matrix))
+                .run()
+        })
     });
     c.bench_function("fig8/per_scenario_reassessment", |b| {
         b.iter(|| {
@@ -52,8 +56,10 @@ fn bench_fig8(c: &mut Criterion) {
                 .scenarios()
                 .iter()
                 .map(|s| {
-                    let ctx = engine.context(std::hint::black_box(&list));
-                    engine.assess(&ctx, s)
+                    Assessment::of(std::hint::black_box(&list))
+                        .scenario(s.clone())
+                        .run()
+                        .into_footprints()
                 })
                 .collect::<Vec<_>>()
         })

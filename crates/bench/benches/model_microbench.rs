@@ -4,7 +4,7 @@
 use bench::BENCH_SEED;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use easyc::uncertainty::{operational_interval, PriorUncertainty};
-use easyc::EasyC;
+use easyc::{Assessment, EasyC};
 use top500::synthetic::{generate_full, SyntheticConfig};
 
 fn bench_model(c: &mut Criterion) {
@@ -29,7 +29,11 @@ fn bench_model(c: &mut Criterion) {
         });
         group.throughput(Throughput::Elements(u64::from(n)));
         group.bench_with_input(BenchmarkId::from_parameter(n), &big, |b, list| {
-            b.iter(|| tool.assess_list(std::hint::black_box(list)))
+            b.iter(|| {
+                Assessment::of(std::hint::black_box(list))
+                    .run()
+                    .into_footprints()
+            })
         });
     }
     group.finish();

@@ -5,7 +5,7 @@
 use bench::BENCH_SEED;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use easyc::scenario::{DataScenario, MetricBit, MetricMask, ScenarioMatrix};
-use easyc::{BatchEngine, EasyC, EasyCConfig};
+use easyc::Assessment;
 use top500::synthetic::{generate_full, SyntheticConfig};
 
 fn bench_scaling(c: &mut Criterion) {
@@ -15,23 +15,26 @@ fn bench_scaling(c: &mut Criterion) {
         ..Default::default()
     });
 
-    // The staged batch engine is the hot path behind assess_list.
+    // The session is the hot path behind every list-scale assessment.
     let mut group = c.benchmark_group("parallel/assess_20k_by_workers");
     group.throughput(Throughput::Elements(list.len() as u64));
     for workers in [1usize, 2, 4, 8] {
-        let tool = EasyC::with_config(EasyCConfig {
-            workers,
-            ..Default::default()
-        });
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &tool, |b, tool| {
-            b.iter(|| tool.assess_list(std::hint::black_box(&list)))
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                Assessment::of(std::hint::black_box(&list))
+                    .workers(w)
+                    .run()
+                    .into_footprints()
+            })
         });
     }
     group.finish();
 
     // Scenario-matrix scaling: three scenarios over the 20k list in one
-    // batch pass, by worker count (shared MetricsStage, per-scenario
-    // Operational/Embodied stages).
+    // session, by worker count. All (scenario × chunk) work items
+    // interleave on a single thread pool — this is the scheduler the
+    // ROADMAP's "single-pass matrix stages" item asked for — and the masks
+    // apply as zero-copy FleetView lenses (no record clones).
     let matrix = ScenarioMatrix::new()
         .with(DataScenario::full("full"))
         .with(DataScenario::masked(
@@ -47,22 +50,17 @@ fn bench_scaling(c: &mut Criterion) {
                 .without(MetricBit::Gpus)
                 .without(MetricBit::Cpus),
         ));
-    let mut group = c.benchmark_group("parallel/matrix_20k_x3_by_workers");
+    let mut group = c.benchmark_group("parallel/session_matrix_20k_x3_by_workers");
     group.throughput(Throughput::Elements((3 * list.len()) as u64));
     for workers in [1usize, 2, 4, 8] {
-        let engine = BatchEngine::with_config(EasyCConfig {
-            workers,
-            ..Default::default()
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                Assessment::of(std::hint::black_box(&list))
+                    .workers(w)
+                    .scenarios(std::hint::black_box(&matrix))
+                    .run()
+            })
         });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &engine,
-            |b, engine| {
-                b.iter(|| {
-                    engine.assess_matrix(std::hint::black_box(&list), std::hint::black_box(&matrix))
-                })
-            },
-        );
     }
     group.finish();
 

@@ -1,8 +1,6 @@
-//! Staged batch assessment engine.
+//! Staged batch assessment machinery and the legacy `BatchEngine` shims.
 //!
-//! The seed assessed systems strictly one at a time; scenario studies
-//! re-ran the whole extraction per variant. This module runs the model as
-//! three explicit stages over a shared [`AssessmentContext`]:
+//! The stages run the model over a shared [`AssessmentContext`]:
 //!
 //! ```text
 //! MetricsStage      extract the seven metrics once per system
@@ -12,12 +10,16 @@
 //! EmbodiedStage     ACT-style component roll-up
 //! ```
 //!
-//! Every stage is chunk-parallel via [`parallel::par_map_chunked`] and
-//! bit-identical to the serial per-system path ([`EasyC::assess`]) for any
-//! worker count — both paths call the same per-record estimator functions
-//! in the same order. A whole [`ScenarioMatrix`] is assessed in one pass:
-//! the metrics extraction is shared across scenarios, and per-scenario
-//! masks/overrides are applied inside the stages (no post-hoc rescaling).
+//! Scenario masks are applied through the zero-copy
+//! [`FleetView`]/[`SystemView`] lens layer (`crate::view`) — no record is
+//! cloned per scenario — and every stage is bit-identical to the serial
+//! per-system path ([`EasyC::assess`]) for any worker count: all paths call
+//! `assess_view` on the same views in the same order.
+//!
+//! List- and matrix-scale assessment now lives in the unified
+//! [`Assessment`] session, which interleaves
+//! (scenario × chunk) work items on one pool; [`BatchEngine`] remains as a
+//! deprecated thin shim over it so existing call sites keep compiling.
 //!
 //! Results are also available columnar ([`BatchOutput::to_frame`]) for the
 //! `frame` group-by/CSV machinery.
@@ -25,9 +27,12 @@
 use crate::coverage::CoverageReport;
 use crate::estimator::{EasyC, EasyCConfig, SystemFootprint};
 use crate::metrics::SevenMetrics;
-use crate::scenario::{DataScenario, MetricMask, ScenarioMatrix};
+use crate::scenario::{DataScenario, OverrideSet, ScenarioMatrix};
+use crate::session::Assessment;
+use crate::view::{FleetView, SystemView};
 use crate::{embodied, operational};
 use frame::{Column, DataFrame};
+use std::collections::HashMap;
 use top500::list::Top500List;
 use top500::record::SystemRecord;
 
@@ -82,67 +87,46 @@ impl MetricsStage {
     }
 }
 
-/// A scenario's effective view of one system: the masked record and
-/// metrics the estimators actually see.
-fn scenario_view<'a>(
-    scenario: &DataScenario,
-    record: &'a SystemRecord,
-    metrics: &'a SevenMetrics,
-) -> (
-    std::borrow::Cow<'a, SystemRecord>,
-    std::borrow::Cow<'a, SevenMetrics>,
-) {
-    if scenario.mask == MetricMask::ALL {
-        (
-            std::borrow::Cow::Borrowed(record),
-            std::borrow::Cow::Borrowed(metrics),
-        )
-    } else {
-        (
-            std::borrow::Cow::Owned(scenario.mask.apply_record(record)),
-            std::borrow::Cow::Owned(scenario.mask.apply_metrics(record, metrics)),
-        )
+/// Assesses one system through a scenario lens ([`SystemView`]). This is
+/// the single per-record code path shared by the serial facade, the batch
+/// stages and the [`Assessment`] session — bit-identity between all of
+/// them holds by construction, and no record is cloned under any mask.
+pub(crate) fn assess_view(view: &SystemView<'_>, overrides: &OverrideSet) -> SystemFootprint {
+    SystemFootprint {
+        rank: view.rank(),
+        operational: operational::estimate_view(view, overrides),
+        embodied: embodied::estimate_view(view),
     }
 }
 
-/// Assesses one system under one scenario. This is the single code path
-/// shared by the serial facade and the batch stages — bit-identity between
-/// them holds by construction.
+/// Assesses one system under one scenario (the serial facade's entry into
+/// the shared code path).
 pub(crate) fn assess_one(
     record: &SystemRecord,
     metrics: &SevenMetrics,
     scenario: &DataScenario,
 ) -> SystemFootprint {
-    let (record, metrics) = scenario_view(scenario, record, metrics);
-    let operational = operational::estimate_with(&record, &metrics, &scenario.overrides);
-    let embodied = embodied::estimate(&record, &metrics);
-    SystemFootprint {
-        rank: record.rank,
-        operational,
-        embodied,
-    }
+    assess_view(
+        &SystemView::new(record, metrics, scenario.mask),
+        &scenario.overrides,
+    )
 }
 
 /// Stage 2: operational carbon over the whole context.
 pub struct OperationalStage;
 
 impl OperationalStage {
-    /// Operational estimates under `scenario`, rank order, chunk-parallel.
+    /// Operational estimates under `scenario`, rank order, chunk-parallel,
+    /// through a zero-copy [`FleetView`] lens.
     pub fn run(
         ctx: &AssessmentContext<'_>,
         scenario: &DataScenario,
         workers: usize,
     ) -> Vec<crate::error::Result<operational::OperationalEstimate>> {
-        let systems = ctx.list().systems();
-        parallel::par_map_chunked(systems, workers, |start, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(i, record)| {
-                    let (record, metrics) =
-                        scenario_view(scenario, record, &ctx.metrics[start + i]);
-                    operational::estimate_with(&record, &metrics, &scenario.overrides)
-                })
+        let view = FleetView::new(ctx.list(), ctx.metrics(), scenario);
+        parallel::par_map_chunked(ctx.list().systems(), workers, |start, chunk| {
+            (start..start + chunk.len())
+                .map(|i| operational::estimate_view(&view.system(i), &scenario.overrides))
                 .collect()
         })
     }
@@ -152,22 +136,17 @@ impl OperationalStage {
 pub struct EmbodiedStage;
 
 impl EmbodiedStage {
-    /// Embodied estimates under `scenario`, rank order, chunk-parallel.
+    /// Embodied estimates under `scenario`, rank order, chunk-parallel,
+    /// through a zero-copy [`FleetView`] lens.
     pub fn run(
         ctx: &AssessmentContext<'_>,
         scenario: &DataScenario,
         workers: usize,
     ) -> Vec<crate::error::Result<embodied::EmbodiedEstimate>> {
-        let systems = ctx.list().systems();
-        parallel::par_map_chunked(systems, workers, |start, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(i, record)| {
-                    let (record, metrics) =
-                        scenario_view(scenario, record, &ctx.metrics[start + i]);
-                    embodied::estimate(&record, &metrics)
-                })
+        let view = FleetView::new(ctx.list(), ctx.metrics(), scenario);
+        parallel::par_map_chunked(ctx.list().systems(), workers, |start, chunk| {
+            (start..start + chunk.len())
+                .map(|i| embodied::estimate_view(&view.system(i)))
                 .collect()
         })
     }
@@ -185,65 +164,114 @@ pub struct ScenarioSlice {
     pub coverage: CoverageReport,
 }
 
+/// Columnar layout of every (scenario, system) result:
+/// `scenario, rank, operational_mt, embodied_mt, power_kw, pue,
+/// utilization, power_path, note` (nulls where not estimable). Backs
+/// [`BatchOutput::to_frame`] (and through it the session's
+/// [`AssessmentOutput::to_frame`](crate::session::AssessmentOutput::to_frame)).
+fn slices_to_frame(slices: &[ScenarioSlice]) -> DataFrame {
+    let rows: usize = slices.iter().map(|s| s.footprints.len()).sum();
+    let mut scenario = Vec::with_capacity(rows);
+    let mut rank = Vec::with_capacity(rows);
+    let mut op_mt = Vec::with_capacity(rows);
+    let mut emb_mt = Vec::with_capacity(rows);
+    let mut power = Vec::with_capacity(rows);
+    let mut pue = Vec::with_capacity(rows);
+    let mut util = Vec::with_capacity(rows);
+    let mut path = Vec::with_capacity(rows);
+    let mut note = Vec::with_capacity(rows);
+    for slice in slices {
+        for fp in &slice.footprints {
+            scenario.push(Some(slice.scenario.name.clone()));
+            rank.push(Some(i64::from(fp.rank)));
+            op_mt.push(fp.operational_mt());
+            emb_mt.push(fp.embodied_mt());
+            let op = fp.operational.as_ref().ok();
+            power.push(op.map(|e| e.power_kw));
+            pue.push(op.map(|e| e.pue));
+            util.push(op.map(|e| e.utilization));
+            path.push(op.map(|e| e.path.label().to_string()));
+            note.push(match (&fp.operational, &fp.embodied) {
+                (Ok(_), Ok(_)) => None,
+                (Err(e), _) | (_, Err(e)) => Some(e.to_string()),
+            });
+        }
+    }
+    DataFrame::new()
+        .with_column("scenario", Column::Str(scenario))
+        .and_then(|df| df.with_column("rank", Column::I64(rank)))
+        .and_then(|df| df.with_column("operational_mt", Column::F64(op_mt)))
+        .and_then(|df| df.with_column("embodied_mt", Column::F64(emb_mt)))
+        .and_then(|df| df.with_column("power_kw", Column::F64(power)))
+        .and_then(|df| df.with_column("pue", Column::F64(pue)))
+        .and_then(|df| df.with_column("utilization", Column::F64(util)))
+        .and_then(|df| df.with_column("power_path", Column::Str(path)))
+        .and_then(|df| df.with_column("note", Column::Str(note)))
+        .expect("fresh frame with equal-length columns")
+}
+
 /// The results of assessing a list under a scenario matrix.
 #[derive(Debug, Clone)]
 pub struct BatchOutput {
-    /// One slice per scenario, matrix order.
-    pub slices: Vec<ScenarioSlice>,
+    /// One slice per scenario, matrix order. Private so the name index
+    /// built at construction can never go stale.
+    slices: Vec<ScenarioSlice>,
+    /// Scenario name → slice position, first occurrence wins.
+    index: HashMap<String, usize>,
 }
 
 impl BatchOutput {
-    /// Slice by scenario name.
+    /// Wraps slices, building the name index for O(1) lookup.
+    pub fn new(slices: Vec<ScenarioSlice>) -> BatchOutput {
+        let mut index = HashMap::with_capacity(slices.len());
+        for (i, slice) in slices.iter().enumerate() {
+            index.entry(slice.scenario.name.clone()).or_insert(i);
+        }
+        BatchOutput { slices, index }
+    }
+
+    /// All slices, matrix order.
+    pub fn slices(&self) -> &[ScenarioSlice] {
+        &self.slices
+    }
+
+    /// Slice by scenario name — O(1) via the name index (wide matrices
+    /// used to pay a linear scan per lookup).
     pub fn slice(&self, name: &str) -> Option<&ScenarioSlice> {
-        self.slices.iter().find(|s| s.scenario.name == name)
+        self.index_of(name).map(|i| &self.slices[i])
+    }
+
+    /// Slice position by scenario name (first occurrence wins). Shared by
+    /// the session output so both lookups follow one policy.
+    pub(crate) fn index_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Consumes the output, returning the first slice's footprints (empty
+    /// when no scenario was assessed).
+    pub(crate) fn into_first_footprints(self) -> Vec<SystemFootprint> {
+        self.slices
+            .into_iter()
+            .next()
+            .map(|s| s.footprints)
+            .unwrap_or_default()
     }
 
     /// Columnar layout of every (scenario, system) result:
     /// `scenario, rank, operational_mt, embodied_mt, power_kw, pue,
     /// utilization, power_path, note` (nulls where not estimable).
     pub fn to_frame(&self) -> DataFrame {
-        let rows: usize = self.slices.iter().map(|s| s.footprints.len()).sum();
-        let mut scenario = Vec::with_capacity(rows);
-        let mut rank = Vec::with_capacity(rows);
-        let mut op_mt = Vec::with_capacity(rows);
-        let mut emb_mt = Vec::with_capacity(rows);
-        let mut power = Vec::with_capacity(rows);
-        let mut pue = Vec::with_capacity(rows);
-        let mut util = Vec::with_capacity(rows);
-        let mut path = Vec::with_capacity(rows);
-        let mut note = Vec::with_capacity(rows);
-        for slice in &self.slices {
-            for fp in &slice.footprints {
-                scenario.push(Some(slice.scenario.name.clone()));
-                rank.push(Some(i64::from(fp.rank)));
-                op_mt.push(fp.operational_mt());
-                emb_mt.push(fp.embodied_mt());
-                let op = fp.operational.as_ref().ok();
-                power.push(op.map(|e| e.power_kw));
-                pue.push(op.map(|e| e.pue));
-                util.push(op.map(|e| e.utilization));
-                path.push(op.map(|e| e.path.label().to_string()));
-                note.push(match (&fp.operational, &fp.embodied) {
-                    (Ok(_), Ok(_)) => None,
-                    (Err(e), _) | (_, Err(e)) => Some(e.to_string()),
-                });
-            }
-        }
-        DataFrame::new()
-            .with_column("scenario", Column::Str(scenario))
-            .and_then(|df| df.with_column("rank", Column::I64(rank)))
-            .and_then(|df| df.with_column("operational_mt", Column::F64(op_mt)))
-            .and_then(|df| df.with_column("embodied_mt", Column::F64(emb_mt)))
-            .and_then(|df| df.with_column("power_kw", Column::F64(power)))
-            .and_then(|df| df.with_column("pue", Column::F64(pue)))
-            .and_then(|df| df.with_column("utilization", Column::F64(util)))
-            .and_then(|df| df.with_column("power_path", Column::Str(path)))
-            .and_then(|df| df.with_column("note", Column::Str(note)))
-            .expect("fresh frame with equal-length columns")
+        slices_to_frame(&self.slices)
     }
 }
 
 /// The staged batch assessment engine.
+///
+/// **Deprecated**: superseded by the unified [`Assessment`] session, which
+/// plans
+/// (scenario × chunk) work once and interleaves it on a single pool. Every
+/// method below is a thin shim over a session and stays bit-identical to
+/// its historical output.
 #[derive(Debug, Clone, Default)]
 pub struct BatchEngine {
     config: EasyCConfig,
@@ -284,72 +312,78 @@ impl BatchEngine {
         DataScenario::full("default").with_overrides(self.config.overrides())
     }
 
-    /// Assesses the whole context under one scenario: the operational and
-    /// embodied stages run over one masked view per record (computed once,
-    /// not once per stage), chunk-parallel. Scenario overrides take
-    /// precedence over configuration overrides (matching
+    /// Assesses the whole context under one scenario. Scenario overrides
+    /// take precedence over configuration overrides (matching
     /// [`EasyC::assess_scenario`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use easyc::Assessment::over(ctx).scenario(...).run() instead"
+    )]
     pub fn assess(
         &self,
         ctx: &AssessmentContext<'_>,
         scenario: &DataScenario,
     ) -> Vec<SystemFootprint> {
-        let scenario = &DataScenario {
-            name: scenario.name.clone(),
-            mask: scenario.mask,
-            overrides: scenario.overrides.or(self.config.overrides()),
-        };
-        let systems = ctx.list().systems();
-        parallel::par_map_chunked(systems, self.config.workers, |start, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(i, record)| assess_one(record, &ctx.metrics[start + i], scenario))
-                .collect()
-        })
+        Assessment::over(ctx)
+            .config(self.config)
+            .scenario(scenario.clone())
+            .run()
+            .into_footprints()
     }
 
     /// Assesses a list under the configuration's default scenario (the
     /// staged replacement for the seed's per-system loop).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use easyc::Assessment::of(list).run() instead"
+    )]
     pub fn assess_list(&self, list: &Top500List) -> Vec<SystemFootprint> {
-        let ctx = self.context(list);
-        self.assess(&ctx, &self.config_scenario())
+        Assessment::of(list)
+            .config(self.config)
+            .run()
+            .into_footprints()
     }
 
     /// Assesses a list under every scenario of a matrix in one pass,
     /// sharing the extraction stage across scenarios.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use easyc::Assessment::of(list).scenarios(matrix).run() instead"
+    )]
     pub fn assess_matrix(&self, list: &Top500List, matrix: &ScenarioMatrix) -> BatchOutput {
-        let ctx = self.context(list);
-        self.assess_matrix_ctx(&ctx, matrix)
+        Assessment::of(list)
+            .config(self.config)
+            .scenarios(matrix)
+            .run()
+            .into_batch()
     }
 
     /// [`BatchEngine::assess_matrix`] over a pre-built context.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use easyc::Assessment::over(ctx).scenarios(matrix).run() instead"
+    )]
     pub fn assess_matrix_ctx(
         &self,
         ctx: &AssessmentContext<'_>,
         matrix: &ScenarioMatrix,
     ) -> BatchOutput {
-        let slices = matrix
-            .scenarios()
-            .iter()
-            .map(|scenario| {
-                let footprints = self.assess(ctx, scenario);
-                let coverage = CoverageReport::from_footprints(&footprints);
-                ScenarioSlice {
-                    scenario: scenario.clone(),
-                    footprints,
-                    coverage,
-                }
-            })
-            .collect();
-        BatchOutput { slices }
+        Assessment::over(ctx)
+            .config(self.config)
+            .scenarios(matrix)
+            .run()
+            .into_batch()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The shims must stay bit-identical to their historical behaviour, so
+    // these tests exercise the deprecated surface on purpose.
+    #![allow(deprecated)]
+
     use super::*;
-    use crate::scenario::{MetricBit, OverrideSet};
+    use crate::scenario::{MetricBit, MetricMask};
     use top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
     fn list() -> Top500List {
@@ -423,7 +457,7 @@ mod tests {
                 ));
         let engine = BatchEngine::new();
         let out = engine.assess_matrix(&masked, &matrix);
-        assert_eq!(out.slices.len(), 2);
+        assert_eq!(out.slices().len(), 2);
         let full_slice = out.slice("full").unwrap();
         let degraded = out.slice("no-structure").unwrap();
         assert_eq!(full_slice.coverage.total, masked.len());
@@ -468,7 +502,7 @@ mod tests {
         let covered = op.iter().filter(|v| v.is_some()).count();
         assert_eq!(
             covered,
-            out.slices
+            out.slices()
                 .iter()
                 .map(|s| s.coverage.operational)
                 .sum::<usize>()

@@ -13,6 +13,7 @@
 
 use crate::error::{EasyCError, Result};
 use crate::metrics::SevenMetrics;
+use crate::view::SystemView;
 use hwdb::fab::{die_embodied_kg, packaging_kg, ProcessNode};
 use hwdb::memory::{
     dram_embodied_kg, ssd_embodied_kg, MemoryType, DEFAULT_MEMORY_GB_PER_NODE,
@@ -81,15 +82,23 @@ fn silicon_kg(count: f64, area_cm2: f64, node: ProcessNode, advanced_packaging: 
 
 /// Full embodied estimate for a record.
 pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<EmbodiedEstimate> {
+    estimate_view(&SystemView::full(record, metrics))
+}
+
+/// [`estimate`] through a scenario lens ([`SystemView`]): masked structural
+/// metrics read as unreported without cloning the record. The single code
+/// path behind the serial facade, the batch stages and the
+/// [`Assessment`](crate::session::Assessment) session.
+pub fn estimate_view(view: &SystemView<'_>) -> Result<EmbodiedEstimate> {
     // Structural anchor: nodes, or CPU sockets, or accelerator count.
-    let nodes = metrics.nodes;
-    let cpus = metrics.cpus;
+    let nodes = view.nodes();
+    let cpus = view.cpus();
     if nodes.is_none() && cpus.is_none() {
-        return Err(EasyCError::NoStructuralData { rank: record.rank });
+        return Err(EasyCError::NoStructuralData { rank: view.rank() });
     }
     // An accelerated system without a device count cannot be rolled up.
-    let accel_count = match (record.has_accelerator(), metrics.gpus) {
-        (true, None) => return Err(EasyCError::UnknownAcceleratorCount { rank: record.rank }),
+    let accel_count = match (view.has_accelerator(), view.gpus()) {
+        (true, None) => return Err(EasyCError::UnknownAcceleratorCount { rank: view.rank() }),
         (true, Some(n)) => n,
         (false, _) => 0,
     };
@@ -105,9 +114,8 @@ pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<Embodie
     let cpu_sockets = cpus.unwrap_or(node_count * 2);
 
     // CPU silicon.
-    let (cpu_spec, cpu_fallback) = record
-        .processor
-        .as_deref()
+    let (cpu_spec, cpu_fallback) = view
+        .processor()
         .map(hwdb::cpu::lookup_or_generic)
         .unwrap_or((&hwdb::cpu::GENERIC_CPU, true));
     let cpu_kg = silicon_kg(
@@ -122,9 +130,9 @@ pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<Embodie
     // unknown model is approximated by a mainstream GPU (the paper's
     // documented underestimate for novel parts).
     let (accelerator_kg, accel_fallback) = if accel_count > 0 {
-        let description = record.accelerator.as_deref().unwrap_or("");
+        let description = view.accelerator().unwrap_or("");
         if hwdb::accel::is_generic_label(description) {
-            return Err(EasyCError::GenericAcceleratorLabel { rank: record.rank });
+            return Err(EasyCError::GenericAcceleratorLabel { rank: view.rank() });
         }
         let (spec, fell_back) = hwdb::accel::lookup_or_mainstream(description);
         let dies = silicon_kg(accel_count as f64, spec.die_area_cm2, spec.node, true);
@@ -135,15 +143,15 @@ pub fn estimate(record: &SystemRecord, metrics: &SevenMetrics) -> Result<Embodie
     };
 
     // DRAM: reported capacity or per-node prior.
-    let mem_type = metrics.memory_type.as_deref().and_then(MemoryType::parse);
-    let memory_gb = metrics
-        .memory_gb
+    let mem_type = view.memory_type().and_then(MemoryType::parse);
+    let memory_gb = view
+        .memory_gb()
         .unwrap_or(node_count as f64 * DEFAULT_MEMORY_GB_PER_NODE);
     let dram_kg = dram_embodied_kg(memory_gb, mem_type);
 
     // Storage: reported SSD or parallel-filesystem prior.
-    let ssd_gb = metrics
-        .ssd_gb
+    let ssd_gb = view
+        .ssd_gb()
         .unwrap_or(node_count as f64 * DEFAULT_STORAGE_GB_PER_NODE);
     let storage_kg = ssd_embodied_kg(ssd_gb);
 

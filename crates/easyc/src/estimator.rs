@@ -1,15 +1,16 @@
 //! The public EasyC facade: estimate one system or a whole list.
 //!
-//! Single-system assessment and the batch engine share one code path
-//! ([`crate::batch::assess_one`]): configuration overrides are applied
+//! Single-system assessment and the session engine share one code path
+//! (`crate::batch::assess_one`): configuration overrides are applied
 //! *inside* the estimators, never by rescaling finished estimates.
 
-use crate::batch::{assess_one, BatchEngine};
+use crate::batch::assess_one;
 use crate::embodied::EmbodiedEstimate;
 use crate::error::Result;
 use crate::metrics::SevenMetrics;
 use crate::operational::OperationalEstimate;
 use crate::scenario::{DataScenario, OverrideSet};
+use crate::session::Assessment;
 use top500::list::Top500List;
 use top500::record::SystemRecord;
 
@@ -124,10 +125,17 @@ impl EasyC {
         assess_one(record, &metrics, &effective)
     }
 
-    /// Assesses a whole list through the staged batch engine (deterministic
+    /// Assesses a whole list through the unified session (deterministic
     /// output order, bit-identical to serial [`EasyC::assess`] calls).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use easyc::Assessment::of(list).config(*tool.config()).run() instead"
+    )]
     pub fn assess_list(&self, list: &Top500List) -> Vec<SystemFootprint> {
-        BatchEngine::from_tool(self).assess_list(list)
+        Assessment::of(list)
+            .config(self.config)
+            .run()
+            .into_footprints()
     }
 
     /// Annualised embodied carbon of a footprint, MT CO2e/yr.
@@ -150,6 +158,7 @@ mod tests {
             ..Default::default()
         });
         let tool = EasyC::new();
+        #[allow(deprecated)]
         let par = tool.assess_list(&list);
         let ser: Vec<_> = list.systems().iter().map(|s| tool.assess(s)).collect();
         assert_eq!(par.len(), ser.len());

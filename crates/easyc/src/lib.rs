@@ -16,24 +16,61 @@
 //!   chassis and interconnect — with statistical priors filling anything
 //!   the seven metrics do not pin down.
 //!
-//! The module structure mirrors the paper, plus the batch engine layers:
+//! # The `Assessment` session
+//!
+//! Every fleet-scale workload — plain assessment, scenario matrices,
+//! Monte-Carlo uncertainty — goes through one planned, pool-executed
+//! session:
+//!
+//! ```
+//! use easyc::{Assessment, DataScenario, MetricBit, MetricMask, ScenarioMatrix};
+//! use top500::synthetic::{generate_full, SyntheticConfig};
+//!
+//! let list = generate_full(&SyntheticConfig { n: 40, ..Default::default() });
+//! let matrix = ScenarioMatrix::new()
+//!     .with(DataScenario::full("full"))
+//!     .with(DataScenario::masked(
+//!         "no-power",
+//!         MetricMask::ALL
+//!             .without(MetricBit::PowerKw)
+//!             .without(MetricBit::AnnualEnergy),
+//!     ));
+//!
+//! let output = Assessment::of(&list)   // borrows the fleet, clones nothing
+//!     .scenarios(&matrix)              // (scenario × chunk) items, one pool
+//!     .workers(4)
+//!     .run();
+//!
+//! let full = output.slice("full").expect("scenario present"); // O(1) lookup
+//! assert_eq!(full.footprints.len(), 40);
+//! assert!(full.coverage.operational >= output.slice("no-power").unwrap().coverage.operational);
+//! ```
+//!
+//! Adding `.uncertainty(1000)` attaches a fleet-total operational
+//! [`uncertainty::Interval`] per scenario, computed on the same pool from
+//! the same footprints. Masks are applied through the zero-copy
+//! [`FleetView`]/[`SystemView`] lens layer — a masked sweep performs zero
+//! per-record clones (pinned by tests).
+//!
+//! The module structure mirrors the paper, plus the execution layers:
 //!
 //! - [`metrics`] — the seven metrics and their extraction.
 //! - [`operational`] / [`embodied`] — the two estimators; overrides are
-//!   applied inside the computation ([`operational::estimate_with`]).
-//! - [`coverage`] — who can be estimated under which data scenario.
+//!   applied inside the computation ([`operational::estimate_view`]).
+//! - [`mod@coverage`] — who can be estimated under which data scenario.
 //! - [`scenario`] — composable data scenarios: per-metric availability
 //!   masks ([`scenario::MetricMask`]), prior overrides
 //!   ([`scenario::OverrideSet`]) and scenario matrices
 //!   ([`scenario::ScenarioMatrix`]).
-//! - [`batch`] — the staged batch assessment engine
-//!   (`MetricsStage → OperationalStage → EmbodiedStage` over a shared
-//!   [`batch::AssessmentContext`], chunk-parallel, bit-identical to the
-//!   serial path).
-//! - [`estimator`] — the public facade, routed through the same code path
-//!   as the batch engine.
-//! - [`uncertainty`] — Monte-Carlo bands, reusing the assessment context
-//!   across samples.
+//! - [`view`] — the borrowed, field-level scenario lenses
+//!   ([`view::FleetView`], [`view::SystemView`]).
+//! - [`session`] — the unified [`session::Assessment`] builder/session.
+//! - [`batch`] — the staged context machinery and the deprecated
+//!   `BatchEngine` shims.
+//! - [`estimator`] — the per-system facade, routed through the same code
+//!   path as the session.
+//! - [`uncertainty`] — Monte-Carlo bands; fleet-scale intervals are served
+//!   by the session.
 
 pub mod batch;
 pub mod coverage;
@@ -43,7 +80,9 @@ pub mod estimator;
 pub mod metrics;
 pub mod operational;
 pub mod scenario;
+pub mod session;
 pub mod uncertainty;
+pub mod view;
 
 pub use batch::{AssessmentContext, BatchEngine, BatchOutput, ScenarioSlice};
 pub use coverage::{coverage, CoverageReport, Scenario};
@@ -53,3 +92,6 @@ pub use estimator::{EasyC, EasyCConfig, SystemFootprint};
 pub use metrics::SevenMetrics;
 pub use operational::{AciSource, OperationalEstimate, PowerPath};
 pub use scenario::{DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
+pub use session::{Assessment, AssessmentOutput};
+pub use uncertainty::{Interval, PriorUncertainty};
+pub use view::{FleetView, SystemView};

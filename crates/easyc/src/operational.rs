@@ -11,6 +11,7 @@
 use crate::error::{EasyCError, Result};
 use crate::metrics::SevenMetrics;
 use crate::scenario::OverrideSet;
+use crate::view::SystemView;
 use hwdb::accel::AccelVendor;
 use hwdb::efficiency::{gflops_per_watt_prior, MachineClass, DEFAULT_UTILIZATION};
 use hwdb::grid::{country_aci, regional_aci, Region, REGIONAL_ACI_RELATIVE_UNCERTAINTY};
@@ -108,10 +109,28 @@ pub fn resolve_aci(record: &SystemRecord) -> AciSource {
     AciSource::WorldPrior(regional_aci(Region::World))
 }
 
+/// [`resolve_aci`] through a scenario lens: masked location falls to the
+/// world prior without any record clone.
+pub fn resolve_aci_view(view: &SystemView<'_>) -> AciSource {
+    if let Some(aci) = view.country().and_then(country_aci) {
+        return AciSource::Country(aci);
+    }
+    if let Some(region) = view.region() {
+        return AciSource::Regional(regional_aci(region));
+    }
+    AciSource::WorldPrior(regional_aci(Region::World))
+}
+
 /// Resolves the average IT power (kW) and the path that provided it.
 /// `metrics` must come from the same record.
 pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f64, PowerPath)> {
-    if let Some(energy) = metrics.annual_energy_mwh {
+    resolve_power_view(&SystemView::full(record, metrics))
+}
+
+/// [`resolve_power`] through a scenario lens — the single implementation
+/// both the serial facade and the batch/session engines run.
+pub fn resolve_power_view(view: &SystemView<'_>) -> Result<(f64, PowerPath)> {
+    if let Some(energy) = view.annual_energy_mwh() {
         if energy <= 0.0 {
             return Err(EasyCError::InvalidField {
                 field: "annual_energy_mwh",
@@ -121,7 +140,7 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
         // Convert to an equivalent average power; utilisation is baked in.
         return Ok((energy * 1000.0 / HOURS_PER_YEAR, PowerPath::MeasuredEnergy));
     }
-    if let Some(power) = record.power_kw {
+    if let Some(power) = view.power_kw() {
         if power <= 0.0 {
             return Err(EasyCError::InvalidField {
                 field: "power_kw",
@@ -131,17 +150,15 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
         return Ok((power, PowerPath::MeasuredPower));
     }
     // Device TDP roll-up needs the structural counts.
-    if let (Some(nodes), Some(gpus)) = (metrics.nodes, metrics.gpus) {
-        if record.has_accelerator() || metrics.cpus.is_some() {
-            let cpu_spec = record
-                .processor
-                .as_deref()
+    if let (Some(nodes), Some(gpus)) = (view.nodes(), view.gpus()) {
+        if view.has_accelerator() || view.cpus().is_some() {
+            let cpu_spec = view
+                .processor()
                 .map(|p| hwdb::cpu::lookup_or_generic(p).0)
                 .unwrap_or(&hwdb::cpu::GENERIC_CPU);
-            let sockets = metrics.cpus.unwrap_or(nodes * 2);
-            let accel_watts = record
-                .accelerator
-                .as_deref()
+            let sockets = view.cpus().unwrap_or(nodes * 2);
+            let accel_watts = view
+                .accelerator()
                 .map(|a| hwdb::accel::lookup_or_mainstream(a).0.tdp_watts)
                 .unwrap_or(0.0);
             // 10 % node overhead (NICs, fans, VRM losses) + 200 W base.
@@ -152,23 +169,20 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
     }
     // CPU-only systems can always fall back to the socket roll-up even
     // without a node count (sockets from total cores).
-    if !record.has_accelerator() {
-        if let Some(sockets) = metrics.cpus {
-            let cpu_spec = record
-                .processor
-                .as_deref()
+    if !view.has_accelerator() {
+        if let Some(sockets) = view.cpus() {
+            let cpu_spec = view
+                .processor()
                 .map(|p| hwdb::cpu::lookup_or_generic(p).0)
                 .unwrap_or(&hwdb::cpu::GENERIC_CPU);
             let watts = sockets as f64 * cpu_spec.tdp_watts * 1.1 + sockets as f64 * 100.0;
             return Ok((watts / 1000.0, PowerPath::DeviceTdp));
         }
         // Last resort for CPU machines: efficiency prior on Rmax.
-        let gfw = gflops_per_watt_prior(
-            MachineClass::CpuOnly,
-            metrics.operation_year.unwrap_or(2020),
-        );
+        let gfw =
+            gflops_per_watt_prior(MachineClass::CpuOnly, view.operation_year().unwrap_or(2020));
         return Ok((
-            record.rmax_tflops * 1000.0 / gfw / 1000.0,
+            view.rmax_tflops() * 1000.0 / gfw / 1000.0,
             PowerPath::RmaxEfficiency,
         ));
     }
@@ -178,7 +192,7 @@ pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f
     // when information on the number of compute nodes and GPU nodes is
     // unavailable" — this is the 109-system operational gap).
     let _ = AccelVendor::Other;
-    Err(EasyCError::NoPowerPath { rank: record.rank })
+    Err(EasyCError::NoPowerPath { rank: view.rank() })
 }
 
 /// Full operational estimate for a record with default priors.
@@ -201,14 +215,25 @@ pub fn estimate_with(
     metrics: &SevenMetrics,
     overrides: &OverrideSet,
 ) -> Result<OperationalEstimate> {
-    let (power_kw, path) = resolve_power(record, metrics)?;
+    estimate_view(&SystemView::full(record, metrics), overrides)
+}
+
+/// [`estimate_with`] through a scenario lens ([`SystemView`]): the masked
+/// fields read as unreported without cloning the record. This is the single
+/// code path behind the serial facade, the batch stages and the
+/// [`Assessment`](crate::session::Assessment) session.
+pub fn estimate_view(
+    view: &SystemView<'_>,
+    overrides: &OverrideSet,
+) -> Result<OperationalEstimate> {
+    let (power_kw, path) = resolve_power_view(view)?;
     let aci = match overrides.aci_g_per_kwh {
         Some(v) => AciSource::Site(v),
-        None => resolve_aci(record),
+        None => resolve_aci_view(view),
     };
-    let pue = overrides.pue.unwrap_or_else(|| match record.rank {
+    let pue = overrides.pue.unwrap_or_else(|| match view.rank() {
         0 => DEFAULT_PUE,
-        rank => infer_site_class(rank, record.has_accelerator()).pue(),
+        rank => infer_site_class(rank, view.has_accelerator()).pue(),
     });
     // Measured energy already reflects real load; other paths need the
     // utilisation de-rating.
@@ -216,7 +241,7 @@ pub fn estimate_with(
         PowerPath::MeasuredEnergy => 1.0,
         _ => overrides
             .utilization
-            .unwrap_or_else(|| metrics.utilization.unwrap_or(DEFAULT_UTILIZATION)),
+            .unwrap_or_else(|| view.utilization().unwrap_or(DEFAULT_UTILIZATION)),
     };
     let mt_co2e = power_kw * HOURS_PER_YEAR * pue * utilization * aci.value() / 1.0e6;
     Ok(OperationalEstimate {

@@ -1,0 +1,614 @@
+//! The unified assessment session — one entry point for every workload.
+//!
+//! The model used to be reachable through four separate doors: `EasyC`
+//! (per-system and per-list), `BatchEngine` (scenario matrices),
+//! `uncertainty::scenario_intervals` (Monte-Carlo bands) and
+//! `analysis::sensitivity` (scenario deltas), each wiring the stages by
+//! hand. An [`Assessment`] plans the whole job once instead:
+//!
+//! ```text
+//! Assessment::of(&list)            borrow the fleet
+//!     .scenarios(&matrix)          what-if matrix (default: one scenario)
+//!     .workers(8)                  pool size
+//!     .uncertainty(1000)           optional Monte-Carlo draws
+//!     .run()                       plan + execute
+//! ```
+//!
+//! `run()` builds one [`FleetView`] per scenario (zero record clones — the
+//! mask is a lens, not a copy), splits the list into contiguous chunks, and
+//! interleaves every **(scenario × chunk)** work item on a single
+//! [`parallel::pool::ThreadPool`]: wide matrices no longer walk scenarios
+//! sequentially, so a slow scenario cannot leave workers idle while others
+//! wait. Output order is deterministic and bit-identical to the serial
+//! per-system path at any worker count — every item writes disjoint,
+//! pre-planned output slots and the per-record math is the shared
+//! [`crate::operational::estimate_view`] /
+//! [`crate::embodied::estimate_view`] code path.
+//!
+//! With `uncertainty(draws)`, a third phase schedules (scenario ×
+//! draw-chunk) items on the same pool and attaches a fleet-total
+//! operational [`Interval`] per scenario, reproducing
+//! `uncertainty::scenario_intervals` bit-for-bit.
+
+use crate::batch::{assess_view, AssessmentContext, BatchOutput, ScenarioSlice};
+use crate::coverage::CoverageReport;
+use crate::estimator::{EasyCConfig, SystemFootprint};
+use crate::metrics::SevenMetrics;
+use crate::operational::OperationalEstimate;
+use crate::scenario::{DataScenario, ScenarioMatrix};
+use crate::uncertainty::{fleet_draw, Interval, PriorUncertainty, FLEET_SEED_MIX};
+use crate::view::FleetView;
+use frame::{stats, DataFrame};
+use parallel::pool::ThreadPool;
+use parallel::rng::RngStreams;
+use top500::list::Top500List;
+
+/// What the session assesses: a bare list (metrics extracted by the
+/// session itself, on the pool) or a pre-built context whose extraction is
+/// reused.
+enum Source<'a> {
+    List(&'a Top500List),
+    Context(&'a AssessmentContext<'a>),
+}
+
+/// Builder/session for a planned, pool-executed fleet assessment.
+///
+/// See the [module docs](self) for the execution model. All builder
+/// methods are by-value; finish with [`Assessment::run`].
+pub struct Assessment<'a> {
+    source: Source<'a>,
+    config: EasyCConfig,
+    matrix: Option<ScenarioMatrix>,
+    draws: usize,
+    level: f64,
+    seed: u64,
+    priors: PriorUncertainty,
+}
+
+impl<'a> Assessment<'a> {
+    /// Session over a borrowed list.
+    pub fn of(list: &'a Top500List) -> Assessment<'a> {
+        Assessment {
+            source: Source::List(list),
+            config: EasyCConfig::default(),
+            matrix: None,
+            draws: 0,
+            level: 0.95,
+            seed: 0,
+            priors: PriorUncertainty::default(),
+        }
+    }
+
+    /// Session over a pre-built [`AssessmentContext`], reusing its metric
+    /// extraction (useful when many sessions share one list).
+    pub fn over(ctx: &'a AssessmentContext<'a>) -> Assessment<'a> {
+        let mut session = Assessment::of(ctx.list());
+        session.source = Source::Context(ctx);
+        session
+    }
+
+    /// Replaces the whole configuration (priors, lifetime, workers).
+    pub fn config(mut self, config: EasyCConfig) -> Assessment<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker-pool size for this session.
+    pub fn workers(mut self, workers: usize) -> Assessment<'a> {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Assesses one explicit scenario (replacing the default
+    /// configuration-implied scenario or any previous matrix).
+    pub fn scenario(mut self, scenario: DataScenario) -> Assessment<'a> {
+        self.matrix = Some(ScenarioMatrix::from_scenarios(vec![scenario]));
+        self
+    }
+
+    /// Assesses a whole scenario matrix in one interleaved pass.
+    pub fn scenarios(mut self, matrix: &ScenarioMatrix) -> Assessment<'a> {
+        self.matrix = Some(matrix.clone());
+        self
+    }
+
+    /// Requests Monte-Carlo fleet-total operational intervals with this
+    /// many draws per scenario (0 = skip, the default).
+    pub fn uncertainty(mut self, draws: usize) -> Assessment<'a> {
+        self.draws = draws;
+        self
+    }
+
+    /// Confidence level of the intervals (default 0.95).
+    pub fn confidence(mut self, level: f64) -> Assessment<'a> {
+        self.level = level;
+        self
+    }
+
+    /// RNG seed for the Monte-Carlo draws (default 0). Results are
+    /// reproducible and independent of worker count for a given seed.
+    pub fn seed(mut self, seed: u64) -> Assessment<'a> {
+        self.seed = seed;
+        self
+    }
+
+    /// Prior uncertainty widths used by the Monte-Carlo draws.
+    pub fn priors(mut self, priors: PriorUncertainty) -> Assessment<'a> {
+        self.priors = priors;
+        self
+    }
+
+    /// Plans and executes the session; see the [module docs](self).
+    pub fn run(self) -> AssessmentOutput {
+        let workers = self.config.workers.max(1);
+        let list = match self.source {
+            Source::List(list) => list,
+            Source::Context(ctx) => ctx.list(),
+        };
+        // The scenarios as displayed (slice labels) and as computed
+        // (scenario overrides win over configuration overrides, matching
+        // the legacy `BatchEngine::assess` semantics).
+        let display: Vec<DataScenario> = match &self.matrix {
+            Some(matrix) => matrix.scenarios().to_vec(),
+            None => vec![DataScenario::full("default")],
+        };
+        let effective: Vec<DataScenario> = display
+            .iter()
+            .map(|s| DataScenario {
+                name: s.name.clone(),
+                mask: s.mask,
+                overrides: s.overrides.or(self.config.overrides()),
+            })
+            .collect();
+
+        let n = list.len();
+        let chunks = parallel::split_ranges(n, workers);
+        // One pool for every phase; `None` runs the plan inline (workers=1
+        // keeps the calling thread, so e.g. thread-local clone counters in
+        // tests observe the whole execution).
+        let pool = (workers > 1).then(|| ThreadPool::new(workers));
+
+        // Phase 1 — metric extraction, chunk-parallel on the pool (skipped
+        // when a pre-built context already carries it).
+        let extracted: Vec<SevenMetrics>;
+        let metrics: &[SevenMetrics] = match self.source {
+            Source::Context(ctx) => ctx.metrics(),
+            Source::List(list) => {
+                let mut slots: Vec<Option<SevenMetrics>> = Vec::with_capacity(n);
+                slots.resize_with(n, || None);
+                {
+                    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(chunks.len());
+                    let mut rest = slots.as_mut_slice();
+                    for range in &chunks {
+                        let (chunk, tail) = rest.split_at_mut(range.len());
+                        rest = tail;
+                        let records = &list.systems()[range.clone()];
+                        jobs.push(Box::new(move || {
+                            for (slot, record) in chunk.iter_mut().zip(records) {
+                                *slot = Some(SevenMetrics::extract(record));
+                            }
+                        }));
+                    }
+                    execute(pool.as_ref(), jobs);
+                }
+                extracted = slots
+                    .into_iter()
+                    .map(|m| m.expect("every extraction chunk ran"))
+                    .collect();
+                &extracted
+            }
+        };
+
+        // Phase 2 — the (scenario × chunk) plan, interleaved on the pool.
+        // Each item owns a disjoint slice of one scenario's output, so the
+        // result is deterministic regardless of scheduling.
+        let mut outputs: Vec<Vec<Option<SystemFootprint>>> = effective
+            .iter()
+            .map(|_| {
+                let mut v = Vec::with_capacity(n);
+                v.resize_with(n, || None);
+                v
+            })
+            .collect();
+        {
+            let mut jobs: Vec<Job<'_>> = Vec::with_capacity(effective.len() * chunks.len());
+            for (scenario, out) in effective.iter().zip(outputs.iter_mut()) {
+                let view = FleetView::new(list, metrics, scenario);
+                let mut rest = out.as_mut_slice();
+                for range in &chunks {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let start = range.start;
+                    jobs.push(Box::new(move || {
+                        let overrides = view.overrides();
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            let sys = view.system(start + offset);
+                            *slot = Some(assess_view(&sys, &overrides));
+                        }
+                    }));
+                }
+            }
+            execute(pool.as_ref(), jobs);
+        }
+        let slices: Vec<ScenarioSlice> = display
+            .into_iter()
+            .zip(outputs)
+            .map(|(scenario, out)| {
+                let footprints: Vec<SystemFootprint> = out
+                    .into_iter()
+                    .map(|f| f.expect("every assessment chunk ran"))
+                    .collect();
+                let coverage = CoverageReport::from_footprints(&footprints);
+                ScenarioSlice {
+                    scenario,
+                    footprints,
+                    coverage,
+                }
+            })
+            .collect();
+
+        // Phase 3 — optional Monte-Carlo intervals, (scenario × draw-chunk)
+        // items on the same pool. Bases are the Ok operational estimates of
+        // phase 2, so no estimator runs twice.
+        let intervals = if self.draws > 0 {
+            self.run_intervals(&slices, pool.as_ref())
+        } else {
+            vec![None; slices.len()]
+        };
+
+        AssessmentOutput::new(slices, intervals)
+    }
+
+    fn run_intervals(
+        &self,
+        slices: &[ScenarioSlice],
+        pool: Option<&ThreadPool>,
+    ) -> Vec<Option<Interval>> {
+        let workers = self.config.workers.max(1);
+        let bases: Vec<Vec<OperationalEstimate>> = slices
+            .iter()
+            .map(|slice| {
+                slice
+                    .footprints
+                    .iter()
+                    .filter_map(|f| f.operational.as_ref().ok().cloned())
+                    .collect()
+            })
+            .collect();
+        let streams = RngStreams::new(self.seed ^ FLEET_SEED_MIX);
+        let sample_chunks = parallel::split_ranges(self.draws, workers);
+        let mut draw_buffers: Vec<Vec<f64>> = bases
+            .iter()
+            .map(|b| {
+                if b.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0.0; self.draws]
+                }
+            })
+            .collect();
+        {
+            let mut jobs: Vec<Job<'_>> = Vec::new();
+            for (scenario_bases, buffer) in bases.iter().zip(draw_buffers.iter_mut()) {
+                if scenario_bases.is_empty() {
+                    continue;
+                }
+                let mut rest = buffer.as_mut_slice();
+                for range in &sample_chunks {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let start = range.start;
+                    let priors = self.priors;
+                    let streams = &streams;
+                    jobs.push(Box::new(move || {
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            *slot = fleet_draw(scenario_bases, &priors, streams, start + offset);
+                        }
+                    }));
+                }
+            }
+            execute(pool, jobs);
+        }
+        let alpha = (1.0 - self.level.clamp(0.0, 1.0)) / 2.0;
+        bases
+            .iter()
+            .zip(&draw_buffers)
+            .map(|(scenario_bases, draws)| {
+                if scenario_bases.is_empty() {
+                    return None;
+                }
+                Some(Interval {
+                    point: scenario_bases.iter().map(|b| b.mt_co2e).sum(),
+                    lo: stats::quantile(draws, alpha)?,
+                    hi: stats::quantile(draws, 1.0 - alpha)?,
+                })
+            })
+            .collect()
+    }
+}
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Dispatches planned work items: interleaved on the pool when one exists,
+/// in plan order on the calling thread otherwise. Either way every item
+/// runs exactly once before this returns.
+fn execute<'env>(pool: Option<&ThreadPool>, jobs: Vec<Job<'env>>) {
+    match pool {
+        Some(pool) => pool.scope(|scope| {
+            for job in jobs {
+                scope.spawn(job);
+            }
+        }),
+        None => {
+            for job in jobs {
+                job();
+            }
+        }
+    }
+}
+
+/// Results of one [`Assessment::run`]: per-scenario slices (matrix order)
+/// with O(1) lookup by name, plus optional Monte-Carlo intervals. The
+/// slices and their name index live in an inner [`BatchOutput`], so both
+/// output types share one lookup policy (first occurrence wins).
+#[derive(Debug, Clone)]
+pub struct AssessmentOutput {
+    batch: BatchOutput,
+    intervals: Vec<Option<Interval>>,
+}
+
+impl AssessmentOutput {
+    fn new(slices: Vec<ScenarioSlice>, intervals: Vec<Option<Interval>>) -> AssessmentOutput {
+        AssessmentOutput {
+            batch: BatchOutput::new(slices),
+            intervals,
+        }
+    }
+
+    /// All slices, matrix order.
+    pub fn slices(&self) -> &[ScenarioSlice] {
+        self.batch.slices()
+    }
+
+    /// Number of scenarios assessed.
+    pub fn len(&self) -> usize {
+        self.slices().len()
+    }
+
+    /// True when nothing was assessed (empty matrix).
+    pub fn is_empty(&self) -> bool {
+        self.slices().is_empty()
+    }
+
+    /// Slice by scenario name — O(1).
+    pub fn slice(&self, name: &str) -> Option<&ScenarioSlice> {
+        self.batch.slice(name)
+    }
+
+    /// Footprints of one scenario by name — O(1).
+    pub fn footprints(&self, name: &str) -> Option<&[SystemFootprint]> {
+        self.slice(name).map(|s| s.footprints.as_slice())
+    }
+
+    /// Per-scenario fleet-total operational intervals, matrix order
+    /// (`None` entries when `uncertainty` was not requested or a scenario
+    /// covered nothing).
+    pub fn intervals(&self) -> &[Option<Interval>] {
+        &self.intervals
+    }
+
+    /// Interval of one scenario by name — O(1).
+    pub fn interval(&self, name: &str) -> Option<Interval> {
+        self.batch.index_of(name).and_then(|i| self.intervals[i])
+    }
+
+    /// Columnar layout of every (scenario, system) result — see
+    /// [`BatchOutput::to_frame`].
+    pub fn to_frame(&self) -> DataFrame {
+        self.batch.to_frame()
+    }
+
+    /// Converts into the legacy [`BatchOutput`] (used by the deprecated
+    /// `BatchEngine` shims).
+    pub fn into_batch(self) -> BatchOutput {
+        self.batch
+    }
+
+    /// Consumes the output, returning the first scenario's footprints —
+    /// the single-scenario convenience behind the `assess_list` shims.
+    pub fn into_footprints(self) -> Vec<SystemFootprint> {
+        self.batch.into_first_footprints()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EasyC;
+    use crate::scenario::{MetricBit, MetricMask, OverrideSet};
+    use top500::synthetic::{generate_full, SyntheticConfig};
+
+    fn list() -> Top500List {
+        generate_full(&SyntheticConfig {
+            n: 80,
+            ..Default::default()
+        })
+    }
+
+    fn matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked(
+                "no-power",
+                MetricMask::ALL
+                    .without(MetricBit::PowerKw)
+                    .without(MetricBit::AnnualEnergy),
+            ))
+            .with(DataScenario::full("site-pue").with_overrides(OverrideSet {
+                pue: Some(1.1),
+                ..OverrideSet::NONE
+            }))
+    }
+
+    #[test]
+    fn session_matches_serial_at_every_worker_count() {
+        let list = list();
+        let tool = EasyC::new();
+        for scenario in matrix().scenarios() {
+            let serial: Vec<SystemFootprint> = list
+                .systems()
+                .iter()
+                .map(|s| tool.assess_scenario(s, scenario))
+                .collect();
+            for workers in [1usize, 2, 3, 8] {
+                let out = Assessment::of(&list)
+                    .workers(workers)
+                    .scenario(scenario.clone())
+                    .run();
+                let got = out.footprints(&scenario.name).unwrap();
+                assert_eq!(got.len(), serial.len());
+                for (g, s) in got.iter().zip(&serial) {
+                    assert_eq!(g.operational, s.operational, "workers {workers}");
+                    assert_eq!(g.embodied, s.embodied, "workers {workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_slices_keep_matrix_order_and_names() {
+        let list = list();
+        let out = Assessment::of(&list).scenarios(&matrix()).run();
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+        let names: Vec<&str> = out
+            .slices()
+            .iter()
+            .map(|s| s.scenario.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["full", "no-power", "site-pue"]);
+        assert!(out.slice("no-power").is_some());
+        assert!(out.slice("missing").is_none());
+        assert_eq!(out.footprints("full").unwrap().len(), 80);
+    }
+
+    #[test]
+    fn context_reuse_is_bit_identical_to_list_source() {
+        let list = list();
+        let via_list = Assessment::of(&list).scenarios(&matrix()).run();
+        let ctx = AssessmentContext::new(&list, 4);
+        let via_ctx = Assessment::over(&ctx).scenarios(&matrix()).run();
+        for (a, b) in via_list.slices().iter().zip(via_ctx.slices()) {
+            for (x, y) in a.footprints.iter().zip(&b.footprints) {
+                assert_eq!(x.operational, y.operational);
+                assert_eq!(x.embodied, y.embodied);
+            }
+        }
+    }
+
+    #[test]
+    fn config_overrides_merge_under_scenario_overrides() {
+        let list = list();
+        let config = EasyCConfig {
+            pue_override: Some(2.0),
+            ..Default::default()
+        };
+        let out = Assessment::of(&list)
+            .config(config)
+            .scenarios(&matrix())
+            .run();
+        // "full" inherits the config PUE; "site-pue" wins with its own.
+        for fp in out.footprints("full").unwrap() {
+            if let Ok(op) = &fp.operational {
+                assert_eq!(op.pue, 2.0);
+            }
+        }
+        for fp in out.footprints("site-pue").unwrap() {
+            if let Ok(op) = &fp.operational {
+                assert_eq!(op.pue, 1.1);
+            }
+        }
+    }
+
+    #[test]
+    fn default_scenario_matches_easyc_assess() {
+        let list = list();
+        let tool = EasyC::new();
+        let serial: Vec<SystemFootprint> = list.systems().iter().map(|s| tool.assess(s)).collect();
+        let session = Assessment::of(&list).workers(4).run().into_footprints();
+        assert_eq!(session.len(), serial.len());
+        for (a, b) in session.iter().zip(&serial) {
+            assert_eq!(a.operational, b.operational);
+            assert_eq!(a.embodied, b.embodied);
+        }
+    }
+
+    #[test]
+    fn intervals_deterministic_across_worker_counts() {
+        let list = list();
+        let run = |workers| {
+            Assessment::of(&list)
+                .workers(workers)
+                .scenarios(&matrix())
+                .uncertainty(200)
+                .confidence(0.9)
+                .seed(11)
+                .run()
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.intervals(), b.intervals());
+        let iv = a.interval("full").unwrap();
+        assert!(iv.lo < iv.point && iv.point < iv.hi * 1.2);
+    }
+
+    #[test]
+    fn no_uncertainty_means_no_intervals() {
+        let list = list();
+        let out = Assessment::of(&list).scenarios(&matrix()).run();
+        assert_eq!(out.intervals().len(), 3);
+        assert!(out.intervals().iter().all(Option::is_none));
+        assert!(out.interval("full").is_none());
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_output() {
+        let list = list();
+        let out = Assessment::of(&list)
+            .scenarios(&ScenarioMatrix::new())
+            .run();
+        assert!(out.is_empty());
+        assert!(out.into_footprints().is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_first_like_a_linear_scan() {
+        let list = list();
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("dup"))
+                .with(DataScenario::masked(
+                    "dup",
+                    MetricMask::ALL.without(MetricBit::PowerKw),
+                ));
+        let out = Assessment::of(&list).scenarios(&matrix).run();
+        let slice = out.slice("dup").unwrap();
+        assert_eq!(slice.scenario.mask, MetricMask::ALL);
+    }
+
+    #[test]
+    fn masked_matrix_run_performs_zero_record_clones() {
+        let list = list();
+        let ctx = AssessmentContext::new(&list, 1);
+        let before = top500::record::clones_on_thread();
+        // workers(1) keeps the whole plan on this thread, so the
+        // thread-local counter observes every clone the engine would do.
+        let out = Assessment::over(&ctx).workers(1).scenarios(&matrix()).run();
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            top500::record::clones_on_thread(),
+            before,
+            "masked sweep must not clone records"
+        );
+    }
+}

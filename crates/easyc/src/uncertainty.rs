@@ -203,6 +203,14 @@ pub fn fleet_operational_interval_ctx(
 
 /// Fleet-total operational intervals for every scenario of a matrix,
 /// sharing one context (one extraction pass) across all of them.
+///
+/// As a shim over the full session this also computes (and discards) the
+/// embodied roll-up per scenario — intervals-only callers on wide matrices
+/// should migrate to the session, which returns both for the same work.
+#[deprecated(
+    since = "0.2.0",
+    note = "use easyc::Assessment::of(list).scenarios(matrix).uncertainty(samples).run() instead"
+)]
 pub fn scenario_intervals(
     tool: &EasyC,
     list: &Top500List,
@@ -212,16 +220,52 @@ pub fn scenario_intervals(
     level: f64,
     seed: u64,
 ) -> Vec<(String, Option<Interval>)> {
-    let ctx = AssessmentContext::new(list, tool.config().workers);
-    matrix
-        .scenarios()
+    let output = crate::session::Assessment::of(list)
+        .config(*tool.config())
+        .scenarios(matrix)
+        .uncertainty(samples)
+        .confidence(level)
+        .seed(seed)
+        .priors(*priors)
+        .run();
+    output
+        .slices()
         .iter()
-        .map(|scenario| {
-            let interval =
-                fleet_operational_interval_ctx(tool, &ctx, scenario, priors, samples, level, seed);
-            (scenario.name.clone(), interval)
-        })
+        .zip(output.intervals())
+        .map(|(slice, interval)| (slice.scenario.name.clone(), *interval))
         .collect()
+}
+
+/// Seed-mixing constant for the fleet-total RNG stream family, shared by
+/// [`fleet_operational_interval`] and the session's interval phase so the
+/// two stay bit-identical.
+pub(crate) const FLEET_SEED_MIX: u64 = 0xF1EE_7000;
+
+/// One Monte-Carlo fleet-total draw: the shared kernel behind
+/// [`fleet_operational_interval`] and the session's interval phase, so the
+/// two stay bit-identical. Systematic components (PUE, utilisation) draw
+/// once per sample; idiosyncratic ACI noise draws per (sample, system).
+pub(crate) fn fleet_draw(
+    bases: &[OperationalEstimate],
+    priors: &PriorUncertainty,
+    streams: &RngStreams,
+    sample: usize,
+) -> f64 {
+    let mut global = streams.stream(sample as u64);
+    let pue_factor = global.next_lognormal(0.0, priors.pue);
+    let util_factor = global.next_lognormal(0.0, priors.utilization);
+    bases
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut local = streams.stream(((sample as u64) << 32) | (i as u64 + 1));
+            let aci_sigma = b.aci.relative_uncertainty() / 2.0;
+            let aci = b.aci.value() * local.next_lognormal(0.0, aci_sigma);
+            let pue = (b.pue * pue_factor).max(1.0);
+            let util = (b.utilization * util_factor).clamp(0.05, 1.0);
+            b.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
+        })
+        .sum::<f64>()
 }
 
 fn fleet_interval_from_bases(
@@ -236,34 +280,14 @@ fn fleet_interval_from_bases(
         return None;
     }
     let point: f64 = bases.iter().map(|b| b.mt_co2e).sum();
-    let streams = RngStreams::new(seed ^ 0xF1EE_7000);
+    let streams = RngStreams::new(seed ^ FLEET_SEED_MIX);
     let sample_indices: Vec<usize> = (0..samples).collect();
     let draws =
         parallel::par_map_chunked(&sample_indices, tool.config().workers, |start, chunk| {
             chunk
                 .iter()
                 .enumerate()
-                .map(|(offset, _)| {
-                    let sample = start + offset;
-                    let mut global = streams.stream(sample as u64);
-                    // Systematic components: one draw per sample.
-                    let pue_factor = global.next_lognormal(0.0, priors.pue);
-                    let util_factor = global.next_lognormal(0.0, priors.utilization);
-                    bases
-                        .iter()
-                        .enumerate()
-                        .map(|(i, b)| {
-                            // Idiosyncratic ACI noise: per system per sample.
-                            let mut local =
-                                streams.stream(((sample as u64) << 32) | (i as u64 + 1));
-                            let aci_sigma = b.aci.relative_uncertainty() / 2.0;
-                            let aci = b.aci.value() * local.next_lognormal(0.0, aci_sigma);
-                            let pue = (b.pue * pue_factor).max(1.0);
-                            let util = (b.utilization * util_factor).clamp(0.05, 1.0);
-                            b.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
-                        })
-                        .sum::<f64>()
-                })
+                .map(|(offset, _)| fleet_draw(bases, priors, &streams, start + offset))
                 .collect()
         });
     let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
@@ -278,6 +302,51 @@ fn fleet_interval_from_bases(
 mod tests {
     use super::*;
     use top500::synthetic::{generate_full, SyntheticConfig};
+
+    #[test]
+    #[allow(deprecated)]
+    fn scenario_intervals_shim_matches_session() {
+        use crate::scenario::{DataScenario, MetricBit, MetricMask};
+        let list = generate_full(&SyntheticConfig {
+            n: 50,
+            ..Default::default()
+        });
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let tool = EasyC::new();
+        let priors = PriorUncertainty::default();
+        let legacy = scenario_intervals(&tool, &list, &matrix, &priors, 120, 0.9, 9);
+        let session = crate::session::Assessment::of(&list)
+            .config(*tool.config())
+            .scenarios(&matrix)
+            .uncertainty(120)
+            .confidence(0.9)
+            .seed(9)
+            .priors(priors)
+            .run();
+        for (name, interval) in &legacy {
+            assert_eq!(session.interval(name), *interval, "{name}");
+        }
+        // And both match the per-scenario legacy context entry point.
+        let ctx = AssessmentContext::new(&list, tool.config().workers);
+        for scenario in matrix.scenarios() {
+            let direct =
+                fleet_operational_interval_ctx(&tool, &ctx, scenario, &priors, 120, 0.9, 9);
+            assert_eq!(
+                session.interval(&scenario.name),
+                direct,
+                "{}",
+                scenario.name
+            );
+        }
+    }
 
     fn system() -> SystemRecord {
         generate_full(&SyntheticConfig {
@@ -475,6 +544,7 @@ mod tests {
                         .without(MetricBit::PowerKw)
                         .without(MetricBit::AnnualEnergy),
                 ));
+        #[allow(deprecated)]
         let results = scenario_intervals(
             &EasyC::new(),
             &list,

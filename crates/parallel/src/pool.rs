@@ -6,11 +6,103 @@
 //! alive and feeds them boxed closures through an mpsc channel shared by a
 //! mutex (std-only; no crossbeam).
 
+use std::marker::PhantomData;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Tracks the jobs spawned inside one [`ThreadPool::scope`] call so the
+/// scope can block until all of them (and only them) have finished, and so
+/// panics inside scoped jobs surface at the scope instead of being silently
+/// absorbed by the pool's per-worker catch.
+struct ScopeLatch {
+    pending: Mutex<(usize, usize)>, // (in-flight jobs, panicked jobs)
+    zero: Condvar,
+}
+
+impl ScopeLatch {
+    fn new() -> ScopeLatch {
+        ScopeLatch {
+            pending: Mutex::new((0, 0)),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn incr(&self) {
+        self.pending.lock().expect("scope latch").0 += 1;
+    }
+
+    fn decr(&self, panicked: bool) {
+        let mut state = self.pending.lock().expect("scope latch");
+        state.0 -= 1;
+        if panicked {
+            state.1 += 1;
+        }
+        if state.0 == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    /// Blocks until every scoped job finished; returns the panic count.
+    fn wait_zero(&self) -> usize {
+        let mut state = self.pending.lock().expect("scope latch");
+        while state.0 != 0 {
+            state = self.zero.wait(state).expect("scope latch");
+        }
+        state.1
+    }
+}
+
+/// Handle for spawning borrowed (non-`'static`) jobs inside
+/// [`ThreadPool::scope`]; mirrors `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    latch: Arc<ScopeLatch>,
+    /// Invariant over `'env`, like `std::thread::Scope`: jobs may borrow
+    /// from the environment, so the scope must not outlive it.
+    _env: PhantomData<&'scope mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Submits a job that may borrow from the enclosing environment. The
+    /// scope blocks until every spawned job has finished before returning.
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.latch.incr();
+        let latch = Arc::clone(&self.latch);
+        let pool_panics = Arc::clone(&self.pool.panics);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: the latch guarantees `scope` does not return (and `'env`
+        // borrows stay live) until this job has run to completion, so
+        // erasing the lifetime to satisfy the pool's `'static` bound never
+        // lets the job observe freed data. The guard in `scope` waits even
+        // when the scope body unwinds.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        self.pool.execute(move || {
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+            if panicked {
+                // This inner catch hides the panic from the worker's own
+                // counter, so feed `ThreadPool::panics` here too.
+                *pool_panics.lock().expect("panic counter lock") += 1;
+            }
+            latch.decr(panicked);
+        });
+    }
+}
+
+/// Waits for all scoped jobs on drop, so borrows stay valid even when the
+/// scope body panics mid-way.
+struct ScopeGuard<'a>(&'a ScopeLatch);
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait_zero();
+    }
+}
 
 /// Tracks in-flight jobs so `wait` can block until quiescence.
 struct Inflight {
@@ -112,6 +204,35 @@ impl ThreadPool {
         self.inflight.wait_zero();
     }
 
+    /// Runs `body` with a [`Scope`] that can spawn jobs borrowing from the
+    /// enclosing environment (non-`'static`), like `std::thread::scope` but
+    /// on this pool's long-lived workers. Returns only after every job
+    /// spawned in the scope has finished; panics if any of them panicked.
+    ///
+    /// This is what lets one pool interleave many small borrowed work items
+    /// — e.g. the assessment session's (scenario × chunk) plan — without
+    /// moving the data behind `Arc`s or spawning fresh threads per stage.
+    pub fn scope<'env, F, R>(&self, body: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let latch = Arc::new(ScopeLatch::new());
+        let scope = Scope {
+            pool: self,
+            latch: Arc::clone(&latch),
+            _env: PhantomData,
+        };
+        let result = {
+            // Even if `body` unwinds after spawning, the guard blocks until
+            // the spawned jobs are done, keeping their borrows valid.
+            let _guard = ScopeGuard(&latch);
+            body(&scope)
+        };
+        let panics = latch.wait_zero();
+        assert!(panics == 0, "{panics} scoped pool job(s) panicked");
+        result
+    }
+
     /// Number of jobs that panicked since the pool was created.
     pub fn panics(&self) -> usize {
         *self.panics.lock().expect("panic counter lock")
@@ -174,6 +295,82 @@ mod tests {
     #[test]
     fn size_is_at_least_one() {
         assert_eq!(ThreadPool::new(0).size(), 1);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<usize> = (0..100).collect();
+        let mut out = vec![0usize; 100];
+        pool.scope(|s| {
+            for (chunk, src) in out.chunks_mut(7).zip(data.chunks(7)) {
+                s.spawn(move || {
+                    for (o, i) in chunk.iter_mut().zip(src) {
+                        *o = i * 2;
+                    }
+                });
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn scope_waits_before_returning() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..50 {
+                let c = &counter;
+                s.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn nested_scopes_share_one_pool() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let t = &total;
+                outer.spawn(move || {
+                    t.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        pool.scope(|s| {
+            let t = &total;
+            s.spawn(move || {
+                t.fetch_add(10, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 14);
+    }
+
+    #[test]
+    fn scoped_panic_propagates_to_scope() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("scoped failure"));
+            });
+        }));
+        assert!(result.is_err());
+        // Scoped panics also feed the pool-wide counter.
+        assert_eq!(pool.panics(), 1);
+        // The pool itself survives and keeps executing jobs.
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let c = &counter;
+            s.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
     }
 
     #[test]

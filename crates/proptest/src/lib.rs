@@ -337,7 +337,7 @@ pub mod prop {
             }
         }
 
-        /// The [`vec`] strategy.
+        /// The [`vec()`] strategy.
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

@@ -4,9 +4,25 @@
 //! central phenomenon the paper studies, so it is explicit in the types.
 
 use hwdb::grid::Region;
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread count of [`SystemRecord`] clones, see [`clones_on_thread`].
+    static RECORD_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`SystemRecord`] clones performed *by the calling thread* since
+/// it started. Record clones are the allocation cost the field-level view
+/// layer (`easyc`'s `FleetView`) exists to eliminate; this counter lets
+/// tests pin "masked sweeps perform zero record clones" instead of trusting
+/// the types. Thread-local so concurrently running tests cannot disturb
+/// each other's measurements.
+pub fn clones_on_thread() -> u64 {
+    RECORD_CLONES.with(Cell::get)
+}
 
 /// One system as reported (partially) by top500.org plus any enrichment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct SystemRecord {
     /// Rank on the list (1-based). Always present.
     pub rank: u32,
@@ -50,6 +66,35 @@ pub struct SystemRecord {
     pub utilization: Option<f64>,
     /// Measured annual energy, MWh, optional EasyC refinement input.
     pub annual_energy_mwh: Option<f64>,
+}
+
+impl Clone for SystemRecord {
+    fn clone(&self) -> SystemRecord {
+        RECORD_CLONES.with(|c| c.set(c.get() + 1));
+        SystemRecord {
+            rank: self.rank,
+            name: self.name.clone(),
+            country: self.country.clone(),
+            region: self.region,
+            year: self.year,
+            vendor: self.vendor.clone(),
+            processor: self.processor.clone(),
+            total_cores: self.total_cores,
+            accelerator: self.accelerator.clone(),
+            accelerator_count: self.accelerator_count,
+            rmax_tflops: self.rmax_tflops,
+            rpeak_tflops: self.rpeak_tflops,
+            nmax: self.nmax,
+            power_kw: self.power_kw,
+            node_count: self.node_count,
+            cpu_count: self.cpu_count,
+            memory_gb: self.memory_gb,
+            memory_type: self.memory_type.clone(),
+            ssd_gb: self.ssd_gb,
+            utilization: self.utilization,
+            annual_energy_mwh: self.annual_energy_mwh,
+        }
+    }
 }
 
 impl SystemRecord {
@@ -250,6 +295,23 @@ mod tests {
         assert!(!r.has_accelerator());
         r.accelerator = Some("NVIDIA H100".into());
         assert!(r.has_accelerator());
+    }
+
+    #[test]
+    fn clone_counter_counts_this_thread_only() {
+        let r = SystemRecord::bare(1, 1.0, 2.0);
+        let before = clones_on_thread();
+        let _a = r.clone();
+        let _b = r.clone();
+        assert_eq!(clones_on_thread() - before, 2);
+        // Clones on another thread leave this thread's counter untouched.
+        let here = clones_on_thread();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _c = r.clone();
+            });
+        });
+        assert_eq!(clones_on_thread(), here);
     }
 
     #[test]

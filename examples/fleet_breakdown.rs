@@ -8,7 +8,7 @@
 use top500_carbon::analysis::fleet::{breakdown, concentration, Dimension};
 use top500_carbon::analysis::turnover::{simulate, TurnoverConfig};
 use top500_carbon::analysis::StudyPipeline;
-use top500_carbon::easyc::EasyC;
+use top500_carbon::easyc::Assessment;
 
 fn print_breakdown(title: &str, shares: &[top500_carbon::analysis::fleet::GroupShare]) {
     println!("{title}");
@@ -33,7 +33,7 @@ fn print_breakdown(title: &str, shares: &[top500_carbon::analysis::fleet::GroupS
 
 fn main() {
     let out = StudyPipeline::new(500, 0x5EED_CAFE).run();
-    let footprints = EasyC::new().assess_list(&out.full);
+    let footprints = Assessment::of(&out.full).run().into_footprints();
 
     print_breakdown(
         "== Fleet carbon by country (synthetic ground truth) ==",

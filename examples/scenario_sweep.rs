@@ -1,4 +1,4 @@
-//! Scenario-diversity workloads through the staged batch engine.
+//! Scenario-diversity workloads through the unified assessment session.
 //!
 //! ```text
 //! cargo run --release --example scenario_sweep
@@ -6,14 +6,16 @@
 //!
 //! Builds a matrix of data scenarios — ground truth, degraded-availability
 //! variants, and site-knowledge overrides — and assesses the synthetic
-//! Top 500 under all of them in ONE batch pass: the metric extraction runs
-//! once and is shared, masks and overrides apply inside the estimator
-//! stages, and every scenario's results come back both typed and columnar.
+//! Top 500 under all of them in ONE session: the metric extraction runs
+//! once and is shared, masks apply as zero-copy `FleetView` lenses (no
+//! record clones), every (scenario × chunk) work item interleaves on one
+//! thread pool, and each scenario's results come back typed, columnar and
+//! with a Monte-Carlo fleet interval.
 
-use top500_carbon::analysis::fleet::{render_sweep, summarize_output};
+use top500_carbon::analysis::fleet::{render_sweep, summarize_slices};
 use top500_carbon::analysis::sensitivity;
 use top500_carbon::easyc::{
-    BatchEngine, DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix,
+    Assessment, DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix,
 };
 use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
 
@@ -55,21 +57,36 @@ fn main() {
             }),
         );
 
-    let engine = BatchEngine::new();
-    let output = engine.assess_matrix(&list, &matrix);
+    let output = Assessment::of(&list)
+        .scenarios(&matrix)
+        .uncertainty(400)
+        .confidence(0.9)
+        .seed(7)
+        .run();
 
     println!(
-        "== scenario sweep: {} scenarios x {} systems, one batch pass ==\n",
+        "== scenario sweep: {} scenarios x {} systems, one session ==\n",
         matrix.len(),
         list.len()
     );
-    println!("{}", render_sweep(&summarize_output(&output)));
+    println!("{}", render_sweep(&summarize_slices(output.slices())));
 
-    // Scenario sensitivity straight off the batch slices: what does losing
-    // every measured power number cost the fleet estimate?
-    let full = output.slice("full").expect("full scenario present");
-    let no_power = output.slice("no-power").expect("no-power scenario present");
-    let report = sensitivity::from_footprints(&full.footprints, &no_power.footprints, false);
+    // Fleet-total operational intervals came out of the same session run.
+    println!("90% fleet operational intervals (MT CO2e):");
+    for (slice, interval) in output.slices().iter().zip(output.intervals()) {
+        if let Some(iv) = interval {
+            println!(
+                "  {:>14}: {:>9.0} [{:>9.0}, {:>9.0}]",
+                slice.scenario.name, iv.point, iv.lo, iv.hi
+            );
+        }
+    }
+    println!();
+
+    // Scenario sensitivity straight off the session slices: what does
+    // losing every measured power number cost the fleet estimate?
+    let report =
+        sensitivity::between(&output, "full", "no-power", false).expect("both scenarios present");
     println!("operational sensitivity to losing measured power:");
     println!(
         "  fleet total {:.0} -> {:.0} MT CO2e ({:+.1} %)",

@@ -5,17 +5,17 @@
 //! top500-carbon assess <systems.csv>        assess systems from a CSV
 //! top500-carbon template                    print the CSV input template
 //! top500-carbon figures <dir>               write every figure/table CSV
-//! top500-carbon sweep <scenarios.csv> [systems.csv] [--out results.csv]
-//!                                           batch-assess a scenario matrix
+//! top500-carbon sweep <scenarios.csv> [systems.csv] [--workers N] [--out results.csv]
+//!                                           assess a scenario matrix in one session
 //! top500-carbon sweep-template              print the scenario CSV template
 //! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use top500_carbon::analysis::fleet::{render_sweep, summarize_output};
+use top500_carbon::analysis::fleet::{render_sweep, summarize_slices};
 use top500_carbon::analysis::report::run_study;
-use top500_carbon::easyc::{BatchEngine, EasyC, EasyCConfig, ScenarioMatrix};
+use top500_carbon::easyc::{Assessment, ScenarioMatrix};
 use top500_carbon::frame;
 use top500_carbon::top500::io::{export_csv, import_csv, COLUMNS};
 use top500_carbon::top500::list::Top500List;
@@ -56,14 +56,17 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("  top500-carbon assess <systems.csv>    assess systems from a CSV");
     eprintln!("  top500-carbon template                print the CSV input template");
     eprintln!("  top500-carbon figures <dir>           write every figure/table CSV");
-    eprintln!("  top500-carbon sweep <scenarios.csv> [systems.csv] [--out results.csv]");
-    eprintln!("                                        batch-assess a scenario matrix");
+    eprintln!(
+        "  top500-carbon sweep <scenarios.csv> [systems.csv] [--workers N] [--out results.csv]"
+    );
+    eprintln!("                                        assess a scenario matrix in one session");
     eprintln!("  top500-carbon sweep-template          print the scenario CSV template");
     ExitCode::FAILURE
 }
 
 /// Runs a scenario matrix over a system list (a CSV, or the synthetic 500)
-/// in one batch pass; optionally writes the full columnar results.
+/// in one interleaved assessment session; optionally writes the full
+/// columnar results.
 fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     let text = match std::fs::read_to_string(scenarios_path) {
         Ok(t) => t,
@@ -85,12 +88,18 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     };
     let mut out_path: Option<&str> = None;
     let mut systems_path: Option<&str> = None;
+    let mut workers: usize = top500_carbon::parallel::default_workers();
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         if arg == "--out" {
             match iter.next() {
                 Some(p) => out_path = Some(p),
                 None => return usage("--out requires a path"),
+            }
+        } else if arg == "--workers" {
+            match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers = n,
+                _ => return usage("--workers requires a positive integer"),
             }
         } else {
             systems_path = Some(arg);
@@ -119,13 +128,16 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
         }),
     };
     println!(
-        "sweeping {} scenarios over {} systems (one batch pass)\n",
+        "sweeping {} scenarios over {} systems ({} workers, one session)\n",
         matrix.len(),
-        list.len()
+        list.len(),
+        workers
     );
-    let engine = BatchEngine::with_config(EasyCConfig::default());
-    let output = engine.assess_matrix(&list, &matrix);
-    println!("{}", render_sweep(&summarize_output(&output)));
+    let output = Assessment::of(&list)
+        .scenarios(&matrix)
+        .workers(workers)
+        .run();
+    println!("{}", render_sweep(&summarize_slices(output.slices())));
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(path, frame::csv::write(&output.to_frame())) {
             eprintln!("error: could not write {path}: {e}");
@@ -164,8 +176,7 @@ fn cmd_assess(path: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let tool = EasyC::new();
-    let footprints = tool.assess_list(&list);
+    let footprints = Assessment::of(&list).run().into_footprints();
     println!(
         "{:<6} {:<28} {:>14} {:>14}  notes",
         "rank", "name", "op (MT/yr)", "emb (MT)"

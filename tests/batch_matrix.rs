@@ -1,13 +1,18 @@
-//! Acceptance tests for the staged batch assessment engine: the batch path
-//! must be bit-identical to the serial per-system path for the full
-//! synthetic 500, under every scenario, at any worker count; and the
-//! figure pipelines must produce the same results through the new engine.
+//! Acceptance tests for the assessment engine: the session (and the
+//! deprecated batch shims over it) must be bit-identical to the serial
+//! per-system path for the full synthetic 500, under every scenario, at
+//! any worker count; masked sweeps must perform zero record clones; and
+//! the figure pipelines must produce the same results through the new API.
+
+// The deprecated `BatchEngine`/`assess_list` shims are exercised on
+// purpose: they must stay bit-identical to the session that replaced them.
+#![allow(deprecated)]
 
 use top500_carbon::analysis::report::default_scenario_matrix;
 use top500_carbon::analysis::StudyPipeline;
 use top500_carbon::easyc::{
-    BatchEngine, DataScenario, EasyC, EasyCConfig, MetricBit, MetricMask, OverrideSet,
-    ScenarioMatrix, SystemFootprint,
+    Assessment, AssessmentContext, BatchEngine, DataScenario, EasyC, EasyCConfig, MetricBit,
+    MetricMask, OverrideSet, ScenarioMatrix, SystemFootprint,
 };
 use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
@@ -77,13 +82,112 @@ fn batch_bit_identical_to_serial_for_every_scenario_and_worker_count() {
 }
 
 #[test]
+fn session_bit_identical_to_serial_full_500_at_pinned_worker_counts() {
+    // The acceptance pin for the unified session: every scenario of the
+    // extended matrix over the full synthetic 500, at workers {1, 2, 8},
+    // must be bit-identical to serial per-system assessment.
+    let list = full_500();
+    let serial_tool = EasyC::new();
+    let matrix = scenario_matrix();
+    let serial_by_scenario: Vec<Vec<SystemFootprint>> = matrix
+        .scenarios()
+        .iter()
+        .map(|scenario| {
+            list.systems()
+                .iter()
+                .map(|s| serial_tool.assess_scenario(s, scenario))
+                .collect()
+        })
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let output = Assessment::of(&list)
+            .workers(workers)
+            .scenarios(&matrix)
+            .run();
+        assert_eq!(output.slices().len(), matrix.len());
+        for (slice, serial) in output.slices().iter().zip(&serial_by_scenario) {
+            assert_bit_identical(
+                &slice.footprints,
+                serial,
+                &format!(
+                    "session scenario `{}` workers {workers}",
+                    slice.scenario.name
+                ),
+            );
+        }
+    }
+}
+
+#[test]
+fn session_and_batch_shims_agree_exactly() {
+    let list = full_500();
+    let matrix = scenario_matrix();
+    let session = Assessment::of(&list).scenarios(&matrix).run();
+    let shim = BatchEngine::new().assess_matrix(&list, &matrix);
+    assert_eq!(session.slices().len(), shim.slices().len());
+    for (a, b) in session.slices().iter().zip(shim.slices()) {
+        assert_bit_identical(&a.footprints, &b.footprints, &a.scenario.name);
+        assert_eq!(a.coverage, b.coverage);
+    }
+    // O(1) lookups resolve identically to the slice order.
+    for scenario in matrix.scenarios() {
+        assert!(session.slice(&scenario.name).is_some());
+        assert!(shim.slice(&scenario.name).is_some());
+    }
+}
+
+#[test]
+fn masked_session_sweep_performs_zero_record_clones() {
+    // The FleetView lens replaced the clone-per-scenario masking path;
+    // workers(1) keeps the whole plan on this thread so the thread-local
+    // clone counter observes everything the engine does.
+    let list = full_500();
+    let ctx = AssessmentContext::new(&list, 1);
+    let matrix = scenario_matrix();
+    let before = top500_carbon::top500::record::clones_on_thread();
+    let output = Assessment::over(&ctx).workers(1).scenarios(&matrix).run();
+    assert_eq!(output.slices().len(), matrix.len());
+    assert_eq!(
+        top500_carbon::top500::record::clones_on_thread(),
+        before,
+        "masked sweep must not clone a single record"
+    );
+}
+
+#[test]
+fn session_intervals_match_legacy_scenario_intervals() {
+    use top500_carbon::easyc::uncertainty::{scenario_intervals, PriorUncertainty};
+    let list = generate_full(&SyntheticConfig {
+        n: 150,
+        seed: 0x5EED_CAFE,
+        ..Default::default()
+    });
+    let matrix = default_scenario_matrix();
+    let tool = EasyC::new();
+    let priors = PriorUncertainty::default();
+    let legacy = scenario_intervals(&tool, &list, &matrix, &priors, 200, 0.9, 17);
+    let session = Assessment::of(&list)
+        .config(*tool.config())
+        .scenarios(&matrix)
+        .uncertainty(200)
+        .confidence(0.9)
+        .seed(17)
+        .priors(priors)
+        .run();
+    assert_eq!(legacy.len(), session.slices().len());
+    for (name, interval) in &legacy {
+        assert_eq!(session.interval(name), *interval, "{name}");
+    }
+}
+
+#[test]
 fn matrix_pass_equals_independent_passes() {
     let list = full_500();
     let matrix = scenario_matrix();
     let engine = BatchEngine::new();
     let combined = engine.assess_matrix(&list, &matrix);
-    assert_eq!(combined.slices.len(), matrix.len());
-    for (slice, scenario) in combined.slices.iter().zip(matrix.scenarios()) {
+    assert_eq!(combined.slices().len(), matrix.len());
+    for (slice, scenario) in combined.slices().iter().zip(matrix.scenarios()) {
         let ctx = engine.context(&list);
         let independent = engine.assess(&ctx, scenario);
         assert_bit_identical(&slice.footprints, &independent, &scenario.name);
@@ -207,7 +311,7 @@ fn columnar_frame_matches_typed_results() {
     assert_eq!(df.len(), matrix.len() * list.len());
     let op = df.numeric("operational_mt").expect("operational column");
     let mut row = 0;
-    for slice in &out.slices {
+    for slice in out.slices() {
         for fp in &slice.footprints {
             assert_eq!(op[row], fp.operational_mt(), "row {row}");
             row += 1;

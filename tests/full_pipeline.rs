@@ -3,7 +3,7 @@
 
 use top500_carbon::analysis::figures::{CoverageByRange, Fig2, Fig4, Table1};
 use top500_carbon::analysis::StudyPipeline;
-use top500_carbon::easyc::{EasyC, Scenario};
+use top500_carbon::easyc::{Assessment, Scenario};
 use top500_carbon::ghg;
 
 #[test]
@@ -32,13 +32,13 @@ fn coverage_gap_skews_to_high_ranks_for_embodied() {
     // Paper Fig 6a: the Top 150 are the embodied problem children.
     let out = StudyPipeline::new(500, 99).run();
     let fig = CoverageByRange::from_pipeline(&out, true);
-    let top_band = fig.ranges.iter().find(|(r, _, _)| r.lo == 26).unwrap();
-    let tail_band = fig.ranges.iter().find(|(r, _, _)| r.lo == 351).unwrap();
+    let top_band = fig.rows.iter().find(|(r, _)| r.lo == 26).unwrap();
+    let tail_band = fig.rows.iter().find(|(r, _)| r.lo == 351).unwrap();
     assert!(
-        top_band.1 < tail_band.1,
+        top_band.1[0] < tail_band.1[0],
         "top-of-list embodied coverage {} should trail the tail {}",
-        top_band.1,
-        tail_band.1
+        top_band.1[0],
+        tail_band.1[0]
     );
 }
 
@@ -60,16 +60,14 @@ fn figure_generators_agree_with_pipeline_counts() {
 #[test]
 fn assessment_is_deterministic_across_thread_counts() {
     let out = StudyPipeline::new(200, 5).run();
-    let tool_serial = EasyC::with_config(top500_carbon::easyc::EasyCConfig {
-        workers: 1,
-        ..Default::default()
-    });
-    let tool_parallel = EasyC::with_config(top500_carbon::easyc::EasyCConfig {
-        workers: 16,
-        ..Default::default()
-    });
-    let a = tool_serial.assess_list(&out.enriched);
-    let b = tool_parallel.assess_list(&out.enriched);
+    let a = Assessment::of(&out.enriched)
+        .workers(1)
+        .run()
+        .into_footprints();
+    let b = Assessment::of(&out.enriched)
+        .workers(16)
+        .run()
+        .into_footprints();
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.operational_mt(), y.operational_mt());
         assert_eq!(x.embodied_mt(), y.embodied_mt());

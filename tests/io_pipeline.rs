@@ -2,7 +2,7 @@
 //! in-memory lists — a user bringing the real top500.org export gets the
 //! identical model.
 
-use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::easyc::{Assessment, SystemFootprint};
 use top500_carbon::ghg;
 use top500_carbon::top500::io::{export_csv, import_csv};
 use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
@@ -16,9 +16,8 @@ fn csv_roundtrip_preserves_footprints() {
     let masked = mask_baseline(&full, &MaskRates::default(), 9);
     let reloaded = import_csv(&export_csv(&masked)).unwrap();
 
-    let tool = EasyC::new();
-    let before = tool.assess_list(&masked);
-    let after = tool.assess_list(&reloaded);
+    let before = Assessment::of(&masked).run().into_footprints();
+    let after = Assessment::of(&reloaded).run().into_footprints();
     assert_eq!(before.len(), after.len());
     for (a, b) in before.iter().zip(&after) {
         assert_eq!(a.operational_mt(), b.operational_mt(), "rank {}", a.rank);
@@ -47,7 +46,7 @@ fn imported_list_supports_interpolation_study() {
     });
     let masked = mask_baseline(&full, &MaskRates::default(), 2);
     let list = import_csv(&export_csv(&masked)).unwrap();
-    let footprints = EasyC::new().assess_list(&list);
+    let footprints = Assessment::of(&list).run().into_footprints();
     let op: Vec<Option<f64>> = footprints
         .iter()
         .map(SystemFootprint::operational_mt)
@@ -66,7 +65,7 @@ fn import_tolerates_sparse_real_world_export() {
                 1,BigIron,Germany,AMD EPYC 9654 96C 2.4GHz,1105920,379700,531000,\n\
                 2,SmallIron,France,Xeon Platinum 8380 40C 2.3GHz,64000,4500,6200,2100\n";
     let list = import_csv(text).unwrap();
-    let footprints = EasyC::new().assess_list(&list);
+    let footprints = Assessment::of(&list).run().into_footprints();
     // BigIron: CPU-only without power → TDP path still succeeds.
     assert!(footprints[0].operational_mt().is_some());
     // SmallIron has measured power → estimable too, with French ACI.

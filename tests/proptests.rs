@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
 use top500_carbon::easyc::{
-    DataScenario, EasyC, MetricMask, ScenarioMatrix, SevenMetrics, SystemFootprint,
+    embodied, operational, DataScenario, EasyC, MetricMask, OverrideSet, ScenarioMatrix,
+    SevenMetrics, SystemFootprint, SystemView,
 };
 use top500_carbon::frame::{csv, stats, Column, DataFrame};
 use top500_carbon::top500::SystemRecord;
@@ -272,6 +273,42 @@ proptest! {
         if let Some(v) = fp.embodied_mt() {
             prop_assert!(v.is_finite() && v >= 0.0);
         }
+    }
+
+    #[test]
+    fn view_lens_identical_to_clone_path_for_arbitrary_masks(
+        record in arb_record(),
+        mask in arb_mask()
+    ) {
+        // The zero-copy SystemView must reproduce the legacy clone-based
+        // masking (apply_record + apply_metrics on owned copies) exactly,
+        // for both estimators, under any mask.
+        let metrics = SevenMetrics::extract(&record);
+        let masked_record = mask.apply_record(&record);
+        let masked_metrics = mask.apply_metrics(&record, &metrics);
+        let via_clones_op =
+            operational::estimate_with(&masked_record, &masked_metrics, &OverrideSet::NONE);
+        let via_clones_emb = embodied::estimate(&masked_record, &masked_metrics);
+
+        let view = SystemView::new(&record, &metrics, mask);
+        let via_view_op = operational::estimate_view(&view, &OverrideSet::NONE);
+        let via_view_emb = embodied::estimate_view(&view);
+        prop_assert_eq!(via_view_op, via_clones_op);
+        prop_assert_eq!(via_view_emb, via_clones_emb);
+
+        // And the public facade routes through the same lens.
+        let fp = EasyC::new().assess_scenario(&record, &DataScenario::masked("prop", mask));
+        prop_assert_eq!(&fp.operational, &operational::estimate_view(&view, &OverrideSet::NONE));
+        prop_assert_eq!(&fp.embodied, &embodied::estimate_view(&view));
+    }
+
+    #[test]
+    fn masked_assessment_clones_no_record(record in arb_record(), mask in arb_mask()) {
+        let scenario = DataScenario::masked("prop", mask);
+        let tool = EasyC::new();
+        let before = top500_carbon::top500::record::clones_on_thread();
+        let _ = tool.assess_scenario(&record, &scenario);
+        prop_assert_eq!(top500_carbon::top500::record::clones_on_thread(), before);
     }
 
     #[test]
