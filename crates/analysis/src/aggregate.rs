@@ -52,14 +52,23 @@ impl Aggregate {
 
     /// Aggregates a complete series.
     pub fn of_complete(values: &[f64]) -> Aggregate {
-        let total = normalize_zero(values.iter().sum());
+        Aggregate::from_sum(values.len(), values.iter().sum())
+    }
+
+    /// Builds an aggregate from an already-folded `(count, total)` pair —
+    /// the entry point for streamed sessions, whose running totals repeat
+    /// the exact sum [`Aggregate::of`] would compute. Applies the same
+    /// zero normalisation and empty-mean policy as the series
+    /// constructors, so the two paths share one policy.
+    pub fn from_sum(count: usize, total: f64) -> Aggregate {
+        let total = normalize_zero(total);
         Aggregate {
-            count: values.len(),
+            count,
             total_mt: total,
-            mean_mt: if values.is_empty() {
+            mean_mt: if count == 0 {
                 0.0
             } else {
-                total / values.len() as f64
+                total / count as f64
             },
         }
     }

@@ -7,11 +7,13 @@
 
 use crate::aggregate::Aggregate;
 use easyc::{
-    Assessment, CoverageReport, EasyCConfig, ScenarioMatrix, ScenarioSlice, SystemFootprint,
+    Assessment, CoverageReport, EasyCConfig, ScenarioMatrix, ScenarioSlice, StreamOutput,
+    SystemFootprint,
 };
 use frame::agg::{group_by, AggFn};
 use frame::{Column, DataFrame};
 use top500::list::Top500List;
+use top500::stream::FleetChunks;
 
 /// One group's share of the fleet footprint.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,6 +208,42 @@ pub fn summarize_output(out: &easyc::BatchOutput) -> Vec<ScenarioSummary> {
     summarize_slices(out.slices())
 }
 
+/// Summarises a *streamed* session's folded output. The streaming fold
+/// accumulates exactly the sums [`Aggregate::of`] would compute over the
+/// materialized footprints, so for the same systems this is bit-identical
+/// to [`summarize_slices`] over an in-memory run.
+pub fn summarize_stream(output: &StreamOutput) -> Vec<ScenarioSummary> {
+    output
+        .slices()
+        .iter()
+        .map(|slice| ScenarioSummary {
+            name: slice.scenario.name.clone(),
+            coverage: slice.coverage,
+            operational: Aggregate::from_sum(
+                slice.coverage.operational,
+                slice.operational_total_mt,
+            ),
+            embodied: Aggregate::from_sum(slice.coverage.embodied, slice.embodied_total_mt),
+        })
+        .collect()
+}
+
+/// [`scenario_sweep`] over a chunked fleet source: the whole matrix in one
+/// incremental session, memory bounded by the source's chunk budget —
+/// fleets of millions of systems summarize without ever being resident.
+pub fn scenario_sweep_streamed<S: FleetChunks>(
+    source: S,
+    matrix: &ScenarioMatrix,
+    config: EasyCConfig,
+) -> Result<Vec<ScenarioSummary>, S::Error> {
+    Ok(summarize_stream(
+        &Assessment::stream(source)
+            .config(config)
+            .scenarios(matrix)
+            .run()?,
+    ))
+}
+
 /// Renders a sweep as an aligned text table.
 pub fn render_sweep(summaries: &[ScenarioSummary]) -> String {
     let rows: Vec<Vec<String>> = summaries
@@ -356,6 +394,32 @@ mod tests {
         assert!(text.contains("no-power"));
         let csv = sweep_to_csv(&summaries);
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn streamed_sweep_bit_identical_to_in_memory_sweep() {
+        use easyc::{DataScenario, MetricBit, MetricMask};
+        use top500::stream::InMemoryChunks;
+        let out = StudyPipeline::new(150, 5).run();
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let in_memory = scenario_sweep(&out.baseline, &matrix, easyc::EasyCConfig::default());
+        for rows in [1usize, 16, 150, 1000] {
+            let streamed = scenario_sweep_streamed(
+                InMemoryChunks::new(&out.baseline, rows),
+                &matrix,
+                easyc::EasyCConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(streamed, in_memory, "rows {rows}");
+        }
     }
 
     #[test]

@@ -9,10 +9,15 @@
 //! of re-running every estimator a second time.
 
 use crate::aggregate::Aggregate;
+use crate::fleet::{scenario_sweep_streamed, ScenarioSummary};
 use crate::interpolate::{interpolate_with_summary, InterpolationSummary};
-use easyc::{Assessment, CoverageReport, DataScenario, Scenario, SystemFootprint};
+use easyc::{
+    Assessment, CoverageReport, DataScenario, EasyCConfig, Scenario, ScenarioMatrix,
+    SystemFootprint,
+};
 use top500::enrich::{enrich, RevealRates};
 use top500::list::Top500List;
+use top500::stream::SyntheticChunks;
 use top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
 /// Pipeline configuration.
@@ -111,6 +116,28 @@ impl StudyPipeline {
             embodied_summary,
         }
     }
+
+    /// Sweeps a scenario matrix over this pipeline's synthetic fleet
+    /// *without materializing it*: the generator streams
+    /// `rows_per_chunk` systems at a time through an incremental session
+    /// (see `easyc::stream`). For any `n` that fits in memory the result
+    /// is bit-identical to summarizing an in-memory
+    /// [`Assessment`] over [`generate_full`] — which is what lets the
+    /// study's workflow scale to fleets of millions of systems.
+    pub fn stream_sweep(
+        &self,
+        matrix: &ScenarioMatrix,
+        rows_per_chunk: usize,
+    ) -> Vec<ScenarioSummary> {
+        match scenario_sweep_streamed(
+            SyntheticChunks::new(self.synthetic, rows_per_chunk),
+            matrix,
+            EasyCConfig::default(),
+        ) {
+            Ok(summaries) => summaries,
+            Err(never) => match never {},
+        }
+    }
 }
 
 fn assess_scenario(list: &Top500List, label: &str) -> ScenarioResults {
@@ -204,5 +231,33 @@ mod tests {
         let out = StudyPipeline::new(20, 1).run();
         assert_eq!(out.operational_interpolated.len(), 20);
         assert_eq!(out.full.len(), 20);
+    }
+
+    #[test]
+    fn stream_sweep_matches_in_memory_sweep_over_the_same_fleet() {
+        use crate::fleet::scenario_sweep;
+        use easyc::{MetricBit, MetricMask};
+        let pipeline = StudyPipeline::new(120, 11);
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let in_memory = scenario_sweep(
+            &generate_full(&pipeline.synthetic),
+            &matrix,
+            EasyCConfig::default(),
+        );
+        for rows in [17usize, 120, 4096] {
+            assert_eq!(
+                pipeline.stream_sweep(&matrix, rows),
+                in_memory,
+                "rows {rows}"
+            );
+        }
     }
 }

@@ -20,7 +20,7 @@ fn bench_model(c: &mut Criterion) {
         b.iter(|| tool.assess(std::hint::black_box(&one)))
     });
 
-    let mut group = c.benchmark_group("model/assess_list");
+    let mut group = c.benchmark_group("model/assess_fleet_session");
     for n in [100u32, 500, 2000, 10_000] {
         let big = generate_full(&SyntheticConfig {
             n,

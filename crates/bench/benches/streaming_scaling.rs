@@ -1,0 +1,152 @@
+//! Streaming ingestion at fleet scale: the larger-than-memory proof and
+//! its scaling knobs.
+//!
+//! The headline run streams a **one-million-system** synthetic fleet
+//! through the incremental session under a two-scenario matrix without
+//! ever materializing it — peak fleet residency is asserted to be one
+//! chunk — and cross-checks the fold against the in-memory session on the
+//! synthetic 500 (bit-identity). Criterion groups then sweep chunk budget
+//! and worker count on a 100k-system fleet.
+
+use bench::{banner, BENCH_SEED};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use easyc::scenario::{DataScenario, MetricBit, MetricMask, ScenarioMatrix};
+use easyc::Assessment;
+use top500::stream::SyntheticChunks;
+use top500::synthetic::{generate_full, SyntheticConfig};
+
+fn matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new()
+        .with(DataScenario::full("full"))
+        .with(DataScenario::masked(
+            "no-power",
+            MetricMask::ALL
+                .without(MetricBit::PowerKw)
+                .without(MetricBit::AnnualEnergy),
+        ))
+}
+
+fn config(n: u32) -> SyntheticConfig {
+    SyntheticConfig {
+        n,
+        seed: BENCH_SEED,
+        ..Default::default()
+    }
+}
+
+/// Streams a 1M-system fleet once and asserts the memory model: exactly
+/// one chunk resident, results folded, nothing materialized.
+fn million_row_proof() {
+    const FLEET: u32 = 1_000_000;
+    const CHUNK: usize = 8_192;
+    let workers = parallel::default_workers();
+    let start = std::time::Instant::now();
+    let output = Assessment::stream(SyntheticChunks::new(config(FLEET), CHUNK))
+        .scenarios(&matrix())
+        .workers(workers)
+        .run()
+        .expect("synthetic source cannot fail");
+    let elapsed = start.elapsed();
+    assert_eq!(output.systems(), FLEET as usize);
+    assert_eq!(output.chunks(), (FLEET as usize).div_ceil(CHUNK));
+    assert!(
+        output.peak_chunk_rows() <= CHUNK,
+        "peak resident chunk {} exceeds the {CHUNK}-row budget",
+        output.peak_chunk_rows()
+    );
+    let full = output.slice("full").expect("scenario present");
+    assert_eq!(full.coverage.total, FLEET as usize);
+    assert!(full.operational_total_mt > 0.0);
+    println!(
+        "streamed {} systems x {} scenarios in {:.1}s ({} workers): \
+         {} chunks, peak residency {} rows (fleet never materialized)",
+        output.systems(),
+        output.len(),
+        elapsed.as_secs_f64(),
+        workers,
+        output.chunks(),
+        output.peak_chunk_rows()
+    );
+    println!(
+        "fleet totals: {:.2} M MT operational, {:.2} M MT embodied",
+        full.operational_total_mt / 1e6,
+        full.embodied_total_mt / 1e6
+    );
+
+    // Bit-identity spot check against the in-memory session (synthetic
+    // 500) — the same pin tests/streaming.rs enforces, kept here so a
+    // release bench run self-verifies.
+    let list = generate_full(&config(500));
+    let session = Assessment::of(&list).scenarios(&matrix()).run();
+    let streamed = Assessment::stream(SyntheticChunks::new(config(500), 64))
+        .scenarios(&matrix())
+        .run()
+        .unwrap();
+    for (s, m) in streamed.slices().iter().zip(session.slices()) {
+        let op: f64 = m
+            .footprints
+            .iter()
+            .filter_map(|f| f.operational.as_ref().ok().map(|o| o.mt_co2e))
+            .fold(0.0, |acc, v| acc + v);
+        assert_eq!(s.coverage, m.coverage, "streamed coverage drifted");
+        assert_eq!(s.operational_total_mt, op, "streamed totals drifted");
+    }
+    println!("bit-identity vs in-memory session on the synthetic 500: OK");
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    banner(
+        "Streaming ingestion",
+        "larger-than-memory sweeps: chunked synthetic fleets through the incremental session",
+    );
+    million_row_proof();
+
+    const BENCH_FLEET: u32 = 100_000;
+    let workers = parallel::default_workers();
+    let m = matrix();
+
+    // Chunk-budget sweep: how much chunking overhead does bounded memory
+    // cost at a fixed worker count?
+    let mut group = c.benchmark_group("streaming/sweep_100k_by_chunk_rows");
+    group.throughput(Throughput::Elements(2 * u64::from(BENCH_FLEET)));
+    for chunk_rows in [1_024usize, 8_192, 65_536] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chunk_rows),
+            &chunk_rows,
+            |b, &rows| {
+                b.iter(|| {
+                    Assessment::stream(SyntheticChunks::new(config(BENCH_FLEET), rows))
+                        .scenarios(std::hint::black_box(&m))
+                        .workers(workers)
+                        .run()
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Worker sweep at a fixed chunk budget: the per-chunk (scenario ×
+    // sub-chunk) plan must keep the pool busy.
+    let mut group = c.benchmark_group("streaming/sweep_100k_by_workers");
+    group.throughput(Throughput::Elements(2 * u64::from(BENCH_FLEET)));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                Assessment::stream(SyntheticChunks::new(config(BENCH_FLEET), 8_192))
+                    .scenarios(std::hint::black_box(&m))
+                    .workers(w)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_streaming
+}
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Staged batch assessment machinery and the legacy `BatchEngine` shims.
+//! Staged batch assessment machinery behind the session.
 //!
 //! The stages run the model over a shared [`AssessmentContext`]:
 //!
@@ -13,22 +13,23 @@
 //! Scenario masks are applied through the zero-copy
 //! [`FleetView`]/[`SystemView`] lens layer (`crate::view`) — no record is
 //! cloned per scenario — and every stage is bit-identical to the serial
-//! per-system path ([`EasyC::assess`]) for any worker count: all paths call
-//! `assess_view` on the same views in the same order.
+//! per-system path ([`crate::estimator::EasyC::assess`]) for any worker
+//! count: all paths call `assess_view` on the same views in the same
+//! order.
 //!
-//! List- and matrix-scale assessment now lives in the unified
-//! [`Assessment`] session, which interleaves
-//! (scenario × chunk) work items on one pool; [`BatchEngine`] remains as a
-//! deprecated thin shim over it so existing call sites keep compiling.
+//! List- and matrix-scale assessment lives in the unified
+//! [`crate::session::Assessment`] session, which interleaves
+//! (scenario × chunk) work items on one pool. (The deprecated
+//! `BatchEngine` shim that used to wrap it has been retired; its pinned
+//! behaviours moved onto the session tests directly.)
 //!
 //! Results are also available columnar ([`BatchOutput::to_frame`]) for the
 //! `frame` group-by/CSV machinery.
 
 use crate::coverage::CoverageReport;
-use crate::estimator::{EasyC, EasyCConfig, SystemFootprint};
+use crate::estimator::SystemFootprint;
 use crate::metrics::SevenMetrics;
-use crate::scenario::{DataScenario, OverrideSet, ScenarioMatrix};
-use crate::session::Assessment;
+use crate::scenario::{DataScenario, OverrideSet};
 use crate::view::{FleetView, SystemView};
 use crate::{embodied, operational};
 use frame::{Column, DataFrame};
@@ -265,125 +266,12 @@ impl BatchOutput {
     }
 }
 
-/// The staged batch assessment engine.
-///
-/// **Deprecated**: superseded by the unified [`Assessment`] session, which
-/// plans
-/// (scenario × chunk) work once and interleaves it on a single pool. Every
-/// method below is a thin shim over a session and stays bit-identical to
-/// its historical output.
-#[derive(Debug, Clone, Default)]
-pub struct BatchEngine {
-    config: EasyCConfig,
-}
-
-impl BatchEngine {
-    /// Engine with default configuration.
-    pub fn new() -> BatchEngine {
-        BatchEngine::default()
-    }
-
-    /// Engine with a custom configuration.
-    pub fn with_config(config: EasyCConfig) -> BatchEngine {
-        BatchEngine { config }
-    }
-
-    /// Engine matching an [`EasyC`] facade's configuration.
-    pub fn from_tool(tool: &EasyC) -> BatchEngine {
-        BatchEngine {
-            config: *tool.config(),
-        }
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> &EasyCConfig {
-        &self.config
-    }
-
-    /// Builds the shared context (runs [`MetricsStage`]).
-    pub fn context<'a>(&self, list: &'a Top500List) -> AssessmentContext<'a> {
-        AssessmentContext::new(list, self.config.workers)
-    }
-
-    /// The scenario implied by this configuration's overrides (full mask;
-    /// the config-level PUE/utilisation overrides, which the serial facade
-    /// applies too).
-    pub fn config_scenario(&self) -> DataScenario {
-        DataScenario::full("default").with_overrides(self.config.overrides())
-    }
-
-    /// Assesses the whole context under one scenario. Scenario overrides
-    /// take precedence over configuration overrides (matching
-    /// [`EasyC::assess_scenario`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use easyc::Assessment::over(ctx).scenario(...).run() instead"
-    )]
-    pub fn assess(
-        &self,
-        ctx: &AssessmentContext<'_>,
-        scenario: &DataScenario,
-    ) -> Vec<SystemFootprint> {
-        Assessment::over(ctx)
-            .config(self.config)
-            .scenario(scenario.clone())
-            .run()
-            .into_footprints()
-    }
-
-    /// Assesses a list under the configuration's default scenario (the
-    /// staged replacement for the seed's per-system loop).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use easyc::Assessment::of(list).run() instead"
-    )]
-    pub fn assess_list(&self, list: &Top500List) -> Vec<SystemFootprint> {
-        Assessment::of(list)
-            .config(self.config)
-            .run()
-            .into_footprints()
-    }
-
-    /// Assesses a list under every scenario of a matrix in one pass,
-    /// sharing the extraction stage across scenarios.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use easyc::Assessment::of(list).scenarios(matrix).run() instead"
-    )]
-    pub fn assess_matrix(&self, list: &Top500List, matrix: &ScenarioMatrix) -> BatchOutput {
-        Assessment::of(list)
-            .config(self.config)
-            .scenarios(matrix)
-            .run()
-            .into_batch()
-    }
-
-    /// [`BatchEngine::assess_matrix`] over a pre-built context.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use easyc::Assessment::over(ctx).scenarios(matrix).run() instead"
-    )]
-    pub fn assess_matrix_ctx(
-        &self,
-        ctx: &AssessmentContext<'_>,
-        matrix: &ScenarioMatrix,
-    ) -> BatchOutput {
-        Assessment::over(ctx)
-            .config(self.config)
-            .scenarios(matrix)
-            .run()
-            .into_batch()
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    // The shims must stay bit-identical to their historical behaviour, so
-    // these tests exercise the deprecated surface on purpose.
-    #![allow(deprecated)]
-
     use super::*;
-    use crate::scenario::{MetricBit, MetricMask};
+    use crate::estimator::EasyC;
+    use crate::scenario::{MetricBit, MetricMask, ScenarioMatrix};
+    use crate::session::Assessment;
     use top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
     fn list() -> Top500List {
@@ -403,41 +291,19 @@ mod tests {
     }
 
     #[test]
-    fn batch_bit_identical_to_serial_across_workers() {
+    fn stages_bit_identical_to_serial_across_workers() {
         let list = list();
         let tool = EasyC::new();
         let serial: Vec<_> = list.systems().iter().map(|s| tool.assess(s)).collect();
+        let scenario = DataScenario::full("default");
         for workers in [1, 2, 3, 7, 16] {
-            let engine = BatchEngine::with_config(EasyCConfig {
-                workers,
-                ..Default::default()
-            });
-            assert_identical(&engine.assess_list(&list), &serial);
-        }
-    }
-
-    #[test]
-    fn masked_scenario_batch_matches_serial_scenario() {
-        let list = list();
-        let scenario = DataScenario::masked(
-            "no-power",
-            MetricMask::ALL
-                .without(MetricBit::PowerKw)
-                .without(MetricBit::AnnualEnergy),
-        );
-        let tool = EasyC::new();
-        let serial: Vec<_> = list
-            .systems()
-            .iter()
-            .map(|s| tool.assess_scenario(s, &scenario))
-            .collect();
-        for workers in [1, 4] {
-            let engine = BatchEngine::with_config(EasyCConfig {
-                workers,
-                ..Default::default()
-            });
-            let ctx = engine.context(&list);
-            assert_identical(&engine.assess(&ctx, &scenario), &serial);
+            let ctx = AssessmentContext::new(&list, workers);
+            let op = OperationalStage::run(&ctx, &scenario, workers);
+            let emb = EmbodiedStage::run(&ctx, &scenario, workers);
+            for ((s, o), e) in serial.iter().zip(&op).zip(&emb) {
+                assert_eq!(&s.operational, o, "workers {workers}");
+                assert_eq!(&s.embodied, e, "workers {workers}");
+            }
         }
     }
 
@@ -455,8 +321,7 @@ mod tests {
                         .without(MetricBit::Gpus)
                         .without(MetricBit::Cpus),
                 ));
-        let engine = BatchEngine::new();
-        let out = engine.assess_matrix(&masked, &matrix);
+        let out = Assessment::of(&masked).scenarios(&matrix).run();
         assert_eq!(out.slices().len(), 2);
         let full_slice = out.slice("full").unwrap();
         let degraded = out.slice("no-structure").unwrap();
@@ -471,14 +336,19 @@ mod tests {
     #[test]
     fn override_scenario_scales_inside_stages() {
         let list = list();
-        let engine = BatchEngine::new();
-        let ctx = engine.context(&list);
-        let base = engine.assess(&ctx, &DataScenario::full("base"));
+        let ctx = AssessmentContext::new(&list, parallel::default_workers());
+        let base = Assessment::over(&ctx)
+            .scenario(DataScenario::full("base"))
+            .run()
+            .into_footprints();
         let double_pue = DataScenario::full("pue2").with_overrides(OverrideSet {
             pue: Some(2.6),
             ..OverrideSet::NONE
         });
-        let overridden = engine.assess(&ctx, &double_pue);
+        let overridden = Assessment::over(&ctx)
+            .scenario(double_pue)
+            .run()
+            .into_footprints();
         for (b, o) in base.iter().zip(&overridden) {
             if let (Ok(b), Ok(o)) = (&b.operational, &o.operational) {
                 assert_eq!(o.pue, 2.6);
@@ -494,7 +364,7 @@ mod tests {
         let matrix = ScenarioMatrix::new()
             .with(DataScenario::full("a"))
             .with(DataScenario::full("b"));
-        let out = BatchEngine::new().assess_matrix(&list, &matrix);
+        let out = Assessment::of(&list).scenarios(&matrix).run();
         let df = out.to_frame();
         assert_eq!(df.len(), 2 * list.len());
         assert_eq!(df.width(), 9);
@@ -513,8 +383,7 @@ mod tests {
     fn coverage_from_footprints_matches_estimator_construction() {
         let full = list();
         let masked = mask_baseline(&full, &MaskRates::default(), 5);
-        let engine = BatchEngine::new();
-        let footprints = engine.assess_list(&masked);
+        let footprints = Assessment::of(&masked).run().into_footprints();
         let cov = CoverageReport::from_footprints(&footprints);
         assert_eq!(cov, crate::coverage::coverage(&masked));
     }
@@ -522,10 +391,15 @@ mod tests {
     #[test]
     fn context_is_reusable() {
         let list = list();
-        let engine = BatchEngine::new();
-        let ctx = engine.context(&list);
-        let a = engine.assess(&ctx, &DataScenario::full("x"));
-        let b = engine.assess(&ctx, &DataScenario::full("y"));
+        let ctx = AssessmentContext::new(&list, 4);
+        let a = Assessment::over(&ctx)
+            .scenario(DataScenario::full("x"))
+            .run()
+            .into_footprints();
+        let b = Assessment::over(&ctx)
+            .scenario(DataScenario::full("y"))
+            .run()
+            .into_footprints();
         assert_identical(&a, &b);
         assert_eq!(ctx.len(), list.len());
         assert!(!ctx.is_empty());

@@ -10,8 +10,6 @@ use crate::error::Result;
 use crate::metrics::SevenMetrics;
 use crate::operational::OperationalEstimate;
 use crate::scenario::{DataScenario, OverrideSet};
-use crate::session::Assessment;
-use top500::list::Top500List;
 use top500::record::SystemRecord;
 
 /// Tool configuration.
@@ -24,7 +22,7 @@ pub struct EasyCConfig {
     pub utilization_override: Option<f64>,
     /// System lifetime for annualising embodied carbon, years.
     pub lifetime_years: f64,
-    /// Worker threads used by [`EasyC::assess_list`].
+    /// Worker threads used by the [`crate::session::Assessment`] session.
     pub workers: usize,
 }
 
@@ -125,19 +123,6 @@ impl EasyC {
         assess_one(record, &metrics, &effective)
     }
 
-    /// Assesses a whole list through the unified session (deterministic
-    /// output order, bit-identical to serial [`EasyC::assess`] calls).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use easyc::Assessment::of(list).config(*tool.config()).run() instead"
-    )]
-    pub fn assess_list(&self, list: &Top500List) -> Vec<SystemFootprint> {
-        Assessment::of(list)
-            .config(self.config)
-            .run()
-            .into_footprints()
-    }
-
     /// Annualised embodied carbon of a footprint, MT CO2e/yr.
     pub fn annualized_embodied_mt(&self, footprint: &SystemFootprint) -> Option<f64> {
         footprint
@@ -152,14 +137,16 @@ mod tests {
     use top500::synthetic::{generate_full, SyntheticConfig};
 
     #[test]
-    fn assess_list_matches_serial() {
+    fn session_list_assessment_matches_serial() {
         let list = generate_full(&SyntheticConfig {
             n: 64,
             ..Default::default()
         });
         let tool = EasyC::new();
-        #[allow(deprecated)]
-        let par = tool.assess_list(&list);
+        let par = crate::session::Assessment::of(&list)
+            .config(*tool.config())
+            .run()
+            .into_footprints();
         let ser: Vec<_> = list.systems().iter().map(|s| tool.assess(s)).collect();
         assert_eq!(par.len(), ser.len());
         for (p, s) in par.iter().zip(&ser) {

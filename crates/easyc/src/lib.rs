@@ -46,11 +46,17 @@
 //! assert!(full.coverage.operational >= output.slice("no-power").unwrap().coverage.operational);
 //! ```
 //!
-//! Adding `.uncertainty(1000)` attaches a fleet-total operational
-//! [`uncertainty::Interval`] per scenario, computed on the same pool from
-//! the same footprints. Masks are applied through the zero-copy
+//! Adding `.uncertainty(1000)` attaches fleet-total operational and
+//! embodied [`uncertainty::Interval`]s per scenario, computed on the same
+//! pool from the same footprints. Masks are applied through the zero-copy
 //! [`FleetView`]/[`SystemView`] lens layer — a masked sweep performs zero
 //! per-record clones (pinned by tests).
+//!
+//! For fleets too large to hold in memory, [`Assessment::stream`] runs the
+//! same plan incrementally over any chunked
+//! [`top500::stream::FleetChunks`] source, folding per-chunk results into
+//! totals, coverage and intervals that are bit-identical to the in-memory
+//! session — see [`stream`].
 //!
 //! The module structure mirrors the paper, plus the execution layers:
 //!
@@ -65,8 +71,8 @@
 //! - [`view`] — the borrowed, field-level scenario lenses
 //!   ([`view::FleetView`], [`view::SystemView`]).
 //! - [`session`] — the unified [`session::Assessment`] builder/session.
-//! - [`batch`] — the staged context machinery and the deprecated
-//!   `BatchEngine` shims.
+//! - [`stream`] — the incremental (chunked, larger-than-memory) session.
+//! - [`batch`] — the staged context machinery behind the session.
 //! - [`estimator`] — the per-system facade, routed through the same code
 //!   path as the session.
 //! - [`uncertainty`] — Monte-Carlo bands; fleet-scale intervals are served
@@ -81,10 +87,11 @@ pub mod metrics;
 pub mod operational;
 pub mod scenario;
 pub mod session;
+pub mod stream;
 pub mod uncertainty;
 pub mod view;
 
-pub use batch::{AssessmentContext, BatchEngine, BatchOutput, ScenarioSlice};
+pub use batch::{AssessmentContext, BatchOutput, ScenarioSlice};
 pub use coverage::{coverage, CoverageReport, Scenario};
 pub use embodied::{EmbodiedBreakdown, EmbodiedEstimate};
 pub use error::{EasyCError, Result};
@@ -93,5 +100,6 @@ pub use metrics::SevenMetrics;
 pub use operational::{AciSource, OperationalEstimate, PowerPath};
 pub use scenario::{DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
 pub use session::{Assessment, AssessmentOutput};
+pub use stream::{StreamOutput, StreamSlice, StreamingAssessment};
 pub use uncertainty::{Interval, PriorUncertainty};
 pub use view::{FleetView, SystemView};

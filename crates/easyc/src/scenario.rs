@@ -14,8 +14,8 @@
 //!   hack.
 //! - [`DataScenario`]: a named `(mask, overrides)` pair.
 //! - [`ScenarioMatrix`]: an ordered collection of scenarios, assessable in
-//!   one batch pass by [`crate::batch::BatchEngine`], loadable from CSV for
-//!   the `sweep` CLI command.
+//!   one interleaved pass by [`crate::session::Assessment`], loadable from
+//!   CSV for the `sweep` CLI command.
 
 use crate::coverage::Scenario;
 use crate::metrics::SevenMetrics;

@@ -15,33 +15,45 @@
 //! ```
 //!
 //! `run()` builds one [`FleetView`] per scenario (zero record clones — the
-//! mask is a lens, not a copy), splits the list into contiguous chunks, and
-//! interleaves every **(scenario × chunk)** work item on a single
+//! mask is a lens, not a copy), splits the list into contiguous chunks of
+//! roughly `workers × items_per_worker` work items (default 4× the pool —
+//! fine enough that one slow chunk cannot idle the rest of the pool, see
+//! [`Assessment::items_per_worker`]), and interleaves every
+//! **(scenario × chunk)** work item on a single
 //! [`parallel::pool::ThreadPool`]: wide matrices no longer walk scenarios
 //! sequentially, so a slow scenario cannot leave workers idle while others
 //! wait. Output order is deterministic and bit-identical to the serial
-//! per-system path at any worker count — every item writes disjoint,
-//! pre-planned output slots and the per-record math is the shared
-//! [`crate::operational::estimate_view`] /
+//! per-system path at any worker count *and any chunk granularity* — every
+//! item writes disjoint, pre-planned output slots and the per-record math
+//! is the shared [`crate::operational::estimate_view`] /
 //! [`crate::embodied::estimate_view`] code path.
 //!
 //! With `uncertainty(draws)`, a third phase schedules (scenario ×
-//! draw-chunk) items on the same pool and attaches a fleet-total
-//! operational [`Interval`] per scenario, reproducing
-//! `uncertainty::scenario_intervals` bit-for-bit.
+//! draw-chunk) items on the same pool and attaches fleet-total
+//! *operational* **and** *embodied* [`Interval`]s per scenario, matching
+//! [`crate::uncertainty::fleet_operational_interval`] /
+//! [`crate::uncertainty::fleet_embodied_interval`] bit-for-bit.
+//!
+//! For fleets too large to hold, [`Assessment::stream`] runs the same
+//! plan incrementally over a chunked source — see [`crate::stream`].
 
 use crate::batch::{assess_view, AssessmentContext, BatchOutput, ScenarioSlice};
 use crate::coverage::CoverageReport;
+use crate::embodied::EmbodiedEstimate;
 use crate::estimator::{EasyCConfig, SystemFootprint};
 use crate::metrics::SevenMetrics;
 use crate::operational::OperationalEstimate;
 use crate::scenario::{DataScenario, ScenarioMatrix};
-use crate::uncertainty::{fleet_draw, Interval, PriorUncertainty, FLEET_SEED_MIX};
+use crate::stream::StreamingAssessment;
+use crate::uncertainty::{
+    fleet_draw, fleet_embodied_draw, Interval, PriorUncertainty, EMBODIED_SEED_MIX, FLEET_SEED_MIX,
+};
 use crate::view::FleetView;
 use frame::{stats, DataFrame};
 use parallel::pool::ThreadPool;
 use parallel::rng::RngStreams;
 use top500::list::Top500List;
+use top500::stream::FleetChunks;
 
 /// What the session assesses: a bare list (metrics extracted by the
 /// session itself, on the pool) or a pre-built context whose extraction is
@@ -63,7 +75,13 @@ pub struct Assessment<'a> {
     level: f64,
     seed: u64,
     priors: PriorUncertainty,
+    items_per_worker: usize,
 }
+
+/// Default work-item oversubscription: ~4 chunks per worker, so a skewed
+/// chunk (one giant system, a cache-cold stretch) stops one worker for a
+/// quarter of a share instead of idling the whole pool at the tail.
+pub(crate) const DEFAULT_ITEMS_PER_WORKER: usize = 4;
 
 impl<'a> Assessment<'a> {
     /// Session over a borrowed list.
@@ -76,7 +94,16 @@ impl<'a> Assessment<'a> {
             level: 0.95,
             seed: 0,
             priors: PriorUncertainty::default(),
+            items_per_worker: DEFAULT_ITEMS_PER_WORKER,
         }
+    }
+
+    /// Incremental session over a chunked fleet source — the
+    /// larger-than-memory mode. Per-chunk results fold into running
+    /// totals, coverage counts and fleet intervals without ever holding
+    /// the full fleet; see [`crate::stream`].
+    pub fn stream<S: FleetChunks>(source: S) -> StreamingAssessment<S> {
+        StreamingAssessment::new(source)
     }
 
     /// Session over a pre-built [`AssessmentContext`], reusing its metric
@@ -138,6 +165,16 @@ impl<'a> Assessment<'a> {
         self
     }
 
+    /// Work items planned per worker (default 4). The plan splits each
+    /// scenario's list into `workers × items_per_worker` contiguous chunks;
+    /// finer chunks interleave better on skewed lists, coarser chunks have
+    /// less dispatch overhead. Results are bit-identical at any granularity
+    /// — this is purely a scheduler knob (pinned by `tests/batch_matrix`).
+    pub fn items_per_worker(mut self, items: usize) -> Assessment<'a> {
+        self.items_per_worker = items.max(1);
+        self
+    }
+
     /// Plans and executes the session; see the [module docs](self).
     pub fn run(self) -> AssessmentOutput {
         let workers = self.config.workers.max(1);
@@ -147,22 +184,11 @@ impl<'a> Assessment<'a> {
         };
         // The scenarios as displayed (slice labels) and as computed
         // (scenario overrides win over configuration overrides, matching
-        // the legacy `BatchEngine::assess` semantics).
-        let display: Vec<DataScenario> = match &self.matrix {
-            Some(matrix) => matrix.scenarios().to_vec(),
-            None => vec![DataScenario::full("default")],
-        };
-        let effective: Vec<DataScenario> = display
-            .iter()
-            .map(|s| DataScenario {
-                name: s.name.clone(),
-                mask: s.mask,
-                overrides: s.overrides.or(self.config.overrides()),
-            })
-            .collect();
+        // the serial `EasyC::assess_scenario` semantics).
+        let (display, effective) = plan_scenarios(self.matrix.as_ref(), &self.config);
 
         let n = list.len();
-        let chunks = parallel::split_ranges(n, workers);
+        let chunks = parallel::split_ranges(n, workers * self.items_per_worker);
         // One pool for every phase; `None` runs the plan inline (workers=1
         // keeps the calling thread, so e.g. thread-local clone counters in
         // tests observe the whole execution).
@@ -248,24 +274,26 @@ impl<'a> Assessment<'a> {
             .collect();
 
         // Phase 3 — optional Monte-Carlo intervals, (scenario × draw-chunk)
-        // items on the same pool. Bases are the Ok operational estimates of
-        // phase 2, so no estimator runs twice.
-        let intervals = if self.draws > 0 {
+        // items on the same pool, operational and embodied interleaved
+        // together. Bases are the Ok estimates of phase 2, so no estimator
+        // runs twice.
+        let (intervals, embodied_intervals) = if self.draws > 0 {
             self.run_intervals(&slices, pool.as_ref())
         } else {
-            vec![None; slices.len()]
+            (vec![None; slices.len()], vec![None; slices.len()])
         };
 
-        AssessmentOutput::new(slices, intervals)
+        AssessmentOutput::new(slices, intervals, embodied_intervals)
     }
 
+    #[allow(clippy::type_complexity)]
     fn run_intervals(
         &self,
         slices: &[ScenarioSlice],
         pool: Option<&ThreadPool>,
-    ) -> Vec<Option<Interval>> {
+    ) -> (Vec<Option<Interval>>, Vec<Option<Interval>>) {
         let workers = self.config.workers.max(1);
-        let bases: Vec<Vec<OperationalEstimate>> = slices
+        let op_bases: Vec<Vec<OperationalEstimate>> = slices
             .iter()
             .map(|slice| {
                 slice
@@ -275,21 +303,31 @@ impl<'a> Assessment<'a> {
                     .collect()
             })
             .collect();
-        let streams = RngStreams::new(self.seed ^ FLEET_SEED_MIX);
-        let sample_chunks = parallel::split_ranges(self.draws, workers);
-        let mut draw_buffers: Vec<Vec<f64>> = bases
+        let emb_bases: Vec<Vec<EmbodiedEstimate>> = slices
             .iter()
-            .map(|b| {
-                if b.is_empty() {
-                    Vec::new()
-                } else {
-                    vec![0.0; self.draws]
-                }
+            .map(|slice| {
+                slice
+                    .footprints
+                    .iter()
+                    .filter_map(|f| f.embodied.as_ref().ok().cloned())
+                    .collect()
             })
             .collect();
+        let op_streams = RngStreams::new(self.seed ^ FLEET_SEED_MIX);
+        let emb_streams = RngStreams::new(self.seed ^ EMBODIED_SEED_MIX);
+        let sample_chunks = parallel::split_ranges(self.draws, workers * self.items_per_worker);
+        let alloc = |empty: bool| {
+            if empty {
+                Vec::new()
+            } else {
+                vec![0.0; self.draws]
+            }
+        };
+        let mut op_draws: Vec<Vec<f64>> = op_bases.iter().map(|b| alloc(b.is_empty())).collect();
+        let mut emb_draws: Vec<Vec<f64>> = emb_bases.iter().map(|b| alloc(b.is_empty())).collect();
         {
             let mut jobs: Vec<Job<'_>> = Vec::new();
-            for (scenario_bases, buffer) in bases.iter().zip(draw_buffers.iter_mut()) {
+            for (scenario_bases, buffer) in op_bases.iter().zip(op_draws.iter_mut()) {
                 if scenario_bases.is_empty() {
                     continue;
                 }
@@ -299,7 +337,7 @@ impl<'a> Assessment<'a> {
                     rest = tail;
                     let start = range.start;
                     let priors = self.priors;
-                    let streams = &streams;
+                    let streams = &op_streams;
                     jobs.push(Box::new(move || {
                         for (offset, slot) in chunk.iter_mut().enumerate() {
                             *slot = fleet_draw(scenario_bases, &priors, streams, start + offset);
@@ -307,12 +345,35 @@ impl<'a> Assessment<'a> {
                     }));
                 }
             }
+            for (scenario_bases, buffer) in emb_bases.iter().zip(emb_draws.iter_mut()) {
+                if scenario_bases.is_empty() {
+                    continue;
+                }
+                let mut rest = buffer.as_mut_slice();
+                for range in &sample_chunks {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let start = range.start;
+                    let priors = self.priors;
+                    let streams = &emb_streams;
+                    jobs.push(Box::new(move || {
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            *slot = fleet_embodied_draw(
+                                scenario_bases,
+                                &priors,
+                                streams,
+                                start + offset,
+                            );
+                        }
+                    }));
+                }
+            }
             execute(pool, jobs);
         }
         let alpha = (1.0 - self.level.clamp(0.0, 1.0)) / 2.0;
-        bases
+        let operational = op_bases
             .iter()
-            .zip(&draw_buffers)
+            .zip(&op_draws)
             .map(|(scenario_bases, draws)| {
                 if scenario_bases.is_empty() {
                     return None;
@@ -323,16 +384,54 @@ impl<'a> Assessment<'a> {
                     hi: stats::quantile(draws, 1.0 - alpha)?,
                 })
             })
-            .collect()
+            .collect();
+        let embodied = emb_bases
+            .iter()
+            .zip(&emb_draws)
+            .map(|(scenario_bases, draws)| {
+                if scenario_bases.is_empty() {
+                    return None;
+                }
+                Some(Interval {
+                    point: scenario_bases.iter().map(|b| b.mt_co2e).sum(),
+                    lo: stats::quantile(draws, alpha)?,
+                    hi: stats::quantile(draws, 1.0 - alpha)?,
+                })
+            })
+            .collect();
+        (operational, embodied)
     }
 }
 
-type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+/// Resolves the scenario matrix into (display, effective) scenario lists:
+/// `display` carries the slice labels verbatim, `effective` merges the
+/// configuration overrides underneath each scenario's own (scenario wins).
+/// Shared by the in-memory and streaming sessions.
+pub(crate) fn plan_scenarios(
+    matrix: Option<&ScenarioMatrix>,
+    config: &EasyCConfig,
+) -> (Vec<DataScenario>, Vec<DataScenario>) {
+    let display: Vec<DataScenario> = match matrix {
+        Some(matrix) => matrix.scenarios().to_vec(),
+        None => vec![DataScenario::full("default")],
+    };
+    let effective: Vec<DataScenario> = display
+        .iter()
+        .map(|s| DataScenario {
+            name: s.name.clone(),
+            mask: s.mask,
+            overrides: s.overrides.or(config.overrides()),
+        })
+        .collect();
+    (display, effective)
+}
+
+pub(crate) type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 
 /// Dispatches planned work items: interleaved on the pool when one exists,
 /// in plan order on the calling thread otherwise. Either way every item
 /// runs exactly once before this returns.
-fn execute<'env>(pool: Option<&ThreadPool>, jobs: Vec<Job<'env>>) {
+pub(crate) fn execute<'env>(pool: Option<&ThreadPool>, jobs: Vec<Job<'env>>) {
     match pool {
         Some(pool) => pool.scope(|scope| {
             for job in jobs {
@@ -348,20 +447,27 @@ fn execute<'env>(pool: Option<&ThreadPool>, jobs: Vec<Job<'env>>) {
 }
 
 /// Results of one [`Assessment::run`]: per-scenario slices (matrix order)
-/// with O(1) lookup by name, plus optional Monte-Carlo intervals. The
-/// slices and their name index live in an inner [`BatchOutput`], so both
-/// output types share one lookup policy (first occurrence wins).
+/// with O(1) lookup by name, plus optional Monte-Carlo intervals
+/// (operational and embodied). The slices and their name index live in an
+/// inner [`BatchOutput`], so both output types share one lookup policy
+/// (first occurrence wins).
 #[derive(Debug, Clone)]
 pub struct AssessmentOutput {
     batch: BatchOutput,
     intervals: Vec<Option<Interval>>,
+    embodied_intervals: Vec<Option<Interval>>,
 }
 
 impl AssessmentOutput {
-    fn new(slices: Vec<ScenarioSlice>, intervals: Vec<Option<Interval>>) -> AssessmentOutput {
+    fn new(
+        slices: Vec<ScenarioSlice>,
+        intervals: Vec<Option<Interval>>,
+        embodied_intervals: Vec<Option<Interval>>,
+    ) -> AssessmentOutput {
         AssessmentOutput {
             batch: BatchOutput::new(slices),
             intervals,
+            embodied_intervals,
         }
     }
 
@@ -397,9 +503,23 @@ impl AssessmentOutput {
         &self.intervals
     }
 
-    /// Interval of one scenario by name — O(1).
+    /// Per-scenario fleet-total *embodied* intervals, matrix order (`None`
+    /// entries when `uncertainty` was not requested or a scenario covered
+    /// nothing).
+    pub fn embodied_intervals(&self) -> &[Option<Interval>] {
+        &self.embodied_intervals
+    }
+
+    /// Operational interval of one scenario by name — O(1).
     pub fn interval(&self, name: &str) -> Option<Interval> {
         self.batch.index_of(name).and_then(|i| self.intervals[i])
+    }
+
+    /// Embodied interval of one scenario by name — O(1).
+    pub fn embodied_interval(&self, name: &str) -> Option<Interval> {
+        self.batch
+            .index_of(name)
+            .and_then(|i| self.embodied_intervals[i])
     }
 
     /// Columnar layout of every (scenario, system) result — see
@@ -408,14 +528,14 @@ impl AssessmentOutput {
         self.batch.to_frame()
     }
 
-    /// Converts into the legacy [`BatchOutput`] (used by the deprecated
-    /// `BatchEngine` shims).
+    /// Converts into the slice-level [`BatchOutput`] (dropping the
+    /// intervals).
     pub fn into_batch(self) -> BatchOutput {
         self.batch
     }
 
     /// Consumes the output, returning the first scenario's footprints —
-    /// the single-scenario convenience behind the `assess_list` shims.
+    /// the single-scenario convenience.
     pub fn into_footprints(self) -> Vec<SystemFootprint> {
         self.batch.into_first_footprints()
     }
@@ -558,8 +678,11 @@ mod tests {
         let a = run(1);
         let b = run(8);
         assert_eq!(a.intervals(), b.intervals());
+        assert_eq!(a.embodied_intervals(), b.embodied_intervals());
         let iv = a.interval("full").unwrap();
         assert!(iv.lo < iv.point && iv.point < iv.hi * 1.2);
+        let emb = a.embodied_interval("full").unwrap();
+        assert!(emb.lo < emb.point && emb.point < emb.hi * 1.2);
     }
 
     #[test]
@@ -568,7 +691,9 @@ mod tests {
         let out = Assessment::of(&list).scenarios(&matrix()).run();
         assert_eq!(out.intervals().len(), 3);
         assert!(out.intervals().iter().all(Option::is_none));
+        assert!(out.embodied_intervals().iter().all(Option::is_none));
         assert!(out.interval("full").is_none());
+        assert!(out.embodied_interval("full").is_none());
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! Incremental assessment over a chunked fleet source — the
+//! larger-than-memory mode of the [`Assessment`](crate::Assessment)
+//! session.
+//!
+//! ```text
+//! Assessment::stream(source)       any top500::stream::FleetChunks
+//!     .scenarios(&matrix)          same builder surface as the in-memory
+//!     .workers(8)                  session
+//!     .uncertainty(1000)
+//!     .run()?                      -> StreamOutput (folded, no fleet held)
+//! ```
+//!
+//! Each pulled chunk runs the exact in-memory plan at chunk scale —
+//! metric extraction, then interleaved (scenario × sub-chunk) assessment
+//! items on one pool, then (scenario × draw-chunk) Monte-Carlo items —
+//! and is folded into running per-scenario accumulators before the next
+//! chunk is pulled. At any instant the session holds **one** fleet chunk
+//! (plus per-scenario draw buffers of `draws` floats), so peak memory is
+//! set by the source's chunk budget, not the fleet size;
+//! [`StreamOutput::peak_chunk_rows`] reports the high-water mark so callers
+//! (and the streaming bench) can assert the bound.
+//!
+//! # Bit-identity with the in-memory session
+//!
+//! The fold is engineered to be *bit-identical* to running the in-memory
+//! session over the concatenation of all chunks (pinned by
+//! `tests/streaming.rs` and proptests):
+//!
+//! - per-record math is the same `assess_view` code path over the same
+//!   [`FleetView`] lenses;
+//! - totals accumulate footprint-by-footprint in rank order — the same
+//!   left fold `Iterator::sum` performs;
+//! - Monte-Carlo draws accumulate term-by-term into persistent per-sample
+//!   buffers using the kernels shared with `uncertainty::fleet_draw` /
+//!   `fleet_embodied_draw`, with each system addressed by its *global*
+//!   index among the scenario's estimable systems, so RNG streams and
+//!   addition order match the in-memory draws exactly.
+
+use crate::batch::assess_view;
+use crate::coverage::CoverageReport;
+use crate::embodied::EmbodiedEstimate;
+use crate::estimator::{EasyCConfig, SystemFootprint};
+use crate::metrics::SevenMetrics;
+use crate::operational::OperationalEstimate;
+use crate::scenario::{DataScenario, ScenarioMatrix};
+use crate::session::{execute, plan_scenarios, Job, DEFAULT_ITEMS_PER_WORKER};
+use crate::uncertainty::{
+    embodied_factors, embodied_term, fleet_factors, fleet_term, Interval, PriorUncertainty,
+    EMBODIED_SEED_MIX, FLEET_SEED_MIX,
+};
+use crate::view::FleetView;
+use frame::stats;
+use parallel::pool::ThreadPool;
+use parallel::rng::RngStreams;
+use std::collections::HashMap;
+use top500::stream::FleetChunks;
+
+/// Builder/session for an incremental, pool-executed fleet assessment
+/// over a chunked source. Construct with
+/// [`Assessment::stream`](crate::Assessment::stream); the builder surface
+/// mirrors the in-memory session.
+pub struct StreamingAssessment<S> {
+    source: S,
+    config: EasyCConfig,
+    matrix: Option<ScenarioMatrix>,
+    draws: usize,
+    level: f64,
+    seed: u64,
+    priors: PriorUncertainty,
+    items_per_worker: usize,
+}
+
+impl<S: FleetChunks> StreamingAssessment<S> {
+    pub(crate) fn new(source: S) -> StreamingAssessment<S> {
+        StreamingAssessment {
+            source,
+            config: EasyCConfig::default(),
+            matrix: None,
+            draws: 0,
+            level: 0.95,
+            seed: 0,
+            priors: PriorUncertainty::default(),
+            items_per_worker: DEFAULT_ITEMS_PER_WORKER,
+        }
+    }
+
+    /// Replaces the whole configuration (priors, lifetime, workers).
+    pub fn config(mut self, config: EasyCConfig) -> StreamingAssessment<S> {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker-pool size for this session.
+    pub fn workers(mut self, workers: usize) -> StreamingAssessment<S> {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Assesses one explicit scenario (replacing the default
+    /// configuration-implied scenario or any previous matrix).
+    pub fn scenario(mut self, scenario: DataScenario) -> StreamingAssessment<S> {
+        self.matrix = Some(ScenarioMatrix::from_scenarios(vec![scenario]));
+        self
+    }
+
+    /// Assesses a whole scenario matrix in one interleaved pass per chunk.
+    pub fn scenarios(mut self, matrix: &ScenarioMatrix) -> StreamingAssessment<S> {
+        self.matrix = Some(matrix.clone());
+        self
+    }
+
+    /// Requests Monte-Carlo fleet-total intervals (operational and
+    /// embodied) with this many draws per scenario (0 = skip, the
+    /// default).
+    pub fn uncertainty(mut self, draws: usize) -> StreamingAssessment<S> {
+        self.draws = draws;
+        self
+    }
+
+    /// Confidence level of the intervals (default 0.95).
+    pub fn confidence(mut self, level: f64) -> StreamingAssessment<S> {
+        self.level = level;
+        self
+    }
+
+    /// RNG seed for the Monte-Carlo draws (default 0). Results are
+    /// reproducible and independent of worker count and chunking for a
+    /// given seed.
+    pub fn seed(mut self, seed: u64) -> StreamingAssessment<S> {
+        self.seed = seed;
+        self
+    }
+
+    /// Prior uncertainty widths used by the Monte-Carlo draws.
+    pub fn priors(mut self, priors: PriorUncertainty) -> StreamingAssessment<S> {
+        self.priors = priors;
+        self
+    }
+
+    /// Work items planned per worker within each chunk (default 4) — the
+    /// same scheduler knob as
+    /// [`Assessment::items_per_worker`](crate::Assessment::items_per_worker).
+    pub fn items_per_worker(mut self, items: usize) -> StreamingAssessment<S> {
+        self.items_per_worker = items.max(1);
+        self
+    }
+
+    /// Pulls every chunk from the source, folds it, and returns the
+    /// per-scenario roll-up. Stops at the source's first error.
+    pub fn run(mut self) -> Result<StreamOutput, S::Error> {
+        let workers = self.config.workers.max(1);
+        let granularity = workers * self.items_per_worker;
+        let (display, effective) = plan_scenarios(self.matrix.as_ref(), &self.config);
+        let pool = (workers > 1).then(|| ThreadPool::new(workers));
+        let op_streams = RngStreams::new(self.seed ^ FLEET_SEED_MIX);
+        let emb_streams = RngStreams::new(self.seed ^ EMBODIED_SEED_MIX);
+        let sample_chunks = parallel::split_ranges(self.draws, granularity);
+
+        let mut folds: Vec<Fold> = effective.iter().map(|_| Fold::new(self.draws)).collect();
+        let mut chunks = 0usize;
+        let mut systems = 0usize;
+        let mut peak_chunk_rows = 0usize;
+
+        while let Some(next) = self.source.next_chunk() {
+            let list = next?;
+            chunks += 1;
+            systems += list.len();
+            peak_chunk_rows = peak_chunk_rows.max(list.len());
+            if list.is_empty() {
+                continue;
+            }
+            let n = list.len();
+            let ranges = parallel::split_ranges(n, granularity);
+
+            // Phase 1 — metric extraction for this chunk, on the pool.
+            let mut slots: Vec<Option<SevenMetrics>> = Vec::with_capacity(n);
+            slots.resize_with(n, || None);
+            {
+                let mut jobs: Vec<Job<'_>> = Vec::with_capacity(ranges.len());
+                let mut rest = slots.as_mut_slice();
+                for range in &ranges {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let records = &list.systems()[range.clone()];
+                    jobs.push(Box::new(move || {
+                        for (slot, record) in chunk.iter_mut().zip(records) {
+                            *slot = Some(SevenMetrics::extract(record));
+                        }
+                    }));
+                }
+                execute(pool.as_ref(), jobs);
+            }
+            let metrics: Vec<SevenMetrics> = slots
+                .into_iter()
+                .map(|m| m.expect("every extraction chunk ran"))
+                .collect();
+
+            // Phase 2 — interleaved (scenario × sub-chunk) assessment of
+            // this chunk, identical to the in-memory plan at chunk scale.
+            let mut outputs: Vec<Vec<Option<SystemFootprint>>> = effective
+                .iter()
+                .map(|_| {
+                    let mut v = Vec::with_capacity(n);
+                    v.resize_with(n, || None);
+                    v
+                })
+                .collect();
+            {
+                let mut jobs: Vec<Job<'_>> = Vec::with_capacity(effective.len() * ranges.len());
+                for (scenario, out) in effective.iter().zip(outputs.iter_mut()) {
+                    let view = FleetView::new(&list, &metrics, scenario);
+                    let mut rest = out.as_mut_slice();
+                    for range in &ranges {
+                        let (chunk, tail) = rest.split_at_mut(range.len());
+                        rest = tail;
+                        let start = range.start;
+                        jobs.push(Box::new(move || {
+                            let overrides = view.overrides();
+                            for (offset, slot) in chunk.iter_mut().enumerate() {
+                                let sys = view.system(start + offset);
+                                *slot = Some(assess_view(&sys, &overrides));
+                            }
+                        }));
+                    }
+                }
+                execute(pool.as_ref(), jobs);
+            }
+
+            // Fold — sequential and in rank order, so every running total
+            // repeats the exact left-fold the in-memory path performs.
+            let mut op_chunks: Vec<(usize, Vec<OperationalEstimate>)> =
+                Vec::with_capacity(effective.len());
+            let mut emb_chunks: Vec<Vec<EmbodiedEstimate>> = Vec::with_capacity(effective.len());
+            for (fold, out) in folds.iter_mut().zip(outputs) {
+                let op_offset = fold.ok_op;
+                let mut op_bases = Vec::new();
+                let mut emb_bases = Vec::new();
+                for fp in out {
+                    let fp = fp.expect("every assessment chunk ran");
+                    fold.total += 1;
+                    if let Ok(op) = fp.operational {
+                        fold.op_covered += 1;
+                        fold.op_total += op.mt_co2e;
+                        if self.draws > 0 {
+                            op_bases.push(op);
+                        }
+                    }
+                    if let Ok(emb) = fp.embodied {
+                        fold.emb_covered += 1;
+                        fold.emb_total += emb.mt_co2e;
+                        if self.draws > 0 {
+                            emb_bases.push(emb);
+                        }
+                    }
+                }
+                fold.ok_op += op_bases.len();
+                fold.ok_emb += emb_bases.len();
+                op_chunks.push((op_offset, op_bases));
+                emb_chunks.push(emb_bases);
+            }
+
+            // Phase 3 — accumulate this chunk's Monte-Carlo terms into the
+            // persistent draw buffers, (scenario × draw-chunk) items on
+            // the same pool. Each item owns a disjoint sample range.
+            if self.draws > 0 {
+                let mut jobs: Vec<Job<'_>> = Vec::new();
+                for (fold, ((op_offset, op_bases), emb_bases)) in folds
+                    .iter_mut()
+                    .zip(op_chunks.iter().zip(emb_chunks.iter()))
+                {
+                    let Fold {
+                        op_draws,
+                        emb_draws,
+                        ..
+                    } = fold;
+                    if !op_bases.is_empty() {
+                        let mut rest = op_draws.as_mut_slice();
+                        for range in &sample_chunks {
+                            let (chunk, tail) = rest.split_at_mut(range.len());
+                            rest = tail;
+                            let start = range.start;
+                            let priors = self.priors;
+                            let streams = &op_streams;
+                            let offset = *op_offset;
+                            jobs.push(Box::new(move || {
+                                for (k, slot) in chunk.iter_mut().enumerate() {
+                                    let sample = start + k;
+                                    let factors = fleet_factors(streams, &priors, sample);
+                                    for (j, base) in op_bases.iter().enumerate() {
+                                        *slot +=
+                                            fleet_term(base, &factors, streams, sample, offset + j);
+                                    }
+                                }
+                            }));
+                        }
+                    }
+                    if !emb_bases.is_empty() {
+                        let mut rest = emb_draws.as_mut_slice();
+                        for range in &sample_chunks {
+                            let (chunk, tail) = rest.split_at_mut(range.len());
+                            rest = tail;
+                            let start = range.start;
+                            let priors = self.priors;
+                            let streams = &emb_streams;
+                            jobs.push(Box::new(move || {
+                                for (k, slot) in chunk.iter_mut().enumerate() {
+                                    let factors = embodied_factors(streams, &priors, start + k);
+                                    for base in emb_bases {
+                                        *slot += embodied_term(base, &factors);
+                                    }
+                                }
+                            }));
+                        }
+                    }
+                }
+                execute(pool.as_ref(), jobs);
+            }
+            // `list`, `metrics` and the chunk bases drop here — nothing of
+            // the chunk survives into the next pull.
+        }
+
+        let alpha = (1.0 - self.level.clamp(0.0, 1.0)) / 2.0;
+        let slices: Vec<StreamSlice> = display
+            .into_iter()
+            .zip(folds)
+            .map(|(scenario, fold)| fold.into_slice(scenario, self.draws, alpha))
+            .collect();
+        Ok(StreamOutput::new(slices, chunks, systems, peak_chunk_rows))
+    }
+}
+
+/// Per-scenario running accumulator of the streaming fold.
+struct Fold {
+    total: usize,
+    op_covered: usize,
+    emb_covered: usize,
+    op_total: f64,
+    emb_total: f64,
+    /// Estimable systems seen so far — the global base-index offsets the
+    /// Monte-Carlo terms are addressed by.
+    ok_op: usize,
+    ok_emb: usize,
+    op_draws: Vec<f64>,
+    emb_draws: Vec<f64>,
+}
+
+impl Fold {
+    fn new(draws: usize) -> Fold {
+        Fold {
+            total: 0,
+            op_covered: 0,
+            emb_covered: 0,
+            op_total: 0.0,
+            emb_total: 0.0,
+            ok_op: 0,
+            ok_emb: 0,
+            op_draws: vec![0.0; draws],
+            emb_draws: vec![0.0; draws],
+        }
+    }
+
+    fn into_slice(self, scenario: DataScenario, draws: usize, alpha: f64) -> StreamSlice {
+        let interval_of = |covered: usize, point: f64, buffer: &[f64]| {
+            if draws == 0 || covered == 0 {
+                return None;
+            }
+            Some(Interval {
+                point,
+                lo: stats::quantile(buffer, alpha)?,
+                hi: stats::quantile(buffer, 1.0 - alpha)?,
+            })
+        };
+        let interval = interval_of(self.ok_op, self.op_total, &self.op_draws);
+        let embodied_interval = interval_of(self.ok_emb, self.emb_total, &self.emb_draws);
+        StreamSlice {
+            scenario,
+            coverage: CoverageReport {
+                operational: self.op_covered,
+                embodied: self.emb_covered,
+                total: self.total,
+            },
+            operational_total_mt: self.op_total,
+            embodied_total_mt: self.emb_total,
+            interval,
+            embodied_interval,
+        }
+    }
+}
+
+/// One scenario's folded roll-up from a streaming session: coverage
+/// counts, fleet totals, and optional Monte-Carlo fleet intervals — all
+/// bit-identical to what the in-memory session would report over the same
+/// systems, without the per-system footprints.
+#[derive(Debug, Clone)]
+pub struct StreamSlice {
+    /// The scenario that produced this slice (display form, as labelled in
+    /// the matrix).
+    pub scenario: DataScenario,
+    /// Coverage counts under the scenario.
+    pub coverage: CoverageReport,
+    /// Fleet-total operational carbon over covered systems, MT CO2e/yr.
+    pub operational_total_mt: f64,
+    /// Fleet-total embodied carbon over covered systems, MT CO2e.
+    pub embodied_total_mt: f64,
+    /// Fleet-total operational interval (`None` without `uncertainty` or
+    /// when nothing was estimable).
+    pub interval: Option<Interval>,
+    /// Fleet-total embodied interval.
+    pub embodied_interval: Option<Interval>,
+}
+
+/// Results of one [`StreamingAssessment::run`]: per-scenario folded
+/// slices (matrix order, O(1) lookup by name — first occurrence wins, the
+/// same policy as the in-memory output) plus ingestion statistics.
+#[derive(Debug, Clone)]
+pub struct StreamOutput {
+    slices: Vec<StreamSlice>,
+    index: HashMap<String, usize>,
+    chunks: usize,
+    systems: usize,
+    peak_chunk_rows: usize,
+}
+
+impl StreamOutput {
+    fn new(
+        slices: Vec<StreamSlice>,
+        chunks: usize,
+        systems: usize,
+        peak_chunk_rows: usize,
+    ) -> StreamOutput {
+        let mut index = HashMap::with_capacity(slices.len());
+        for (i, slice) in slices.iter().enumerate() {
+            index.entry(slice.scenario.name.clone()).or_insert(i);
+        }
+        StreamOutput {
+            slices,
+            index,
+            chunks,
+            systems,
+            peak_chunk_rows,
+        }
+    }
+
+    /// All slices, matrix order.
+    pub fn slices(&self) -> &[StreamSlice] {
+        &self.slices
+    }
+
+    /// Number of scenarios assessed.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// True when nothing was assessed (empty matrix).
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Slice by scenario name — O(1).
+    pub fn slice(&self, name: &str) -> Option<&StreamSlice> {
+        self.index.get(name).map(|i| &self.slices[*i])
+    }
+
+    /// Chunks pulled from the source.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Systems assessed across all chunks.
+    pub fn systems(&self) -> usize {
+        self.systems
+    }
+
+    /// Largest single chunk pulled — the session's fleet-memory high-water
+    /// mark, since exactly one chunk is resident at a time.
+    pub fn peak_chunk_rows(&self) -> usize {
+        self.peak_chunk_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{MetricBit, MetricMask};
+    use crate::session::Assessment;
+    use top500::stream::{InMemoryChunks, SyntheticChunks};
+    use top500::synthetic::{generate_full, SyntheticConfig};
+    use top500::Top500List;
+
+    fn list(n: u32) -> Top500List {
+        generate_full(&SyntheticConfig {
+            n,
+            ..Default::default()
+        })
+    }
+
+    fn matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked(
+                "no-power",
+                MetricMask::ALL
+                    .without(MetricBit::PowerKw)
+                    .without(MetricBit::AnnualEnergy),
+            ))
+    }
+
+    /// Folds an in-memory output the way the stream does, for comparison.
+    fn fold_in_memory(output: &crate::session::AssessmentOutput) -> Vec<(usize, usize, f64, f64)> {
+        output
+            .slices()
+            .iter()
+            .map(|slice| {
+                let mut op = 0.0;
+                let mut emb = 0.0;
+                for fp in &slice.footprints {
+                    if let Ok(o) = &fp.operational {
+                        op += o.mt_co2e;
+                    }
+                    if let Ok(e) = &fp.embodied {
+                        emb += e.mt_co2e;
+                    }
+                }
+                (slice.coverage.operational, slice.coverage.embodied, op, emb)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_fold_bit_identical_to_in_memory_session() {
+        let list = list(90);
+        let in_memory = Assessment::of(&list)
+            .scenarios(&matrix())
+            .uncertainty(80)
+            .confidence(0.9)
+            .seed(11)
+            .run();
+        let expected = fold_in_memory(&in_memory);
+        for chunk_rows in [1usize, 7, 33, 90, 512] {
+            let streamed = Assessment::stream(InMemoryChunks::new(&list, chunk_rows))
+                .scenarios(&matrix())
+                .uncertainty(80)
+                .confidence(0.9)
+                .seed(11)
+                .run()
+                .unwrap();
+            assert_eq!(streamed.systems(), 90);
+            assert!(streamed.peak_chunk_rows() <= chunk_rows.max(1));
+            for (slice, (op_cov, emb_cov, op, emb)) in streamed.slices().iter().zip(&expected) {
+                assert_eq!(slice.coverage.operational, *op_cov, "rows {chunk_rows}");
+                assert_eq!(slice.coverage.embodied, *emb_cov, "rows {chunk_rows}");
+                assert_eq!(slice.operational_total_mt, *op, "rows {chunk_rows}");
+                assert_eq!(slice.embodied_total_mt, *emb, "rows {chunk_rows}");
+                let name = slice.scenario.name.as_str();
+                assert_eq!(
+                    slice.interval,
+                    in_memory.interval(name),
+                    "rows {chunk_rows}"
+                );
+                assert_eq!(
+                    slice.embodied_interval,
+                    in_memory.embodied_interval(name),
+                    "rows {chunk_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_results_independent_of_workers_and_granularity() {
+        let list = list(60);
+        let run = |workers, items| {
+            Assessment::stream(InMemoryChunks::new(&list, 13))
+                .scenarios(&matrix())
+                .workers(workers)
+                .items_per_worker(items)
+                .uncertainty(50)
+                .seed(3)
+                .run()
+                .unwrap()
+        };
+        let reference = run(1, 1);
+        for (workers, items) in [(2, 1), (4, 4), (8, 2)] {
+            let got = run(workers, items);
+            for (a, b) in reference.slices().iter().zip(got.slices()) {
+                assert_eq!(a.operational_total_mt, b.operational_total_mt);
+                assert_eq!(a.embodied_total_mt, b.embodied_total_mt);
+                assert_eq!(a.interval, b.interval, "workers {workers} items {items}");
+                assert_eq!(a.embodied_interval, b.embodied_interval);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_source_streams_without_materializing() {
+        let config = SyntheticConfig {
+            n: 200,
+            ..Default::default()
+        };
+        let streamed = Assessment::stream(SyntheticChunks::new(config, 32))
+            .scenarios(&matrix())
+            .run()
+            .unwrap();
+        assert_eq!(streamed.systems(), 200);
+        assert_eq!(streamed.chunks(), 7);
+        assert_eq!(streamed.peak_chunk_rows(), 32);
+        let in_memory = Assessment::of(&generate_full(&config))
+            .scenarios(&matrix())
+            .run();
+        for (slice, (op_cov, emb_cov, op, emb)) in
+            streamed.slices().iter().zip(fold_in_memory(&in_memory))
+        {
+            assert_eq!(slice.coverage.operational, op_cov);
+            assert_eq!(slice.coverage.embodied, emb_cov);
+            assert_eq!(slice.operational_total_mt, op);
+            assert_eq!(slice.embodied_total_mt, emb);
+        }
+    }
+
+    #[test]
+    fn empty_source_yields_zeroed_slices() {
+        let list = list(1);
+        let mut empty = InMemoryChunks::new(&list, 8);
+        let _ = top500::stream::FleetChunks::next_chunk(&mut empty); // drain
+        let out = Assessment::stream(empty)
+            .scenarios(&matrix())
+            .run()
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.systems(), 0);
+        for slice in out.slices() {
+            assert_eq!(slice.coverage.total, 0);
+            assert_eq!(slice.operational_total_mt, 0.0);
+            assert!(slice.interval.is_none());
+        }
+    }
+
+    #[test]
+    fn source_error_propagates() {
+        struct Failing(usize);
+        impl FleetChunks for Failing {
+            type Error = String;
+            fn next_chunk(&mut self) -> Option<Result<Top500List, String>> {
+                self.0 += 1;
+                if self.0 > 2 {
+                    Some(Err("disk on fire".into()))
+                } else {
+                    Some(Ok(generate_full(&SyntheticConfig {
+                        n: 5,
+                        ..Default::default()
+                    })))
+                }
+            }
+        }
+        let err = Assessment::stream(Failing(0)).run().unwrap_err();
+        assert_eq!(err, "disk on fire");
+    }
+
+    #[test]
+    fn lookup_by_name_matches_matrix_order() {
+        let list = list(20);
+        let out = Assessment::stream(InMemoryChunks::new(&list, 6))
+            .scenarios(&matrix())
+            .run()
+            .unwrap();
+        assert!(!out.is_empty());
+        assert_eq!(out.slice("full").unwrap().coverage.total, 20);
+        assert!(out.slice("missing").is_none());
+    }
+}

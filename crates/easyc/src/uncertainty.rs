@@ -6,14 +6,14 @@
 //! RNG streams from `parallel`, producing percentile intervals that are
 //! independent of thread count.
 
-use crate::batch::{AssessmentContext, OperationalStage};
+use crate::batch::{AssessmentContext, EmbodiedStage, OperationalStage};
+use crate::embodied::EmbodiedEstimate;
 use crate::estimator::EasyC;
 use crate::metrics::SevenMetrics;
 use crate::operational::{self, OperationalEstimate};
-use crate::scenario::{DataScenario, ScenarioMatrix};
+use crate::scenario::DataScenario;
 use frame::stats;
 use parallel::rng::RngStreams;
-use top500::list::Top500List;
 use top500::record::SystemRecord;
 
 /// Relative 1-sigma widths of the model priors.
@@ -186,8 +186,8 @@ pub fn fleet_operational_interval_ctx(
     level: f64,
     seed: u64,
 ) -> Option<Interval> {
-    // Scenario overrides beat configuration overrides, exactly as in
-    // `BatchEngine::assess`.
+    // Scenario overrides beat configuration overrides, exactly as in the
+    // session's plan.
     let effective = DataScenario {
         name: scenario.name.clone(),
         mask: scenario.mask,
@@ -201,47 +201,61 @@ pub fn fleet_operational_interval_ctx(
     fleet_interval_from_bases(tool, &bases, priors, samples, level, seed)
 }
 
-/// Fleet-total operational intervals for every scenario of a matrix,
-/// sharing one context (one extraction pass) across all of them.
-///
-/// As a shim over the full session this also computes (and discards) the
-/// embodied roll-up per scenario — intervals-only callers on wide matrices
-/// should migrate to the session, which returns both for the same work.
-#[deprecated(
-    since = "0.2.0",
-    note = "use easyc::Assessment::of(list).scenarios(matrix).uncertainty(samples).run() instead"
-)]
-pub fn scenario_intervals(
-    tool: &EasyC,
-    list: &Top500List,
-    matrix: &ScenarioMatrix,
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Vec<(String, Option<Interval>)> {
-    let output = crate::session::Assessment::of(list)
-        .config(*tool.config())
-        .scenarios(matrix)
-        .uncertainty(samples)
-        .confidence(level)
-        .seed(seed)
-        .priors(*priors)
-        .run();
-    output
-        .slices()
-        .iter()
-        .zip(output.intervals())
-        .map(|(slice, interval)| (slice.scenario.name.clone(), *interval))
-        .collect()
-}
-
-/// Seed-mixing constant for the fleet-total RNG stream family, shared by
-/// [`fleet_operational_interval`] and the session's interval phase so the
-/// two stay bit-identical.
+/// Seed-mixing constant for the fleet-total operational RNG stream family,
+/// shared by [`fleet_operational_interval`] and the session's interval
+/// phase so the two stay bit-identical.
 pub(crate) const FLEET_SEED_MIX: u64 = 0xF1EE_7000;
 
-/// One Monte-Carlo fleet-total draw: the shared kernel behind
+/// Seed-mixing constant for the fleet-total *embodied* RNG stream family
+/// (a separate domain from [`FLEET_SEED_MIX`], so operational and embodied
+/// draws never correlate by construction).
+pub(crate) const EMBODIED_SEED_MIX: u64 = 0xE3B0_D1ED_5EED_00AA;
+
+/// Per-sample systematic factors of one fleet operational draw (one PUE
+/// and one utilisation regime draw shared by every system in the sample —
+/// the paper's §V point that prior errors are systematic, not independent
+/// per system).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FleetFactors {
+    pue: f64,
+    util: f64,
+}
+
+/// Draws the systematic factors of operational sample `sample`.
+pub(crate) fn fleet_factors(
+    streams: &RngStreams,
+    priors: &PriorUncertainty,
+    sample: usize,
+) -> FleetFactors {
+    let mut global = streams.stream(sample as u64);
+    FleetFactors {
+        pue: global.next_lognormal(0.0, priors.pue),
+        util: global.next_lognormal(0.0, priors.utilization),
+    }
+}
+
+/// One system's contribution to one fleet operational draw: systematic
+/// factors shared across the fleet, idiosyncratic ACI noise drawn from the
+/// `(sample, index)` stream. `index` is the system's position among the
+/// scenario's estimable systems — streamed chunks keep a running offset so
+/// the terms (and therefore the folded draw) are bit-identical to the
+/// in-memory path.
+pub(crate) fn fleet_term(
+    base: &OperationalEstimate,
+    factors: &FleetFactors,
+    streams: &RngStreams,
+    sample: usize,
+    index: usize,
+) -> f64 {
+    let mut local = streams.stream(((sample as u64) << 32) | (index as u64 + 1));
+    let aci_sigma = base.aci.relative_uncertainty() / 2.0;
+    let aci = base.aci.value() * local.next_lognormal(0.0, aci_sigma);
+    let pue = (base.pue * factors.pue).max(1.0);
+    let util = (base.utilization * factors.util).clamp(0.05, 1.0);
+    base.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
+}
+
+/// One Monte-Carlo fleet-total operational draw: the shared kernel behind
 /// [`fleet_operational_interval`] and the session's interval phase, so the
 /// two stay bit-identical. Systematic components (PUE, utilisation) draw
 /// once per sample; idiosyncratic ACI noise draws per (sample, system).
@@ -251,21 +265,134 @@ pub(crate) fn fleet_draw(
     streams: &RngStreams,
     sample: usize,
 ) -> f64 {
-    let mut global = streams.stream(sample as u64);
-    let pue_factor = global.next_lognormal(0.0, priors.pue);
-    let util_factor = global.next_lognormal(0.0, priors.utilization);
+    let factors = fleet_factors(streams, priors, sample);
     bases
         .iter()
         .enumerate()
-        .map(|(i, b)| {
-            let mut local = streams.stream(((sample as u64) << 32) | (i as u64 + 1));
-            let aci_sigma = b.aci.relative_uncertainty() / 2.0;
-            let aci = b.aci.value() * local.next_lognormal(0.0, aci_sigma);
-            let pue = (b.pue * pue_factor).max(1.0);
-            let util = (b.utilization * util_factor).clamp(0.05, 1.0);
-            b.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
-        })
+        .map(|(i, b)| fleet_term(b, &factors, streams, sample, i))
         .sum::<f64>()
+}
+
+/// Per-sample systematic factors of one fleet embodied draw (one fab
+/// regime and one capacity-prior regime per sample, mirroring the
+/// per-system [`embodied_interval`] priors).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EmbodiedFactors {
+    fab: f64,
+    cap: f64,
+}
+
+/// Draws the systematic factors of embodied sample `sample`.
+pub(crate) fn embodied_factors(
+    streams: &RngStreams,
+    priors: &PriorUncertainty,
+    sample: usize,
+) -> EmbodiedFactors {
+    let mut global = streams.stream(sample as u64);
+    EmbodiedFactors {
+        fab: global.next_lognormal(0.0, priors.fab),
+        cap: global.next_lognormal(0.0, priors.capacity_priors),
+    }
+}
+
+/// One system's contribution to one fleet embodied draw, MT CO2e — the
+/// same component resampling [`embodied_interval`] applies per system
+/// (silicon scaled by the fab regime, memory/storage by the capacity
+/// regime, chassis and interconnect deterministic).
+pub(crate) fn embodied_term(base: &EmbodiedEstimate, factors: &EmbodiedFactors) -> f64 {
+    let b = base.breakdown;
+    ((b.cpu_kg + b.accelerator_kg) * factors.fab
+        + (b.dram_kg + b.storage_kg) * factors.cap
+        + b.chassis_kg
+        + b.interconnect_kg)
+        / 1000.0
+}
+
+/// One Monte-Carlo fleet-total embodied draw: the shared kernel behind
+/// [`fleet_embodied_interval`] and the session's interval phase. Embodied
+/// priors are fully systematic (fab lines and capacity priors are shared
+/// across the fleet), so fleet-total embodied uncertainty does not average
+/// out with fleet size.
+pub(crate) fn fleet_embodied_draw(
+    bases: &[EmbodiedEstimate],
+    priors: &PriorUncertainty,
+    streams: &RngStreams,
+    sample: usize,
+) -> f64 {
+    let factors = embodied_factors(streams, priors, sample);
+    bases
+        .iter()
+        .map(|b| embodied_term(b, &factors))
+        .sum::<f64>()
+}
+
+/// Monte-Carlo interval for the *fleet total* embodied carbon — the
+/// embodied counterpart of [`fleet_operational_interval`], and the serial
+/// reference the session's embodied interval phase is pinned against.
+pub fn fleet_embodied_interval(
+    tool: &EasyC,
+    systems: &[SystemRecord],
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    let bases: Vec<EmbodiedEstimate> = systems
+        .iter()
+        .filter_map(|r| {
+            let m = SevenMetrics::extract(r);
+            crate::embodied::estimate(r, &m).ok()
+        })
+        .collect();
+    fleet_embodied_interval_from_bases(tool, &bases, priors, samples, level, seed)
+}
+
+/// [`fleet_embodied_interval`] over a pre-built [`AssessmentContext`] and
+/// an explicit scenario (mask-aware, extraction reused).
+pub fn fleet_embodied_interval_ctx(
+    tool: &EasyC,
+    ctx: &AssessmentContext<'_>,
+    scenario: &DataScenario,
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    let bases: Vec<EmbodiedEstimate> = EmbodiedStage::run(ctx, scenario, tool.config().workers)
+        .into_iter()
+        .filter_map(|r| r.ok())
+        .collect();
+    fleet_embodied_interval_from_bases(tool, &bases, priors, samples, level, seed)
+}
+
+fn fleet_embodied_interval_from_bases(
+    tool: &EasyC,
+    bases: &[EmbodiedEstimate],
+    priors: &PriorUncertainty,
+    samples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<Interval> {
+    if bases.is_empty() || samples == 0 {
+        return None;
+    }
+    let point: f64 = bases.iter().map(|b| b.mt_co2e).sum();
+    let streams = RngStreams::new(seed ^ EMBODIED_SEED_MIX);
+    let sample_indices: Vec<usize> = (0..samples).collect();
+    let draws =
+        parallel::par_map_chunked(&sample_indices, tool.config().workers, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(offset, _)| fleet_embodied_draw(bases, priors, &streams, start + offset))
+                .collect()
+        });
+    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
+    Some(Interval {
+        point,
+        lo: stats::quantile(&draws, alpha)?,
+        hi: stats::quantile(&draws, 1.0 - alpha)?,
+    })
 }
 
 fn fleet_interval_from_bases(
@@ -302,51 +429,6 @@ fn fleet_interval_from_bases(
 mod tests {
     use super::*;
     use top500::synthetic::{generate_full, SyntheticConfig};
-
-    #[test]
-    #[allow(deprecated)]
-    fn scenario_intervals_shim_matches_session() {
-        use crate::scenario::{DataScenario, MetricBit, MetricMask};
-        let list = generate_full(&SyntheticConfig {
-            n: 50,
-            ..Default::default()
-        });
-        let matrix =
-            ScenarioMatrix::new()
-                .with(DataScenario::full("full"))
-                .with(DataScenario::masked(
-                    "no-power",
-                    MetricMask::ALL
-                        .without(MetricBit::PowerKw)
-                        .without(MetricBit::AnnualEnergy),
-                ));
-        let tool = EasyC::new();
-        let priors = PriorUncertainty::default();
-        let legacy = scenario_intervals(&tool, &list, &matrix, &priors, 120, 0.9, 9);
-        let session = crate::session::Assessment::of(&list)
-            .config(*tool.config())
-            .scenarios(&matrix)
-            .uncertainty(120)
-            .confidence(0.9)
-            .seed(9)
-            .priors(priors)
-            .run();
-        for (name, interval) in &legacy {
-            assert_eq!(session.interval(name), *interval, "{name}");
-        }
-        // And both match the per-scenario legacy context entry point.
-        let ctx = AssessmentContext::new(&list, tool.config().workers);
-        for scenario in matrix.scenarios() {
-            let direct =
-                fleet_operational_interval_ctx(&tool, &ctx, scenario, &priors, 120, 0.9, 9);
-            assert_eq!(
-                session.interval(&scenario.name),
-                direct,
-                "{}",
-                scenario.name
-            );
-        }
-    }
 
     fn system() -> SystemRecord {
         generate_full(&SyntheticConfig {
@@ -529,8 +611,8 @@ mod tests {
     }
 
     #[test]
-    fn scenario_intervals_share_one_context() {
-        use crate::scenario::{MetricBit, MetricMask};
+    fn session_matrix_intervals_well_formed_per_scenario() {
+        use crate::scenario::{MetricBit, MetricMask, ScenarioMatrix};
         let list = generate_full(&SyntheticConfig {
             n: 60,
             ..Default::default()
@@ -544,23 +626,112 @@ mod tests {
                         .without(MetricBit::PowerKw)
                         .without(MetricBit::AnnualEnergy),
                 ));
-        #[allow(deprecated)]
-        let results = scenario_intervals(
-            &EasyC::new(),
-            &list,
-            &matrix,
-            &PriorUncertainty::default(),
-            150,
-            0.9,
-            3,
-        );
-        assert_eq!(results.len(), 2);
-        let full = results[0].1.unwrap();
-        let degraded = results[1].1.unwrap();
+        let output = crate::session::Assessment::of(&list)
+            .scenarios(&matrix)
+            .uncertainty(150)
+            .confidence(0.9)
+            .seed(3)
+            .run();
+        assert_eq!(output.len(), 2);
+        let full = output.interval("full").unwrap();
+        let degraded = output.interval("no-power").unwrap();
         // Hiding measured power moves systems onto prior-based paths; the
         // fleet point estimate changes but both remain well-formed.
         assert!(full.lo < full.hi && degraded.lo < degraded.hi);
         assert_ne!(full.point, degraded.point);
+    }
+
+    #[test]
+    fn fleet_embodied_interval_brackets_total() {
+        let list = generate_full(&SyntheticConfig {
+            n: 80,
+            ..Default::default()
+        });
+        let tool = EasyC::new();
+        let iv = fleet_embodied_interval(
+            &tool,
+            list.systems(),
+            &PriorUncertainty::default(),
+            400,
+            0.9,
+            11,
+        )
+        .unwrap();
+        let direct: f64 = list
+            .systems()
+            .iter()
+            .filter_map(|s| tool.assess(s).embodied_mt())
+            .sum();
+        assert_eq!(iv.point, direct);
+        assert!(iv.lo < iv.point && iv.point < iv.hi * 1.2, "{iv:?}");
+        assert!(iv.lo > 0.0);
+    }
+
+    #[test]
+    fn fleet_embodied_interval_deterministic_across_workers() {
+        let list = generate_full(&SyntheticConfig {
+            n: 40,
+            ..Default::default()
+        });
+        let run = |workers| {
+            fleet_embodied_interval(
+                &EasyC::with_config(crate::EasyCConfig {
+                    workers,
+                    ..Default::default()
+                }),
+                list.systems(),
+                &PriorUncertainty::default(),
+                200,
+                0.9,
+                5,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn fleet_embodied_ctx_variant_bit_identical_to_record_variant() {
+        let list = generate_full(&SyntheticConfig {
+            n: 50,
+            ..Default::default()
+        });
+        let tool = EasyC::new();
+        let priors = PriorUncertainty::default();
+        let direct = fleet_embodied_interval(&tool, list.systems(), &priors, 150, 0.9, 17).unwrap();
+        let ctx = AssessmentContext::new(&list, tool.config().workers);
+        let via_ctx = fleet_embodied_interval_ctx(
+            &tool,
+            &ctx,
+            &DataScenario::full("full"),
+            &priors,
+            150,
+            0.9,
+            17,
+        )
+        .unwrap();
+        assert_eq!(direct, via_ctx);
+    }
+
+    #[test]
+    fn fleet_embodied_interval_none_for_empty_or_zero_samples() {
+        let tool = EasyC::new();
+        assert!(
+            fleet_embodied_interval(&tool, &[], &PriorUncertainty::default(), 10, 0.9, 1).is_none()
+        );
+        let list = generate_full(&SyntheticConfig {
+            n: 5,
+            ..Default::default()
+        });
+        assert!(fleet_embodied_interval(
+            &tool,
+            list.systems(),
+            &PriorUncertainty::default(),
+            0,
+            0.9,
+            1
+        )
+        .is_none());
     }
 
     #[test]

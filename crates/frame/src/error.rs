@@ -46,6 +46,10 @@ pub enum FrameError {
     },
     /// Operation required a non-empty input (e.g. quantile of nothing).
     Empty(&'static str),
+    /// An underlying reader failed while streaming CSV chunks. The message
+    /// is the `std::io::Error` rendering (kept as text so `FrameError` stays
+    /// `Clone + PartialEq`).
+    Io(String),
     /// Generic invalid-argument error.
     InvalidArgument(String),
 }
@@ -73,6 +77,7 @@ impl fmt::Display for FrameError {
                 write!(f, "row {row} out of bounds for frame of {len} rows")
             }
             FrameError::Empty(what) => write!(f, "{what} requires a non-empty input"),
+            FrameError::Io(message) => write!(f, "I/O error: {message}"),
             FrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

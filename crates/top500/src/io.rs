@@ -8,7 +8,9 @@
 
 use crate::list::Top500List;
 use crate::record::SystemRecord;
+use crate::stream::FleetChunks;
 use frame::{csv, DataFrame, FrameError, Value};
+use std::io::BufRead;
 
 /// Column names recognised by the importer (case-sensitive, snake_case).
 pub const COLUMNS: &[&str] = &[
@@ -88,6 +90,113 @@ fn opt_str(df: &DataFrame, col: &str, row: usize) -> Option<String> {
     }
 }
 
+/// Checks the two required columns are present.
+fn check_required(df: &DataFrame) -> Result<(), ImportError> {
+    for required in ["rank", "rmax_tflops"] {
+        if !df.names().iter().any(|n| n == required) {
+            return Err(ImportError::MissingColumn(if required == "rank" {
+                "rank"
+            } else {
+                "rmax_tflops"
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Converts one parsed CSV row into a record. `row` indexes the frame,
+/// `row_label` is the global 0-based data-row index reported in errors
+/// (they differ when the frame is one chunk of a streamed file). Shared by
+/// [`import_csv`] and [`CsvFleetReader`], so the row-conversion rules
+/// cannot drift between the two paths (column typing can — see the
+/// [`CsvFleetReader`] caveats).
+fn row_to_record(
+    df: &DataFrame,
+    row: usize,
+    row_label: usize,
+) -> Result<SystemRecord, ImportError> {
+    let has = |c: &str| df.names().iter().any(|n| n == c);
+    let rank = opt_u64(df, "rank", row).ok_or_else(|| ImportError::BadRow {
+        row: row_label,
+        message: "rank not a number".into(),
+    })?;
+    let rmax = opt_f64(df, "rmax_tflops", row)
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| ImportError::BadRow {
+            row: row_label,
+            message: "rmax_tflops missing or non-positive".into(),
+        })?;
+    let rpeak = if has("rpeak_tflops") {
+        opt_f64(df, "rpeak_tflops", row).unwrap_or(rmax * 1.4)
+    } else {
+        rmax * 1.4
+    };
+    let mut s = SystemRecord::bare(rank as u32, rmax, rpeak);
+    if has("name") {
+        s.name = opt_str(df, "name", row);
+    }
+    if has("country") {
+        s.country = opt_str(df, "country", row);
+        s.region = s.country.as_deref().and_then(hwdb::grid::country_region);
+    }
+    if has("region") {
+        // Explicit region wins over the country-derived default (it is
+        // the only location signal anonymous systems carry).
+        if let Some(region) = opt_str(df, "region", row)
+            .as_deref()
+            .and_then(hwdb::grid::Region::parse)
+        {
+            s.region = Some(region);
+        }
+    }
+    if has("year") {
+        s.year = opt_u64(df, "year", row).map(|y| y as u32);
+    }
+    if has("vendor") {
+        s.vendor = opt_str(df, "vendor", row);
+    }
+    if has("processor") {
+        s.processor = opt_str(df, "processor", row);
+    }
+    if has("total_cores") {
+        s.total_cores = opt_u64(df, "total_cores", row);
+    }
+    if has("accelerator") {
+        s.accelerator = opt_str(df, "accelerator", row);
+    }
+    if has("accelerator_count") {
+        s.accelerator_count = opt_u64(df, "accelerator_count", row);
+    }
+    if has("nmax") {
+        s.nmax = opt_u64(df, "nmax", row);
+    }
+    if has("power_kw") {
+        s.power_kw = opt_f64(df, "power_kw", row);
+    }
+    if has("node_count") {
+        s.node_count = opt_u64(df, "node_count", row);
+    }
+    if has("cpu_count") {
+        s.cpu_count = opt_u64(df, "cpu_count", row);
+    }
+    if has("memory_gb") {
+        s.memory_gb = opt_f64(df, "memory_gb", row);
+    }
+    if has("memory_type") {
+        s.memory_type = opt_str(df, "memory_type", row);
+    }
+    if has("ssd_gb") {
+        s.ssd_gb = opt_f64(df, "ssd_gb", row);
+    }
+    if has("utilization") {
+        s.utilization = opt_f64(df, "utilization", row);
+    }
+    if has("annual_energy_mwh") {
+        s.annual_energy_mwh = opt_f64(df, "annual_energy_mwh", row);
+    }
+    Ok(s)
+}
+
 /// Parses a Top500-style CSV into a list. `rank` and `rmax_tflops` are
 /// required; everything else is optional and becomes a missing item.
 pub fn import_csv(text: &str) -> Result<Top500List, ImportError> {
@@ -98,99 +207,83 @@ pub fn import_csv(text: &str) -> Result<Top500List, ImportError> {
         .collect::<Vec<_>>()
         .join("\n");
     let df = csv::parse(&cleaned)?;
-    for required in ["rank", "rmax_tflops"] {
-        if !df.names().iter().any(|n| n == required) {
-            return Err(ImportError::MissingColumn(if required == "rank" {
-                "rank"
-            } else {
-                "rmax_tflops"
-            }));
-        }
-    }
-    let has = |c: &str| df.names().iter().any(|n| n == c);
+    check_required(&df)?;
     let mut systems = Vec::with_capacity(df.len());
     for row in 0..df.len() {
-        let rank = opt_u64(&df, "rank", row).ok_or_else(|| ImportError::BadRow {
-            row,
-            message: "rank not a number".into(),
-        })?;
-        let rmax = opt_f64(&df, "rmax_tflops", row)
-            .filter(|v| *v > 0.0)
-            .ok_or_else(|| ImportError::BadRow {
-                row,
-                message: "rmax_tflops missing or non-positive".into(),
-            })?;
-        let rpeak = if has("rpeak_tflops") {
-            opt_f64(&df, "rpeak_tflops", row).unwrap_or(rmax * 1.4)
-        } else {
-            rmax * 1.4
-        };
-        let mut s = SystemRecord::bare(rank as u32, rmax, rpeak);
-        if has("name") {
-            s.name = opt_str(&df, "name", row);
-        }
-        if has("country") {
-            s.country = opt_str(&df, "country", row);
-            s.region = s.country.as_deref().and_then(hwdb::grid::country_region);
-        }
-        if has("region") {
-            // Explicit region wins over the country-derived default (it is
-            // the only location signal anonymous systems carry).
-            if let Some(region) = opt_str(&df, "region", row)
-                .as_deref()
-                .and_then(hwdb::grid::Region::parse)
-            {
-                s.region = Some(region);
-            }
-        }
-        if has("year") {
-            s.year = opt_u64(&df, "year", row).map(|y| y as u32);
-        }
-        if has("vendor") {
-            s.vendor = opt_str(&df, "vendor", row);
-        }
-        if has("processor") {
-            s.processor = opt_str(&df, "processor", row);
-        }
-        if has("total_cores") {
-            s.total_cores = opt_u64(&df, "total_cores", row);
-        }
-        if has("accelerator") {
-            s.accelerator = opt_str(&df, "accelerator", row);
-        }
-        if has("accelerator_count") {
-            s.accelerator_count = opt_u64(&df, "accelerator_count", row);
-        }
-        if has("nmax") {
-            s.nmax = opt_u64(&df, "nmax", row);
-        }
-        if has("power_kw") {
-            s.power_kw = opt_f64(&df, "power_kw", row);
-        }
-        if has("node_count") {
-            s.node_count = opt_u64(&df, "node_count", row);
-        }
-        if has("cpu_count") {
-            s.cpu_count = opt_u64(&df, "cpu_count", row);
-        }
-        if has("memory_gb") {
-            s.memory_gb = opt_f64(&df, "memory_gb", row);
-        }
-        if has("memory_type") {
-            s.memory_type = opt_str(&df, "memory_type", row);
-        }
-        if has("ssd_gb") {
-            s.ssd_gb = opt_f64(&df, "ssd_gb", row);
-        }
-        if has("utilization") {
-            s.utilization = opt_f64(&df, "utilization", row);
-        }
-        if has("annual_energy_mwh") {
-            s.annual_energy_mwh = opt_f64(&df, "annual_energy_mwh", row);
-        }
-        systems.push(s);
+        systems.push(row_to_record(&df, row, row)?);
     }
     Ok(Top500List::new(systems))
+}
+
+/// Streams a Top500-schema CSV as bounded [`Top500List`] chunks — the
+/// larger-than-memory counterpart of [`import_csv`], implementing
+/// [`FleetChunks`] for the incremental assessment session.
+///
+/// The schema, comment handling (`#` lines) and per-row conversion are
+/// exactly [`import_csv`]'s (one shared code path); the required-column
+/// check runs on the first chunk. Two caveats bound the equivalence with
+/// a whole-file import: rows must be rank-ordered (each chunk is sorted
+/// by rank on its own, like any [`Top500List`], but chunks are emitted in
+/// file order), and column *type inference* is per chunk — a column whose
+/// cells mix kinds across chunks (say one `unknown` in an otherwise
+/// numeric `power_kw`) degrades to string whole-file but stays numeric in
+/// clean chunks, so such malformed columns can import differently; see
+/// [`frame::csv::ChunkedReader`]. Clean, kind-consistent CSVs (incl.
+/// everything `export_csv` emits) import identically. After the first
+/// error the reader is fused.
+#[derive(Debug)]
+pub struct CsvFleetReader<R> {
+    chunks: csv::ChunkedReader<R>,
+    rows_seen: usize,
+    checked: bool,
+    fused: bool,
+}
+
+/// Opens a chunked CSV stream over any buffered reader, `rows_per_chunk`
+/// data rows at a time.
+pub fn stream_csv<R: BufRead>(input: R, rows_per_chunk: usize) -> CsvFleetReader<R> {
+    CsvFleetReader {
+        chunks: csv::ChunkedReader::new(input, rows_per_chunk).strip_comments(),
+        rows_seen: 0,
+        checked: false,
+        fused: false,
+    }
+}
+
+impl<R: BufRead> FleetChunks for CsvFleetReader<R> {
+    type Error = ImportError;
+
+    fn next_chunk(&mut self) -> Option<Result<Top500List, ImportError>> {
+        if self.fused {
+            return None;
+        }
+        let df = match self.chunks.next_chunk()? {
+            Ok(df) => df,
+            Err(e) => {
+                self.fused = true;
+                return Some(Err(e.into()));
+            }
+        };
+        if !self.checked {
+            if let Err(e) = check_required(&df) {
+                self.fused = true;
+                return Some(Err(e));
+            }
+            self.checked = true;
+        }
+        let mut systems = Vec::with_capacity(df.len());
+        for row in 0..df.len() {
+            match row_to_record(&df, row, self.rows_seen + row) {
+                Ok(s) => systems.push(s),
+                Err(e) => {
+                    self.fused = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        self.rows_seen += df.len();
+        Some(Ok(Top500List::new(systems)))
+    }
 }
 
 /// Serialises a list back to the canonical CSV schema (all columns, empty
@@ -319,5 +412,76 @@ mod tests {
     fn unknown_columns_ignored() {
         let list = import_csv("rank,rmax_tflops,frobnication\n1,10,whatever\n").unwrap();
         assert_eq!(list.len(), 1);
+    }
+
+    // ---------------------------------------------------- streamed import
+
+    fn stream_all(text: &str, rows: usize) -> Result<Vec<SystemRecord>, ImportError> {
+        let mut reader = stream_csv(text.as_bytes(), rows);
+        let mut all = Vec::new();
+        while let Some(chunk) = reader.next_chunk() {
+            all.extend(chunk?.systems().iter().cloned());
+        }
+        Ok(all)
+    }
+
+    #[test]
+    fn streamed_import_matches_whole_file_import() {
+        let full = generate_full(&SyntheticConfig {
+            n: 60,
+            ..Default::default()
+        });
+        let masked = mask_baseline(&full, &MaskRates::default(), 3);
+        let text = export_csv(&masked);
+        let whole = import_csv(&text).unwrap();
+        for rows in [1usize, 7, 32, 60, 500] {
+            let streamed = stream_all(&text, rows).unwrap();
+            assert_eq!(streamed, whole.systems(), "rows {rows}");
+        }
+    }
+
+    #[test]
+    fn streamed_import_handles_comments_and_quotes() {
+        let text =
+            "# a template comment\nrank,name,rmax_tflops\n1,\"Mare, Nostrum\",100\n2,plain,50\n";
+        let streamed = stream_all(text, 1).unwrap();
+        assert_eq!(streamed.len(), 2);
+        assert_eq!(streamed[0].name.as_deref(), Some("Mare, Nostrum"));
+        assert_eq!(import_csv(text).unwrap().systems(), streamed);
+    }
+
+    #[test]
+    fn streamed_import_missing_required_column_fails_on_first_chunk() {
+        let mut reader = stream_csv("name\nfoo\nbar\n".as_bytes(), 1);
+        assert_eq!(
+            reader.next_chunk().unwrap().unwrap_err(),
+            ImportError::MissingColumn("rank")
+        );
+        assert!(reader.next_chunk().is_none(), "reader must fuse");
+    }
+
+    #[test]
+    fn streamed_import_reports_global_row_in_errors() {
+        // Row 2 (0-based, third data row) is bad; with 1-row chunks the
+        // error must still carry the global index, like import_csv.
+        let text = "rank,rmax_tflops\n1,10\n2,20\n3,-5\n";
+        let whole_err = import_csv(text).unwrap_err();
+        let mut reader = stream_csv(text.as_bytes(), 1);
+        let mut streamed_err = None;
+        while let Some(chunk) = reader.next_chunk() {
+            if let Err(e) = chunk {
+                streamed_err = Some(e);
+            }
+        }
+        assert_eq!(streamed_err.unwrap(), whole_err);
+        assert!(matches!(whole_err, ImportError::BadRow { row: 2, .. }));
+    }
+
+    #[test]
+    fn streamed_import_header_only_is_empty_fleet() {
+        let mut reader = stream_csv("rank,rmax_tflops\n".as_bytes(), 8);
+        let first = reader.next_chunk().unwrap().unwrap();
+        assert!(first.is_empty());
+        assert!(reader.next_chunk().is_none());
     }
 }

@@ -18,15 +18,18 @@
 //!    model pipeline end to end.
 //!
 //! Supporting modules: [`record`] (the 19-data-item schema), [`enrich`]
-//! (the "+public info" augmentation pass), [`list`] (rank-range utilities).
+//! (the "+public info" augmentation pass), [`list`] (rank-range utilities),
+//! [`stream`] (chunked fleet sources for larger-than-memory ingestion).
 
 pub mod appendix;
 pub mod enrich;
 pub mod io;
 pub mod list;
 pub mod record;
+pub mod stream;
 pub mod synthetic;
 
 pub use appendix::{AppendixRow, ScenarioValues};
 pub use list::{RankRange, Top500List, RANK_RANGES};
 pub use record::{DataItem, SystemRecord};
+pub use stream::{FleetChunks, InMemoryChunks, SyntheticChunks};

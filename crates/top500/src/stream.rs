@@ -1,0 +1,224 @@
+//! Chunked fleet sources — the ingestion side of streaming assessment.
+//!
+//! A production deployment serves fleets far larger than the Top 500; the
+//! paper's 500-row table fits in memory, a utility's million-system
+//! inventory does not. [`FleetChunks`] is the contract between any chunked
+//! source of [`SystemRecord`]s and the incremental assessment session
+//! (`easyc::Assessment::stream`): the consumer pulls one bounded
+//! [`Top500List`] chunk at a time, folds it, and drops it before pulling
+//! the next, so peak memory is set by the chunk budget rather than the
+//! fleet size.
+//!
+//! Three sources ship here:
+//!
+//! - [`crate::io::CsvFleetReader`] — a Top500-schema CSV streamed through
+//!   the quote-aware `frame::csv::ChunkedReader` (files larger than RAM).
+//! - [`SyntheticChunks`] — the calibrated synthetic generator, chunked;
+//!   each chunk is bit-identical to the same rank slice of
+//!   [`crate::synthetic::generate_full`], so a million-row fleet needs no
+//!   materialization.
+//! - [`InMemoryChunks`] — an already-loaded list re-served in chunks, used
+//!   to pin streamed-vs-in-memory bit-identity in tests.
+
+use crate::list::Top500List;
+use crate::record::SystemRecord;
+use crate::synthetic::{generate_range, SyntheticConfig};
+use std::convert::Infallible;
+use std::fmt::Display;
+
+/// A pull-based source of fleet chunks.
+///
+/// `next_chunk` returns `None` when the fleet is exhausted, `Some(Err)` on
+/// a source failure (malformed CSV, I/O error). Implementations should be
+/// *fused*: after `None` or `Some(Err)`, keep returning `None`. Chunks must
+/// be rank-ordered within themselves and across calls — the streaming
+/// session folds in arrival order and its results are only comparable to
+/// an in-memory session when the global order matches.
+pub trait FleetChunks {
+    /// Source failure type (use [`Infallible`] for sources that cannot
+    /// fail, e.g. generators).
+    type Error: Display;
+
+    /// Pulls the next chunk of systems.
+    fn next_chunk(&mut self) -> Option<Result<Top500List, Self::Error>>;
+}
+
+/// Serves an existing in-memory list as bounded chunks (records are cloned
+/// per chunk — this adapter trades the zero-copy guarantee for source
+/// uniformity and exists mainly so tests can compare the streamed fold
+/// against the borrowed in-memory session over the very same systems).
+#[derive(Debug, Clone)]
+pub struct InMemoryChunks<'a> {
+    systems: &'a [SystemRecord],
+    next: usize,
+    rows_per_chunk: usize,
+}
+
+impl<'a> InMemoryChunks<'a> {
+    /// Chunked view of `list`, `rows_per_chunk` systems at a time (a
+    /// budget of 0 is treated as 1).
+    pub fn new(list: &'a Top500List, rows_per_chunk: usize) -> InMemoryChunks<'a> {
+        InMemoryChunks {
+            systems: list.systems(),
+            next: 0,
+            rows_per_chunk: rows_per_chunk.max(1),
+        }
+    }
+}
+
+impl FleetChunks for InMemoryChunks<'_> {
+    type Error = Infallible;
+
+    fn next_chunk(&mut self) -> Option<Result<Top500List, Infallible>> {
+        if self.next >= self.systems.len() {
+            return None;
+        }
+        let end = (self.next + self.rows_per_chunk).min(self.systems.len());
+        let chunk = self.systems[self.next..end].to_vec();
+        self.next = end;
+        Some(Ok(Top500List::new(chunk)))
+    }
+}
+
+/// Streams the calibrated synthetic generator without ever materializing
+/// the full fleet: rank chunk `[k·B+1, (k+1)·B]` is generated on demand
+/// and is bit-identical to the same slice of
+/// [`crate::synthetic::generate_full`] (each
+/// record depends only on `(seed, rank)`).
+#[derive(Debug, Clone)]
+pub struct SyntheticChunks {
+    config: SyntheticConfig,
+    next_rank: u32,
+    rows_per_chunk: u32,
+}
+
+impl SyntheticChunks {
+    /// Chunked generator for `config.n` systems, `rows_per_chunk` at a
+    /// time (a budget of 0 is treated as 1).
+    pub fn new(config: SyntheticConfig, rows_per_chunk: usize) -> SyntheticChunks {
+        SyntheticChunks {
+            config,
+            next_rank: 1,
+            rows_per_chunk: rows_per_chunk.clamp(1, u32::MAX as usize) as u32,
+        }
+    }
+}
+
+impl FleetChunks for SyntheticChunks {
+    type Error = Infallible;
+
+    fn next_chunk(&mut self) -> Option<Result<Top500List, Infallible>> {
+        if self.next_rank == 0 || self.next_rank > self.config.n {
+            return None;
+        }
+        let last = self
+            .next_rank
+            .saturating_add(self.rows_per_chunk - 1)
+            .min(self.config.n);
+        let chunk = generate_range(&self.config, self.next_rank, last);
+        // `last + 1` would overflow when n == u32::MAX; 0 is not a valid
+        // rank, so it doubles as the exhausted marker.
+        self.next_rank = last.checked_add(1).unwrap_or(0);
+        Some(Ok(Top500List::new(chunk)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::generate_full;
+
+    fn drain<S: FleetChunks>(mut source: S) -> (Vec<SystemRecord>, Vec<usize>) {
+        let mut all = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(chunk) = source.next_chunk() {
+            let chunk = chunk.unwrap_or_else(|e| panic!("chunk error: {e}"));
+            sizes.push(chunk.len());
+            all.extend(chunk.systems().iter().cloned());
+        }
+        (all, sizes)
+    }
+
+    #[test]
+    fn synthetic_chunks_bit_identical_to_generate_full() {
+        let config = SyntheticConfig {
+            n: 137,
+            ..Default::default()
+        };
+        let full = generate_full(&config);
+        for rows in [1usize, 10, 64, 137, 500] {
+            let (all, sizes) = drain(SyntheticChunks::new(config, rows));
+            assert_eq!(all, full.systems(), "rows {rows}");
+            assert!(sizes.iter().all(|s| *s <= rows), "rows {rows}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn in_memory_chunks_cover_the_list_in_order() {
+        let list = generate_full(&SyntheticConfig {
+            n: 50,
+            ..Default::default()
+        });
+        let (all, sizes) = drain(InMemoryChunks::new(&list, 7));
+        assert_eq!(all, list.systems());
+        assert_eq!(sizes, vec![7, 7, 7, 7, 7, 7, 7, 1]);
+    }
+
+    #[test]
+    fn sources_are_fused_after_exhaustion() {
+        let list = generate_full(&SyntheticConfig {
+            n: 3,
+            ..Default::default()
+        });
+        let mut mem = InMemoryChunks::new(&list, 8);
+        assert!(mem.next_chunk().is_some());
+        assert!(mem.next_chunk().is_none());
+        assert!(mem.next_chunk().is_none());
+        let mut synth = SyntheticChunks::new(
+            SyntheticConfig {
+                n: 2,
+                ..Default::default()
+            },
+            8,
+        );
+        assert!(synth.next_chunk().is_some());
+        assert!(synth.next_chunk().is_none());
+        assert!(synth.next_chunk().is_none());
+    }
+
+    #[test]
+    fn synthetic_chunks_terminate_at_u32_max_fleet() {
+        // `last + 1` on the final chunk would overflow; the source must
+        // still terminate (rank 0 doubles as the exhausted marker).
+        let mut source = SyntheticChunks::new(
+            SyntheticConfig {
+                n: u32::MAX,
+                ..Default::default()
+            },
+            4,
+        );
+        source.next_rank = u32::MAX - 5;
+        let mut seen = Vec::new();
+        while let Some(chunk) = source.next_chunk() {
+            let chunk = chunk.unwrap();
+            seen.extend(chunk.systems().iter().map(|s| s.rank));
+        }
+        assert_eq!(
+            seen,
+            (u32::MAX - 5..=u32::MAX).collect::<Vec<_>>(),
+            "must cover the tail exactly once and stop"
+        );
+        assert!(source.next_chunk().is_none(), "source must stay fused");
+    }
+
+    #[test]
+    fn zero_budget_treated_as_one() {
+        let list = generate_full(&SyntheticConfig {
+            n: 2,
+            ..Default::default()
+        });
+        let (all, sizes) = drain(InMemoryChunks::new(&list, 0));
+        assert_eq!(all.len(), 2);
+        assert_eq!(sizes, vec![1, 1]);
+    }
+}

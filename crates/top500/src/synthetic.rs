@@ -121,11 +121,19 @@ fn pick_weighted<'a>(rng: &mut SplitMix64, table: &[(&'a str, f64)]) -> Option<&
 
 /// Generates the complete (no-missing-fields) ground-truth list.
 pub fn generate_full(config: &SyntheticConfig) -> Top500List {
+    Top500List::new(generate_range(config, 1, config.n))
+}
+
+/// Generates ranks `first..=last` only. Every record depends on nothing but
+/// `(seed, rank)` and the shape parameters, so any range is bit-identical
+/// to the same slice of [`generate_full`] — this is what lets
+/// [`crate::stream::SyntheticChunks`] produce arbitrarily large fleets one
+/// bounded chunk at a time.
+pub fn generate_range(config: &SyntheticConfig, first: u32, last: u32) -> Vec<SystemRecord> {
     let streams = RngStreams::new(config.seed);
-    let systems = (1..=config.n)
+    (first..=last)
         .map(|rank| generate_system(config, &streams, rank))
-        .collect();
-    Top500List::new(systems)
+        .collect()
 }
 
 fn generate_system(config: &SyntheticConfig, streams: &RngStreams, rank: u32) -> SystemRecord {

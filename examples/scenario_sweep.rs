@@ -71,15 +71,24 @@ fn main() {
     );
     println!("{}", render_sweep(&summarize_slices(output.slices())));
 
-    // Fleet-total operational intervals came out of the same session run.
-    println!("90% fleet operational intervals (MT CO2e):");
-    for (slice, interval) in output.slices().iter().zip(output.intervals()) {
-        if let Some(iv) = interval {
-            println!(
-                "  {:>14}: {:>9.0} [{:>9.0}, {:>9.0}]",
-                slice.scenario.name, iv.point, iv.lo, iv.hi
-            );
-        }
+    // Fleet-total operational AND embodied intervals came out of the same
+    // session run — both families share the (scenario × draw-chunk) plan.
+    println!("90% fleet intervals (MT CO2e):");
+    for (slice, (op, emb)) in output
+        .slices()
+        .iter()
+        .zip(output.intervals().iter().zip(output.embodied_intervals()))
+    {
+        let render = |iv: &Option<top500_carbon::easyc::Interval>| match iv {
+            Some(iv) => format!("{:>9.0} [{:>9.0}, {:>9.0}]", iv.point, iv.lo, iv.hi),
+            None => "        —".to_string(),
+        };
+        println!(
+            "  {:>14}: op {}  emb {}",
+            slice.scenario.name,
+            render(op),
+            render(emb)
+        );
     }
     println!();
 

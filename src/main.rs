@@ -5,23 +5,34 @@
 //! top500-carbon assess <systems.csv>        assess systems from a CSV
 //! top500-carbon template                    print the CSV input template
 //! top500-carbon figures <dir>               write every figure/table CSV
-//! top500-carbon sweep <scenarios.csv> [systems.csv] [--workers N] [--out results.csv]
+//! top500-carbon sweep <scenarios.csv> [systems.csv] [options]
 //!                                           assess a scenario matrix in one session
+//!   --workers N        session pool size
+//!   --out results.csv  write per-(scenario, system) columnar results
+//!   --draws N          Monte-Carlo fleet intervals (operational + embodied)
+//!   --synthetic N      use an N-system synthetic fleet instead of a CSV
+//!   --stream           chunked ingestion: memory bounded by --chunk-rows,
+//!                      not fleet size (totals/coverage/intervals only)
+//!   --chunk-rows N     rows per streamed chunk (default 8192)
 //! top500-carbon sweep-template              print the scenario CSV template
 //! ```
 
+use std::fs::File;
+use std::io::BufReader;
 use std::path::Path;
 use std::process::ExitCode;
 
-use top500_carbon::analysis::fleet::{render_sweep, summarize_slices};
+use top500_carbon::analysis::fleet::{render_sweep, summarize_slices, summarize_stream};
 use top500_carbon::analysis::report::run_study;
-use top500_carbon::easyc::{Assessment, ScenarioMatrix};
+use top500_carbon::easyc::{Assessment, Interval, ScenarioMatrix};
 use top500_carbon::frame;
-use top500_carbon::top500::io::{export_csv, import_csv, COLUMNS};
+use top500_carbon::top500::io::{export_csv, import_csv, stream_csv, COLUMNS};
 use top500_carbon::top500::list::Top500List;
+use top500_carbon::top500::stream::{FleetChunks, SyntheticChunks};
 use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
 
 const DEFAULT_SEED: u64 = 0x5EED_CAFE;
+const DEFAULT_CHUNK_ROWS: usize = 8192;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,17 +67,22 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("  top500-carbon assess <systems.csv>    assess systems from a CSV");
     eprintln!("  top500-carbon template                print the CSV input template");
     eprintln!("  top500-carbon figures <dir>           write every figure/table CSV");
-    eprintln!(
-        "  top500-carbon sweep <scenarios.csv> [systems.csv] [--workers N] [--out results.csv]"
-    );
+    eprintln!("  top500-carbon sweep <scenarios.csv> [systems.csv] [options]");
     eprintln!("                                        assess a scenario matrix in one session");
+    eprintln!("    --workers N         session pool size");
+    eprintln!("    --out results.csv   write per-(scenario, system) columnar results");
+    eprintln!("    --draws N           Monte-Carlo fleet intervals per scenario");
+    eprintln!("    --synthetic N       N-system synthetic fleet instead of a CSV");
+    eprintln!("    --stream            chunked ingestion, memory bounded by --chunk-rows");
+    eprintln!("    --chunk-rows N      rows per streamed chunk (default {DEFAULT_CHUNK_ROWS})");
     eprintln!("  top500-carbon sweep-template          print the scenario CSV template");
     ExitCode::FAILURE
 }
 
-/// Runs a scenario matrix over a system list (a CSV, or the synthetic 500)
-/// in one interleaved assessment session; optionally writes the full
-/// columnar results.
+/// Runs a scenario matrix over a system list (a CSV, or a synthetic
+/// fleet) in one interleaved assessment session. In-memory mode can write
+/// the full columnar results; `--stream` folds chunks incrementally so
+/// memory stays bounded by `--chunk-rows` regardless of fleet size.
 fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     let text = match std::fs::read_to_string(scenarios_path) {
         Ok(t) => t,
@@ -89,6 +105,10 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     let mut out_path: Option<&str> = None;
     let mut systems_path: Option<&str> = None;
     let mut workers: usize = top500_carbon::parallel::default_workers();
+    let mut stream = false;
+    let mut chunk_rows = DEFAULT_CHUNK_ROWS;
+    let mut synthetic_n: Option<u32> = None;
+    let mut draws = 0usize;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         if arg == "--out" {
@@ -101,9 +121,65 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
                 Some(n) if n > 0 => workers = n,
                 _ => return usage("--workers requires a positive integer"),
             }
+        } else if arg == "--stream" {
+            stream = true;
+        } else if arg == "--chunk-rows" {
+            match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => chunk_rows = n,
+                _ => return usage("--chunk-rows requires a positive integer"),
+            }
+        } else if arg == "--synthetic" {
+            match iter.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n > 0 => synthetic_n = Some(n),
+                _ => return usage("--synthetic requires a positive integer"),
+            }
+        } else if arg == "--draws" {
+            match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => draws = n,
+                _ => return usage("--draws requires an integer"),
+            }
         } else {
             systems_path = Some(arg);
         }
+    }
+    if systems_path.is_some() && synthetic_n.is_some() {
+        return usage("pass either systems.csv or --synthetic N, not both");
+    }
+    if stream {
+        if out_path.is_some() {
+            return usage(
+                "--out needs per-system rows, which --stream never materializes; \
+                 drop one of the two flags",
+            );
+        }
+        let synthetic = SyntheticConfig {
+            seed: DEFAULT_SEED,
+            n: synthetic_n.unwrap_or(500),
+            ..Default::default()
+        };
+        return match systems_path {
+            Some(p) => {
+                let file = match File::open(p) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("error: cannot open {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                run_stream_sweep(
+                    stream_csv(BufReader::new(file), chunk_rows),
+                    &matrix,
+                    workers,
+                    draws,
+                )
+            }
+            None => run_stream_sweep(
+                SyntheticChunks::new(synthetic, chunk_rows),
+                &matrix,
+                workers,
+                draws,
+            ),
+        };
     }
     let list: Top500List = match systems_path {
         Some(p) => {
@@ -124,6 +200,7 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
         }
         None => generate_full(&SyntheticConfig {
             seed: DEFAULT_SEED,
+            n: synthetic_n.unwrap_or(500),
             ..Default::default()
         }),
     };
@@ -136,8 +213,17 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     let output = Assessment::of(&list)
         .scenarios(&matrix)
         .workers(workers)
+        .uncertainty(draws)
         .run();
     println!("{}", render_sweep(&summarize_slices(output.slices())));
+    if draws > 0 {
+        let names: Vec<&str> = output
+            .slices()
+            .iter()
+            .map(|s| s.scenario.name.as_str())
+            .collect();
+        print_intervals(&names, output.intervals(), output.embodied_intervals());
+    }
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(path, frame::csv::write(&output.to_frame())) {
             eprintln!("error: could not write {path}: {e}");
@@ -146,6 +232,68 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
         println!("wrote per-system scenario results to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// Drives the incremental session over any chunked source and renders the
+/// folded sweep.
+fn run_stream_sweep<S: FleetChunks>(
+    source: S,
+    matrix: &ScenarioMatrix,
+    workers: usize,
+    draws: usize,
+) -> ExitCode {
+    println!(
+        "streaming sweep: {} scenarios, {} workers, folded per chunk\n",
+        matrix.len(),
+        workers
+    );
+    let output = match Assessment::stream(source)
+        .scenarios(matrix)
+        .workers(workers)
+        .uncertainty(draws)
+        .run()
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", render_sweep(&summarize_stream(&output)));
+    if draws > 0 {
+        let names: Vec<&str> = output
+            .slices()
+            .iter()
+            .map(|s| s.scenario.name.as_str())
+            .collect();
+        let op: Vec<Option<Interval>> = output.slices().iter().map(|s| s.interval).collect();
+        let emb: Vec<Option<Interval>> = output
+            .slices()
+            .iter()
+            .map(|s| s.embodied_interval)
+            .collect();
+        print_intervals(&names, &op, &emb);
+    }
+    println!(
+        "{} systems in {} chunks; peak resident chunk: {} rows",
+        output.systems(),
+        output.chunks(),
+        output.peak_chunk_rows()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Renders per-scenario fleet intervals (operational + embodied).
+fn print_intervals(names: &[&str], op: &[Option<Interval>], emb: &[Option<Interval>]) {
+    println!("fleet intervals (MT CO2e):");
+    for (name, (op, emb)) in names.iter().zip(op.iter().zip(emb)) {
+        let fmt = |iv: &Option<Interval>| match iv {
+            Some(iv) => format!("{:.0} [{:.0}, {:.0}]", iv.point, iv.lo, iv.hi),
+            None => "—".to_string(),
+        };
+        println!("  {:>16}: op {}  emb {}", name, fmt(op), fmt(emb));
+    }
+    println!();
 }
 
 fn cmd_study(artifacts: Option<&Path>) -> ExitCode {

@@ -1,18 +1,19 @@
-//! Acceptance tests for the assessment engine: the session (and the
-//! deprecated batch shims over it) must be bit-identical to the serial
-//! per-system path for the full synthetic 500, under every scenario, at
-//! any worker count; masked sweeps must perform zero record clones; and
-//! the figure pipelines must produce the same results through the new API.
-
-// The deprecated `BatchEngine`/`assess_list` shims are exercised on
-// purpose: they must stay bit-identical to the session that replaced them.
-#![allow(deprecated)]
+//! Acceptance tests for the assessment engine: the unified session must be
+//! bit-identical to the serial per-system path for the full synthetic 500,
+//! under every scenario, at any worker count and any chunk granularity;
+//! masked sweeps must perform zero record clones; fleet intervals
+//! (operational and embodied) must equal the serial uncertainty entry
+//! points; and the figure pipelines must produce the same results through
+//! the session API.
 
 use top500_carbon::analysis::report::default_scenario_matrix;
 use top500_carbon::analysis::StudyPipeline;
+use top500_carbon::easyc::uncertainty::{
+    fleet_embodied_interval_ctx, fleet_operational_interval_ctx, PriorUncertainty,
+};
 use top500_carbon::easyc::{
-    Assessment, AssessmentContext, BatchEngine, DataScenario, EasyC, EasyCConfig, MetricBit,
-    MetricMask, OverrideSet, ScenarioMatrix, SystemFootprint,
+    Assessment, AssessmentContext, DataScenario, EasyC, EasyCConfig, MetricBit, MetricMask,
+    OverrideSet, ScenarioMatrix, SystemFootprint,
 };
 use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
@@ -56,32 +57,6 @@ fn assert_bit_identical(a: &[SystemFootprint], b: &[SystemFootprint], what: &str
 }
 
 #[test]
-fn batch_bit_identical_to_serial_for_every_scenario_and_worker_count() {
-    let list = full_500();
-    let serial_tool = EasyC::new();
-    for scenario in scenario_matrix().scenarios() {
-        let serial: Vec<SystemFootprint> = list
-            .systems()
-            .iter()
-            .map(|s| serial_tool.assess_scenario(s, scenario))
-            .collect();
-        for workers in [1usize, 2, 5, 16] {
-            let engine = BatchEngine::with_config(EasyCConfig {
-                workers,
-                ..Default::default()
-            });
-            let ctx = engine.context(&list);
-            let batch = engine.assess(&ctx, scenario);
-            assert_bit_identical(
-                &batch,
-                &serial,
-                &format!("scenario `{}` workers {workers}", scenario.name),
-            );
-        }
-    }
-}
-
-#[test]
 fn session_bit_identical_to_serial_full_500_at_pinned_worker_counts() {
     // The acceptance pin for the unified session: every scenario of the
     // extended matrix over the full synthetic 500, at workers {1, 2, 8},
@@ -119,20 +94,35 @@ fn session_bit_identical_to_serial_full_500_at_pinned_worker_counts() {
 }
 
 #[test]
-fn session_and_batch_shims_agree_exactly() {
+fn session_bit_identical_across_chunk_granularities() {
+    // The chunk-skew fix made the work-item size a scheduler knob
+    // (~4× workers by default). Any granularity must produce bit-identical
+    // output — including the Monte-Carlo intervals, whose draws depend
+    // only on (seed, sample, base index).
     let list = full_500();
     let matrix = scenario_matrix();
-    let session = Assessment::of(&list).scenarios(&matrix).run();
-    let shim = BatchEngine::new().assess_matrix(&list, &matrix);
-    assert_eq!(session.slices().len(), shim.slices().len());
-    for (a, b) in session.slices().iter().zip(shim.slices()) {
-        assert_bit_identical(&a.footprints, &b.footprints, &a.scenario.name);
-        assert_eq!(a.coverage, b.coverage);
-    }
-    // O(1) lookups resolve identically to the slice order.
-    for scenario in matrix.scenarios() {
-        assert!(session.slice(&scenario.name).is_some());
-        assert!(shim.slice(&scenario.name).is_some());
+    let run = |workers: usize, items: usize| {
+        Assessment::of(&list)
+            .workers(workers)
+            .items_per_worker(items)
+            .scenarios(&matrix)
+            .uncertainty(60)
+            .seed(7)
+            .run()
+    };
+    let reference = run(1, 1); // one chunk per scenario: the coarsest plan
+    for (workers, items) in [(1usize, 4usize), (2, 1), (2, 4), (8, 2), (8, 16)] {
+        let got = run(workers, items);
+        for (a, b) in reference.slices().iter().zip(got.slices()) {
+            assert_bit_identical(
+                &a.footprints,
+                &b.footprints,
+                &format!("workers {workers} items/worker {items}"),
+            );
+            assert_eq!(a.coverage, b.coverage);
+        }
+        assert_eq!(reference.intervals(), got.intervals());
+        assert_eq!(reference.embodied_intervals(), got.embodied_intervals());
     }
 }
 
@@ -155,8 +145,10 @@ fn masked_session_sweep_performs_zero_record_clones() {
 }
 
 #[test]
-fn session_intervals_match_legacy_scenario_intervals() {
-    use top500_carbon::easyc::uncertainty::{scenario_intervals, PriorUncertainty};
+fn session_intervals_match_serial_uncertainty_entry_points() {
+    // Both interval families of the session — operational and embodied —
+    // must be bit-identical to the standalone fleet interval functions
+    // over the same context and scenarios.
     let list = generate_full(&SyntheticConfig {
         n: 150,
         seed: 0x5EED_CAFE,
@@ -165,7 +157,6 @@ fn session_intervals_match_legacy_scenario_intervals() {
     let matrix = default_scenario_matrix();
     let tool = EasyC::new();
     let priors = PriorUncertainty::default();
-    let legacy = scenario_intervals(&tool, &list, &matrix, &priors, 200, 0.9, 17);
     let session = Assessment::of(&list)
         .config(*tool.config())
         .scenarios(&matrix)
@@ -174,22 +165,37 @@ fn session_intervals_match_legacy_scenario_intervals() {
         .seed(17)
         .priors(priors)
         .run();
-    assert_eq!(legacy.len(), session.slices().len());
-    for (name, interval) in &legacy {
-        assert_eq!(session.interval(name), *interval, "{name}");
+    let ctx = AssessmentContext::new(&list, tool.config().workers);
+    for scenario in matrix.scenarios() {
+        let direct_op =
+            fleet_operational_interval_ctx(&tool, &ctx, scenario, &priors, 200, 0.9, 17);
+        assert_eq!(
+            session.interval(&scenario.name),
+            direct_op,
+            "operational `{}`",
+            scenario.name
+        );
+        let direct_emb = fleet_embodied_interval_ctx(&tool, &ctx, scenario, &priors, 200, 0.9, 17);
+        assert_eq!(
+            session.embodied_interval(&scenario.name),
+            direct_emb,
+            "embodied `{}`",
+            scenario.name
+        );
     }
 }
 
 #[test]
-fn matrix_pass_equals_independent_passes() {
+fn matrix_pass_equals_independent_session_passes() {
     let list = full_500();
     let matrix = scenario_matrix();
-    let engine = BatchEngine::new();
-    let combined = engine.assess_matrix(&list, &matrix);
+    let combined = Assessment::of(&list).scenarios(&matrix).run();
     assert_eq!(combined.slices().len(), matrix.len());
     for (slice, scenario) in combined.slices().iter().zip(matrix.scenarios()) {
-        let ctx = engine.context(&list);
-        let independent = engine.assess(&ctx, scenario);
+        let independent = Assessment::of(&list)
+            .scenario(scenario.clone())
+            .run()
+            .into_footprints();
         assert_bit_identical(&slice.footprints, &independent, &scenario.name);
         // Coverage read off the footprints must match the slice's report.
         assert_eq!(
@@ -204,29 +210,30 @@ fn masked_list_matches_masked_scenario_semantics() {
     // Masking the power column via the scenario must equal physically
     // removing it from the records.
     let list = full_500();
-    let engine = BatchEngine::new();
     let scenario = DataScenario::masked(
         "no-power",
         MetricMask::ALL
             .without(MetricBit::PowerKw)
             .without(MetricBit::AnnualEnergy),
     );
-    let ctx = engine.context(&list);
-    let via_mask = engine.assess(&ctx, &scenario);
+    let via_mask = Assessment::of(&list)
+        .scenario(scenario)
+        .run()
+        .into_footprints();
 
     let mut stripped = list.clone();
     for record in stripped.systems_mut() {
         record.power_kw = None;
         record.annual_energy_mwh = None;
     }
-    let via_records = engine.assess_list(&stripped);
+    let via_records = Assessment::of(&stripped).run().into_footprints();
     assert_bit_identical(&via_mask, &via_records, "mask vs stripped records");
 }
 
 #[test]
-fn pipeline_through_batch_engine_unchanged_from_serial_reference() {
-    // The figure pipelines now run on the batch engine; their per-system
-    // numbers must still equal a plain serial assessment of the same lists.
+fn pipeline_through_session_unchanged_from_serial_reference() {
+    // The figure pipelines run on the session; their per-system numbers
+    // must still equal a plain serial assessment of the same lists.
     let out = StudyPipeline::new(500, 0x5EED_CAFE).run();
     let tool = EasyC::new();
     for (list, results, label) in [
@@ -249,16 +256,18 @@ fn overrides_inside_stages_replace_rescaling() {
     // footprint exactly, including on masked lists.
     let full = full_500();
     let masked = mask_baseline(&full, &MaskRates::default(), 7);
-    let engine = BatchEngine::new();
-    let ctx = engine.context(&masked);
-    let base = engine.assess(&ctx, &DataScenario::full("base"));
-    let pue = engine.assess(
-        &ctx,
-        &DataScenario::full("pue").with_overrides(OverrideSet {
+    let ctx = AssessmentContext::new(&masked, top500_carbon::parallel::default_workers());
+    let base = Assessment::over(&ctx)
+        .scenario(DataScenario::full("base"))
+        .run()
+        .into_footprints();
+    let pue = Assessment::over(&ctx)
+        .scenario(DataScenario::full("pue").with_overrides(OverrideSet {
             pue: Some(2.0),
             ..OverrideSet::NONE
-        }),
-    );
+        }))
+        .run()
+        .into_footprints();
     for (b, o) in base.iter().zip(&pue) {
         match (&b.operational, &o.operational) {
             (Ok(b), Ok(o)) => {
@@ -282,11 +291,13 @@ fn utilization_override_regression_full_list() {
     // utilisation was exactly 1.0. The staged path applies it uniformly on
     // every non-measured-energy power path.
     let list = full_500();
-    let tool = EasyC::with_config(EasyCConfig {
-        utilization_override: Some(0.5),
-        ..Default::default()
-    });
-    let overridden = tool.assess_list(&list);
+    let overridden = Assessment::of(&list)
+        .config(EasyCConfig {
+            utilization_override: Some(0.5),
+            ..Default::default()
+        })
+        .run()
+        .into_footprints();
     for fp in &overridden {
         if let Ok(op) = &fp.operational {
             match op.path {
@@ -306,7 +317,7 @@ fn columnar_frame_matches_typed_results() {
         ..Default::default()
     });
     let matrix = scenario_matrix();
-    let out = BatchEngine::new().assess_matrix(&list, &matrix);
+    let out = Assessment::of(&list).scenarios(&matrix).run();
     let df = out.to_frame();
     assert_eq!(df.len(), matrix.len() * list.len());
     let op = df.numeric("operational_mt").expect("operational column");

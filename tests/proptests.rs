@@ -3,10 +3,12 @@
 use proptest::prelude::*;
 use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
 use top500_carbon::easyc::{
-    embodied, operational, DataScenario, EasyC, MetricMask, OverrideSet, ScenarioMatrix,
-    SevenMetrics, SystemFootprint, SystemView,
+    embodied, operational, Assessment, DataScenario, EasyC, MetricMask, OverrideSet,
+    ScenarioMatrix, SevenMetrics, SystemFootprint, SystemView,
 };
 use top500_carbon::frame::{csv, stats, Column, DataFrame};
+use top500_carbon::top500::stream::InMemoryChunks;
+use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
 use top500_carbon::top500::SystemRecord;
 
 // ------------------------------------------------------------ interpolation
@@ -113,6 +115,38 @@ proptest! {
             let cell = back.value("text", i).unwrap();
             prop_assert_eq!(cell.as_str().unwrap(), v.as_str());
         }
+    }
+
+    #[test]
+    fn csv_chunked_reader_matches_whole_file_parse(
+        cells in prop::collection::vec("[ -~\n\"]{0,16}", 1..40),
+        rows_per_chunk in 1usize..12
+    ) {
+        // Arbitrary text cells — embedded newlines, quotes, commas — force
+        // the writer to quote; the chunked reader must reassemble records
+        // across chunk boundaries exactly as the whole-file parser does.
+        let values: Vec<String> = cells.iter().map(|c| format!("s:{c}")).collect();
+        let df = DataFrame::new()
+            .with_column("text", Column::from_str_iter(values.clone()))
+            .unwrap();
+        let text = csv::write(&df);
+        let whole = csv::parse(&text).unwrap();
+        let mut reader = csv::ChunkedReader::new(text.as_bytes(), rows_per_chunk);
+        let mut row = 0usize;
+        while let Some(chunk) = reader.next_chunk() {
+            let chunk = chunk.unwrap();
+            prop_assert!(chunk.len() <= rows_per_chunk);
+            for local in 0..chunk.len() {
+                prop_assert_eq!(
+                    chunk.value("text", local).unwrap(),
+                    whole.value("text", row).unwrap(),
+                    "row {}", row
+                );
+                row += 1;
+            }
+        }
+        prop_assert_eq!(row, whole.len());
+        prop_assert_eq!(whole.len(), values.len());
     }
 
     #[test]
@@ -309,6 +343,50 @@ proptest! {
         let before = top500_carbon::top500::record::clones_on_thread();
         let _ = tool.assess_scenario(&record, &scenario);
         prop_assert_eq!(top500_carbon::top500::record::clones_on_thread(), before);
+    }
+
+    #[test]
+    fn streamed_session_bit_identical_for_arbitrary_chunks_and_masks(
+        n in 1u32..48,
+        seed in 0u64..1_000,
+        rows_per_chunk in 1usize..64,
+        mask in arb_mask()
+    ) {
+        // The streaming fold must reproduce the in-memory session exactly
+        // — coverage, sequential-sum totals, both interval families — for
+        // any chunk budget (including budgets larger than the fleet) and
+        // any availability mask.
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked("masked", mask));
+        let session = Assessment::of(&list)
+            .scenarios(&matrix)
+            .uncertainty(24)
+            .seed(seed)
+            .run();
+        let streamed = Assessment::stream(InMemoryChunks::new(&list, rows_per_chunk))
+            .scenarios(&matrix)
+            .uncertainty(24)
+            .seed(seed)
+            .run()
+            .expect("in-memory chunks cannot fail");
+        prop_assert_eq!(streamed.systems(), list.len());
+        prop_assert!(streamed.peak_chunk_rows() <= rows_per_chunk);
+        for (s, m) in streamed.slices().iter().zip(session.slices()) {
+            prop_assert_eq!(s.coverage, m.coverage);
+            let mut op = 0.0;
+            let mut emb = 0.0;
+            for fp in &m.footprints {
+                if let Ok(o) = &fp.operational { op += o.mt_co2e; }
+                if let Ok(e) = &fp.embodied { emb += e.mt_co2e; }
+            }
+            prop_assert_eq!(s.operational_total_mt, op);
+            prop_assert_eq!(s.embodied_total_mt, emb);
+            let name = s.scenario.name.as_str();
+            prop_assert_eq!(s.interval, session.interval(name));
+            prop_assert_eq!(s.embodied_interval, session.embodied_interval(name));
+        }
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Acceptance tests for streaming ingestion + incremental sessions.
+//!
+//! The contract under test: a streamed sweep — CSV chunks, synthetic
+//! chunks, or a re-chunked in-memory list — folds to results that are
+//! **bit-identical** to the in-memory session over the same systems
+//! (coverage counts, fleet totals, operational and embodied intervals),
+//! while never holding more than one chunk of the fleet.
+
+use top500_carbon::analysis::fleet::{scenario_sweep, scenario_sweep_streamed};
+use top500_carbon::easyc::{
+    Assessment, AssessmentOutput, DataScenario, EasyCConfig, MetricBit, MetricMask, ScenarioMatrix,
+    StreamOutput,
+};
+use top500_carbon::top500::io::{export_csv, stream_csv};
+use top500_carbon::top500::stream::{InMemoryChunks, SyntheticChunks};
+use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
+
+const SEED: u64 = 0x5EED_CAFE;
+
+fn synthetic_500() -> top500_carbon::top500::list::Top500List {
+    generate_full(&SyntheticConfig {
+        n: 500,
+        seed: SEED,
+        ..Default::default()
+    })
+}
+
+fn matrix() -> ScenarioMatrix {
+    ScenarioMatrix::new()
+        .with(DataScenario::full("full"))
+        .with(DataScenario::masked(
+            "no-power",
+            MetricMask::ALL
+                .without(MetricBit::PowerKw)
+                .without(MetricBit::AnnualEnergy),
+        ))
+        .with(DataScenario::masked(
+            "no-structure",
+            MetricMask::ALL
+                .without(MetricBit::Nodes)
+                .without(MetricBit::Gpus)
+                .without(MetricBit::Cpus),
+        ))
+}
+
+/// Asserts a streamed output folds to exactly what the in-memory session
+/// reports: per-scenario coverage, sequential-sum totals, both interval
+/// families.
+fn assert_stream_matches_session(streamed: &StreamOutput, session: &AssessmentOutput, what: &str) {
+    assert_eq!(streamed.len(), session.len(), "{what}: scenario count");
+    for (s, m) in streamed.slices().iter().zip(session.slices()) {
+        assert_eq!(s.scenario.name, m.scenario.name, "{what}");
+        assert_eq!(
+            s.coverage, m.coverage,
+            "{what}: coverage `{}`",
+            s.scenario.name
+        );
+        let mut op = 0.0;
+        let mut emb = 0.0;
+        for fp in &m.footprints {
+            if let Ok(o) = &fp.operational {
+                op += o.mt_co2e;
+            }
+            if let Ok(e) = &fp.embodied {
+                emb += e.mt_co2e;
+            }
+        }
+        assert_eq!(
+            s.operational_total_mt, op,
+            "{what}: operational total `{}`",
+            s.scenario.name
+        );
+        assert_eq!(
+            s.embodied_total_mt, emb,
+            "{what}: embodied total `{}`",
+            s.scenario.name
+        );
+        let name = s.scenario.name.as_str();
+        assert_eq!(
+            s.interval,
+            session.interval(name),
+            "{what}: interval `{name}`"
+        );
+        assert_eq!(
+            s.embodied_interval,
+            session.embodied_interval(name),
+            "{what}: embodied interval `{name}`"
+        );
+    }
+}
+
+#[test]
+fn streamed_synthetic_500_bit_identical_to_in_memory_session() {
+    // The acceptance pin: the synthetic 500, streamed at several chunk
+    // budgets (including chunk = 1 row and chunk > fleet), folds to
+    // bit-identical results — with Monte-Carlo intervals on.
+    let list = synthetic_500();
+    let session = Assessment::of(&list)
+        .scenarios(&matrix())
+        .uncertainty(120)
+        .confidence(0.9)
+        .seed(17)
+        .run();
+    for chunk_rows in [1usize, 37, 128, 500, 4096] {
+        let streamed = Assessment::stream(SyntheticChunks::new(
+            SyntheticConfig {
+                n: 500,
+                seed: SEED,
+                ..Default::default()
+            },
+            chunk_rows,
+        ))
+        .scenarios(&matrix())
+        .uncertainty(120)
+        .confidence(0.9)
+        .seed(17)
+        .run()
+        .expect("synthetic source cannot fail");
+        assert_eq!(streamed.systems(), 500, "rows {chunk_rows}");
+        assert!(
+            streamed.peak_chunk_rows() <= chunk_rows,
+            "rows {chunk_rows}: peak {} exceeds the chunk budget",
+            streamed.peak_chunk_rows()
+        );
+        assert_stream_matches_session(&streamed, &session, &format!("rows {chunk_rows}"));
+    }
+}
+
+#[test]
+fn streamed_csv_bit_identical_to_in_memory_import() {
+    // End-to-end through the quote-aware chunked CSV reader: a masked
+    // fleet (realistic missingness, quoted names with commas) exported to
+    // CSV, streamed back in bounded chunks, must assess identically to
+    // the in-memory import + session.
+    let full = generate_full(&SyntheticConfig {
+        n: 200,
+        seed: SEED,
+        ..Default::default()
+    });
+    let mut masked = mask_baseline(&full, &MaskRates::default(), 3);
+    masked.systems_mut()[0].name = Some("MareNostrum 5, ACC".into());
+    masked.systems_mut()[1].name = Some("say \"hi\"".into());
+    let text = export_csv(&masked);
+    let session = Assessment::of(&masked)
+        .scenarios(&matrix())
+        .uncertainty(60)
+        .seed(5)
+        .run();
+    for chunk_rows in [1usize, 33, 200, 1000] {
+        let streamed = Assessment::stream(stream_csv(text.as_bytes(), chunk_rows))
+            .scenarios(&matrix())
+            .uncertainty(60)
+            .seed(5)
+            .run()
+            .expect("CSV stream");
+        assert_eq!(streamed.systems(), 200);
+        assert!(streamed.peak_chunk_rows() <= chunk_rows);
+        assert_stream_matches_session(&streamed, &session, &format!("csv rows {chunk_rows}"));
+    }
+}
+
+#[test]
+fn streamed_analysis_sweep_bit_identical_to_in_memory_summaries() {
+    let list = synthetic_500();
+    let in_memory = scenario_sweep(&list, &matrix(), EasyCConfig::default());
+    let streamed = scenario_sweep_streamed(
+        InMemoryChunks::new(&list, 64),
+        &matrix(),
+        EasyCConfig::default(),
+    )
+    .expect("in-memory chunks cannot fail");
+    assert_eq!(streamed, in_memory);
+}
+
+#[test]
+fn streaming_memory_is_bounded_by_chunk_not_fleet() {
+    // Ten chunks of 100 make a 1000-system fleet; the session must never
+    // report more than one chunk resident.
+    let streamed = Assessment::stream(SyntheticChunks::new(
+        SyntheticConfig {
+            n: 1000,
+            seed: SEED,
+            ..Default::default()
+        },
+        100,
+    ))
+    .scenarios(&matrix())
+    .run()
+    .unwrap();
+    assert_eq!(streamed.systems(), 1000);
+    assert_eq!(streamed.chunks(), 10);
+    assert_eq!(streamed.peak_chunk_rows(), 100);
+}
+
+#[test]
+fn csv_stream_error_surfaces_through_the_session() {
+    let text = "rank,rmax_tflops\n1,100\n2,oops\n3,50\n";
+    let err = Assessment::stream(stream_csv(text.as_bytes(), 1))
+        .scenarios(&matrix())
+        .run()
+        .unwrap_err();
+    assert!(err.to_string().contains("row 1"), "{err}");
+}
