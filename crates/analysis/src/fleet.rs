@@ -244,6 +244,27 @@ pub fn scenario_sweep_streamed<S: FleetChunks>(
     ))
 }
 
+/// [`scenario_sweep_streamed`], additionally spilling every
+/// per-(scenario, system) row into `writer` chunk by chunk — the full
+/// columnar artifact of an in-memory `sweep --out`, at streaming memory.
+/// The caller still owns the writer: call
+/// [`SweepCsvWriter::finish`](crate::report::SweepCsvWriter::finish)
+/// afterwards to assemble (and error-check) the artifact.
+pub fn scenario_sweep_streamed_to_csv<S: FleetChunks>(
+    source: S,
+    matrix: &ScenarioMatrix,
+    config: EasyCConfig,
+    writer: &mut crate::report::SweepCsvWriter,
+) -> Result<Vec<ScenarioSummary>, S::Error> {
+    Ok(summarize_stream(
+        &Assessment::stream(source)
+            .config(config)
+            .scenarios(matrix)
+            .rows(|block| writer.append(&block))
+            .run()?,
+    ))
+}
+
 /// Renders a sweep as an aligned text table.
 pub fn render_sweep(summaries: &[ScenarioSummary]) -> String {
     let rows: Vec<Vec<String>> = summaries

@@ -9,15 +9,16 @@
 //! of re-running every estimator a second time.
 
 use crate::aggregate::Aggregate;
-use crate::fleet::{scenario_sweep_streamed, ScenarioSummary};
+use crate::fleet::{scenario_sweep_streamed, scenario_sweep_streamed_to_csv, ScenarioSummary};
 use crate::interpolate::{interpolate_with_summary, InterpolationSummary};
+use crate::report::SweepCsvWriter;
 use easyc::{
     Assessment, CoverageReport, DataScenario, EasyCConfig, Scenario, ScenarioMatrix,
     SystemFootprint,
 };
 use top500::enrich::{enrich, RevealRates};
 use top500::list::Top500List;
-use top500::stream::SyntheticChunks;
+use top500::stream::{Prefetched, SyntheticChunks};
 use top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
 /// Pipeline configuration.
@@ -137,6 +138,34 @@ impl StudyPipeline {
             Ok(summaries) => summaries,
             Err(never) => match never {},
         }
+    }
+
+    /// [`StudyPipeline::stream_sweep`] with the ingest/assess pipeline
+    /// fully engaged: the synthetic generator runs on a background
+    /// prefetch thread ([`Prefetched`]) while the pool assesses, and every
+    /// per-(scenario, system) row is spilled chunk-by-chunk into a
+    /// columnar CSV at `target` (byte-identical to the in-memory
+    /// `to_frame` artifact). Memory stays bounded by two chunks however
+    /// large `n` is.
+    pub fn stream_sweep_to_csv(
+        &self,
+        matrix: &ScenarioMatrix,
+        rows_per_chunk: usize,
+        target: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Vec<ScenarioSummary>> {
+        let mut writer = SweepCsvWriter::create(target, matrix.len())?;
+        let source = Prefetched::new(SyntheticChunks::new(self.synthetic, rows_per_chunk));
+        let summaries = match scenario_sweep_streamed_to_csv(
+            source,
+            matrix,
+            EasyCConfig::default(),
+            &mut writer,
+        ) {
+            Ok(summaries) => summaries,
+            Err(never) => match never {},
+        };
+        writer.finish()?;
+        Ok(summaries)
     }
 }
 

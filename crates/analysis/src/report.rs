@@ -1,15 +1,17 @@
-//! Run the whole study and emit artifacts (text + CSV + JSON).
+//! Run the whole study and emit artifacts (text + CSV + JSON), including
+//! the chunk-at-a-time [`SweepCsvWriter`] behind `sweep --stream --out`.
 
 use crate::figures::{self, CarbonByRank, CoverageByRange, Fig2, Fig4, Fig7, Fig9, Table1};
 use crate::fleet::{self, ScenarioSummary};
 use crate::pipeline::{PipelineOutput, StudyPipeline};
+use easyc::batch::footprints_frame;
 use easyc::{
-    Assessment, AssessmentOutput, DataScenario, EasyCConfig, MetricBit, MetricMask, OverrideSet,
-    ScenarioMatrix,
+    Assessment, AssessmentOutput, ChunkRows, DataScenario, EasyCConfig, MetricBit, MetricMask,
+    OverrideSet, ScenarioMatrix,
 };
-use std::fs;
-use std::io;
-use std::path::Path;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 /// Headline numbers of the study, serialisable for EXPERIMENTS.md.
 #[derive(Debug, Clone)]
@@ -102,6 +104,166 @@ impl Headline {
             num(p.op_total_mt),
             num(p.emb_total_mt),
         )
+    }
+}
+
+/// Chunk-at-a-time CSV appender for per-(scenario, system) sweep results —
+/// the artifact sink of `sweep --stream --out`.
+///
+/// The in-memory sweep writes its columnar artifact scenario-major (every
+/// system of scenario 0, then scenario 1, …) via
+/// [`AssessmentOutput::to_frame`] + `frame::csv::write`. A streaming sweep
+/// produces rows chunk-major instead, so this writer spills each
+/// scenario's rows to its own `*.partN` sidecar file as [`ChunkRows`]
+/// blocks arrive, then [`finish`](SweepCsvWriter::finish) concatenates
+/// header + sidecars (matrix order) into the target and removes them. The
+/// result is **byte-identical** to the in-memory artifact (pinned by
+/// `tests/streaming.rs` and a proptest) while memory stays bounded by one
+/// chunk of rendered rows.
+///
+/// I/O errors are latched: the first failure disables further writes and
+/// is surfaced by `finish`, so the sink callback stays infallible and the
+/// streaming session's error type stays the source's.
+///
+/// ```no_run
+/// use easyc::{Assessment, ScenarioMatrix};
+/// use top500::stream::{Prefetched, SyntheticChunks};
+/// use top500::synthetic::SyntheticConfig;
+/// use analysis::report::SweepCsvWriter;
+///
+/// let matrix = ScenarioMatrix::new(); // … scenarios elided
+/// let mut writer = SweepCsvWriter::create("results.csv", matrix.len())?;
+/// let source = Prefetched::new(SyntheticChunks::new(
+///     SyntheticConfig { n: 1_000_000, ..Default::default() },
+///     8192,
+/// ));
+/// let output = Assessment::stream(source)
+///     .scenarios(&matrix)
+///     .rows(|block| writer.append(&block))
+///     .run()?;
+/// writer.finish()?; // header + per-scenario spills -> results.csv
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SweepCsvWriter {
+    target: PathBuf,
+    parts: Vec<(PathBuf, BufWriter<File>)>,
+    error: Option<io::Error>,
+}
+
+impl SweepCsvWriter {
+    /// Opens one spill sidecar per scenario next to `target`
+    /// (`<target>.<pid>-<k>.part0`, `.part1`, …). The pid + process-local
+    /// counter make the names unique, and the files are opened
+    /// `create_new`, so a concurrent sweep spilling next to the same
+    /// target (or a pre-existing user file that happens to share a name)
+    /// surfaces as an error instead of silently interleaving rows.
+    /// Nothing is written to `target` itself until
+    /// [`finish`](SweepCsvWriter::finish).
+    pub fn create(target: impl Into<PathBuf>, scenarios: usize) -> io::Result<SweepCsvWriter> {
+        static SPILL_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let epoch = SPILL_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let stamp = format!("{}-{epoch}", std::process::id());
+        let target = target.into();
+        let mut parts = Vec::with_capacity(scenarios);
+        for i in 0..scenarios {
+            let path = PathBuf::from(format!("{}.{stamp}.part{i}", target.display()));
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(file) => parts.push((path, BufWriter::new(file))),
+                Err(e) => {
+                    // Don't orphan the sidecars already created.
+                    for (created, _) in &parts {
+                        let _ = fs::remove_file(created);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(SweepCsvWriter {
+            target,
+            parts,
+            error: None,
+        })
+    }
+
+    /// Appends one (scenario × chunk) block of rows to that scenario's
+    /// spill file. Rendering goes through the exact code path of the
+    /// in-memory artifact (`easyc::batch::footprints_frame` +
+    /// `frame::csv::write_rows`), which is what makes the final
+    /// concatenation byte-identical. Infallible by design — see the type
+    /// docs for the error latch.
+    pub fn append(&mut self, block: &ChunkRows<'_>) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some((_, writer)) = self.parts.get_mut(block.scenario_index) else {
+            self.error = Some(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "scenario index {} out of range for {} spill files",
+                    block.scenario_index,
+                    self.parts.len()
+                ),
+            ));
+            return;
+        };
+        let rows =
+            frame::csv::write_rows(&footprints_frame(&block.scenario.name, block.footprints));
+        if let Err(e) = writer.write_all(rows.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// First latched I/O error, if any (also returned by
+    /// [`finish`](SweepCsvWriter::finish)).
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Writes the header plus every scenario's spilled rows (matrix order)
+    /// into the target, streaming sidecar-by-sidecar, then removes the
+    /// sidecars. Returns the target path. On failure nothing is left
+    /// behind — a partially-assembled target is removed along with the
+    /// sidecars, so a target file on disk always means a complete artifact.
+    pub fn finish(mut self) -> io::Result<PathBuf> {
+        if let Some(e) = self.error.take() {
+            self.cleanup();
+            return Err(e);
+        }
+        let result = (|| {
+            let mut out = BufWriter::new(File::create(&self.target)?);
+            out.write_all(frame::csv::write_header(&footprints_frame("", &[])).as_bytes())?;
+            for (path, writer) in self.parts.iter_mut() {
+                writer.flush()?;
+                let mut part = File::open(&*path)?;
+                io::copy(&mut part, &mut out)?;
+            }
+            out.flush()
+        })();
+        self.cleanup();
+        if result.is_err() {
+            let _ = fs::remove_file(&self.target);
+        }
+        result.map(|()| self.target.clone())
+    }
+
+    /// Best-effort removal of the spill sidecars.
+    fn cleanup(&mut self) {
+        for (path, _) in &self.parts {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for SweepCsvWriter {
+    /// An abandoned writer (e.g. the stream errored before `finish`) must
+    /// not leave `*.partN` sidecars behind. Removal is idempotent, so the
+    /// extra pass after a successful `finish` is a no-op.
+    fn drop(&mut self) {
+        self.cleanup();
     }
 }
 
@@ -332,6 +494,108 @@ impl StudyReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use top500::stream::InMemoryChunks;
+    use top500::synthetic::{generate_full, SyntheticConfig};
+
+    fn sweep_matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked(
+                "no-power",
+                MetricMask::ALL
+                    .without(MetricBit::PowerKw)
+                    .without(MetricBit::AnnualEnergy),
+            ))
+    }
+
+    #[test]
+    fn sweep_csv_writer_byte_identical_to_in_memory_artifact() {
+        let list = generate_full(&SyntheticConfig {
+            n: 70,
+            ..Default::default()
+        });
+        let matrix = sweep_matrix();
+        let expected =
+            frame::csv::write(&Assessment::of(&list).scenarios(&matrix).run().to_frame());
+        let dir = std::env::temp_dir();
+        for rows in [1usize, 13, 70, 500] {
+            let target = dir.join(format!("sweep-writer-{}-{rows}.csv", std::process::id()));
+            let mut writer = SweepCsvWriter::create(&target, matrix.len()).unwrap();
+            Assessment::stream(InMemoryChunks::new(&list, rows))
+                .scenarios(&matrix)
+                .rows(|block| writer.append(&block))
+                .run()
+                .unwrap();
+            assert!(writer.error().is_none());
+            let finished = writer.finish().unwrap();
+            assert_eq!(finished, target);
+            let streamed = fs::read_to_string(&target).unwrap();
+            assert_eq!(streamed, expected, "rows {rows}");
+            // The spill sidecars (named `<target>.<stamp>.partN`) must be
+            // gone: no sibling may share the target's name as a prefix.
+            let stem = target.file_name().unwrap().to_string_lossy().to_string();
+            let leftovers: Vec<String> = fs::read_dir(target.parent().unwrap())
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().to_string())
+                .filter(|name| name.starts_with(&format!("{stem}.")))
+                .collect();
+            assert!(leftovers.is_empty(), "sidecars left behind: {leftovers:?}");
+            fs::remove_file(&target).ok();
+        }
+    }
+
+    #[test]
+    fn sweep_csv_writer_empty_stream_writes_header_only() {
+        let target = std::env::temp_dir().join(format!("sweep-empty-{}.csv", std::process::id()));
+        let writer = SweepCsvWriter::create(&target, 0).unwrap();
+        writer.finish().unwrap();
+        let text = fs::read_to_string(&target).unwrap();
+        assert_eq!(
+            text,
+            "scenario,rank,operational_mt,embodied_mt,power_kw,pue,utilization,power_path,note\n"
+        );
+        fs::remove_file(&target).ok();
+    }
+
+    #[test]
+    fn sweep_csv_writer_latches_out_of_range_scenario() {
+        let list = generate_full(&SyntheticConfig {
+            n: 5,
+            ..Default::default()
+        });
+        let matrix = sweep_matrix();
+        let target = std::env::temp_dir().join(format!("sweep-oob-{}.csv", std::process::id()));
+        // One spill file for a two-scenario matrix: the second scenario's
+        // first block must latch an error that finish() surfaces.
+        let mut writer = SweepCsvWriter::create(&target, 1).unwrap();
+        Assessment::stream(InMemoryChunks::new(&list, 2))
+            .scenarios(&matrix)
+            .rows(|block| writer.append(&block))
+            .run()
+            .unwrap();
+        assert!(writer.error().is_some());
+        assert!(writer.finish().is_err());
+        fs::remove_file(&target).ok();
+    }
+
+    #[test]
+    fn pipeline_stream_sweep_to_csv_matches_in_memory_artifact() {
+        let pipeline = StudyPipeline::new(90, 3);
+        let matrix = sweep_matrix();
+        let target =
+            std::env::temp_dir().join(format!("pipeline-stream-sweep-{}.csv", std::process::id()));
+        let summaries = pipeline.stream_sweep_to_csv(&matrix, 17, &target).unwrap();
+        assert_eq!(summaries.len(), 2);
+        let expected = frame::csv::write(
+            &Assessment::of(&generate_full(&pipeline.synthetic))
+                .scenarios(&matrix)
+                .run()
+                .to_frame(),
+        );
+        assert_eq!(fs::read_to_string(&target).unwrap(), expected);
+        fs::remove_file(&target).ok();
+    }
 
     #[test]
     fn study_headline_consistent() {

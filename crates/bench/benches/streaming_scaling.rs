@@ -12,7 +12,9 @@ use bench::{banner, BENCH_SEED};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use easyc::scenario::{DataScenario, MetricBit, MetricMask, ScenarioMatrix};
 use easyc::Assessment;
-use top500::stream::SyntheticChunks;
+use std::io::Cursor;
+use top500::io::{export_csv, stream_csv};
+use top500::stream::{Prefetched, SyntheticChunks};
 use top500::synthetic::{generate_full, SyntheticConfig};
 
 fn matrix() -> ScenarioMatrix {
@@ -94,12 +96,70 @@ fn million_row_proof() {
     println!("bit-identity vs in-memory session on the synthetic 500: OK");
 }
 
+/// Serial vs overlapped ingest on an ingest-heavy workload: a Top500 CSV
+/// (the quote-aware chunked parser is the expensive source) streamed
+/// through the session once with the parser inline and once wrapped in
+/// [`Prefetched`], which parses chunk k+1 on a background thread while the
+/// pool assesses chunk k. Folds must be bit-identical; the wall-clock gap
+/// is the parse latency the pipeline hides (expect ≈1× on a single
+/// hardware thread, where parse and assess share one core, and up to
+/// `1 + parse/assess` speedup once a spare core exists).
+fn overlapped_ingest_proof() {
+    const ROWS: u32 = 20_000;
+    const CHUNK: usize = 2_048;
+    let workers = parallel::default_workers();
+    let bytes = export_csv(&generate_full(&config(ROWS))).into_bytes();
+    let m = matrix();
+
+    let start = std::time::Instant::now();
+    let serial = Assessment::stream(stream_csv(Cursor::new(bytes.clone()), CHUNK))
+        .scenarios(&m)
+        .workers(workers)
+        .run()
+        .expect("serial CSV stream");
+    let serial_time = start.elapsed();
+
+    let source = Prefetched::new(stream_csv(Cursor::new(bytes.clone()), CHUNK));
+    let probe = source.probe();
+    let start = std::time::Instant::now();
+    let overlapped = Assessment::stream(source)
+        .scenarios(&m)
+        .workers(workers)
+        .run()
+        .expect("overlapped CSV stream");
+    let overlapped_time = start.elapsed();
+
+    assert_eq!(serial.systems(), overlapped.systems());
+    assert_eq!(serial.chunks(), overlapped.chunks());
+    for (a, b) in serial.slices().iter().zip(overlapped.slices()) {
+        assert_eq!(a.coverage, b.coverage, "overlapped fold drifted");
+        assert_eq!(a.operational_total_mt, b.operational_total_mt);
+        assert_eq!(a.embodied_total_mt, b.embodied_total_mt);
+    }
+    assert!(
+        probe.peak_ahead() <= 1,
+        "prefetcher ran {} chunks ahead of the double-buffer bound",
+        probe.peak_ahead()
+    );
+    println!(
+        "ingest-bound CSV sweep, {ROWS} rows x {} scenarios ({} workers): \
+         serial {:.2}s, overlapped {:.2}s ({:.2}x; prefetcher peak {} chunk ahead)",
+        m.len(),
+        workers,
+        serial_time.as_secs_f64(),
+        overlapped_time.as_secs_f64(),
+        serial_time.as_secs_f64() / overlapped_time.as_secs_f64().max(1e-9),
+        probe.peak_ahead()
+    );
+}
+
 fn bench_streaming(c: &mut Criterion) {
     banner(
         "Streaming ingestion",
         "larger-than-memory sweeps: chunked synthetic fleets through the incremental session",
     );
     million_row_proof();
+    overlapped_ingest_proof();
 
     const BENCH_FLEET: u32 = 100_000;
     let workers = parallel::default_workers();
@@ -141,6 +201,35 @@ fn bench_streaming(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // Serial vs overlapped ingest on an ingest-heavy (CSV-parsing) source:
+    // the Prefetched arm hides the chunk parse behind assessment.
+    const CSV_FLEET: u32 = 20_000;
+    let bytes = export_csv(&generate_full(&config(CSV_FLEET))).into_bytes();
+    let mut group = c.benchmark_group("streaming/csv_20k_ingest");
+    group.throughput(Throughput::Elements(2 * u64::from(CSV_FLEET)));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            Assessment::stream(stream_csv(Cursor::new(bytes.clone()), 2_048))
+                .scenarios(std::hint::black_box(&m))
+                .workers(workers)
+                .run()
+                .unwrap()
+        })
+    });
+    group.bench_function("overlapped", |b| {
+        b.iter(|| {
+            Assessment::stream(Prefetched::new(stream_csv(
+                Cursor::new(bytes.clone()),
+                2_048,
+            )))
+            .scenarios(std::hint::black_box(&m))
+            .workers(workers)
+            .run()
+            .unwrap()
+        })
+    });
     group.finish();
 }
 

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Shared setup for the figure-regeneration benches.
 //!
 //! Every bench target regenerates one table or figure of the paper: it

@@ -165,6 +165,70 @@ pub struct ScenarioSlice {
     pub coverage: CoverageReport,
 }
 
+/// Column accumulator behind the columnar result layout — one instance per
+/// frame, fed scenario-by-scenario so the in-memory [`BatchOutput::to_frame`]
+/// and the chunk-at-a-time streaming artifact build byte-identical rows
+/// through one code path.
+struct ResultColumns {
+    scenario: Vec<Option<String>>,
+    rank: Vec<Option<i64>>,
+    op_mt: Vec<Option<f64>>,
+    emb_mt: Vec<Option<f64>>,
+    power: Vec<Option<f64>>,
+    pue: Vec<Option<f64>>,
+    util: Vec<Option<f64>>,
+    path: Vec<Option<String>>,
+    note: Vec<Option<String>>,
+}
+
+impl ResultColumns {
+    fn with_capacity(rows: usize) -> ResultColumns {
+        ResultColumns {
+            scenario: Vec::with_capacity(rows),
+            rank: Vec::with_capacity(rows),
+            op_mt: Vec::with_capacity(rows),
+            emb_mt: Vec::with_capacity(rows),
+            power: Vec::with_capacity(rows),
+            pue: Vec::with_capacity(rows),
+            util: Vec::with_capacity(rows),
+            path: Vec::with_capacity(rows),
+            note: Vec::with_capacity(rows),
+        }
+    }
+
+    fn push(&mut self, scenario_name: &str, footprints: &[SystemFootprint]) {
+        for fp in footprints {
+            self.scenario.push(Some(scenario_name.to_string()));
+            self.rank.push(Some(i64::from(fp.rank)));
+            self.op_mt.push(fp.operational_mt());
+            self.emb_mt.push(fp.embodied_mt());
+            let op = fp.operational.as_ref().ok();
+            self.power.push(op.map(|e| e.power_kw));
+            self.pue.push(op.map(|e| e.pue));
+            self.util.push(op.map(|e| e.utilization));
+            self.path.push(op.map(|e| e.path.label().to_string()));
+            self.note.push(match (&fp.operational, &fp.embodied) {
+                (Ok(_), Ok(_)) => None,
+                (Err(e), _) | (_, Err(e)) => Some(e.to_string()),
+            });
+        }
+    }
+
+    fn into_frame(self) -> DataFrame {
+        DataFrame::new()
+            .with_column("scenario", Column::Str(self.scenario))
+            .and_then(|df| df.with_column("rank", Column::I64(self.rank)))
+            .and_then(|df| df.with_column("operational_mt", Column::F64(self.op_mt)))
+            .and_then(|df| df.with_column("embodied_mt", Column::F64(self.emb_mt)))
+            .and_then(|df| df.with_column("power_kw", Column::F64(self.power)))
+            .and_then(|df| df.with_column("pue", Column::F64(self.pue)))
+            .and_then(|df| df.with_column("utilization", Column::F64(self.util)))
+            .and_then(|df| df.with_column("power_path", Column::Str(self.path)))
+            .and_then(|df| df.with_column("note", Column::Str(self.note)))
+            .expect("fresh frame with equal-length columns")
+    }
+}
+
 /// Columnar layout of every (scenario, system) result:
 /// `scenario, rank, operational_mt, embodied_mt, power_kw, pue,
 /// utilization, power_path, note` (nulls where not estimable). Backs
@@ -172,43 +236,24 @@ pub struct ScenarioSlice {
 /// [`AssessmentOutput::to_frame`](crate::session::AssessmentOutput::to_frame)).
 fn slices_to_frame(slices: &[ScenarioSlice]) -> DataFrame {
     let rows: usize = slices.iter().map(|s| s.footprints.len()).sum();
-    let mut scenario = Vec::with_capacity(rows);
-    let mut rank = Vec::with_capacity(rows);
-    let mut op_mt = Vec::with_capacity(rows);
-    let mut emb_mt = Vec::with_capacity(rows);
-    let mut power = Vec::with_capacity(rows);
-    let mut pue = Vec::with_capacity(rows);
-    let mut util = Vec::with_capacity(rows);
-    let mut path = Vec::with_capacity(rows);
-    let mut note = Vec::with_capacity(rows);
+    let mut cols = ResultColumns::with_capacity(rows);
     for slice in slices {
-        for fp in &slice.footprints {
-            scenario.push(Some(slice.scenario.name.clone()));
-            rank.push(Some(i64::from(fp.rank)));
-            op_mt.push(fp.operational_mt());
-            emb_mt.push(fp.embodied_mt());
-            let op = fp.operational.as_ref().ok();
-            power.push(op.map(|e| e.power_kw));
-            pue.push(op.map(|e| e.pue));
-            util.push(op.map(|e| e.utilization));
-            path.push(op.map(|e| e.path.label().to_string()));
-            note.push(match (&fp.operational, &fp.embodied) {
-                (Ok(_), Ok(_)) => None,
-                (Err(e), _) | (_, Err(e)) => Some(e.to_string()),
-            });
-        }
+        cols.push(&slice.scenario.name, &slice.footprints);
     }
-    DataFrame::new()
-        .with_column("scenario", Column::Str(scenario))
-        .and_then(|df| df.with_column("rank", Column::I64(rank)))
-        .and_then(|df| df.with_column("operational_mt", Column::F64(op_mt)))
-        .and_then(|df| df.with_column("embodied_mt", Column::F64(emb_mt)))
-        .and_then(|df| df.with_column("power_kw", Column::F64(power)))
-        .and_then(|df| df.with_column("pue", Column::F64(pue)))
-        .and_then(|df| df.with_column("utilization", Column::F64(util)))
-        .and_then(|df| df.with_column("power_path", Column::Str(path)))
-        .and_then(|df| df.with_column("note", Column::Str(note)))
-        .expect("fresh frame with equal-length columns")
+    cols.into_frame()
+}
+
+/// Columnar layout of one scenario-chunk of footprints — the same
+/// `scenario, rank, …, note` schema as [`BatchOutput::to_frame`], built
+/// through the same column accumulator, so serialising successive chunks
+/// (in scenario-major order) reproduces the whole-output frame byte for
+/// byte. This is the building block of the streaming artifact sink: the
+/// incremental session hands each (scenario × chunk) block of footprints
+/// to a sink, which renders it with this function and appends the rows.
+pub fn footprints_frame(scenario_name: &str, footprints: &[SystemFootprint]) -> DataFrame {
+    let mut cols = ResultColumns::with_capacity(footprints.len());
+    cols.push(scenario_name, footprints);
+    cols.into_frame()
 }
 
 /// The results of assessing a list under a scenario matrix.

@@ -100,6 +100,6 @@ pub use metrics::SevenMetrics;
 pub use operational::{AciSource, OperationalEstimate, PowerPath};
 pub use scenario::{DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
 pub use session::{Assessment, AssessmentOutput};
-pub use stream::{StreamOutput, StreamSlice, StreamingAssessment};
+pub use stream::{ChunkRows, RowSink, StreamOutput, StreamSlice, StreamingAssessment};
 pub use uncertainty::{Interval, PriorUncertainty};
 pub use view::{FleetView, SystemView};

@@ -85,6 +85,20 @@ pub(crate) const DEFAULT_ITEMS_PER_WORKER: usize = 4;
 
 impl<'a> Assessment<'a> {
     /// Session over a borrowed list.
+    ///
+    /// ```
+    /// use easyc::Assessment;
+    /// use top500::synthetic::{generate_full, SyntheticConfig};
+    ///
+    /// // Assess a tiny synthetic fleet end to end: no scenarios, no
+    /// // uncertainty — the default single-scenario plan.
+    /// let list = generate_full(&SyntheticConfig { n: 25, ..Default::default() });
+    /// let output = Assessment::of(&list).workers(2).run();
+    /// let slice = &output.slices()[0];
+    /// assert_eq!(slice.footprints.len(), 25);
+    /// assert_eq!(slice.coverage.total, 25);
+    /// assert!(slice.footprints.iter().any(|fp| fp.operational.is_ok()));
+    /// ```
     pub fn of(list: &'a Top500List) -> Assessment<'a> {
         Assessment {
             source: Source::List(list),
@@ -101,8 +115,32 @@ impl<'a> Assessment<'a> {
     /// Incremental session over a chunked fleet source — the
     /// larger-than-memory mode. Per-chunk results fold into running
     /// totals, coverage counts and fleet intervals without ever holding
-    /// the full fleet; see [`crate::stream`].
-    pub fn stream<S: FleetChunks>(source: S) -> StreamingAssessment<S> {
+    /// the full fleet; see [`crate::stream`]. Wrap the source in
+    /// [`top500::stream::Prefetched`] to parse the next chunk on a
+    /// background thread while the pool assesses the current one.
+    ///
+    /// ```
+    /// use easyc::Assessment;
+    /// use top500::stream::SyntheticChunks;
+    /// use top500::synthetic::SyntheticConfig;
+    ///
+    /// // Stream a 100-system synthetic fleet in 16-row chunks: totals and
+    /// // coverage fold incrementally, so only one chunk is ever resident.
+    /// let source = SyntheticChunks::new(
+    ///     SyntheticConfig { n: 100, ..Default::default() },
+    ///     16,
+    /// );
+    /// let output = Assessment::stream(source)
+    ///     .workers(2)
+    ///     .run()
+    ///     .expect("synthetic sources cannot fail");
+    /// let slice = &output.slices()[0];
+    /// assert_eq!(output.systems(), 100);
+    /// assert_eq!(slice.coverage.total, 100);
+    /// assert!(slice.operational_total_mt > 0.0);
+    /// assert!(output.peak_chunk_rows() <= 16);
+    /// ```
+    pub fn stream<'sink, S: FleetChunks>(source: S) -> StreamingAssessment<'sink, S> {
         StreamingAssessment::new(source)
     }
 

@@ -18,7 +18,16 @@
 //! (plus per-scenario draw buffers of `draws` floats), so peak memory is
 //! set by the source's chunk budget, not the fleet size;
 //! [`StreamOutput::peak_chunk_rows`] reports the high-water mark so callers
-//! (and the streaming bench) can assert the bound.
+//! (and the streaming bench) can assert the bound. Wrapping the source in
+//! [`top500::stream::Prefetched`] overlaps parsing of chunk k+1 with the
+//! assessment of chunk k on a dedicated background thread (residency
+//! rises to at most **two** chunks — one being assessed, one prefetched).
+//!
+//! Per-system results normally fold away with the chunk. To keep them —
+//! e.g. to spill a full per-(scenario, system) columnar artifact to disk
+//! at bounded memory — attach a [`RowSink`] with
+//! [`StreamingAssessment::rows`]: it receives every [`ChunkRows`] block
+//! (matrix order within each chunk) before the chunk is dropped.
 //!
 //! # Bit-identity with the in-memory session
 //!
@@ -55,11 +64,37 @@ use parallel::rng::RngStreams;
 use std::collections::HashMap;
 use top500::stream::FleetChunks;
 
+/// One (scenario × chunk) block of per-system results, handed to a row
+/// sink (see [`StreamingAssessment::rows`]) *before* the chunk is folded
+/// and dropped. Blocks arrive in deterministic order: for each pulled
+/// chunk, every scenario in matrix order. A sink that spills each
+/// scenario's blocks to its own buffer and concatenates them in matrix
+/// order reconstructs exactly the scenario-major
+/// [`AssessmentOutput::to_frame`](crate::session::AssessmentOutput::to_frame)
+/// row order of the in-memory session.
+pub struct ChunkRows<'a> {
+    /// Position of the scenario in the matrix (0-based).
+    pub scenario_index: usize,
+    /// The scenario these rows were assessed under (display form, as
+    /// labelled in the matrix — the same name the in-memory frame carries).
+    pub scenario: &'a DataScenario,
+    /// 0-based index of the source chunk these rows came from.
+    pub chunk_index: usize,
+    /// Per-system footprints of this chunk under this scenario, rank
+    /// order — bit-identical to the same rows of the in-memory session.
+    pub footprints: &'a [SystemFootprint],
+}
+
+/// The per-block row callback of a streaming session.
+pub type RowSink<'sink> = Box<dyn FnMut(ChunkRows<'_>) + 'sink>;
+
 /// Builder/session for an incremental, pool-executed fleet assessment
 /// over a chunked source. Construct with
 /// [`Assessment::stream`](crate::Assessment::stream); the builder surface
-/// mirrors the in-memory session.
-pub struct StreamingAssessment<S> {
+/// mirrors the in-memory session. The `'sink` lifetime bounds the optional
+/// per-chunk row callback (see [`StreamingAssessment::rows`]) and is
+/// inferred — sessions without a sink are unconstrained.
+pub struct StreamingAssessment<'sink, S> {
     source: S,
     config: EasyCConfig,
     matrix: Option<ScenarioMatrix>,
@@ -68,10 +103,11 @@ pub struct StreamingAssessment<S> {
     seed: u64,
     priors: PriorUncertainty,
     items_per_worker: usize,
+    sink: Option<RowSink<'sink>>,
 }
 
-impl<S: FleetChunks> StreamingAssessment<S> {
-    pub(crate) fn new(source: S) -> StreamingAssessment<S> {
+impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
+    pub(crate) fn new(source: S) -> StreamingAssessment<'sink, S> {
         StreamingAssessment {
             source,
             config: EasyCConfig::default(),
@@ -81,30 +117,31 @@ impl<S: FleetChunks> StreamingAssessment<S> {
             seed: 0,
             priors: PriorUncertainty::default(),
             items_per_worker: DEFAULT_ITEMS_PER_WORKER,
+            sink: None,
         }
     }
 
     /// Replaces the whole configuration (priors, lifetime, workers).
-    pub fn config(mut self, config: EasyCConfig) -> StreamingAssessment<S> {
+    pub fn config(mut self, config: EasyCConfig) -> StreamingAssessment<'sink, S> {
         self.config = config;
         self
     }
 
     /// Sets the worker-pool size for this session.
-    pub fn workers(mut self, workers: usize) -> StreamingAssessment<S> {
+    pub fn workers(mut self, workers: usize) -> StreamingAssessment<'sink, S> {
         self.config.workers = workers.max(1);
         self
     }
 
     /// Assesses one explicit scenario (replacing the default
     /// configuration-implied scenario or any previous matrix).
-    pub fn scenario(mut self, scenario: DataScenario) -> StreamingAssessment<S> {
+    pub fn scenario(mut self, scenario: DataScenario) -> StreamingAssessment<'sink, S> {
         self.matrix = Some(ScenarioMatrix::from_scenarios(vec![scenario]));
         self
     }
 
     /// Assesses a whole scenario matrix in one interleaved pass per chunk.
-    pub fn scenarios(mut self, matrix: &ScenarioMatrix) -> StreamingAssessment<S> {
+    pub fn scenarios(mut self, matrix: &ScenarioMatrix) -> StreamingAssessment<'sink, S> {
         self.matrix = Some(matrix.clone());
         self
     }
@@ -112,13 +149,13 @@ impl<S: FleetChunks> StreamingAssessment<S> {
     /// Requests Monte-Carlo fleet-total intervals (operational and
     /// embodied) with this many draws per scenario (0 = skip, the
     /// default).
-    pub fn uncertainty(mut self, draws: usize) -> StreamingAssessment<S> {
+    pub fn uncertainty(mut self, draws: usize) -> StreamingAssessment<'sink, S> {
         self.draws = draws;
         self
     }
 
     /// Confidence level of the intervals (default 0.95).
-    pub fn confidence(mut self, level: f64) -> StreamingAssessment<S> {
+    pub fn confidence(mut self, level: f64) -> StreamingAssessment<'sink, S> {
         self.level = level;
         self
     }
@@ -126,13 +163,13 @@ impl<S: FleetChunks> StreamingAssessment<S> {
     /// RNG seed for the Monte-Carlo draws (default 0). Results are
     /// reproducible and independent of worker count and chunking for a
     /// given seed.
-    pub fn seed(mut self, seed: u64) -> StreamingAssessment<S> {
+    pub fn seed(mut self, seed: u64) -> StreamingAssessment<'sink, S> {
         self.seed = seed;
         self
     }
 
     /// Prior uncertainty widths used by the Monte-Carlo draws.
-    pub fn priors(mut self, priors: PriorUncertainty) -> StreamingAssessment<S> {
+    pub fn priors(mut self, priors: PriorUncertainty) -> StreamingAssessment<'sink, S> {
         self.priors = priors;
         self
     }
@@ -140,8 +177,23 @@ impl<S: FleetChunks> StreamingAssessment<S> {
     /// Work items planned per worker within each chunk (default 4) — the
     /// same scheduler knob as
     /// [`Assessment::items_per_worker`](crate::Assessment::items_per_worker).
-    pub fn items_per_worker(mut self, items: usize) -> StreamingAssessment<S> {
+    pub fn items_per_worker(mut self, items: usize) -> StreamingAssessment<'sink, S> {
         self.items_per_worker = items.max(1);
+        self
+    }
+
+    /// Attaches a per-(scenario × chunk) row sink: `sink` is called with
+    /// every [`ChunkRows`] block right after the chunk is assessed and
+    /// before it is folded and dropped, so per-system results can be
+    /// spilled to disk (or anywhere else) without the session ever holding
+    /// more than one chunk of them. This is what `sweep --stream --out`
+    /// builds its byte-identical columnar artifact on — see
+    /// `analysis::report::SweepCsvWriter` in the `analysis` crate.
+    pub fn rows<F>(mut self, sink: F) -> StreamingAssessment<'sink, S>
+    where
+        F: FnMut(ChunkRows<'_>) + 'sink,
+    {
+        self.sink = Some(Box::new(sink));
         self
     }
 
@@ -161,8 +213,10 @@ impl<S: FleetChunks> StreamingAssessment<S> {
         let mut systems = 0usize;
         let mut peak_chunk_rows = 0usize;
 
+        let mut sink = self.sink;
         while let Some(next) = self.source.next_chunk() {
             let list = next?;
+            let chunk_index = chunks;
             chunks += 1;
             systems += list.len();
             peak_chunk_rows = peak_chunk_rows.max(list.len());
@@ -226,31 +280,58 @@ impl<S: FleetChunks> StreamingAssessment<S> {
                 execute(pool.as_ref(), jobs);
             }
 
-            // Fold — sequential and in rank order, so every running total
-            // repeats the exact left-fold the in-memory path performs.
+            // Hand the materialized per-system rows to the sink (scenario
+            // by scenario, matrix order), then fold — sequential and in
+            // rank order, so every running total repeats the exact
+            // left-fold the in-memory path performs.
             let mut op_chunks: Vec<(usize, Vec<OperationalEstimate>)> =
                 Vec::with_capacity(effective.len());
             let mut emb_chunks: Vec<Vec<EmbodiedEstimate>> = Vec::with_capacity(effective.len());
-            for (fold, out) in folds.iter_mut().zip(outputs) {
+            let draws = self.draws;
+            for (index, (fold, out)) in folds.iter_mut().zip(outputs).enumerate() {
                 let op_offset = fold.ok_op;
                 let mut op_bases = Vec::new();
                 let mut emb_bases = Vec::new();
-                for fp in out {
-                    let fp = fp.expect("every assessment chunk ran");
-                    fold.total += 1;
-                    if let Ok(op) = fp.operational {
-                        fold.op_covered += 1;
-                        fold.op_total += op.mt_co2e;
-                        if self.draws > 0 {
-                            op_bases.push(op);
+                {
+                    let mut fold_one = |fp: SystemFootprint| {
+                        fold.total += 1;
+                        if let Ok(op) = fp.operational {
+                            fold.op_covered += 1;
+                            fold.op_total += op.mt_co2e;
+                            if draws > 0 {
+                                op_bases.push(op);
+                            }
                         }
-                    }
-                    if let Ok(emb) = fp.embodied {
-                        fold.emb_covered += 1;
-                        fold.emb_total += emb.mt_co2e;
-                        if self.draws > 0 {
-                            emb_bases.push(emb);
+                        if let Ok(emb) = fp.embodied {
+                            fold.emb_covered += 1;
+                            fold.emb_total += emb.mt_co2e;
+                            if draws > 0 {
+                                emb_bases.push(emb);
+                            }
                         }
+                    };
+                    match sink.as_mut() {
+                        // Sink attached: materialize the block so the
+                        // callback sees it whole, then fold from it.
+                        Some(sink) => {
+                            let footprints: Vec<SystemFootprint> = out
+                                .into_iter()
+                                .map(|fp| fp.expect("every assessment chunk ran"))
+                                .collect();
+                            sink(ChunkRows {
+                                scenario_index: index,
+                                scenario: &display[index],
+                                chunk_index,
+                                footprints: &footprints,
+                            });
+                            footprints.into_iter().for_each(&mut fold_one);
+                        }
+                        // No sink: fold straight out of the output slots,
+                        // no intermediate allocation on the hot path.
+                        None => out
+                            .into_iter()
+                            .map(|fp| fp.expect("every assessment chunk ran"))
+                            .for_each(&mut fold_one),
                     }
                 }
                 fold.ok_op += op_bases.len();

@@ -428,17 +428,34 @@ fn escape(field: &str) -> String {
 }
 
 /// Serialises a frame to CSV text (header + rows, `\n` separators, empty
-/// field for nulls).
+/// field for nulls). Equivalent to [`write_header`] followed by
+/// [`write_rows`] — streaming writers use the two halves directly to append
+/// chunk-at-a-time rows under a single header.
 pub fn write(df: &DataFrame) -> String {
-    let mut out = String::new();
-    out.push_str(
-        &df.names()
-            .iter()
-            .map(|n| escape(n))
-            .collect::<Vec<_>>()
-            .join(","),
-    );
+    let mut out = write_header(df);
+    out.push_str(&write_rows(df));
+    out
+}
+
+/// Serialises just the header line (column names, `\n`-terminated) of a
+/// frame. Byte-identical to the first line [`write()`] produces.
+pub fn write_header(df: &DataFrame) -> String {
+    let mut out = df
+        .names()
+        .iter()
+        .map(|n| escape(n))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
+    out
+}
+
+/// Serialises just the data rows (no header) of a frame. Byte-identical to
+/// what [`write()`] produces after its header line, so appending
+/// `write_rows` output of successive chunks under one [`write_header`]
+/// reproduces `write` over the concatenated frame exactly.
+pub fn write_rows(df: &DataFrame) -> String {
+    let mut out = String::new();
     for row in 0..df.len() {
         let mut fields = Vec::with_capacity(df.width());
         for name in df.names() {
@@ -677,5 +694,35 @@ mod tests {
         let first = reader.next_chunk().unwrap().unwrap();
         assert_eq!(first.names(), &["a", "b"]);
         assert_eq!(reader.names().unwrap(), &["a", "b"]);
+    }
+
+    #[test]
+    fn header_plus_chunked_rows_byte_identical_to_whole_write() {
+        // The streaming-artifact contract: write_header + per-chunk
+        // write_rows must concatenate to exactly what `write` produces
+        // over the whole frame, quoting included.
+        let df = DataFrame::new()
+            .with_column(
+                "name",
+                Column::from_str_iter(vec![
+                    "plain".to_string(),
+                    "with, comma".to_string(),
+                    "with \"quote\"".to_string(),
+                    "multi\nline".to_string(),
+                ]),
+            )
+            .unwrap()
+            .with_column(
+                "x",
+                Column::F64(vec![Some(1.5), None, Some(-3.0), Some(0.25)]),
+            )
+            .unwrap();
+        let whole = write(&df);
+        let mut pieced = write_header(&df);
+        for row in 0..df.len() {
+            let chunk = df.take(&[row]).unwrap();
+            pieced.push_str(&write_rows(&chunk));
+        }
+        assert_eq!(pieced, whole);
     }
 }

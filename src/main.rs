@@ -8,11 +8,15 @@
 //! top500-carbon sweep <scenarios.csv> [systems.csv] [options]
 //!                                           assess a scenario matrix in one session
 //!   --workers N        session pool size
-//!   --out results.csv  write per-(scenario, system) columnar results
+//!   --out results.csv  write per-(scenario, system) columnar results; under
+//!                      --stream the rows are spilled chunk-by-chunk (same
+//!                      bytes, bounded memory)
 //!   --draws N          Monte-Carlo fleet intervals (operational + embodied)
 //!   --synthetic N      use an N-system synthetic fleet instead of a CSV
-//!   --stream           chunked ingestion: memory bounded by --chunk-rows,
-//!                      not fleet size (totals/coverage/intervals only)
+//!   --stream           pipelined chunked ingestion: the next chunk is parsed
+//!                      on a background thread while the pool assesses the
+//!                      current one; memory bounded by --chunk-rows (at most
+//!                      two chunks resident), not fleet size
 //!   --chunk-rows N     rows per streamed chunk (default 8192)
 //! top500-carbon sweep-template              print the scenario CSV template
 //! ```
@@ -23,12 +27,12 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use top500_carbon::analysis::fleet::{render_sweep, summarize_slices, summarize_stream};
-use top500_carbon::analysis::report::run_study;
+use top500_carbon::analysis::report::{run_study, SweepCsvWriter};
 use top500_carbon::easyc::{Assessment, Interval, ScenarioMatrix};
 use top500_carbon::frame;
 use top500_carbon::top500::io::{export_csv, import_csv, stream_csv, COLUMNS};
 use top500_carbon::top500::list::Top500List;
-use top500_carbon::top500::stream::{FleetChunks, SyntheticChunks};
+use top500_carbon::top500::stream::{FleetChunks, Prefetched, SyntheticChunks};
 use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
 
 const DEFAULT_SEED: u64 = 0x5EED_CAFE;
@@ -71,9 +75,12 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("                                        assess a scenario matrix in one session");
     eprintln!("    --workers N         session pool size");
     eprintln!("    --out results.csv   write per-(scenario, system) columnar results");
+    eprintln!("                        (works with --stream: rows spill chunk-by-chunk,");
+    eprintln!("                        byte-identical artifact at bounded memory)");
     eprintln!("    --draws N           Monte-Carlo fleet intervals per scenario");
     eprintln!("    --synthetic N       N-system synthetic fleet instead of a CSV");
-    eprintln!("    --stream            chunked ingestion, memory bounded by --chunk-rows");
+    eprintln!("    --stream            pipelined chunked ingestion (parse overlaps assess),");
+    eprintln!("                        memory bounded by --chunk-rows, not fleet size");
     eprintln!("    --chunk-rows N      rows per streamed chunk (default {DEFAULT_CHUNK_ROWS})");
     eprintln!("  top500-carbon sweep-template          print the scenario CSV template");
     ExitCode::FAILURE
@@ -146,17 +153,13 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
         return usage("pass either systems.csv or --synthetic N, not both");
     }
     if stream {
-        if out_path.is_some() {
-            return usage(
-                "--out needs per-system rows, which --stream never materializes; \
-                 drop one of the two flags",
-            );
-        }
         let synthetic = SyntheticConfig {
             seed: DEFAULT_SEED,
             n: synthetic_n.unwrap_or(500),
             ..Default::default()
         };
+        // The next chunk parses on a background thread while the pool
+        // assesses the current one; at most two chunks are ever resident.
         return match systems_path {
             Some(p) => {
                 let file = match File::open(p) {
@@ -167,17 +170,19 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
                     }
                 };
                 run_stream_sweep(
-                    stream_csv(BufReader::new(file), chunk_rows),
+                    Prefetched::new(stream_csv(BufReader::new(file), chunk_rows)),
                     &matrix,
                     workers,
                     draws,
+                    out_path,
                 )
             }
             None => run_stream_sweep(
-                SyntheticChunks::new(synthetic, chunk_rows),
+                Prefetched::new(SyntheticChunks::new(synthetic, chunk_rows)),
                 &matrix,
                 workers,
                 draws,
+                out_path,
             ),
         };
     }
@@ -235,30 +240,55 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
 }
 
 /// Drives the incremental session over any chunked source and renders the
-/// folded sweep.
+/// folded sweep; with `out_path`, per-(scenario, system) rows spill to
+/// disk chunk-by-chunk and assemble into the same columnar CSV the
+/// in-memory sweep writes.
 fn run_stream_sweep<S: FleetChunks>(
     source: S,
     matrix: &ScenarioMatrix,
     workers: usize,
     draws: usize,
+    out_path: Option<&str>,
 ) -> ExitCode {
     println!(
-        "streaming sweep: {} scenarios, {} workers, folded per chunk\n",
+        "streaming sweep: {} scenarios, {} workers, folded per chunk (prefetched ingest)\n",
         matrix.len(),
         workers
     );
-    let output = match Assessment::stream(source)
+    let mut writer = match out_path {
+        Some(path) => match SweepCsvWriter::create(path, matrix.len()) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                eprintln!("error: could not create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let session = Assessment::stream(source)
         .scenarios(matrix)
         .workers(workers)
-        .uncertainty(draws)
-        .run()
-    {
+        .uncertainty(draws);
+    let session = match writer.as_mut() {
+        Some(writer) => session.rows(|block| writer.append(&block)),
+        None => session,
+    };
+    let output = match session.run() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(writer) = writer {
+        match writer.finish() {
+            Ok(path) => println!("wrote per-system scenario results to {}\n", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write streamed results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!("{}", render_sweep(&summarize_stream(&output)));
     if draws > 0 {
         let names: Vec<&str> = output

@@ -390,6 +390,49 @@ proptest! {
     }
 
     #[test]
+    fn streamed_out_artifact_equals_in_memory_artifact_for_arbitrary_chunks_and_masks(
+        n in 1u32..40,
+        seed in 0u64..1_000,
+        rows_per_chunk in 1usize..64,
+        mask in arb_mask()
+    ) {
+        // The `--stream --out` parity contract at property scale: spilling
+        // each (scenario × chunk) row block through the shared
+        // footprints_frame + write_rows path and concatenating per
+        // scenario (matrix order) must reproduce the in-memory columnar
+        // CSV byte for byte, whatever the chunk budget or availability
+        // mask. (The file-backed SweepCsvWriter rides the same code path —
+        // its byte identity is pinned by tests/streaming.rs.)
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked("masked", mask));
+        let expected = csv::write(
+            &Assessment::of(&list).scenarios(&matrix).run().to_frame(),
+        );
+        let mut spills = vec![String::new(); matrix.len()];
+        Assessment::stream(InMemoryChunks::new(&list, rows_per_chunk))
+            .scenarios(&matrix)
+            .rows(|block| {
+                spills[block.scenario_index].push_str(&csv::write_rows(
+                    &top500_carbon::easyc::batch::footprints_frame(
+                        &block.scenario.name,
+                        block.footprints,
+                    ),
+                ));
+            })
+            .run()
+            .expect("in-memory chunks cannot fail");
+        let mut pieced = csv::write_header(
+            &top500_carbon::easyc::batch::footprints_frame("", &[]),
+        );
+        for spill in &spills {
+            pieced.push_str(spill);
+        }
+        prop_assert_eq!(pieced, expected);
+    }
+
+    #[test]
     fn matrix_preserves_scenario_order(masks in prop::collection::vec(arb_mask(), 1..8)) {
         let mut matrix = ScenarioMatrix::new();
         for (i, mask) in masks.iter().enumerate() {

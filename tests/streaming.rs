@@ -7,12 +7,14 @@
 //! while never holding more than one chunk of the fleet.
 
 use top500_carbon::analysis::fleet::{scenario_sweep, scenario_sweep_streamed};
+use top500_carbon::analysis::report::SweepCsvWriter;
 use top500_carbon::easyc::{
     Assessment, AssessmentOutput, DataScenario, EasyCConfig, MetricBit, MetricMask, ScenarioMatrix,
     StreamOutput,
 };
+use top500_carbon::frame;
 use top500_carbon::top500::io::{export_csv, stream_csv};
-use top500_carbon::top500::stream::{InMemoryChunks, SyntheticChunks};
+use top500_carbon::top500::stream::{InMemoryChunks, Prefetched, SyntheticChunks};
 use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
 const SEED: u64 = 0x5EED_CAFE;
@@ -200,4 +202,137 @@ fn csv_stream_error_surfaces_through_the_session() {
         .run()
         .unwrap_err();
     assert!(err.to_string().contains("row 1"), "{err}");
+}
+
+#[test]
+fn streamed_out_artifact_byte_identical_to_in_memory_artifact() {
+    // The `sweep --stream --out` acceptance pin: per-(scenario, system)
+    // rows spilled chunk-by-chunk through the prefetched CSV pipeline must
+    // assemble into *exactly* the CSV the in-memory `sweep --out` path
+    // writes (`AssessmentOutput::to_frame` + `frame::csv::write`) — while
+    // pipeline residency never exceeds two chunks (the one being assessed
+    // plus the one the prefetcher holds).
+    let full = generate_full(&SyntheticConfig {
+        n: 160,
+        seed: SEED,
+        ..Default::default()
+    });
+    let mut masked = mask_baseline(&full, &MaskRates::default(), 3);
+    masked.systems_mut()[0].name = Some("MareNostrum 5, ACC".into());
+    masked.systems_mut()[1].name = Some("say \"hi\"".into());
+    let text = export_csv(&masked);
+    let expected = frame::csv::write(
+        &Assessment::of(&masked)
+            .scenarios(&matrix())
+            .run()
+            .to_frame(),
+    );
+    for chunk_rows in [1usize, 33, 160, 1000] {
+        let target = std::env::temp_dir().join(format!(
+            "stream-out-parity-{}-{chunk_rows}.csv",
+            std::process::id()
+        ));
+        let mut writer = SweepCsvWriter::create(&target, matrix().len()).unwrap();
+        // `Prefetched` needs an owned (`'static`) source; an in-memory
+        // cursor over the exported bytes stands in for a file reader.
+        let source = Prefetched::new(stream_csv(
+            std::io::Cursor::new(text.clone().into_bytes()),
+            chunk_rows,
+        ));
+        let probe = source.probe();
+        let streamed = Assessment::stream(source)
+            .scenarios(&matrix())
+            .rows(|block| writer.append(&block))
+            .run()
+            .expect("CSV stream");
+        writer.finish().unwrap();
+        assert_eq!(streamed.systems(), 160);
+        assert!(
+            streamed.peak_chunk_rows() <= chunk_rows,
+            "rows {chunk_rows}: consumer residency"
+        );
+        assert!(
+            probe.peak_ahead() <= 1,
+            "rows {chunk_rows}: prefetcher ran {} chunks ahead",
+            probe.peak_ahead()
+        );
+        let written = std::fs::read_to_string(&target).unwrap();
+        assert_eq!(written, expected, "rows {chunk_rows}");
+        std::fs::remove_file(&target).ok();
+    }
+}
+
+#[test]
+fn prefetched_stream_bit_identical_to_serial_stream_with_bounded_residency() {
+    // Overlapping ingest with assessment must change throughput only:
+    // fold results (totals, coverage, both interval families) are
+    // bit-identical to the serial source, and the double buffer never
+    // holds more than one chunk ahead of the consumer.
+    let config = SyntheticConfig {
+        n: 500,
+        seed: SEED,
+        ..Default::default()
+    };
+    let serial = Assessment::stream(SyntheticChunks::new(config, 64))
+        .scenarios(&matrix())
+        .uncertainty(60)
+        .seed(5)
+        .run()
+        .unwrap();
+    let source = Prefetched::new(SyntheticChunks::new(config, 64));
+    let probe = source.probe();
+    let overlapped = Assessment::stream(source)
+        .scenarios(&matrix())
+        .uncertainty(60)
+        .seed(5)
+        .run()
+        .unwrap();
+    assert_eq!(overlapped.systems(), serial.systems());
+    assert_eq!(overlapped.chunks(), serial.chunks());
+    assert_eq!(overlapped.peak_chunk_rows(), serial.peak_chunk_rows());
+    assert_eq!(probe.chunks_parsed(), serial.chunks());
+    assert_eq!(probe.chunks_delivered(), serial.chunks());
+    assert!(
+        probe.peak_ahead() <= 1,
+        "prefetcher ran {} chunks ahead",
+        probe.peak_ahead()
+    );
+    for (a, b) in serial.slices().iter().zip(overlapped.slices()) {
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.operational_total_mt, b.operational_total_mt);
+        assert_eq!(a.embodied_total_mt, b.embodied_total_mt);
+        assert_eq!(a.interval, b.interval);
+        assert_eq!(a.embodied_interval, b.embodied_interval);
+    }
+}
+
+#[test]
+fn row_sink_blocks_arrive_in_deterministic_scenario_major_order_per_chunk() {
+    let list = generate_full(&SyntheticConfig {
+        n: 50,
+        seed: SEED,
+        ..Default::default()
+    });
+    let mut seen: Vec<(usize, usize, usize)> = Vec::new(); // (chunk, scenario, rows)
+    Assessment::stream(InMemoryChunks::new(&list, 20))
+        .scenarios(&matrix())
+        .rows(|block| {
+            assert_eq!(
+                block.scenario.name,
+                matrix().scenarios()[block.scenario_index].name
+            );
+            seen.push((
+                block.chunk_index,
+                block.scenario_index,
+                block.footprints.len(),
+            ));
+        })
+        .run()
+        .unwrap();
+    let expected: Vec<(usize, usize, usize)> = (0..3usize)
+        .flat_map(|chunk| {
+            (0..3usize).map(move |scenario| (chunk, scenario, if chunk == 2 { 10 } else { 20 }))
+        })
+        .collect();
+    assert_eq!(seen, expected);
 }
