@@ -7,8 +7,8 @@
 
 use crate::aggregate::Aggregate;
 use easyc::{
-    Assessment, CoverageReport, EasyCConfig, ScenarioMatrix, ScenarioSlice, StreamOutput,
-    SystemFootprint,
+    Assessment, AssessmentOutput, CoverageReport, EasyCConfig, Interval, ScenarioDelta,
+    ScenarioMatrix, ScenarioSlice, StreamOutput, SystemFootprint,
 };
 use frame::agg::{group_by, AggFn};
 use frame::{Column, DataFrame};
@@ -319,6 +319,93 @@ pub fn sweep_to_csv(summaries: &[ScenarioSummary]) -> String {
     )
 }
 
+/// Paired-difference deltas of every other scenario against `baseline`,
+/// matrix order — one [`AssessmentOutput::compare`] per variant. Empty
+/// when the baseline is absent or the session ran without uncertainty
+/// draws.
+pub fn compare_to_baseline(output: &AssessmentOutput, baseline: &str) -> Vec<ScenarioDelta> {
+    output
+        .slices()
+        .iter()
+        .filter(|slice| slice.scenario.name != baseline)
+        .filter_map(|slice| output.compare(baseline, &slice.scenario.name))
+        .collect()
+}
+
+fn render_delta_interval(iv: &Option<Interval>) -> String {
+    match iv {
+        Some(iv) => format!("{:+.0} [{:+.0}, {:+.0}]", iv.point, iv.lo, iv.hi),
+        None => "—".to_string(),
+    }
+}
+
+/// Renders paired scenario deltas as an aligned text table — the panel
+/// behind `sweep --compare` and the study's delta artifact. Each row is
+/// `variant − baseline` with the CRN-paired interval per family.
+pub fn render_deltas(deltas: &[ScenarioDelta]) -> String {
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .map(|d| {
+            vec![
+                format!("{} − {}", d.variant, d.baseline),
+                render_delta_interval(&d.operational),
+                render_delta_interval(&d.embodied),
+                render_delta_interval(&d.total),
+            ]
+        })
+        .collect();
+    crate::render::text_table(
+        &[
+            "Delta (variant − baseline)",
+            "Op Δ (MT)",
+            "Emb Δ (MT)",
+            "Total Δ (MT)",
+        ],
+        &rows,
+    )
+}
+
+/// CSV rendering of paired scenario deltas.
+pub fn deltas_to_csv(deltas: &[ScenarioDelta]) -> String {
+    let cell = |iv: &Option<Interval>, pick: fn(&Interval) -> f64| -> String {
+        iv.map(|iv| format!("{:.3}", pick(&iv))).unwrap_or_default()
+    };
+    let rows: Vec<Vec<String>> = deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.baseline.clone(),
+                d.variant.clone(),
+                cell(&d.operational, |iv| iv.point),
+                cell(&d.operational, |iv| iv.lo),
+                cell(&d.operational, |iv| iv.hi),
+                cell(&d.embodied, |iv| iv.point),
+                cell(&d.embodied, |iv| iv.lo),
+                cell(&d.embodied, |iv| iv.hi),
+                cell(&d.total, |iv| iv.point),
+                cell(&d.total, |iv| iv.lo),
+                cell(&d.total, |iv| iv.hi),
+            ]
+        })
+        .collect();
+    crate::render::csv_table(
+        &[
+            "baseline",
+            "variant",
+            "op_delta_mt",
+            "op_lo",
+            "op_hi",
+            "emb_delta_mt",
+            "emb_lo",
+            "emb_hi",
+            "total_delta_mt",
+            "total_lo",
+            "total_hi",
+        ],
+        &rows,
+    )
+}
+
 /// Concentration: fraction of the fleet's operational carbon carried by
 /// the top `k` groups.
 pub fn concentration(shares: &[GroupShare], k: usize) -> f64 {
@@ -441,6 +528,47 @@ mod tests {
             .unwrap();
             assert_eq!(streamed, in_memory, "rows {rows}");
         }
+    }
+
+    #[test]
+    fn delta_panel_renders_compare_output() {
+        use easyc::{DataScenario, MetricBit, MetricMask};
+        let out = StudyPipeline::new(90, 3).run();
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked(
+                "no-power",
+                MetricMask::ALL
+                    .without(MetricBit::PowerKw)
+                    .without(MetricBit::AnnualEnergy),
+            ))
+            .with(
+                DataScenario::full("clean-grid").with_overrides(easyc::OverrideSet {
+                    aci_g_per_kwh: Some(50.0),
+                    ..easyc::OverrideSet::NONE
+                }),
+            );
+        let output = Assessment::of(&out.full)
+            .scenarios(&matrix)
+            .uncertainty(100)
+            .seed(5)
+            .run();
+        let deltas = compare_to_baseline(&output, "full");
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].variant, "no-power");
+        assert_eq!(deltas[1].variant, "clean-grid");
+        // Cleaner grid strictly lowers the operational total.
+        let clean = deltas[1].operational.unwrap();
+        assert!(clean.point < 0.0 && clean.hi < 0.0, "{clean:?}");
+        let text = render_deltas(&deltas);
+        assert!(text.contains("no-power − full"));
+        assert!(text.contains("clean-grid − full"));
+        let csv = deltas_to_csv(&deltas);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("baseline,variant,op_delta_mt"));
+        // Without draws there is nothing to pair.
+        let no_draws = Assessment::of(&out.full).scenarios(&matrix).run();
+        assert!(compare_to_baseline(&no_draws, "full").is_empty());
     }
 
     #[test]

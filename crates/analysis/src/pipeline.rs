@@ -13,8 +13,8 @@ use crate::fleet::{scenario_sweep_streamed, scenario_sweep_streamed_to_csv, Scen
 use crate::interpolate::{interpolate_with_summary, InterpolationSummary};
 use crate::report::SweepCsvWriter;
 use easyc::{
-    Assessment, CoverageReport, DataScenario, EasyCConfig, Scenario, ScenarioMatrix,
-    SystemFootprint,
+    Assessment, CoverageReport, DataScenario, DrawPlan, EasyCConfig, Scenario, ScenarioDelta,
+    ScenarioMatrix, SystemFootprint,
 };
 use top500::enrich::{enrich, RevealRates};
 use top500::list::Top500List;
@@ -116,6 +116,31 @@ impl StudyPipeline {
             operational_summary,
             embodied_summary,
         }
+    }
+
+    /// Sweeps a scenario matrix over this pipeline's synthetic fleet in
+    /// one session *with* Monte-Carlo uncertainty, and pairs every
+    /// scenario against the matrix's first scenario via common random
+    /// numbers: the summaries plus one CRN-tight [`ScenarioDelta`] per
+    /// variant. The between-scenario claims of a study read off these
+    /// deltas instead of differenced independent bands.
+    pub fn compare_sweep(
+        &self,
+        matrix: &ScenarioMatrix,
+        plan: DrawPlan,
+    ) -> (Vec<crate::fleet::ScenarioSummary>, Vec<ScenarioDelta>) {
+        let output = Assessment::of(&generate_full(&self.synthetic))
+            .scenarios(matrix)
+            .draw_plan(plan)
+            .run();
+        let summaries = crate::fleet::summarize_slices(output.slices());
+        let baseline = matrix
+            .scenarios()
+            .first()
+            .map(|s| s.name.clone())
+            .unwrap_or_default();
+        let deltas = crate::fleet::compare_to_baseline(&output, &baseline);
+        (summaries, deltas)
     }
 
     /// Sweeps a scenario matrix over this pipeline's synthetic fleet
@@ -260,6 +285,35 @@ mod tests {
         let out = StudyPipeline::new(20, 1).run();
         assert_eq!(out.operational_interpolated.len(), 20);
         assert_eq!(out.full.len(), 20);
+    }
+
+    #[test]
+    fn compare_sweep_deltas_bit_identical_to_streamed_compare() {
+        use easyc::{MetricBit, MetricMask};
+        let pipeline = StudyPipeline::new(100, 11);
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let plan = DrawPlan::new(80).with_seed(11).with_confidence(0.9);
+        let (summaries, deltas) = pipeline.compare_sweep(&matrix, plan);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].baseline, "full");
+        assert_eq!(deltas[0].variant, "no-power");
+        assert!(deltas[0].operational.is_some());
+        // The streamed session folds the exact same paired draws.
+        let streamed = Assessment::stream(SyntheticChunks::new(pipeline.synthetic, 17))
+            .scenarios(&matrix)
+            .draw_plan(plan)
+            .run()
+            .unwrap_or_else(|never| match never {});
+        assert_eq!(streamed.compare("full", "no-power").unwrap(), deltas[0]);
     }
 
     #[test]

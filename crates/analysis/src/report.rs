@@ -276,10 +276,17 @@ pub struct StudyReport {
     /// Scenario sweep of the enriched synthetic list (one interleaved
     /// [`Assessment`] session over [`default_scenario_matrix`]).
     pub sweep: Vec<ScenarioSummary>,
-    /// The raw session output behind `sweep` (per-scenario footprints),
-    /// kept so figures can render per-scenario panels without re-assessing.
+    /// The raw session output behind `sweep` (per-scenario footprints and
+    /// retained CRN draw vectors), kept so figures can render per-scenario
+    /// panels and paired deltas without re-assessing.
     pub sweep_output: AssessmentOutput,
+    /// Paired-difference deltas of every sweep scenario against the `full`
+    /// baseline, from the session's common random numbers.
+    pub sweep_deltas: Vec<easyc::ScenarioDelta>,
 }
+
+/// Monte-Carlo draws behind the study sweep's intervals and deltas.
+const STUDY_SWEEP_DRAWS: usize = 256;
 
 /// The scenario matrix the study sweeps by default: ground truth, the two
 /// dominant missing-data situations, and two site-knowledge overrides.
@@ -320,8 +327,11 @@ pub fn run_study(seed: u64) -> StudyReport {
     let sweep_output = Assessment::of(&pipeline.enriched)
         .config(EasyCConfig::default())
         .scenarios(&default_scenario_matrix())
+        .uncertainty(STUDY_SWEEP_DRAWS)
+        .seed(seed)
         .run();
     let sweep = fleet::summarize_slices(sweep_output.slices());
+    let sweep_deltas = fleet::compare_to_baseline(&sweep_output, "full");
 
     let fig7 = Fig7::from_appendix(&rows);
     let fig9 = Fig9::from_appendix(&rows);
@@ -363,6 +373,7 @@ pub fn run_study(seed: u64) -> StudyReport {
         pipeline,
         sweep,
         sweep_output,
+        sweep_deltas,
     }
 }
 
@@ -476,6 +487,11 @@ impl StudyReport {
         fs::write(
             dir.join("scenario_sweep.csv"),
             fleet::sweep_to_csv(&self.sweep),
+        )?;
+        // Paired scenario deltas (variant − full) with CRN-tight intervals.
+        fs::write(
+            dir.join("sweep_deltas.csv"),
+            fleet::deltas_to_csv(&self.sweep_deltas),
         )?;
         // Coverage-by-rank panels per sweep scenario (the generalised
         // Figures 5/6 over the whole scenario matrix).
@@ -625,6 +641,27 @@ mod tests {
             .find(|s| s.name == "clean-grid-50g")
             .unwrap();
         assert!(clean.operational.total_mt < full.operational.total_mt);
+        // One paired delta per non-baseline scenario, each tighter than
+        // differencing the two independent per-scenario bands.
+        assert_eq!(
+            report.sweep_deltas.len(),
+            default_scenario_matrix().len() - 1
+        );
+        let clean_delta = report
+            .sweep_deltas
+            .iter()
+            .find(|d| d.variant == "clean-grid-50g")
+            .unwrap();
+        let paired = clean_delta.operational.unwrap();
+        assert!(
+            paired.hi < 0.0,
+            "cleaner grid must lower the total: {paired:?}"
+        );
+        let naive = easyc::Interval::independent_difference(
+            &report.sweep_output.interval("clean-grid-50g").unwrap(),
+            &report.sweep_output.interval("full").unwrap(),
+        );
+        assert!(paired.width() < naive.width());
     }
 
     #[test]
@@ -657,6 +694,7 @@ mod tests {
             "fig11_perf_per_carbon.csv",
             "table2_per_system.txt",
             "scenario_sweep.csv",
+            "sweep_deltas.csv",
             "sweep_op_coverage_ranges.csv",
             "sweep_emb_coverage_ranges.csv",
         ] {

@@ -32,6 +32,13 @@ pub struct SensitivityReport {
     pub max_increase_mt: f64,
     /// Largest single-system decrease, MT (negative or zero).
     pub max_decrease_mt: f64,
+    /// Paired-difference interval on the fleet-total change, MT — filled
+    /// by [`between`] when the session ran with uncertainty draws (common
+    /// random numbers pair the scenarios' draws, so this band is far
+    /// tighter than differencing two independent per-scenario intervals).
+    /// `None` for point-estimate-only sources (appendix rows, raw
+    /// footprint slices, sessions without draws).
+    pub delta_interval: Option<easyc::Interval>,
 }
 
 impl SensitivityReport {
@@ -97,6 +104,7 @@ pub fn from_scenarios(pairs: &[(u32, Option<f64>, Option<f64>)]) -> SensitivityR
         } else {
             0.0
         },
+        delta_interval: None,
     }
 }
 
@@ -136,17 +144,30 @@ pub fn from_footprints(
 /// session output: `variant − baseline` per rank, so what-if questions
 /// ("what does losing measured power cost?") read straight off a single
 /// session run. Returns `None` when either scenario is absent.
+///
+/// When the session ran with uncertainty draws, the report's
+/// `delta_interval` carries the paired common-random-numbers interval on
+/// the fleet-total change for the selected family (operational or
+/// embodied) — the same band [`easyc::AssessmentOutput::compare`] reports.
 pub fn between(
     output: &easyc::AssessmentOutput,
     baseline: &str,
     variant: &str,
     embodied: bool,
 ) -> Option<SensitivityReport> {
-    Some(from_footprints(
+    let mut report = from_footprints(
         output.footprints(baseline)?,
         output.footprints(variant)?,
         embodied,
-    ))
+    );
+    report.delta_interval = output.compare(baseline, variant).and_then(|delta| {
+        if embodied {
+            delta.embodied
+        } else {
+            delta.operational
+        }
+    });
+    Some(report)
 }
 
 /// Operational sensitivity from appendix rows.
@@ -308,6 +329,42 @@ mod tests {
         );
         assert_eq!(report, manual);
         assert!(between(&output, "full", "missing", false).is_none());
+        // No uncertainty draws: no interval-backed delta.
+        assert!(report.delta_interval.is_none());
+    }
+
+    #[test]
+    fn between_carries_paired_delta_interval_when_session_has_draws() {
+        use easyc::{Assessment, DataScenario, MetricBit, MetricMask, ScenarioMatrix};
+        use top500::synthetic::{generate_full, SyntheticConfig};
+        let list = generate_full(&SyntheticConfig {
+            n: 80,
+            ..Default::default()
+        });
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let output = Assessment::of(&list)
+            .scenarios(&matrix)
+            .uncertainty(150)
+            .confidence(0.9)
+            .seed(13)
+            .run();
+        let op = between(&output, "full", "no-power", false).unwrap();
+        let delta = output.compare("full", "no-power").unwrap();
+        assert_eq!(op.delta_interval, delta.operational);
+        let iv = op.delta_interval.unwrap();
+        // The interval brackets the point-estimate change of the report.
+        assert!((iv.point - op.total_change_mt()).abs() < 1e-9 * iv.point.abs().max(1.0));
+        assert!(iv.lo <= iv.point && iv.point <= iv.hi);
+        let emb = between(&output, "full", "no-power", true).unwrap();
+        assert_eq!(emb.delta_interval, delta.embodied);
     }
 
     #[test]

@@ -48,9 +48,15 @@
 //!
 //! Adding `.uncertainty(1000)` attaches fleet-total operational and
 //! embodied [`uncertainty::Interval`]s per scenario, computed on the same
-//! pool from the same footprints. Masks are applied through the zero-copy
-//! [`FleetView`]/[`SystemView`] lens layer — a masked sweep performs zero
-//! per-record clones (pinned by tests).
+//! pool from the same footprints under one [`uncertainty::DrawPlan`]. The
+//! plan's RNG streams are keyed by (system, draw index) — never by
+//! scenario — so every scenario replays identical per-system perturbations
+//! (common random numbers) and
+//! [`AssessmentOutput::compare`](session::AssessmentOutput::compare) can
+//! pair them into [`uncertainty::ScenarioDelta`] difference intervals far
+//! tighter than differencing two independent bands. Masks are applied
+//! through the zero-copy [`FleetView`]/[`SystemView`] lens layer — a
+//! masked sweep performs zero per-record clones (pinned by tests).
 //!
 //! For fleets too large to hold in memory, [`Assessment::stream`] runs the
 //! same plan incrementally over any chunked
@@ -75,8 +81,10 @@
 //! - [`batch`] — the staged context machinery behind the session.
 //! - [`estimator`] — the per-system facade, routed through the same code
 //!   path as the session.
-//! - [`uncertainty`] — Monte-Carlo bands; fleet-scale intervals are served
-//!   by the session.
+//! - [`uncertainty`] — Monte-Carlo bands under one [`uncertainty::DrawPlan`]
+//!   (common random numbers across scenarios, paired
+//!   [`uncertainty::ScenarioDelta`] comparisons); fleet-scale intervals
+//!   are served by the session.
 
 pub mod batch;
 pub mod coverage;
@@ -101,5 +109,5 @@ pub use operational::{AciSource, OperationalEstimate, PowerPath};
 pub use scenario::{DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
 pub use session::{Assessment, AssessmentOutput};
 pub use stream::{ChunkRows, RowSink, StreamOutput, StreamSlice, StreamingAssessment};
-pub use uncertainty::{Interval, PriorUncertainty};
+pub use uncertainty::{DrawPlan, Interval, PriorUncertainty, ScenarioDelta};
 pub use view::{FleetView, SystemView};

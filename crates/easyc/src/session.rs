@@ -29,10 +29,14 @@
 //! [`crate::embodied::estimate_view`] code path.
 //!
 //! With `uncertainty(draws)`, a third phase schedules (scenario ×
-//! draw-chunk) items on the same pool and attaches fleet-total
-//! *operational* **and** *embodied* [`Interval`]s per scenario, matching
-//! [`crate::uncertainty::fleet_operational_interval`] /
-//! [`crate::uncertainty::fleet_embodied_interval`] bit-for-bit.
+//! draw-chunk) items on the same pool, driven by one
+//! [`crate::uncertainty::DrawPlan`]: RNG streams are keyed by (system,
+//! draw index) — never by scenario — so every scenario replays identical
+//! per-system perturbations (common random numbers). The output carries
+//! fleet-total *operational* **and** *embodied* [`Interval`]s per scenario
+//! (bit-identical to the serial [`DrawPlan`] kernels) plus the retained
+//! per-scenario draw vectors, which [`AssessmentOutput::compare`] pairs
+//! into tight [`ScenarioDelta`] difference intervals.
 //!
 //! For fleets too large to hold, [`Assessment::stream`] runs the same
 //! plan incrementally over a chunked source — see [`crate::stream`].
@@ -46,12 +50,12 @@ use crate::operational::OperationalEstimate;
 use crate::scenario::{DataScenario, ScenarioMatrix};
 use crate::stream::StreamingAssessment;
 use crate::uncertainty::{
-    fleet_draw, fleet_embodied_draw, Interval, PriorUncertainty, EMBODIED_SEED_MIX, FLEET_SEED_MIX,
+    embodied_draw, operational_draw, DrawPlan, Interval, PriorUncertainty, RetainedDraws,
+    ScenarioDelta, ScenarioDraws,
 };
 use crate::view::FleetView;
-use frame::{stats, DataFrame};
+use frame::DataFrame;
 use parallel::pool::ThreadPool;
-use parallel::rng::RngStreams;
 use top500::list::Top500List;
 use top500::stream::FleetChunks;
 
@@ -71,10 +75,7 @@ pub struct Assessment<'a> {
     source: Source<'a>,
     config: EasyCConfig,
     matrix: Option<ScenarioMatrix>,
-    draws: usize,
-    level: f64,
-    seed: u64,
-    priors: PriorUncertainty,
+    plan: DrawPlan,
     items_per_worker: usize,
 }
 
@@ -104,10 +105,7 @@ impl<'a> Assessment<'a> {
             source: Source::List(list),
             config: EasyCConfig::default(),
             matrix: None,
-            draws: 0,
-            level: 0.95,
-            seed: 0,
-            priors: PriorUncertainty::default(),
+            plan: DrawPlan::default(),
             items_per_worker: DEFAULT_ITEMS_PER_WORKER,
         }
     }
@@ -177,29 +175,39 @@ impl<'a> Assessment<'a> {
         self
     }
 
-    /// Requests Monte-Carlo fleet-total operational intervals with this
-    /// many draws per scenario (0 = skip, the default).
+    /// Requests Monte-Carlo fleet-total intervals (operational and
+    /// embodied) with this many draws per scenario (0 = skip, the
+    /// default). All scenarios replay the same per-system perturbations
+    /// (common random numbers), so [`AssessmentOutput::compare`] can pair
+    /// them into tight difference intervals.
     pub fn uncertainty(mut self, draws: usize) -> Assessment<'a> {
-        self.draws = draws;
+        self.plan.draws = draws;
         self
     }
 
     /// Confidence level of the intervals (default 0.95).
     pub fn confidence(mut self, level: f64) -> Assessment<'a> {
-        self.level = level;
+        self.plan.level = level;
         self
     }
 
     /// RNG seed for the Monte-Carlo draws (default 0). Results are
     /// reproducible and independent of worker count for a given seed.
     pub fn seed(mut self, seed: u64) -> Assessment<'a> {
-        self.seed = seed;
+        self.plan.seed = seed;
         self
     }
 
     /// Prior uncertainty widths used by the Monte-Carlo draws.
     pub fn priors(mut self, priors: PriorUncertainty) -> Assessment<'a> {
-        self.priors = priors;
+        self.plan.priors = priors;
+        self
+    }
+
+    /// Replaces the whole [`DrawPlan`] (draws, level, seed and priors) in
+    /// one call.
+    pub fn draw_plan(mut self, plan: DrawPlan) -> Assessment<'a> {
+        self.plan = plan;
         self
     }
 
@@ -311,33 +319,35 @@ impl<'a> Assessment<'a> {
             })
             .collect();
 
-        // Phase 3 — optional Monte-Carlo intervals, (scenario × draw-chunk)
+        // Phase 3 — optional Monte-Carlo draws, (scenario × draw-chunk)
         // items on the same pool, operational and embodied interleaved
-        // together. Bases are the Ok estimates of phase 2, so no estimator
-        // runs twice.
-        let (intervals, embodied_intervals) = if self.draws > 0 {
-            self.run_intervals(&slices, pool.as_ref())
+        // together. Bases are the Ok estimates of phase 2 tagged with
+        // their global list index (the CRN stream key), so no estimator
+        // runs twice and every scenario shares per-system perturbations.
+        let retained = if self.plan.draws > 0 {
+            self.run_draws(&slices, pool.as_ref())
         } else {
-            (vec![None; slices.len()], vec![None; slices.len()])
+            slices.iter().map(|_| ScenarioDraws::default()).collect()
         };
 
-        AssessmentOutput::new(slices, intervals, embodied_intervals)
+        AssessmentOutput::new(slices, retained, self.plan)
     }
 
-    #[allow(clippy::type_complexity)]
-    fn run_intervals(
-        &self,
-        slices: &[ScenarioSlice],
-        pool: Option<&ThreadPool>,
-    ) -> (Vec<Option<Interval>>, Vec<Option<Interval>>) {
+    /// Runs the (scenario × draw-chunk) Monte-Carlo plan and returns the
+    /// retained per-scenario draw state.
+    fn run_draws(&self, slices: &[ScenarioSlice], pool: Option<&ThreadPool>) -> Vec<ScenarioDraws> {
         let workers = self.config.workers.max(1);
-        let op_bases: Vec<Vec<OperationalEstimate>> = slices
+        let plan = self.plan;
+        // Ok operational estimates tagged with the system's global list
+        // position — the scenario-independent stream index.
+        let op_bases: Vec<Vec<(usize, OperationalEstimate)>> = slices
             .iter()
             .map(|slice| {
                 slice
                     .footprints
                     .iter()
-                    .filter_map(|f| f.operational.as_ref().ok().cloned())
+                    .enumerate()
+                    .filter_map(|(i, f)| f.operational.as_ref().ok().cloned().map(|op| (i, op)))
                     .collect()
             })
             .collect();
@@ -351,14 +361,14 @@ impl<'a> Assessment<'a> {
                     .collect()
             })
             .collect();
-        let op_streams = RngStreams::new(self.seed ^ FLEET_SEED_MIX);
-        let emb_streams = RngStreams::new(self.seed ^ EMBODIED_SEED_MIX);
-        let sample_chunks = parallel::split_ranges(self.draws, workers * self.items_per_worker);
+        let op_streams = plan.operational_streams();
+        let emb_streams = plan.embodied_streams();
+        let sample_chunks = parallel::split_ranges(plan.draws, workers * self.items_per_worker);
         let alloc = |empty: bool| {
             if empty {
                 Vec::new()
             } else {
-                vec![0.0; self.draws]
+                vec![0.0; plan.draws]
             }
         };
         let mut op_draws: Vec<Vec<f64>> = op_bases.iter().map(|b| alloc(b.is_empty())).collect();
@@ -374,11 +384,12 @@ impl<'a> Assessment<'a> {
                     let (chunk, tail) = rest.split_at_mut(range.len());
                     rest = tail;
                     let start = range.start;
-                    let priors = self.priors;
+                    let priors = plan.priors;
                     let streams = &op_streams;
                     jobs.push(Box::new(move || {
                         for (offset, slot) in chunk.iter_mut().enumerate() {
-                            *slot = fleet_draw(scenario_bases, &priors, streams, start + offset);
+                            *slot =
+                                operational_draw(scenario_bases, &priors, streams, start + offset);
                         }
                     }));
                 }
@@ -392,52 +403,28 @@ impl<'a> Assessment<'a> {
                     let (chunk, tail) = rest.split_at_mut(range.len());
                     rest = tail;
                     let start = range.start;
-                    let priors = self.priors;
+                    let priors = plan.priors;
                     let streams = &emb_streams;
                     jobs.push(Box::new(move || {
                         for (offset, slot) in chunk.iter_mut().enumerate() {
-                            *slot = fleet_embodied_draw(
-                                scenario_bases,
-                                &priors,
-                                streams,
-                                start + offset,
-                            );
+                            *slot = embodied_draw(scenario_bases, &priors, streams, start + offset);
                         }
                     }));
                 }
             }
             execute(pool, jobs);
         }
-        let alpha = (1.0 - self.level.clamp(0.0, 1.0)) / 2.0;
-        let operational = op_bases
+        op_bases
             .iter()
-            .zip(&op_draws)
-            .map(|(scenario_bases, draws)| {
-                if scenario_bases.is_empty() {
-                    return None;
-                }
-                Some(Interval {
-                    point: scenario_bases.iter().map(|b| b.mt_co2e).sum(),
-                    lo: stats::quantile(draws, alpha)?,
-                    hi: stats::quantile(draws, 1.0 - alpha)?,
-                })
+            .zip(&emb_bases)
+            .zip(op_draws.into_iter().zip(emb_draws))
+            .map(|((op, emb), (op_d, emb_d))| ScenarioDraws {
+                op_point: op.iter().map(|(_, b)| b.mt_co2e).sum(),
+                op: op_d,
+                emb_point: emb.iter().map(|b| b.mt_co2e).sum(),
+                emb: emb_d,
             })
-            .collect();
-        let embodied = emb_bases
-            .iter()
-            .zip(&emb_draws)
-            .map(|(scenario_bases, draws)| {
-                if scenario_bases.is_empty() {
-                    return None;
-                }
-                Some(Interval {
-                    point: scenario_bases.iter().map(|b| b.mt_co2e).sum(),
-                    lo: stats::quantile(draws, alpha)?,
-                    hi: stats::quantile(draws, 1.0 - alpha)?,
-                })
-            })
-            .collect();
-        (operational, embodied)
+            .collect()
     }
 }
 
@@ -486,12 +473,16 @@ pub(crate) fn execute<'env>(pool: Option<&ThreadPool>, jobs: Vec<Job<'env>>) {
 
 /// Results of one [`Assessment::run`]: per-scenario slices (matrix order)
 /// with O(1) lookup by name, plus optional Monte-Carlo intervals
-/// (operational and embodied). The slices and their name index live in an
-/// inner [`BatchOutput`], so both output types share one lookup policy
-/// (first occurrence wins).
+/// (operational and embodied) and the retained per-scenario draw vectors
+/// behind them — paired across scenarios by the session's common random
+/// numbers, which is what [`AssessmentOutput::compare`] folds into tight
+/// [`ScenarioDelta`] difference intervals. The slices and their name index
+/// live in an inner [`BatchOutput`], so both output types share one lookup
+/// policy (first occurrence wins).
 #[derive(Debug, Clone)]
 pub struct AssessmentOutput {
     batch: BatchOutput,
+    draws: RetainedDraws,
     intervals: Vec<Option<Interval>>,
     embodied_intervals: Vec<Option<Interval>>,
 }
@@ -499,13 +490,18 @@ pub struct AssessmentOutput {
 impl AssessmentOutput {
     fn new(
         slices: Vec<ScenarioSlice>,
-        intervals: Vec<Option<Interval>>,
-        embodied_intervals: Vec<Option<Interval>>,
+        retained: Vec<ScenarioDraws>,
+        plan: DrawPlan,
     ) -> AssessmentOutput {
+        let draws = RetainedDraws {
+            plan,
+            scenarios: retained,
+        };
         AssessmentOutput {
             batch: BatchOutput::new(slices),
-            intervals,
-            embodied_intervals,
+            intervals: draws.intervals(true),
+            embodied_intervals: draws.intervals(false),
+            draws,
         }
     }
 
@@ -558,6 +554,39 @@ impl AssessmentOutput {
         self.batch
             .index_of(name)
             .and_then(|i| self.embodied_intervals[i])
+    }
+
+    /// The [`DrawPlan`] that produced this output's uncertainty phase.
+    pub fn draw_plan(&self) -> &DrawPlan {
+        &self.draws.plan
+    }
+
+    /// One scenario's retained operational draw vector (`None` without
+    /// `uncertainty` or when the scenario covered nothing). Draws are
+    /// paired across scenarios: index `i` of every scenario's vector was
+    /// produced by the same per-system perturbations.
+    pub fn operational_draws(&self, name: &str) -> Option<&[f64]> {
+        self.draws.operational_draws(self.batch.index_of(name)?)
+    }
+
+    /// One scenario's retained embodied draw vector — see
+    /// [`AssessmentOutput::operational_draws`].
+    pub fn embodied_draws(&self, name: &str) -> Option<&[f64]> {
+        self.draws.embodied_draws(self.batch.index_of(name)?)
+    }
+
+    /// Paired-difference intervals `variant − baseline` over the session's
+    /// common random numbers — the first-class scenario comparison. `None`
+    /// when either scenario is absent or no uncertainty draws ran; the
+    /// per-family intervals inside are `None` where a side had no
+    /// coverage. The paired interval is no wider — in practice far tighter
+    /// — than [`Interval::independent_difference`] of the two scenarios'
+    /// own bands, because both scenarios replayed identical per-system
+    /// perturbations (pinned by `tests/compare.rs` and proptests).
+    pub fn compare(&self, baseline: &str, variant: &str) -> Option<ScenarioDelta> {
+        let b = self.batch.index_of(baseline)?;
+        let v = self.batch.index_of(variant)?;
+        self.draws.compare((baseline, b), (variant, v))
     }
 
     /// Columnar layout of every (scenario, system) result — see

@@ -40,10 +40,10 @@
 //! - totals accumulate footprint-by-footprint in rank order — the same
 //!   left fold `Iterator::sum` performs;
 //! - Monte-Carlo draws accumulate term-by-term into persistent per-sample
-//!   buffers using the kernels shared with `uncertainty::fleet_draw` /
-//!   `fleet_embodied_draw`, with each system addressed by its *global*
-//!   index among the scenario's estimable systems, so RNG streams and
-//!   addition order match the in-memory draws exactly.
+//!   buffers using the kernels shared with [`DrawPlan`], with each system
+//!   addressed by its *global row index* in the fleet (scenario- and
+//!   chunk-independent — the common-random-numbers key), so RNG streams
+//!   and addition order match the in-memory draws exactly.
 
 use crate::batch::assess_view;
 use crate::coverage::CoverageReport;
@@ -54,13 +54,11 @@ use crate::operational::OperationalEstimate;
 use crate::scenario::{DataScenario, ScenarioMatrix};
 use crate::session::{execute, plan_scenarios, Job, DEFAULT_ITEMS_PER_WORKER};
 use crate::uncertainty::{
-    embodied_factors, embodied_term, fleet_factors, fleet_term, Interval, PriorUncertainty,
-    EMBODIED_SEED_MIX, FLEET_SEED_MIX,
+    embodied_factors, embodied_term, fleet_factors, fleet_term, DrawPlan, Interval,
+    PriorUncertainty, RetainedDraws, ScenarioDelta, ScenarioDraws,
 };
 use crate::view::FleetView;
-use frame::stats;
 use parallel::pool::ThreadPool;
-use parallel::rng::RngStreams;
 use std::collections::HashMap;
 use top500::stream::FleetChunks;
 
@@ -98,10 +96,7 @@ pub struct StreamingAssessment<'sink, S> {
     source: S,
     config: EasyCConfig,
     matrix: Option<ScenarioMatrix>,
-    draws: usize,
-    level: f64,
-    seed: u64,
-    priors: PriorUncertainty,
+    plan: DrawPlan,
     items_per_worker: usize,
     sink: Option<RowSink<'sink>>,
 }
@@ -112,10 +107,7 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             source,
             config: EasyCConfig::default(),
             matrix: None,
-            draws: 0,
-            level: 0.95,
-            seed: 0,
-            priors: PriorUncertainty::default(),
+            plan: DrawPlan::default(),
             items_per_worker: DEFAULT_ITEMS_PER_WORKER,
             sink: None,
         }
@@ -148,15 +140,17 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
 
     /// Requests Monte-Carlo fleet-total intervals (operational and
     /// embodied) with this many draws per scenario (0 = skip, the
-    /// default).
+    /// default). Draws are paired across scenarios by common random
+    /// numbers, exactly as in the in-memory session — see
+    /// [`StreamOutput::compare`].
     pub fn uncertainty(mut self, draws: usize) -> StreamingAssessment<'sink, S> {
-        self.draws = draws;
+        self.plan.draws = draws;
         self
     }
 
     /// Confidence level of the intervals (default 0.95).
     pub fn confidence(mut self, level: f64) -> StreamingAssessment<'sink, S> {
-        self.level = level;
+        self.plan.level = level;
         self
     }
 
@@ -164,13 +158,20 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
     /// reproducible and independent of worker count and chunking for a
     /// given seed.
     pub fn seed(mut self, seed: u64) -> StreamingAssessment<'sink, S> {
-        self.seed = seed;
+        self.plan.seed = seed;
         self
     }
 
     /// Prior uncertainty widths used by the Monte-Carlo draws.
     pub fn priors(mut self, priors: PriorUncertainty) -> StreamingAssessment<'sink, S> {
-        self.priors = priors;
+        self.plan.priors = priors;
+        self
+    }
+
+    /// Replaces the whole [`DrawPlan`] (draws, level, seed and priors) in
+    /// one call.
+    pub fn draw_plan(mut self, plan: DrawPlan) -> StreamingAssessment<'sink, S> {
+        self.plan = plan;
         self
     }
 
@@ -204,11 +205,12 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
         let granularity = workers * self.items_per_worker;
         let (display, effective) = plan_scenarios(self.matrix.as_ref(), &self.config);
         let pool = (workers > 1).then(|| ThreadPool::new(workers));
-        let op_streams = RngStreams::new(self.seed ^ FLEET_SEED_MIX);
-        let emb_streams = RngStreams::new(self.seed ^ EMBODIED_SEED_MIX);
-        let sample_chunks = parallel::split_ranges(self.draws, granularity);
+        let plan = self.plan;
+        let op_streams = plan.operational_streams();
+        let emb_streams = plan.embodied_streams();
+        let sample_chunks = parallel::split_ranges(plan.draws, granularity);
 
-        let mut folds: Vec<Fold> = effective.iter().map(|_| Fold::new(self.draws)).collect();
+        let mut folds: Vec<Fold> = effective.iter().map(|_| Fold::new(plan.draws)).collect();
         let mut chunks = 0usize;
         let mut systems = 0usize;
         let mut peak_chunk_rows = 0usize;
@@ -217,6 +219,9 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
         while let Some(next) = self.source.next_chunk() {
             let list = next?;
             let chunk_index = chunks;
+            // Global row index of this chunk's first system — the
+            // scenario-independent CRN stream offset of its draws.
+            let rows_before = systems;
             chunks += 1;
             systems += list.len();
             peak_chunk_rows = peak_chunk_rows.max(list.len());
@@ -283,23 +288,24 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             // Hand the materialized per-system rows to the sink (scenario
             // by scenario, matrix order), then fold — sequential and in
             // rank order, so every running total repeats the exact
-            // left-fold the in-memory path performs.
-            let mut op_chunks: Vec<(usize, Vec<OperationalEstimate>)> =
+            // left-fold the in-memory path performs. Operational bases are
+            // tagged with their *global row index* (rows_before + chunk
+            // position): the CRN stream key, identical for every scenario.
+            let mut op_chunks: Vec<Vec<(usize, OperationalEstimate)>> =
                 Vec::with_capacity(effective.len());
             let mut emb_chunks: Vec<Vec<EmbodiedEstimate>> = Vec::with_capacity(effective.len());
-            let draws = self.draws;
+            let draws = plan.draws;
             for (index, (fold, out)) in folds.iter_mut().zip(outputs).enumerate() {
-                let op_offset = fold.ok_op;
                 let mut op_bases = Vec::new();
                 let mut emb_bases = Vec::new();
                 {
-                    let mut fold_one = |fp: SystemFootprint| {
+                    let mut fold_one = |(row, fp): (usize, SystemFootprint)| {
                         fold.total += 1;
                         if let Ok(op) = fp.operational {
                             fold.op_covered += 1;
                             fold.op_total += op.mt_co2e;
                             if draws > 0 {
-                                op_bases.push(op);
+                                op_bases.push((rows_before + row, op));
                             }
                         }
                         if let Ok(emb) = fp.embodied {
@@ -324,28 +330,27 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                                 chunk_index,
                                 footprints: &footprints,
                             });
-                            footprints.into_iter().for_each(&mut fold_one);
+                            footprints.into_iter().enumerate().for_each(&mut fold_one);
                         }
                         // No sink: fold straight out of the output slots,
                         // no intermediate allocation on the hot path.
                         None => out
                             .into_iter()
                             .map(|fp| fp.expect("every assessment chunk ran"))
+                            .enumerate()
                             .for_each(&mut fold_one),
                     }
                 }
-                fold.ok_op += op_bases.len();
-                fold.ok_emb += emb_bases.len();
-                op_chunks.push((op_offset, op_bases));
+                op_chunks.push(op_bases);
                 emb_chunks.push(emb_bases);
             }
 
             // Phase 3 — accumulate this chunk's Monte-Carlo terms into the
             // persistent draw buffers, (scenario × draw-chunk) items on
             // the same pool. Each item owns a disjoint sample range.
-            if self.draws > 0 {
+            if draws > 0 {
                 let mut jobs: Vec<Job<'_>> = Vec::new();
-                for (fold, ((op_offset, op_bases), emb_bases)) in folds
+                for (fold, (op_bases, emb_bases)) in folds
                     .iter_mut()
                     .zip(op_chunks.iter().zip(emb_chunks.iter()))
                 {
@@ -360,16 +365,15 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                             let (chunk, tail) = rest.split_at_mut(range.len());
                             rest = tail;
                             let start = range.start;
-                            let priors = self.priors;
+                            let priors = plan.priors;
                             let streams = &op_streams;
-                            let offset = *op_offset;
                             jobs.push(Box::new(move || {
                                 for (k, slot) in chunk.iter_mut().enumerate() {
                                     let sample = start + k;
                                     let factors = fleet_factors(streams, &priors, sample);
-                                    for (j, base) in op_bases.iter().enumerate() {
+                                    for (index, base) in op_bases {
                                         *slot +=
-                                            fleet_term(base, &factors, streams, sample, offset + j);
+                                            fleet_term(base, &factors, streams, sample, *index);
                                     }
                                 }
                             }));
@@ -381,7 +385,7 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                             let (chunk, tail) = rest.split_at_mut(range.len());
                             rest = tail;
                             let start = range.start;
-                            let priors = self.priors;
+                            let priors = plan.priors;
                             let streams = &emb_streams;
                             jobs.push(Box::new(move || {
                                 for (k, slot) in chunk.iter_mut().enumerate() {
@@ -400,13 +404,21 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             // the chunk survives into the next pull.
         }
 
-        let alpha = (1.0 - self.level.clamp(0.0, 1.0)) / 2.0;
-        let slices: Vec<StreamSlice> = display
-            .into_iter()
-            .zip(folds)
-            .map(|(scenario, fold)| fold.into_slice(scenario, self.draws, alpha))
-            .collect();
-        Ok(StreamOutput::new(slices, chunks, systems, peak_chunk_rows))
+        let mut slices = Vec::with_capacity(folds.len());
+        let mut retained = Vec::with_capacity(folds.len());
+        for (scenario, fold) in display.into_iter().zip(folds) {
+            let (slice, draws) = fold.finish(scenario, &plan);
+            slices.push(slice);
+            retained.push(draws);
+        }
+        Ok(StreamOutput::new(
+            slices,
+            retained,
+            plan,
+            chunks,
+            systems,
+            peak_chunk_rows,
+        ))
     }
 }
 
@@ -417,10 +429,6 @@ struct Fold {
     emb_covered: usize,
     op_total: f64,
     emb_total: f64,
-    /// Estimable systems seen so far — the global base-index offsets the
-    /// Monte-Carlo terms are addressed by.
-    ok_op: usize,
-    ok_emb: usize,
     op_draws: Vec<f64>,
     emb_draws: Vec<f64>,
 }
@@ -433,27 +441,29 @@ impl Fold {
             emb_covered: 0,
             op_total: 0.0,
             emb_total: 0.0,
-            ok_op: 0,
-            ok_emb: 0,
             op_draws: vec![0.0; draws],
             emb_draws: vec![0.0; draws],
         }
     }
 
-    fn into_slice(self, scenario: DataScenario, draws: usize, alpha: f64) -> StreamSlice {
-        let interval_of = |covered: usize, point: f64, buffer: &[f64]| {
-            if draws == 0 || covered == 0 {
-                return None;
+    /// Collapses the fold into its slice plus the retained draw state
+    /// (vectors emptied for families with no coverage, matching the
+    /// in-memory session's retention exactly).
+    fn finish(self, scenario: DataScenario, plan: &DrawPlan) -> (StreamSlice, ScenarioDraws) {
+        let keep = |covered: usize, buffer: Vec<f64>| -> Vec<f64> {
+            if covered == 0 {
+                Vec::new()
+            } else {
+                buffer
             }
-            Some(Interval {
-                point,
-                lo: stats::quantile(buffer, alpha)?,
-                hi: stats::quantile(buffer, 1.0 - alpha)?,
-            })
         };
-        let interval = interval_of(self.ok_op, self.op_total, &self.op_draws);
-        let embodied_interval = interval_of(self.ok_emb, self.emb_total, &self.emb_draws);
-        StreamSlice {
+        let retained = ScenarioDraws {
+            op_point: self.op_total,
+            op: keep(self.op_covered, self.op_draws),
+            emb_point: self.emb_total,
+            emb: keep(self.emb_covered, self.emb_draws),
+        };
+        let slice = StreamSlice {
             scenario,
             coverage: CoverageReport {
                 operational: self.op_covered,
@@ -462,9 +472,10 @@ impl Fold {
             },
             operational_total_mt: self.op_total,
             embodied_total_mt: self.emb_total,
-            interval,
-            embodied_interval,
-        }
+            interval: plan.interval_of(retained.op_point, &retained.op),
+            embodied_interval: plan.interval_of(retained.emb_point, &retained.emb),
+        };
+        (slice, retained)
     }
 }
 
@@ -492,11 +503,14 @@ pub struct StreamSlice {
 
 /// Results of one [`StreamingAssessment::run`]: per-scenario folded
 /// slices (matrix order, O(1) lookup by name — first occurrence wins, the
-/// same policy as the in-memory output) plus ingestion statistics.
+/// same policy as the in-memory output), the retained per-scenario draw
+/// vectors (paired across scenarios by common random numbers, bit-identical
+/// to the in-memory session's), plus ingestion statistics.
 #[derive(Debug, Clone)]
 pub struct StreamOutput {
     slices: Vec<StreamSlice>,
     index: HashMap<String, usize>,
+    draws: RetainedDraws,
     chunks: usize,
     systems: usize,
     peak_chunk_rows: usize,
@@ -505,6 +519,8 @@ pub struct StreamOutput {
 impl StreamOutput {
     fn new(
         slices: Vec<StreamSlice>,
+        retained: Vec<ScenarioDraws>,
+        plan: DrawPlan,
         chunks: usize,
         systems: usize,
         peak_chunk_rows: usize,
@@ -516,6 +532,10 @@ impl StreamOutput {
         StreamOutput {
             slices,
             index,
+            draws: RetainedDraws {
+                plan,
+                scenarios: retained,
+            },
             chunks,
             systems,
             peak_chunk_rows,
@@ -540,6 +560,36 @@ impl StreamOutput {
     /// Slice by scenario name — O(1).
     pub fn slice(&self, name: &str) -> Option<&StreamSlice> {
         self.index.get(name).map(|i| &self.slices[*i])
+    }
+
+    /// The [`DrawPlan`] that produced this output's uncertainty phase.
+    pub fn draw_plan(&self) -> &DrawPlan {
+        &self.draws.plan
+    }
+
+    /// One scenario's retained operational draw vector (`None` without
+    /// `uncertainty` or when the scenario covered nothing) — bit-identical
+    /// to the in-memory session's vector over the same systems.
+    pub fn operational_draws(&self, name: &str) -> Option<&[f64]> {
+        self.draws.operational_draws(*self.index.get(name)?)
+    }
+
+    /// One scenario's retained embodied draw vector — see
+    /// [`StreamOutput::operational_draws`].
+    pub fn embodied_draws(&self, name: &str) -> Option<&[f64]> {
+        self.draws.embodied_draws(*self.index.get(name)?)
+    }
+
+    /// Paired-difference intervals `variant − baseline` over the stream's
+    /// common random numbers — bit-identical to
+    /// [`AssessmentOutput::compare`](crate::session::AssessmentOutput::compare)
+    /// of an in-memory session over the same systems (pinned by
+    /// `tests/compare.rs` and proptests). `None` when either scenario is
+    /// absent or no uncertainty draws ran.
+    pub fn compare(&self, baseline: &str, variant: &str) -> Option<ScenarioDelta> {
+        let b = *self.index.get(baseline)?;
+        let v = *self.index.get(variant)?;
+        self.draws.compare((baseline, b), (variant, v))
     }
 
     /// Chunks pulled from the source.

@@ -5,13 +5,41 @@
 //! resamples a system's footprint with those bands using the reproducible
 //! RNG streams from `parallel`, producing percentile intervals that are
 //! independent of thread count.
+//!
+//! # Draw plans and common random numbers
+//!
+//! Fleet-scale uncertainty is organised around one abstraction: the
+//! [`DrawPlan`]. A plan fixes the draw count, confidence level, seed and
+//! prior widths, and from those derives every RNG stream of a session.
+//! The streams are keyed by **(system, draw index) — never by scenario**:
+//!
+//! ```text
+//! operational sample s:
+//!   factors(s)      ← stream(seed ^ FLEET_SEED_MIX, s)          systematic
+//!   term(s, system) ← stream(seed ^ FLEET_SEED_MIX,             idiosyncratic
+//!                            (s << 32) | (system_index + 1))
+//! embodied sample s:
+//!   factors(s)      ← stream(seed ^ EMBODIED_SEED_MIX, s)       systematic only
+//! ```
+//!
+//! `system_index` is the system's **global position in the fleet** (its
+//! row in the list, or its running row index across streamed chunks) — not
+//! its position among the scenario's estimable systems. Every scenario of
+//! a matrix therefore sees *identical* per-system perturbations: the only
+//! thing that differs between two scenarios' draw vectors is the base
+//! estimates the shared noise multiplies. This is the common-random-numbers
+//! (paired Monte-Carlo) construction, and it is what makes
+//! [`ScenarioDelta`] intervals — quantiles of per-draw *differences* —
+//! far tighter than differencing two independently-drawn bands.
+//!
+//! The per-scenario draw vectors are retained by the session outputs
+//! (`AssessmentOutput` / `StreamOutput`), whose `compare(a, b)` methods
+//! build the paired-difference intervals.
 
-use crate::batch::{AssessmentContext, EmbodiedStage, OperationalStage};
 use crate::embodied::EmbodiedEstimate;
 use crate::estimator::EasyC;
 use crate::metrics::SevenMetrics;
 use crate::operational::{self, OperationalEstimate};
-use crate::scenario::DataScenario;
 use frame::stats;
 use parallel::rng::RngStreams;
 use top500::record::SystemRecord;
@@ -52,14 +80,323 @@ pub struct Interval {
 }
 
 impl Interval {
-    /// Relative half-width of the interval.
+    /// Full width of the interval (`hi − lo`).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Relative half-width of the interval, guarded against a zero or
+    /// near-zero (subnormal) point estimate: a degenerate interval
+    /// (`hi == lo`) reports `0.0`, and a non-degenerate interval around an
+    /// effectively-zero point reports `f64::INFINITY` — never `NaN` and
+    /// never an overflowing unchecked division.
     pub fn relative_halfwidth(&self) -> f64 {
-        if self.point == 0.0 {
+        let halfwidth = (self.hi - self.lo) / 2.0;
+        if halfwidth == 0.0 {
             0.0
+        } else if self.point.abs().is_normal() {
+            (halfwidth / self.point.abs()).abs()
         } else {
-            (self.hi - self.lo) / (2.0 * self.point.abs())
+            f64::INFINITY
         }
     }
+
+    /// The naive difference interval of two **independent** bands:
+    /// `variant − baseline` with bounds `[v.lo − b.hi, v.hi − b.lo]`. Its
+    /// width is the *sum* of the two widths — the reference a paired
+    /// common-random-numbers [`ScenarioDelta`] has to beat.
+    pub fn independent_difference(variant: &Interval, baseline: &Interval) -> Interval {
+        Interval {
+            point: variant.point - baseline.point,
+            lo: variant.lo - baseline.hi,
+            hi: variant.hi - baseline.lo,
+        }
+    }
+}
+
+/// Seed-mixing constant for the fleet-total operational RNG stream family.
+pub(crate) const FLEET_SEED_MIX: u64 = 0xF1EE_7000;
+
+/// Seed-mixing constant for the fleet-total *embodied* RNG stream family
+/// (a separate domain from [`FLEET_SEED_MIX`], so operational and embodied
+/// draws never correlate by construction).
+pub(crate) const EMBODIED_SEED_MIX: u64 = 0xE3B0_D1ED_5EED_00AA;
+
+/// The plan of a family of Monte-Carlo fleet draws: draw count, confidence
+/// level, seed and prior widths. One plan drives every uncertainty phase
+/// of a session — in-memory and streaming — and its RNG streams are keyed
+/// by (system, draw index), never by scenario, so all scenarios of a
+/// matrix share per-system perturbations (common random numbers; see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy)]
+pub struct DrawPlan {
+    /// Monte-Carlo draws per scenario (0 = no uncertainty phase).
+    pub draws: usize,
+    /// Two-sided confidence level of collapsed intervals (default 0.95).
+    pub level: f64,
+    /// Master seed; results are reproducible and independent of worker
+    /// count, chunk granularity and fleet chunking for a given seed.
+    pub seed: u64,
+    /// Prior widths the draws perturb with.
+    pub priors: PriorUncertainty,
+}
+
+impl Default for DrawPlan {
+    fn default() -> DrawPlan {
+        DrawPlan::new(0)
+    }
+}
+
+impl DrawPlan {
+    /// Plan with `draws` samples, 95 % confidence, seed 0, default priors.
+    pub fn new(draws: usize) -> DrawPlan {
+        DrawPlan {
+            draws,
+            level: 0.95,
+            seed: 0,
+            priors: PriorUncertainty::default(),
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> DrawPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the confidence level.
+    pub fn with_confidence(mut self, level: f64) -> DrawPlan {
+        self.level = level;
+        self
+    }
+
+    /// Replaces the prior widths.
+    pub fn with_priors(mut self, priors: PriorUncertainty) -> DrawPlan {
+        self.priors = priors;
+        self
+    }
+
+    /// Lower tail mass of the plan's two-sided interval.
+    pub fn alpha(&self) -> f64 {
+        (1.0 - self.level.clamp(0.0, 1.0)) / 2.0
+    }
+
+    /// The operational RNG stream family of this plan.
+    pub(crate) fn operational_streams(&self) -> RngStreams {
+        RngStreams::new(self.seed ^ FLEET_SEED_MIX)
+    }
+
+    /// The embodied RNG stream family of this plan.
+    pub(crate) fn embodied_streams(&self) -> RngStreams {
+        RngStreams::new(self.seed ^ EMBODIED_SEED_MIX)
+    }
+
+    /// The fleet-total operational draw vector for one scenario: each base
+    /// estimate is tagged with its system's **global fleet index**, which
+    /// keys the idiosyncratic noise stream — the CRN invariant. This is the
+    /// serial reference kernel; the session's pooled (scenario ×
+    /// draw-chunk) plan and the streaming fold accumulate the exact same
+    /// terms in the exact same order (pinned by tests).
+    pub fn operational_draws(&self, bases: &[(usize, OperationalEstimate)]) -> Vec<f64> {
+        let streams = self.operational_streams();
+        (0..self.draws)
+            .map(|sample| operational_draw(bases, &self.priors, &streams, sample))
+            .collect()
+    }
+
+    /// The fleet-total embodied draw vector for one scenario. Embodied
+    /// priors are fully systematic (one fab regime and one capacity-prior
+    /// regime per sample, shared by every system), so the draws carry no
+    /// per-system index and CRN across scenarios holds trivially.
+    pub fn embodied_draws(&self, bases: &[EmbodiedEstimate]) -> Vec<f64> {
+        let streams = self.embodied_streams();
+        (0..self.draws)
+            .map(|sample| embodied_draw(bases, &self.priors, &streams, sample))
+            .collect()
+    }
+
+    /// Collapses a draw vector into the plan's percentile interval around
+    /// `point`. `None` when the vector is empty (no draws requested, or a
+    /// scenario with nothing estimable).
+    pub fn interval_of(&self, point: f64, draws: &[f64]) -> Option<Interval> {
+        tail_interval(point, draws, self.alpha())
+    }
+
+    /// Fleet-total operational interval over indexed bases — the one-call
+    /// replacement for the retired `fleet_operational_interval*` free
+    /// functions (serial; fleet sessions get the same numbers from
+    /// `Assessment…uncertainty(n)`).
+    pub fn operational_interval(&self, bases: &[(usize, OperationalEstimate)]) -> Option<Interval> {
+        if bases.is_empty() {
+            return None;
+        }
+        let point = bases.iter().map(|(_, b)| b.mt_co2e).sum();
+        self.interval_of(point, &self.operational_draws(bases))
+    }
+
+    /// Fleet-total embodied interval — the one-call replacement for the
+    /// retired `fleet_embodied_interval*` free functions.
+    pub fn embodied_interval(&self, bases: &[EmbodiedEstimate]) -> Option<Interval> {
+        if bases.is_empty() {
+            return None;
+        }
+        let point = bases.iter().map(|b| b.mt_co2e).sum();
+        self.interval_of(point, &self.embodied_draws(bases))
+    }
+}
+
+/// One scenario's retained draw state: fleet-total points plus the full
+/// per-sample draw vectors (empty when the family had no coverage or no
+/// draws were requested). Shared by the in-memory and streaming outputs so
+/// `compare` pairs bit-identical vectors on both paths.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScenarioDraws {
+    pub(crate) op_point: f64,
+    pub(crate) op: Vec<f64>,
+    pub(crate) emb_point: f64,
+    pub(crate) emb: Vec<f64>,
+}
+
+/// The whole retained draw state of one session run: the plan plus every
+/// scenario's draws, with the accessors `AssessmentOutput` and
+/// `StreamOutput` delegate to after resolving a name to a matrix index.
+/// Owning the guards here (the `draws == 0` gate, the empty-vector
+/// convention) keeps the two outputs' semantics identical by construction
+/// — the in-memory/streamed bit-identity contract has one home.
+#[derive(Debug, Clone)]
+pub(crate) struct RetainedDraws {
+    pub(crate) plan: DrawPlan,
+    pub(crate) scenarios: Vec<ScenarioDraws>,
+}
+
+impl RetainedDraws {
+    /// One scenario's operational draw vector, `None` when empty.
+    pub(crate) fn operational_draws(&self, index: usize) -> Option<&[f64]> {
+        let draws = self.scenarios.get(index)?.op.as_slice();
+        (!draws.is_empty()).then_some(draws)
+    }
+
+    /// One scenario's embodied draw vector, `None` when empty.
+    pub(crate) fn embodied_draws(&self, index: usize) -> Option<&[f64]> {
+        let draws = self.scenarios.get(index)?.emb.as_slice();
+        (!draws.is_empty()).then_some(draws)
+    }
+
+    /// The per-scenario collapsed intervals of one family (`op` selects
+    /// operational, otherwise embodied), matrix order.
+    pub(crate) fn intervals(&self, op: bool) -> Vec<Option<Interval>> {
+        self.scenarios
+            .iter()
+            .map(|d| {
+                if op {
+                    self.plan.interval_of(d.op_point, &d.op)
+                } else {
+                    self.plan.interval_of(d.emb_point, &d.emb)
+                }
+            })
+            .collect()
+    }
+
+    /// Paired delta of two resolved scenarios; `None` without draws.
+    pub(crate) fn compare(
+        &self,
+        baseline: (&str, usize),
+        variant: (&str, usize),
+    ) -> Option<ScenarioDelta> {
+        if self.plan.draws == 0 {
+            return None;
+        }
+        Some(ScenarioDelta::paired(
+            baseline.0,
+            variant.0,
+            &self.scenarios[baseline.1],
+            &self.scenarios[variant.1],
+            self.plan.alpha(),
+        ))
+    }
+}
+
+/// Paired-difference intervals between two scenarios of one session run:
+/// `variant − baseline` for the operational, embodied and combined fleet
+/// totals, computed draw-by-draw over the session's common random numbers.
+/// Because both scenarios replay identical per-system perturbations, the
+/// paired interval is (much) tighter than
+/// [`Interval::independent_difference`] of the two per-scenario bands —
+/// the variance-reduction that makes between-scenario claims crisp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDelta {
+    /// Baseline scenario name.
+    pub baseline: String,
+    /// Variant scenario name (the delta is `variant − baseline`).
+    pub variant: String,
+    /// Paired interval on the operational fleet-total difference (`None`
+    /// when either side had no operational coverage or no draws ran).
+    pub operational: Option<Interval>,
+    /// Paired interval on the embodied fleet-total difference.
+    pub embodied: Option<Interval>,
+    /// Paired interval on the combined (operational + embodied) difference
+    /// (`None` unless both families are present on both sides).
+    pub total: Option<Interval>,
+}
+
+impl ScenarioDelta {
+    /// Builds the paired deltas from two scenarios' retained draws.
+    pub(crate) fn paired(
+        baseline: &str,
+        variant: &str,
+        b: &ScenarioDraws,
+        v: &ScenarioDraws,
+        alpha: f64,
+    ) -> ScenarioDelta {
+        let operational = paired_interval(v.op_point - b.op_point, &v.op, &b.op, alpha);
+        let embodied = paired_interval(v.emb_point - b.emb_point, &v.emb, &b.emb, alpha);
+        let total = if v.op.len() == v.emb.len() && b.op.len() == b.emb.len() {
+            let sum = |d: &ScenarioDraws| -> Vec<f64> {
+                d.op.iter().zip(&d.emb).map(|(o, e)| o + e).collect()
+            };
+            paired_interval(
+                (v.op_point + v.emb_point) - (b.op_point + b.emb_point),
+                &sum(v),
+                &sum(b),
+                alpha,
+            )
+        } else {
+            None
+        };
+        ScenarioDelta {
+            baseline: baseline.to_string(),
+            variant: variant.to_string(),
+            operational,
+            embodied,
+            total,
+        }
+    }
+}
+
+/// Two-sided percentile interval of a draw vector around `point`, sorting
+/// the vector once and reading both tails off the sorted copy (a
+/// per-quantile `stats::quantile` call would clone-and-sort twice).
+fn tail_interval(point: f64, draws: &[f64], alpha: f64) -> Option<Interval> {
+    if draws.is_empty() {
+        return None;
+    }
+    let mut sorted = draws.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in draw vector"));
+    Some(Interval {
+        point,
+        lo: stats::quantile_of_sorted(&sorted, alpha)?,
+        hi: stats::quantile_of_sorted(&sorted, 1.0 - alpha)?,
+    })
+}
+
+/// Quantiles of the per-draw differences `variant[i] − baseline[i]`.
+/// `None` when either vector is empty or the lengths disagree.
+fn paired_interval(point: f64, variant: &[f64], baseline: &[f64], alpha: f64) -> Option<Interval> {
+    if variant.is_empty() || variant.len() != baseline.len() {
+        return None;
+    }
+    let diffs: Vec<f64> = variant.iter().zip(baseline).map(|(v, b)| v - b).collect();
+    tail_interval(point, &diffs, alpha)
 }
 
 /// Monte-Carlo interval for the operational estimate of one system.
@@ -145,72 +482,6 @@ pub fn embodied_interval(
     })
 }
 
-/// Monte-Carlo interval for the *fleet total* operational carbon.
-///
-/// Per-system prior draws are correlated where the physics is correlated
-/// (one global fab/PUE regime draw per sample, since prior errors are
-/// systematic, not independent per system — the paper's §V point about
-/// systematic error) and independent where it is not (per-system ACI
-/// noise). Systems without an estimate contribute nothing.
-pub fn fleet_operational_interval(
-    tool: &EasyC,
-    systems: &[SystemRecord],
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    // Pre-compute the per-system base estimates once, with the tool's
-    // configured overrides applied inside, matching `EasyC::assess`.
-    let overrides = tool.config().overrides();
-    let bases: Vec<_> = systems
-        .iter()
-        .filter_map(|r| {
-            let m = SevenMetrics::extract(r);
-            operational::estimate_with(r, &m, &overrides).ok()
-        })
-        .collect();
-    fleet_interval_from_bases(tool, &bases, priors, samples, level, seed)
-}
-
-/// [`fleet_operational_interval`] over a pre-built [`AssessmentContext`]
-/// and an explicit scenario: the metric extraction is reused across every
-/// Monte-Carlo draw (and across scenarios when called per matrix row)
-/// instead of being recomputed per invocation.
-pub fn fleet_operational_interval_ctx(
-    tool: &EasyC,
-    ctx: &AssessmentContext<'_>,
-    scenario: &DataScenario,
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    // Scenario overrides beat configuration overrides, exactly as in the
-    // session's plan.
-    let effective = DataScenario {
-        name: scenario.name.clone(),
-        mask: scenario.mask,
-        overrides: scenario.overrides.or(tool.config().overrides()),
-    };
-    let bases: Vec<OperationalEstimate> =
-        OperationalStage::run(ctx, &effective, tool.config().workers)
-            .into_iter()
-            .filter_map(|r| r.ok())
-            .collect();
-    fleet_interval_from_bases(tool, &bases, priors, samples, level, seed)
-}
-
-/// Seed-mixing constant for the fleet-total operational RNG stream family,
-/// shared by [`fleet_operational_interval`] and the session's interval
-/// phase so the two stay bit-identical.
-pub(crate) const FLEET_SEED_MIX: u64 = 0xF1EE_7000;
-
-/// Seed-mixing constant for the fleet-total *embodied* RNG stream family
-/// (a separate domain from [`FLEET_SEED_MIX`], so operational and embodied
-/// draws never correlate by construction).
-pub(crate) const EMBODIED_SEED_MIX: u64 = 0xE3B0_D1ED_5EED_00AA;
-
 /// Per-sample systematic factors of one fleet operational draw (one PUE
 /// and one utilisation regime draw shared by every system in the sample —
 /// the paper's §V point that prior errors are systematic, not independent
@@ -236,10 +507,10 @@ pub(crate) fn fleet_factors(
 
 /// One system's contribution to one fleet operational draw: systematic
 /// factors shared across the fleet, idiosyncratic ACI noise drawn from the
-/// `(sample, index)` stream. `index` is the system's position among the
-/// scenario's estimable systems — streamed chunks keep a running offset so
-/// the terms (and therefore the folded draw) are bit-identical to the
-/// in-memory path.
+/// `(sample, index)` stream. `index` is the system's **global fleet
+/// position** (list row in memory, running row across streamed chunks) —
+/// identical for every scenario, which is the common-random-numbers
+/// invariant behind [`ScenarioDelta`].
 pub(crate) fn fleet_term(
     base: &OperationalEstimate,
     factors: &FleetFactors,
@@ -255,12 +526,13 @@ pub(crate) fn fleet_term(
     base.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
 }
 
-/// One Monte-Carlo fleet-total operational draw: the shared kernel behind
-/// [`fleet_operational_interval`] and the session's interval phase, so the
-/// two stay bit-identical. Systematic components (PUE, utilisation) draw
-/// once per sample; idiosyncratic ACI noise draws per (sample, system).
-pub(crate) fn fleet_draw(
-    bases: &[OperationalEstimate],
+/// One Monte-Carlo fleet-total operational draw over index-tagged bases:
+/// the single kernel behind [`DrawPlan::operational_draws`] and the
+/// session's pooled interval phase, so the two stay bit-identical.
+/// Systematic components (PUE, utilisation) draw once per sample;
+/// idiosyncratic ACI noise draws per (sample, global system index).
+pub(crate) fn operational_draw(
+    bases: &[(usize, OperationalEstimate)],
     priors: &PriorUncertainty,
     streams: &RngStreams,
     sample: usize,
@@ -268,8 +540,7 @@ pub(crate) fn fleet_draw(
     let factors = fleet_factors(streams, priors, sample);
     bases
         .iter()
-        .enumerate()
-        .map(|(i, b)| fleet_term(b, &factors, streams, sample, i))
+        .map(|(index, base)| fleet_term(base, &factors, streams, sample, *index))
         .sum::<f64>()
 }
 
@@ -308,12 +579,12 @@ pub(crate) fn embodied_term(base: &EmbodiedEstimate, factors: &EmbodiedFactors) 
         / 1000.0
 }
 
-/// One Monte-Carlo fleet-total embodied draw: the shared kernel behind
-/// [`fleet_embodied_interval`] and the session's interval phase. Embodied
+/// One Monte-Carlo fleet-total embodied draw: the single kernel behind
+/// [`DrawPlan::embodied_draws`] and the session's interval phase. Embodied
 /// priors are fully systematic (fab lines and capacity priors are shared
 /// across the fleet), so fleet-total embodied uncertainty does not average
 /// out with fleet size.
-pub(crate) fn fleet_embodied_draw(
+pub(crate) fn embodied_draw(
     bases: &[EmbodiedEstimate],
     priors: &PriorUncertainty,
     streams: &RngStreams,
@@ -324,105 +595,6 @@ pub(crate) fn fleet_embodied_draw(
         .iter()
         .map(|b| embodied_term(b, &factors))
         .sum::<f64>()
-}
-
-/// Monte-Carlo interval for the *fleet total* embodied carbon — the
-/// embodied counterpart of [`fleet_operational_interval`], and the serial
-/// reference the session's embodied interval phase is pinned against.
-pub fn fleet_embodied_interval(
-    tool: &EasyC,
-    systems: &[SystemRecord],
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    let bases: Vec<EmbodiedEstimate> = systems
-        .iter()
-        .filter_map(|r| {
-            let m = SevenMetrics::extract(r);
-            crate::embodied::estimate(r, &m).ok()
-        })
-        .collect();
-    fleet_embodied_interval_from_bases(tool, &bases, priors, samples, level, seed)
-}
-
-/// [`fleet_embodied_interval`] over a pre-built [`AssessmentContext`] and
-/// an explicit scenario (mask-aware, extraction reused).
-pub fn fleet_embodied_interval_ctx(
-    tool: &EasyC,
-    ctx: &AssessmentContext<'_>,
-    scenario: &DataScenario,
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    let bases: Vec<EmbodiedEstimate> = EmbodiedStage::run(ctx, scenario, tool.config().workers)
-        .into_iter()
-        .filter_map(|r| r.ok())
-        .collect();
-    fleet_embodied_interval_from_bases(tool, &bases, priors, samples, level, seed)
-}
-
-fn fleet_embodied_interval_from_bases(
-    tool: &EasyC,
-    bases: &[EmbodiedEstimate],
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    if bases.is_empty() || samples == 0 {
-        return None;
-    }
-    let point: f64 = bases.iter().map(|b| b.mt_co2e).sum();
-    let streams = RngStreams::new(seed ^ EMBODIED_SEED_MIX);
-    let sample_indices: Vec<usize> = (0..samples).collect();
-    let draws =
-        parallel::par_map_chunked(&sample_indices, tool.config().workers, |start, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(offset, _)| fleet_embodied_draw(bases, priors, &streams, start + offset))
-                .collect()
-        });
-    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
-    Some(Interval {
-        point,
-        lo: stats::quantile(&draws, alpha)?,
-        hi: stats::quantile(&draws, 1.0 - alpha)?,
-    })
-}
-
-fn fleet_interval_from_bases(
-    tool: &EasyC,
-    bases: &[OperationalEstimate],
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    if bases.is_empty() || samples == 0 {
-        return None;
-    }
-    let point: f64 = bases.iter().map(|b| b.mt_co2e).sum();
-    let streams = RngStreams::new(seed ^ FLEET_SEED_MIX);
-    let sample_indices: Vec<usize> = (0..samples).collect();
-    let draws =
-        parallel::par_map_chunked(&sample_indices, tool.config().workers, |start, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(offset, _)| fleet_draw(bases, priors, &streams, start + offset))
-                .collect()
-        });
-    let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
-    Some(Interval {
-        point,
-        lo: stats::quantile(&draws, alpha)?,
-        hi: stats::quantile(&draws, 1.0 - alpha)?,
-    })
 }
 
 #[cfg(test)]
@@ -437,6 +609,32 @@ mod tests {
         })
         .systems()[2]
             .clone()
+    }
+
+    /// Index-tagged operational bases of a list, as the session builds
+    /// them: (global list position, Ok estimate).
+    fn op_bases(list: &top500::list::Top500List) -> Vec<(usize, OperationalEstimate)> {
+        let tool = EasyC::new();
+        list.systems()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                let m = SevenMetrics::extract(r);
+                operational::estimate_with(r, &m, &tool.config().overrides())
+                    .ok()
+                    .map(|b| (i, b))
+            })
+            .collect()
+    }
+
+    fn emb_bases(list: &top500::list::Top500List) -> Vec<EmbodiedEstimate> {
+        list.systems()
+            .iter()
+            .filter_map(|r| {
+                let m = SevenMetrics::extract(r);
+                crate::embodied::estimate(r, &m).ok()
+            })
+            .collect()
     }
 
     #[test]
@@ -489,55 +687,65 @@ mod tests {
     }
 
     #[test]
+    fn relative_halfwidth_is_nan_free_for_degenerate_points() {
+        // Zero mean, non-zero width: infinity, not NaN, not a panic.
+        let zero_mean = Interval {
+            point: 0.0,
+            lo: -1.0,
+            hi: 1.0,
+        };
+        assert_eq!(zero_mean.relative_halfwidth(), f64::INFINITY);
+        // Subnormal mean behaves like zero (an unchecked division would
+        // overflow to a meaningless huge finite value or inf by accident).
+        let subnormal = Interval {
+            point: f64::MIN_POSITIVE / 2.0,
+            lo: -1.0,
+            hi: 1.0,
+        };
+        assert_eq!(subnormal.relative_halfwidth(), f64::INFINITY);
+        // Degenerate interval: zero width whatever the point.
+        let degenerate = Interval {
+            point: 0.0,
+            lo: 3.0,
+            hi: 3.0,
+        };
+        assert_eq!(degenerate.relative_halfwidth(), 0.0);
+        // Healthy interval: plain relative half-width, negative points ok.
+        let healthy = Interval {
+            point: -10.0,
+            lo: -12.0,
+            hi: -8.0,
+        };
+        assert!((healthy.relative_halfwidth() - 0.2).abs() < 1e-12);
+        assert!(!healthy.relative_halfwidth().is_nan());
+    }
+
+    #[test]
     fn fleet_interval_brackets_total() {
         let list = generate_full(&SyntheticConfig {
             n: 100,
             ..Default::default()
         });
-        let tool = EasyC::new();
-        let iv = fleet_operational_interval(
-            &tool,
-            list.systems(),
-            &PriorUncertainty::default(),
-            400,
-            0.9,
-            11,
-        )
-        .unwrap();
+        let plan = DrawPlan::new(400).with_confidence(0.9).with_seed(11);
+        let iv = plan.operational_interval(&op_bases(&list)).unwrap();
         assert!(iv.lo < iv.point && iv.point < iv.hi * 1.2, "{iv:?}");
         assert!(iv.lo > 0.0);
     }
 
     #[test]
-    fn fleet_interval_deterministic_across_workers() {
+    fn plan_interval_deterministic_and_independent_of_vector_helpers() {
         let list = generate_full(&SyntheticConfig {
             n: 60,
             ..Default::default()
         });
-        let a = fleet_operational_interval(
-            &EasyC::with_config(crate::EasyCConfig {
-                workers: 1,
-                ..Default::default()
-            }),
-            list.systems(),
-            &PriorUncertainty::default(),
-            200,
-            0.9,
-            5,
-        )
-        .unwrap();
-        let b = fleet_operational_interval(
-            &EasyC::with_config(crate::EasyCConfig {
-                workers: 8,
-                ..Default::default()
-            }),
-            list.systems(),
-            &PriorUncertainty::default(),
-            200,
-            0.9,
-            5,
-        )
-        .unwrap();
+        let plan = DrawPlan::new(200).with_confidence(0.9).with_seed(5);
+        let bases = op_bases(&list);
+        let a = plan.operational_interval(&bases).unwrap();
+        // The same numbers via the draw-vector surface.
+        let point: f64 = bases.iter().map(|(_, b)| b.mt_co2e).sum();
+        let b = plan
+            .interval_of(point, &plan.operational_draws(&bases))
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -550,10 +758,8 @@ mod tests {
             n: 100,
             ..Default::default()
         });
-        let tool = EasyC::new();
-        let priors = PriorUncertainty::default();
-        let fleet =
-            fleet_operational_interval(&tool, list.systems(), &priors, 600, 0.9, 3).unwrap();
+        let plan = DrawPlan::new(600).with_confidence(0.9).with_seed(3);
+        let fleet = plan.operational_interval(&op_bases(&list)).unwrap();
         let fleet_rel = fleet.relative_halfwidth();
         assert!(
             fleet_rel > 0.05,
@@ -562,57 +768,94 @@ mod tests {
     }
 
     #[test]
-    fn intervals_honour_config_overrides() {
-        // The interval must bracket the same point `EasyC::assess` reports
-        // when the tool carries a PUE override.
-        let rec = system();
-        let tool = EasyC::with_config(crate::EasyCConfig {
-            pue_override: Some(1.25),
+    fn common_random_numbers_make_terms_scenario_independent() {
+        // The CRN invariant at kernel scale: a system's per-draw term
+        // depends only on (seed, sample, global index) and its base — the
+        // other systems in the scenario change nothing. A two-system draw
+        // is bit-identical to the sum of the two single-system draws.
+        let list = generate_full(&SyntheticConfig {
+            n: 10,
             ..Default::default()
         });
-        let point = tool.assess(&rec).operational_mt().unwrap();
-        let iv =
-            operational_interval(&tool, &rec, &PriorUncertainty::default(), 300, 0.9, 9).unwrap();
-        assert_eq!(iv.point, point);
-        let fleet = fleet_operational_interval(
-            &tool,
-            std::slice::from_ref(&rec),
-            &PriorUncertainty::default(),
-            300,
-            0.9,
-            9,
-        )
-        .unwrap();
-        assert_eq!(fleet.point, point);
+        let bases = op_bases(&list);
+        assert!(bases.len() >= 4);
+        let plan = DrawPlan::new(64).with_seed(9);
+        let a = vec![bases[1].clone()];
+        let b = vec![bases[3].clone()];
+        let both = vec![bases[1].clone(), bases[3].clone()];
+        let da = plan.operational_draws(&a);
+        let db = plan.operational_draws(&b);
+        let dab = plan.operational_draws(&both);
+        for i in 0..plan.draws {
+            assert_eq!(dab[i], da[i] + db[i], "draw {i}");
+        }
     }
 
     #[test]
-    fn context_variant_bit_identical_to_record_variant() {
+    fn identical_scenarios_have_zero_width_paired_delta() {
         let list = generate_full(&SyntheticConfig {
-            n: 80,
+            n: 40,
             ..Default::default()
         });
-        let tool = EasyC::new();
-        let priors = PriorUncertainty::default();
-        let direct =
-            fleet_operational_interval(&tool, list.systems(), &priors, 200, 0.9, 17).unwrap();
-        let ctx = AssessmentContext::new(&list, tool.config().workers);
-        let via_ctx = fleet_operational_interval_ctx(
-            &tool,
-            &ctx,
-            &DataScenario::full("full"),
-            &priors,
-            200,
-            0.9,
-            17,
-        )
-        .unwrap();
-        assert_eq!(direct, via_ctx);
+        let plan = DrawPlan::new(100).with_seed(2);
+        let op = op_bases(&list);
+        let emb = emb_bases(&list);
+        let draws = ScenarioDraws {
+            op_point: op.iter().map(|(_, b)| b.mt_co2e).sum(),
+            op: plan.operational_draws(&op),
+            emb_point: emb.iter().map(|b| b.mt_co2e).sum(),
+            emb: plan.embodied_draws(&emb),
+        };
+        let delta = ScenarioDelta::paired("a", "a", &draws, &draws, plan.alpha());
+        for iv in [delta.operational, delta.embodied, delta.total] {
+            let iv = iv.unwrap();
+            assert_eq!(iv.point, 0.0);
+            assert_eq!(iv.lo, 0.0);
+            assert_eq!(iv.hi, 0.0);
+        }
+    }
+
+    #[test]
+    fn paired_delta_none_when_a_side_has_no_draws() {
+        let delta = ScenarioDelta::paired(
+            "a",
+            "b",
+            &ScenarioDraws::default(),
+            &ScenarioDraws {
+                op_point: 1.0,
+                op: vec![1.0, 2.0],
+                emb_point: 0.0,
+                emb: Vec::new(),
+            },
+            0.05,
+        );
+        assert!(delta.operational.is_none());
+        assert!(delta.embodied.is_none());
+        assert!(delta.total.is_none());
+    }
+
+    #[test]
+    fn independent_difference_sums_widths() {
+        let b = Interval {
+            point: 10.0,
+            lo: 8.0,
+            hi: 13.0,
+        };
+        let v = Interval {
+            point: 14.0,
+            lo: 11.0,
+            hi: 18.0,
+        };
+        let d = Interval::independent_difference(&v, &b);
+        assert_eq!(d.point, 4.0);
+        assert_eq!(d.lo, 11.0 - 13.0);
+        assert_eq!(d.hi, 18.0 - 8.0);
+        assert!((d.width() - (v.width() + b.width())).abs() < 1e-12);
     }
 
     #[test]
     fn session_matrix_intervals_well_formed_per_scenario() {
-        use crate::scenario::{MetricBit, MetricMask, ScenarioMatrix};
+        use crate::scenario::{DataScenario, MetricBit, MetricMask, ScenarioMatrix};
         let list = generate_full(&SyntheticConfig {
             n: 60,
             ..Default::default()
@@ -648,15 +891,8 @@ mod tests {
             ..Default::default()
         });
         let tool = EasyC::new();
-        let iv = fleet_embodied_interval(
-            &tool,
-            list.systems(),
-            &PriorUncertainty::default(),
-            400,
-            0.9,
-            11,
-        )
-        .unwrap();
+        let plan = DrawPlan::new(400).with_confidence(0.9).with_seed(11);
+        let iv = plan.embodied_interval(&emb_bases(&list)).unwrap();
         let direct: f64 = list
             .systems()
             .iter()
@@ -668,79 +904,18 @@ mod tests {
     }
 
     #[test]
-    fn fleet_embodied_interval_deterministic_across_workers() {
-        let list = generate_full(&SyntheticConfig {
-            n: 40,
-            ..Default::default()
-        });
-        let run = |workers| {
-            fleet_embodied_interval(
-                &EasyC::with_config(crate::EasyCConfig {
-                    workers,
-                    ..Default::default()
-                }),
-                list.systems(),
-                &PriorUncertainty::default(),
-                200,
-                0.9,
-                5,
-            )
-            .unwrap()
-        };
-        assert_eq!(run(1), run(8));
-    }
-
-    #[test]
-    fn fleet_embodied_ctx_variant_bit_identical_to_record_variant() {
-        let list = generate_full(&SyntheticConfig {
-            n: 50,
-            ..Default::default()
-        });
-        let tool = EasyC::new();
-        let priors = PriorUncertainty::default();
-        let direct = fleet_embodied_interval(&tool, list.systems(), &priors, 150, 0.9, 17).unwrap();
-        let ctx = AssessmentContext::new(&list, tool.config().workers);
-        let via_ctx = fleet_embodied_interval_ctx(
-            &tool,
-            &ctx,
-            &DataScenario::full("full"),
-            &priors,
-            150,
-            0.9,
-            17,
-        )
-        .unwrap();
-        assert_eq!(direct, via_ctx);
-    }
-
-    #[test]
-    fn fleet_embodied_interval_none_for_empty_or_zero_samples() {
-        let tool = EasyC::new();
-        assert!(
-            fleet_embodied_interval(&tool, &[], &PriorUncertainty::default(), 10, 0.9, 1).is_none()
-        );
+    fn plan_intervals_none_for_empty_or_zero_draws() {
+        let plan = DrawPlan::new(10);
+        assert!(plan.operational_interval(&[]).is_none());
+        assert!(plan.embodied_interval(&[]).is_none());
         let list = generate_full(&SyntheticConfig {
             n: 5,
             ..Default::default()
         });
-        assert!(fleet_embodied_interval(
-            &tool,
-            list.systems(),
-            &PriorUncertainty::default(),
-            0,
-            0.9,
-            1
-        )
-        .is_none());
-    }
-
-    #[test]
-    fn fleet_interval_none_for_empty() {
-        let tool = EasyC::new();
-        assert!(
-            fleet_operational_interval(&tool, &[], &PriorUncertainty::default(), 10, 0.9, 1)
-                .is_none()
-        );
+        let zero = DrawPlan::new(0);
+        assert!(zero.operational_interval(&op_bases(&list)).is_none());
+        assert!(zero.embodied_interval(&emb_bases(&list)).is_none());
+        assert!(zero.interval_of(1.0, &[]).is_none());
     }
 
     #[test]

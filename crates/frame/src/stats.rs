@@ -60,6 +60,17 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_of_sorted(&sorted, q)
+}
+
+/// [`quantile`] over an **already-sorted** (ascending) slice — the shared
+/// interpolation kernel, exposed so callers needing several quantiles of
+/// one vector (e.g. both interval tails) can sort once instead of paying
+/// a clone-and-sort per call.
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

@@ -8,8 +8,8 @@
 //! ```
 
 use top500_carbon::analysis::aggregate::Equivalences;
-use top500_carbon::easyc::uncertainty::{fleet_operational_interval, PriorUncertainty};
-use top500_carbon::easyc::{EasyC, SystemFootprint};
+use top500_carbon::easyc::{Assessment, EasyC, SystemFootprint};
+use top500_carbon::top500::list::Top500List;
 use top500_carbon::top500::SystemRecord;
 
 /// A hand-built portfolio in the spirit of the ACCESS allocation sites:
@@ -73,7 +73,8 @@ fn portfolio() -> Vec<SystemRecord> {
 }
 
 fn main() {
-    let sites = portfolio();
+    let list = Top500List::new(portfolio());
+    let sites = list.systems();
     let tool = EasyC::new();
 
     println!("== ACCESS-style portfolio assessment ==\n");
@@ -82,7 +83,7 @@ fn main() {
         "site", "op (MT/yr)", "emb (MT)", "power path"
     );
     let mut footprints: Vec<SystemFootprint> = Vec::new();
-    for site in &sites {
+    for site in sites {
         let fp = tool.assess(site);
         let path = fp
             .operational
@@ -119,15 +120,15 @@ fn main() {
         eq.vehicles, eq.homes
     );
 
-    let iv = fleet_operational_interval(
-        &tool,
-        &sites,
-        &PriorUncertainty::default(),
-        4000,
-        0.95,
-        2026,
-    )
-    .expect("portfolio estimable");
+    // The portfolio interval comes from the same DrawPlan-driven session
+    // that serves fleet-scale sweeps.
+    let iv = Assessment::of(&list)
+        .uncertainty(4000)
+        .confidence(0.95)
+        .seed(2026)
+        .run()
+        .interval("default")
+        .expect("portfolio estimable");
     println!(
         "95% CI on the portfolio total: {:.0} - {:.0} MT CO2e/yr",
         iv.lo, iv.hi

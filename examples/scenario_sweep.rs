@@ -108,6 +108,29 @@ fn main() {
         report.max_increase_mt, report.max_decrease_mt
     );
 
+    // First-class scenario comparison: every scenario of the matrix saw
+    // IDENTICAL per-system perturbations (common random numbers — the
+    // DrawPlan keys its RNG streams by (system, draw), never by scenario),
+    // so the paired difference interval is far tighter than differencing
+    // the two independent bands printed above.
+    println!("\npaired 90% deltas vs `full` (common random numbers):");
+    for variant in ["no-power", "site-pue-1.1", "clean-grid-50g"] {
+        let delta = output.compare("full", variant).expect("scenarios present");
+        let op = delta.operational.expect("operational coverage");
+        let naive = top500_carbon::easyc::Interval::independent_difference(
+            &output.interval(variant).expect("interval"),
+            &output.interval("full").expect("interval"),
+        );
+        println!(
+            "  {:>14}: op {:+9.0} [{:+9.0}, {:+9.0}]  (naive band width {:.0}x wider)",
+            variant,
+            op.point,
+            op.lo,
+            op.hi,
+            naive.width() / op.width().max(1e-9),
+        );
+    }
+
     // The columnar view feeds straight into the frame machinery.
     let frame = output.to_frame();
     println!(

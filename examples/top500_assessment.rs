@@ -11,24 +11,22 @@
 use std::path::PathBuf;
 use top500_carbon::analysis::figures::{table2_render, Fig7};
 use top500_carbon::analysis::report::run_study;
-use top500_carbon::easyc::uncertainty::{fleet_operational_interval, PriorUncertainty};
-use top500_carbon::easyc::EasyC;
+use top500_carbon::easyc::Assessment;
 
 fn main() {
     let report = run_study(0x5EED_CAFE);
     println!("{}", report.summary());
 
     // Fleet-total uncertainty: systematic prior error does not average out
-    // across 500 systems (the paper's §V argument, quantified).
-    let iv = fleet_operational_interval(
-        &EasyC::new(),
-        report.pipeline.full.systems(),
-        &PriorUncertainty::default(),
-        2000,
-        0.95,
-        0x5EED_CAFE,
-    )
-    .expect("fleet estimable");
+    // across 500 systems (the paper's §V argument, quantified). One
+    // DrawPlan-driven session serves the interval.
+    let iv = Assessment::of(&report.pipeline.full)
+        .uncertainty(2000)
+        .confidence(0.95)
+        .seed(0x5EED_CAFE)
+        .run()
+        .interval("default")
+        .expect("fleet estimable");
     println!(
         "synthetic fleet operational total: {:.2} M MT (95% CI {:.2} - {:.2} M MT)\n",
         iv.point / 1e6,

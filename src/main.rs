@@ -12,6 +12,13 @@
 //!                      --stream the rows are spilled chunk-by-chunk (same
 //!                      bytes, bounded memory)
 //!   --draws N          Monte-Carlo fleet intervals (operational + embodied)
+//!   --confidence L     interval confidence level in (0, 1) (default 0.95)
+//!   --seed S           RNG seed for the Monte-Carlo draws (default 0)
+//!   --compare A,B      paired scenario comparison B − A: common random
+//!                      numbers replay identical per-system perturbations in
+//!                      both scenarios, so the difference interval is far
+//!                      tighter than differencing the two separate bands
+//!                      (enables --draws 1000 if --draws was not given)
 //!   --synthetic N      use an N-system synthetic fleet instead of a CSV
 //!   --stream           pipelined chunked ingestion: the next chunk is parsed
 //!                      on a background thread while the pool assesses the
@@ -26,9 +33,11 @@ use std::io::BufReader;
 use std::path::Path;
 use std::process::ExitCode;
 
-use top500_carbon::analysis::fleet::{render_sweep, summarize_slices, summarize_stream};
+use top500_carbon::analysis::fleet::{
+    render_deltas, render_sweep, summarize_slices, summarize_stream,
+};
 use top500_carbon::analysis::report::{run_study, SweepCsvWriter};
-use top500_carbon::easyc::{Assessment, Interval, ScenarioMatrix};
+use top500_carbon::easyc::{Assessment, DrawPlan, Interval, ScenarioDelta, ScenarioMatrix};
 use top500_carbon::frame;
 use top500_carbon::top500::io::{export_csv, import_csv, stream_csv, COLUMNS};
 use top500_carbon::top500::list::Top500List;
@@ -78,6 +87,10 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("                        (works with --stream: rows spill chunk-by-chunk,");
     eprintln!("                        byte-identical artifact at bounded memory)");
     eprintln!("    --draws N           Monte-Carlo fleet intervals per scenario");
+    eprintln!("    --confidence L      interval confidence level in (0, 1), default 0.95");
+    eprintln!("    --seed S            RNG seed for the Monte-Carlo draws, default 0");
+    eprintln!("    --compare A,B       paired delta B − A over common random numbers");
+    eprintln!("                        (defaults --draws to 1000 when not given)");
     eprintln!("    --synthetic N       N-system synthetic fleet instead of a CSV");
     eprintln!("    --stream            pipelined chunked ingestion (parse overlaps assess),");
     eprintln!("                        memory bounded by --chunk-rows, not fleet size");
@@ -115,7 +128,9 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     let mut stream = false;
     let mut chunk_rows = DEFAULT_CHUNK_ROWS;
     let mut synthetic_n: Option<u32> = None;
-    let mut draws = 0usize;
+    let mut plan = DrawPlan::new(0);
+    let mut draws_given = false;
+    let mut compare: Option<(String, String)> = None;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         if arg == "--out" {
@@ -142,8 +157,29 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
             }
         } else if arg == "--draws" {
             match iter.next().and_then(|n| n.parse::<usize>().ok()) {
-                Some(n) => draws = n,
+                Some(n) => {
+                    plan.draws = n;
+                    draws_given = true;
+                }
                 _ => return usage("--draws requires an integer"),
+            }
+        } else if arg == "--confidence" {
+            match iter.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(level) if level > 0.0 && level < 1.0 => plan.level = level,
+                _ => return usage("--confidence requires a level strictly between 0 and 1"),
+            }
+        } else if arg == "--seed" {
+            match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(seed) => plan.seed = seed,
+                _ => return usage("--seed requires an unsigned integer"),
+            }
+        } else if arg == "--compare" {
+            match iter.next().and_then(|pair| {
+                let (a, b) = pair.split_once(',')?;
+                (!a.is_empty() && !b.is_empty()).then(|| (a.to_string(), b.to_string()))
+            }) {
+                Some(pair) => compare = Some(pair),
+                None => return usage("--compare requires two scenario names as A,B"),
             }
         } else {
             systems_path = Some(arg);
@@ -151,6 +187,23 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     }
     if systems_path.is_some() && synthetic_n.is_some() {
         return usage("pass either systems.csv or --synthetic N, not both");
+    }
+    if let Some((a, b)) = &compare {
+        for name in [a, b] {
+            if !matrix.scenarios().iter().any(|s| &s.name == name) {
+                eprintln!("error: --compare scenario `{name}` is not in the matrix");
+                return ExitCode::FAILURE;
+            }
+        }
+        // A comparison needs paired draws; pick a sensible default when
+        // the user asked for the delta but said nothing about draws — an
+        // explicit `--draws 0` contradicts `--compare` and is rejected.
+        if plan.draws == 0 {
+            if draws_given {
+                return usage("--compare needs --draws > 0");
+            }
+            plan.draws = 1000;
+        }
     }
     if stream {
         let synthetic = SyntheticConfig {
@@ -173,7 +226,8 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
                     Prefetched::new(stream_csv(BufReader::new(file), chunk_rows)),
                     &matrix,
                     workers,
-                    draws,
+                    plan,
+                    compare.as_ref(),
                     out_path,
                 )
             }
@@ -181,7 +235,8 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
                 Prefetched::new(SyntheticChunks::new(synthetic, chunk_rows)),
                 &matrix,
                 workers,
-                draws,
+                plan,
+                compare.as_ref(),
                 out_path,
             ),
         };
@@ -218,16 +273,25 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     let output = Assessment::of(&list)
         .scenarios(&matrix)
         .workers(workers)
-        .uncertainty(draws)
+        .draw_plan(plan)
         .run();
     println!("{}", render_sweep(&summarize_slices(output.slices())));
-    if draws > 0 {
+    if plan.draws > 0 {
         let names: Vec<&str> = output
             .slices()
             .iter()
             .map(|s| s.scenario.name.as_str())
             .collect();
         print_intervals(&names, output.intervals(), output.embodied_intervals());
+    }
+    if let Some((baseline, variant)) = &compare {
+        match output.compare(baseline, variant) {
+            Some(delta) => print_delta(&delta, plan.level),
+            None => {
+                eprintln!("error: --compare found no paired draws for {baseline},{variant}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(path, frame::csv::write(&output.to_frame())) {
@@ -247,7 +311,8 @@ fn run_stream_sweep<S: FleetChunks>(
     source: S,
     matrix: &ScenarioMatrix,
     workers: usize,
-    draws: usize,
+    plan: DrawPlan,
+    compare: Option<&(String, String)>,
     out_path: Option<&str>,
 ) -> ExitCode {
     println!(
@@ -268,7 +333,7 @@ fn run_stream_sweep<S: FleetChunks>(
     let session = Assessment::stream(source)
         .scenarios(matrix)
         .workers(workers)
-        .uncertainty(draws);
+        .draw_plan(plan);
     let session = match writer.as_mut() {
         Some(writer) => session.rows(|block| writer.append(&block)),
         None => session,
@@ -290,7 +355,7 @@ fn run_stream_sweep<S: FleetChunks>(
         }
     }
     println!("{}", render_sweep(&summarize_stream(&output)));
-    if draws > 0 {
+    if plan.draws > 0 {
         let names: Vec<&str> = output
             .slices()
             .iter()
@@ -304,6 +369,15 @@ fn run_stream_sweep<S: FleetChunks>(
             .collect();
         print_intervals(&names, &op, &emb);
     }
+    if let Some((baseline, variant)) = compare {
+        match output.compare(baseline, variant) {
+            Some(delta) => print_delta(&delta, plan.level),
+            None => {
+                eprintln!("error: --compare found no paired draws for {baseline},{variant}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "{} systems in {} chunks; peak resident chunk: {} rows",
         output.systems(),
@@ -311,6 +385,18 @@ fn run_stream_sweep<S: FleetChunks>(
         output.peak_chunk_rows()
     );
     ExitCode::SUCCESS
+}
+
+/// Renders one paired scenario delta (the `--compare` panel) through the
+/// shared `analysis::fleet::render_deltas` table — the CRN construction
+/// pairs both scenarios' draws, so these bands are tighter than the
+/// difference of the two per-scenario intervals printed above.
+fn print_delta(delta: &ScenarioDelta, level: f64) {
+    println!(
+        "paired delta, MT CO2e ({:.0}% CI, common random numbers):",
+        level * 100.0
+    );
+    println!("{}", render_deltas(std::slice::from_ref(delta)));
 }
 
 /// Renders per-scenario fleet intervals (operational + embodied).

@@ -8,12 +8,9 @@
 
 use top500_carbon::analysis::report::default_scenario_matrix;
 use top500_carbon::analysis::StudyPipeline;
-use top500_carbon::easyc::uncertainty::{
-    fleet_embodied_interval_ctx, fleet_operational_interval_ctx, PriorUncertainty,
-};
 use top500_carbon::easyc::{
-    Assessment, AssessmentContext, DataScenario, EasyC, EasyCConfig, MetricBit, MetricMask,
-    OverrideSet, ScenarioMatrix, SystemFootprint,
+    Assessment, AssessmentContext, DataScenario, DrawPlan, EasyC, EasyCConfig, MetricBit,
+    MetricMask, OverrideSet, ScenarioMatrix, SystemFootprint,
 };
 use top500_carbon::top500::synthetic::{generate_full, mask_baseline, MaskRates, SyntheticConfig};
 
@@ -145,10 +142,12 @@ fn masked_session_sweep_performs_zero_record_clones() {
 }
 
 #[test]
-fn session_intervals_match_serial_uncertainty_entry_points() {
+fn session_intervals_match_serial_draw_plan_kernel() {
     // Both interval families of the session — operational and embodied —
-    // must be bit-identical to the standalone fleet interval functions
-    // over the same context and scenarios.
+    // must be bit-identical to the serial DrawPlan reference kernel over
+    // the same footprints, for every scenario of the default matrix. The
+    // operational bases are tagged with their global list index (the CRN
+    // stream key), exactly as the session tags them.
     let list = generate_full(&SyntheticConfig {
         n: 150,
         seed: 0x5EED_CAFE,
@@ -156,29 +155,36 @@ fn session_intervals_match_serial_uncertainty_entry_points() {
     });
     let matrix = default_scenario_matrix();
     let tool = EasyC::new();
-    let priors = PriorUncertainty::default();
+    let plan = DrawPlan::new(200).with_confidence(0.9).with_seed(17);
     let session = Assessment::of(&list)
         .config(*tool.config())
         .scenarios(&matrix)
-        .uncertainty(200)
-        .confidence(0.9)
-        .seed(17)
-        .priors(priors)
+        .draw_plan(plan)
         .run();
-    let ctx = AssessmentContext::new(&list, tool.config().workers);
     for scenario in matrix.scenarios() {
-        let direct_op =
-            fleet_operational_interval_ctx(&tool, &ctx, scenario, &priors, 200, 0.9, 17);
+        let serial: Vec<SystemFootprint> = list
+            .systems()
+            .iter()
+            .map(|s| tool.assess_scenario(s, scenario))
+            .collect();
+        let op_bases: Vec<_> = serial
+            .iter()
+            .enumerate()
+            .filter_map(|(i, fp)| fp.operational.as_ref().ok().cloned().map(|op| (i, op)))
+            .collect();
         assert_eq!(
             session.interval(&scenario.name),
-            direct_op,
+            plan.operational_interval(&op_bases),
             "operational `{}`",
             scenario.name
         );
-        let direct_emb = fleet_embodied_interval_ctx(&tool, &ctx, scenario, &priors, 200, 0.9, 17);
+        let emb_bases: Vec<_> = serial
+            .iter()
+            .filter_map(|fp| fp.embodied.as_ref().ok().cloned())
+            .collect();
         assert_eq!(
             session.embodied_interval(&scenario.name),
-            direct_emb,
+            plan.embodied_interval(&emb_bases),
             "embodied `{}`",
             scenario.name
         );

@@ -433,6 +433,73 @@ proptest! {
     }
 
     #[test]
+    fn paired_delta_never_wider_than_independent_difference_and_streams_bit_identically(
+        n in 1u32..40,
+        seed in 0u64..1_000,
+        rows_per_chunk in 1usize..64,
+        mask in arb_mask()
+    ) {
+        // The CRN tightness guarantee: for any fleet, seed and mask, the
+        // paired ScenarioDelta interval is no wider than the naive
+        // difference of the two independent per-scenario intervals (both
+        // scenarios replay identical per-system perturbations, so the
+        // shared noise cancels in the pairing), and the streaming fold
+        // reproduces the in-memory delta bit for bit at any chunking.
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked("masked", mask));
+        let session = Assessment::of(&list)
+            .scenarios(&matrix)
+            .uncertainty(200)
+            .confidence(0.9)
+            .seed(seed)
+            .run();
+        let delta = session.compare("full", "masked").expect("draws requested");
+        for (paired, variant_iv, baseline_iv, family) in [
+            (delta.operational, session.interval("masked"), session.interval("full"), "op"),
+            (
+                delta.embodied,
+                session.embodied_interval("masked"),
+                session.embodied_interval("full"),
+                "emb",
+            ),
+        ] {
+            match (paired, variant_iv, baseline_iv) {
+                (Some(paired), Some(v), Some(b)) => {
+                    let naive = top500_carbon::easyc::Interval::independent_difference(&v, &b);
+                    prop_assert!(
+                        paired.width() <= naive.width() + 1e-9 * naive.width().abs().max(1.0),
+                        "{family}: paired {} wider than naive {}", paired.width(), naive.width()
+                    );
+                    prop_assert!(paired.lo <= paired.hi);
+                }
+                // A family missing on either side pairs to nothing.
+                (paired, v, b) => prop_assert!(
+                    paired.is_none() && (v.is_none() || b.is_none()),
+                    "{family}: inconsistent presence"
+                ),
+            }
+        }
+        let streamed = Assessment::stream(InMemoryChunks::new(&list, rows_per_chunk))
+            .scenarios(&matrix)
+            .uncertainty(200)
+            .confidence(0.9)
+            .seed(seed)
+            .run()
+            .expect("in-memory chunks cannot fail");
+        prop_assert_eq!(streamed.compare("full", "masked"), Some(delta));
+        prop_assert_eq!(
+            streamed.operational_draws("masked"),
+            session.operational_draws("masked")
+        );
+        prop_assert_eq!(
+            streamed.embodied_draws("masked"),
+            session.embodied_draws("masked")
+        );
+    }
+
+    #[test]
     fn matrix_preserves_scenario_order(masks in prop::collection::vec(arb_mask(), 1..8)) {
         let mut matrix = ScenarioMatrix::new();
         for (i, mask) in masks.iter().enumerate() {
