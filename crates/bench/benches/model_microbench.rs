@@ -3,7 +3,7 @@
 
 use bench::BENCH_SEED;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use easyc::uncertainty::{operational_interval, PriorUncertainty};
+use easyc::uncertainty::DrawPlan;
 use easyc::{Assessment, EasyC};
 use top500::synthetic::{generate_full, SyntheticConfig};
 
@@ -38,17 +38,10 @@ fn bench_model(c: &mut Criterion) {
     }
     group.finish();
 
+    let base = tool.assess(&one).operational.expect("estimable system");
+    let plan = DrawPlan::new(1000).with_seed(7);
     c.bench_function("model/monte_carlo_1k_samples", |b| {
-        b.iter(|| {
-            operational_interval(
-                &tool,
-                std::hint::black_box(&one),
-                &PriorUncertainty::default(),
-                1000,
-                0.95,
-                7,
-            )
-        })
+        b.iter(|| plan.system_operational_interval(10, std::hint::black_box(&base)))
     });
 }
 

@@ -13,8 +13,74 @@
 //! times are printed. There is no statistical outlier analysis — the point
 //! is that `cargo bench` runs, regenerates every figure, and reports
 //! honest wall-clock numbers, not that it replaces criterion's statistics.
+//!
+//! Every measurement is also recorded in-process; when the `BENCH_JSON`
+//! environment variable names a path, the `criterion_main!`-generated
+//! `main` flushes them there as a JSON array on exit (see
+//! [`write_json_if_requested`]), so perf regressions can be tracked
+//! machine-readably (e.g. the committed `BENCH_kernels.json`).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement, as recorded for the machine-readable
+/// `BENCH_JSON` output.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark label (`group/id`).
+    pub label: String,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds.
+    pub max_ns: f64,
+    /// Number of timed samples behind the statistics.
+    pub samples: usize,
+}
+
+/// Measurements recorded by every [`run_one`] of this process, flush order
+/// = execution order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Flushes this process's recorded measurements as a JSON array to the
+/// path named by the `BENCH_JSON` environment variable; a no-op when the
+/// variable is unset or empty. Called automatically by the
+/// [`criterion_main!`]-generated `main` after all groups have run.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let label: String = r
+            .label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if c.is_control() => vec![' '],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {{\"label\": \"{label}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(err) = std::fs::write(&path, &out) {
+        eprintln!("warning: could not write BENCH_JSON to {path}: {err}");
+    }
+}
 
 /// Top-level benchmark driver (a shim of `criterion::Criterion`).
 pub struct Criterion {
@@ -222,6 +288,16 @@ fn run_one<F>(
         _ => String::new(),
     };
     println!("{label:<48} mean {mean:>12?}  min {min:>12?}  max {max:>12?}{rate}");
+    RESULTS
+        .lock()
+        .expect("bench results poisoned")
+        .push(BenchResult {
+            label: label.to_string(),
+            mean_ns: mean.as_nanos() as f64,
+            min_ns: min.as_nanos() as f64,
+            max_ns: max.as_nanos() as f64,
+            samples: bencher.samples.len(),
+        });
 }
 
 /// Declares a benchmark group: both the `(name, targets...)` and the
@@ -249,6 +325,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }
@@ -280,5 +357,30 @@ mod tests {
     fn benchmark_id_forms() {
         assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
         assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_flushable_as_json() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("shim/json_smoke", |b| b.iter(|| 2 + 2));
+        let recorded = RESULTS.lock().expect("results");
+        let r = recorded
+            .iter()
+            .find(|r| r.label == "shim/json_smoke")
+            .expect("measurement recorded");
+        assert_eq!(r.samples, 2);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+        drop(recorded);
+
+        let path = std::env::temp_dir().join("criterion_shim_json_smoke.json");
+        std::env::set_var("BENCH_JSON", &path);
+        write_json_if_requested();
+        std::env::remove_var("BENCH_JSON");
+        let body = std::fs::read_to_string(&path).expect("json written");
+        let _ = std::fs::remove_file(&path);
+        assert!(body.trim_start().starts_with('['));
+        assert!(body.trim_end().ends_with(']'));
+        assert!(body.contains("\"label\": \"shim/json_smoke\""));
+        assert!(body.contains("\"mean_ns\""));
     }
 }

@@ -26,6 +26,7 @@
 //! Results are also available columnar ([`BatchOutput::to_frame`]) for the
 //! `frame` group-by/CSV machinery.
 
+use crate::columns::FleetColumns;
 use crate::coverage::CoverageReport;
 use crate::estimator::SystemFootprint;
 use crate::metrics::SevenMetrics;
@@ -100,6 +101,30 @@ pub(crate) fn assess_view(view: &SystemView<'_>, overrides: &OverrideSet) -> Sys
     }
 }
 
+/// Assesses a contiguous block through the columnar kernels, writing one
+/// footprint per row of `range` into `out`. Bit-identical to calling
+/// [`assess_view`] row by row (the kernels pin that invariant); this is the
+/// (scenario × chunk) work-item body of the session and the streaming
+/// pipeline.
+pub(crate) fn assess_columns(
+    columns: &FleetColumns,
+    view: &FleetView<'_>,
+    range: std::ops::Range<usize>,
+    out: &mut [Option<SystemFootprint>],
+) {
+    debug_assert_eq!(out.len(), range.len());
+    let start = range.start;
+    let op = operational::estimate_columns(columns, view, range.clone());
+    let emb = embodied::estimate_columns(columns, view, range);
+    for (k, (operational, embodied)) in op.into_iter().zip(emb).enumerate() {
+        out[k] = Some(SystemFootprint {
+            rank: columns.rank[start + k],
+            operational,
+            embodied,
+        });
+    }
+}
+
 /// Assesses one system under one scenario (the serial facade's entry into
 /// the shared code path).
 pub(crate) fn assess_one(
@@ -125,10 +150,9 @@ impl OperationalStage {
         workers: usize,
     ) -> Vec<crate::error::Result<operational::OperationalEstimate>> {
         let view = FleetView::new(ctx.list(), ctx.metrics(), scenario);
+        let columns = FleetColumns::build(ctx.list(), ctx.metrics());
         parallel::par_map_chunked(ctx.list().systems(), workers, |start, chunk| {
-            (start..start + chunk.len())
-                .map(|i| operational::estimate_view(&view.system(i), &scenario.overrides))
-                .collect()
+            operational::estimate_columns(&columns, &view, start..start + chunk.len())
         })
     }
 }
@@ -145,10 +169,9 @@ impl EmbodiedStage {
         workers: usize,
     ) -> Vec<crate::error::Result<embodied::EmbodiedEstimate>> {
         let view = FleetView::new(ctx.list(), ctx.metrics(), scenario);
+        let columns = FleetColumns::build(ctx.list(), ctx.metrics());
         parallel::par_map_chunked(ctx.list().systems(), workers, |start, chunk| {
-            (start..start + chunk.len())
-                .map(|i| embodied::estimate_view(&view.system(i)))
-                .collect()
+            embodied::estimate_columns(&columns, &view, start..start + chunk.len())
         })
     }
 }

@@ -1,0 +1,417 @@
+//! Struct-of-arrays fleet representation — the columnar fast path.
+//!
+//! [`FleetColumns`] transposes a fleet (records + extracted
+//! [`SevenMetrics`]) into contiguous value columns plus one presence
+//! [`Bitset`] per maskable metric, and resolves every *scenario-independent*
+//! lookup exactly once per fleet:
+//!
+//! - hardware-database resolutions (CPU/accelerator spec lookups are
+//!   case-insensitive substring scans over static tables, grid-intensity
+//!   resolution is a linear country scan plus a regional average) are
+//!   memoised per distinct string, then burned into plain `f64` columns;
+//! - per-unit embodied silicon (`silicon_kg(1.0, ..)`) and per-device HBM
+//!   factors are precomputed so the kernel multiplies by device counts;
+//! - site-class PUE and the efficiency-prior GFLOPS/W are resolved per row.
+//!
+//! The chunk-at-a-time kernels (`operational::estimate_columns`,
+//! `embodied::estimate_columns`) then apply a scenario's [`MetricMask`] as a
+//! word-wide AND against the presence bitsets — no per-row `Option`
+//! matching, no string work, no table scans — and reproduce
+//! `estimate_view`'s arithmetic bit for bit (proptest-pinned).
+//!
+//! Building `FleetColumns` clones no record: every column is derived
+//! through `&str`/`Copy` reads of the borrowed list.
+//!
+//! [`MetricMask`]: crate::scenario::MetricMask
+
+use crate::metrics::SevenMetrics;
+use crate::operational::AciSource;
+use frame::bitset::Bitset;
+use hwdb::efficiency::{gflops_per_watt_prior, MachineClass};
+use hwdb::grid::{country_aci, regional_aci, Region};
+use hwdb::memory::{dram_embodied_kg, MemoryType, DEFAULT_DRAM_KG_PER_GB};
+use hwdb::pue::{infer_site_class, DEFAULT_PUE};
+use std::collections::HashMap;
+use top500::list::Top500List;
+
+/// A fleet transposed into estimator-input columns (see module docs).
+///
+/// Columns are indexed by list position (rank order), exactly like
+/// [`FleetView::system`](crate::view::FleetView::system). Value columns hold
+/// `0`/`0.0` where the corresponding presence bit is clear.
+#[derive(Debug, Clone)]
+pub struct FleetColumns {
+    len: usize,
+
+    // ----------------------------------------------------- always visible
+    pub(crate) rank: Vec<u32>,
+    pub(crate) rmax_tflops: Vec<f64>,
+    pub(crate) has_accelerator: Bitset,
+
+    // ------------------------- hwdb resolutions (scenario-independent)
+    /// CPU socket TDP, watts (generic prior when the processor string is
+    /// absent or unrecognised).
+    pub(crate) cpu_tdp_watts: Vec<f64>,
+    /// Embodied kg of one CPU socket's silicon + packaging.
+    pub(crate) cpu_unit_kg: Vec<f64>,
+    /// Processor absent or unrecognised (the generic-CPU prior applied).
+    pub(crate) cpu_fallback: Bitset,
+    /// Accelerator board TDP, watts; 0.0 when no accelerator string.
+    pub(crate) accel_tdp_watts: Vec<f64>,
+    /// Embodied kg of one accelerator's silicon + packaging.
+    pub(crate) accel_unit_die_kg: Vec<f64>,
+    /// Embodied kg of one accelerator's HBM stack.
+    pub(crate) accel_unit_hbm_kg: Vec<f64>,
+    /// Accelerator string unrecognised (mainstream-GPU approximation).
+    pub(crate) accel_fallback: Bitset,
+    /// Accelerator string is a coarse family label (blocks embodied).
+    pub(crate) accel_generic: Bitset,
+    /// Site-class PUE prior (rank 0 falls to the default PUE).
+    pub(crate) site_pue: Vec<f64>,
+    /// Grid intensity as resolved with location *visible*.
+    pub(crate) aci_located: Vec<AciSource>,
+    /// Grid intensity when location is masked (world prior).
+    pub(crate) aci_world: AciSource,
+    /// CPU-only efficiency prior at the row's operation year (or 2020).
+    pub(crate) gfw_year: Vec<f64>,
+    /// CPU-only efficiency prior at 2020 (operation year masked).
+    pub(crate) gfw_default: f64,
+
+    // ----------------------- metric value columns + presence bitsets
+    pub(crate) energy_mwh: Vec<f64>,
+    pub(crate) energy_present: Bitset,
+    pub(crate) power_kw: Vec<f64>,
+    pub(crate) power_present: Bitset,
+    pub(crate) utilization: Vec<f64>,
+    pub(crate) util_present: Bitset,
+    pub(crate) nodes: Vec<u64>,
+    pub(crate) nodes_present: Bitset,
+    pub(crate) gpus: Vec<u64>,
+    pub(crate) gpus_present: Bitset,
+    pub(crate) cpus: Vec<u64>,
+    pub(crate) cpus_present: Bitset,
+    pub(crate) memory_gb: Vec<f64>,
+    pub(crate) memory_present: Bitset,
+    pub(crate) ssd_gb: Vec<f64>,
+    pub(crate) ssd_present: Bitset,
+    /// DRAM kg/GB with the memory type *visible* (default rate when the
+    /// string is absent or unparseable — same as `dram_embodied_kg`).
+    pub(crate) mem_rate: Vec<f64>,
+}
+
+impl FleetColumns {
+    /// Transposes `list`/`metrics` into columns, resolving every
+    /// scenario-independent lookup once (memoised per distinct string).
+    /// `metrics` must be the per-record extraction of the same list.
+    pub fn build(list: &Top500List, metrics: &[SevenMetrics]) -> FleetColumns {
+        assert_eq!(
+            list.len(),
+            metrics.len(),
+            "metrics must cover the whole list"
+        );
+        let n = list.len();
+        let mut c = FleetColumns::with_capacity(n);
+
+        // Memoised hwdb resolutions, keyed on borrowed record strings.
+        // (tdp, unit silicon kg, fallback)
+        let mut cpu_cache: HashMap<&str, (f64, f64, bool)> = HashMap::new();
+        // (tdp, unit die kg, unit HBM kg, fallback, generic label)
+        let mut accel_cache: HashMap<&str, (f64, f64, f64, bool, bool)> = HashMap::new();
+        let mut country_cache: HashMap<&str, Option<f64>> = HashMap::new();
+        let mut regional_cache: HashMap<Region, f64> = HashMap::new();
+        let mut mem_rate_cache: HashMap<&str, f64> = HashMap::new();
+        let mut gfw_cache: HashMap<u32, f64> = HashMap::new();
+
+        for (i, (record, m)) in list.systems().iter().zip(metrics).enumerate() {
+            c.rank.push(record.rank);
+            c.rmax_tflops.push(record.rmax_tflops);
+            if record.has_accelerator() {
+                c.has_accelerator.set(i);
+            }
+
+            // CPU spec (estimate_view uses the generic prior when the
+            // processor string is absent — same fallback flag discipline
+            // as `lookup_or_generic`).
+            let (cpu_tdp, cpu_unit, cpu_fell_back) = match record.processor.as_deref() {
+                Some(p) => *cpu_cache.entry(p).or_insert_with(|| {
+                    let (spec, fell_back) = hwdb::cpu::lookup_or_generic(p);
+                    (
+                        spec.tdp_watts,
+                        crate::embodied::silicon_kg(1.0, spec.die_area_cm2, spec.node, false),
+                        fell_back,
+                    )
+                }),
+                None => (
+                    hwdb::cpu::GENERIC_CPU.tdp_watts,
+                    crate::embodied::silicon_kg(
+                        1.0,
+                        hwdb::cpu::GENERIC_CPU.die_area_cm2,
+                        hwdb::cpu::GENERIC_CPU.node,
+                        false,
+                    ),
+                    true,
+                ),
+            };
+            c.cpu_tdp_watts.push(cpu_tdp);
+            c.cpu_unit_kg.push(cpu_unit);
+            if cpu_fell_back {
+                c.cpu_fallback.set(i);
+            }
+
+            // Accelerator spec. The TDP column is 0.0 without a string
+            // (the power roll-up's `unwrap_or(0.0)`); the embodied unit
+            // columns are only read when the device count is positive,
+            // which implies the string is present.
+            match record.accelerator.as_deref() {
+                Some(a) => {
+                    let (tdp, die, hbm, fell_back, generic) =
+                        *accel_cache.entry(a).or_insert_with(|| {
+                            let (spec, fell_back) = hwdb::accel::lookup_or_mainstream(a);
+                            (
+                                spec.tdp_watts,
+                                crate::embodied::silicon_kg(
+                                    1.0,
+                                    spec.die_area_cm2,
+                                    spec.node,
+                                    true,
+                                ),
+                                dram_embodied_kg(spec.hbm_gb, Some(MemoryType::Hbm3)),
+                                fell_back,
+                                hwdb::accel::is_generic_label(a),
+                            )
+                        });
+                    c.accel_tdp_watts.push(tdp);
+                    c.accel_unit_die_kg.push(die);
+                    c.accel_unit_hbm_kg.push(hbm);
+                    if fell_back {
+                        c.accel_fallback.set(i);
+                    }
+                    if generic {
+                        c.accel_generic.set(i);
+                    }
+                }
+                None => {
+                    c.accel_tdp_watts.push(0.0);
+                    c.accel_unit_die_kg.push(0.0);
+                    c.accel_unit_hbm_kg.push(0.0);
+                }
+            }
+
+            c.site_pue.push(match record.rank {
+                0 => DEFAULT_PUE,
+                rank => infer_site_class(rank, record.has_accelerator()).pue(),
+            });
+
+            // Grid intensity with location visible — the same cascade as
+            // `operational::resolve_aci`, with the linear scans memoised.
+            let regional = |cache: &mut HashMap<Region, f64>, region: Region| {
+                *cache.entry(region).or_insert_with(|| regional_aci(region))
+            };
+            let located = match record
+                .country
+                .as_deref()
+                .and_then(|cc| *country_cache.entry(cc).or_insert_with(|| country_aci(cc)))
+            {
+                Some(aci) => AciSource::Country(aci),
+                None => match record.region {
+                    Some(region) => AciSource::Regional(regional(&mut regional_cache, region)),
+                    None => AciSource::WorldPrior(regional(&mut regional_cache, Region::World)),
+                },
+            };
+            c.aci_located.push(located);
+
+            let year = m.operation_year.unwrap_or(2020);
+            c.gfw_year.push(
+                *gfw_cache
+                    .entry(year)
+                    .or_insert_with(|| gflops_per_watt_prior(MachineClass::CpuOnly, year)),
+            );
+
+            // Metric value columns; presence mirrors `SevenMetrics`.
+            push_f64(
+                &mut c.energy_mwh,
+                &mut c.energy_present,
+                i,
+                m.annual_energy_mwh,
+            );
+            push_f64(&mut c.power_kw, &mut c.power_present, i, record.power_kw);
+            push_f64(&mut c.utilization, &mut c.util_present, i, m.utilization);
+            push_u64(&mut c.nodes, &mut c.nodes_present, i, m.nodes);
+            push_u64(&mut c.gpus, &mut c.gpus_present, i, m.gpus);
+            push_u64(&mut c.cpus, &mut c.cpus_present, i, m.cpus);
+            push_f64(&mut c.memory_gb, &mut c.memory_present, i, m.memory_gb);
+            push_f64(&mut c.ssd_gb, &mut c.ssd_present, i, m.ssd_gb);
+            c.mem_rate.push(match m.memory_type.as_deref() {
+                Some(t) => *mem_rate_cache.entry(t).or_insert_with(|| {
+                    MemoryType::parse(t).map_or(DEFAULT_DRAM_KG_PER_GB, MemoryType::kg_per_gb)
+                }),
+                None => DEFAULT_DRAM_KG_PER_GB,
+            });
+        }
+        c
+    }
+
+    /// Number of systems.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn with_capacity(n: usize) -> FleetColumns {
+        FleetColumns {
+            len: n,
+            rank: Vec::with_capacity(n),
+            rmax_tflops: Vec::with_capacity(n),
+            has_accelerator: Bitset::new(n),
+            cpu_tdp_watts: Vec::with_capacity(n),
+            cpu_unit_kg: Vec::with_capacity(n),
+            cpu_fallback: Bitset::new(n),
+            accel_tdp_watts: Vec::with_capacity(n),
+            accel_unit_die_kg: Vec::with_capacity(n),
+            accel_unit_hbm_kg: Vec::with_capacity(n),
+            accel_fallback: Bitset::new(n),
+            accel_generic: Bitset::new(n),
+            site_pue: Vec::with_capacity(n),
+            aci_located: Vec::with_capacity(n),
+            aci_world: AciSource::WorldPrior(regional_aci(Region::World)),
+            gfw_year: Vec::with_capacity(n),
+            gfw_default: gflops_per_watt_prior(MachineClass::CpuOnly, 2020),
+            energy_mwh: Vec::with_capacity(n),
+            energy_present: Bitset::new(n),
+            power_kw: Vec::with_capacity(n),
+            power_present: Bitset::new(n),
+            utilization: Vec::with_capacity(n),
+            util_present: Bitset::new(n),
+            nodes: Vec::with_capacity(n),
+            nodes_present: Bitset::new(n),
+            gpus: Vec::with_capacity(n),
+            gpus_present: Bitset::new(n),
+            cpus: Vec::with_capacity(n),
+            cpus_present: Bitset::new(n),
+            memory_gb: Vec::with_capacity(n),
+            memory_present: Bitset::new(n),
+            ssd_gb: Vec::with_capacity(n),
+            ssd_present: Bitset::new(n),
+            mem_rate: Vec::with_capacity(n),
+        }
+    }
+
+    /// The word-aligned classification window for a row range: word index
+    /// bounds plus a validity mask per word (1-bits = rows inside `range`).
+    pub(crate) fn word_window(
+        range: &std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (usize, u64)> {
+        let (start, end) = (range.start, range.end);
+        (start / 64..end.div_ceil(64)).map(move |w| {
+            let base = w * 64;
+            let mut valid = !0u64;
+            if base < start {
+                valid &= !0u64 << (start - base);
+            }
+            if base + 64 > end {
+                valid &= !0u64 >> (base + 64 - end);
+            }
+            (w, valid)
+        })
+    }
+}
+
+fn push_f64(col: &mut Vec<f64>, present: &mut Bitset, i: usize, value: Option<f64>) {
+    col.push(value.unwrap_or(0.0));
+    if value.is_some() {
+        present.set(i);
+    }
+}
+
+fn push_u64(col: &mut Vec<u64>, present: &mut Bitset, i: usize, value: Option<u64>) {
+    col.push(value.unwrap_or(0));
+    if value.is_some() {
+        present.set(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use top500::record::SystemRecord;
+
+    fn fleet() -> (Top500List, Vec<SevenMetrics>) {
+        let mut systems = Vec::new();
+        for rank in 1..=70u32 {
+            let mut r = SystemRecord::bare(rank, 1000.0 * rank as f64, 1500.0 * rank as f64);
+            if rank % 2 == 0 {
+                r.processor = Some("AMD EPYC 7763 64C 2.45GHz".into());
+            }
+            if rank % 3 == 0 {
+                r.accelerator = Some("NVIDIA A100 SXM4 80GB".into());
+                r.accelerator_count = Some(100 * rank as u64);
+            }
+            if rank % 4 == 0 {
+                r.country = Some("United States".into());
+            }
+            if rank % 5 == 0 {
+                r.power_kw = Some(50.0 * rank as f64);
+            }
+            r.node_count = Some(10 * rank as u64);
+            systems.push(r);
+        }
+        let list = Top500List::new(systems);
+        let metrics = list.systems().iter().map(SevenMetrics::extract).collect();
+        (list, metrics)
+    }
+
+    #[test]
+    fn columns_mirror_records() {
+        let (list, metrics) = fleet();
+        let c = FleetColumns::build(&list, &metrics);
+        assert_eq!(c.len(), 70);
+        assert!(!c.is_empty());
+        for (i, r) in list.systems().iter().enumerate() {
+            assert_eq!(c.rank[i], r.rank);
+            assert_eq!(c.has_accelerator.get(i), r.has_accelerator());
+            assert_eq!(c.power_present.get(i), r.power_kw.is_some());
+            if let Some(p) = r.power_kw {
+                assert_eq!(c.power_kw[i], p);
+            }
+            assert_eq!(c.nodes_present.get(i), metrics[i].nodes.is_some());
+        }
+    }
+
+    #[test]
+    fn build_clones_no_record() {
+        let (list, metrics) = fleet();
+        let before = top500::record::clones_on_thread();
+        let c = FleetColumns::build(&list, &metrics);
+        assert_eq!(top500::record::clones_on_thread(), before);
+        assert_eq!(c.len(), list.len());
+    }
+
+    #[test]
+    fn hwdb_resolutions_match_row_lookups() {
+        let (list, metrics) = fleet();
+        let c = FleetColumns::build(&list, &metrics);
+        for (i, r) in list.systems().iter().enumerate() {
+            let expected = crate::operational::resolve_aci(r);
+            assert_eq!(c.aci_located[i], expected, "row {i}");
+            let tdp = match r.processor.as_deref() {
+                Some(p) => hwdb::cpu::lookup_or_generic(p).0.tdp_watts,
+                None => hwdb::cpu::GENERIC_CPU.tdp_watts,
+            };
+            assert_eq!(c.cpu_tdp_watts[i], tdp, "row {i}");
+        }
+    }
+
+    #[test]
+    fn word_window_masks_partial_words() {
+        let windows: Vec<(usize, u64)> = FleetColumns::word_window(&(3..70)).collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0], (0, !0u64 << 3));
+        assert_eq!(windows[1], (1, !0u64 >> (64 - 6)));
+        let full: Vec<(usize, u64)> = FleetColumns::word_window(&(0..64)).collect();
+        assert_eq!(full, vec![(0, !0u64)]);
+    }
+}

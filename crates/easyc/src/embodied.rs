@@ -11,13 +11,16 @@
 //! parts like MI300A, and the estimate records the approximation so the
 //! sensitivity analysis can quantify it.
 
+use crate::columns::FleetColumns;
 use crate::error::{EasyCError, Result};
 use crate::metrics::SevenMetrics;
-use crate::view::SystemView;
+use crate::scenario::MetricBit;
+use crate::view::{FleetView, SystemView};
+use frame::bitset::for_each_set_bit;
 use hwdb::fab::{die_embodied_kg, packaging_kg, ProcessNode};
 use hwdb::memory::{
-    dram_embodied_kg, ssd_embodied_kg, MemoryType, DEFAULT_MEMORY_GB_PER_NODE,
-    DEFAULT_STORAGE_GB_PER_NODE, NODE_CHASSIS_KG, NODE_INTERCONNECT_KG,
+    dram_embodied_kg, ssd_embodied_kg, MemoryType, DEFAULT_DRAM_KG_PER_GB,
+    DEFAULT_MEMORY_GB_PER_NODE, DEFAULT_STORAGE_GB_PER_NODE, NODE_CHASSIS_KG, NODE_INTERCONNECT_KG,
 };
 use top500::record::SystemRecord;
 
@@ -69,8 +72,16 @@ pub struct EmbodiedEstimate {
 }
 
 /// Embodied carbon of one die population: `count` dies of `area_cm2` on
-/// `node`, chunked for yield.
-fn silicon_kg(count: f64, area_cm2: f64, node: ProcessNode, advanced_packaging: bool) -> f64 {
+/// `node`, chunked for yield. `pub(crate)` so the columnar build
+/// ([`crate::columns::FleetColumns`]) can precompute the per-unit value
+/// (`count = 1.0`): `silicon_kg(n, ..) ≡ n * silicon_kg(1.0, ..)` exactly,
+/// because the per-die term is computed first and `1.0 * x == x`.
+pub(crate) fn silicon_kg(
+    count: f64,
+    area_cm2: f64,
+    node: ProcessNode,
+    advanced_packaging: bool,
+) -> f64 {
     if count <= 0.0 || area_cm2 <= 0.0 {
         return 0.0;
     }
@@ -172,6 +183,142 @@ pub fn estimate_view(view: &SystemView<'_>) -> Result<EmbodiedEstimate> {
         used_accelerator_fallback: accel_fallback,
         used_cpu_fallback: cpu_fallback,
     })
+}
+
+/// Columnar fast path: estimates a whole (scenario × chunk) block from
+/// [`FleetColumns`], one result per row of `range` in order.
+///
+/// Bit-identical to [`estimate_view`] row by row. Structural-anchor
+/// resolution is a word-wide pass over the presence bitsets (mask AND
+/// presence), gathering `(node_count, cpu_sockets, accel_count)` integer
+/// lanes; the float loop then multiplies device counts by per-unit silicon
+/// and HBM factors precomputed at build time (`silicon_kg(n, ..) ≡
+/// n * silicon_kg(1.0, ..)` exactly). Rows that resolve to an error re-run
+/// the row-at-a-time reference so error payloads match exactly.
+pub fn estimate_columns(
+    columns: &FleetColumns,
+    view: &FleetView<'_>,
+    range: std::ops::Range<usize>,
+) -> Vec<Result<EmbodiedEstimate>> {
+    debug_assert_eq!(columns.len(), view.len(), "columns must cover the fleet");
+    let start = range.start;
+    let m = range.end - range.start;
+    let mask = view.mask();
+    let nodes_vis = mask.contains(MetricBit::Nodes);
+    let gpus_vis = mask.contains(MetricBit::Gpus);
+    let cpus_vis = mask.contains(MetricBit::Cpus);
+    let mem_vis = mask.contains(MetricBit::MemoryGb);
+    let memtype_vis = mask.contains(MetricBit::MemoryType);
+    let ssd_vis = mask.contains(MetricBit::SsdGb);
+
+    // Integer precursor lanes for rows with a valid structural anchor;
+    // everything else re-runs the reference for the exact error.
+    let mut ok_slot: Vec<u32> = Vec::new();
+    let mut ok_nodes: Vec<u64> = Vec::new();
+    let mut ok_sockets: Vec<u64> = Vec::new();
+    let mut ok_accels: Vec<u64> = Vec::new();
+    let mut lane_fallback: Vec<u32> = Vec::new();
+    for (w, valid) in FleetColumns::word_window(&range) {
+        let has_accel = columns.has_accelerator.word(w);
+        let nodes = columns.nodes_present.masked_word(w, nodes_vis);
+        let gpus = if gpus_vis {
+            columns.gpus_present.word(w)
+        } else {
+            !has_accel
+        };
+        let cpus = columns.cpus_present.masked_word(w, cpus_vis);
+        let structural = (nodes | cpus) & valid;
+        // An accelerated system needs a visible device count.
+        let candidate = structural & (!has_accel | gpus);
+        let err = valid & !candidate;
+        let base = w * 64;
+        for_each_set_bit(candidate, base, |i| {
+            let bit = i - base;
+            let node_count = if (nodes >> bit) & 1 == 1 {
+                columns.nodes[i]
+            } else {
+                columns.cpus[i].div_ceil(2)
+            };
+            let accel_count = if (has_accel >> bit) & 1 == 1 {
+                columns.gpus[i]
+            } else {
+                0
+            };
+            if node_count == 0 || (accel_count > 0 && columns.accel_generic.get(i)) {
+                lane_fallback.push((i - start) as u32);
+                return;
+            }
+            let sockets = if (cpus >> bit) & 1 == 1 {
+                columns.cpus[i]
+            } else {
+                node_count * 2
+            };
+            ok_slot.push((i - start) as u32);
+            ok_nodes.push(node_count);
+            ok_sockets.push(sockets);
+            ok_accels.push(accel_count);
+        });
+        for_each_set_bit(err, base, |i| lane_fallback.push((i - start) as u32));
+    }
+
+    let mut out: Vec<Result<EmbodiedEstimate>> =
+        vec![Err(EasyCError::NoStructuralData { rank: 0 }); m];
+    for k in 0..ok_slot.len() {
+        let s = ok_slot[k] as usize;
+        let i = start + s;
+        let node_f = ok_nodes[k] as f64;
+        let cpu_kg = ok_sockets[k] as f64 * columns.cpu_unit_kg[i];
+        let accel_count = ok_accels[k];
+        let (accelerator_kg, accel_fallback) = if accel_count > 0 {
+            let dies = accel_count as f64 * columns.accel_unit_die_kg[i];
+            let hbm = accel_count as f64 * columns.accel_unit_hbm_kg[i];
+            (dies + hbm, columns.accel_fallback.get(i))
+        } else {
+            (0.0, false)
+        };
+        let memory_gb = if mem_vis && columns.memory_present.get(i) {
+            columns.memory_gb[i]
+        } else {
+            node_f * DEFAULT_MEMORY_GB_PER_NODE
+        };
+        let rate = if memtype_vis {
+            columns.mem_rate[i]
+        } else {
+            DEFAULT_DRAM_KG_PER_GB
+        };
+        let dram_kg = if memory_gb <= 0.0 {
+            0.0
+        } else {
+            memory_gb * rate
+        };
+        let ssd_gb = if ssd_vis && columns.ssd_present.get(i) {
+            columns.ssd_gb[i]
+        } else {
+            node_f * DEFAULT_STORAGE_GB_PER_NODE
+        };
+        let storage_kg = ssd_embodied_kg(ssd_gb);
+        let chassis_kg = node_f * NODE_CHASSIS_KG;
+        let interconnect_kg = node_f * NODE_INTERCONNECT_KG;
+        let breakdown = EmbodiedBreakdown {
+            cpu_kg,
+            accelerator_kg,
+            dram_kg,
+            storage_kg,
+            chassis_kg,
+            interconnect_kg,
+        };
+        out[s] = Ok(EmbodiedEstimate {
+            mt_co2e: breakdown.total_kg() / 1000.0,
+            breakdown,
+            used_accelerator_fallback: accel_fallback,
+            used_cpu_fallback: columns.cpu_fallback.get(i),
+        });
+    }
+    for &s in &lane_fallback {
+        let i = start + s as usize;
+        out[s as usize] = estimate_view(&view.system(i));
+    }
+    out
 }
 
 #[cfg(test)]

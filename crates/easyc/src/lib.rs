@@ -69,6 +69,9 @@
 //! - [`metrics`] — the seven metrics and their extraction.
 //! - [`operational`] / [`embodied`] — the two estimators; overrides are
 //!   applied inside the computation ([`operational::estimate_view`]).
+//! - [`columns`] — the struct-of-arrays fast path
+//!   ([`columns::FleetColumns`] + `estimate_columns` kernels), bit-identical
+//!   to the row-at-a-time reference.
 //! - [`mod@coverage`] — who can be estimated under which data scenario.
 //! - [`scenario`] — composable data scenarios: per-metric availability
 //!   masks ([`scenario::MetricMask`]), prior overrides
@@ -87,6 +90,7 @@
 //!   are served by the session.
 
 pub mod batch;
+pub mod columns;
 pub mod coverage;
 pub mod embodied;
 pub mod error;
@@ -100,6 +104,7 @@ pub mod uncertainty;
 pub mod view;
 
 pub use batch::{AssessmentContext, BatchOutput, ScenarioSlice};
+pub use columns::FleetColumns;
 pub use coverage::{coverage, CoverageReport, Scenario};
 pub use embodied::{EmbodiedBreakdown, EmbodiedEstimate};
 pub use error::{EasyCError, Result};

@@ -8,10 +8,12 @@
 //! fidelity; which one fires is recorded in the estimate so the sensitivity
 //! study can attribute changes to data additions.
 
+use crate::columns::FleetColumns;
 use crate::error::{EasyCError, Result};
 use crate::metrics::SevenMetrics;
-use crate::scenario::OverrideSet;
-use crate::view::SystemView;
+use crate::scenario::{MetricBit, OverrideSet};
+use crate::view::{FleetView, SystemView};
+use frame::bitset::for_each_set_bit;
 use hwdb::accel::AccelVendor;
 use hwdb::efficiency::{gflops_per_watt_prior, MachineClass, DEFAULT_UTILIZATION};
 use hwdb::grid::{country_aci, regional_aci, Region, REGIONAL_ACI_RELATIVE_UNCERTAINTY};
@@ -252,6 +254,175 @@ pub fn estimate_view(
         pue,
         utilization,
     })
+}
+
+/// Columnar fast path: estimates a whole (scenario × chunk) block from
+/// [`FleetColumns`], one result per row of `range` in order.
+///
+/// Bit-identical to [`estimate_view`] row by row. The scenario's mask is
+/// applied word-wide (presence bitset AND broadcast mask bit — no per-row
+/// `Option` matching), the four power paths are pre-classified into
+/// per-path index lanes so each lane's loop is branch-free float math over
+/// precomputed columns, and rows that resolve to an error re-run the
+/// row-at-a-time reference so error payloads (field names, formatted
+/// values) match exactly. `view` must lens the same fleet the columns were
+/// built from.
+pub fn estimate_columns(
+    columns: &FleetColumns,
+    view: &FleetView<'_>,
+    range: std::ops::Range<usize>,
+) -> Vec<Result<OperationalEstimate>> {
+    debug_assert_eq!(columns.len(), view.len(), "columns must cover the fleet");
+    let start = range.start;
+    let m = range.end - range.start;
+    let mask = view.mask();
+    let overrides = view.overrides();
+
+    // Scenario-constant visibility flags, hoisted out of every loop.
+    let energy_vis = mask.contains(MetricBit::AnnualEnergy);
+    let power_vis = mask.contains(MetricBit::PowerKw);
+    let nodes_vis = mask.contains(MetricBit::Nodes);
+    let gpus_vis = mask.contains(MetricBit::Gpus);
+    let cpus_vis = mask.contains(MetricBit::Cpus);
+    let util_vis = mask.contains(MetricBit::Utilization);
+    let year_vis = mask.contains(MetricBit::OperationYear);
+    let location_vis = mask.contains(MetricBit::Location);
+
+    // Power-path pre-classification: per-path lanes of slot offsets,
+    // derived word-wide from the presence bitsets in cascade order.
+    let mut lane_energy: Vec<u32> = Vec::new();
+    let mut lane_power: Vec<u32> = Vec::new();
+    let mut lane_tdp_nodes: Vec<u32> = Vec::new();
+    let mut lane_tdp_sockets: Vec<u32> = Vec::new();
+    let mut lane_rmax: Vec<u32> = Vec::new();
+    let mut lane_fallback: Vec<u32> = Vec::new();
+    for (w, valid) in FleetColumns::word_window(&range) {
+        let has_accel = columns.has_accelerator.word(w);
+        let energy = columns.energy_present.masked_word(w, energy_vis) & valid;
+        let power = columns.power_present.masked_word(w, power_vis) & !energy & valid;
+        let nodes = columns.nodes_present.masked_word(w, nodes_vis);
+        // Hiding the gpu count leaves CPU-only systems trivially known
+        // (`SystemView::gpus`): presence = NOT has-accelerator.
+        let gpus = if gpus_vis {
+            columns.gpus_present.word(w)
+        } else {
+            !has_accel
+        };
+        let cpus = columns.cpus_present.masked_word(w, cpus_vis);
+        let taken = energy | power;
+        let tdp_nodes = nodes & gpus & (has_accel | cpus) & valid & !taken;
+        let taken = taken | tdp_nodes;
+        let tdp_sockets = !has_accel & cpus & valid & !taken;
+        let taken = taken | tdp_sockets;
+        let rmax = !has_accel & valid & !taken;
+        let no_path = valid & !(taken | rmax);
+        let base = w * 64;
+        // Value validation (non-positive measured fields error out in the
+        // reference) rides in the gather, keeping the lane loops pure.
+        for_each_set_bit(energy, base, |i| {
+            if columns.energy_mwh[i] <= 0.0 {
+                lane_fallback.push((i - start) as u32);
+            } else {
+                lane_energy.push((i - start) as u32);
+            }
+        });
+        for_each_set_bit(power, base, |i| {
+            if columns.power_kw[i] <= 0.0 {
+                lane_fallback.push((i - start) as u32);
+            } else {
+                lane_power.push((i - start) as u32);
+            }
+        });
+        for_each_set_bit(tdp_nodes, base, |i| lane_tdp_nodes.push((i - start) as u32));
+        for_each_set_bit(tdp_sockets, base, |i| {
+            lane_tdp_sockets.push((i - start) as u32)
+        });
+        for_each_set_bit(rmax, base, |i| lane_rmax.push((i - start) as u32));
+        for_each_set_bit(no_path, base, |i| lane_fallback.push((i - start) as u32));
+    }
+
+    let aci_of = |i: usize| match overrides.aci_g_per_kwh {
+        Some(v) => AciSource::Site(v),
+        None if location_vis => columns.aci_located[i],
+        None => columns.aci_world,
+    };
+    let pue_of = |i: usize| overrides.pue.unwrap_or(columns.site_pue[i]);
+    let util_of = |i: usize| {
+        overrides
+            .utilization
+            .unwrap_or(if util_vis && columns.util_present.get(i) {
+                columns.utilization[i]
+            } else {
+                DEFAULT_UTILIZATION
+            })
+    };
+    // Same expression, same operation order as `estimate_view` — the
+    // bit-identity contract.
+    let make = |i: usize, power_kw: f64, path: PowerPath| {
+        let aci = aci_of(i);
+        let pue = pue_of(i);
+        let utilization = match path {
+            PowerPath::MeasuredEnergy => 1.0,
+            _ => util_of(i),
+        };
+        let mt_co2e = power_kw * HOURS_PER_YEAR * pue * utilization * aci.value() / 1.0e6;
+        OperationalEstimate {
+            mt_co2e,
+            power_kw,
+            path,
+            aci,
+            pue,
+            utilization,
+        }
+    };
+
+    let mut out: Vec<Result<OperationalEstimate>> =
+        vec![Err(EasyCError::NoPowerPath { rank: 0 }); m];
+    for &s in &lane_energy {
+        let i = start + s as usize;
+        let power_kw = columns.energy_mwh[i] * 1000.0 / HOURS_PER_YEAR;
+        out[s as usize] = Ok(make(i, power_kw, PowerPath::MeasuredEnergy));
+    }
+    for &s in &lane_power {
+        let i = start + s as usize;
+        out[s as usize] = Ok(make(i, columns.power_kw[i], PowerPath::MeasuredPower));
+    }
+    for &s in &lane_tdp_nodes {
+        let i = start + s as usize;
+        let nodes = columns.nodes[i];
+        let gpus = if gpus_vis { columns.gpus[i] } else { 0 };
+        let sockets = if cpus_vis && columns.cpus_present.get(i) {
+            columns.cpus[i]
+        } else {
+            nodes * 2
+        };
+        let watts = (sockets as f64 * columns.cpu_tdp_watts[i]
+            + gpus as f64 * columns.accel_tdp_watts[i])
+            * 1.1
+            + nodes as f64 * 200.0;
+        out[s as usize] = Ok(make(i, watts / 1000.0, PowerPath::DeviceTdp));
+    }
+    for &s in &lane_tdp_sockets {
+        let i = start + s as usize;
+        let sockets = columns.cpus[i];
+        let watts = sockets as f64 * columns.cpu_tdp_watts[i] * 1.1 + sockets as f64 * 100.0;
+        out[s as usize] = Ok(make(i, watts / 1000.0, PowerPath::DeviceTdp));
+    }
+    for &s in &lane_rmax {
+        let i = start + s as usize;
+        let gfw = if year_vis {
+            columns.gfw_year[i]
+        } else {
+            columns.gfw_default
+        };
+        let power_kw = columns.rmax_tflops[i] * 1000.0 / gfw / 1000.0;
+        out[s as usize] = Ok(make(i, power_kw, PowerPath::RmaxEfficiency));
+    }
+    for &s in &lane_fallback {
+        let i = start + s as usize;
+        out[s as usize] = estimate_view(&view.system(i), &overrides);
+    }
+    out
 }
 
 #[cfg(test)]

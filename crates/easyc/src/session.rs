@@ -25,14 +25,20 @@
 //! wait. Output order is deterministic and bit-identical to the serial
 //! per-system path at any worker count *and any chunk granularity* — every
 //! item writes disjoint, pre-planned output slots and the per-record math
-//! is the shared [`crate::operational::estimate_view`] /
-//! [`crate::embodied::estimate_view`] code path.
+//! runs through the columnar kernels
+//! ([`crate::operational::estimate_columns`] /
+//! [`crate::embodied::estimate_columns`] over one shared
+//! [`crate::columns::FleetColumns`] layout), which are pinned bit-identical
+//! to the row-at-a-time [`crate::operational::estimate_view`] /
+//! [`crate::embodied::estimate_view`] reference.
 //!
-//! With `uncertainty(draws)`, a third phase schedules (scenario ×
-//! draw-chunk) items on the same pool, driven by one
+//! With `uncertainty(draws)`, a third phase schedules blocked
+//! (sample-chunk × scenario) items on the same pool, driven by one
 //! [`crate::uncertainty::DrawPlan`]: RNG streams are keyed by (system,
 //! draw index) — never by scenario — so every scenario replays identical
-//! per-system perturbations (common random numbers). The output carries
+//! per-system perturbations (common random numbers), and each work item
+//! computes its samples' factors and noise column once, sweeping them over
+//! every scenario's pre-hoisted factor columns. The output carries
 //! fleet-total *operational* **and** *embodied* [`Interval`]s per scenario
 //! (bit-identical to the serial [`DrawPlan`] kernels) plus the retained
 //! per-scenario draw vectors, which [`AssessmentOutput::compare`] pairs
@@ -41,7 +47,8 @@
 //! For fleets too large to hold, [`Assessment::stream`] runs the same
 //! plan incrementally over a chunked source — see [`crate::stream`].
 
-use crate::batch::{assess_view, AssessmentContext, BatchOutput, ScenarioSlice};
+use crate::batch::{assess_columns, AssessmentContext, BatchOutput, ScenarioSlice};
+use crate::columns::FleetColumns;
 use crate::coverage::CoverageReport;
 use crate::embodied::EmbodiedEstimate;
 use crate::estimator::{EasyCConfig, SystemFootprint};
@@ -50,8 +57,9 @@ use crate::operational::OperationalEstimate;
 use crate::scenario::{DataScenario, ScenarioMatrix};
 use crate::stream::StreamingAssessment;
 use crate::uncertainty::{
-    embodied_draw, operational_draw, DrawPlan, Interval, PriorUncertainty, RetainedDraws,
-    ScenarioDelta, ScenarioDraws,
+    embodied_block_accumulate, embodied_factors, fleet_factors, operational_block_accumulate,
+    operational_noise, DrawPlan, EmbFactorColumns, Interval, OpFactorColumns, PriorUncertainty,
+    RetainedDraws, ScenarioDelta, ScenarioDraws,
 };
 use crate::view::FleetView;
 use frame::DataFrame;
@@ -273,7 +281,12 @@ impl<'a> Assessment<'a> {
 
         // Phase 2 — the (scenario × chunk) plan, interleaved on the pool.
         // Each item owns a disjoint slice of one scenario's output, so the
-        // result is deterministic regardless of scheduling.
+        // result is deterministic regardless of scheduling. The per-record
+        // math runs through the columnar kernels over one [`FleetColumns`]
+        // layout shared by every scenario (built once per session) —
+        // bit-identical to the row-at-a-time `assess_view` reference
+        // (pinned by the session tests and `tests/proptests.rs`).
+        let columns = FleetColumns::build(list, metrics);
         let mut outputs: Vec<Vec<Option<SystemFootprint>>> = effective
             .iter()
             .map(|_| {
@@ -283,6 +296,7 @@ impl<'a> Assessment<'a> {
             })
             .collect();
         {
+            let columns = &columns;
             let mut jobs: Vec<Job<'_>> = Vec::with_capacity(effective.len() * chunks.len());
             for (scenario, out) in effective.iter().zip(outputs.iter_mut()) {
                 let view = FleetView::new(list, metrics, scenario);
@@ -290,13 +304,9 @@ impl<'a> Assessment<'a> {
                 for range in &chunks {
                     let (chunk, tail) = rest.split_at_mut(range.len());
                     rest = tail;
-                    let start = range.start;
+                    let range = range.clone();
                     jobs.push(Box::new(move || {
-                        let overrides = view.overrides();
-                        for (offset, slot) in chunk.iter_mut().enumerate() {
-                            let sys = view.system(start + offset);
-                            *slot = Some(assess_view(&sys, &overrides));
-                        }
+                        assess_columns(columns, &view, range, chunk);
                     }));
                 }
             }
@@ -333,8 +343,15 @@ impl<'a> Assessment<'a> {
         AssessmentOutput::new(slices, retained, self.plan)
     }
 
-    /// Runs the (scenario × draw-chunk) Monte-Carlo plan and returns the
-    /// retained per-scenario draw state.
+    /// Runs the blocked (sample-chunk × scenario) Monte-Carlo plan and
+    /// returns the retained per-scenario draw state. Each work item owns
+    /// one disjoint sample range of **every** scenario's draw buffer: the
+    /// per-sample systematic factors and the idiosyncratic noise column are
+    /// scenario-invariant under the CRN keying, so one job computes them
+    /// once and sweeps each scenario's [`OpFactorColumns`] /
+    /// [`EmbFactorColumns`] lanes over them. Bit-identical to the serial
+    /// [`DrawPlan::operational_draws`] / [`DrawPlan::embodied_draws`]
+    /// reference kernels (pinned by `tests/batch_matrix.rs` and proptests).
     fn run_draws(&self, slices: &[ScenarioSlice], pool: Option<&ThreadPool>) -> Vec<ScenarioDraws> {
         let workers = self.config.workers.max(1);
         let plan = self.plan;
@@ -361,6 +378,18 @@ impl<'a> Assessment<'a> {
                     .collect()
             })
             .collect();
+        // Per-scenario factor columns, hoisted once for the whole phase.
+        let op_cols: Vec<OpFactorColumns> = op_bases
+            .iter()
+            .map(|b| OpFactorColumns::from_bases(b))
+            .collect();
+        let emb_cols: Vec<EmbFactorColumns> = emb_bases
+            .iter()
+            .map(|b| EmbFactorColumns::from_bases(b))
+            .collect();
+        // Rows the shared noise column spans: every scenario's indices are
+        // global list positions in `0..n`.
+        let n = slices.first().map_or(0, |s| s.footprints.len());
         let op_streams = plan.operational_streams();
         let emb_streams = plan.embodied_streams();
         let sample_chunks = parallel::split_ranges(plan.draws, workers * self.items_per_worker);
@@ -374,43 +403,71 @@ impl<'a> Assessment<'a> {
         let mut op_draws: Vec<Vec<f64>> = op_bases.iter().map(|b| alloc(b.is_empty())).collect();
         let mut emb_draws: Vec<Vec<f64>> = emb_bases.iter().map(|b| alloc(b.is_empty())).collect();
         {
-            let mut jobs: Vec<Job<'_>> = Vec::new();
-            for (scenario_bases, buffer) in op_bases.iter().zip(op_draws.iter_mut()) {
-                if scenario_bases.is_empty() {
+            // Transpose the per-scenario buffers into per-sample-chunk work
+            // items: item j owns samples `sample_chunks[j]` of every
+            // covered scenario, as (scenario index, buffer sub-slice).
+            let mut op_parts: Vec<Vec<(usize, &mut [f64])>> =
+                sample_chunks.iter().map(|_| Vec::new()).collect();
+            let mut emb_parts: Vec<Vec<(usize, &mut [f64])>> =
+                sample_chunks.iter().map(|_| Vec::new()).collect();
+            for (scenario, buffer) in op_draws.iter_mut().enumerate() {
+                if buffer.is_empty() {
                     continue;
                 }
-                let mut rest = buffer.as_mut_slice();
-                for range in &sample_chunks {
-                    let (chunk, tail) = rest.split_at_mut(range.len());
-                    rest = tail;
-                    let start = range.start;
-                    let priors = plan.priors;
-                    let streams = &op_streams;
-                    jobs.push(Box::new(move || {
-                        for (offset, slot) in chunk.iter_mut().enumerate() {
-                            *slot =
-                                operational_draw(scenario_bases, &priors, streams, start + offset);
-                        }
-                    }));
+                let split = parallel::split_mut_by_ranges(buffer, &sample_chunks);
+                for (item, part) in op_parts.iter_mut().zip(split) {
+                    item.push((scenario, part));
                 }
             }
-            for (scenario_bases, buffer) in emb_bases.iter().zip(emb_draws.iter_mut()) {
-                if scenario_bases.is_empty() {
+            for (scenario, buffer) in emb_draws.iter_mut().enumerate() {
+                if buffer.is_empty() {
                     continue;
                 }
-                let mut rest = buffer.as_mut_slice();
-                for range in &sample_chunks {
-                    let (chunk, tail) = rest.split_at_mut(range.len());
-                    rest = tail;
-                    let start = range.start;
-                    let priors = plan.priors;
-                    let streams = &emb_streams;
-                    jobs.push(Box::new(move || {
-                        for (offset, slot) in chunk.iter_mut().enumerate() {
-                            *slot = embodied_draw(scenario_bases, &priors, streams, start + offset);
-                        }
-                    }));
+                let split = parallel::split_mut_by_ranges(buffer, &sample_chunks);
+                for (item, part) in emb_parts.iter_mut().zip(split) {
+                    item.push((scenario, part));
                 }
+            }
+            let op_cols = &op_cols;
+            let emb_cols = &emb_cols;
+            let op_streams = &op_streams;
+            let emb_streams = &emb_streams;
+            let mut jobs: Vec<Job<'_>> = Vec::with_capacity(sample_chunks.len());
+            for ((range, mut op_item), mut emb_item) in
+                sample_chunks.iter().cloned().zip(op_parts).zip(emb_parts)
+            {
+                if op_item.is_empty() && emb_item.is_empty() {
+                    continue;
+                }
+                let priors = plan.priors;
+                jobs.push(Box::new(move || {
+                    let mut noise = vec![0.0f64; if op_item.is_empty() { 0 } else { n }];
+                    for (k, sample) in range.clone().enumerate() {
+                        if !op_item.is_empty() {
+                            let factors = fleet_factors(op_streams, &priors, sample);
+                            operational_noise(op_streams, sample, 0, &mut noise);
+                            for (scenario, part) in op_item.iter_mut() {
+                                operational_block_accumulate(
+                                    &op_cols[*scenario],
+                                    &factors,
+                                    &noise,
+                                    0,
+                                    &mut part[k],
+                                );
+                            }
+                        }
+                        if !emb_item.is_empty() {
+                            let factors = embodied_factors(emb_streams, &priors, sample);
+                            for (scenario, part) in emb_item.iter_mut() {
+                                embodied_block_accumulate(
+                                    &emb_cols[*scenario],
+                                    &factors,
+                                    &mut part[k],
+                                );
+                            }
+                        }
+                    }
+                }));
             }
             execute(pool, jobs);
         }

@@ -35,8 +35,9 @@
 //! session over the concatenation of all chunks (pinned by
 //! `tests/streaming.rs` and proptests):
 //!
-//! - per-record math is the same `assess_view` code path over the same
-//!   [`FleetView`] lenses;
+//! - per-record math is the same columnar `estimate_columns` kernel path
+//!   over the same [`FleetView`] lenses (one [`FleetColumns`] per chunk),
+//!   itself pinned bit-identical to the row-at-a-time reference;
 //! - totals accumulate footprint-by-footprint in rank order — the same
 //!   left fold `Iterator::sum` performs;
 //! - Monte-Carlo draws accumulate term-by-term into persistent per-sample
@@ -45,7 +46,8 @@
 //!   chunk-independent — the common-random-numbers key), so RNG streams
 //!   and addition order match the in-memory draws exactly.
 
-use crate::batch::assess_view;
+use crate::batch::assess_columns;
+use crate::columns::FleetColumns;
 use crate::coverage::CoverageReport;
 use crate::embodied::EmbodiedEstimate;
 use crate::estimator::{EasyCConfig, SystemFootprint};
@@ -54,8 +56,9 @@ use crate::operational::OperationalEstimate;
 use crate::scenario::{DataScenario, ScenarioMatrix};
 use crate::session::{execute, plan_scenarios, Job, DEFAULT_ITEMS_PER_WORKER};
 use crate::uncertainty::{
-    embodied_factors, embodied_term, fleet_factors, fleet_term, DrawPlan, Interval,
-    PriorUncertainty, RetainedDraws, ScenarioDelta, ScenarioDraws,
+    embodied_block_accumulate, embodied_factors, fleet_factors, operational_block_accumulate,
+    operational_noise, DrawPlan, EmbFactorColumns, Interval, OpFactorColumns, PriorUncertainty,
+    RetainedDraws, ScenarioDelta, ScenarioDraws,
 };
 use crate::view::FleetView;
 use parallel::pool::ThreadPool;
@@ -255,7 +258,10 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                 .collect();
 
             // Phase 2 — interleaved (scenario × sub-chunk) assessment of
-            // this chunk, identical to the in-memory plan at chunk scale.
+            // this chunk, identical to the in-memory plan at chunk scale:
+            // one columnar [`FleetColumns`] layout per chunk, shared by
+            // every scenario's kernel sweeps.
+            let columns = FleetColumns::build(&list, &metrics);
             let mut outputs: Vec<Vec<Option<SystemFootprint>>> = effective
                 .iter()
                 .map(|_| {
@@ -265,6 +271,7 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                 })
                 .collect();
             {
+                let columns = &columns;
                 let mut jobs: Vec<Job<'_>> = Vec::with_capacity(effective.len() * ranges.len());
                 for (scenario, out) in effective.iter().zip(outputs.iter_mut()) {
                     let view = FleetView::new(&list, &metrics, scenario);
@@ -272,13 +279,9 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                     for range in &ranges {
                         let (chunk, tail) = rest.split_at_mut(range.len());
                         rest = tail;
-                        let start = range.start;
+                        let range = range.clone();
                         jobs.push(Box::new(move || {
-                            let overrides = view.overrides();
-                            for (offset, slot) in chunk.iter_mut().enumerate() {
-                                let sys = view.system(start + offset);
-                                *slot = Some(assess_view(&sys, &overrides));
-                            }
+                            assess_columns(columns, &view, range, chunk);
                         }));
                     }
                 }
@@ -346,57 +349,85 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             }
 
             // Phase 3 — accumulate this chunk's Monte-Carlo terms into the
-            // persistent draw buffers, (scenario × draw-chunk) items on
-            // the same pool. Each item owns a disjoint sample range.
+            // persistent draw buffers with the blocked kernels. Each work
+            // item owns one disjoint sample range of **every** scenario's
+            // buffer, so the scenario-invariant factors and noise column of
+            // a sample (keyed by `rows_before + chunk row` — the CRN global
+            // index) are computed once and swept over each scenario's
+            // factor columns. Terms fold in as `*slot += term` in base
+            // order — the exact accumulation of the in-memory session.
             if draws > 0 {
-                let mut jobs: Vec<Job<'_>> = Vec::new();
-                for (fold, (op_bases, emb_bases)) in folds
-                    .iter_mut()
-                    .zip(op_chunks.iter().zip(emb_chunks.iter()))
-                {
+                let op_cols: Vec<OpFactorColumns> = op_chunks
+                    .iter()
+                    .map(|b| OpFactorColumns::from_bases(b))
+                    .collect();
+                let emb_cols: Vec<EmbFactorColumns> = emb_chunks
+                    .iter()
+                    .map(|b| EmbFactorColumns::from_bases(b))
+                    .collect();
+                let mut op_parts: Vec<Vec<(usize, &mut [f64])>> =
+                    sample_chunks.iter().map(|_| Vec::new()).collect();
+                let mut emb_parts: Vec<Vec<(usize, &mut [f64])>> =
+                    sample_chunks.iter().map(|_| Vec::new()).collect();
+                for (scenario, fold) in folds.iter_mut().enumerate() {
                     let Fold {
                         op_draws,
                         emb_draws,
                         ..
                     } = fold;
-                    if !op_bases.is_empty() {
-                        let mut rest = op_draws.as_mut_slice();
-                        for range in &sample_chunks {
-                            let (chunk, tail) = rest.split_at_mut(range.len());
-                            rest = tail;
-                            let start = range.start;
-                            let priors = plan.priors;
-                            let streams = &op_streams;
-                            jobs.push(Box::new(move || {
-                                for (k, slot) in chunk.iter_mut().enumerate() {
-                                    let sample = start + k;
-                                    let factors = fleet_factors(streams, &priors, sample);
-                                    for (index, base) in op_bases {
-                                        *slot +=
-                                            fleet_term(base, &factors, streams, sample, *index);
-                                    }
-                                }
-                            }));
+                    if !op_cols[scenario].is_empty() {
+                        let split = parallel::split_mut_by_ranges(op_draws, &sample_chunks);
+                        for (item, part) in op_parts.iter_mut().zip(split) {
+                            item.push((scenario, part));
                         }
                     }
-                    if !emb_bases.is_empty() {
-                        let mut rest = emb_draws.as_mut_slice();
-                        for range in &sample_chunks {
-                            let (chunk, tail) = rest.split_at_mut(range.len());
-                            rest = tail;
-                            let start = range.start;
-                            let priors = plan.priors;
-                            let streams = &emb_streams;
-                            jobs.push(Box::new(move || {
-                                for (k, slot) in chunk.iter_mut().enumerate() {
-                                    let factors = embodied_factors(streams, &priors, start + k);
-                                    for base in emb_bases {
-                                        *slot += embodied_term(base, &factors);
-                                    }
-                                }
-                            }));
+                    if !emb_cols[scenario].is_empty() {
+                        let split = parallel::split_mut_by_ranges(emb_draws, &sample_chunks);
+                        for (item, part) in emb_parts.iter_mut().zip(split) {
+                            item.push((scenario, part));
                         }
                     }
+                }
+                let op_cols = &op_cols;
+                let emb_cols = &emb_cols;
+                let op_streams = &op_streams;
+                let emb_streams = &emb_streams;
+                let mut jobs: Vec<Job<'_>> = Vec::with_capacity(sample_chunks.len());
+                for ((range, mut op_item), mut emb_item) in
+                    sample_chunks.iter().cloned().zip(op_parts).zip(emb_parts)
+                {
+                    if op_item.is_empty() && emb_item.is_empty() {
+                        continue;
+                    }
+                    let priors = plan.priors;
+                    jobs.push(Box::new(move || {
+                        let mut noise = vec![0.0f64; if op_item.is_empty() { 0 } else { n }];
+                        for (k, sample) in range.clone().enumerate() {
+                            if !op_item.is_empty() {
+                                let factors = fleet_factors(op_streams, &priors, sample);
+                                operational_noise(op_streams, sample, rows_before, &mut noise);
+                                for (scenario, part) in op_item.iter_mut() {
+                                    operational_block_accumulate(
+                                        &op_cols[*scenario],
+                                        &factors,
+                                        &noise,
+                                        rows_before,
+                                        &mut part[k],
+                                    );
+                                }
+                            }
+                            if !emb_item.is_empty() {
+                                let factors = embodied_factors(emb_streams, &priors, sample);
+                                for (scenario, part) in emb_item.iter_mut() {
+                                    embodied_block_accumulate(
+                                        &emb_cols[*scenario],
+                                        &factors,
+                                        &mut part[k],
+                                    );
+                                }
+                            }
+                        }
+                    }));
                 }
                 execute(pool.as_ref(), jobs);
             }

@@ -37,12 +37,9 @@
 //! build the paired-difference intervals.
 
 use crate::embodied::EmbodiedEstimate;
-use crate::estimator::EasyC;
-use crate::metrics::SevenMetrics;
 use crate::operational::{self, OperationalEstimate};
 use frame::stats;
 use parallel::rng::RngStreams;
-use top500::record::SystemRecord;
 
 /// Relative 1-sigma widths of the model priors.
 #[derive(Debug, Clone, Copy)]
@@ -399,87 +396,28 @@ fn paired_interval(point: f64, variant: &[f64], baseline: &[f64], alpha: f64) ->
     tail_interval(point, &diffs, alpha)
 }
 
-/// Monte-Carlo interval for the operational estimate of one system.
-/// Returns `None` when the system is not estimable.
-pub fn operational_interval(
-    tool: &EasyC,
-    record: &SystemRecord,
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    let metrics = SevenMetrics::extract(record);
-    // The tool's configured overrides apply inside the estimate, exactly as
-    // they do in `EasyC::assess` — the interval brackets the same point.
-    let base = operational::estimate_with(record, &metrics, &tool.config().overrides()).ok()?;
-    let aci_sigma = base.aci.relative_uncertainty() / 2.0; // band → ~2 sigma
-    let streams = RngStreams::new(seed ^ u64::from(record.rank));
-    let draws = parallel::par_map_chunked(
-        &(0..samples).collect::<Vec<_>>(),
-        tool.config().workers,
-        |start, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(i, _)| {
-                    let mut rng = streams.stream((start + i) as u64);
-                    let aci = base.aci.value() * rng.next_lognormal(0.0, aci_sigma);
-                    let pue = (base.pue * rng.next_lognormal(0.0, priors.pue)).max(1.0);
-                    let util = (base.utilization * rng.next_lognormal(0.0, priors.utilization))
-                        .clamp(0.05, 1.0);
-                    base.power_kw * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6
-                })
-                .collect()
-        },
-    );
-    let alpha = (1.0 - level) / 2.0;
-    Some(Interval {
-        point: base.mt_co2e,
-        lo: stats::quantile(&draws, alpha)?,
-        hi: stats::quantile(&draws, 1.0 - alpha)?,
-    })
-}
+impl DrawPlan {
+    /// Monte-Carlo interval for **one system's** operational estimate —
+    /// the singleton special case of [`DrawPlan::operational_interval`].
+    /// `index` is the system's global fleet position, which keys its
+    /// idiosyncratic noise stream exactly as in the fleet draws: a
+    /// per-system band and the fleet band it contributes to now share one
+    /// seed discipline (this replaced the retired free functions that
+    /// keyed private streams off `record.rank`).
+    pub fn system_operational_interval(
+        &self,
+        index: usize,
+        base: &OperationalEstimate,
+    ) -> Option<Interval> {
+        self.operational_interval(&[(index, base.clone())])
+    }
 
-/// Monte-Carlo interval for the embodied estimate of one system.
-pub fn embodied_interval(
-    tool: &EasyC,
-    record: &SystemRecord,
-    priors: &PriorUncertainty,
-    samples: usize,
-    level: f64,
-    seed: u64,
-) -> Option<Interval> {
-    let metrics = SevenMetrics::extract(record);
-    let base = crate::embodied::estimate(record, &metrics).ok()?;
-    let b = base.breakdown;
-    let streams = RngStreams::new(seed ^ (u64::from(record.rank) << 32));
-    let draws = parallel::par_map_chunked(
-        &(0..samples).collect::<Vec<_>>(),
-        tool.config().workers,
-        |start, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(i, _)| {
-                    let mut rng = streams.stream((start + i) as u64);
-                    let fab = rng.next_lognormal(0.0, priors.fab);
-                    let cap = rng.next_lognormal(0.0, priors.capacity_priors);
-                    ((b.cpu_kg + b.accelerator_kg) * fab
-                        + (b.dram_kg + b.storage_kg) * cap
-                        + b.chassis_kg
-                        + b.interconnect_kg)
-                        / 1000.0
-                })
-                .collect()
-        },
-    );
-    let alpha = (1.0 - level) / 2.0;
-    Some(Interval {
-        point: base.mt_co2e,
-        lo: stats::quantile(&draws, alpha)?,
-        hi: stats::quantile(&draws, 1.0 - alpha)?,
-    })
+    /// Monte-Carlo interval for **one system's** embodied estimate — the
+    /// singleton special case of [`DrawPlan::embodied_interval`] (embodied
+    /// noise is fully systematic, so no index is involved).
+    pub fn system_embodied_interval(&self, base: &EmbodiedEstimate) -> Option<Interval> {
+        self.embodied_interval(std::slice::from_ref(base))
+    }
 }
 
 /// Per-sample systematic factors of one fleet operational draw (one PUE
@@ -597,9 +535,173 @@ pub(crate) fn embodied_draw(
         .sum::<f64>()
 }
 
+// ---------------------------------------------------------------------------
+// Blocked (columnar) draw kernels — the session fast path.
+//
+// The serial kernels above walk `&[(usize, OperationalEstimate)]` and
+// re-derive every factor (and re-key every idiosyncratic RNG stream) per
+// (scenario, sample, system). The blocked kernels restructure the same
+// arithmetic for (sample × system) lane sweeps:
+//
+// - the per-system factors that do not change across samples (power, PUE,
+//   utilisation, ACI value and sigma) are hoisted into contiguous columns,
+//   built once per scenario ([`OpFactorColumns`] / [`EmbFactorColumns`]);
+// - the idiosyncratic ACI noise `z(sample, global index)` is
+//   scenario-invariant by the CRN keying, so one dense noise column per
+//   sample ([`operational_noise`]) is shared by every scenario of a matrix;
+// - each `*_block_accumulate` call folds one scenario's terms for one
+//   sample into its draw slot with the exact `*slot += term` order of the
+//   streaming fold, so in-memory, streamed and serial draws stay
+//   bit-identical (pinned by `tests/proptests.rs`).
+// ---------------------------------------------------------------------------
+
+/// Struct-of-arrays form of one scenario's operational draw bases: the
+/// sample-invariant per-system factors, hoisted out of the per-sample loop.
+/// Built once per scenario (in-memory) or per (scenario, chunk) (streaming)
+/// and swept once per sample.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OpFactorColumns {
+    /// Global fleet index per base — the idiosyncratic noise key.
+    index: Vec<usize>,
+    power_kw: Vec<f64>,
+    pue: Vec<f64>,
+    util: Vec<f64>,
+    aci_value: Vec<f64>,
+    /// `aci.relative_uncertainty() / 2.0`, exactly as [`fleet_term`] derives
+    /// it (band → ~2 sigma).
+    aci_sigma: Vec<f64>,
+}
+
+impl OpFactorColumns {
+    /// Hoists the index-tagged bases into columns (base order preserved —
+    /// the accumulation order of the draws).
+    pub(crate) fn from_bases(bases: &[(usize, OperationalEstimate)]) -> OpFactorColumns {
+        let mut cols = OpFactorColumns::default();
+        cols.index.reserve_exact(bases.len());
+        cols.power_kw.reserve_exact(bases.len());
+        cols.pue.reserve_exact(bases.len());
+        cols.util.reserve_exact(bases.len());
+        cols.aci_value.reserve_exact(bases.len());
+        cols.aci_sigma.reserve_exact(bases.len());
+        for (index, base) in bases {
+            cols.index.push(*index);
+            cols.power_kw.push(base.power_kw);
+            cols.pue.push(base.pue);
+            cols.util.push(base.utilization);
+            cols.aci_value.push(base.aci.value());
+            cols.aci_sigma.push(base.aci.relative_uncertainty() / 2.0);
+        }
+        cols
+    }
+
+    /// True when the scenario had no operational coverage.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// Struct-of-arrays form of one scenario's embodied draw bases. The fab
+/// and capacity groups of [`embodied_term`] are pre-summed per system
+/// (`cpu + accelerator`, `dram + storage` — the same additions the serial
+/// kernel performs first); chassis and interconnect stay separate columns
+/// so the term's left-associated addition chain is reproduced exactly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EmbFactorColumns {
+    silicon_kg: Vec<f64>,
+    capacity_kg: Vec<f64>,
+    chassis_kg: Vec<f64>,
+    interconnect_kg: Vec<f64>,
+}
+
+impl EmbFactorColumns {
+    /// Hoists the bases into columns (base order preserved).
+    pub(crate) fn from_bases(bases: &[EmbodiedEstimate]) -> EmbFactorColumns {
+        let mut cols = EmbFactorColumns::default();
+        cols.silicon_kg.reserve_exact(bases.len());
+        cols.capacity_kg.reserve_exact(bases.len());
+        cols.chassis_kg.reserve_exact(bases.len());
+        cols.interconnect_kg.reserve_exact(bases.len());
+        for base in bases {
+            let b = base.breakdown;
+            cols.silicon_kg.push(b.cpu_kg + b.accelerator_kg);
+            cols.capacity_kg.push(b.dram_kg + b.storage_kg);
+            cols.chassis_kg.push(b.chassis_kg);
+            cols.interconnect_kg.push(b.interconnect_kg);
+        }
+        cols
+    }
+
+    /// True when the scenario had no embodied coverage.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.silicon_kg.is_empty()
+    }
+}
+
+/// Fills `noise[i]` with the idiosyncratic ACI noise draw of sample
+/// `sample` for global fleet row `first_row + i` — the standard-normal `z`
+/// that [`fleet_term`] feeds into its lognormal. The stream key is
+/// `(sample << 32) | (global index + 1)`, identical to the serial kernel,
+/// and carries no scenario component: one fill per sample serves every
+/// scenario of a matrix (common random numbers).
+pub(crate) fn operational_noise(
+    streams: &RngStreams,
+    sample: usize,
+    first_row: usize,
+    noise: &mut [f64],
+) {
+    for (i, slot) in noise.iter_mut().enumerate() {
+        let mut local = streams.stream(((sample as u64) << 32) | ((first_row + i) as u64 + 1));
+        *slot = local.next_normal();
+    }
+}
+
+/// Folds one scenario's operational terms for one sample into `slot`, in
+/// base order — the blocked form of [`operational_draw`]'s sum and the
+/// streaming fold's `*slot += fleet_term(…)` accumulation. `noise` is the
+/// per-sample column from [`operational_noise`], indexed by global fleet
+/// row relative to `first_row`. Bit-identical to the serial kernels: the
+/// per-term arithmetic is the same expression tree as [`fleet_term`]
+/// (`(0.0 + sigma·z).exp()` and `(sigma·z).exp()` agree bitwise, including
+/// at negative zero where both sides are exactly `1.0`).
+pub(crate) fn operational_block_accumulate(
+    cols: &OpFactorColumns,
+    factors: &FleetFactors,
+    noise: &[f64],
+    first_row: usize,
+    slot: &mut f64,
+) {
+    for k in 0..cols.index.len() {
+        let z = noise[cols.index[k] - first_row];
+        let aci = cols.aci_value[k] * (cols.aci_sigma[k] * z).exp();
+        let pue = (cols.pue[k] * factors.pue).max(1.0);
+        let util = (cols.util[k] * factors.util).clamp(0.05, 1.0);
+        *slot += cols.power_kw[k] * operational::HOURS_PER_YEAR * pue * util * aci / 1.0e6;
+    }
+}
+
+/// Folds one scenario's embodied terms for one sample into `slot`, in base
+/// order — the blocked form of [`embodied_draw`]'s sum. Embodied noise is
+/// fully systematic, so the whole sweep shares the sample's two factors.
+pub(crate) fn embodied_block_accumulate(
+    cols: &EmbFactorColumns,
+    factors: &EmbodiedFactors,
+    slot: &mut f64,
+) {
+    for k in 0..cols.silicon_kg.len() {
+        *slot += (cols.silicon_kg[k] * factors.fab
+            + cols.capacity_kg[k] * factors.cap
+            + cols.chassis_kg[k]
+            + cols.interconnect_kg[k])
+            / 1000.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimator::EasyC;
+    use crate::metrics::SevenMetrics;
+    use top500::record::SystemRecord;
     use top500::synthetic::{generate_full, SyntheticConfig};
 
     fn system() -> SystemRecord {
@@ -638,51 +740,57 @@ mod tests {
     }
 
     #[test]
-    fn interval_brackets_point() {
+    fn system_operational_interval_brackets_point() {
+        let rec = system();
         let tool = EasyC::new();
-        let iv = operational_interval(
-            &tool,
-            &system(),
-            &PriorUncertainty::default(),
-            500,
-            0.95,
-            42,
-        )
-        .unwrap();
+        let metrics = SevenMetrics::extract(&rec);
+        let base = operational::estimate_with(&rec, &metrics, &tool.config().overrides()).unwrap();
+        let plan = DrawPlan::new(500).with_seed(42);
+        let iv = plan.system_operational_interval(2, &base).unwrap();
+        assert_eq!(iv.point, base.mt_co2e);
         assert!(iv.lo <= iv.point * 1.05, "lo {} point {}", iv.lo, iv.point);
         assert!(iv.hi >= iv.point * 0.95, "hi {} point {}", iv.hi, iv.point);
         assert!(iv.lo < iv.hi);
     }
 
     #[test]
-    fn deterministic_across_worker_counts() {
-        let rec = system();
-        let priors = PriorUncertainty::default();
-        let tool1 = EasyC::with_config(crate::EasyCConfig {
-            workers: 1,
+    fn system_operational_interval_keys_by_global_index() {
+        // One seed discipline with the fleet draws: the system's global
+        // fleet index selects its idiosyncratic noise stream, so the same
+        // base at a different fleet position draws a different band (the
+        // retired free functions keyed off `record.rank` instead).
+        let list = generate_full(&SyntheticConfig {
+            n: 10,
             ..Default::default()
         });
-        let tool8 = EasyC::with_config(crate::EasyCConfig {
-            workers: 8,
-            ..Default::default()
-        });
-        let a = operational_interval(&tool1, &rec, &priors, 300, 0.9, 7).unwrap();
-        let b = operational_interval(&tool8, &rec, &priors, 300, 0.9, 7).unwrap();
-        assert_eq!(a, b);
+        let bases = op_bases(&list);
+        let (_, base) = &bases[1];
+        let plan = DrawPlan::new(300).with_seed(9);
+        let a = plan.system_operational_interval(5, base).unwrap();
+        let b = plan.system_operational_interval(6, base).unwrap();
+        assert_eq!(a.point, b.point);
+        assert_ne!((a.lo, a.hi), (b.lo, b.hi));
     }
 
     #[test]
-    fn wider_priors_widen_interval() {
+    fn wider_priors_widen_system_embodied_interval() {
         let rec = system();
-        let tool = EasyC::new();
-        let narrow =
-            embodied_interval(&tool, &rec, &PriorUncertainty::default(), 400, 0.95, 7).unwrap();
+        let metrics = SevenMetrics::extract(&rec);
+        let base = crate::embodied::estimate(&rec, &metrics).unwrap();
+        let narrow = DrawPlan::new(400)
+            .with_seed(7)
+            .system_embodied_interval(&base)
+            .unwrap();
         let wide_priors = PriorUncertainty {
             fab: 0.6,
             capacity_priors: 0.8,
             ..PriorUncertainty::default()
         };
-        let wide = embodied_interval(&tool, &rec, &wide_priors, 400, 0.95, 7).unwrap();
+        let wide = DrawPlan::new(400)
+            .with_seed(7)
+            .with_priors(wide_priors)
+            .system_embodied_interval(&base)
+            .unwrap();
         assert!(wide.relative_halfwidth() > narrow.relative_halfwidth());
     }
 
@@ -919,11 +1027,14 @@ mod tests {
     }
 
     #[test]
-    fn unestimable_system_yields_none() {
-        let bare = SystemRecord::bare(1, 100.0, 120.0);
-        let mut r = bare.clone();
-        r.accelerator = Some("Unknown Custom Thing".into());
+    fn system_intervals_none_without_draws() {
+        let rec = system();
         let tool = EasyC::new();
-        assert!(embodied_interval(&tool, &r, &PriorUncertainty::default(), 10, 0.9, 1).is_none());
+        let metrics = SevenMetrics::extract(&rec);
+        let op = operational::estimate_with(&rec, &metrics, &tool.config().overrides()).unwrap();
+        let emb = crate::embodied::estimate(&rec, &metrics).unwrap();
+        let plan = DrawPlan::new(0);
+        assert!(plan.system_operational_interval(0, &op).is_none());
+        assert!(plan.system_embodied_interval(&emb).is_none());
     }
 }

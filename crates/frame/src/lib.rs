@@ -13,11 +13,14 @@
 //! - [`csv`]: dependency-free CSV reader/writer with quoting and null handling.
 //! - [`stats`]: descriptive statistics with explicit missing-value semantics,
 //!   linear regression, histograms and bootstrap resampling.
+//! - [`bitset`]: fixed-length `u64`-word bitsets, the presence-mask substrate
+//!   of the columnar assessment kernels.
 //!
 //! Everything is deterministic and allocates predictably; hot paths take
 //! slices, not owned vectors (see the workspace performance guide).
 
 pub mod agg;
+pub mod bitset;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -25,6 +28,7 @@ pub mod frame;
 pub mod series;
 pub mod stats;
 
+pub use bitset::Bitset;
 pub use column::{Column, Value};
 pub use error::{FrameError, Result};
 pub use frame::DataFrame;

@@ -203,7 +203,13 @@ pub fn bootstrap_mean_ci(
         means.push(s / values.len() as f64);
     }
     let alpha = (1.0 - level.clamp(0.0, 1.0)) / 2.0;
-    Some((quantile(&means, alpha)?, quantile(&means, 1.0 - alpha)?))
+    // One sort serves both tails — a per-tail `quantile` call would
+    // clone-and-sort the resample vector twice.
+    means.sort_by(|a, b| a.partial_cmp(b).expect("NaN in bootstrap means"));
+    Some((
+        quantile_of_sorted(&means, alpha)?,
+        quantile_of_sorted(&means, 1.0 - alpha)?,
+    ))
 }
 
 /// Two-sample Kolmogorov–Smirnov statistic: the maximum distance between

@@ -133,8 +133,10 @@ where
 }
 
 /// Splits a mutable slice into disjoint chunks matching `ranges` (which must
-/// be contiguous, ascending and cover a prefix of the slice).
-fn split_mut_by_ranges<'a, T>(
+/// be contiguous, ascending and cover a prefix of the slice). Public because
+/// planned executors (e.g. the `easyc` session's blocked draw phase) use it
+/// to hand each work item its disjoint output slots.
+pub fn split_mut_by_ranges<'a, T>(
     slice: &'a mut [T],
     ranges: &[std::ops::Range<usize>],
 ) -> Vec<&'a mut [T]> {

@@ -6,9 +6,7 @@
 //! cargo run --release --example site_report
 //! ```
 
-use top500_carbon::easyc::uncertainty::{
-    embodied_interval, operational_interval, PriorUncertainty,
-};
+use top500_carbon::easyc::uncertainty::{DrawPlan, PriorUncertainty};
 use top500_carbon::easyc::{EasyC, EasyCConfig};
 use top500_carbon::top500::SystemRecord;
 
@@ -25,19 +23,25 @@ fn main() {
     system.accelerator = Some("NVIDIA A100 SXM4 80GB".to_string());
     system.accelerator_count = Some(512);
 
-    let priors = PriorUncertainty::default();
     let tool = EasyC::new();
+    let footprint = tool.assess(&system);
+    // One DrawPlan keys every band: the site is fleet row 0, exactly as it
+    // would be keyed inside an `Assessment` session.
+    let plan = DrawPlan::new(4000).with_seed(2024);
 
     println!(
         "== {} annual sustainability report ==\n",
         system.name.as_deref().unwrap()
     );
-    let op = operational_interval(&tool, &system, &priors, 4000, 0.95, 2024).unwrap();
+    let op_base = footprint.operational.clone().unwrap();
+    let op = plan.system_operational_interval(0, &op_base).unwrap();
     println!(
         "operational: {:>7.0} MT CO2e/yr  (95% CI {:.0} - {:.0}, priors only)",
         op.point, op.lo, op.hi
     );
-    let emb = embodied_interval(&tool, &system, &priors, 4000, 0.95, 2024).unwrap();
+    let emb = plan
+        .system_embodied_interval(&footprint.embodied.unwrap())
+        .unwrap();
     println!(
         "embodied:    {:>7.0} MT CO2e     (95% CI {:.0} - {:.0})",
         emb.point, emb.lo, emb.hi
@@ -49,11 +53,14 @@ fn main() {
         pue_override: Some(1.25),
         ..Default::default()
     });
-    let priors_with_pue = PriorUncertainty {
+    let plan_with_pue = plan.with_priors(PriorUncertainty {
         pue: 0.02,
-        ..priors
-    };
-    let op2 = operational_interval(&measured, &system, &priors_with_pue, 4000, 0.95, 2024).unwrap();
+        ..PriorUncertainty::default()
+    });
+    let op2_base = measured.assess(&system).operational.unwrap();
+    let op2 = plan_with_pue
+        .system_operational_interval(0, &op2_base)
+        .unwrap();
     println!(
         "\nwith measured PUE=1.25 (one extra metric):\n\
          operational: {:>7.0} MT CO2e/yr  (95% CI {:.0} - {:.0})",

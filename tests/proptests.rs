@@ -3,13 +3,14 @@
 use proptest::prelude::*;
 use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
 use top500_carbon::easyc::{
-    embodied, operational, Assessment, DataScenario, EasyC, MetricMask, OverrideSet,
-    ScenarioMatrix, SevenMetrics, SystemFootprint, SystemView,
+    embodied, operational, Assessment, DataScenario, DrawPlan, EasyC, EmbodiedEstimate,
+    FleetColumns, FleetView, MetricMask, OperationalEstimate, OverrideSet, ScenarioMatrix,
+    SevenMetrics, SystemFootprint, SystemView,
 };
 use top500_carbon::frame::{csv, stats, Column, DataFrame};
 use top500_carbon::top500::stream::InMemoryChunks;
 use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
-use top500_carbon::top500::SystemRecord;
+use top500_carbon::top500::{SystemRecord, Top500List};
 
 // ------------------------------------------------------------ interpolation
 
@@ -509,6 +510,162 @@ proptest! {
         for (i, scenario) in matrix.scenarios().iter().enumerate() {
             prop_assert_eq!(&scenario.name, &format!("s{i}"));
             prop_assert_eq!(scenario.mask, masks[i]);
+        }
+    }
+}
+
+// ------------------------------------------------------- columnar kernels
+
+fn arb_overrides() -> impl Strategy<Value = OverrideSet> {
+    (
+        prop::option::of(1.0f64..3.0),
+        prop::option::of(0.05f64..1.0),
+        prop::option::of(10.0f64..1000.0),
+    )
+        .prop_map(|(pue, utilization, aci_g_per_kwh)| OverrideSet {
+            pue,
+            utilization,
+            aci_g_per_kwh,
+        })
+}
+
+proptest! {
+    #[test]
+    fn columnar_estimate_kernels_bit_identical_on_any_subrange(
+        records in prop::collection::vec(arb_record(), 1..24),
+        mask in arb_mask(),
+        overrides in arb_overrides(),
+        split in (0usize..=24, 0usize..=24),
+    ) {
+        // The struct-of-arrays chunk kernels must reproduce the
+        // row-at-a-time view reference bit for bit on any sub-range of any
+        // fleet, under any mask and override set — including error rows,
+        // whose payloads (field names, formatted values) must match the
+        // reference exactly.
+        let records: Vec<SystemRecord> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.rank = i as u32 + 1;
+                r
+            })
+            .collect();
+        let list = Top500List::new(records);
+        let metrics: Vec<SevenMetrics> =
+            list.systems().iter().map(SevenMetrics::extract).collect();
+        let columns = FleetColumns::build(&list, &metrics);
+        let scenario = DataScenario::masked("prop", mask).with_overrides(overrides);
+        let view = FleetView::new(&list, &metrics, &scenario);
+        let (a, b) = split;
+        let (lo, hi) = (a.min(b).min(list.len()), a.max(b).min(list.len()));
+        let op = operational::estimate_columns(&columns, &view, lo..hi);
+        let emb = embodied::estimate_columns(&columns, &view, lo..hi);
+        prop_assert_eq!(op.len(), hi - lo);
+        prop_assert_eq!(emb.len(), hi - lo);
+        for (k, row) in (lo..hi).enumerate() {
+            let sview = SystemView::new(&list.systems()[row], &metrics[row], mask);
+            prop_assert_eq!(&op[k], &operational::estimate_view(&sview, &overrides));
+            prop_assert_eq!(&emb[k], &embodied::estimate_view(&sview));
+        }
+    }
+
+    #[test]
+    fn columnar_session_matches_serial_assess_scenario(
+        n in 1u32..40,
+        seed in 0u64..1_000,
+        mask in arb_mask(),
+        overrides in arb_overrides(),
+        workers in 1usize..5,
+        items in 1usize..6,
+    ) {
+        // The whole session pipeline — FleetColumns built once, (scenario ×
+        // chunk) items through the columnar kernels at any worker count and
+        // chunk granularity — must equal the serial per-record facade.
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked("masked", mask).with_overrides(overrides));
+        let session = Assessment::of(&list)
+            .workers(workers)
+            .items_per_worker(items)
+            .scenarios(&matrix)
+            .run();
+        let tool = EasyC::new();
+        for (slice, scenario) in session.slices().iter().zip(matrix.scenarios()) {
+            prop_assert_eq!(slice.footprints.len(), list.len());
+            for (record, fp) in list.systems().iter().zip(&slice.footprints) {
+                let reference = tool.assess_scenario(record, scenario);
+                prop_assert_eq!(&fp.operational, &reference.operational);
+                prop_assert_eq!(&fp.embodied, &reference.embodied);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_draw_kernels_bit_identical_to_serial_reference(
+        n in 1u32..32,
+        seed in 0u64..1_000,
+        draws in 1usize..48,
+        mask in arb_mask(),
+        workers in 1usize..4,
+        rows_per_chunk in 1usize..48,
+    ) {
+        // The blocked (sample-chunk × scenario) draw kernels — factor
+        // columns hoisted per scenario, one noise column per sample shared
+        // across scenarios — must reproduce the serial DrawPlan reference
+        // vectors exactly, in-memory and streamed, at any worker count and
+        // fleet chunking.
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked("masked", mask));
+        let session = Assessment::of(&list)
+            .workers(workers)
+            .scenarios(&matrix)
+            .uncertainty(draws)
+            .seed(seed)
+            .run();
+        let plan = DrawPlan::new(draws).with_seed(seed);
+        for slice in session.slices() {
+            let name = slice.scenario.name.as_str();
+            let op_bases: Vec<(usize, OperationalEstimate)> = slice
+                .footprints
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.operational.as_ref().ok().cloned().map(|op| (i, op)))
+                .collect();
+            let emb_bases: Vec<EmbodiedEstimate> = slice
+                .footprints
+                .iter()
+                .filter_map(|f| f.embodied.as_ref().ok().cloned())
+                .collect();
+            match session.operational_draws(name) {
+                Some(got) => {
+                    prop_assert!(!op_bases.is_empty());
+                    let reference = plan.operational_draws(&op_bases);
+                    prop_assert_eq!(got, reference.as_slice());
+                }
+                None => prop_assert!(op_bases.is_empty(), "draws dropped despite coverage"),
+            }
+            match session.embodied_draws(name) {
+                Some(got) => {
+                    prop_assert!(!emb_bases.is_empty());
+                    let reference = plan.embodied_draws(&emb_bases);
+                    prop_assert_eq!(got, reference.as_slice());
+                }
+                None => prop_assert!(emb_bases.is_empty(), "draws dropped despite coverage"),
+            }
+        }
+        let streamed = Assessment::stream(InMemoryChunks::new(&list, rows_per_chunk))
+            .workers(workers)
+            .scenarios(&matrix)
+            .uncertainty(draws)
+            .seed(seed)
+            .run()
+            .expect("in-memory chunks cannot fail");
+        for name in ["full", "masked"] {
+            prop_assert_eq!(streamed.operational_draws(name), session.operational_draws(name));
+            prop_assert_eq!(streamed.embodied_draws(name), session.embodied_draws(name));
         }
     }
 }
