@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! `auditor` — a std-only static-analysis pass that machine-enforces the
+//! workspace's determinism and unsafe-code invariants.
+//!
+//! The fleet-carbon numbers this repo reproduces are only trustworthy
+//! because every execution strategy (serial, pooled, streamed, columnar)
+//! is pinned bit-identical. The rules that guarantee that — rank-order
+//! left folds, CRN RNG keying, `unsafe` confined to `parallel::pool`, no
+//! iteration-order or wall-clock nondeterminism in result paths — used to
+//! live only as prose in `docs/ARCHITECTURE.md`. This crate turns each of
+//! them into a named, testable rule over a lightweight Rust lexer, run as
+//! a CI gate:
+//!
+//! ```text
+//! cargo run -p auditor -- check          # audit the workspace, exit != 0 on violations
+//! cargo run -p auditor -- rules          # list the enforced rules
+//! ```
+//!
+//! Diagnostics are `file:line: rule-id: message`. The escape hatch is a
+//! comment directly above (or trailing) the offending line:
+//!
+//! ```text
+//! // audit: allow(wall-clock) — measuring real elapsed time is the point here
+//! ```
+//!
+//! Allows must name a known rule and carry a reason; `allow-hygiene`
+//! enforces that too. The rules are lexical approximations (no type
+//! inference); each rule's doc in [`rules::RULES`] states what it matches.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{audit_source, known_rule, Violation, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// the auditor's own rule fixtures (which violate rules on purpose).
+const EXCLUDED_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Recursively collects every workspace `.rs` file under `root`, sorted by
+/// path so diagnostics (and therefore CI logs) are deterministic.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !EXCLUDED_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Audits every `.rs` file under `root` and returns all violations,
+/// sorted by (path, line, rule).
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for path in collect_rs_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(audit_source(&rel, &source));
+    }
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(violations)
+}

@@ -1,0 +1,73 @@
+//! The `auditor` CLI: `check` walks the workspace and exits non-zero on
+//! any violation; `rules` lists the enforced rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use auditor::{audit_workspace, RULES};
+
+const USAGE: &str = "usage: auditor <command>
+
+commands:
+  check [--root DIR]   audit every workspace .rs file (default root: .)
+                       exits 1 when violations are found
+  rules                list the enforced rules
+
+escape hatch: a comment directly above (or trailing) the offending line —
+  // audit: allow(rule-id) — reason the invariant still holds
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            for (id, what) in RULES {
+                println!("{id}\n    {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("auditor: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("auditor: unknown argument `{other}`");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match audit_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("auditor: workspace clean ({} rules enforced)", RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("auditor: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("auditor: io error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

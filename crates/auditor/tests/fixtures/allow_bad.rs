@@ -1,0 +1,14 @@
+pub fn no_reason() {
+    // audit: allow(wall-clock)
+    let _t0 = std::time::Instant::now();
+}
+
+pub fn unknown_rule() {
+    // audit: allow(fast-and-loose) — not a rule id anyone registered
+    let _x = 1;
+}
+
+pub fn malformed() {
+    // audit: allow — forgot the rule parens entirely
+    let _x = 2;
+}

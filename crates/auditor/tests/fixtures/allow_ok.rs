@@ -1,0 +1,11 @@
+pub fn profiled() -> std::time::Duration {
+    // audit: allow(wall-clock) — this helper exists to measure real elapsed
+    // time for the operator console; results never feed assessment output.
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+pub fn trailing_form() -> u64 {
+    let seed = std::env::var("SEED").map_or(0, |s| s.len() as u64); // audit: allow(wall-clock) — operator override, default is deterministic
+    seed
+}

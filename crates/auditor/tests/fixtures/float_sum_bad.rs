@@ -1,0 +1,17 @@
+pub fn turbofish_float(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn untyped_sum(xs: &[f64]) -> f64 {
+    let total = xs.iter().sum();
+    total
+}
+
+pub fn ascribed_float(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().copied().sum();
+    total
+}
+
+pub fn float_product(xs: &[f64]) -> f64 {
+    xs.iter().product::<f64>()
+}

@@ -1,0 +1,21 @@
+pub fn counted(slices: &[Vec<f64>]) -> usize {
+    let rows: usize = slices.iter().map(Vec::len).sum();
+    rows
+}
+
+pub fn turbofish_int(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}
+
+pub fn ordered(xs: &[f64]) -> f64 {
+    crate::fold::sum_f64(xs.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_sum_floats() {
+        let xs = [1.0, 2.0];
+        assert_eq!(xs.iter().sum::<f64>(), 3.0);
+    }
+}

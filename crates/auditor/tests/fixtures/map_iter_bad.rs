@@ -1,0 +1,29 @@
+use std::collections::{HashMap, HashSet};
+
+pub struct Caches {
+    by_name: HashMap<String, usize>,
+}
+
+impl Caches {
+    pub fn labels(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect()
+    }
+}
+
+pub fn totals(index: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in index {
+        total += v;
+    }
+    total
+}
+
+pub fn drain_all(mut seen: HashSet<u64>) -> usize {
+    seen.drain().count()
+}
+
+pub fn collect_pairs() {
+    let table = HashMap::new();
+    let _pairs: Vec<(u32, u32)> = table.iter().map(|(k, v)| (*k, *v)).collect();
+    let _ = table.len();
+}

@@ -1,0 +1,42 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Index {
+    by_name: HashMap<String, usize>,
+}
+
+impl Index {
+    // Lookup-only use of a hash map is the supported pattern.
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn insert(&mut self, name: String, rank: usize) {
+        self.by_name.insert(name, rank);
+    }
+}
+
+pub fn memoized(cache: &mut HashMap<u32, f64>, year: u32) -> f64 {
+    *cache.entry(year).or_insert_with(|| f64::from(year) * 0.5)
+}
+
+// Ordered containers may iterate: BTreeMap order is deterministic.
+pub fn ordered_rows(table: &BTreeMap<String, f64>) -> Vec<(String, f64)> {
+    table.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+// A Vec that happens to share a name with nothing map-typed is untouched.
+pub fn plain_vec_sum(items: &[f64]) -> f64 {
+    items.iter().copied().fold(0.0, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_iterate_for_assertions() {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        counts.insert("a", 1);
+        assert_eq!(counts.values().sum::<usize>(), 1);
+    }
+}

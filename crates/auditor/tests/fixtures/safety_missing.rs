@@ -1,0 +1,9 @@
+// A transmute with no SAFETY contract: both unsafe rules fire.
+pub fn erase(job: Box<dyn FnOnce() + Send + '_>) -> Box<dyn FnOnce() + Send + 'static> {
+    unsafe { std::mem::transmute(job) }
+}
+
+// An unrelated comment directly above does not count.
+pub unsafe fn unchecked_get(v: &[u8], i: usize) -> u8 {
+    *v.get_unchecked(i)
+}

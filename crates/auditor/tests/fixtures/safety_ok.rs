@@ -1,0 +1,36 @@
+pub fn erase(job: Box<dyn FnOnce() + Send + '_>) -> Box<dyn FnOnce() + Send + 'static> {
+    // SAFETY: the caller's latch keeps the borrow alive until the job has
+    // run to completion, so the erased lifetime never dangles.
+    unsafe { std::mem::transmute(job) }
+}
+
+pub fn multi_line_statement(job: Box<dyn FnOnce() + Send + '_>) {
+    // SAFETY: comment sits above the statement start; the `unsafe` itself
+    // is on a continuation line and must still be found.
+    let _erased: Box<dyn FnOnce() + Send + 'static> =
+        unsafe { std::mem::transmute(job) };
+}
+
+pub fn trailing(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } // SAFETY: caller guarantees non-empty
+}
+
+/* SAFETY: block comments count too — the contract is checked textually. */
+pub unsafe fn block_commented(v: &[u8]) -> u8 {
+    *v.get_unchecked(0)
+}
+
+#[inline]
+pub fn attribute_between(v: &[u8]) -> u8 {
+    inner(v)
+}
+
+// SAFETY: attributes between the contract and the item are skipped.
+#[allow(dead_code)]
+pub unsafe fn attributed(v: &[u8]) -> u8 {
+    *v.get_unchecked(0)
+}
+
+fn inner(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,14 @@
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+}
+
+pub fn named_worker() -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("rogue".into())
+        .spawn(|| {})?
+        .join()
+        .ok();
+    Ok(())
+}

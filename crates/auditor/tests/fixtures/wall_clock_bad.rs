@@ -1,0 +1,13 @@
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _t0 = Instant::now();
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn seeded_from_env() -> u64 {
+    std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}

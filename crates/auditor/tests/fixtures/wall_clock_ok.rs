@@ -1,0 +1,25 @@
+// Sleeping is fine — only *reading* the clock or environment is entropy.
+pub fn backoff(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}
+
+// `env!` (compile-time) and `env::args` (deterministic CLI input) pass.
+pub fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+pub fn first_arg() -> Option<String> {
+    std::env::args().nth(1)
+}
+
+// Strings mentioning Instant::now or SystemTime are not code.
+pub const HINT: &str = "never call Instant::now in result paths";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_time_things() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

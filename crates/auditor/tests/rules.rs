@@ -1,0 +1,201 @@
+//! Fixture-based tests: every rule with at least one violating and one
+//! clean fixture, the scope (allowlist) dimension of each rule, the
+//! escape-hatch comment path, and a self-test that the real workspace is
+//! clean.
+//!
+//! Fixtures live in `tests/fixtures/` (excluded from the workspace walk —
+//! they violate rules on purpose) and are audited under *pretend* paths,
+//! because rule scope is derived from the workspace-relative path.
+
+use auditor::{audit_source, audit_workspace, known_rule, Violation};
+
+fn audit(pretend_path: &str, source: &str) -> Vec<Violation> {
+    audit_source(pretend_path, source)
+}
+
+fn lines_of(violations: &[Violation], rule: &str) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+// ------------------------------------------------------- safety-comment
+
+#[test]
+fn missing_safety_comments_are_flagged() {
+    let src = include_str!("fixtures/safety_missing.rs");
+    let v = audit("crates/easyc/src/patch.rs", src);
+    assert_eq!(lines_of(&v, "safety-comment"), vec![3, 7]);
+    // Outside the allowlist the same tokens also violate unsafe-scope.
+    assert_eq!(lines_of(&v, "unsafe-scope"), vec![3, 7]);
+}
+
+#[test]
+fn safety_comment_forms_all_pass() {
+    let src = include_str!("fixtures/safety_ok.rs");
+    let v = audit("crates/parallel/src/pool.rs", src);
+    assert!(v.is_empty(), "expected clean, got: {v:?}");
+}
+
+// ---------------------------------------------------------- unsafe-scope
+
+#[test]
+fn unsafe_outside_allowlist_is_flagged_even_when_documented() {
+    let src = include_str!("fixtures/safety_ok.rs");
+    let v = audit("crates/analysis/src/report.rs", src);
+    assert!(lines_of(&v, "safety-comment").is_empty());
+    assert_eq!(lines_of(&v, "unsafe-scope").len(), 5);
+}
+
+#[test]
+fn pool_module_is_the_only_unsafe_home() {
+    let src = "// SAFETY: fixture\nlet x = unsafe { 1 };";
+    assert!(audit("crates/parallel/src/pool.rs", src).is_empty());
+    assert_eq!(
+        lines_of(&audit("crates/parallel/src/rng.rs", src), "unsafe-scope"),
+        vec![2]
+    );
+}
+
+// --------------------------------------------------------- map-iteration
+
+#[test]
+fn hash_iteration_in_result_crates_is_flagged() {
+    let src = include_str!("fixtures/map_iter_bad.rs");
+    let v = audit("crates/easyc/src/cache.rs", src);
+    assert_eq!(lines_of(&v, "map-iteration"), vec![9, 15, 22, 27]);
+}
+
+#[test]
+fn hash_lookup_btreemap_and_test_iteration_pass() {
+    let src = include_str!("fixtures/map_iter_ok.rs");
+    let v = audit("crates/easyc/src/index.rs", src);
+    assert!(v.is_empty(), "expected clean, got: {v:?}");
+}
+
+#[test]
+fn map_iteration_rule_only_guards_result_crates() {
+    let src = include_str!("fixtures/map_iter_bad.rs");
+    assert!(audit("crates/auditor/src/walk.rs", src).is_empty());
+    assert!(audit("tests/helpers.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------ wall-clock
+
+#[test]
+fn wall_clock_and_env_entropy_are_flagged() {
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    let v = audit("crates/analysis/src/report.rs", src);
+    assert_eq!(lines_of(&v, "wall-clock"), vec![1, 4, 5, 12]);
+}
+
+#[test]
+fn wall_clock_allowed_in_bench_criterion_and_tests() {
+    let src = include_str!("fixtures/wall_clock_bad.rs");
+    assert!(audit("crates/bench/benches/scaling.rs", src).is_empty());
+    assert!(audit("crates/criterion/src/lib.rs", src).is_empty());
+    assert!(audit("tests/streaming.rs", src).is_empty());
+}
+
+#[test]
+fn sleep_env_macro_args_strings_and_test_mods_pass() {
+    let src = include_str!("fixtures/wall_clock_ok.rs");
+    let v = audit("crates/top500/src/io.rs", src);
+    assert!(v.is_empty(), "expected clean, got: {v:?}");
+}
+
+// ---------------------------------------------------------- thread-spawn
+
+#[test]
+fn raw_thread_creation_is_flagged_outside_the_allowlist() {
+    let src = include_str!("fixtures/spawn_bad.rs");
+    let v = audit("crates/easyc/src/session.rs", src);
+    assert_eq!(lines_of(&v, "thread-spawn"), vec![4, 8]);
+}
+
+#[test]
+fn pool_and_stream_may_spawn() {
+    let src = include_str!("fixtures/spawn_bad.rs");
+    assert!(audit("crates/parallel/src/pool.rs", src).is_empty());
+    assert!(audit("crates/top500/src/stream.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------- float-sum
+
+#[test]
+fn anonymous_float_reductions_in_easyc_are_flagged() {
+    let src = include_str!("fixtures/float_sum_bad.rs");
+    let v = audit("crates/easyc/src/uncertainty.rs", src);
+    assert_eq!(lines_of(&v, "float-sum"), vec![2, 6, 11, 16]);
+}
+
+#[test]
+fn integer_sums_and_ordered_folds_pass() {
+    let src = include_str!("fixtures/float_sum_ok.rs");
+    let v = audit("crates/easyc/src/batch.rs", src);
+    assert!(v.is_empty(), "expected clean, got: {v:?}");
+}
+
+#[test]
+fn float_sum_rule_scopes_to_easyc_only() {
+    let src = include_str!("fixtures/float_sum_bad.rs");
+    assert!(audit("crates/frame/src/stats.rs", src).is_empty());
+}
+
+// ------------------------------------------------------ the escape hatch
+
+#[test]
+fn reasoned_allows_suppress_block_and_trailing_forms() {
+    let src = include_str!("fixtures/allow_ok.rs");
+    let v = audit("crates/easyc/src/ops.rs", src);
+    assert!(v.is_empty(), "expected clean, got: {v:?}");
+}
+
+#[test]
+fn bare_or_unknown_allows_are_hygiene_violations_and_do_not_suppress() {
+    let src = include_str!("fixtures/allow_bad.rs");
+    let v = audit("crates/easyc/src/ops.rs", src);
+    assert_eq!(lines_of(&v, "allow-hygiene"), vec![2, 7, 12]);
+    // The reasonless allow does not excuse the violation beneath it.
+    assert_eq!(lines_of(&v, "wall-clock"), vec![3]);
+}
+
+#[test]
+fn allow_must_name_the_matching_rule() {
+    let src = "// audit: allow(thread-spawn) — wrong rule for this violation\nlet t = std::time::Instant::now();";
+    let v = audit("crates/easyc/src/ops.rs", src);
+    assert_eq!(lines_of(&v, "wall-clock"), vec![2]);
+    assert!(lines_of(&v, "allow-hygiene").is_empty());
+}
+
+#[test]
+fn rule_registry_is_consistent() {
+    assert!(known_rule("safety-comment"));
+    assert!(known_rule("allow-hygiene"));
+    assert!(!known_rule("fast-and-loose"));
+}
+
+// -------------------------------------------------- the workspace itself
+
+/// The same gate CI runs: the real workspace must audit clean. Keeping it
+/// in `cargo test` means a violation fails fast locally, with the exact
+/// diagnostics in the assertion message.
+#[test]
+fn workspace_audits_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let violations = audit_workspace(&root).expect("walk workspace");
+    assert!(
+        violations.is_empty(),
+        "workspace has invariant violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -95,6 +95,7 @@ pub mod coverage;
 pub mod embodied;
 pub mod error;
 pub mod estimator;
+pub mod fold;
 pub mod metrics;
 pub mod operational;
 pub mod scenario;

@@ -476,9 +476,9 @@ impl<'a> Assessment<'a> {
             .zip(&emb_bases)
             .zip(op_draws.into_iter().zip(emb_draws))
             .map(|((op, emb), (op_d, emb_d))| ScenarioDraws {
-                op_point: op.iter().map(|(_, b)| b.mt_co2e).sum(),
+                op_point: crate::fold::sum_f64(op.iter().map(|(_, b)| b.mt_co2e)),
                 op: op_d,
-                emb_point: emb.iter().map(|b| b.mt_co2e).sum(),
+                emb_point: crate::fold::sum_f64(emb.iter().map(|b| b.mt_co2e)),
                 emb: emb_d,
             })
             .collect()

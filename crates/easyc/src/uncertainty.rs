@@ -37,6 +37,7 @@
 //! build the paired-difference intervals.
 
 use crate::embodied::EmbodiedEstimate;
+use crate::fold;
 use crate::operational::{self, OperationalEstimate};
 use frame::stats;
 use parallel::rng::RngStreams;
@@ -227,7 +228,7 @@ impl DrawPlan {
         if bases.is_empty() {
             return None;
         }
-        let point = bases.iter().map(|(_, b)| b.mt_co2e).sum();
+        let point = fold::sum_f64(bases.iter().map(|(_, b)| b.mt_co2e));
         self.interval_of(point, &self.operational_draws(bases))
     }
 
@@ -237,7 +238,7 @@ impl DrawPlan {
         if bases.is_empty() {
             return None;
         }
-        let point = bases.iter().map(|b| b.mt_co2e).sum();
+        let point = fold::sum_f64(bases.iter().map(|b| b.mt_co2e));
         self.interval_of(point, &self.embodied_draws(bases))
     }
 }
@@ -476,10 +477,11 @@ pub(crate) fn operational_draw(
     sample: usize,
 ) -> f64 {
     let factors = fleet_factors(streams, priors, sample);
-    bases
-        .iter()
-        .map(|(index, base)| fleet_term(base, &factors, streams, sample, *index))
-        .sum::<f64>()
+    fold::sum_f64(
+        bases
+            .iter()
+            .map(|(index, base)| fleet_term(base, &factors, streams, sample, *index)),
+    )
 }
 
 /// Per-sample systematic factors of one fleet embodied draw (one fab
@@ -529,10 +531,7 @@ pub(crate) fn embodied_draw(
     sample: usize,
 ) -> f64 {
     let factors = embodied_factors(streams, priors, sample);
-    bases
-        .iter()
-        .map(|b| embodied_term(b, &factors))
-        .sum::<f64>()
+    fold::sum_f64(bases.iter().map(|b| embodied_term(b, &factors)))
 }
 
 // ---------------------------------------------------------------------------

@@ -153,5 +153,56 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.words().len(), 0);
         assert_eq!(b.word(0), 0);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.masked_word(0, true), 0);
+        let mut visited = Vec::new();
+        for_each_set_bit(b.word(0), 0, |i| visited.push(i));
+        assert!(visited.is_empty(), "empty set visits nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_past_len_panics() {
+        Bitset::new(70).set(70);
+    }
+
+    #[test]
+    fn trailing_partial_word_stays_masked() {
+        // 70 bits = one full word + a 6-bit tail; the invariant `words()`
+        // documents is that bits past `len` in the last word are 0.
+        let mut b = Bitset::new(70);
+        for i in 0..70 {
+            b.set(i);
+        }
+        assert_eq!(b.words()[0], u64::MAX);
+        assert_eq!(b.words()[1], (1 << 6) - 1, "tail bits beyond len stay 0");
+        assert_eq!(b.count_ones(), 70);
+        // Clearing and re-setting at the word boundary and at the last
+        // valid index never disturbs the tail.
+        for i in [0usize, 63, 64, 69] {
+            b.assign(i, false);
+            b.assign(i, true);
+        }
+        assert_eq!(b.words()[1] >> 6, 0);
+        assert_eq!(b.count_ones(), 70);
+        // A 64-aligned length has no tail word at all.
+        let mut full = Bitset::new(128);
+        full.set(127);
+        assert_eq!(full.words().len(), 2);
+        assert_eq!(full.word(2), 0);
+    }
+
+    #[test]
+    fn word_iteration_covers_exactly_the_set_bits_in_order() {
+        let mut b = Bitset::new(130);
+        let set = [0usize, 1, 62, 63, 64, 100, 128, 129];
+        for &i in &set {
+            b.set(i);
+        }
+        let mut visited = Vec::new();
+        for w in 0..b.words().len() {
+            for_each_set_bit(b.word(w), w * 64, |i| visited.push(i));
+        }
+        assert_eq!(visited, set);
     }
 }

@@ -76,11 +76,33 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let latch = Arc::clone(&self.latch);
         let pool_panics = Arc::clone(&self.pool.panics);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
-        // SAFETY: the latch guarantees `scope` does not return (and `'env`
-        // borrows stay live) until this job has run to completion, so
-        // erasing the lifetime to satisfy the pool's `'static` bound never
-        // lets the job observe freed data. The guard in `scope` waits even
-        // when the scope body unwinds.
+        // SAFETY: erasing `'env` to `'static` is sound because the scope
+        // guarantees the job finishes before any `'env` borrow can die:
+        //
+        // 1. `latch.incr()` above runs before the job is handed to the
+        //    pool, so from the moment a worker could touch the job the
+        //    latch count is non-zero and `wait_zero` cannot return early.
+        // 2. The worker calls `latch.decr` only after the job has run to
+        //    completion (the `catch_unwind` below makes that hold on the
+        //    panic path too), so the count reaches zero only when every
+        //    spawned job is done executing.
+        // 3. `ThreadPool::scope` cannot return while the count is
+        //    non-zero: the `ScopeGuard` drop calls `wait_zero` even when
+        //    the scope body unwinds, and the normal path calls it again.
+        // 4. `Scope` is invariant over `'env` (the `PhantomData<&'scope
+        //    mut &'env ()>` marker), so the handle cannot be smuggled into
+        //    a context where `'env` is shortened below the data the job
+        //    borrows.
+        // 5. The pool itself never drops a queued job unexecuted while
+        //    the scope waits: workers drain the channel until it closes,
+        //    and the channel closes only in `ThreadPool::drop`, which
+        //    cannot run during `scope` because `scope` borrows the pool.
+        //
+        // Together these mean the `'static` box is executed (or the
+        // process aborts via the propagated panic) strictly inside the
+        // lifetime of every borrow it captured, so the erased lifetime is
+        // never observable. This transmute is the single allowlisted
+        // `unsafe` in the workspace (auditor rule `unsafe-scope`).
         let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
         self.pool.execute(move || {
             let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();

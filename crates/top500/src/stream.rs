@@ -441,11 +441,14 @@ mod tests {
         let first = source.next_chunk().unwrap().unwrap();
         assert_eq!(first.len(), 10);
         // While we "assess" chunk 1, chunk 2 must get parsed in the
-        // background. Poll rather than sleep a fixed time to stay robust
-        // on slow machines.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while probe.chunks_parsed() < 2 && std::time::Instant::now() < deadline {
-            std::thread::yield_now();
+        // background. Poll with a bounded iteration count rather than a
+        // wall-clock deadline: sleeping between polls keeps the wait
+        // robust on slow machines (up to ~5 s) without reading the clock,
+        // so even test code keeps to the `wall-clock` determinism rule.
+        let mut polls = 0u32;
+        while probe.chunks_parsed() < 2 && polls < 5000 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            polls += 1;
         }
         assert!(
             probe.chunks_parsed() >= 2,

@@ -697,3 +697,40 @@ proptest! {
         }
     }
 }
+
+// ----------------------------------------------------------------- bitset
+
+proptest! {
+    /// `for_each_set_bit` swept word-by-word visits exactly the set
+    /// indices, each once, in strictly ascending order — the contract the
+    /// columnar kernels lean on when they walk presence masks.
+    #[test]
+    fn bitset_word_sweep_visits_exactly_the_set_indices_ascending(
+        len in 0usize..200,
+        raw in prop::collection::vec(0usize..256, 0..80)
+    ) {
+        let mut expect: Vec<usize> = raw.into_iter().filter(|&i| i < len).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        let mut b = top500_carbon::frame::bitset::Bitset::new(len);
+        for &i in &expect {
+            b.set(i);
+        }
+        prop_assert_eq!(b.count_ones(), expect.len());
+        let mut visited = Vec::new();
+        for w in 0..b.words().len() {
+            top500_carbon::frame::bitset::for_each_set_bit(b.word(w), w * 64, |i| {
+                visited.push(i);
+            });
+        }
+        prop_assert_eq!(&visited, &expect);
+        for i in 0..len {
+            prop_assert_eq!(b.get(i), expect.binary_search(&i).is_ok(), "bit {}", i);
+        }
+        // Bits past `len` in the tail word are never set.
+        if len % 64 != 0 {
+            let tail = b.word(len / 64);
+            prop_assert_eq!(tail >> (len % 64), 0, "tail past len must stay zero");
+        }
+    }
+}
