@@ -244,6 +244,26 @@ pub fn scenario_sweep_streamed<S: FleetChunks>(
     ))
 }
 
+/// [`scenario_sweep_streamed`] over a CSV file ingested by `shards`
+/// parallel byte-range parse workers
+/// ([`top500::stream::ShardedCsvReader`]): the split is record-aligned
+/// and the lanes drain in file order, so the summaries are bit-identical
+/// to a serial streamed sweep of the same file — parsing just stops being
+/// the single-consumer bottleneck.
+pub fn scenario_sweep_sharded(
+    path: &std::path::Path,
+    shards: usize,
+    rows_per_chunk: usize,
+    matrix: &ScenarioMatrix,
+    config: EasyCConfig,
+) -> Result<Vec<ScenarioSummary>, top500::io::ImportError> {
+    scenario_sweep_streamed(
+        top500::stream::ShardedCsvReader::open(path, shards, rows_per_chunk)?,
+        matrix,
+        config,
+    )
+}
+
 /// [`scenario_sweep_streamed`], additionally spilling every
 /// per-(scenario, system) row into `writer` chunk by chunk — the full
 /// columnar artifact of an in-memory `sweep --out`, at streaming memory.
@@ -528,6 +548,41 @@ mod tests {
             .unwrap();
             assert_eq!(streamed, in_memory, "rows {rows}");
         }
+    }
+
+    #[test]
+    fn sharded_sweep_bit_identical_to_in_memory_sweep() {
+        use easyc::{DataScenario, MetricBit, MetricMask};
+        let out = StudyPipeline::new(80, 9).run();
+        let text = top500::io::export_csv(&out.baseline);
+        let path =
+            std::env::temp_dir().join(format!("analysis-shard-sweep-{}.csv", std::process::id()));
+        std::fs::write(&path, &text).expect("write temp csv");
+        let matrix =
+            ScenarioMatrix::new()
+                .with(DataScenario::full("full"))
+                .with(DataScenario::masked(
+                    "no-power",
+                    MetricMask::ALL
+                        .without(MetricBit::PowerKw)
+                        .without(MetricBit::AnnualEnergy),
+                ));
+        let list = top500::io::import_csv(&text).unwrap();
+        let in_memory = scenario_sweep(&list, &matrix, easyc::EasyCConfig::default());
+        for shards in [1usize, 3, 8] {
+            for rows in [7usize, 64] {
+                let sharded = scenario_sweep_sharded(
+                    &path,
+                    shards,
+                    rows,
+                    &matrix,
+                    easyc::EasyCConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(sharded, in_memory, "shards {shards} rows {rows}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no anonymous float reductions (`.sum::<f64>()` or untyped `.sum()`) in easyc result code — use the ordered fold helpers (easyc::fold) or an integer turbofish",
     ),
     (
+        "partial-merge",
+        "fleet carbon totals accumulate only through easyc::fold / easyc::PartialAssessment — ad-hoc `+=` running totals over footprint carbon in result crates bypass the pinned merge shape",
+    ),
+    (
         "allow-hygiene",
         "every `audit: allow(rule)` escape comment names a known rule and carries a reason after the closing paren",
     ),
@@ -85,6 +89,9 @@ struct FileScope {
     unsafe_allowed: bool,
     /// Modules allowed to spawn raw threads.
     spawn_allowed: bool,
+    /// The one module allowed to accumulate carbon totals directly: the
+    /// mergeable fold state itself (`easyc::partial`).
+    partial_allowed: bool,
 }
 
 impl FileScope {
@@ -109,6 +116,7 @@ impl FileScope {
             unsafe_allowed: path == "crates/parallel/src/pool.rs",
             spawn_allowed: path.starts_with("crates/parallel/src/")
                 || path == "crates/top500/src/stream.rs",
+            partial_allowed: path == "crates/easyc/src/partial.rs",
         }
     }
 }
@@ -297,6 +305,7 @@ pub fn audit_source(path: &str, source: &str) -> Vec<Violation> {
     rule_wall_clock(&ctx, &mut violations);
     rule_thread_spawn(&ctx, &mut violations);
     rule_float_sum(&ctx, &mut violations);
+    rule_partial_merge(&ctx, &mut violations);
 
     // Apply the escape hatch, then append its own hygiene diagnostics
     // (which cannot themselves be allowed away).
@@ -687,6 +696,65 @@ fn rule_float_sum(ctx: &FileCtx, out: &mut Vec<Violation>) {
                 "float-sum",
                 format!(
                     "untyped `.{method}()` — annotate an integer turbofish (`.{method}::<usize>()`) or use easyc::fold::sum_f64 for ordered float reduction"
+                ),
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------- partial-merge
+
+/// Carbon-total accessors whose `+=` accumulation outside the monoid marks
+/// an ad-hoc fleet fold — the identifiers a footprint or stream slice
+/// exposes its MT CO2e totals through.
+const CARBON_TERMS: &[&str] = &[
+    "mt_co2e",
+    "operational_mt",
+    "embodied_mt",
+    "operational_total_mt",
+    "embodied_total_mt",
+];
+
+/// Lexical approximation: a compound `+=` whose right-hand side (up to the
+/// statement's `;`) mentions a carbon-total accessor is a running fleet
+/// total built outside `easyc::PartialAssessment`/`easyc::fold`. Such loops
+/// have a merge shape fixed by accident (whatever order the loop visits),
+/// not by contract — shard- and worker-count invariance only holds for
+/// totals folded through the monoid. `easyc::partial` itself is the one
+/// module allowed to accumulate directly (it *is* the fold), and test code
+/// is exempt (serial reference folds in tests are the point).
+fn rule_partial_merge(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.scope.result_crate || ctx.scope.test_file || ctx.scope.partial_allowed {
+        return;
+    }
+    let lexed = &ctx.lexed;
+    for i in 0..lexed.tokens.len() {
+        if !(lexed.is_punct(i, '+') && lexed.is_punct(i + 1, '=')) {
+            continue;
+        }
+        let line = lexed.tokens[i].line;
+        if ctx.in_test_code(line) {
+            continue;
+        }
+        let mut term = None;
+        let mut j = i + 2;
+        while j < lexed.tokens.len() && !lexed.is_punct(j, ';') {
+            if let Some(id) = lexed.ident(j) {
+                if CARBON_TERMS.contains(&id) {
+                    term = Some(id);
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let Some(term) = term {
+            push(
+                out,
+                ctx,
+                line,
+                "partial-merge",
+                format!(
+                    "running `+=` over `{term}` builds a fleet total outside the mergeable fold — absorb into easyc::PartialAssessment (or reduce via easyc::fold) so the merge shape stays pinned"
                 ),
             );
         }

@@ -144,6 +144,33 @@ fn float_sum_rule_scopes_to_easyc_only() {
     assert!(audit("crates/frame/src/stats.rs", src).is_empty());
 }
 
+// --------------------------------------------------------- partial-merge
+
+#[test]
+fn adhoc_carbon_running_totals_are_flagged() {
+    let src = include_str!("fixtures/partial_merge_bad.rs");
+    let v = audit("src/main.rs", src);
+    assert_eq!(lines_of(&v, "partial-merge"), vec![8, 9, 17, 25]);
+    let v = audit("crates/analysis/src/fleet.rs", src);
+    assert_eq!(lines_of(&v, "partial-merge").len(), 4);
+}
+
+#[test]
+fn monoid_folds_integer_counts_and_test_references_pass() {
+    let src = include_str!("fixtures/partial_merge_ok.rs");
+    let v = audit("crates/analysis/src/fleet.rs", src);
+    assert!(v.is_empty(), "expected clean, got: {v:?}");
+}
+
+#[test]
+fn the_partial_module_itself_may_accumulate() {
+    let src = include_str!("fixtures/partial_merge_bad.rs");
+    assert!(audit("crates/easyc/src/partial.rs", src).is_empty());
+    assert!(audit("tests/helpers.rs", src).is_empty());
+    assert!(audit("crates/bench/benches/scaling.rs", src).is_empty());
+    assert!(audit("crates/auditor/src/walk.rs", src).is_empty());
+}
+
 // ------------------------------------------------------ the escape hatch
 
 #[test]

@@ -81,6 +81,10 @@
 //!   ([`view::FleetView`], [`view::SystemView`]).
 //! - [`session`] — the unified [`session::Assessment`] builder/session.
 //! - [`stream`] — the incremental (chunked, larger-than-memory) session.
+//! - [`partial`] — the mergeable fold state both sessions accumulate
+//!   through ([`partial::PartialAssessment`]): absorb footprint blocks,
+//!   merge adjacent rank ranges, collapse through the pinned [`fold`]
+//!   shape — what makes sharded ingest and scale-out deterministic.
 //! - [`batch`] — the staged context machinery behind the session.
 //! - [`estimator`] — the per-system facade, routed through the same code
 //!   path as the session.
@@ -98,6 +102,7 @@ pub mod estimator;
 pub mod fold;
 pub mod metrics;
 pub mod operational;
+pub mod partial;
 pub mod scenario;
 pub mod session;
 pub mod stream;
@@ -112,6 +117,7 @@ pub use error::{EasyCError, Result};
 pub use estimator::{EasyC, EasyCConfig, SystemFootprint};
 pub use metrics::SevenMetrics;
 pub use operational::{AciSource, OperationalEstimate, PowerPath};
+pub use partial::{FleetTotals, MergeError, PartialAssessment};
 pub use scenario::{DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
 pub use session::{Assessment, AssessmentOutput};
 pub use stream::{ChunkRows, RowSink, StreamOutput, StreamSlice, StreamingAssessment};

@@ -1,0 +1,605 @@
+//! Mergeable partial-assessment state — the engine's fold as a monoid.
+//!
+//! Every fleet total in the engine used to exist only as a *running*
+//! accumulator: a strict left fold in rank order, owned by whichever loop
+//! was doing the folding (the streaming session's private `Fold`, the
+//! in-memory session's reduction). That shape is deterministic *because it
+//! is serial* — there is exactly one consumer, and it sees every footprint
+//! in rank order. [`PartialAssessment`] refactors the same state into a
+//! value that can be **split, shipped, and merged**:
+//!
+//! - [`PartialAssessment::identity`] — the empty state (the monoid unit);
+//! - [`PartialAssessment::absorb`] — fold a block of footprints starting
+//!   at a given global row, term by term, exactly as the serial fold does;
+//! - [`PartialAssessment::merge`] — combine two partials over *adjacent*
+//!   rank ranges (`left` ends where `right` starts), checked, total-order
+//!   free;
+//! - [`PartialAssessment::finish`] — collapse to [`FleetTotals`] through
+//!   [`crate::fold::sum_f64`] in range order.
+//!
+//! # Determinism: the pinned merge shape
+//!
+//! IEEE-754 addition is not associative, so *no* subtotal-merging scheme
+//! can be bit-identical to the term-level serial fold for every possible
+//! regrouping — if it could, float addition would be associative. The
+//! monoid therefore pins determinism structurally instead:
+//!
+//! 1. **`merge` performs zero floating-point arithmetic.** A partial
+//!    carries its state per contiguous `[start, end)` rank-range
+//!    *segment*; merging concatenates the two segment lists (adjacency-
+//!    checked at the junction). List concatenation is associative, so
+//!    **every merge tree over the same leaves — left spine, right spine,
+//!    balanced, arbitrary — yields the same segment list**, independent of
+//!    worker count and arrival order (pinned by `tests/proptests.rs` at
+//!    arbitrary shapes).
+//! 2. **All float accumulation happens in exactly two pinned places**:
+//!    inside [`absorb`](PartialAssessment::absorb), which extends a
+//!    segment term-by-term in rank order (the serial left fold, verbatim),
+//!    and inside [`finish`](PartialAssessment::finish), which folds the
+//!    segment subtotals in range order through [`crate::fold::sum_f64`] —
+//!    the *fixed merge shape*.
+//! 3. **A single consumer coalesces.** Absorbing block after adjacent
+//!    block into one partial extends one segment — no subtotal boundaries
+//!    are ever introduced — so the single-consumer paths (the in-memory
+//!    session, the streaming fold, and sharded ingest with ordered
+//!    delivery) produce a one-segment partial whose `finish` is
+//!    *bit-identical to today's left fold* over the whole fleet. A
+//!    multi-segment partial (true scale-out: independent shards folded
+//!    separately, merged at the end) is deterministic under rule 1–2 —
+//!    same bits for any tree shape, worker count, or arrival order — but
+//!    its grouping is the segment boundaries, not the individual terms.
+//!
+//! This is what turns "deterministic because serial" into "deterministic
+//! because the merge shape is pinned": the bits are a function of the
+//! segment decomposition alone, and the engine's own decompositions are
+//! all single-segment.
+
+use crate::estimator::SystemFootprint;
+use crate::fold;
+use std::fmt;
+
+/// Accumulated state of one contiguous `[start, end)` rank range: the
+/// exact fields the serial fold keeps, tagged with the range they cover.
+#[derive(Debug, Clone, PartialEq)]
+struct Segment {
+    /// First global row (0-based) this segment covers.
+    start: usize,
+    /// One past the last global row this segment covers.
+    end: usize,
+    /// Rows absorbed (`end - start`).
+    total: usize,
+    /// Rows with an operational estimate.
+    op_covered: usize,
+    /// Rows with an embodied estimate.
+    emb_covered: usize,
+    /// Rows whose operational estimate errored (not coverable).
+    op_errors: usize,
+    /// Rows whose embodied estimate errored.
+    emb_errors: usize,
+    /// Left fold of covered operational `mt_co2e` in rank order.
+    op_total: f64,
+    /// Left fold of covered embodied `mt_co2e` in rank order.
+    emb_total: f64,
+    /// Per-sample partial sums of the operational Monte-Carlo terms.
+    op_draws: Vec<f64>,
+    /// Per-sample partial sums of the embodied Monte-Carlo terms.
+    emb_draws: Vec<f64>,
+}
+
+impl Segment {
+    fn empty(start: usize, draws: usize) -> Segment {
+        Segment {
+            start,
+            end: start,
+            total: 0,
+            op_covered: 0,
+            emb_covered: 0,
+            op_errors: 0,
+            emb_errors: 0,
+            op_total: 0.0,
+            emb_total: 0.0,
+            op_draws: vec![0.0; draws],
+            emb_draws: vec![0.0; draws],
+        }
+    }
+}
+
+/// Why two partials refused to [`merge`](PartialAssessment::merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two sides were built for different Monte-Carlo draw counts, so
+    /// their per-sample buffers cannot be aligned.
+    DrawMismatch {
+        /// Draw count of the left partial.
+        left: usize,
+        /// Draw count of the right partial.
+        right: usize,
+    },
+    /// The left side does not end exactly where the right side starts —
+    /// merging would silently skip or double-count rows.
+    NotAdjacent {
+        /// One past the last row the left partial covers.
+        left_end: usize,
+        /// First row the right partial covers.
+        right_start: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::DrawMismatch { left, right } => write!(
+                f,
+                "cannot merge partials with different draw counts ({left} vs {right})"
+            ),
+            MergeError::NotAdjacent {
+                left_end,
+                right_start,
+            } => write!(
+                f,
+                "cannot merge non-adjacent partials (left ends at row {left_end}, \
+                 right starts at row {right_start})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Collapsed fleet totals of one [`PartialAssessment::finish`] — the
+/// per-scenario roll-up every engine consumer builds its slice from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTotals {
+    /// Rows absorbed.
+    pub total: usize,
+    /// Rows with an operational estimate.
+    pub op_covered: usize,
+    /// Rows with an embodied estimate.
+    pub emb_covered: usize,
+    /// Rows whose operational estimate errored.
+    pub op_errors: usize,
+    /// Rows whose embodied estimate errored.
+    pub emb_errors: usize,
+    /// Fleet-total operational carbon over covered systems, MT CO2e/yr.
+    pub operational_mt: f64,
+    /// Fleet-total embodied carbon over covered systems, MT CO2e.
+    pub embodied_mt: f64,
+    /// Retained per-sample operational draw sums (empty when no system was
+    /// operationally covered — the engine's retention policy).
+    pub op_draws: Vec<f64>,
+    /// Retained per-sample embodied draw sums (empty when no system was
+    /// embodied-covered).
+    pub emb_draws: Vec<f64>,
+}
+
+/// Mergeable fold state over rank ranges — see the [module docs](self).
+///
+/// A partial is a list of non-overlapping, ascending `[start, end)`
+/// segments. The engine's single-consumer paths keep it at exactly one
+/// segment (each absorbed block extends the last), which is what makes
+/// their [`finish`](PartialAssessment::finish) bit-identical to the serial
+/// left fold; independent shards each build their own partial and
+/// [`merge`](PartialAssessment::merge) at the end, O(shards) state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAssessment {
+    draws: usize,
+    segments: Vec<Segment>,
+}
+
+impl PartialAssessment {
+    /// The monoid unit: covers no rows, merges with anything.
+    pub fn identity(draws: usize) -> PartialAssessment {
+        PartialAssessment {
+            draws,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Monte-Carlo draw count the per-sample buffers are sized for.
+    pub fn draws(&self) -> usize {
+        self.draws
+    }
+
+    /// True when nothing has been absorbed (the unit).
+    pub fn is_identity(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of contiguous rank-range segments held. Single-consumer
+    /// absorption over adjacent blocks keeps this at 1; it grows only when
+    /// partials over disjoint ranges are merged (one per shard).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Overall `[start, end)` row span, `None` for the identity. The span
+    /// may contain interior gaps if absorbed blocks skipped rows.
+    pub fn range(&self) -> Option<(usize, usize)> {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(first), Some(last)) => Some((first.start, last.end)),
+            _ => None,
+        }
+    }
+
+    /// Folds a block of footprints starting at global row `first_row` into
+    /// this partial — term by term, in order, with the exact additions the
+    /// serial fold performs. When the block starts where the last segment
+    /// ends (the single-consumer case), the segment *extends* and no
+    /// subtotal boundary is introduced; otherwise a new segment opens at
+    /// `first_row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block overlaps rows already absorbed
+    /// (`first_row < end` of the last segment) — overlapping absorption
+    /// would double-count systems.
+    pub fn absorb(&mut self, first_row: usize, footprints: &[SystemFootprint]) {
+        if footprints.is_empty() {
+            return;
+        }
+        let extends = matches!(self.segments.last(), Some(last) if last.end == first_row);
+        if !extends {
+            if let Some(last) = self.segments.last() {
+                assert!(
+                    first_row >= last.end,
+                    "absorbed blocks may not overlap: block starts at row {first_row} \
+                     but rows up to {} are already absorbed",
+                    last.end
+                );
+            }
+            self.segments.push(Segment::empty(first_row, self.draws));
+        }
+        let seg = self.segments.last_mut().expect("segment ensured above");
+        for fp in footprints {
+            seg.total += 1;
+            match &fp.operational {
+                Ok(op) => {
+                    seg.op_covered += 1;
+                    seg.op_total += op.mt_co2e;
+                }
+                Err(_) => seg.op_errors += 1,
+            }
+            match &fp.embodied {
+                Ok(emb) => {
+                    seg.emb_covered += 1;
+                    seg.emb_total += emb.mt_co2e;
+                }
+                Err(_) => seg.emb_errors += 1,
+            }
+        }
+        seg.end += footprints.len();
+    }
+
+    /// Mutable access to the trailing segment's per-sample draw buffers,
+    /// `(operational, embodied)`, each of length [`draws`](Self::draws) —
+    /// where the engine's blocked Monte-Carlo kernels accumulate their
+    /// `*slot += term` partial sums. `None` for the identity.
+    pub fn draw_slots(&mut self) -> Option<(&mut [f64], &mut [f64])> {
+        self.segments
+            .last_mut()
+            .map(|seg| (seg.op_draws.as_mut_slice(), seg.emb_draws.as_mut_slice()))
+    }
+
+    /// Merges two partials over adjacent rank ranges: `self` (the left,
+    /// lower-rank side) must end exactly where `right` starts. The merge
+    /// is pure segment-list concatenation — **no floating-point arithmetic
+    /// happens here**, which is why every merge-tree shape over the same
+    /// leaves commits to the same bits (see the [module docs](self)). The
+    /// identity merges with anything, from either side, regardless of its
+    /// draw count.
+    pub fn merge(self, right: PartialAssessment) -> Result<PartialAssessment, MergeError> {
+        if self.segments.is_empty() {
+            return Ok(right);
+        }
+        if right.segments.is_empty() {
+            return Ok(self);
+        }
+        if self.draws != right.draws {
+            return Err(MergeError::DrawMismatch {
+                left: self.draws,
+                right: right.draws,
+            });
+        }
+        let left_end = self.segments.last().expect("non-empty").end;
+        let right_start = right.segments.first().expect("non-empty").start;
+        if left_end != right_start {
+            return Err(MergeError::NotAdjacent {
+                left_end,
+                right_start,
+            });
+        }
+        let mut segments = self.segments;
+        segments.extend(right.segments);
+        Ok(PartialAssessment {
+            draws: self.draws,
+            segments,
+        })
+    }
+
+    /// Collapses the partial into [`FleetTotals`], folding the segment
+    /// subtotals (scalars and per-sample draw buffers alike) in range
+    /// order through [`crate::fold::sum_f64`] — the pinned merge shape.
+    ///
+    /// A one-segment partial (every single-consumer engine path) returns
+    /// its state verbatim — the accumulation already *was* the serial left
+    /// fold, so no re-folding touches the bits. Draw buffers of a family
+    /// with zero coverage are dropped (empty vector), matching the
+    /// sessions' retention policy.
+    pub fn finish(mut self) -> FleetTotals {
+        let keep = |covered: usize, buffer: Vec<f64>| -> Vec<f64> {
+            if covered == 0 {
+                Vec::new()
+            } else {
+                buffer
+            }
+        };
+        if self.segments.len() == 1 {
+            let seg = self.segments.pop().expect("one segment");
+            return FleetTotals {
+                total: seg.total,
+                op_covered: seg.op_covered,
+                emb_covered: seg.emb_covered,
+                op_errors: seg.op_errors,
+                emb_errors: seg.emb_errors,
+                operational_mt: seg.op_total,
+                embodied_mt: seg.emb_total,
+                op_draws: keep(seg.op_covered, seg.op_draws),
+                emb_draws: keep(seg.emb_covered, seg.emb_draws),
+            };
+        }
+        let segments = &self.segments;
+        let op_covered: usize = segments.iter().map(|s| s.op_covered).sum();
+        let emb_covered: usize = segments.iter().map(|s| s.emb_covered).sum();
+        let fold_slots = |covered: usize, pick: fn(&Segment) -> &[f64]| -> Vec<f64> {
+            if covered == 0 {
+                return Vec::new();
+            }
+            (0..self.draws)
+                .map(|i| fold::sum_f64(segments.iter().map(|s| pick(s)[i])))
+                .collect()
+        };
+        FleetTotals {
+            total: segments.iter().map(|s| s.total).sum::<usize>(),
+            op_covered,
+            emb_covered,
+            op_errors: segments.iter().map(|s| s.op_errors).sum::<usize>(),
+            emb_errors: segments.iter().map(|s| s.emb_errors).sum::<usize>(),
+            operational_mt: fold::sum_f64(segments.iter().map(|s| s.op_total)),
+            embodied_mt: fold::sum_f64(segments.iter().map(|s| s.emb_total)),
+            op_draws: fold_slots(op_covered, |s| &s.op_draws),
+            emb_draws: fold_slots(emb_covered, |s| &s.emb_draws),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EasyC;
+    use top500::synthetic::{generate_full, SyntheticConfig};
+
+    fn footprints(n: u32) -> Vec<SystemFootprint> {
+        let list = generate_full(&SyntheticConfig {
+            n,
+            ..Default::default()
+        });
+        let tool = EasyC::new();
+        list.systems().iter().map(|s| tool.assess(s)).collect()
+    }
+
+    /// The serial reference: the exact running-total loop the engine used
+    /// to carry (counts plus `+=` left folds in rank order).
+    fn serial_fold(fps: &[SystemFootprint]) -> (usize, usize, usize, f64, f64) {
+        let (mut op_cov, mut emb_cov) = (0usize, 0usize);
+        let (mut op, mut emb) = (0.0f64, 0.0f64);
+        for fp in fps {
+            if let Ok(o) = &fp.operational {
+                op_cov += 1;
+                op += o.mt_co2e;
+            }
+            if let Ok(e) = &fp.embodied {
+                emb_cov += 1;
+                emb += e.mt_co2e;
+            }
+        }
+        (fps.len(), op_cov, emb_cov, op, emb)
+    }
+
+    #[test]
+    fn absorb_is_bit_identical_to_the_serial_left_fold() {
+        let fps = footprints(41);
+        let mut partial = PartialAssessment::identity(0);
+        partial.absorb(0, &fps);
+        assert_eq!(partial.segment_count(), 1);
+        assert_eq!(partial.range(), Some((0, 41)));
+        let totals = partial.finish();
+        let (n, op_cov, emb_cov, op, emb) = serial_fold(&fps);
+        assert_eq!(totals.total, n);
+        assert_eq!(totals.op_covered, op_cov);
+        assert_eq!(totals.emb_covered, emb_cov);
+        assert_eq!(totals.op_errors, n - op_cov);
+        assert_eq!(totals.emb_errors, n - emb_cov);
+        assert_eq!(totals.operational_mt.to_bits(), op.to_bits());
+        assert_eq!(totals.embodied_mt.to_bits(), emb.to_bits());
+    }
+
+    #[test]
+    fn adjacent_blocks_coalesce_into_one_segment_bitwise() {
+        let fps = footprints(37);
+        let whole = {
+            let mut p = PartialAssessment::identity(4);
+            p.absorb(0, &fps);
+            p.finish()
+        };
+        for chunk in [1usize, 2, 5, 13, 36, 37, 64] {
+            let mut p = PartialAssessment::identity(4);
+            let mut row = 0;
+            for block in fps.chunks(chunk) {
+                p.absorb(row, block);
+                row += block.len();
+            }
+            assert_eq!(p.segment_count(), 1, "chunk {chunk}");
+            let totals = p.finish();
+            assert_eq!(
+                totals.operational_mt.to_bits(),
+                whole.operational_mt.to_bits(),
+                "chunk {chunk}"
+            );
+            assert_eq!(
+                totals.embodied_mt.to_bits(),
+                whole.embodied_mt.to_bits(),
+                "chunk {chunk}"
+            );
+            assert_eq!(totals, whole, "chunk {chunk}");
+        }
+    }
+
+    /// Per-chunk leaf partials with synthetic draw sums, for merge tests.
+    fn leaves(fps: &[SystemFootprint], chunk: usize, draws: usize) -> Vec<PartialAssessment> {
+        let mut out = Vec::new();
+        let mut row = 0;
+        for block in fps.chunks(chunk) {
+            let mut p = PartialAssessment::identity(draws);
+            p.absorb(row, block);
+            let (op, emb) = p.draw_slots().expect("non-empty leaf");
+            for (i, slot) in op.iter_mut().enumerate() {
+                *slot = (row * 31 + i) as f64 * 0.125;
+            }
+            for (i, slot) in emb.iter_mut().enumerate() {
+                *slot = (row * 17 + i) as f64 * 0.0625;
+            }
+            row += block.len();
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn merge_is_shape_independent() {
+        let fps = footprints(48);
+        let parts = leaves(&fps, 7, 6);
+        // Left spine: ((((p0 ⊕ p1) ⊕ p2) ⊕ p3) ⊕ …
+        let left = parts
+            .iter()
+            .cloned()
+            .try_fold(PartialAssessment::identity(6), PartialAssessment::merge)
+            .expect("adjacent leaves merge");
+        // Right spine: p0 ⊕ (p1 ⊕ (p2 ⊕ …))
+        let right = parts
+            .iter()
+            .cloned()
+            .rev()
+            .try_fold(PartialAssessment::identity(6), |acc, p| p.merge(acc))
+            .expect("adjacent leaves merge");
+        // Balanced tree: pairwise rounds.
+        let mut level = parts;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            let mut iter = level.into_iter();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => next.push(a.merge(b).expect("adjacent pair")),
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        let balanced = level.pop().expect("one root");
+        assert_eq!(left, right);
+        assert_eq!(left, balanced);
+        let (a, b, c) = (left.finish(), right.finish(), balanced.finish());
+        assert_eq!(a.operational_mt.to_bits(), b.operational_mt.to_bits());
+        assert_eq!(a.operational_mt.to_bits(), c.operational_mt.to_bits());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(!a.op_draws.is_empty());
+    }
+
+    #[test]
+    fn identity_is_neutral_on_both_sides() {
+        let fps = footprints(12);
+        let mut p = PartialAssessment::identity(3);
+        p.absorb(5, &fps);
+        let id = PartialAssessment::identity(3);
+        assert_eq!(id.clone().merge(p.clone()).unwrap(), p);
+        assert_eq!(p.clone().merge(id).unwrap(), p);
+        // The unit is universal: its own draw count never blocks a merge.
+        let odd = PartialAssessment::identity(999);
+        assert_eq!(odd.merge(p.clone()).unwrap(), p);
+        assert!(PartialAssessment::identity(1).is_identity());
+        assert_eq!(PartialAssessment::identity(1).range(), None);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_draw_mismatches() {
+        let fps = footprints(10);
+        let build = |start: usize, draws: usize| {
+            let mut p = PartialAssessment::identity(draws);
+            p.absorb(start, &fps);
+            p
+        };
+        // Gap: [0,10) then [20,30).
+        assert_eq!(
+            build(0, 2).merge(build(20, 2)).unwrap_err(),
+            MergeError::NotAdjacent {
+                left_end: 10,
+                right_start: 20
+            }
+        );
+        // Overlap: [0,10) then [5,15).
+        assert_eq!(
+            build(0, 2).merge(build(5, 2)).unwrap_err(),
+            MergeError::NotAdjacent {
+                left_end: 10,
+                right_start: 5
+            }
+        );
+        // Draw-count mismatch on adjacent ranges.
+        assert_eq!(
+            build(0, 2).merge(build(10, 3)).unwrap_err(),
+            MergeError::DrawMismatch { left: 2, right: 3 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "may not overlap")]
+    fn absorb_panics_on_overlapping_block() {
+        let fps = footprints(10);
+        let mut p = PartialAssessment::identity(0);
+        p.absorb(0, &fps);
+        p.absorb(3, &fps);
+    }
+
+    #[test]
+    fn uncovered_families_drop_their_draw_buffers() {
+        // Force every operational estimate into a data failure; embodied
+        // ones survive — the retention policy must drop only the former.
+        let fps: Vec<SystemFootprint> = footprints(9)
+            .into_iter()
+            .map(|mut fp| {
+                fp.operational = Err(crate::error::EasyCError::NoPowerPath { rank: fp.rank });
+                fp
+            })
+            .collect();
+        let mut p = PartialAssessment::identity(5);
+        p.absorb(0, &fps);
+        let (op_slots, emb_slots) = p.draw_slots().expect("segment exists");
+        op_slots.fill(1.0);
+        emb_slots.fill(2.0);
+        let totals = p.finish();
+        assert_eq!(totals.op_covered, 0);
+        assert_eq!(totals.op_errors, 9);
+        assert!(totals.op_draws.is_empty());
+        assert_eq!(totals.operational_mt.to_bits(), 0f64.to_bits());
+        assert_eq!(totals.emb_covered, 9);
+        assert_eq!(totals.emb_draws, vec![2.0; 5]);
+    }
+
+    #[test]
+    fn identity_finishes_to_zeroed_totals() {
+        let totals = PartialAssessment::identity(8).finish();
+        assert_eq!(totals, FleetTotals::default());
+        assert_eq!(totals.operational_mt.to_bits(), 0f64.to_bits());
+        assert!(totals.op_draws.is_empty() && totals.emb_draws.is_empty());
+    }
+}

@@ -54,6 +54,7 @@ use crate::embodied::EmbodiedEstimate;
 use crate::estimator::{EasyCConfig, SystemFootprint};
 use crate::metrics::SevenMetrics;
 use crate::operational::OperationalEstimate;
+use crate::partial::PartialAssessment;
 use crate::scenario::{DataScenario, ScenarioMatrix};
 use crate::stream::StreamingAssessment;
 use crate::uncertainty::{
@@ -393,15 +394,18 @@ impl<'a> Assessment<'a> {
         let op_streams = plan.operational_streams();
         let emb_streams = plan.embodied_streams();
         let sample_chunks = parallel::split_ranges(plan.draws, workers * self.items_per_worker);
-        let alloc = |empty: bool| {
-            if empty {
-                Vec::new()
-            } else {
-                vec![0.0; plan.draws]
-            }
-        };
-        let mut op_draws: Vec<Vec<f64>> = op_bases.iter().map(|b| alloc(b.is_empty())).collect();
-        let mut emb_draws: Vec<Vec<f64>> = emb_bases.iter().map(|b| alloc(b.is_empty())).collect();
+        // One [`PartialAssessment`] per scenario: absorbing the whole
+        // footprint slice at row 0 repeats the serial left fold over the
+        // covered `mt_co2e` terms (the point totals), and its draw slots
+        // are the per-sample buffers the blocked kernels accumulate into.
+        let mut partials: Vec<PartialAssessment> = slices
+            .iter()
+            .map(|slice| {
+                let mut partial = PartialAssessment::identity(plan.draws);
+                partial.absorb(0, &slice.footprints);
+                partial
+            })
+            .collect();
         {
             // Transpose the per-scenario buffers into per-sample-chunk work
             // items: item j owns samples `sample_chunks[j]` of every
@@ -410,22 +414,26 @@ impl<'a> Assessment<'a> {
                 sample_chunks.iter().map(|_| Vec::new()).collect();
             let mut emb_parts: Vec<Vec<(usize, &mut [f64])>> =
                 sample_chunks.iter().map(|_| Vec::new()).collect();
-            for (scenario, buffer) in op_draws.iter_mut().enumerate() {
-                if buffer.is_empty() {
+            for (scenario, partial) in partials.iter_mut().enumerate() {
+                let has_op = !op_bases[scenario].is_empty();
+                let has_emb = !emb_bases[scenario].is_empty();
+                if !has_op && !has_emb {
                     continue;
                 }
-                let split = parallel::split_mut_by_ranges(buffer, &sample_chunks);
-                for (item, part) in op_parts.iter_mut().zip(split) {
-                    item.push((scenario, part));
+                let (op_buffer, emb_buffer) = partial
+                    .draw_slots()
+                    .expect("covered scenarios absorbed a non-empty slice");
+                if has_op {
+                    let split = parallel::split_mut_by_ranges(op_buffer, &sample_chunks);
+                    for (item, part) in op_parts.iter_mut().zip(split) {
+                        item.push((scenario, part));
+                    }
                 }
-            }
-            for (scenario, buffer) in emb_draws.iter_mut().enumerate() {
-                if buffer.is_empty() {
-                    continue;
-                }
-                let split = parallel::split_mut_by_ranges(buffer, &sample_chunks);
-                for (item, part) in emb_parts.iter_mut().zip(split) {
-                    item.push((scenario, part));
+                if has_emb {
+                    let split = parallel::split_mut_by_ranges(emb_buffer, &sample_chunks);
+                    for (item, part) in emb_parts.iter_mut().zip(split) {
+                        item.push((scenario, part));
+                    }
                 }
             }
             let op_cols = &op_cols;
@@ -471,15 +479,20 @@ impl<'a> Assessment<'a> {
             }
             execute(pool, jobs);
         }
-        op_bases
-            .iter()
-            .zip(&emb_bases)
-            .zip(op_draws.into_iter().zip(emb_draws))
-            .map(|((op, emb), (op_d, emb_d))| ScenarioDraws {
-                op_point: crate::fold::sum_f64(op.iter().map(|(_, b)| b.mt_co2e)),
-                op: op_d,
-                emb_point: crate::fold::sum_f64(emb.iter().map(|b| b.mt_co2e)),
-                emb: emb_d,
+        partials
+            .into_iter()
+            .map(|partial| {
+                // Single-segment partials collapse verbatim: the absorbed
+                // point totals and the kernel-filled draw buffers come
+                // back untouched, with uncovered families' buffers dropped
+                // — the engine's retention policy.
+                let totals = partial.finish();
+                ScenarioDraws {
+                    op_point: totals.operational_mt,
+                    op: totals.op_draws,
+                    emb_point: totals.embodied_mt,
+                    emb: totals.emb_draws,
+                }
             })
             .collect()
     }

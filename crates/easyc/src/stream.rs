@@ -38,8 +38,12 @@
 //! - per-record math is the same columnar `estimate_columns` kernel path
 //!   over the same [`FleetView`] lenses (one [`FleetColumns`] per chunk),
 //!   itself pinned bit-identical to the row-at-a-time reference;
-//! - totals accumulate footprint-by-footprint in rank order — the same
-//!   left fold `Iterator::sum` performs;
+//! - totals accumulate footprint-by-footprint in rank order into one
+//!   [`PartialAssessment`] per scenario
+//!   — a single consumer over adjacent blocks keeps the partial at one
+//!   coalesced segment, so the absorb *is* the same left fold
+//!   `Iterator::sum` performs (see [`crate::partial`] for the merge-shape
+//!   rule this generalises to);
 //! - Monte-Carlo draws accumulate term-by-term into persistent per-sample
 //!   buffers using the kernels shared with [`DrawPlan`], with each system
 //!   addressed by its *global row index* in the fleet (scenario- and
@@ -53,6 +57,7 @@ use crate::embodied::EmbodiedEstimate;
 use crate::estimator::{EasyCConfig, SystemFootprint};
 use crate::metrics::SevenMetrics;
 use crate::operational::OperationalEstimate;
+use crate::partial::PartialAssessment;
 use crate::scenario::{DataScenario, ScenarioMatrix};
 use crate::session::{execute, plan_scenarios, Job, DEFAULT_ITEMS_PER_WORKER};
 use crate::uncertainty::{
@@ -213,7 +218,10 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
         let emb_streams = plan.embodied_streams();
         let sample_chunks = parallel::split_ranges(plan.draws, granularity);
 
-        let mut folds: Vec<Fold> = effective.iter().map(|_| Fold::new(plan.draws)).collect();
+        let mut partials: Vec<PartialAssessment> = effective
+            .iter()
+            .map(|_| PartialAssessment::identity(plan.draws))
+            .collect();
         let mut chunks = 0usize;
         let mut systems = 0usize;
         let mut peak_chunk_rows = 0usize;
@@ -289,59 +297,42 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             }
 
             // Hand the materialized per-system rows to the sink (scenario
-            // by scenario, matrix order), then fold — sequential and in
-            // rank order, so every running total repeats the exact
-            // left-fold the in-memory path performs. Operational bases are
-            // tagged with their *global row index* (rows_before + chunk
-            // position): the CRN stream key, identical for every scenario.
+            // by scenario, matrix order), then absorb the block into the
+            // scenario's running [`PartialAssessment`] at its global row
+            // offset. The stream is a single consumer over adjacent
+            // blocks, so every absorb *extends* one coalesced segment —
+            // the partial repeats the exact left fold the in-memory path
+            // performs, term by term. Operational bases are tagged with
+            // their *global row index* (rows_before + chunk position): the
+            // CRN stream key, identical for every scenario.
             let mut op_chunks: Vec<Vec<(usize, OperationalEstimate)>> =
                 Vec::with_capacity(effective.len());
             let mut emb_chunks: Vec<Vec<EmbodiedEstimate>> = Vec::with_capacity(effective.len());
             let draws = plan.draws;
-            for (index, (fold, out)) in folds.iter_mut().zip(outputs).enumerate() {
+            for (index, (partial, out)) in partials.iter_mut().zip(outputs).enumerate() {
+                let footprints: Vec<SystemFootprint> = out
+                    .into_iter()
+                    .map(|fp| fp.expect("every assessment chunk ran"))
+                    .collect();
+                if let Some(sink) = sink.as_mut() {
+                    sink(ChunkRows {
+                        scenario_index: index,
+                        scenario: &display[index],
+                        chunk_index,
+                        footprints: &footprints,
+                    });
+                }
+                partial.absorb(rows_before, &footprints);
                 let mut op_bases = Vec::new();
                 let mut emb_bases = Vec::new();
-                {
-                    let mut fold_one = |(row, fp): (usize, SystemFootprint)| {
-                        fold.total += 1;
-                        if let Ok(op) = fp.operational {
-                            fold.op_covered += 1;
-                            fold.op_total += op.mt_co2e;
-                            if draws > 0 {
-                                op_bases.push((rows_before + row, op));
-                            }
+                if draws > 0 {
+                    for (row, fp) in footprints.iter().enumerate() {
+                        if let Ok(op) = &fp.operational {
+                            op_bases.push((rows_before + row, op.clone()));
                         }
-                        if let Ok(emb) = fp.embodied {
-                            fold.emb_covered += 1;
-                            fold.emb_total += emb.mt_co2e;
-                            if draws > 0 {
-                                emb_bases.push(emb);
-                            }
+                        if let Ok(emb) = &fp.embodied {
+                            emb_bases.push(emb.clone());
                         }
-                    };
-                    match sink.as_mut() {
-                        // Sink attached: materialize the block so the
-                        // callback sees it whole, then fold from it.
-                        Some(sink) => {
-                            let footprints: Vec<SystemFootprint> = out
-                                .into_iter()
-                                .map(|fp| fp.expect("every assessment chunk ran"))
-                                .collect();
-                            sink(ChunkRows {
-                                scenario_index: index,
-                                scenario: &display[index],
-                                chunk_index,
-                                footprints: &footprints,
-                            });
-                            footprints.into_iter().enumerate().for_each(&mut fold_one);
-                        }
-                        // No sink: fold straight out of the output slots,
-                        // no intermediate allocation on the hot path.
-                        None => out
-                            .into_iter()
-                            .map(|fp| fp.expect("every assessment chunk ran"))
-                            .enumerate()
-                            .for_each(&mut fold_one),
                     }
                 }
                 op_chunks.push(op_bases);
@@ -369,19 +360,22 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                     sample_chunks.iter().map(|_| Vec::new()).collect();
                 let mut emb_parts: Vec<Vec<(usize, &mut [f64])>> =
                     sample_chunks.iter().map(|_| Vec::new()).collect();
-                for (scenario, fold) in folds.iter_mut().enumerate() {
-                    let Fold {
-                        op_draws,
-                        emb_draws,
-                        ..
-                    } = fold;
-                    if !op_cols[scenario].is_empty() {
+                for (scenario, partial) in partials.iter_mut().enumerate() {
+                    let has_op = !op_cols[scenario].is_empty();
+                    let has_emb = !emb_cols[scenario].is_empty();
+                    if !has_op && !has_emb {
+                        continue;
+                    }
+                    let (op_draws, emb_draws) = partial
+                        .draw_slots()
+                        .expect("non-empty chunk was absorbed above");
+                    if has_op {
                         let split = parallel::split_mut_by_ranges(op_draws, &sample_chunks);
                         for (item, part) in op_parts.iter_mut().zip(split) {
                             item.push((scenario, part));
                         }
                     }
-                    if !emb_cols[scenario].is_empty() {
+                    if has_emb {
                         let split = parallel::split_mut_by_ranges(emb_draws, &sample_chunks);
                         for (item, part) in emb_parts.iter_mut().zip(split) {
                             item.push((scenario, part));
@@ -435,12 +429,33 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             // the chunk survives into the next pull.
         }
 
-        let mut slices = Vec::with_capacity(folds.len());
-        let mut retained = Vec::with_capacity(folds.len());
-        for (scenario, fold) in display.into_iter().zip(folds) {
-            let (slice, draws) = fold.finish(scenario, &plan);
-            slices.push(slice);
-            retained.push(draws);
+        let mut slices = Vec::with_capacity(partials.len());
+        let mut retained = Vec::with_capacity(partials.len());
+        for (scenario, partial) in display.into_iter().zip(partials) {
+            // Single-consumer partials hold exactly one coalesced segment,
+            // so `finish` returns the fold state verbatim — bit-identical
+            // to the in-memory session (pinned by this module's tests,
+            // `tests/streaming.rs` and proptests).
+            let totals = partial.finish();
+            let scenario_draws = ScenarioDraws {
+                op_point: totals.operational_mt,
+                op: totals.op_draws,
+                emb_point: totals.embodied_mt,
+                emb: totals.emb_draws,
+            };
+            slices.push(StreamSlice {
+                scenario,
+                coverage: CoverageReport {
+                    operational: totals.op_covered,
+                    embodied: totals.emb_covered,
+                    total: totals.total,
+                },
+                operational_total_mt: totals.operational_mt,
+                embodied_total_mt: totals.embodied_mt,
+                interval: plan.interval_of(scenario_draws.op_point, &scenario_draws.op),
+                embodied_interval: plan.interval_of(scenario_draws.emb_point, &scenario_draws.emb),
+            });
+            retained.push(scenario_draws);
         }
         Ok(StreamOutput::new(
             slices,
@@ -450,63 +465,6 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             systems,
             peak_chunk_rows,
         ))
-    }
-}
-
-/// Per-scenario running accumulator of the streaming fold.
-struct Fold {
-    total: usize,
-    op_covered: usize,
-    emb_covered: usize,
-    op_total: f64,
-    emb_total: f64,
-    op_draws: Vec<f64>,
-    emb_draws: Vec<f64>,
-}
-
-impl Fold {
-    fn new(draws: usize) -> Fold {
-        Fold {
-            total: 0,
-            op_covered: 0,
-            emb_covered: 0,
-            op_total: 0.0,
-            emb_total: 0.0,
-            op_draws: vec![0.0; draws],
-            emb_draws: vec![0.0; draws],
-        }
-    }
-
-    /// Collapses the fold into its slice plus the retained draw state
-    /// (vectors emptied for families with no coverage, matching the
-    /// in-memory session's retention exactly).
-    fn finish(self, scenario: DataScenario, plan: &DrawPlan) -> (StreamSlice, ScenarioDraws) {
-        let keep = |covered: usize, buffer: Vec<f64>| -> Vec<f64> {
-            if covered == 0 {
-                Vec::new()
-            } else {
-                buffer
-            }
-        };
-        let retained = ScenarioDraws {
-            op_point: self.op_total,
-            op: keep(self.op_covered, self.op_draws),
-            emb_point: self.emb_total,
-            emb: keep(self.emb_covered, self.emb_draws),
-        };
-        let slice = StreamSlice {
-            scenario,
-            coverage: CoverageReport {
-                operational: self.op_covered,
-                embodied: self.emb_covered,
-                total: self.total,
-            },
-            operational_total_mt: self.op_total,
-            embodied_total_mt: self.emb_total,
-            interval: plan.interval_of(retained.op_point, &retained.op),
-            embodied_interval: plan.interval_of(retained.emb_point, &retained.emb),
-        };
-        (slice, retained)
     }
 }
 

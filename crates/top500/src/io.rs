@@ -250,6 +250,17 @@ pub fn stream_csv<R: BufRead>(input: R, rows_per_chunk: usize) -> CsvFleetReader
     }
 }
 
+impl<R: BufRead> CsvFleetReader<R> {
+    /// Labels [`ImportError::BadRow`] indices as if this reader had already
+    /// consumed `offset` data rows. A shard worker parsing the byte range
+    /// after `offset` earlier records uses this so its errors carry the
+    /// same global row index a serial reader would report.
+    pub fn with_row_offset(mut self, offset: usize) -> CsvFleetReader<R> {
+        self.rows_seen = offset;
+        self
+    }
+}
+
 impl<R: BufRead> FleetChunks for CsvFleetReader<R> {
     type Error = ImportError;
 

@@ -25,6 +25,10 @@
 //!                      current one; memory bounded by --chunk-rows (at most
 //!                      two chunks resident), not fleet size
 //!   --chunk-rows N     rows per streamed chunk (default 8192)
+//!   --shards N         parallel byte-range ingest (requires --stream and a
+//!                      systems CSV): the file is split into N record-aligned
+//!                      byte ranges parsed by N workers, merged in file order
+//!                      — results bit-identical to a serial read
 //! top500-carbon sweep-template              print the scenario CSV template
 //! ```
 
@@ -37,11 +41,13 @@ use top500_carbon::analysis::fleet::{
     render_deltas, render_sweep, summarize_slices, summarize_stream,
 };
 use top500_carbon::analysis::report::{run_study, SweepCsvWriter};
-use top500_carbon::easyc::{Assessment, DrawPlan, Interval, ScenarioDelta, ScenarioMatrix};
+use top500_carbon::easyc::{
+    Assessment, DrawPlan, Interval, PartialAssessment, ScenarioDelta, ScenarioMatrix,
+};
 use top500_carbon::frame;
 use top500_carbon::top500::io::{export_csv, import_csv, stream_csv, COLUMNS};
 use top500_carbon::top500::list::Top500List;
-use top500_carbon::top500::stream::{FleetChunks, Prefetched, SyntheticChunks};
+use top500_carbon::top500::stream::{FleetChunks, Prefetched, ShardedCsvReader, SyntheticChunks};
 use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
 
 const DEFAULT_SEED: u64 = 0x5EED_CAFE;
@@ -95,6 +101,8 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("    --stream            pipelined chunked ingestion (parse overlaps assess),");
     eprintln!("                        memory bounded by --chunk-rows, not fleet size");
     eprintln!("    --chunk-rows N      rows per streamed chunk (default {DEFAULT_CHUNK_ROWS})");
+    eprintln!("    --shards N          parallel byte-range ingest of the systems CSV");
+    eprintln!("                        (requires --stream; bit-identical to a serial read)");
     eprintln!("  top500-carbon sweep-template          print the scenario CSV template");
     ExitCode::FAILURE
 }
@@ -127,6 +135,7 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     let mut workers: usize = top500_carbon::parallel::default_workers();
     let mut stream = false;
     let mut chunk_rows = DEFAULT_CHUNK_ROWS;
+    let mut shards: Option<usize> = None;
     let mut synthetic_n: Option<u32> = None;
     let mut plan = DrawPlan::new(0);
     let mut draws_given = false;
@@ -149,6 +158,11 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
             match iter.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => chunk_rows = n,
                 _ => return usage("--chunk-rows requires a positive integer"),
+            }
+        } else if arg == "--shards" {
+            match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = Some(n),
+                _ => return usage("--shards requires a positive integer"),
             }
         } else if arg == "--synthetic" {
             match iter.next().and_then(|n| n.parse::<u32>().ok()) {
@@ -188,6 +202,16 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
     if systems_path.is_some() && synthetic_n.is_some() {
         return usage("pass either systems.csv or --synthetic N, not both");
     }
+    if shards.is_some() {
+        if !stream {
+            return usage("--shards requires --stream");
+        }
+        if systems_path.is_none() {
+            return usage(
+                "--shards splits a systems CSV byte range; it cannot apply to --synthetic",
+            );
+        }
+    }
     if let Some((a, b)) = &compare {
         for name in [a, b] {
             if !matrix.scenarios().iter().any(|s| &s.name == name) {
@@ -213,8 +237,28 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
         };
         // The next chunk parses on a background thread while the pool
         // assesses the current one; at most two chunks are ever resident.
+        // With --shards, N byte-range workers parse concurrently instead,
+        // merged in file order — same records, same results.
         return match systems_path {
             Some(p) => {
+                if let Some(shards) = shards {
+                    let reader = match ShardedCsvReader::open(Path::new(p), shards, chunk_rows) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("error: cannot split {p}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    return run_stream_sweep(
+                        reader,
+                        &matrix,
+                        workers,
+                        plan,
+                        compare.as_ref(),
+                        out_path,
+                        &format!("{shards}-shard byte-range ingest"),
+                    );
+                }
                 let file = match File::open(p) {
                     Ok(f) => f,
                     Err(e) => {
@@ -229,6 +273,7 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
                     plan,
                     compare.as_ref(),
                     out_path,
+                    "prefetched ingest",
                 )
             }
             None => run_stream_sweep(
@@ -238,6 +283,7 @@ fn cmd_sweep(scenarios_path: &Path, rest: &[String]) -> ExitCode {
                 plan,
                 compare.as_ref(),
                 out_path,
+                "prefetched ingest",
             ),
         };
     }
@@ -314,9 +360,10 @@ fn run_stream_sweep<S: FleetChunks>(
     plan: DrawPlan,
     compare: Option<&(String, String)>,
     out_path: Option<&str>,
+    ingest: &str,
 ) -> ExitCode {
     println!(
-        "streaming sweep: {} scenarios, {} workers, folded per chunk (prefetched ingest)\n",
+        "streaming sweep: {} scenarios, {} workers, folded per chunk ({ingest})\n",
         matrix.len(),
         workers
     );
@@ -445,16 +492,17 @@ fn cmd_assess(path: &Path) -> ExitCode {
         "{:<6} {:<28} {:>14} {:>14}  notes",
         "rank", "name", "op (MT/yr)", "emb (MT)"
     );
-    let mut op_total = 0.0;
-    let mut emb_total = 0.0;
+    // Fleet totals and coverage go through the one mergeable fold state
+    // every other path uses, so the CLI cannot drift from the sessions.
+    let mut partial = PartialAssessment::identity(0);
+    partial.absorb(0, &footprints);
+    let totals = partial.finish();
     for (sys, fp) in list.systems().iter().zip(&footprints) {
         let note = match (&fp.operational, &fp.embodied) {
             (Ok(_), Ok(_)) => String::new(),
             (Err(e), Ok(_)) | (Ok(_), Err(e)) => e.to_string(),
             (Err(a), Err(_)) => a.to_string(),
         };
-        op_total += fp.operational_mt().unwrap_or(0.0);
-        emb_total += fp.embodied_mt().unwrap_or(0.0);
         println!(
             "{:<6} {:<28} {:>14} {:>14}  {}",
             sys.rank,
@@ -468,19 +516,14 @@ fn cmd_assess(path: &Path) -> ExitCode {
             note
         );
     }
-    let covered_op = footprints
-        .iter()
-        .filter(|f| f.operational_mt().is_some())
-        .count();
-    let covered_emb = footprints
-        .iter()
-        .filter(|f| f.embodied_mt().is_some())
-        .count();
     println!(
-        "\n{} systems; coverage {covered_op} operational / {covered_emb} embodied",
-        list.len()
+        "\n{} systems; coverage {} operational / {} embodied",
+        totals.total, totals.op_covered, totals.emb_covered
     );
-    println!("totals: {op_total:.0} MT CO2e/yr operational, {emb_total:.0} MT CO2e embodied");
+    println!(
+        "totals: {:.0} MT CO2e/yr operational, {:.0} MT CO2e embodied",
+        totals.operational_mt, totals.embodied_mt
+    );
     ExitCode::SUCCESS
 }
 

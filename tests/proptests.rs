@@ -3,12 +3,13 @@
 use proptest::prelude::*;
 use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
 use top500_carbon::easyc::{
-    embodied, operational, Assessment, DataScenario, DrawPlan, EasyC, EmbodiedEstimate,
-    FleetColumns, FleetView, MetricMask, OperationalEstimate, OverrideSet, ScenarioMatrix,
-    SevenMetrics, SystemFootprint, SystemView,
+    embodied, fold, operational, Assessment, DataScenario, DrawPlan, EasyC, EmbodiedEstimate,
+    FleetColumns, FleetView, MetricMask, OperationalEstimate, OverrideSet, PartialAssessment,
+    ScenarioMatrix, SevenMetrics, SystemFootprint, SystemView,
 };
 use top500_carbon::frame::{csv, stats, Column, DataFrame};
-use top500_carbon::top500::stream::InMemoryChunks;
+use top500_carbon::top500::io::{export_csv, import_csv, stream_csv};
+use top500_carbon::top500::stream::{InMemoryChunks, ShardedCsvReader};
 use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
 use top500_carbon::top500::{SystemRecord, Top500List};
 
@@ -731,6 +732,277 @@ proptest! {
         if len % 64 != 0 {
             let tail = b.word(len / 64);
             prop_assert_eq!(tail >> (len % 64), 0, "tail past len must stay zero");
+        }
+    }
+}
+
+// ------------------------------------------------ mergeable partial fold
+
+/// Reduces adjacent leaf partials under an arbitrary merge-tree shape:
+/// each pick selects which adjacent pair merges next. All-zero picks give
+/// the left spine, all-large picks the right spine; mixed picks produce
+/// arbitrary interior shapes.
+fn merge_tree(mut level: Vec<PartialAssessment>, picks: &[usize]) -> PartialAssessment {
+    let mut turn = 0usize;
+    while level.len() > 1 {
+        let pick = if picks.is_empty() {
+            0
+        } else {
+            picks[turn % picks.len()]
+        };
+        let i = pick % (level.len() - 1);
+        turn += 1;
+        let right = level.remove(i + 1);
+        let left = std::mem::replace(&mut level[i], PartialAssessment::identity(0));
+        level[i] = left.merge(right).expect("adjacent leaves merge");
+    }
+    level.pop().expect("one root")
+}
+
+proptest! {
+    #[test]
+    fn merge_trees_of_any_shape_match_the_serial_left_fold(
+        n in 1u32..48,
+        seed in 0u64..1_000,
+        chunk in 1usize..64,
+        draws in 1usize..7,
+        mask in arb_mask(),
+        picks in prop::collection::vec(0usize..64, 0..96),
+    ) {
+        // The monoid's determinism contract at property scale: (1) one
+        // consumer absorbing any adjacent chunking coalesces into a single
+        // segment whose finish IS the term-level serial left fold, bit for
+        // bit; (2) every merge-tree shape over the same leaves — left
+        // spine (the serial fold of partials), right spine, arbitrary —
+        // commits to the same partial, the same finished bits, and the
+        // same intervals; (3) the finished bits of a multi-segment partial
+        // are exactly the pinned shape: segment subtotals folded in range
+        // order through `fold::sum_f64`.
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let scenario = DataScenario::masked("prop", mask);
+        let tool = EasyC::new();
+        let fps: Vec<SystemFootprint> = list
+            .systems()
+            .iter()
+            .map(|r| tool.assess_scenario(r, &scenario))
+            .collect();
+        // Deterministic synthetic Monte-Carlo term for (row, slot) —
+        // stands in for the blocked draw kernels' per-sample `*slot += t`.
+        let term = |row: usize, slot: usize| ((row * 37 + slot * 11 + 5) as f64).sqrt() * 0.25;
+
+        // The serial reference: the exact running `+=` loop the engine
+        // used to carry, term by term in rank order.
+        let (mut op_ref, mut emb_ref) = (0.0f64, 0.0f64);
+        let (mut op_cov, mut emb_cov) = (0usize, 0usize);
+        let mut slot_ref = vec![0.0f64; draws];
+        for (row, fp) in fps.iter().enumerate() {
+            if let Ok(o) = &fp.operational {
+                op_cov += 1;
+                op_ref += o.mt_co2e;
+            }
+            if let Ok(e) = &fp.embodied {
+                emb_cov += 1;
+                emb_ref += e.mt_co2e;
+            }
+            for (slot, acc) in slot_ref.iter_mut().enumerate() {
+                *acc += term(row, slot);
+            }
+        }
+
+        // (1) Single-consumer coalescing over arbitrary chunkings.
+        let mut single = PartialAssessment::identity(draws);
+        let mut row = 0usize;
+        for block in fps.chunks(chunk) {
+            single.absorb(row, block);
+            let (op_slots, _emb_slots) = single.draw_slots().expect("non-empty");
+            for local in 0..block.len() {
+                for (slot, acc) in op_slots.iter_mut().enumerate() {
+                    *acc += term(row + local, slot);
+                }
+            }
+            row += block.len();
+        }
+        prop_assert_eq!(single.segment_count(), 1);
+        let single = single.finish();
+        prop_assert_eq!(single.total, fps.len());
+        prop_assert_eq!(single.op_covered, op_cov);
+        prop_assert_eq!(single.emb_covered, emb_cov);
+        prop_assert_eq!(single.op_errors, fps.len() - op_cov);
+        prop_assert_eq!(single.operational_mt.to_bits(), op_ref.to_bits());
+        prop_assert_eq!(single.embodied_mt.to_bits(), emb_ref.to_bits());
+        if op_cov > 0 {
+            prop_assert_eq!(single.op_draws.len(), draws);
+            for (got, want) in single.op_draws.iter().zip(&slot_ref) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        } else {
+            prop_assert!(single.op_draws.is_empty());
+        }
+
+        // (2) Leaf partials per chunk, merged under three tree shapes.
+        let mut leaf_list = Vec::new();
+        let mut row = 0usize;
+        for block in fps.chunks(chunk) {
+            let mut leaf = PartialAssessment::identity(draws);
+            leaf.absorb(row, block);
+            let (op_slots, _emb_slots) = leaf.draw_slots().expect("non-empty leaf");
+            for local in 0..block.len() {
+                for (slot, acc) in op_slots.iter_mut().enumerate() {
+                    *acc += term(row + local, slot);
+                }
+            }
+            row += block.len();
+            leaf_list.push(leaf);
+        }
+        let spine = leaf_list
+            .iter()
+            .cloned()
+            .try_fold(PartialAssessment::identity(draws), PartialAssessment::merge)
+            .expect("adjacent leaves merge");
+        let rev = leaf_list
+            .iter()
+            .cloned()
+            .rev()
+            .try_fold(PartialAssessment::identity(draws), |acc, p| p.merge(acc))
+            .expect("adjacent leaves merge");
+        let arbitrary = merge_tree(leaf_list.clone(), &picks);
+        prop_assert_eq!(&spine, &rev);
+        prop_assert_eq!(&spine, &arbitrary);
+        prop_assert_eq!(spine.segment_count(), leaf_list.len());
+        prop_assert_eq!(spine.range(), Some((0, fps.len())));
+
+        // (3) The finished bits are the pinned merge shape.
+        let chunk_subtotals: Vec<f64> = fps
+            .chunks(chunk)
+            .map(|block| {
+                let mut sub = 0.0f64;
+                for fp in block {
+                    if let Ok(o) = &fp.operational {
+                        sub += o.mt_co2e;
+                    }
+                }
+                sub
+            })
+            .collect();
+        let spine_t = spine.finish();
+        let rev_t = rev.finish();
+        let arb_t = arbitrary.finish();
+        prop_assert_eq!(spine_t.total, fps.len());
+        prop_assert_eq!(spine_t.op_covered, op_cov);
+        prop_assert_eq!(spine_t.emb_covered, emb_cov);
+        prop_assert_eq!(
+            spine_t.operational_mt.to_bits(),
+            fold::sum_f64(chunk_subtotals.iter().copied()).to_bits()
+        );
+        prop_assert_eq!(spine_t.operational_mt.to_bits(), arb_t.operational_mt.to_bits());
+        prop_assert_eq!(spine_t.embodied_mt.to_bits(), arb_t.embodied_mt.to_bits());
+        prop_assert_eq!(&spine_t, &rev_t);
+        prop_assert_eq!(&spine_t, &arb_t);
+
+        // Intervals drawn from the finished vectors agree bit for bit
+        // across shapes (absent exactly when the family has no coverage).
+        let plan = DrawPlan::new(draws).with_seed(seed);
+        let iv_spine = plan.interval_of(spine_t.operational_mt, &spine_t.op_draws);
+        let iv_arb = plan.interval_of(arb_t.operational_mt, &arb_t.op_draws);
+        prop_assert_eq!(iv_spine, iv_arb);
+        match iv_spine {
+            Some(iv) => {
+                prop_assert!(op_cov > 0);
+                prop_assert!(iv.lo <= iv.hi);
+            }
+            None => prop_assert!(op_cov == 0, "coverage without an interval"),
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_bit_identical_to_serial_stream_and_in_memory_session(
+        n in 1u32..40,
+        seed in 0u64..1_000,
+        rows_per_chunk in 1usize..48,
+        shards in 1usize..9,
+        workers in 1usize..4,
+        mask in arb_mask(),
+    ) {
+        // Byte-range sharded ingest — split_points + N parse workers +
+        // ordered lane drain — must reproduce the single-consumer CSV
+        // stream AND the in-memory session exactly: coverage, totals, both
+        // interval families, retained draw vectors, and compare deltas,
+        // for any fleet, seed, chunk budget, shard count, worker count and
+        // availability mask.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let text = export_csv(&list);
+        let path = std::env::temp_dir().join(format!(
+            "proptest-shard-{}-{}.csv",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, &text).expect("write temp csv");
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked("masked", mask));
+        let imported = import_csv(&text).unwrap();
+        let session = Assessment::of(&imported)
+            .workers(workers)
+            .scenarios(&matrix)
+            .uncertainty(24)
+            .seed(seed)
+            .run();
+        let serial = Assessment::stream(stream_csv(text.as_bytes(), rows_per_chunk))
+            .workers(workers)
+            .scenarios(&matrix)
+            .uncertainty(24)
+            .seed(seed)
+            .run()
+            .expect("serial CSV stream");
+        let reader = ShardedCsvReader::open(&path, shards, rows_per_chunk)
+            .expect("plan byte-range shards");
+        prop_assert_eq!(reader.rows(), imported.len());
+        let sharded = Assessment::stream(reader)
+            .workers(workers)
+            .scenarios(&matrix)
+            .uncertainty(24)
+            .seed(seed)
+            .run()
+            .expect("sharded CSV stream");
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(sharded.systems(), imported.len());
+        for (s, r) in sharded.slices().iter().zip(serial.slices()) {
+            prop_assert_eq!(s.coverage, r.coverage);
+            prop_assert_eq!(
+                s.operational_total_mt.to_bits(),
+                r.operational_total_mt.to_bits()
+            );
+            prop_assert_eq!(s.embodied_total_mt.to_bits(), r.embodied_total_mt.to_bits());
+            prop_assert_eq!(s.interval, r.interval);
+            prop_assert_eq!(s.embodied_interval, r.embodied_interval);
+        }
+        for (s, m) in sharded.slices().iter().zip(session.slices()) {
+            prop_assert_eq!(s.coverage, m.coverage);
+            let mut op = 0.0;
+            let mut emb = 0.0;
+            for fp in &m.footprints {
+                if let Ok(o) = &fp.operational { op += o.mt_co2e; }
+                if let Ok(e) = &fp.embodied { emb += e.mt_co2e; }
+            }
+            prop_assert_eq!(s.operational_total_mt.to_bits(), op.to_bits());
+            prop_assert_eq!(s.embodied_total_mt.to_bits(), emb.to_bits());
+            let name = s.scenario.name.as_str();
+            prop_assert_eq!(s.interval, session.interval(name));
+            prop_assert_eq!(s.embodied_interval, session.embodied_interval(name));
+        }
+        prop_assert_eq!(
+            sharded.compare("full", "masked"),
+            session.compare("full", "masked")
+        );
+        prop_assert_eq!(
+            sharded.compare("full", "masked"),
+            serial.compare("full", "masked")
+        );
+        for name in ["full", "masked"] {
+            prop_assert_eq!(sharded.operational_draws(name), session.operational_draws(name));
+            prop_assert_eq!(sharded.embodied_draws(name), session.embodied_draws(name));
         }
     }
 }
