@@ -52,7 +52,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "thread-spawn",
-        "no std::thread::spawn / thread::Builder outside parallel::* and top500::stream — all parallelism goes through the deterministic pool",
+        "no std::thread::spawn / thread::Builder outside parallel::*, top500::stream and the serve front end — all compute parallelism goes through the deterministic pool; serve spawns only I/O threads (acceptor + per-connection)",
     ),
     (
         "float-sum",
@@ -115,7 +115,8 @@ impl FileScope {
             easyc_src: path.starts_with("crates/easyc/src/"),
             unsafe_allowed: path == "crates/parallel/src/pool.rs",
             spawn_allowed: path.starts_with("crates/parallel/src/")
-                || path == "crates/top500/src/stream.rs",
+                || path == "crates/top500/src/stream.rs"
+                || path.starts_with("crates/serve/src/"),
             partial_allowed: path == "crates/easyc/src/partial.rs",
         }
     }

@@ -111,144 +111,108 @@ impl FleetColumns {
         );
         let n = list.len();
         let mut c = FleetColumns::with_capacity(n);
-
-        // Memoised hwdb resolutions, keyed on borrowed record strings.
-        // (tdp, unit silicon kg, fallback)
-        let mut cpu_cache: HashMap<&str, (f64, f64, bool)> = HashMap::new();
-        // (tdp, unit die kg, unit HBM kg, fallback, generic label)
-        let mut accel_cache: HashMap<&str, (f64, f64, f64, bool, bool)> = HashMap::new();
-        let mut country_cache: HashMap<&str, Option<f64>> = HashMap::new();
-        let mut regional_cache: HashMap<Region, f64> = HashMap::new();
-        let mut mem_rate_cache: HashMap<&str, f64> = HashMap::new();
-        let mut gfw_cache: HashMap<u32, f64> = HashMap::new();
-
+        let mut caches = ResolveCaches::default();
         for (i, (record, m)) in list.systems().iter().zip(metrics).enumerate() {
-            c.rank.push(record.rank);
-            c.rmax_tflops.push(record.rmax_tflops);
-            if record.has_accelerator() {
-                c.has_accelerator.set(i);
-            }
-
-            // CPU spec (estimate_view uses the generic prior when the
-            // processor string is absent — same fallback flag discipline
-            // as `lookup_or_generic`).
-            let (cpu_tdp, cpu_unit, cpu_fell_back) = match record.processor.as_deref() {
-                Some(p) => *cpu_cache.entry(p).or_insert_with(|| {
-                    let (spec, fell_back) = hwdb::cpu::lookup_or_generic(p);
-                    (
-                        spec.tdp_watts,
-                        crate::embodied::silicon_kg(1.0, spec.die_area_cm2, spec.node, false),
-                        fell_back,
-                    )
-                }),
-                None => (
-                    hwdb::cpu::GENERIC_CPU.tdp_watts,
-                    crate::embodied::silicon_kg(
-                        1.0,
-                        hwdb::cpu::GENERIC_CPU.die_area_cm2,
-                        hwdb::cpu::GENERIC_CPU.node,
-                        false,
-                    ),
-                    true,
-                ),
-            };
-            c.cpu_tdp_watts.push(cpu_tdp);
-            c.cpu_unit_kg.push(cpu_unit);
-            if cpu_fell_back {
-                c.cpu_fallback.set(i);
-            }
-
-            // Accelerator spec. The TDP column is 0.0 without a string
-            // (the power roll-up's `unwrap_or(0.0)`); the embodied unit
-            // columns are only read when the device count is positive,
-            // which implies the string is present.
-            match record.accelerator.as_deref() {
-                Some(a) => {
-                    let (tdp, die, hbm, fell_back, generic) =
-                        *accel_cache.entry(a).or_insert_with(|| {
-                            let (spec, fell_back) = hwdb::accel::lookup_or_mainstream(a);
-                            (
-                                spec.tdp_watts,
-                                crate::embodied::silicon_kg(
-                                    1.0,
-                                    spec.die_area_cm2,
-                                    spec.node,
-                                    true,
-                                ),
-                                dram_embodied_kg(spec.hbm_gb, Some(MemoryType::Hbm3)),
-                                fell_back,
-                                hwdb::accel::is_generic_label(a),
-                            )
-                        });
-                    c.accel_tdp_watts.push(tdp);
-                    c.accel_unit_die_kg.push(die);
-                    c.accel_unit_hbm_kg.push(hbm);
-                    if fell_back {
-                        c.accel_fallback.set(i);
-                    }
-                    if generic {
-                        c.accel_generic.set(i);
-                    }
-                }
-                None => {
-                    c.accel_tdp_watts.push(0.0);
-                    c.accel_unit_die_kg.push(0.0);
-                    c.accel_unit_hbm_kg.push(0.0);
-                }
-            }
-
-            c.site_pue.push(match record.rank {
-                0 => DEFAULT_PUE,
-                rank => infer_site_class(rank, record.has_accelerator()).pue(),
-            });
-
-            // Grid intensity with location visible — the same cascade as
-            // `operational::resolve_aci`, with the linear scans memoised.
-            let regional = |cache: &mut HashMap<Region, f64>, region: Region| {
-                *cache.entry(region).or_insert_with(|| regional_aci(region))
-            };
-            let located = match record
-                .country
-                .as_deref()
-                .and_then(|cc| *country_cache.entry(cc).or_insert_with(|| country_aci(cc)))
-            {
-                Some(aci) => AciSource::Country(aci),
-                None => match record.region {
-                    Some(region) => AciSource::Regional(regional(&mut regional_cache, region)),
-                    None => AciSource::WorldPrior(regional(&mut regional_cache, Region::World)),
-                },
-            };
-            c.aci_located.push(located);
-
-            let year = m.operation_year.unwrap_or(2020);
-            c.gfw_year.push(
-                *gfw_cache
-                    .entry(year)
-                    .or_insert_with(|| gflops_per_watt_prior(MachineClass::CpuOnly, year)),
-            );
-
-            // Metric value columns; presence mirrors `SevenMetrics`.
-            push_f64(
-                &mut c.energy_mwh,
-                &mut c.energy_present,
-                i,
-                m.annual_energy_mwh,
-            );
-            push_f64(&mut c.power_kw, &mut c.power_present, i, record.power_kw);
-            push_f64(&mut c.utilization, &mut c.util_present, i, m.utilization);
-            push_u64(&mut c.nodes, &mut c.nodes_present, i, m.nodes);
-            push_u64(&mut c.gpus, &mut c.gpus_present, i, m.gpus);
-            push_u64(&mut c.cpus, &mut c.cpus_present, i, m.cpus);
-            push_f64(&mut c.memory_gb, &mut c.memory_present, i, m.memory_gb);
-            push_f64(&mut c.ssd_gb, &mut c.ssd_present, i, m.ssd_gb);
-            c.mem_rate.push(match m.memory_type.as_deref() {
-                Some(t) => *mem_rate_cache.entry(t).or_insert_with(|| {
-                    MemoryType::parse(t).map_or(DEFAULT_DRAM_KG_PER_GB, MemoryType::kg_per_gb)
-                }),
-                None => DEFAULT_DRAM_KG_PER_GB,
-            });
+            let row = resolve_row(&mut caches, record, m);
+            c.push_row(i, &row);
         }
         c
+    }
+
+    /// Recomputes the columns of `range` in place after those records (or
+    /// their metrics) changed — the O(k) incremental path of the resident
+    /// [`crate::state::FleetState`]. Bit-identical to a full `build`: row
+    /// resolution is per-row pure (the memoisation only avoids repeated
+    /// lookups, it never changes a value), so patched rows carry exactly
+    /// the bits a rebuild would, and untouched rows are never read.
+    pub fn patch_range(
+        &mut self,
+        list: &Top500List,
+        metrics: &[SevenMetrics],
+        range: std::ops::Range<usize>,
+    ) {
+        assert_eq!(
+            list.len(),
+            metrics.len(),
+            "metrics must cover the whole list"
+        );
+        assert_eq!(self.len, list.len(), "a patch may not change the length");
+        assert!(range.end <= self.len, "patched range must lie in the fleet");
+        let mut caches = ResolveCaches::default();
+        for i in range {
+            let row = resolve_row(&mut caches, &list.systems()[i], &metrics[i]);
+            self.write_row(i, &row);
+        }
+    }
+
+    /// Appends one resolved row (the `build` path: bitsets start clear).
+    fn push_row(&mut self, i: usize, row: &ResolvedRow) {
+        self.rank.push(row.rank);
+        self.rmax_tflops.push(row.rmax_tflops);
+        self.has_accelerator.assign(i, row.has_accelerator);
+        self.cpu_tdp_watts.push(row.cpu_tdp_watts);
+        self.cpu_unit_kg.push(row.cpu_unit_kg);
+        self.cpu_fallback.assign(i, row.cpu_fallback);
+        self.accel_tdp_watts.push(row.accel_tdp_watts);
+        self.accel_unit_die_kg.push(row.accel_unit_die_kg);
+        self.accel_unit_hbm_kg.push(row.accel_unit_hbm_kg);
+        self.accel_fallback.assign(i, row.accel_fallback);
+        self.accel_generic.assign(i, row.accel_generic);
+        self.site_pue.push(row.site_pue);
+        self.aci_located.push(row.aci_located);
+        self.gfw_year.push(row.gfw_year);
+        self.energy_mwh.push(row.energy_mwh.unwrap_or(0.0));
+        self.energy_present.assign(i, row.energy_mwh.is_some());
+        self.power_kw.push(row.power_kw.unwrap_or(0.0));
+        self.power_present.assign(i, row.power_kw.is_some());
+        self.utilization.push(row.utilization.unwrap_or(0.0));
+        self.util_present.assign(i, row.utilization.is_some());
+        self.nodes.push(row.nodes.unwrap_or(0));
+        self.nodes_present.assign(i, row.nodes.is_some());
+        self.gpus.push(row.gpus.unwrap_or(0));
+        self.gpus_present.assign(i, row.gpus.is_some());
+        self.cpus.push(row.cpus.unwrap_or(0));
+        self.cpus_present.assign(i, row.cpus.is_some());
+        self.memory_gb.push(row.memory_gb.unwrap_or(0.0));
+        self.memory_present.assign(i, row.memory_gb.is_some());
+        self.ssd_gb.push(row.ssd_gb.unwrap_or(0.0));
+        self.ssd_present.assign(i, row.ssd_gb.is_some());
+        self.mem_rate.push(row.mem_rate);
+    }
+
+    /// Overwrites row `i` with a resolved row (the `patch_range` path).
+    fn write_row(&mut self, i: usize, row: &ResolvedRow) {
+        self.rank[i] = row.rank;
+        self.rmax_tflops[i] = row.rmax_tflops;
+        self.has_accelerator.assign(i, row.has_accelerator);
+        self.cpu_tdp_watts[i] = row.cpu_tdp_watts;
+        self.cpu_unit_kg[i] = row.cpu_unit_kg;
+        self.cpu_fallback.assign(i, row.cpu_fallback);
+        self.accel_tdp_watts[i] = row.accel_tdp_watts;
+        self.accel_unit_die_kg[i] = row.accel_unit_die_kg;
+        self.accel_unit_hbm_kg[i] = row.accel_unit_hbm_kg;
+        self.accel_fallback.assign(i, row.accel_fallback);
+        self.accel_generic.assign(i, row.accel_generic);
+        self.site_pue[i] = row.site_pue;
+        self.aci_located[i] = row.aci_located;
+        self.gfw_year[i] = row.gfw_year;
+        self.energy_mwh[i] = row.energy_mwh.unwrap_or(0.0);
+        self.energy_present.assign(i, row.energy_mwh.is_some());
+        self.power_kw[i] = row.power_kw.unwrap_or(0.0);
+        self.power_present.assign(i, row.power_kw.is_some());
+        self.utilization[i] = row.utilization.unwrap_or(0.0);
+        self.util_present.assign(i, row.utilization.is_some());
+        self.nodes[i] = row.nodes.unwrap_or(0);
+        self.nodes_present.assign(i, row.nodes.is_some());
+        self.gpus[i] = row.gpus.unwrap_or(0);
+        self.gpus_present.assign(i, row.gpus.is_some());
+        self.cpus[i] = row.cpus.unwrap_or(0);
+        self.cpus_present.assign(i, row.cpus.is_some());
+        self.memory_gb[i] = row.memory_gb.unwrap_or(0.0);
+        self.memory_present.assign(i, row.memory_gb.is_some());
+        self.ssd_gb[i] = row.ssd_gb.unwrap_or(0.0);
+        self.ssd_present.assign(i, row.ssd_gb.is_some());
+        self.mem_rate[i] = row.mem_rate;
     }
 
     /// Number of systems.
@@ -320,17 +284,159 @@ impl FleetColumns {
     }
 }
 
-fn push_f64(col: &mut Vec<f64>, present: &mut Bitset, i: usize, value: Option<f64>) {
-    col.push(value.unwrap_or(0.0));
-    if value.is_some() {
-        present.set(i);
-    }
+/// Memoised hwdb resolutions, keyed on borrowed record strings. Shared by
+/// `build` (whole fleet) and `patch_range` (k rows); the memoisation only
+/// avoids repeated lookups — it never changes a resolved value — so the
+/// two paths produce identical rows.
+#[derive(Default)]
+struct ResolveCaches<'a> {
+    /// (tdp, unit silicon kg, fallback)
+    cpu: HashMap<&'a str, (f64, f64, bool)>,
+    /// (tdp, unit die kg, unit HBM kg, fallback, generic label)
+    accel: HashMap<&'a str, (f64, f64, f64, bool, bool)>,
+    country: HashMap<&'a str, Option<f64>>,
+    regional: HashMap<Region, f64>,
+    mem_rate: HashMap<&'a str, f64>,
+    gfw: HashMap<u32, f64>,
 }
 
-fn push_u64(col: &mut Vec<u64>, present: &mut Bitset, i: usize, value: Option<u64>) {
-    col.push(value.unwrap_or(0));
-    if value.is_some() {
-        present.set(i);
+/// One system's fully resolved column values — what `build` appends and
+/// `patch_range` overwrites in place.
+struct ResolvedRow {
+    rank: u32,
+    rmax_tflops: f64,
+    has_accelerator: bool,
+    cpu_tdp_watts: f64,
+    cpu_unit_kg: f64,
+    cpu_fallback: bool,
+    accel_tdp_watts: f64,
+    accel_unit_die_kg: f64,
+    accel_unit_hbm_kg: f64,
+    accel_fallback: bool,
+    accel_generic: bool,
+    site_pue: f64,
+    aci_located: AciSource,
+    gfw_year: f64,
+    energy_mwh: Option<f64>,
+    power_kw: Option<f64>,
+    utilization: Option<f64>,
+    nodes: Option<u64>,
+    gpus: Option<u64>,
+    cpus: Option<u64>,
+    memory_gb: Option<f64>,
+    ssd_gb: Option<f64>,
+    mem_rate: f64,
+}
+
+/// Resolves one record + extracted metrics into column values, memoising
+/// hwdb lookups in `caches`.
+fn resolve_row<'a>(
+    caches: &mut ResolveCaches<'a>,
+    record: &'a top500::record::SystemRecord,
+    m: &'a SevenMetrics,
+) -> ResolvedRow {
+    // CPU spec (estimate_view uses the generic prior when the processor
+    // string is absent — same fallback flag discipline as
+    // `lookup_or_generic`).
+    let (cpu_tdp_watts, cpu_unit_kg, cpu_fallback) = match record.processor.as_deref() {
+        Some(p) => *caches.cpu.entry(p).or_insert_with(|| {
+            let (spec, fell_back) = hwdb::cpu::lookup_or_generic(p);
+            (
+                spec.tdp_watts,
+                crate::embodied::silicon_kg(1.0, spec.die_area_cm2, spec.node, false),
+                fell_back,
+            )
+        }),
+        None => (
+            hwdb::cpu::GENERIC_CPU.tdp_watts,
+            crate::embodied::silicon_kg(
+                1.0,
+                hwdb::cpu::GENERIC_CPU.die_area_cm2,
+                hwdb::cpu::GENERIC_CPU.node,
+                false,
+            ),
+            true,
+        ),
+    };
+
+    // Accelerator spec. The TDP column is 0.0 without a string (the power
+    // roll-up's `unwrap_or(0.0)`); the embodied unit columns are only read
+    // when the device count is positive, which implies the string is
+    // present.
+    let (accel_tdp_watts, accel_unit_die_kg, accel_unit_hbm_kg, accel_fallback, accel_generic) =
+        match record.accelerator.as_deref() {
+            Some(a) => *caches.accel.entry(a).or_insert_with(|| {
+                let (spec, fell_back) = hwdb::accel::lookup_or_mainstream(a);
+                (
+                    spec.tdp_watts,
+                    crate::embodied::silicon_kg(1.0, spec.die_area_cm2, spec.node, true),
+                    dram_embodied_kg(spec.hbm_gb, Some(MemoryType::Hbm3)),
+                    fell_back,
+                    hwdb::accel::is_generic_label(a),
+                )
+            }),
+            None => (0.0, 0.0, 0.0, false, false),
+        };
+
+    let site_pue = match record.rank {
+        0 => DEFAULT_PUE,
+        rank => infer_site_class(rank, record.has_accelerator()).pue(),
+    };
+
+    // Grid intensity with location visible — the same cascade as
+    // `operational::resolve_aci`, with the linear scans memoised.
+    let regional = |cache: &mut HashMap<Region, f64>, region: Region| {
+        *cache.entry(region).or_insert_with(|| regional_aci(region))
+    };
+    let aci_located = match record
+        .country
+        .as_deref()
+        .and_then(|cc| *caches.country.entry(cc).or_insert_with(|| country_aci(cc)))
+    {
+        Some(aci) => AciSource::Country(aci),
+        None => match record.region {
+            Some(region) => AciSource::Regional(regional(&mut caches.regional, region)),
+            None => AciSource::WorldPrior(regional(&mut caches.regional, Region::World)),
+        },
+    };
+
+    let year = m.operation_year.unwrap_or(2020);
+    let gfw_year = *caches
+        .gfw
+        .entry(year)
+        .or_insert_with(|| gflops_per_watt_prior(MachineClass::CpuOnly, year));
+
+    let mem_rate = match m.memory_type.as_deref() {
+        Some(t) => *caches.mem_rate.entry(t).or_insert_with(|| {
+            MemoryType::parse(t).map_or(DEFAULT_DRAM_KG_PER_GB, MemoryType::kg_per_gb)
+        }),
+        None => DEFAULT_DRAM_KG_PER_GB,
+    };
+
+    ResolvedRow {
+        rank: record.rank,
+        rmax_tflops: record.rmax_tflops,
+        has_accelerator: record.has_accelerator(),
+        cpu_tdp_watts,
+        cpu_unit_kg,
+        cpu_fallback,
+        accel_tdp_watts,
+        accel_unit_die_kg,
+        accel_unit_hbm_kg,
+        accel_fallback,
+        accel_generic,
+        site_pue,
+        aci_located,
+        gfw_year,
+        energy_mwh: m.annual_energy_mwh,
+        power_kw: record.power_kw,
+        utilization: m.utilization,
+        nodes: m.nodes,
+        gpus: m.gpus,
+        cpus: m.cpus,
+        memory_gb: m.memory_gb,
+        ssd_gb: m.ssd_gb,
+        mem_rate,
     }
 }
 
@@ -403,6 +509,27 @@ mod tests {
             };
             assert_eq!(c.cpu_tdp_watts[i], tdp, "row {i}");
         }
+    }
+
+    #[test]
+    fn patch_range_matches_full_rebuild() {
+        let (mut list, metrics) = fleet();
+        let mut c = FleetColumns::build(&list, &metrics);
+        // Flip metrics both directions inside the range: add power, swap
+        // the CPU, drop the country (presence bits must clear, not stick).
+        for r in &mut list.systems_mut()[10..20] {
+            r.power_kw = Some(123.0);
+            r.processor = Some("Xeon Platinum 8280".into());
+            r.country = None;
+            r.accelerator = None;
+            r.accelerator_count = None;
+        }
+        let metrics: Vec<SevenMetrics> = list.systems().iter().map(SevenMetrics::extract).collect();
+        c.patch_range(&list, &metrics, 10..20);
+        let rebuilt = FleetColumns::build(&list, &metrics);
+        // `Debug` prints every column with round-trippable floats, so
+        // formatting equality pins all fields at once.
+        assert_eq!(format!("{c:?}"), format!("{rebuilt:?}"));
     }
 
     #[test]

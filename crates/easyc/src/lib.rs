@@ -81,10 +81,15 @@
 //!   ([`view::FleetView`], [`view::SystemView`]).
 //! - [`session`] — the unified [`session::Assessment`] builder/session.
 //! - [`stream`] — the incremental (chunked, larger-than-memory) session.
-//! - [`partial`] — the mergeable fold state both sessions accumulate
-//!   through ([`partial::PartialAssessment`]): absorb footprint blocks,
-//!   merge adjacent rank ranges, collapse through the pinned [`fold`]
-//!   shape — what makes sharded ingest and scale-out deterministic.
+//! - [`partial`] — the mergeable, retractable fold state both sessions
+//!   accumulate through ([`partial::PartialAssessment`]): absorb footprint
+//!   blocks, merge adjacent rank ranges, retract a trailing range back
+//!   out, collapse through the pinned [`fold`] shape — what makes sharded
+//!   ingest, scale-out and incremental re-assessment deterministic.
+//! - [`state`] — the resident-service layer: a long-lived
+//!   [`state::FleetState`] (parsed list, Phase-1 metrics, columnar layout
+//!   and a content-hash-keyed footprint cache) answering cheap borrowed
+//!   [`state::QueryPlan`]s, bit-identical to a cold session.
 //! - [`batch`] — the staged context machinery behind the session.
 //! - [`estimator`] — the per-system facade, routed through the same code
 //!   path as the session.
@@ -105,6 +110,7 @@ pub mod operational;
 pub mod partial;
 pub mod scenario;
 pub mod session;
+pub mod state;
 pub mod stream;
 pub mod uncertainty;
 pub mod view;
@@ -117,9 +123,10 @@ pub use error::{EasyCError, Result};
 pub use estimator::{EasyC, EasyCConfig, SystemFootprint};
 pub use metrics::SevenMetrics;
 pub use operational::{AciSource, OperationalEstimate, PowerPath};
-pub use partial::{FleetTotals, MergeError, PartialAssessment};
+pub use partial::{FleetTotals, MergeError, PartialAssessment, RetractError};
 pub use scenario::{DataScenario, MetricBit, MetricMask, OverrideSet, ScenarioMatrix};
 pub use session::{Assessment, AssessmentOutput};
+pub use state::{content_hash, FleetState, InvalidateOutcome, QueryPlan, UpdateError};
 pub use stream::{ChunkRows, RowSink, StreamOutput, StreamSlice, StreamingAssessment};
 pub use uncertainty::{DrawPlan, Interval, PriorUncertainty, ScenarioDelta};
 pub use view::{FleetView, SystemView};

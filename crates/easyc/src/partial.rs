@@ -14,6 +14,10 @@
 //! - [`PartialAssessment::merge`] — combine two partials over *adjacent*
 //!   rank ranges (`left` ends where `right` starts), checked, total-order
 //!   free;
+//! - [`PartialAssessment::retract`] — subtract a trailing rank range back
+//!   out, restoring the exact state the fold had before those rows were
+//!   absorbed (the inverse the resident service's O(k) incremental
+//!   re-assessment needs);
 //! - [`PartialAssessment::finish`] — collapse to [`FleetTotals`] through
 //!   [`crate::fold::sum_f64`] in range order.
 //!
@@ -53,10 +57,51 @@
 //! because the merge shape is pinned": the bits are a function of the
 //! segment decomposition alone, and the engine's own decompositions are
 //! all single-segment.
+//!
+//! # Retraction: the fold's inverse, without float subtraction
+//!
+//! IEEE-754 addition is not invertible either — `(a + b) - b` need not be
+//! `a` — so [`retract`](PartialAssessment::retract) never subtracts.
+//! Instead, every segment records a scalar **checkpoint** (a copy of its
+//! accumulators, no arithmetic) every [`CHECKPOINT_EVERY`] absorbed rows.
+//! Retracting a trailing range drops whole segments float-free, restores
+//! the split segment to its last checkpoint at or before the cut
+//! (float-free again), and re-folds at most `CHECKPOINT_EVERY − 1` rows
+//! forward through the *same* per-row fold `absorb` uses. The result is
+//! definitionally the state of the serial fold over the kept prefix —
+//! bit-identical to a partial rebuilt from scratch without the retracted
+//! rows (pinned by `tests/proptests.rs` at arbitrary cuts).
 
 use crate::estimator::SystemFootprint;
 use crate::fold;
 use std::fmt;
+use std::ops::Range;
+
+/// Rows between the scalar checkpoints a segment records while absorbing
+/// — the maximum re-fold a [`PartialAssessment::retract`] ever performs.
+/// A constant of the representation (not a tuning knob): two partials over
+/// the same rows carry the same checkpoints regardless of how the
+/// absorption was chunked, so `PartialEq` stays decomposition-determined.
+pub const CHECKPOINT_EVERY: usize = 256;
+
+/// A copy of one segment's scalar accumulators after its first `rows`
+/// rows. Pure state capture — recording and restoring a checkpoint
+/// performs no floating-point arithmetic. Draw buffers are *not*
+/// checkpointed: they are filled by the Monte-Carlo kernels after
+/// absorption, so a retraction that splits a segment resets them (see
+/// [`PartialAssessment::retract`]).
+#[derive(Debug, Clone, PartialEq)]
+struct Checkpoint {
+    /// Rows of the segment this checkpoint covers (multiple of
+    /// [`CHECKPOINT_EVERY`]).
+    rows: usize,
+    op_covered: usize,
+    emb_covered: usize,
+    op_errors: usize,
+    emb_errors: usize,
+    op_total: f64,
+    emb_total: f64,
+}
 
 /// Accumulated state of one contiguous `[start, end)` rank range: the
 /// exact fields the serial fold keeps, tagged with the range they cover.
@@ -84,6 +129,9 @@ struct Segment {
     op_draws: Vec<f64>,
     /// Per-sample partial sums of the embodied Monte-Carlo terms.
     emb_draws: Vec<f64>,
+    /// Scalar checkpoints every [`CHECKPOINT_EVERY`] rows, ascending —
+    /// what bounds a retraction's re-fold (see the [module docs](self)).
+    checkpoints: Vec<Checkpoint>,
 }
 
 impl Segment {
@@ -100,7 +148,75 @@ impl Segment {
             emb_total: 0.0,
             op_draws: vec![0.0; draws],
             emb_draws: vec![0.0; draws],
+            checkpoints: Vec::new(),
         }
+    }
+
+    /// Folds one footprint into the accumulators — **the** per-row fold.
+    /// Both `absorb` and the re-fold inside `retract` run this exact code,
+    /// which is what keeps every float addition at one pinned site.
+    fn fold_row(&mut self, fp: &SystemFootprint) {
+        self.total += 1;
+        match &fp.operational {
+            Ok(op) => {
+                self.op_covered += 1;
+                self.op_total += op.mt_co2e;
+            }
+            Err(_) => self.op_errors += 1,
+        }
+        match &fp.embodied {
+            Ok(emb) => {
+                self.emb_covered += 1;
+                self.emb_total += emb.mt_co2e;
+            }
+            Err(_) => self.emb_errors += 1,
+        }
+        self.end += 1;
+        if self.total.is_multiple_of(CHECKPOINT_EVERY) {
+            self.checkpoints.push(Checkpoint {
+                rows: self.total,
+                op_covered: self.op_covered,
+                emb_covered: self.emb_covered,
+                op_errors: self.op_errors,
+                emb_errors: self.emb_errors,
+                op_total: self.op_total,
+                emb_total: self.emb_total,
+            });
+        }
+    }
+
+    /// Rewinds the scalar accumulators to cover only the first `keep` rows
+    /// (float-free checkpoint restore), then returns how many rows the
+    /// caller must re-fold forward — always `< CHECKPOINT_EVERY`.
+    fn rewind_scalars(&mut self, keep: usize) {
+        let at = self
+            .checkpoints
+            .iter()
+            .rposition(|ck| ck.rows <= keep)
+            .map(|i| self.checkpoints[i].clone());
+        match at {
+            Some(ck) => {
+                self.checkpoints.retain(|c| c.rows <= ck.rows);
+                self.total = ck.rows;
+                self.op_covered = ck.op_covered;
+                self.emb_covered = ck.emb_covered;
+                self.op_errors = ck.op_errors;
+                self.emb_errors = ck.emb_errors;
+                self.op_total = ck.op_total;
+                self.emb_total = ck.emb_total;
+            }
+            None => {
+                self.checkpoints.clear();
+                self.total = 0;
+                self.op_covered = 0;
+                self.emb_covered = 0;
+                self.op_errors = 0;
+                self.emb_errors = 0;
+                self.op_total = 0.0;
+                self.emb_total = 0.0;
+            }
+        }
+        self.end = self.start + self.total;
     }
 }
 
@@ -145,6 +261,62 @@ impl fmt::Display for MergeError {
 }
 
 impl std::error::Error for MergeError {}
+
+/// Why a [`PartialAssessment::retract`] was refused. Every variant is a
+/// caller error — a refused retract leaves the partial untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetractError {
+    /// Nothing has been absorbed: the identity has no tail to subtract.
+    Identity,
+    /// The range was empty (`start >= end`).
+    EmptyRange {
+        /// The degenerate range's start.
+        start: usize,
+        /// The degenerate range's end.
+        end: usize,
+    },
+    /// The range does not end at the partial's current end row — only the
+    /// trailing range can be subtracted without breaking the serial-fold
+    /// bits.
+    NotTrailing {
+        /// One past the last row the caller asked to retract.
+        range_end: usize,
+        /// One past the last row the partial actually covers.
+        end: usize,
+    },
+    /// The cut splits a segment, so rows must re-fold forward from the
+    /// restored checkpoint, but the supplied footprint slice does not span
+    /// the cut (`footprints[row]` is read for each re-folded global row).
+    MissingPrefix {
+        /// Rows the slice must span (`range.start`).
+        needed: usize,
+        /// Rows the slice actually spans.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RetractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetractError::Identity => write!(f, "cannot retract from the identity partial"),
+            RetractError::EmptyRange { start, end } => {
+                write!(f, "cannot retract the empty range [{start}, {end})")
+            }
+            RetractError::NotTrailing { range_end, end } => write!(
+                f,
+                "only the trailing range can be retracted (range ends at row \
+                 {range_end}, partial ends at row {end})"
+            ),
+            RetractError::MissingPrefix { needed, got } => write!(
+                f,
+                "retract must re-fold up to the cut but the footprint slice \
+                 spans only {got} rows (needs {needed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RetractError {}
 
 /// Collapsed fleet totals of one [`PartialAssessment::finish`] — the
 /// per-scenario roll-up every engine consumer builds its slice from.
@@ -251,23 +423,82 @@ impl PartialAssessment {
         }
         let seg = self.segments.last_mut().expect("segment ensured above");
         for fp in footprints {
-            seg.total += 1;
-            match &fp.operational {
-                Ok(op) => {
-                    seg.op_covered += 1;
-                    seg.op_total += op.mt_co2e;
-                }
-                Err(_) => seg.op_errors += 1,
-            }
-            match &fp.embodied {
-                Ok(emb) => {
-                    seg.emb_covered += 1;
-                    seg.emb_total += emb.mt_co2e;
-                }
-                Err(_) => seg.emb_errors += 1,
-            }
+            seg.fold_row(fp);
         }
-        seg.end += footprints.len();
+    }
+
+    /// Subtracts a trailing rank range back out: after
+    /// `retract(range, footprints)` succeeds, the partial is **bit-
+    /// identical** to one whose absorption history simply stopped at row
+    /// `range.start` — the inverse operation the resident service's O(k)
+    /// incremental re-assessment is built on. `range.end` must equal the
+    /// partial's current end row (only the tail can be subtracted; interior
+    /// holes would break the left-fold bits); `range.start` may fall
+    /// anywhere at or after the partial's first row, including inside a
+    /// segment or inside an inter-segment gap.
+    ///
+    /// No floating-point subtraction happens here. Whole trailing segments
+    /// are dropped and checkpoints restored verbatim; only the final
+    /// `< CHECKPOINT_EVERY` rows ahead of the restored checkpoint re-fold
+    /// forward — through [the same per-row fold](PartialAssessment::absorb)
+    /// `absorb` runs, reading `footprints[row]` for each re-folded global
+    /// row. `footprints` must therefore be indexed by global row and hold
+    /// the same values originally absorbed (the resident cache): it is read
+    /// only on the re-fold window, but must span at least `range.start`
+    /// rows when the cut splits a segment.
+    ///
+    /// Draw buffers: segments untouched by the cut keep their per-sample
+    /// buffers; a segment *split* by the cut gets its buffers reset to
+    /// zero, because the Monte-Carlo contributions of the retracted rows
+    /// cannot be float-subtracted — re-run the draw kernels over the
+    /// segment's remaining rows (exactly what a partial rebuilt without
+    /// the retracted rows would need too).
+    pub fn retract(
+        &mut self,
+        range: Range<usize>,
+        footprints: &[SystemFootprint],
+    ) -> Result<(), RetractError> {
+        let (first, end) = self.range().ok_or(RetractError::Identity)?;
+        if range.start >= range.end {
+            return Err(RetractError::EmptyRange {
+                start: range.start,
+                end: range.end,
+            });
+        }
+        if range.end != end {
+            return Err(RetractError::NotTrailing {
+                range_end: range.end,
+                end,
+            });
+        }
+        if range.start <= first {
+            self.segments.clear();
+            return Ok(());
+        }
+        // Drop every segment that lies entirely at or after the cut —
+        // pure truncation, no arithmetic.
+        self.segments.retain(|seg| seg.start < range.start);
+        let seg = self.segments.last_mut().expect("cut is after `first`");
+        if seg.end <= range.start {
+            // The cut fell in a gap between segments: the tail is gone and
+            // the kept segments are untouched.
+            return Ok(());
+        }
+        // The cut splits `seg`: restore its last checkpoint at or before
+        // the cut, then re-fold forward to the cut through the absorb fold.
+        if footprints.len() < range.start {
+            return Err(RetractError::MissingPrefix {
+                needed: range.start,
+                got: footprints.len(),
+            });
+        }
+        seg.rewind_scalars(range.start - seg.start);
+        seg.op_draws.fill(0.0);
+        seg.emb_draws.fill(0.0);
+        for fp in &footprints[seg.end..range.start] {
+            seg.fold_row(fp);
+        }
+        Ok(())
     }
 
     /// Mutable access to the trailing segment's per-sample draw buffers,
@@ -593,6 +824,142 @@ mod tests {
         assert_eq!(totals.operational_mt.to_bits(), 0f64.to_bits());
         assert_eq!(totals.emb_covered, 9);
         assert_eq!(totals.emb_draws, vec![2.0; 5]);
+    }
+
+    #[test]
+    fn retract_is_bit_identical_to_rebuilding_without_the_tail() {
+        // 600 rows crosses two checkpoint boundaries (256, 512), so cuts
+        // exercise restore-at-checkpoint, re-fold-forward and drop-all.
+        let fps = footprints(600);
+        for cut in [599usize, 513, 512, 511, 300, 257, 256, 255, 1] {
+            let mut retracted = PartialAssessment::identity(0);
+            retracted.absorb(0, &fps);
+            retracted
+                .retract(cut..fps.len(), &fps)
+                .expect("trailing retract");
+            let mut rebuilt = PartialAssessment::identity(0);
+            rebuilt.absorb(0, &fps[..cut]);
+            assert_eq!(retracted, rebuilt, "cut {cut}");
+            let (a, b) = (retracted.finish(), rebuilt.finish());
+            assert_eq!(a.operational_mt.to_bits(), b.operational_mt.to_bits());
+            assert_eq!(a.embodied_mt.to_bits(), b.embodied_mt.to_bits());
+        }
+    }
+
+    #[test]
+    fn retract_matches_rebuild_regardless_of_absorb_chunking() {
+        let fps = footprints(300);
+        for chunk in [1usize, 7, 64, 300] {
+            let mut p = PartialAssessment::identity(0);
+            let mut row = 0;
+            for block in fps.chunks(chunk) {
+                p.absorb(row, block);
+                row += block.len();
+            }
+            p.retract(120..300, &fps).expect("trailing retract");
+            let mut rebuilt = PartialAssessment::identity(0);
+            rebuilt.absorb(0, &fps[..120]);
+            assert_eq!(p, rebuilt, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn retract_then_absorb_round_trips_the_whole_partial() {
+        let fps = footprints(310);
+        let mut p = PartialAssessment::identity(0);
+        p.absorb(0, &fps);
+        let whole = p.clone();
+        p.retract(130..310, &fps).expect("trailing retract");
+        p.absorb(130, &fps[130..]);
+        assert_eq!(p, whole);
+    }
+
+    #[test]
+    fn retract_drops_whole_trailing_segments_and_keeps_draw_buffers() {
+        // Three separately-built (merged, not coalesced) segments with
+        // filled draw buffers: dropping the last keeps the others' buffers,
+        // splitting the middle one resets only its own.
+        let fps = footprints(30);
+        let parts = leaves(&fps, 10, 4);
+        let mut merged = parts
+            .into_iter()
+            .try_fold(PartialAssessment::identity(4), PartialAssessment::merge)
+            .expect("adjacent leaves merge");
+        let before = merged.clone();
+        merged.retract(20..30, &fps).expect("drop last segment");
+        assert_eq!(merged.segment_count(), 2);
+        // Bit-for-bit the first two leaves of the original merge.
+        let two = leaves(&fps, 10, 4)
+            .into_iter()
+            .take(2)
+            .try_fold(PartialAssessment::identity(4), PartialAssessment::merge)
+            .expect("adjacent leaves merge");
+        assert_eq!(merged, two);
+        // Splitting the (new) trailing segment resets its buffers only.
+        let mut split = before.clone();
+        split.retract(15..30, &fps).expect("split middle segment");
+        assert_eq!(split.segment_count(), 2);
+        let totals = split.finish();
+        // First leaf's buffers survive: slot i = (0·31 + i)·0.125.
+        assert_eq!(totals.op_draws[1].to_bits(), 0.125f64.to_bits());
+    }
+
+    #[test]
+    fn retract_to_or_before_the_first_row_yields_the_identity() {
+        let fps = footprints(12);
+        let mut p = PartialAssessment::identity(2);
+        p.absorb(5, &fps);
+        p.retract(5..17, &fps).expect("full retract");
+        assert!(p.is_identity());
+        let mut q = PartialAssessment::identity(2);
+        q.absorb(5, &fps);
+        q.retract(2..17, &fps).expect("cut before first row");
+        assert!(q.is_identity());
+    }
+
+    #[test]
+    fn retract_refuses_bad_ranges_and_leaves_the_partial_untouched() {
+        let fps = footprints(20);
+        let mut p = PartialAssessment::identity(0);
+        assert_eq!(
+            p.retract(0..5, &fps).unwrap_err(),
+            RetractError::Identity,
+            "identity has no tail"
+        );
+        p.absorb(0, &fps);
+        let before = p.clone();
+        assert_eq!(
+            p.retract(7..7, &fps).unwrap_err(),
+            RetractError::EmptyRange { start: 7, end: 7 }
+        );
+        assert_eq!(
+            p.retract(5..15, &fps).unwrap_err(),
+            RetractError::NotTrailing {
+                range_end: 15,
+                end: 20
+            }
+        );
+        assert_eq!(
+            p.retract(10..20, &fps[..4]).unwrap_err(),
+            RetractError::MissingPrefix { needed: 10, got: 4 }
+        );
+        assert_eq!(p, before, "refused retracts must not mutate");
+    }
+
+    #[test]
+    fn retract_across_an_inter_segment_gap_keeps_the_prefix_verbatim() {
+        // Segments [0,10) and [15,25): cutting at row 12 (inside the gap)
+        // drops the second segment and leaves the first untouched.
+        let fps = footprints(10);
+        let mut p = PartialAssessment::identity(0);
+        p.absorb(0, &fps);
+        let prefix = p.clone();
+        let mut tail = PartialAssessment::identity(0);
+        tail.absorb(15, &fps);
+        let mut merged = p;
+        merged.segments.extend(tail.segments);
+        merged.retract(12..25, &fps).expect("cut inside the gap");
+        assert_eq!(merged, prefix);
     }
 
     #[test]

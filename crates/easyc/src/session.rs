@@ -280,222 +280,290 @@ impl<'a> Assessment<'a> {
             }
         };
 
-        // Phase 2 — the (scenario × chunk) plan, interleaved on the pool.
-        // Each item owns a disjoint slice of one scenario's output, so the
-        // result is deterministic regardless of scheduling. The per-record
-        // math runs through the columnar kernels over one [`FleetColumns`]
-        // layout shared by every scenario (built once per session) —
-        // bit-identical to the row-at-a-time `assess_view` reference
-        // (pinned by the session tests and `tests/proptests.rs`).
+        // Phases 2–3 — shared with the resident [`crate::state::QueryPlan`]
+        // path, which supplies a pre-built columnar layout and (when warm)
+        // cached footprints instead of re-estimating. A cold session caches
+        // nothing, so `run_planned_phases` computes every scenario.
         let columns = FleetColumns::build(list, metrics);
-        let mut outputs: Vec<Vec<Option<SystemFootprint>>> = effective
-            .iter()
-            .map(|_| {
+        let cached: Vec<Option<&[SystemFootprint]>> = effective.iter().map(|_| None).collect();
+        run_planned_phases(
+            &PhaseInput {
+                list,
+                metrics,
+                columns: &columns,
+                cached: &cached,
+            },
+            display,
+            &effective,
+            self.plan,
+            workers,
+            self.items_per_worker,
+            pool.as_ref(),
+        )
+    }
+}
+
+/// The fleet data phases 2–3 read: where the records, Phase-1 metrics and
+/// columnar layout live (a cold session builds them per run; a resident
+/// [`crate::state::FleetState`] keeps them warm), plus per-effective-
+/// scenario cached footprints that let phase 2 skip re-estimation.
+pub(crate) struct PhaseInput<'a> {
+    /// The fleet records.
+    pub list: &'a Top500List,
+    /// Phase-1 metrics, one per record.
+    pub metrics: &'a [SevenMetrics],
+    /// The struct-of-arrays layout phase 2's kernels read.
+    pub columns: &'a FleetColumns,
+    /// Per-effective-scenario cached footprints (same order as the
+    /// `effective` list). `Some` skips phase 2 for that scenario — valid
+    /// only when the cache was produced by these same kernels over this
+    /// same fleet, which is exactly what the resident state guarantees.
+    pub cached: &'a [Option<&'a [SystemFootprint]>],
+}
+
+/// Phase 2 (columnar scenario assessment, with cache reuse) and phase 3
+/// (blocked Monte-Carlo draws) over pre-extracted fleet data — the shared
+/// engine behind [`Assessment::run`] and [`crate::state::QueryPlan::run`].
+/// Bit-identical at any worker count, chunk granularity, and cache
+/// temperature: a cached scenario's footprints are the same bits phase 2
+/// would recompute, so every downstream fold sees identical terms.
+pub(crate) fn run_planned_phases(
+    input: &PhaseInput<'_>,
+    display: Vec<DataScenario>,
+    effective: &[DataScenario],
+    plan: DrawPlan,
+    workers: usize,
+    items_per_worker: usize,
+    pool: Option<&ThreadPool>,
+) -> AssessmentOutput {
+    let n = input.list.len();
+    let chunks = parallel::split_ranges(n, workers * items_per_worker);
+    // Phase 2 — the (scenario × chunk) plan, interleaved on the pool.
+    // Each item owns a disjoint slice of one scenario's output, so the
+    // result is deterministic regardless of scheduling. The per-record
+    // math runs through the columnar kernels over one [`FleetColumns`]
+    // layout shared by every scenario — bit-identical to the row-at-a-time
+    // `assess_view` reference (pinned by the session tests and
+    // `tests/proptests.rs`). Scenarios with cached footprints skip their
+    // jobs entirely: the resident state already holds the same bits.
+    let mut outputs: Vec<Option<Vec<Option<SystemFootprint>>>> = effective
+        .iter()
+        .zip(input.cached)
+        .map(|(_, cached)| {
+            cached.is_none().then(|| {
                 let mut v = Vec::with_capacity(n);
                 v.resize_with(n, || None);
                 v
             })
-            .collect();
-        {
-            let columns = &columns;
-            let mut jobs: Vec<Job<'_>> = Vec::with_capacity(effective.len() * chunks.len());
-            for (scenario, out) in effective.iter().zip(outputs.iter_mut()) {
-                let view = FleetView::new(list, metrics, scenario);
-                let mut rest = out.as_mut_slice();
-                for range in &chunks {
-                    let (chunk, tail) = rest.split_at_mut(range.len());
-                    rest = tail;
-                    let range = range.clone();
-                    jobs.push(Box::new(move || {
-                        assess_columns(columns, &view, range, chunk);
-                    }));
-                }
-            }
-            execute(pool.as_ref(), jobs);
-        }
-        let slices: Vec<ScenarioSlice> = display
-            .into_iter()
-            .zip(outputs)
-            .map(|(scenario, out)| {
-                let footprints: Vec<SystemFootprint> = out
-                    .into_iter()
-                    .map(|f| f.expect("every assessment chunk ran"))
-                    .collect();
-                let coverage = CoverageReport::from_footprints(&footprints);
-                ScenarioSlice {
-                    scenario,
-                    footprints,
-                    coverage,
-                }
-            })
-            .collect();
-
-        // Phase 3 — optional Monte-Carlo draws, (scenario × draw-chunk)
-        // items on the same pool, operational and embodied interleaved
-        // together. Bases are the Ok estimates of phase 2 tagged with
-        // their global list index (the CRN stream key), so no estimator
-        // runs twice and every scenario shares per-system perturbations.
-        let retained = if self.plan.draws > 0 {
-            self.run_draws(&slices, pool.as_ref())
-        } else {
-            slices.iter().map(|_| ScenarioDraws::default()).collect()
-        };
-
-        AssessmentOutput::new(slices, retained, self.plan)
-    }
-
-    /// Runs the blocked (sample-chunk × scenario) Monte-Carlo plan and
-    /// returns the retained per-scenario draw state. Each work item owns
-    /// one disjoint sample range of **every** scenario's draw buffer: the
-    /// per-sample systematic factors and the idiosyncratic noise column are
-    /// scenario-invariant under the CRN keying, so one job computes them
-    /// once and sweeps each scenario's [`OpFactorColumns`] /
-    /// [`EmbFactorColumns`] lanes over them. Bit-identical to the serial
-    /// [`DrawPlan::operational_draws`] / [`DrawPlan::embodied_draws`]
-    /// reference kernels (pinned by `tests/batch_matrix.rs` and proptests).
-    fn run_draws(&self, slices: &[ScenarioSlice], pool: Option<&ThreadPool>) -> Vec<ScenarioDraws> {
-        let workers = self.config.workers.max(1);
-        let plan = self.plan;
-        // Ok operational estimates tagged with the system's global list
-        // position — the scenario-independent stream index.
-        let op_bases: Vec<Vec<(usize, OperationalEstimate)>> = slices
-            .iter()
-            .map(|slice| {
-                slice
-                    .footprints
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, f)| f.operational.as_ref().ok().cloned().map(|op| (i, op)))
-                    .collect()
-            })
-            .collect();
-        let emb_bases: Vec<Vec<EmbodiedEstimate>> = slices
-            .iter()
-            .map(|slice| {
-                slice
-                    .footprints
-                    .iter()
-                    .filter_map(|f| f.embodied.as_ref().ok().cloned())
-                    .collect()
-            })
-            .collect();
-        // Per-scenario factor columns, hoisted once for the whole phase.
-        let op_cols: Vec<OpFactorColumns> = op_bases
-            .iter()
-            .map(|b| OpFactorColumns::from_bases(b))
-            .collect();
-        let emb_cols: Vec<EmbFactorColumns> = emb_bases
-            .iter()
-            .map(|b| EmbFactorColumns::from_bases(b))
-            .collect();
-        // Rows the shared noise column spans: every scenario's indices are
-        // global list positions in `0..n`.
-        let n = slices.first().map_or(0, |s| s.footprints.len());
-        let op_streams = plan.operational_streams();
-        let emb_streams = plan.embodied_streams();
-        let sample_chunks = parallel::split_ranges(plan.draws, workers * self.items_per_worker);
-        // One [`PartialAssessment`] per scenario: absorbing the whole
-        // footprint slice at row 0 repeats the serial left fold over the
-        // covered `mt_co2e` terms (the point totals), and its draw slots
-        // are the per-sample buffers the blocked kernels accumulate into.
-        let mut partials: Vec<PartialAssessment> = slices
-            .iter()
-            .map(|slice| {
-                let mut partial = PartialAssessment::identity(plan.draws);
-                partial.absorb(0, &slice.footprints);
-                partial
-            })
-            .collect();
-        {
-            // Transpose the per-scenario buffers into per-sample-chunk work
-            // items: item j owns samples `sample_chunks[j]` of every
-            // covered scenario, as (scenario index, buffer sub-slice).
-            let mut op_parts: Vec<Vec<(usize, &mut [f64])>> =
-                sample_chunks.iter().map(|_| Vec::new()).collect();
-            let mut emb_parts: Vec<Vec<(usize, &mut [f64])>> =
-                sample_chunks.iter().map(|_| Vec::new()).collect();
-            for (scenario, partial) in partials.iter_mut().enumerate() {
-                let has_op = !op_bases[scenario].is_empty();
-                let has_emb = !emb_bases[scenario].is_empty();
-                if !has_op && !has_emb {
-                    continue;
-                }
-                let (op_buffer, emb_buffer) = partial
-                    .draw_slots()
-                    .expect("covered scenarios absorbed a non-empty slice");
-                if has_op {
-                    let split = parallel::split_mut_by_ranges(op_buffer, &sample_chunks);
-                    for (item, part) in op_parts.iter_mut().zip(split) {
-                        item.push((scenario, part));
-                    }
-                }
-                if has_emb {
-                    let split = parallel::split_mut_by_ranges(emb_buffer, &sample_chunks);
-                    for (item, part) in emb_parts.iter_mut().zip(split) {
-                        item.push((scenario, part));
-                    }
-                }
-            }
-            let op_cols = &op_cols;
-            let emb_cols = &emb_cols;
-            let op_streams = &op_streams;
-            let emb_streams = &emb_streams;
-            let mut jobs: Vec<Job<'_>> = Vec::with_capacity(sample_chunks.len());
-            for ((range, mut op_item), mut emb_item) in
-                sample_chunks.iter().cloned().zip(op_parts).zip(emb_parts)
-            {
-                if op_item.is_empty() && emb_item.is_empty() {
-                    continue;
-                }
-                let priors = plan.priors;
+        })
+        .collect();
+    {
+        let columns = input.columns;
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(effective.len() * chunks.len());
+        for (scenario, out) in effective.iter().zip(outputs.iter_mut()) {
+            let Some(out) = out.as_mut() else { continue };
+            let view = FleetView::new(input.list, input.metrics, scenario);
+            let mut rest = out.as_mut_slice();
+            for range in &chunks {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let range = range.clone();
                 jobs.push(Box::new(move || {
-                    let mut noise = vec![0.0f64; if op_item.is_empty() { 0 } else { n }];
-                    for (k, sample) in range.clone().enumerate() {
-                        if !op_item.is_empty() {
-                            let factors = fleet_factors(op_streams, &priors, sample);
-                            operational_noise(op_streams, sample, 0, &mut noise);
-                            for (scenario, part) in op_item.iter_mut() {
-                                operational_block_accumulate(
-                                    &op_cols[*scenario],
-                                    &factors,
-                                    &noise,
-                                    0,
-                                    &mut part[k],
-                                );
-                            }
-                        }
-                        if !emb_item.is_empty() {
-                            let factors = embodied_factors(emb_streams, &priors, sample);
-                            for (scenario, part) in emb_item.iter_mut() {
-                                embodied_block_accumulate(
-                                    &emb_cols[*scenario],
-                                    &factors,
-                                    &mut part[k],
-                                );
-                            }
-                        }
-                    }
+                    assess_columns(columns, &view, range, chunk);
                 }));
             }
-            execute(pool, jobs);
         }
-        partials
-            .into_iter()
-            .map(|partial| {
-                // Single-segment partials collapse verbatim: the absorbed
-                // point totals and the kernel-filled draw buffers come
-                // back untouched, with uncovered families' buffers dropped
-                // — the engine's retention policy.
-                let totals = partial.finish();
-                ScenarioDraws {
-                    op_point: totals.operational_mt,
-                    op: totals.op_draws,
-                    emb_point: totals.embodied_mt,
-                    emb: totals.emb_draws,
-                }
-            })
-            .collect()
+        execute(pool, jobs);
     }
+    let slices: Vec<ScenarioSlice> = display
+        .into_iter()
+        .zip(outputs)
+        .zip(input.cached)
+        .map(|((scenario, out), cached)| {
+            let footprints: Vec<SystemFootprint> = match out {
+                Some(out) => out
+                    .into_iter()
+                    .map(|f| f.expect("every assessment chunk ran"))
+                    .collect(),
+                None => cached.expect("uncomputed scenarios carry a cache").to_vec(),
+            };
+            let coverage = CoverageReport::from_footprints(&footprints);
+            ScenarioSlice {
+                scenario,
+                footprints,
+                coverage,
+            }
+        })
+        .collect();
+
+    // Phase 3 — optional Monte-Carlo draws, (scenario × draw-chunk)
+    // items on the same pool, operational and embodied interleaved
+    // together. Bases are the Ok estimates of phase 2 tagged with
+    // their global list index (the CRN stream key), so no estimator
+    // runs twice and every scenario shares per-system perturbations.
+    let retained = if plan.draws > 0 {
+        run_draws(plan, workers, items_per_worker, &slices, pool)
+    } else {
+        slices.iter().map(|_| ScenarioDraws::default()).collect()
+    };
+
+    AssessmentOutput::new(slices, retained, plan)
+}
+
+/// Runs the blocked (sample-chunk × scenario) Monte-Carlo plan and
+/// returns the retained per-scenario draw state. Each work item owns
+/// one disjoint sample range of **every** scenario's draw buffer: the
+/// per-sample systematic factors and the idiosyncratic noise column are
+/// scenario-invariant under the CRN keying, so one job computes them
+/// once and sweeps each scenario's [`OpFactorColumns`] /
+/// [`EmbFactorColumns`] lanes over them. Bit-identical to the serial
+/// [`DrawPlan::operational_draws`] / [`DrawPlan::embodied_draws`]
+/// reference kernels (pinned by `tests/batch_matrix.rs` and proptests).
+/// The draws are a pure function of the footprint bases and the plan —
+/// independent of whether phase 2 computed the bases or a resident cache
+/// supplied them — which is what makes warm intervals bit-identical.
+fn run_draws(
+    plan: DrawPlan,
+    workers: usize,
+    items_per_worker: usize,
+    slices: &[ScenarioSlice],
+    pool: Option<&ThreadPool>,
+) -> Vec<ScenarioDraws> {
+    // Ok operational estimates tagged with the system's global list
+    // position — the scenario-independent stream index.
+    let op_bases: Vec<Vec<(usize, OperationalEstimate)>> = slices
+        .iter()
+        .map(|slice| {
+            slice
+                .footprints
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| f.operational.as_ref().ok().cloned().map(|op| (i, op)))
+                .collect()
+        })
+        .collect();
+    let emb_bases: Vec<Vec<EmbodiedEstimate>> = slices
+        .iter()
+        .map(|slice| {
+            slice
+                .footprints
+                .iter()
+                .filter_map(|f| f.embodied.as_ref().ok().cloned())
+                .collect()
+        })
+        .collect();
+    // Per-scenario factor columns, hoisted once for the whole phase.
+    let op_cols: Vec<OpFactorColumns> = op_bases
+        .iter()
+        .map(|b| OpFactorColumns::from_bases(b))
+        .collect();
+    let emb_cols: Vec<EmbFactorColumns> = emb_bases
+        .iter()
+        .map(|b| EmbFactorColumns::from_bases(b))
+        .collect();
+    // Rows the shared noise column spans: every scenario's indices are
+    // global list positions in `0..n`.
+    let n = slices.first().map_or(0, |s| s.footprints.len());
+    let op_streams = plan.operational_streams();
+    let emb_streams = plan.embodied_streams();
+    let sample_chunks = parallel::split_ranges(plan.draws, workers * items_per_worker);
+    // One [`PartialAssessment`] per scenario: absorbing the whole
+    // footprint slice at row 0 repeats the serial left fold over the
+    // covered `mt_co2e` terms (the point totals), and its draw slots
+    // are the per-sample buffers the blocked kernels accumulate into.
+    let mut partials: Vec<PartialAssessment> = slices
+        .iter()
+        .map(|slice| {
+            let mut partial = PartialAssessment::identity(plan.draws);
+            partial.absorb(0, &slice.footprints);
+            partial
+        })
+        .collect();
+    {
+        // Transpose the per-scenario buffers into per-sample-chunk work
+        // items: item j owns samples `sample_chunks[j]` of every
+        // covered scenario, as (scenario index, buffer sub-slice).
+        let mut op_parts: Vec<Vec<(usize, &mut [f64])>> =
+            sample_chunks.iter().map(|_| Vec::new()).collect();
+        let mut emb_parts: Vec<Vec<(usize, &mut [f64])>> =
+            sample_chunks.iter().map(|_| Vec::new()).collect();
+        for (scenario, partial) in partials.iter_mut().enumerate() {
+            let has_op = !op_bases[scenario].is_empty();
+            let has_emb = !emb_bases[scenario].is_empty();
+            if !has_op && !has_emb {
+                continue;
+            }
+            let (op_buffer, emb_buffer) = partial
+                .draw_slots()
+                .expect("covered scenarios absorbed a non-empty slice");
+            if has_op {
+                let split = parallel::split_mut_by_ranges(op_buffer, &sample_chunks);
+                for (item, part) in op_parts.iter_mut().zip(split) {
+                    item.push((scenario, part));
+                }
+            }
+            if has_emb {
+                let split = parallel::split_mut_by_ranges(emb_buffer, &sample_chunks);
+                for (item, part) in emb_parts.iter_mut().zip(split) {
+                    item.push((scenario, part));
+                }
+            }
+        }
+        let op_cols = &op_cols;
+        let emb_cols = &emb_cols;
+        let op_streams = &op_streams;
+        let emb_streams = &emb_streams;
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(sample_chunks.len());
+        for ((range, mut op_item), mut emb_item) in
+            sample_chunks.iter().cloned().zip(op_parts).zip(emb_parts)
+        {
+            if op_item.is_empty() && emb_item.is_empty() {
+                continue;
+            }
+            let priors = plan.priors;
+            jobs.push(Box::new(move || {
+                let mut noise = vec![0.0f64; if op_item.is_empty() { 0 } else { n }];
+                for (k, sample) in range.clone().enumerate() {
+                    if !op_item.is_empty() {
+                        let factors = fleet_factors(op_streams, &priors, sample);
+                        operational_noise(op_streams, sample, 0, &mut noise);
+                        for (scenario, part) in op_item.iter_mut() {
+                            operational_block_accumulate(
+                                &op_cols[*scenario],
+                                &factors,
+                                &noise,
+                                0,
+                                &mut part[k],
+                            );
+                        }
+                    }
+                    if !emb_item.is_empty() {
+                        let factors = embodied_factors(emb_streams, &priors, sample);
+                        for (scenario, part) in emb_item.iter_mut() {
+                            embodied_block_accumulate(&emb_cols[*scenario], &factors, &mut part[k]);
+                        }
+                    }
+                }
+            }));
+        }
+        execute(pool, jobs);
+    }
+    partials
+        .into_iter()
+        .map(|partial| {
+            // Single-segment partials collapse verbatim: the absorbed
+            // point totals and the kernel-filled draw buffers come
+            // back untouched, with uncovered families' buffers dropped
+            // — the engine's retention policy.
+            let totals = partial.finish();
+            ScenarioDraws {
+                op_point: totals.operational_mt,
+                op: totals.op_draws,
+                emb_point: totals.embodied_mt,
+                emb: totals.emb_draws,
+            }
+        })
+        .collect()
 }
 
 /// Resolves the scenario matrix into (display, effective) scenario lists:

@@ -1,0 +1,718 @@
+//! The resident-service layer: a long-lived [`FleetState`] answering cheap
+//! borrowed [`QueryPlan`]s — ROADMAP item 1's "assessment as a service".
+//!
+//! A cold [`crate::Assessment`] pays the whole pipeline per call: parse,
+//! Phase-1 metric extraction, columnar transposition, Phase-2 estimation.
+//! A `FleetState` pays it once and keeps the products warm:
+//!
+//! - the parsed [`Top500List`] and its Phase-1 [`SevenMetrics`];
+//! - the [`FleetColumns`] struct-of-arrays layout the kernels read;
+//! - a **footprint cache** for the default (everything-visible) scenario,
+//!   keyed by a deterministic content hash of the source
+//!   ([`content_hash`], std `DefaultHasher` with its fixed keys), holding
+//!   the per-system footprints plus a single-segment retractable
+//!   [`PartialAssessment`] over them.
+//!
+//! Queries borrow the state ([`FleetState::query`]) and run the same
+//! phase-2/3 engine as a cold session
+//! ([`crate::session`]'s `run_planned_phases`), so every answer is
+//! **bit-identical** to the cold path (pinned by `tests/proptests.rs` and
+//! `tests/serve.rs`): a cache hit supplies the very bits phase 2 would
+//! recompute, and the Monte-Carlo draws are a pure function of those bases
+//! and the [`DrawPlan`] (CRN streams keyed by system index, never by
+//! scenario or cache temperature).
+//!
+//! # Incremental re-assessment
+//!
+//! [`FleetState::update_rows`] splices `k` edited records in place and
+//! repairs every warm product in O(k) heavy work: re-extract `k` metric
+//! rows, [`FleetColumns::patch_range`] `k` columns rows, re-estimate `k`
+//! footprints through the same kernels, and repair the cached fold by
+//! [`PartialAssessment::retract`]ing the trailing range back to the first
+//! edited row (checkpoint rewind, O(k + 256) fold steps) and re-absorbing
+//! the tail — a lightweight scalar fold, bit-identical to rebuilding the
+//! partial from scratch. The content hash advances by a deterministic
+//! chain hash, so stale [`FleetState::invalidate`] requests are detected
+//! exactly ([`InvalidateOutcome::Stale`]).
+
+use crate::batch::assess_columns;
+use crate::columns::FleetColumns;
+use crate::estimator::{EasyCConfig, SystemFootprint};
+use crate::metrics::SevenMetrics;
+use crate::partial::{FleetTotals, PartialAssessment};
+use crate::scenario::{DataScenario, MetricMask, ScenarioMatrix};
+use crate::session::{
+    plan_scenarios, run_planned_phases, AssessmentOutput, PhaseInput, DEFAULT_ITEMS_PER_WORKER,
+};
+use crate::uncertainty::{DrawPlan, PriorUncertainty};
+use crate::view::FleetView;
+use parallel::pool::ThreadPool;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use top500::io::ImportError;
+use top500::list::Top500List;
+use top500::record::SystemRecord;
+
+/// Deterministic content hash of a source text — the footprint-cache key.
+///
+/// Uses the std `DefaultHasher` *with its default (fixed) keys*: unlike a
+/// `HashMap`'s per-instance `RandomState`, `DefaultHasher::new()` is
+/// specified to produce the same digest for the same bytes in every
+/// process, so hashes are stable across server restarts and comparable
+/// across client and server.
+pub fn content_hash(text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    text.hash(&mut h);
+    h.finish()
+}
+
+/// Chain hash advancing a content hash over an in-place row splice — a
+/// pure function of (previous hash, splice position, new row contents),
+/// so repeating the same edit history always lands on the same hash.
+fn chain_hash(prev: u64, first_row: usize, rows: &[SystemRecord]) -> u64 {
+    let mut h = DefaultHasher::new();
+    prev.hash(&mut h);
+    first_row.hash(&mut h);
+    format!("{rows:?}").hash(&mut h);
+    h.finish()
+}
+
+/// The default-scenario footprints and their retractable fold, tagged with
+/// the content hash of the source they were computed from.
+struct FootprintCache {
+    hash: u64,
+    footprints: Vec<SystemFootprint>,
+    /// Single-segment partial over `footprints` (absorbed at row 0, no
+    /// draw buffers): its finish repeats the serial left fold verbatim,
+    /// and `retract`/`absorb` keep it that way across row updates.
+    partial: PartialAssessment,
+}
+
+/// What a [`FleetState::invalidate`] request found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidateOutcome {
+    /// The hash named the current source: the footprint cache was evicted.
+    Evicted,
+    /// The hash was stale (or there was nothing cached): no-op. Servers
+    /// report this with a distinct response code so clients learn their
+    /// view of the fleet is outdated.
+    Stale,
+}
+
+/// Why a [`FleetState::update_rows`] splice was rejected (state unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The spliced range `first_row .. first_row + rows` leaves the fleet.
+    OutOfBounds {
+        /// First row the splice addressed.
+        first_row: usize,
+        /// Number of replacement rows.
+        rows: usize,
+        /// Fleet length.
+        len: usize,
+    },
+    /// A replacement row changed its position's rank. Rank defines list
+    /// order (and the CRN stream key), so an in-place update must keep it.
+    RankChanged {
+        /// List position of the offending row.
+        row: usize,
+        /// The rank currently at that position.
+        expected: u32,
+        /// The rank the replacement carried.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::OutOfBounds {
+                first_row,
+                rows,
+                len,
+            } => write!(
+                f,
+                "row update {first_row}..{} leaves the {len}-system fleet",
+                first_row + rows
+            ),
+            UpdateError::RankChanged { row, expected, got } => write!(
+                f,
+                "row {row} must keep rank {expected} (replacement has rank {got}); \
+                 rank defines list order — use a full source update to re-rank"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// A long-lived, query-ready fleet: parsed records, Phase-1 metrics, the
+/// columnar layout, and (after [`FleetState::warm`]) a content-hash-keyed
+/// footprint cache — see the [module docs](self).
+pub struct FleetState {
+    list: Top500List,
+    metrics: Vec<SevenMetrics>,
+    columns: FleetColumns,
+    config: EasyCConfig,
+    source_hash: u64,
+    cache: Option<FootprintCache>,
+}
+
+impl FleetState {
+    /// Parses a TOP500 CSV export and builds the resident products. The
+    /// cache key is [`content_hash`] of `text` verbatim.
+    pub fn from_csv(text: &str, config: EasyCConfig) -> Result<FleetState, ImportError> {
+        let list = top500::io::import_csv(text)?;
+        Ok(FleetState::build(list, config, content_hash(text)))
+    }
+
+    /// Wraps an already-parsed list; the cache key is the hash of its
+    /// canonical CSV export (so equal fleets share a key however built).
+    pub fn from_list(list: Top500List, config: EasyCConfig) -> FleetState {
+        let hash = content_hash(&top500::io::export_csv(&list));
+        FleetState::build(list, config, hash)
+    }
+
+    fn build(list: Top500List, config: EasyCConfig, source_hash: u64) -> FleetState {
+        let metrics: Vec<SevenMetrics> = list.systems().iter().map(SevenMetrics::extract).collect();
+        let columns = FleetColumns::build(&list, &metrics);
+        FleetState {
+            list,
+            metrics,
+            columns,
+            config,
+            source_hash,
+            cache: None,
+        }
+    }
+
+    /// The resident fleet.
+    pub fn list(&self) -> &Top500List {
+        &self.list
+    }
+
+    /// Phase-1 metrics, one per system (rank order).
+    pub fn metrics(&self) -> &[SevenMetrics] {
+        &self.metrics
+    }
+
+    /// The configuration every query plans against.
+    pub fn config(&self) -> &EasyCConfig {
+        &self.config
+    }
+
+    /// The content hash of the current source — the cache key clients
+    /// must present to [`FleetState::invalidate`].
+    pub fn source_hash(&self) -> u64 {
+        self.source_hash
+    }
+
+    /// Number of systems.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.len() == 0
+    }
+
+    /// True when the default-scenario footprint cache is present and keyed
+    /// by the current source hash.
+    pub fn is_warm(&self) -> bool {
+        self.cache
+            .as_ref()
+            .is_some_and(|c| c.hash == self.source_hash)
+    }
+
+    /// The effective default scenario (everything visible, configuration
+    /// overrides applied) — what the cache is keyed against.
+    fn default_scenario(&self) -> DataScenario {
+        plan_scenarios(None, &self.config).1.remove(0)
+    }
+
+    /// Computes (or refreshes) the default-scenario footprint cache
+    /// through the same columnar kernels a query uses, and folds it into
+    /// a single-segment retractable partial. Idempotent when warm.
+    pub fn warm(&mut self) {
+        if self.is_warm() {
+            return;
+        }
+        let scenario = self.default_scenario();
+        let view = FleetView::new(&self.list, &self.metrics, &scenario);
+        let n = self.list.len();
+        let mut slots: Vec<Option<SystemFootprint>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        assess_columns(&self.columns, &view, 0..n, &mut slots);
+        let footprints: Vec<SystemFootprint> = slots
+            .into_iter()
+            .map(|f| f.expect("assess_columns fills every slot"))
+            .collect();
+        let mut partial = PartialAssessment::identity(0);
+        partial.absorb(0, &footprints);
+        self.cache = Some(FootprintCache {
+            hash: self.source_hash,
+            footprints,
+            partial,
+        });
+    }
+
+    /// Fleet totals from the cached fold (`None` when cold). Collapses a
+    /// clone of the resident single-segment partial, so the bits equal
+    /// the serial left fold over the cached footprints.
+    pub fn cached_totals(&self) -> Option<FleetTotals> {
+        self.is_warm()
+            .then(|| self.cache.as_ref().expect("warm implies cached"))
+            .map(|c| c.partial.clone().finish())
+    }
+
+    /// The cached default-scenario footprints (`None` when cold).
+    pub fn cached_footprints(&self) -> Option<&[SystemFootprint]> {
+        self.is_warm()
+            .then(|| self.cache.as_ref().expect("warm implies cached"))
+            .map(|c| c.footprints.as_slice())
+    }
+
+    /// Evicts the footprint cache **iff** `hash` names the current
+    /// source; a stale hash is a no-op reported as
+    /// [`InvalidateOutcome::Stale`] so clients can distinguish "evicted"
+    /// from "your view is outdated".
+    pub fn invalidate(&mut self, hash: u64) -> InvalidateOutcome {
+        if hash == self.source_hash && self.cache.is_some() {
+            self.cache = None;
+            InvalidateOutcome::Evicted
+        } else {
+            InvalidateOutcome::Stale
+        }
+    }
+
+    /// Replaces the whole source: re-parse, re-extract, re-transpose,
+    /// evict the cache. Returns the new source hash.
+    pub fn update_source(&mut self, text: &str) -> Result<u64, ImportError> {
+        let list = top500::io::import_csv(text)?;
+        *self = FleetState::build(list, self.config, content_hash(text));
+        Ok(self.source_hash)
+    }
+
+    /// Splices `rows` over positions `first_row ..` in place — the O(k)
+    /// incremental path (see the [module docs](self)). Replacement rows
+    /// must keep their position's rank (rank defines list order and the
+    /// CRN stream key). Re-extracts the touched metrics, patches the
+    /// touched columns, and — when warm — re-estimates exactly the
+    /// touched footprints and repairs the cached fold by
+    /// retract-then-absorb, keeping the cache warm under the advanced
+    /// chain hash. Returns the new source hash.
+    pub fn update_rows(
+        &mut self,
+        first_row: usize,
+        rows: Vec<SystemRecord>,
+    ) -> Result<u64, UpdateError> {
+        let n = self.list.len();
+        let k = rows.len();
+        if first_row + k > n {
+            return Err(UpdateError::OutOfBounds {
+                first_row,
+                rows: k,
+                len: n,
+            });
+        }
+        if k == 0 {
+            return Ok(self.source_hash);
+        }
+        let range = first_row..first_row + k;
+        for (offset, row) in rows.iter().enumerate() {
+            let expected = self.list.systems()[first_row + offset].rank;
+            if row.rank != expected {
+                return Err(UpdateError::RankChanged {
+                    row: first_row + offset,
+                    expected,
+                    got: row.rank,
+                });
+            }
+        }
+        for (slot, row) in self.list.systems_mut()[range.clone()].iter_mut().zip(rows) {
+            *slot = row;
+        }
+        for i in range.clone() {
+            self.metrics[i] = SevenMetrics::extract(&self.list.systems()[i]);
+        }
+        self.columns
+            .patch_range(&self.list, &self.metrics, range.clone());
+        let new_hash = chain_hash(
+            self.source_hash,
+            first_row,
+            &self.list.systems()[range.clone()],
+        );
+
+        if self.is_warm() {
+            let scenario = self.default_scenario();
+            let view = FleetView::new(&self.list, &self.metrics, &scenario);
+            let cache = self.cache.as_mut().expect("warm implies cached");
+            cache
+                .partial
+                .retract(first_row..n, &cache.footprints[..first_row])
+                .expect("cached partial covers 0..n and the cut lies inside it");
+            let mut slots: Vec<Option<SystemFootprint>> = Vec::with_capacity(k);
+            slots.resize_with(k, || None);
+            assess_columns(&self.columns, &view, range.clone(), &mut slots);
+            for (i, slot) in range.clone().zip(slots) {
+                cache.footprints[i] = slot.expect("assess_columns fills every slot");
+            }
+            cache
+                .partial
+                .absorb(first_row, &cache.footprints[first_row..]);
+            cache.hash = new_hash;
+        } else {
+            self.cache = None;
+        }
+        self.source_hash = new_hash;
+        Ok(new_hash)
+    }
+
+    /// Starts a query over the resident fleet — a cheap borrow mirroring
+    /// the [`crate::Assessment`] builder.
+    pub fn query(&self) -> QueryPlan<'_> {
+        QueryPlan {
+            state: self,
+            matrix: None,
+            plan: DrawPlan::default(),
+            workers: self.config.workers.max(1),
+            items_per_worker: DEFAULT_ITEMS_PER_WORKER,
+        }
+    }
+}
+
+/// A per-query plan borrowing a [`FleetState`] — the warm counterpart of
+/// [`crate::Assessment`], sharing its phase-2/3 engine so results are
+/// bit-identical to a cold session at any worker count and cache
+/// temperature. Build with [`FleetState::query`], finish with
+/// [`QueryPlan::run`].
+pub struct QueryPlan<'a> {
+    state: &'a FleetState,
+    matrix: Option<ScenarioMatrix>,
+    plan: DrawPlan,
+    workers: usize,
+    items_per_worker: usize,
+}
+
+impl<'a> QueryPlan<'a> {
+    /// Queries one explicit scenario (replacing the default).
+    pub fn scenario(mut self, scenario: DataScenario) -> QueryPlan<'a> {
+        self.matrix = Some(ScenarioMatrix::from_scenarios(vec![scenario]));
+        self
+    }
+
+    /// Queries a whole scenario matrix in one interleaved pass.
+    pub fn scenarios(mut self, matrix: &ScenarioMatrix) -> QueryPlan<'a> {
+        self.matrix = Some(matrix.clone());
+        self
+    }
+
+    /// Requests Monte-Carlo fleet-total intervals with this many draws
+    /// per scenario (0 = skip, the default).
+    pub fn uncertainty(mut self, draws: usize) -> QueryPlan<'a> {
+        self.plan.draws = draws;
+        self
+    }
+
+    /// Confidence level of the intervals (default 0.95).
+    pub fn confidence(mut self, level: f64) -> QueryPlan<'a> {
+        self.plan.level = level;
+        self
+    }
+
+    /// RNG seed for the Monte-Carlo draws (default 0).
+    pub fn seed(mut self, seed: u64) -> QueryPlan<'a> {
+        self.plan.seed = seed;
+        self
+    }
+
+    /// Prior uncertainty widths used by the Monte-Carlo draws.
+    pub fn priors(mut self, priors: PriorUncertainty) -> QueryPlan<'a> {
+        self.plan.priors = priors;
+        self
+    }
+
+    /// Replaces the whole [`DrawPlan`] in one call.
+    pub fn draw_plan(mut self, plan: DrawPlan) -> QueryPlan<'a> {
+        self.plan = plan;
+        self
+    }
+
+    /// Worker-pool size for this query (default: the state's configured
+    /// workers).
+    pub fn workers(mut self, workers: usize) -> QueryPlan<'a> {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Work items planned per worker (default 4) — a scheduler knob,
+    /// bit-identical at any granularity.
+    pub fn items_per_worker(mut self, items: usize) -> QueryPlan<'a> {
+        self.items_per_worker = items.max(1);
+        self
+    }
+
+    /// Plans and executes the query on the resident fleet. Scenarios
+    /// whose effective (mask, overrides) equal the warm default scenario
+    /// skip phase 2 entirely — the cache already holds the bits it would
+    /// recompute; everything else runs the cold kernels over the resident
+    /// columns. Monte-Carlo draws are a pure function of the footprint
+    /// bases and the plan, so intervals match the cold session bit for
+    /// bit either way.
+    pub fn run(self) -> AssessmentOutput {
+        let state = self.state;
+        let (display, effective) = plan_scenarios(self.matrix.as_ref(), &state.config);
+        let cache = state.cache.as_ref().filter(|c| c.hash == state.source_hash);
+        let default_overrides = state.config.overrides();
+        let cached: Vec<Option<&[SystemFootprint]>> = effective
+            .iter()
+            .map(|eff| {
+                cache.and_then(|c| {
+                    (eff.mask == MetricMask::ALL && eff.overrides == default_overrides)
+                        .then_some(c.footprints.as_slice())
+                })
+            })
+            .collect();
+        let workers = self.workers;
+        let pool = (workers > 1).then(|| ThreadPool::new(workers));
+        run_planned_phases(
+            &PhaseInput {
+                list: &state.list,
+                metrics: &state.metrics,
+                columns: &state.columns,
+                cached: &cached,
+            },
+            display,
+            &effective,
+            self.plan,
+            workers,
+            self.items_per_worker,
+            pool.as_ref(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{MetricBit, OverrideSet};
+    use crate::session::Assessment;
+    use top500::synthetic::{generate_full, SyntheticConfig};
+
+    fn list(n: u32) -> Top500List {
+        generate_full(&SyntheticConfig {
+            n,
+            ..Default::default()
+        })
+    }
+
+    fn matrix() -> ScenarioMatrix {
+        ScenarioMatrix::new()
+            .with(DataScenario::full("default"))
+            .with(DataScenario::masked(
+                "no-power",
+                MetricMask::ALL
+                    .without(MetricBit::PowerKw)
+                    .without(MetricBit::AnnualEnergy),
+            ))
+            .with(DataScenario::full("pue").with_overrides(OverrideSet {
+                pue: Some(1.15),
+                ..OverrideSet::NONE
+            }))
+    }
+
+    fn assert_outputs_identical(a: &AssessmentOutput, b: &AssessmentOutput) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.slices().iter().zip(b.slices()) {
+            assert_eq!(x.scenario.name, y.scenario.name);
+            for (f, g) in x.footprints.iter().zip(&y.footprints) {
+                assert_eq!(f.operational, g.operational);
+                assert_eq!(f.embodied, g.embodied);
+            }
+        }
+        assert_eq!(a.intervals(), b.intervals());
+        assert_eq!(a.embodied_intervals(), b.embodied_intervals());
+    }
+
+    #[test]
+    fn warm_query_is_bit_identical_to_cold_session() {
+        let list = list(60);
+        let cold = Assessment::of(&list)
+            .workers(3)
+            .scenarios(&matrix())
+            .uncertainty(64)
+            .seed(9)
+            .run();
+        let mut state = FleetState::from_list(list, EasyCConfig::default());
+        state.warm();
+        assert!(state.is_warm());
+        let warm = state
+            .query()
+            .workers(3)
+            .scenarios(&matrix())
+            .uncertainty(64)
+            .seed(9)
+            .run();
+        assert_outputs_identical(&cold, &warm);
+        // Cold state (no warm()) also matches — the cache is an
+        // optimisation, never a semantic.
+        let cold_state = FleetState::from_list(
+            top500::io::import_csv(&top500::io::export_csv(state.list())).unwrap(),
+            EasyCConfig::default(),
+        );
+        let unwarmed = cold_state
+            .query()
+            .workers(3)
+            .scenarios(&matrix())
+            .uncertainty(64)
+            .seed(9)
+            .run();
+        assert_outputs_identical(&cold, &unwarmed);
+    }
+
+    #[test]
+    fn cached_totals_match_the_serial_fold() {
+        let mut state = FleetState::from_list(list(50), EasyCConfig::default());
+        assert!(state.cached_totals().is_none());
+        state.warm();
+        let totals = state.cached_totals().expect("warm");
+        let mut partial = PartialAssessment::identity(0);
+        partial.absorb(0, state.cached_footprints().expect("warm"));
+        let reference = partial.finish();
+        assert_eq!(
+            totals.operational_mt.to_bits(),
+            reference.operational_mt.to_bits()
+        );
+        assert_eq!(
+            totals.embodied_mt.to_bits(),
+            reference.embodied_mt.to_bits()
+        );
+        assert_eq!(totals.total, 50);
+    }
+
+    #[test]
+    fn update_rows_is_bit_identical_to_rebuild() {
+        let base = list(70);
+        let mut state = FleetState::from_list(
+            top500::io::import_csv(&top500::io::export_csv(&base)).unwrap(),
+            EasyCConfig::default(),
+        );
+        state.warm();
+        // Edit rows 30..34: new power, a different CPU, dropped country.
+        let mut rows: Vec<SystemRecord> = base.systems()[30..34].to_vec();
+        for r in &mut rows {
+            r.power_kw = Some(4321.0);
+            r.processor = Some("Xeon Platinum 8280".into());
+            r.country = None;
+        }
+        let mut edited = base.systems().to_vec();
+        for (slot, row) in edited[30..34].iter_mut().zip(rows.iter()) {
+            *slot = row.clone();
+        }
+        let hash_before = state.source_hash();
+        let hash_after = state.update_rows(30, rows).expect("valid splice");
+        assert_ne!(hash_before, hash_after);
+        assert!(state.is_warm(), "an in-place update keeps the cache warm");
+
+        let rebuilt = Top500List::new(edited);
+        let cold = Assessment::of(&rebuilt)
+            .workers(2)
+            .scenarios(&matrix())
+            .uncertainty(48)
+            .seed(4)
+            .run();
+        let warm = state
+            .query()
+            .workers(2)
+            .scenarios(&matrix())
+            .uncertainty(48)
+            .seed(4)
+            .run();
+        assert_outputs_identical(&cold, &warm);
+
+        // The repaired fold equals one rebuilt from scratch.
+        let totals = state.cached_totals().expect("warm");
+        let mut partial = PartialAssessment::identity(0);
+        partial.absorb(0, state.cached_footprints().expect("warm"));
+        let reference = partial.finish();
+        assert_eq!(
+            totals.operational_mt.to_bits(),
+            reference.operational_mt.to_bits()
+        );
+        assert_eq!(
+            totals.embodied_mt.to_bits(),
+            reference.embodied_mt.to_bits()
+        );
+    }
+
+    #[test]
+    fn update_rows_rejects_bad_splices_untouched() {
+        let base = list(20);
+        let mut state = FleetState::from_list(
+            top500::io::import_csv(&top500::io::export_csv(&base)).unwrap(),
+            EasyCConfig::default(),
+        );
+        state.warm();
+        let hash = state.source_hash();
+
+        let rows: Vec<SystemRecord> = base.systems()[5..7].to_vec();
+        let err = state.update_rows(19, rows).unwrap_err();
+        assert!(matches!(err, UpdateError::OutOfBounds { .. }));
+        assert!(err.to_string().contains("19..21"));
+
+        let mut rows: Vec<SystemRecord> = base.systems()[5..6].to_vec();
+        rows[0].rank = 999;
+        let err = state.update_rows(5, rows).unwrap_err();
+        assert!(matches!(err, UpdateError::RankChanged { row: 5, .. }));
+        assert!(err.to_string().contains("rank"));
+
+        assert_eq!(state.source_hash(), hash, "rejected splices change nothing");
+        assert!(state.is_warm());
+
+        // Empty splices are hash-preserving no-ops.
+        assert_eq!(state.update_rows(3, Vec::new()).unwrap(), hash);
+    }
+
+    #[test]
+    fn invalidate_distinguishes_current_from_stale() {
+        let mut state = FleetState::from_list(list(10), EasyCConfig::default());
+        state.warm();
+        let hash = state.source_hash();
+        assert_eq!(state.invalidate(hash ^ 1), InvalidateOutcome::Stale);
+        assert!(state.is_warm(), "a stale invalidate is a no-op");
+        assert_eq!(state.invalidate(hash), InvalidateOutcome::Evicted);
+        assert!(!state.is_warm());
+        assert_eq!(state.invalidate(hash), InvalidateOutcome::Stale);
+    }
+
+    #[test]
+    fn update_source_reparses_and_evicts() {
+        let a = list(12);
+        let b = list(9);
+        let text_a = top500::io::export_csv(&a);
+        let text_b = top500::io::export_csv(&b);
+        let mut state = FleetState::from_csv(&text_a, EasyCConfig::default()).unwrap();
+        state.warm();
+        assert_eq!(state.source_hash(), content_hash(&text_a));
+        let new_hash = state.update_source(&text_b).unwrap();
+        assert_eq!(new_hash, content_hash(&text_b));
+        assert_eq!(state.len(), 9);
+        assert!(!state.is_warm(), "a source swap evicts the cache");
+        assert!(state.update_source("not,a,valid header\n???").is_err());
+    }
+
+    #[test]
+    fn config_overrides_gate_the_cache_but_not_the_bits() {
+        let config = EasyCConfig {
+            pue_override: Some(1.3),
+            ..Default::default()
+        };
+        let base = list(30);
+        let cold = Assessment::of(&base).config(config).run();
+        let mut state = FleetState::from_list(base, config);
+        state.warm();
+        let warm = state.query().run();
+        assert_outputs_identical(&cold, &warm);
+    }
+}

@@ -1,0 +1,65 @@
+//! A minimal blocking JSONL client — one request line out, one response
+//! line back. Used by the CLI `query` subcommand and the serving tests.
+
+use crate::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. Requests are strictly sequential per connection
+/// (the protocol answers in order); open several clients for concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line (newline appended) and returns the raw
+    /// response line (newline stripped) — the bytes tests compare.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends one request line and parses the response.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Value> {
+        let raw = self.request_raw(line)?;
+        json::parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+
+    /// Sends a request and writes without waiting — used by disconnect
+    /// tests; normal callers want [`Client::request`].
+    pub fn send_only(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+}

@@ -1,0 +1,753 @@
+//! The resident assessment server — a JSONL-over-TCP request loop.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! client ──line──▶ connection thread ──try_send──▶ bounded queue
+//!                   │    (parse, route)               │
+//!                   │ malformed / oversized /          ▼
+//!                   │ queue-full answered here   ThreadPool worker
+//!                   ◀──────────reply channel───── (FleetState query)
+//! ```
+//!
+//! One OS thread per connection owns the socket and never computes; the
+//! bounded `sync_channel` queue is the **only** path into the compute
+//! [`ThreadPool`], so a busy server sheds load with a structured
+//! `queue-full` error instead of queueing unboundedly. Every reply travels
+//! back on a per-request rendezvous channel with a timeout, so a stuck
+//! query produces a `timeout` error while the connection stays
+//! serviceable. Shutdown (the `shutdown` op or [`Server::shutdown`]) stops
+//! the acceptor, lets in-flight requests finish, unparks held workers and
+//! joins everything — no detached threads survive.
+//!
+//! Protocol ops: `status`, `assess`, `sweep`, `compare`, `invalidate`,
+//! `hold`/`release` (diagnostic worker-occupancy control used by the
+//! backpressure tests) and `shutdown`. Every response is a single JSON
+//! line whose field order is fixed, so equal answers are equal bytes; all
+//! carbon totals carry exact-bit hex fields next to the decimal ones.
+//! Fleet totals are folded through [`PartialAssessment`] — the same pinned
+//! fold shape every other result path uses.
+
+use crate::json::{self, Obj, Value};
+use easyc::{
+    DataScenario, FleetState, Interval, InvalidateOutcome, MetricMask, OverrideSet,
+    PartialAssessment, ScenarioMatrix,
+};
+use parallel::pool::ThreadPool;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Compute workers draining the request queue (each may itself fan a
+    /// query out over the state's configured pool).
+    pub workers: usize,
+    /// Bound of the request queue; a full queue answers `queue-full`.
+    pub queue_depth: usize,
+    /// Per-request reply deadline; exceeding it answers `timeout`.
+    pub request_timeout: Duration,
+    /// Longest accepted request line, bytes; longer answers `oversized-request`.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 16,
+            request_timeout: Duration::from_secs(30),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// How often blocked socket reads wake to check the stop flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+struct Shared {
+    state: RwLock<FleetState>,
+    config: ServeConfig,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    /// Requests currently queued or computing (reported by `status`).
+    queued: AtomicUsize,
+    /// `hold` ops park workers until this release counter advances (or
+    /// shutdown) — the deterministic occupancy control behind the
+    /// queue-full tests.
+    releases: Mutex<u64>,
+    released: Condvar,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, FleetState> {
+        // A poisoned lock means some earlier request panicked; the state
+        // itself is read-only to queries, so keep serving.
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, FleetState> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One queued request: the parsed line plus the reply rendezvous.
+struct Request {
+    value: Value,
+    reply: SyncSender<String>,
+}
+
+/// A running server: the bound address plus the shutdown/join handle.
+/// Dropping the handle shuts the server down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, lets in-flight requests finish, and joins every
+    /// server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until the server shuts down (a `shutdown` request), then
+    /// joins every server thread — what the CLI `serve` subcommand sits in.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unpark held workers so they observe the stop flag.
+        *self
+            .shared
+            .releases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) += 1;
+        self.shared.released.notify_all();
+        // Wake the acceptor out of `accept()`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `state` until shutdown — see the
+/// [module docs](self) for the request lifecycle.
+pub fn spawn(
+    state: FleetState,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        state: RwLock::new(state),
+        config,
+        addr: local,
+        stop: AtomicBool::new(false),
+        queued: AtomicUsize::new(0),
+        releases: Mutex::new(0),
+        released: Condvar::new(),
+    });
+
+    let (tx, rx) = sync_channel::<Request>(config.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let pool = ThreadPool::new(config.workers.max(1));
+    for _ in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        pool.execute(move || loop {
+            // Take the next request with the receiver lock *dropped*
+            // before computing, so workers drain the queue concurrently.
+            let request = {
+                let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                guard.recv()
+            };
+            let Ok(request) = request else { break };
+            let response = handle_request(&request.value, &shared);
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            // The client may have timed out or disconnected; that drops
+            // the receiver and this send fails — fine either way.
+            let _ = request.reply.send(response);
+        });
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("serve-accept".into())
+        .spawn(move || {
+            // Keep the pool alive (and its workers draining) until every
+            // connection thread has exited and dropped its queue sender.
+            let _pool = pool;
+            let mut connections: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_shared.stopping() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let tx = tx.clone();
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || connection(stream, tx, conn_shared));
+                match handle {
+                    Ok(h) => connections.push(h),
+                    Err(_) => continue,
+                }
+            }
+            drop(tx);
+            for handle in connections {
+                let _ = handle.join();
+            }
+        })?;
+
+    Ok(Server {
+        addr: local,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete line within the byte bound (newline stripped).
+    Line(String),
+    /// The line exceeded the bound; it was consumed through its newline so
+    /// the stream stays in sync.
+    Oversized,
+    /// Peer gone, unrecoverable error, or server stopping.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line from `stream`, buffering leftovers in
+/// `buf` (pipelined requests), discarding — with bounded memory — anything
+/// longer than `max` bytes, and polling the stop flag while blocked.
+fn read_line_bounded(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    max: usize,
+    shared: &Shared,
+) -> LineRead {
+    let mut discarding = false;
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let rest = buf.split_off(pos + 1);
+            let mut line = std::mem::replace(buf, rest);
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if discarding || line.len() > max {
+                return LineRead::Oversized;
+            }
+            return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+        }
+        if buf.len() > max {
+            discarding = true;
+            buf.clear();
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return LineRead::Closed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stopping() {
+                    return LineRead::Closed;
+                }
+            }
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+/// Owns one connection: read a line, answer a line, repeat. Transport
+/// errors (disconnects mid-request or mid-response) end the connection —
+/// never the server.
+fn connection(stream: TcpStream, tx: SyncSender<Request>, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let line =
+            match read_line_bounded(&mut reader, &mut buf, shared.config.max_line_bytes, &shared) {
+                LineRead::Closed => return,
+                LineRead::Oversized => error_line(
+                    "oversized-request",
+                    &format!(
+                        "request line exceeds {} bytes",
+                        shared.config.max_line_bytes
+                    ),
+                ),
+                LineRead::Line(line) if line.trim().is_empty() => continue,
+                LineRead::Line(line) => route(&line, &tx, &shared),
+            };
+        if writer.write_all(line.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Parses one request line and produces its response: transport-layer ops
+/// (`status`, `release`, `shutdown`) answer inline on the connection
+/// thread; compute ops travel through the bounded queue to a pool worker.
+fn route(line: &str, tx: &SyncSender<Request>, shared: &Shared) -> String {
+    let value = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_line("malformed-request", &format!("invalid JSON: {e}")),
+    };
+    let Some(op) = value.get("op").and_then(Value::as_str) else {
+        return error_line("malformed-request", "missing string field `op`");
+    };
+    match op {
+        "status" => {
+            let state = shared.read_state();
+            Obj::new()
+                .field_bool("ok", true)
+                .field_str("op", "status")
+                .field_int("systems", state.len())
+                .field_bool("warm", state.is_warm())
+                .field_str("source_hash", &format!("{:016x}", state.source_hash()))
+                .field_int("queued", shared.queued.load(Ordering::SeqCst))
+                .field_int("workers", shared.config.workers.max(1))
+                .finish()
+        }
+        "release" => {
+            *shared.releases.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+            shared.released.notify_all();
+            Obj::new()
+                .field_bool("ok", true)
+                .field_str("op", "release")
+                .finish()
+        }
+        "shutdown" => {
+            shared.stop.store(true, Ordering::SeqCst);
+            *shared.releases.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+            shared.released.notify_all();
+            // Wake the acceptor so it stops taking connections.
+            let _ = TcpStream::connect(shared.addr);
+            Obj::new()
+                .field_bool("ok", true)
+                .field_str("op", "shutdown")
+                .finish()
+        }
+        "assess" | "sweep" | "compare" | "invalidate" | "hold" => {
+            let (reply_tx, reply_rx) = sync_channel::<String>(1);
+            shared.queued.fetch_add(1, Ordering::SeqCst);
+            match tx.try_send(Request {
+                value,
+                reply: reply_tx,
+            }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    shared.queued.fetch_sub(1, Ordering::SeqCst);
+                    return error_line(
+                        "queue-full",
+                        &format!(
+                            "request queue is full ({} pending); retry later",
+                            shared.config.queue_depth
+                        ),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.queued.fetch_sub(1, Ordering::SeqCst);
+                    return error_line("shutting-down", "server is shutting down");
+                }
+            }
+            match reply_rx.recv_timeout(shared.config.request_timeout) {
+                Ok(response) => response,
+                Err(RecvTimeoutError::Timeout) => error_line(
+                    "timeout",
+                    &format!(
+                        "request exceeded {} ms",
+                        shared.config.request_timeout.as_millis()
+                    ),
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    error_line("shutting-down", "server is shutting down")
+                }
+            }
+        }
+        other => error_line("unknown-op", &format!("unknown op `{other}`")),
+    }
+}
+
+/// Computes one queued request on a pool worker.
+fn handle_request(value: &Value, shared: &Shared) -> String {
+    match value.get("op").and_then(Value::as_str) {
+        Some("assess") => op_assess(value, shared),
+        Some("sweep") => op_sweep(value, shared),
+        Some("compare") => op_compare(value, shared),
+        Some("invalidate") => op_invalidate(value, shared),
+        Some("hold") => op_hold(shared),
+        _ => error_line("unknown-op", "unroutable op reached a worker"),
+    }
+}
+
+fn error_line(code: &str, message: &str) -> String {
+    Obj::new()
+        .field_bool("ok", false)
+        .field_str("code", code)
+        .field_str("error", message)
+        .finish()
+}
+
+/// Optional request numbers with defaults; `Err` on present-but-invalid.
+fn opt_usize(value: &Value, key: &str, default: usize) -> Result<usize, String> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(value: &Value, key: &str) -> Result<Option<f64>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+/// The draw plan fields shared by every compute op.
+struct PlanSpec {
+    draws: usize,
+    seed: u64,
+    level: Option<f64>,
+    workers: Option<usize>,
+}
+
+fn plan_spec(value: &Value, default_draws: usize) -> Result<PlanSpec, String> {
+    let draws = opt_usize(value, "draws", default_draws)?;
+    let seed = opt_usize(value, "seed", 0)? as u64;
+    let level = opt_f64(value, "confidence")?;
+    if let Some(level) = level {
+        if !(level > 0.0 && level < 1.0) {
+            return Err("field `confidence` must lie strictly between 0 and 1".into());
+        }
+    }
+    let workers = match value.get("workers") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .filter(|w| *w > 0)
+                .ok_or("field `workers` must be a positive integer")?,
+        ),
+    };
+    Ok(PlanSpec {
+        draws,
+        seed,
+        level,
+        workers,
+    })
+}
+
+/// The optional single-scenario fields of an `assess` request: `scenario`
+/// (name), `mask` (spec string), `pue` / `utilization` / `aci` overrides.
+/// All absent = the state's default scenario (warm-path eligible).
+fn scenario_spec(value: &Value) -> Result<Option<DataScenario>, String> {
+    let name = match value.get("scenario") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or("field `scenario` must be a string")?
+                .to_string(),
+        ),
+    };
+    let mask = match value.get("mask") {
+        None => None,
+        Some(v) => {
+            let spec = v.as_str().ok_or("field `mask` must be a string")?;
+            Some(MetricMask::parse(spec).map_err(|e| format!("bad mask: {e}"))?)
+        }
+    };
+    let overrides = OverrideSet {
+        pue: opt_f64(value, "pue")?,
+        utilization: opt_f64(value, "utilization")?,
+        aci_g_per_kwh: opt_f64(value, "aci")?,
+    };
+    if name.is_none() && mask.is_none() && overrides == OverrideSet::NONE {
+        return Ok(None);
+    }
+    let scenario = DataScenario::masked(
+        name.unwrap_or_else(|| "default".to_string()),
+        mask.unwrap_or(MetricMask::ALL),
+    )
+    .with_overrides(overrides);
+    Ok(Some(scenario))
+}
+
+/// Renders an optional interval with exact bits (`null` when absent).
+fn interval_json(interval: Option<Interval>) -> String {
+    match interval {
+        None => "null".to_string(),
+        Some(iv) => Obj::new()
+            .field_num("point", iv.point)
+            .field_num("lo", iv.lo)
+            .field_num("hi", iv.hi)
+            .field_bits("point_bits", iv.point)
+            .field_bits("lo_bits", iv.lo)
+            .field_bits("hi_bits", iv.hi)
+            .finish(),
+    }
+}
+
+/// Folds one scenario slice through the pinned [`PartialAssessment`]
+/// shape and renders its summary object.
+fn slice_summary(
+    slice: &easyc::ScenarioSlice,
+    interval: Option<Interval>,
+    embodied_interval: Option<Interval>,
+) -> String {
+    let mut partial = PartialAssessment::identity(0);
+    partial.absorb(0, &slice.footprints);
+    let totals = partial.finish();
+    Obj::new()
+        .field_str("name", &slice.scenario.name)
+        .field_int("systems", totals.total)
+        .field_int("op_covered", totals.op_covered)
+        .field_int("emb_covered", totals.emb_covered)
+        .field_int("op_errors", totals.op_errors)
+        .field_int("emb_errors", totals.emb_errors)
+        .field_num("operational_mt", totals.operational_mt)
+        .field_bits("operational_bits", totals.operational_mt)
+        .field_num("embodied_mt", totals.embodied_mt)
+        .field_bits("embodied_bits", totals.embodied_mt)
+        .field_raw("operational_interval", &interval_json(interval))
+        .field_raw("embodied_interval", &interval_json(embodied_interval))
+        .finish()
+}
+
+fn op_assess(value: &Value, shared: &Shared) -> String {
+    let scenario = match scenario_spec(value) {
+        Ok(s) => s,
+        Err(e) => return error_line("bad-scenario", &e),
+    };
+    let plan = match plan_spec(value, 0) {
+        Ok(p) => p,
+        Err(e) => return error_line("malformed-request", &e),
+    };
+    let state = shared.read_state();
+    let mut query = state.query().uncertainty(plan.draws).seed(plan.seed);
+    if let Some(level) = plan.level {
+        query = query.confidence(level);
+    }
+    if let Some(workers) = plan.workers {
+        query = query.workers(workers);
+    }
+    if let Some(scenario) = scenario {
+        query = query.scenario(scenario);
+    }
+    let output = query.run();
+    let slice = &output.slices()[0];
+    Obj::new()
+        .field_bool("ok", true)
+        .field_str("op", "assess")
+        .field_bool("warm", state.is_warm())
+        .field_str("source_hash", &format!("{:016x}", state.source_hash()))
+        .field_raw(
+            "result",
+            &slice_summary(slice, output.intervals()[0], output.embodied_intervals()[0]),
+        )
+        .finish()
+}
+
+/// Parses the `matrix_csv` field shared by `sweep` and `compare`.
+fn matrix_spec(value: &Value) -> Result<ScenarioMatrix, String> {
+    let text = value
+        .get("matrix_csv")
+        .and_then(Value::as_str)
+        .ok_or("missing string field `matrix_csv`")?;
+    let matrix = ScenarioMatrix::from_csv(text).map_err(|e| format!("bad matrix: {e}"))?;
+    if matrix.is_empty() {
+        return Err("scenario matrix is empty".into());
+    }
+    Ok(matrix)
+}
+
+fn op_sweep(value: &Value, shared: &Shared) -> String {
+    let matrix = match matrix_spec(value) {
+        Ok(m) => m,
+        Err(e) => return error_line("bad-scenario", &e),
+    };
+    let plan = match plan_spec(value, 0) {
+        Ok(p) => p,
+        Err(e) => return error_line("malformed-request", &e),
+    };
+    let state = shared.read_state();
+    let mut query = state
+        .query()
+        .scenarios(&matrix)
+        .uncertainty(plan.draws)
+        .seed(plan.seed);
+    if let Some(level) = plan.level {
+        query = query.confidence(level);
+    }
+    if let Some(workers) = plan.workers {
+        query = query.workers(workers);
+    }
+    let output = query.run();
+    let summaries: Vec<String> = output
+        .slices()
+        .iter()
+        .enumerate()
+        .map(|(i, slice)| {
+            slice_summary(slice, output.intervals()[i], output.embodied_intervals()[i])
+        })
+        .collect();
+    // The same per-(scenario, system) CSV `sweep --out` writes — byte
+    // identical, which is what the CI smoke diffs.
+    let csv = frame::csv::write(&output.to_frame());
+    Obj::new()
+        .field_bool("ok", true)
+        .field_str("op", "sweep")
+        .field_bool("warm", state.is_warm())
+        .field_int("systems", state.len())
+        .field_int("scenarios", output.len())
+        .field_raw("results", &json::array(&summaries))
+        .field_str("csv", &csv)
+        .finish()
+}
+
+fn op_compare(value: &Value, shared: &Shared) -> String {
+    let matrix = match matrix_spec(value) {
+        Ok(m) => m,
+        Err(e) => return error_line("bad-scenario", &e),
+    };
+    let (Some(baseline), Some(variant)) = (
+        value.get("baseline").and_then(Value::as_str),
+        value.get("variant").and_then(Value::as_str),
+    ) else {
+        return error_line(
+            "malformed-request",
+            "compare needs string fields `baseline` and `variant`",
+        );
+    };
+    for name in [baseline, variant] {
+        if !matrix.scenarios().iter().any(|s| s.name == name) {
+            return error_line("bad-scenario", &format!("`{name}` is not in the matrix"));
+        }
+    }
+    let plan = match plan_spec(value, 1000) {
+        Ok(p) if p.draws > 0 => p,
+        Ok(_) => return error_line("malformed-request", "compare needs `draws` > 0"),
+        Err(e) => return error_line("malformed-request", &e),
+    };
+    let state = shared.read_state();
+    let mut query = state
+        .query()
+        .scenarios(&matrix)
+        .uncertainty(plan.draws)
+        .seed(plan.seed);
+    if let Some(level) = plan.level {
+        query = query.confidence(level);
+    }
+    if let Some(workers) = plan.workers {
+        query = query.workers(workers);
+    }
+    let output = query.run();
+    let Some(delta) = output.compare(baseline, variant) else {
+        return error_line(
+            "no-paired-draws",
+            &format!("no paired draws for {baseline},{variant}"),
+        );
+    };
+    Obj::new()
+        .field_bool("ok", true)
+        .field_str("op", "compare")
+        .field_bool("warm", state.is_warm())
+        .field_str("baseline", &delta.baseline)
+        .field_str("variant", &delta.variant)
+        .field_raw("operational", &interval_json(delta.operational))
+        .field_raw("embodied", &interval_json(delta.embodied))
+        .field_raw("total", &interval_json(delta.total))
+        .finish()
+}
+
+fn op_invalidate(value: &Value, shared: &Shared) -> String {
+    let Some(hash) = value
+        .get("hash")
+        .and_then(Value::as_str)
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+    else {
+        return error_line(
+            "malformed-request",
+            "invalidate needs a hex string field `hash`",
+        );
+    };
+    let mut state = shared.write_state();
+    let outcome = state.invalidate(hash);
+    Obj::new()
+        .field_bool("ok", true)
+        .field_str("op", "invalidate")
+        .field_str(
+            "code",
+            match outcome {
+                InvalidateOutcome::Evicted => "evicted",
+                InvalidateOutcome::Stale => "stale-hash",
+            },
+        )
+        .field_str("source_hash", &format!("{:016x}", state.source_hash()))
+        .finish()
+}
+
+/// Parks this worker until the next `release` (or shutdown) — occupies
+/// exactly one compute slot, deterministically, without any clock.
+fn op_hold(shared: &Shared) -> String {
+    let seen = {
+        let guard = shared.releases.lock().unwrap_or_else(|e| e.into_inner());
+        *guard
+    };
+    let mut guard = shared.releases.lock().unwrap_or_else(|e| e.into_inner());
+    while *guard == seen && !shared.stopping() {
+        guard = shared
+            .released
+            .wait(guard)
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    Obj::new()
+        .field_bool("ok", true)
+        .field_str("op", "hold")
+        .finish()
+}

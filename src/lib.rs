@@ -20,6 +20,8 @@
 //! - [`frame`] — columnar mini-dataframe and statistics substrate (batch
 //!   results are exposed columnar via `easyc::BatchOutput::to_frame`).
 //! - [`parallel`] — std-only deterministic parallel execution substrate.
+//! - [`serve`] — the resident-assessment service: a std-only JSONL-over-TCP
+//!   front end over a warm `easyc::FleetState` (CLI `serve` / `query`).
 
 pub use analysis;
 pub use easyc;
@@ -27,4 +29,5 @@ pub use frame;
 pub use ghg;
 pub use hwdb;
 pub use parallel;
+pub use serve;
 pub use top500;

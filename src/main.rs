@@ -30,6 +30,13 @@
 //!                      byte ranges parsed by N workers, merged in file order
 //!                      — results bit-identical to a serial read
 //! top500-carbon sweep-template              print the scenario CSV template
+//! top500-carbon serve [systems.csv] [--addr H:P --synthetic N --workers N
+//!                     --serve-workers N --queue-depth N --timeout-ms N --cold]
+//!                                           resident JSONL/TCP assessment server
+//!                                           over a warm easyc::FleetState
+//! top500-carbon query --addr H:P <op>       one request against a running server
+//!                                           (status / assess / sweep / compare /
+//!                                           invalidate / shutdown)
 //! ```
 
 use std::fs::File;
@@ -42,9 +49,10 @@ use top500_carbon::analysis::fleet::{
 };
 use top500_carbon::analysis::report::{run_study, SweepCsvWriter};
 use top500_carbon::easyc::{
-    Assessment, DrawPlan, Interval, PartialAssessment, ScenarioDelta, ScenarioMatrix,
+    Assessment, DrawPlan, FleetState, Interval, PartialAssessment, ScenarioDelta, ScenarioMatrix,
 };
 use top500_carbon::frame;
+use top500_carbon::serve::{self, ServeConfig};
 use top500_carbon::top500::io::{export_csv, import_csv, stream_csv, COLUMNS};
 use top500_carbon::top500::list::Top500List;
 use top500_carbon::top500::stream::{FleetChunks, Prefetched, ShardedCsvReader, SyntheticChunks};
@@ -74,6 +82,8 @@ fn main() -> ExitCode {
             print!("{}", ScenarioMatrix::csv_template());
             ExitCode::SUCCESS
         }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some(other) => usage(&format!("unknown command `{other}`")),
         None => usage("no command given"),
     }
@@ -104,7 +114,254 @@ fn usage(problem: &str) -> ExitCode {
     eprintln!("    --shards N          parallel byte-range ingest of the systems CSV");
     eprintln!("                        (requires --stream; bit-identical to a serial read)");
     eprintln!("  top500-carbon sweep-template          print the scenario CSV template");
+    eprintln!("  top500-carbon serve [systems.csv] [options]");
+    eprintln!("                                        resident assessment server (JSONL/TCP)");
+    eprintln!("    --addr HOST:PORT    bind address (default 127.0.0.1:0, port printed)");
+    eprintln!("    --synthetic N       N-system synthetic fleet instead of a CSV (default 500)");
+    eprintln!("    --workers N         per-query assessment pool size");
+    eprintln!("    --serve-workers N   compute workers draining the request queue (default 2)");
+    eprintln!("    --queue-depth N     bounded request queue (default 16; full → queue-full)");
+    eprintln!("    --timeout-ms N      per-request reply deadline (default 30000)");
+    eprintln!("    --cold              skip warming the footprint cache at startup");
+    eprintln!("  top500-carbon query --addr HOST:PORT <op> [options]");
+    eprintln!("                                        one request against a running server");
+    eprintln!("    status | shutdown                   transport ops");
+    eprintln!("    assess [--mask SPEC --scenario NAME --pue X --utilization X --aci X]");
+    eprintln!("    sweep <scenarios.csv> [--out results.csv]   (CSV identical to `sweep --out`)");
+    eprintln!("    compare <scenarios.csv> A,B");
+    eprintln!("    invalidate --hash HEX16");
+    eprintln!("    shared: --draws N --seed S --confidence L --workers N");
     ExitCode::FAILURE
+}
+
+/// Parsed `--flag value` pairs, as (name, value) in argv order.
+type Flags = Vec<(String, String)>;
+
+/// Parses `--flag value` pairs shared by `serve`/`query`, collecting
+/// positionals. Returns `None` on a malformed pair.
+fn parse_flags(rest: &[String]) -> Option<(Vec<String>, Flags)> {
+    let mut positionals = Vec::new();
+    let mut flags = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if name == "cold" || name == "raw" {
+                flags.push((name.to_string(), String::new()));
+            } else {
+                flags.push((name.to_string(), iter.next()?.clone()));
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    Some((positionals, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let Some((positionals, flags)) = parse_flags(rest) else {
+        return usage("serve: every --flag needs a value");
+    };
+    if positionals.len() > 1 {
+        return usage("serve takes at most one systems.csv");
+    }
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:0");
+    let mut config = top500_carbon::easyc::EasyCConfig::default();
+    if let Some(w) = flag(&flags, "workers") {
+        match w.parse::<usize>() {
+            Ok(w) if w > 0 => config.workers = w,
+            _ => return usage("--workers requires a positive integer"),
+        }
+    }
+    let state = match positionals.first() {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match FleetState::from_csv(&text, config) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let n = match flag(&flags, "synthetic") {
+                Some(n) => match n.parse::<u32>() {
+                    Ok(n) if n > 0 => n,
+                    _ => return usage("--synthetic requires a positive integer"),
+                },
+                None => 500,
+            };
+            FleetState::from_list(
+                generate_full(&SyntheticConfig {
+                    seed: DEFAULT_SEED,
+                    n,
+                    ..Default::default()
+                }),
+                config,
+            )
+        }
+    };
+    let mut state = state;
+    if flag(&flags, "cold").is_none() {
+        state.warm();
+    }
+    let mut serve_config = ServeConfig::default();
+    if let Some(w) = flag(&flags, "serve-workers") {
+        match w.parse::<usize>() {
+            Ok(w) if w > 0 => serve_config.workers = w,
+            _ => return usage("--serve-workers requires a positive integer"),
+        }
+    }
+    if let Some(d) = flag(&flags, "queue-depth") {
+        match d.parse::<usize>() {
+            Ok(d) if d > 0 => serve_config.queue_depth = d,
+            _ => return usage("--queue-depth requires a positive integer"),
+        }
+    }
+    if let Some(ms) = flag(&flags, "timeout-ms") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => serve_config.request_timeout = std::time::Duration::from_millis(ms),
+            _ => return usage("--timeout-ms requires a positive integer"),
+        }
+    }
+    let warm = state.is_warm();
+    let systems = state.len();
+    let hash = state.source_hash();
+    let server = match serve::spawn(state, addr, serve_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving {systems} systems on {} (source hash {hash:016x}, cache {})",
+        server.addr(),
+        if warm { "warm" } else { "cold" }
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    println!("server shut down");
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(rest: &[String]) -> ExitCode {
+    let Some((positionals, flags)) = parse_flags(rest) else {
+        return usage("query: every --flag needs a value");
+    };
+    let Some(addr) = flag(&flags, "addr") else {
+        return usage("query requires --addr HOST:PORT");
+    };
+    let Some(op) = positionals.first().map(String::as_str) else {
+        return usage("query requires an op (status/assess/sweep/compare/invalidate/shutdown)");
+    };
+    let mut request = serve::json::Obj::new().field_str("op", op);
+    // Shared numeric knobs, forwarded verbatim when given.
+    for key in ["draws", "seed", "workers"] {
+        if let Some(v) = flag(&flags, key) {
+            match v.parse::<usize>() {
+                Ok(n) => request = request.field_int(key, n),
+                Err(_) => return usage(&format!("--{key} requires an integer")),
+            }
+        }
+    }
+    for (key, field) in [
+        ("confidence", "confidence"),
+        ("pue", "pue"),
+        ("utilization", "utilization"),
+        ("aci", "aci"),
+    ] {
+        if let Some(v) = flag(&flags, key) {
+            match v.parse::<f64>() {
+                Ok(x) => request = request.field_num(field, x),
+                Err(_) => return usage(&format!("--{key} requires a number")),
+            }
+        }
+    }
+    for key in ["mask", "scenario", "hash"] {
+        if let Some(v) = flag(&flags, key) {
+            request = request.field_str(key, v);
+        }
+    }
+    match op {
+        "status" | "assess" | "invalidate" | "shutdown" => {}
+        "sweep" | "compare" => {
+            let Some(path) = positionals.get(1) else {
+                return usage(&format!("{op} requires a scenarios CSV path"));
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            request = request.field_str("matrix_csv", &text);
+            if op == "compare" {
+                let Some((a, b)) = positionals.get(2).and_then(|pair| pair.split_once(',')) else {
+                    return usage("compare requires two scenario names as A,B");
+                };
+                request = request.field_str("baseline", a).field_str("variant", b);
+            }
+        }
+        other => return usage(&format!("unknown query op `{other}`")),
+    }
+    let mut client = match serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let raw = match client.request_raw(&request.finish()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match serve::json::parse(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: unparseable response ({e}): {raw}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ok = parsed.get("ok").and_then(serve::json::Value::as_bool) == Some(true);
+    if let Some(out) = flag(&flags, "out") {
+        // `sweep --out` spills the per-(scenario, system) CSV — the same
+        // bytes the CLI `sweep --out` writes, which CI diffs.
+        let Some(csv) = parsed.get("csv").and_then(serve::json::Value::as_str) else {
+            eprintln!("error: response carries no csv field: {raw}");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::write(out, csv) {
+            eprintln!("error: could not write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote per-system scenario results to {out}");
+        return ExitCode::SUCCESS;
+    }
+    println!("{raw}");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Runs a scenario matrix over a system list (a CSV, or a synthetic

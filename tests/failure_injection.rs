@@ -121,3 +121,199 @@ fn interpolation_of_hostile_series() {
     let filled = nearest_peer_interpolation(&series, 5).unwrap();
     assert!(filled.iter().all(|&v| v == 42.0));
 }
+
+// ----------------------------------------------------------------- serve
+
+mod serve_failures {
+    use std::time::Duration;
+    use top500_carbon::easyc::{EasyCConfig, FleetState};
+    use top500_carbon::serve::json::Value;
+    use top500_carbon::serve::{spawn, Client, ServeConfig, Server};
+    use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
+
+    fn tiny_server(config: ServeConfig) -> Server {
+        let list = generate_full(&SyntheticConfig {
+            n: 10,
+            seed: 0x5EED_CAFE,
+            ..Default::default()
+        });
+        let mut state = FleetState::from_list(list, EasyCConfig::default());
+        state.warm();
+        spawn(state, "127.0.0.1:0", config).expect("bind loopback")
+    }
+
+    fn error_code(client: &mut Client, line: &str) -> String {
+        let response = client.request(line).expect("a structured error line");
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "expected an error response for {line:?}"
+        );
+        response
+            .get("code")
+            .and_then(Value::as_str)
+            .expect("error responses carry a code")
+            .to_string()
+    }
+
+    fn assert_serviceable(client: &mut Client) {
+        let status = client.request(r#"{"op":"status"}"#).expect("status");
+        assert_eq!(status.get("ok").and_then(Value::as_bool), Some(true));
+        let assess = client
+            .request(r#"{"op":"assess","draws":4,"seed":9}"#)
+            .expect("assess");
+        assert_eq!(assess.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn malformed_jsonl_yields_structured_errors_and_the_line_stays_usable() {
+        let server = tiny_server(ServeConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        for (line, want) in [
+            ("this is not json", "malformed-request"),
+            (r#"{"op""#, "malformed-request"),
+            (r#"{"op":5}"#, "malformed-request"),
+            (r#"{}"#, "malformed-request"),
+            (r#"[1,2,3]"#, "malformed-request"),
+            (r#"{"op":"assess","draws":-3}"#, "malformed-request"),
+            (r#"{"op":"assess","draws":1.5}"#, "malformed-request"),
+            (r#"{"op":"assess","confidence":2.0}"#, "malformed-request"),
+            (r#"{"op":"assess","mask":"all -bogus"}"#, "bad-scenario"),
+            (r#"{"op":"sweep"}"#, "bad-scenario"),
+            (
+                r#"{"op":"sweep","matrix_csv":"name,mask\n"}"#,
+                "bad-scenario",
+            ),
+            (r#"{"op":"compare","matrix_csv":"x"}"#, "bad-scenario"),
+            (r#"{"op":"invalidate"}"#, "malformed-request"),
+            (r#"{"op":"invalidate","hash":"zzz"}"#, "malformed-request"),
+            (r#"{"op":"selfdestruct"}"#, "unknown-op"),
+        ] {
+            assert_eq!(error_code(&mut client, line), want, "for {line:?}");
+        }
+        // After fifteen hostile lines, the same connection still serves.
+        assert_serviceable(&mut client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_the_stream_stays_in_sync() {
+        let server = tiny_server(ServeConfig {
+            max_line_bytes: 256,
+            ..Default::default()
+        });
+        let mut client = Client::connect(server.addr()).unwrap();
+        // Far past the bound — the server must discard through the newline
+        // with bounded memory, answer once, and keep the framing.
+        let huge = format!(r#"{{"op":"assess","pad":"{}"}}"#, "x".repeat(64 * 1024));
+        assert_eq!(error_code(&mut client, &huge), "oversized-request");
+        assert_serviceable(&mut client);
+        // Pipelined: oversized then a valid status in one write — both
+        // answered, in order.
+        let mut pipelined = Client::connect(server.addr()).unwrap();
+        pipelined.send_only(&huge).unwrap();
+        let response = pipelined.request(r#"{"op":"status"}"#).unwrap();
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            response.get("code").and_then(Value::as_str),
+            Some("oversized-request")
+        );
+        let status = pipelined.request(r#"{"op":"status"}"#).unwrap();
+        assert_eq!(status.get("ok").and_then(Value::as_bool), Some(true));
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_disconnect_mid_response_never_wedges_a_worker() {
+        let server = tiny_server(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        // Fire a compute request and hang up without reading the reply;
+        // the single worker must absorb the dead reply channel.
+        for seed in 0..3 {
+            let mut doomed = Client::connect(server.addr()).unwrap();
+            doomed
+                .send_only(&format!(r#"{{"op":"assess","draws":64,"seed":{seed}}}"#))
+                .unwrap();
+            drop(doomed);
+        }
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_serviceable(&mut client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_a_structured_error_then_recovers() {
+        // One worker, one queue slot: `hold` parks the worker, the next
+        // request fills the queue, the third must bounce — depth-first
+        // deterministic backpressure, no clocks involved.
+        let server = tiny_server(ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..Default::default()
+        });
+        let addr = server.addr();
+        // audit: allow(thread-spawn) — test client parking the worker; no result computation on this thread
+        let holder = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let response = client.request(r#"{"op":"hold"}"#).unwrap();
+            assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        });
+        // Wait until the worker has the hold in hand (status counts it).
+        let mut control = Client::connect(addr).unwrap();
+        loop {
+            let status = control.request(r#"{"op":"status"}"#).unwrap();
+            if status.get("queued").and_then(Value::as_usize) == Some(1) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Occupy the single queue slot with a second compute request.
+        // audit: allow(thread-spawn) — test client occupying the queue slot; no result computation on this thread
+        let queued = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let response = client
+                .request(r#"{"op":"assess","draws":4,"seed":1}"#)
+                .unwrap();
+            assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        });
+        loop {
+            let status = control.request(r#"{"op":"status"}"#).unwrap();
+            if status.get("queued").and_then(Value::as_usize) == Some(2) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Worker busy + queue full: the third compute request bounces
+        // immediately with the structured backpressure error.
+        assert_eq!(
+            error_code(&mut control, r#"{"op":"assess","draws":4,"seed":2}"#),
+            "queue-full"
+        );
+        // Release the held worker; everything in flight completes.
+        let response = control.request(r#"{"op":"release"}"#).unwrap();
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        holder.join().unwrap();
+        queued.join().unwrap();
+        assert_serviceable(&mut control);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_requests_time_out_with_a_structured_error_not_a_hang() {
+        let server = tiny_server(ServeConfig {
+            workers: 1,
+            request_timeout: Duration::from_millis(100),
+            ..Default::default()
+        });
+        let mut client = Client::connect(server.addr()).unwrap();
+        // `hold` parks the only worker past the reply deadline.
+        assert_eq!(error_code(&mut client, r#"{"op":"hold"}"#), "timeout");
+        // Unpark it; the connection — and the server — recover.
+        let response = client.request(r#"{"op":"release"}"#).unwrap();
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        assert_serviceable(&mut client);
+        server.shutdown();
+    }
+}

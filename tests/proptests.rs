@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 use top500_carbon::analysis::interpolate::nearest_peer_interpolation;
 use top500_carbon::easyc::{
-    embodied, fold, operational, Assessment, DataScenario, DrawPlan, EasyC, EmbodiedEstimate,
-    FleetColumns, FleetView, MetricMask, OperationalEstimate, OverrideSet, PartialAssessment,
-    ScenarioMatrix, SevenMetrics, SystemFootprint, SystemView,
+    embodied, fold, operational, Assessment, DataScenario, DrawPlan, EasyC, EasyCConfig,
+    EmbodiedEstimate, FleetColumns, FleetState, FleetView, MetricMask, OperationalEstimate,
+    OverrideSet, PartialAssessment, ScenarioMatrix, SevenMetrics, SystemFootprint, SystemView,
 };
 use top500_carbon::frame::{csv, stats, Column, DataFrame};
 use top500_carbon::top500::io::{export_csv, import_csv, stream_csv};
@@ -1003,6 +1003,194 @@ proptest! {
         for name in ["full", "masked"] {
             prop_assert_eq!(sharded.operational_draws(name), session.operational_draws(name));
             prop_assert_eq!(sharded.embodied_draws(name), session.embodied_draws(name));
+        }
+    }
+}
+
+// ------------------------------------------------ retractable partial fold
+
+proptest! {
+    /// `absorb` then `retract(cut..n)` IS the partial that never absorbed
+    /// the tail: full structural equality (scalars, checkpoints, refilled
+    /// draw buffers), finished bits, and intervals — for any fleet, seed,
+    /// availability mask, absorb chunking, draw count and cut point.
+    #[test]
+    fn retract_is_the_partial_that_never_absorbed_the_tail(
+        n in 2u32..48,
+        seed in 0u64..1_000,
+        chunk in 1usize..64,
+        draws in 0usize..6,
+        mask in arb_mask(),
+        cut_pick in 0usize..10_000,
+    ) {
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let scenario = DataScenario::masked("prop", mask);
+        let tool = EasyC::new();
+        let fps: Vec<SystemFootprint> = list
+            .systems()
+            .iter()
+            .map(|r| tool.assess_scenario(r, &scenario))
+            .collect();
+        // 1 ..= len−1: the cut always splits the coalesced segment, the
+        // hard case (checkpoint restore + re-fold, draw-buffer reset).
+        let cut = 1 + cut_pick % (fps.len() - 1);
+        // Deterministic stand-ins for the blocked draw kernels.
+        let op_term = |row: usize, slot: usize| ((row * 37 + slot * 11 + 5) as f64).sqrt() * 0.25;
+        let emb_term = |row: usize, slot: usize| ((row * 13 + slot * 7 + 3) as f64).sqrt() * 0.5;
+        let fill = |p: &mut PartialAssessment, rows: std::ops::Range<usize>| {
+            if draws == 0 {
+                return;
+            }
+            let (op_slots, emb_slots) = p.draw_slots().expect("non-empty partial");
+            for row in rows {
+                for (slot, acc) in op_slots.iter_mut().enumerate() {
+                    *acc += op_term(row, slot);
+                }
+                for (slot, acc) in emb_slots.iter_mut().enumerate() {
+                    *acc += emb_term(row, slot);
+                }
+            }
+        };
+
+        // Absorb under an arbitrary chunking (coalesces to one segment),
+        // fill the draw buffers, then retract the tail. The split
+        // segment's buffers reset by contract, so re-run the "kernels"
+        // over the kept rows — exactly the warm-cache repair protocol.
+        let mut p = PartialAssessment::identity(draws);
+        let mut row = 0usize;
+        for block in fps.chunks(chunk) {
+            p.absorb(row, block);
+            row += block.len();
+        }
+        fill(&mut p, 0..fps.len());
+        p.retract(cut..fps.len(), &fps).expect("trailing retract");
+        fill(&mut p, 0..cut);
+
+        let mut rebuilt = PartialAssessment::identity(draws);
+        rebuilt.absorb(0, &fps[..cut]);
+        fill(&mut rebuilt, 0..cut);
+
+        prop_assert_eq!(&p, &rebuilt);
+        prop_assert_eq!(p.range(), Some((0, cut)));
+        let a = p.clone().finish();
+        let b = rebuilt.finish();
+        prop_assert_eq!(a.operational_mt.to_bits(), b.operational_mt.to_bits());
+        prop_assert_eq!(a.embodied_mt.to_bits(), b.embodied_mt.to_bits());
+        prop_assert_eq!(&a, &b);
+        // Intervals drawn from the finished vectors agree bit for bit.
+        let plan = DrawPlan::new(draws.max(1)).with_seed(seed);
+        prop_assert_eq!(
+            plan.interval_of(a.operational_mt, &a.op_draws),
+            plan.interval_of(b.operational_mt, &b.op_draws)
+        );
+        prop_assert_eq!(
+            plan.interval_of(a.embodied_mt, &a.emb_draws),
+            plan.interval_of(b.embodied_mt, &b.emb_draws)
+        );
+    }
+
+    /// `FleetState::update_rows` — the O(k) splice + retract/re-absorb
+    /// cache repair — is bit-identical to a cold `Assessment` over the
+    /// edited fleet: per-system footprint bits, both interval families and
+    /// the paired comparison, for any fleet, seed, mask and touched range,
+    /// with and without a warm cache.
+    #[test]
+    fn incremental_update_rows_matches_a_cold_rerun(
+        n in 2u32..36,
+        seed in 0u64..500,
+        draws in 1usize..25,
+        mask in arb_mask(),
+        start_pick in 0usize..10_000,
+        len_pick in 1usize..6,
+        bump in 1u32..50,
+        warm_pick in 0usize..2,
+    ) {
+        let warm = warm_pick == 1;
+        let list = generate_full(&SyntheticConfig { n, seed, ..Default::default() });
+        let config = EasyCConfig::default();
+        let mut state = FleetState::from_list(list.clone(), config);
+        if warm {
+            state.warm();
+        }
+        let len = state.len();
+        let first = start_pick % len;
+        let k = len_pick.min(len - first);
+        let mut rows: Vec<SystemRecord> = list.systems()[first..first + k].to_vec();
+        for (i, r) in rows.iter_mut().enumerate() {
+            // A footprint-changing edit that keeps the position's rank.
+            r.power_kw = Some(1000.0 + f64::from(bump) * 25.0 + i as f64);
+            r.rmax_tflops *= 1.0 + f64::from(bump) / 100.0;
+        }
+        state.update_rows(first, rows.clone()).expect("rank-preserving splice");
+        prop_assert_eq!(state.is_warm(), warm);
+
+        let matrix = ScenarioMatrix::new()
+            .with(DataScenario::full("full"))
+            .with(DataScenario::masked("masked", mask));
+        let incremental = state
+            .query()
+            .scenarios(&matrix)
+            .uncertainty(draws)
+            .seed(seed)
+            .workers(2)
+            .run();
+
+        // Cold reference: a fresh session over the edited fleet.
+        let mut edited = list.systems().to_vec();
+        edited[first..first + k].clone_from_slice(&rows);
+        let cold_list = Top500List::new(edited);
+        let cold = Assessment::of(&cold_list)
+            .scenarios(&matrix)
+            .uncertainty(draws)
+            .seed(seed)
+            .workers(2)
+            .run();
+
+        for (w, c) in incremental.slices().iter().zip(cold.slices()) {
+            prop_assert_eq!(w.coverage, c.coverage);
+            prop_assert_eq!(w.footprints.len(), c.footprints.len());
+            for (x, y) in w.footprints.iter().zip(&c.footprints) {
+                match (&x.operational, &y.operational) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a.mt_co2e.to_bits(), b.mt_co2e.to_bits()),
+                    (Err(_), Err(_)) => {}
+                    other => prop_assert!(false, "operational divergence: {other:?}"),
+                }
+                match (&x.embodied, &y.embodied) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a.mt_co2e.to_bits(), b.mt_co2e.to_bits()),
+                    (Err(_), Err(_)) => {}
+                    other => prop_assert!(false, "embodied divergence: {other:?}"),
+                }
+            }
+        }
+        for name in ["full", "masked"] {
+            prop_assert_eq!(incremental.interval(name), cold.interval(name));
+            prop_assert_eq!(
+                incremental.embodied_interval(name),
+                cold.embodied_interval(name)
+            );
+        }
+        prop_assert_eq!(
+            incremental.compare("full", "masked"),
+            cold.compare("full", "masked")
+        );
+
+        // The repaired cache itself carries the bits a from-scratch serial
+        // fold over the edited fleet would.
+        if warm {
+            let mut rebuilt = PartialAssessment::identity(0);
+            rebuilt.absorb(0, &cold.slices()[0].footprints);
+            let repaired = state.cached_totals().expect("still warm");
+            let reference = rebuilt.finish();
+            prop_assert_eq!(
+                repaired.operational_mt.to_bits(),
+                reference.operational_mt.to_bits()
+            );
+            prop_assert_eq!(
+                repaired.embodied_mt.to_bits(),
+                reference.embodied_mt.to_bits()
+            );
+            prop_assert_eq!(repaired.op_covered, reference.op_covered);
+            prop_assert_eq!(repaired.emb_covered, reference.emb_covered);
         }
     }
 }

@@ -1,0 +1,309 @@
+//! End-to-end serving tests: a loopback JSONL server over a resident
+//! [`FleetState`] must answer **byte-identically** whether its footprint
+//! cache is warm or cold, agree bit-for-bit with a from-scratch
+//! [`Assessment`], and survive many concurrent clients hammering mixed
+//! queries.
+
+use top500_carbon::easyc::{
+    Assessment, EasyCConfig, FleetState, PartialAssessment, ScenarioMatrix,
+};
+use top500_carbon::serve::json::{bits_from_hex, parse, Value};
+use top500_carbon::serve::{spawn, Client, ServeConfig};
+use top500_carbon::top500::synthetic::{generate_full, SyntheticConfig};
+
+const SEED: u64 = 0x5EED_CAFE;
+
+fn fleet_state(n: u32, warm: bool) -> FleetState {
+    let list = generate_full(&SyntheticConfig {
+        n,
+        seed: SEED,
+        ..Default::default()
+    });
+    let mut state = FleetState::from_list(list, EasyCConfig::default());
+    if warm {
+        state.warm();
+    }
+    state
+}
+
+fn bits(value: &Value, path: &[&str]) -> u64 {
+    let mut v = value;
+    for key in path {
+        v = v.get(key).unwrap_or_else(|| panic!("missing field {key}"));
+    }
+    bits_from_hex(v.as_str().expect("bits fields are hex strings"))
+        .expect("valid hex bits")
+        .to_bits()
+}
+
+#[test]
+fn warm_and_cold_servers_answer_byte_identically_and_match_a_cold_session() {
+    let warm = spawn(fleet_state(60, true), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let cold = spawn(
+        fleet_state(60, false),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut warm_client = Client::connect(warm.addr()).unwrap();
+    let mut cold_client = Client::connect(cold.addr()).unwrap();
+
+    // The default-scenario assess is the warm path on one server and a
+    // fresh columnar run on the other; modulo the advertised `warm` flag
+    // the response lines must be equal bytes.
+    let request = r#"{"op":"assess","draws":64,"seed":7}"#;
+    let from_warm = warm_client.request_raw(request).unwrap();
+    let from_cold = cold_client.request_raw(request).unwrap();
+    assert!(from_warm.contains(r#""warm":true"#));
+    assert_eq!(
+        from_warm.replace(r#""warm":true"#, r#""warm":false"#),
+        from_cold,
+        "warm and cold responses diverge beyond the warm flag"
+    );
+
+    // And the bits inside agree exactly with a from-scratch session.
+    let list = generate_full(&SyntheticConfig {
+        n: 60,
+        seed: SEED,
+        ..Default::default()
+    });
+    let output = Assessment::of(&list).uncertainty(64).seed(7).run();
+    let mut partial = PartialAssessment::identity(0);
+    partial.absorb(0, &output.slices()[0].footprints);
+    let totals = partial.finish();
+    let parsed = parse(&from_warm).unwrap();
+    assert_eq!(
+        bits(&parsed, &["result", "operational_bits"]),
+        totals.operational_mt.to_bits()
+    );
+    assert_eq!(
+        bits(&parsed, &["result", "embodied_bits"]),
+        totals.embodied_mt.to_bits()
+    );
+    let interval = output.intervals()[0].expect("draws requested");
+    assert_eq!(
+        bits(&parsed, &["result", "operational_interval", "lo_bits"]),
+        interval.lo.to_bits()
+    );
+    assert_eq!(
+        bits(&parsed, &["result", "operational_interval", "hi_bits"]),
+        interval.hi.to_bits()
+    );
+    let embodied = output.embodied_intervals()[0].expect("draws requested");
+    assert_eq!(
+        bits(&parsed, &["result", "embodied_interval", "lo_bits"]),
+        embodied.lo.to_bits()
+    );
+
+    // A masked/overridden scenario never hits the cache, so it exercises
+    // the cold engine on both servers — still equal bytes throughout.
+    let request =
+        r#"{"op":"assess","scenario":"stress","mask":"all -power","pue":1.25,"draws":16,"seed":3}"#;
+    let a = warm_client.request_raw(request).unwrap();
+    let b = cold_client.request_raw(request).unwrap();
+    assert_eq!(
+        a.replace(r#""warm":true"#, r#""warm":false"#),
+        b,
+        "masked-scenario responses diverge"
+    );
+
+    warm.shutdown();
+    cold.shutdown();
+}
+
+#[test]
+fn sweep_csv_over_the_wire_is_byte_identical_to_the_session_artifact() {
+    let server = spawn(fleet_state(40, true), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let matrix_csv = ScenarioMatrix::csv_template();
+    let request = top500_carbon::serve::json::Obj::new()
+        .field_str("op", "sweep")
+        .field_str("matrix_csv", &matrix_csv)
+        .field_int("draws", 24)
+        .field_int("seed", 11)
+        .finish();
+    let response = client.request(&request).unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(response.get("scenarios").and_then(Value::as_usize), Some(5));
+
+    let list = generate_full(&SyntheticConfig {
+        n: 40,
+        seed: SEED,
+        ..Default::default()
+    });
+    let matrix = ScenarioMatrix::from_csv(&matrix_csv).unwrap();
+    let output = Assessment::of(&list)
+        .scenarios(&matrix)
+        .uncertainty(24)
+        .seed(11)
+        .run();
+    let expected = top500_carbon::frame::csv::write(&output.to_frame());
+    assert_eq!(
+        response.get("csv").and_then(Value::as_str),
+        Some(expected.as_str()),
+        "the served sweep CSV must be the session artifact, byte for byte"
+    );
+
+    // compare over the same matrix agrees with the session's paired delta.
+    let request = top500_carbon::serve::json::Obj::new()
+        .field_str("op", "compare")
+        .field_str("matrix_csv", &matrix_csv)
+        .field_str("baseline", "full")
+        .field_str("variant", "clean-grid")
+        .field_int("draws", 24)
+        .field_int("seed", 11)
+        .finish();
+    let response = client.request(&request).unwrap();
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    let delta = output.compare("full", "clean-grid").expect("paired draws");
+    let total = delta.total.expect("total delta interval");
+    assert_eq!(
+        bits(&response, &["total", "point_bits"]),
+        total.point.to_bits()
+    );
+    assert_eq!(bits(&response, &["total", "lo_bits"]), total.lo.to_bits());
+    assert_eq!(bits(&response, &["total", "hi_bits"]), total.hi.to_bits());
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_see_identical_bytes_for_identical_queries() {
+    let config = ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..Default::default()
+    };
+    let server = spawn(fleet_state(30, true), "127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+    let matrix_csv = ScenarioMatrix::csv_template();
+
+    // N threads × mixed ops: every thread issues the same fixed request
+    // set (plus a per-thread variation) and records the raw bytes.
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let matrix_csv = matrix_csv.clone();
+            // audit: allow(thread-spawn) — test clients hammering the server; no result computation happens on these threads
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let shared_assess = client
+                    .request_raw(r#"{"op":"assess","draws":32,"seed":5}"#)
+                    .unwrap();
+                let sweep_request = top500_carbon::serve::json::Obj::new()
+                    .field_str("op", "sweep")
+                    .field_str("matrix_csv", &matrix_csv)
+                    .field_int("draws", 8)
+                    .field_int("seed", 2)
+                    .finish();
+                let shared_sweep = client.request_raw(&sweep_request).unwrap();
+                // Per-thread seed: ask twice on the same connection; the
+                // answer must be deterministic request-by-request too.
+                let own = format!(r#"{{"op":"assess","draws":16,"seed":{t}}}"#);
+                let first = client.request_raw(&own).unwrap();
+                let second = client.request_raw(&own).unwrap();
+                assert_eq!(first, second, "thread {t}: repeat query changed bytes");
+                assert!(first.contains(r#""ok":true"#));
+                (shared_assess, shared_sweep)
+            })
+        })
+        .collect();
+    let results: Vec<(String, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (assess, sweep) in &results[1..] {
+        assert_eq!(assess, &results[0].0, "assess bytes diverge across clients");
+        assert_eq!(sweep, &results[0].1, "sweep bytes diverge across clients");
+    }
+    assert!(results[0].0.contains(r#""warm":true"#));
+
+    server.shutdown();
+}
+
+#[test]
+fn invalidate_evicts_the_current_cache_and_ignores_stale_hashes() {
+    let server = spawn(fleet_state(25, true), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let status = client.request(r#"{"op":"status"}"#).unwrap();
+    assert_eq!(status.get("warm").and_then(Value::as_bool), Some(true));
+    let hash = status
+        .get("source_hash")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    // Record the warm bits, then evict with the *current* hash.
+    let warm_answer = client
+        .request_raw(r#"{"op":"assess","draws":8,"seed":1}"#)
+        .unwrap();
+    let request = format!(r#"{{"op":"invalidate","hash":"{hash}"}}"#);
+    let response = client.request(&request).unwrap();
+    assert_eq!(
+        response.get("code").and_then(Value::as_str),
+        Some("evicted")
+    );
+    let status = client.request(r#"{"op":"status"}"#).unwrap();
+    assert_eq!(status.get("warm").and_then(Value::as_bool), Some(false));
+
+    // Cold answers carry the same carbon bytes (only the flag flips).
+    let cold_answer = client
+        .request_raw(r#"{"op":"assess","draws":8,"seed":1}"#)
+        .unwrap();
+    assert_eq!(
+        warm_answer.replace(r#""warm":true"#, r#""warm":false"#),
+        cold_answer
+    );
+
+    // A stale hash is a distinct no-op outcome, not an eviction.
+    let stale = format!("{:016x}", u64::from_str_radix(&hash, 16).unwrap() ^ 1);
+    let request = format!(r#"{{"op":"invalidate","hash":"{stale}"}}"#);
+    let response = client.request(&request).unwrap();
+    assert_eq!(
+        response.get("code").and_then(Value::as_str),
+        Some("stale-hash")
+    );
+    assert_eq!(
+        response.get("source_hash").and_then(Value::as_str),
+        Some(hash.as_str()),
+        "a stale invalidate must not move the source hash"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn editing_a_csv_cell_evicts_the_cache_and_advances_the_hash() {
+    // The state-level regression behind the serve `invalidate` contract: a
+    // one-cell source edit re-keys the cache, and the old hash goes stale.
+    let list = generate_full(&SyntheticConfig {
+        n: 12,
+        seed: SEED,
+        ..Default::default()
+    });
+    let text = top500_carbon::top500::io::export_csv(&list);
+    let mut state = FleetState::from_csv(&text, EasyCConfig::default()).unwrap();
+    state.warm();
+    let old_hash = state.source_hash();
+
+    // Edit one numeric cell (the second data row's Rmax) and re-source.
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let edited_row = lines[2].clone();
+    let mut cells: Vec<&str> = edited_row.split(',').collect();
+    let bumped = format!("{}", cells[10].parse::<f64>().unwrap() * 1.5);
+    cells[10] = &bumped;
+    lines[2] = cells.join(",");
+    let edited = format!("{}\n", lines.join("\n"));
+    assert_ne!(edited, text);
+
+    state.update_source(&edited).unwrap();
+    assert_ne!(state.source_hash(), old_hash, "edited source must re-key");
+    assert!(!state.is_warm(), "a source edit evicts the footprint cache");
+
+    // The displaced hash is now stale: invalidating through it is a no-op.
+    use top500_carbon::easyc::InvalidateOutcome;
+    assert_eq!(state.invalidate(old_hash), InvalidateOutcome::Stale);
+    state.warm();
+    assert_eq!(
+        state.invalidate(state.source_hash()),
+        InvalidateOutcome::Evicted
+    );
+    assert!(!state.is_warm());
+}
