@@ -4,13 +4,13 @@
 /// to the paper's own equivalences: 1.39 M MT ↔ 325 k vehicles and
 /// 1.88 M MT ↔ 439 k vehicles both give ≈ 4.28 MT/vehicle (≈ 400 g/mile ×
 /// 10,700 miles).
-pub const VEHICLE_MT_PER_YEAR: f64 = 4.28;
+pub(crate) const VEHICLE_MT_PER_YEAR: f64 = 4.28;
 
 /// Grams CO2e per vehicle mile (EPA passenger-fleet average).
-pub const GRAMS_PER_VEHICLE_MILE: f64 = 400.0;
+pub(crate) const GRAMS_PER_VEHICLE_MILE: f64 = 400.0;
 
 /// Annual electricity emissions of a typical home, MT CO2e.
-pub const HOME_MT_PER_YEAR: f64 = 4.0;
+pub(crate) const HOME_MT_PER_YEAR: f64 = 4.0;
 
 /// Empty (and vectorised) float reductions can legally yield `-0.0` — the
 /// additive identity LLVM uses for fadd reductions — which then renders as
@@ -48,11 +48,6 @@ impl Aggregate {
                 total / present.len() as f64
             },
         }
-    }
-
-    /// Aggregates a complete series.
-    pub fn of_complete(values: &[f64]) -> Aggregate {
-        Aggregate::from_sum(values.len(), values.iter().sum())
     }
 
     /// Builds an aggregate from an already-folded `(count, total)` pair —

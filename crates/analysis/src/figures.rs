@@ -16,7 +16,7 @@ use top500::record::DataItem;
 
 /// Sum of Rmax over the November 2024 list, PFlop/s (top500.org headline:
 /// ≈11.7 EFlop/s). Used as the Figure 11 performance base.
-pub const TOTAL_RMAX_PFLOPS_NOV2024: f64 = 11_724.0;
+pub(crate) const TOTAL_RMAX_PFLOPS_NOV2024: f64 = 11_724.0;
 
 // ---------------------------------------------------------------- Figure 2
 

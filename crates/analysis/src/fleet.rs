@@ -203,11 +203,6 @@ pub fn summarize_slices(slices: &[ScenarioSlice]) -> Vec<ScenarioSummary> {
         .collect()
 }
 
-/// Summarises an already-computed batch output (no re-assessment).
-pub fn summarize_output(out: &easyc::BatchOutput) -> Vec<ScenarioSummary> {
-    summarize_slices(out.slices())
-}
-
 /// Summarises a *streamed* session's folded output. The streaming fold
 /// accumulates exactly the sums [`Aggregate::of`] would compute over the
 /// materialized footprints, so for the same systems this is bit-identical

@@ -7,7 +7,7 @@
 //! and 2 % growth in embodied carbon." (Two lists per year.)
 
 /// Lists published per year.
-pub const CYCLES_PER_YEAR: f64 = 2.0;
+pub(crate) const CYCLES_PER_YEAR: f64 = 2.0;
 
 /// Systems replaced per cycle (paper's observed turnover).
 pub const SYSTEMS_ADDED_PER_CYCLE: f64 = 48.0;
@@ -19,10 +19,10 @@ pub const OP_GROWTH_PER_CYCLE: f64 = 0.05;
 pub const EMB_GROWTH_PER_CYCLE: f64 = 0.01;
 
 /// Base year of the projection.
-pub const BASE_YEAR: u32 = 2024;
+pub(crate) const BASE_YEAR: u32 = 2024;
 
 /// Final projected year.
-pub const END_YEAR: u32 = 2030;
+pub(crate) const END_YEAR: u32 = 2030;
 
 /// Annualises a per-cycle growth rate: `(1+r)^cycles − 1`.
 pub fn annualized(cycle_growth: f64) -> f64 {
@@ -63,7 +63,7 @@ impl ProjectionSeries {
 }
 
 /// Geometric projection from `base` at `annual_rate` over the study years.
-pub fn project(label: &str, base: f64, annual_rate: f64) -> ProjectionSeries {
+pub(crate) fn project(label: &str, base: f64, annual_rate: f64) -> ProjectionSeries {
     let points = (BASE_YEAR..=END_YEAR)
         .map(|year| ProjectedYear {
             year,
@@ -115,7 +115,7 @@ pub struct PerfPerCarbon {
 }
 
 /// Annual linear improvement of the projected ratio (paper §IV-C).
-pub const RATIO_LINEAR_GROWTH_PER_YEAR: f64 = 0.2;
+pub(crate) const RATIO_LINEAR_GROWTH_PER_YEAR: f64 = 0.2;
 
 /// Builds one panel of Figure 11 from the 2024 list performance and carbon.
 pub fn figure11(total_pflops_2024: f64, carbon_kmt_2024: f64) -> PerfPerCarbon {

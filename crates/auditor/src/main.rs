@@ -1,17 +1,26 @@
 //! The `auditor` CLI: `check` walks the workspace and exits non-zero on
-//! any violation; `rules` lists the enforced rules.
+//! any finding not grandfathered by the baseline; `rules` lists the
+//! enforced rules from the registry; `graph` exports the call graph.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use auditor::{audit_workspace, RULES};
+use auditor::report::{self, Format};
+use auditor::{audit_workspace, workspace_graph, REGISTRY};
 
 const USAGE: &str = "usage: auditor <command>
 
 commands:
-  check [--root DIR]   audit every workspace .rs file (default root: .)
-                       exits 1 when violations are found
-  rules                list the enforced rules
+  check [--root DIR] [--format text|json|github]
+        [--baseline FILE | --no-baseline] [--write-baseline [FILE]]
+                       audit every workspace .rs file (default root: .)
+                       exits 1 on findings not in the baseline, and on
+                       stale baseline entries (the baseline burns down)
+                       (default baseline: <root>/audit-baseline.json if present)
+  rules                list the enforced rules (lexical, semantic, hygiene)
+  graph [--root DIR] [--dot] [--crates]
+                       export the workspace call graph (DOT with --dot;
+                       --crates condenses nodes to crates)
 
 escape hatch: a comment directly above (or trailing) the offending line —
   // audit: allow(rule-id) — reason the invariant still holds
@@ -22,11 +31,18 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
         Some("rules") => {
-            for (id, what) in RULES {
-                println!("{id}\n    {what}");
+            for r in REGISTRY {
+                println!(
+                    "{} [{}]\n    {}\n    scope: {}",
+                    r.id,
+                    r.kind.label(),
+                    r.summary,
+                    r.scope
+                );
             }
             ExitCode::SUCCESS
         }
+        Some("graph") => graph(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             ExitCode::from(2)
@@ -36,16 +52,33 @@ fn main() -> ExitCode {
 
 fn check(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
-    let mut it = args.iter();
+    let mut format = Format::Text;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    // Some(None) = write to the default <root>/audit-baseline.json.
+    let mut write_baseline: Option<Option<PathBuf>> = None;
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
-                None => {
-                    eprintln!("auditor: --root needs a directory");
-                    return ExitCode::from(2);
-                }
+                None => return flag_err("--root needs a directory"),
             },
+            "--format" => match it.next().and_then(|f| Format::parse(f)) {
+                Some(f) => format = f,
+                None => return flag_err("--format needs text|json|github"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return flag_err("--baseline needs a file"),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => {
+                write_baseline = Some(match it.peek() {
+                    Some(p) if !p.starts_with("--") => Some(PathBuf::from(it.next().unwrap())),
+                    _ => None,
+                });
+            }
             other => {
                 eprintln!("auditor: unknown argument `{other}`");
                 eprint!("{USAGE}");
@@ -53,21 +86,119 @@ fn check(args: &[String]) -> ExitCode {
             }
         }
     }
-    match audit_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("auditor: workspace clean ({} rules enforced)", RULES.len());
-            ExitCode::SUCCESS
+
+    let violations = match audit_workspace(&root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("auditor: io error: {err}");
+            return ExitCode::from(2);
         }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
+    };
+
+    if let Some(path) = write_baseline {
+        let path = path.unwrap_or_else(|| root.join("audit-baseline.json"));
+        let json = report::to_json(&violations);
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("auditor: cannot write baseline {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "auditor: wrote baseline {} ({} finding(s))",
+            path.display(),
+            violations.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Default baseline: <root>/audit-baseline.json when present.
+    let baseline = if no_baseline {
+        Vec::new()
+    } else {
+        let path = baseline_path.unwrap_or_else(|| root.join("audit-baseline.json"));
+        match std::fs::read_to_string(&path) {
+            Ok(src) => match report::parse_baseline(&src) {
+                Ok(keys) => keys,
+                Err(err) => {
+                    eprintln!("auditor: bad baseline {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Vec::new(),
+        }
+    };
+
+    let diff = report::diff(&violations, &baseline);
+    print!("{}", report::render(format, &diff.new));
+    if format == Format::Text {
+        for v in &diff.grandfathered {
+            println!("{v} [baseline]");
+        }
+    }
+    // Stale entries go to stderr so json/github stdout stays parseable.
+    for (path, line, rule) in &diff.stale {
+        eprintln!(
+            "auditor: stale baseline entry {path}:{line}: {rule} — regenerate with --write-baseline"
+        );
+    }
+    if format == Format::Text {
+        if diff.new.is_empty() && diff.stale.is_empty() {
+            println!(
+                "auditor: workspace clean ({} rules enforced, {} baselined finding(s))",
+                REGISTRY.len(),
+                diff.grandfathered.len()
+            );
+        } else if !diff.new.is_empty() {
+            println!("auditor: {} new finding(s)", diff.new.len());
+        }
+    }
+    if diff.new.is_empty() && diff.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn graph(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut dot = false;
+    let mut by_crate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return flag_err("--root needs a directory"),
+            },
+            "--dot" => dot = true,
+            "--crates" => by_crate = true,
+            other => {
+                eprintln!("auditor: unknown argument `{other}`");
+                return ExitCode::from(2);
             }
-            println!("auditor: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+        }
+    }
+    match workspace_graph(&root) {
+        Ok(g) => {
+            if dot {
+                print!("{}", g.to_dot(by_crate));
+            } else {
+                let edges: usize = g.edges.iter().map(Vec::len).sum();
+                println!(
+                    "auditor: graph has {} fn node(s), {} edge(s)",
+                    g.nodes.len(),
+                    edges
+                );
+            }
+            ExitCode::SUCCESS
         }
         Err(err) => {
             eprintln!("auditor: io error: {err}");
             ExitCode::from(2)
         }
     }
+}
+
+fn flag_err(msg: &str) -> ExitCode {
+    eprintln!("auditor: {msg}");
+    ExitCode::from(2)
 }

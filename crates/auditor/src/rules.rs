@@ -32,46 +32,7 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Every enforceable rule: (id, what it enforces).
-pub const RULES: &[(&str, &str)] = &[
-    (
-        "safety-comment",
-        "every `unsafe` block or fn is immediately preceded by (or trails on) a `// SAFETY:` comment stating the proof obligation",
-    ),
-    (
-        "unsafe-scope",
-        "`unsafe` appears only in the allowlisted modules (parallel::pool); everything else is forbidden-by-default",
-    ),
-    (
-        "map-iteration",
-        "no iteration over HashMap/HashSet in result-producing crates (iter/keys/values/drain/for-in) — hash maps are lookup-only; ordered output must come from Vec/BTreeMap or an explicit sort",
-    ),
-    (
-        "wall-clock",
-        "no Instant::now / SystemTime / env::var in result paths — wall-clock and environment entropy live only in bench/criterion/test code",
-    ),
-    (
-        "thread-spawn",
-        "no std::thread::spawn / thread::Builder outside parallel::*, top500::stream and the serve front end — all compute parallelism goes through the deterministic pool; serve spawns only I/O threads (acceptor + per-connection)",
-    ),
-    (
-        "float-sum",
-        "no anonymous float reductions (`.sum::<f64>()` or untyped `.sum()`) in easyc result code — use the ordered fold helpers (easyc::fold) or an integer turbofish",
-    ),
-    (
-        "partial-merge",
-        "fleet carbon totals accumulate only through easyc::fold / easyc::PartialAssessment — ad-hoc `+=` running totals over footprint carbon in result crates bypass the pinned merge shape",
-    ),
-    (
-        "allow-hygiene",
-        "every `audit: allow(rule)` escape comment names a known rule and carries a reason after the closing paren",
-    ),
-];
-
-/// True when `id` names a rule in [`RULES`].
-pub fn known_rule(id: &str) -> bool {
-    RULES.iter().any(|(r, _)| *r == id)
-}
+pub use crate::registry::known_rule;
 
 // ------------------------------------------------------------------ scope
 
@@ -145,7 +106,7 @@ impl FileCtx<'_> {
 
 /// Finds the line ranges of `#[cfg(test)]` items and `#[test]` functions by
 /// brace-matching the item that follows the attribute.
-fn test_line_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
+pub(crate) fn test_line_ranges(lexed: &Lexed) -> Vec<(usize, usize)> {
     let toks = &lexed.tokens;
     let mut ranges = Vec::new();
     let mut i = 0usize;
@@ -224,15 +185,22 @@ fn matching(lexed: &Lexed, open: usize, lhs: char, rhs: char) -> Option<usize> {
 // -------------------------------------------------------- allow comments
 
 /// One parsed escape-hatch comment (syntax in the crate root docs).
-struct Allow {
-    line: usize,
-    rule: Option<String>,
-    has_reason: bool,
+pub(crate) struct Allow {
+    pub(crate) line: usize,
+    pub(crate) rule: Option<String>,
+    pub(crate) has_reason: bool,
     /// Lines this allow excuses.
-    covered: Vec<usize>,
+    pub(crate) covered: Vec<usize>,
 }
 
-fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
+impl Allow {
+    /// True when this allow excuses a violation of `rule` on `line`.
+    pub(crate) fn excuses(&self, rule: &str, line: usize) -> bool {
+        self.rule.as_deref() == Some(rule) && self.has_reason && self.covered.contains(&line)
+    }
+}
+
+pub(crate) fn parse_allows(lexed: &Lexed) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in &lexed.comments {
         let Some(at) = c.text.find("audit:") else {
@@ -290,7 +258,14 @@ fn covered_lines(lexed: &Lexed, c: &Comment) -> Vec<usize> {
 /// Audits one file's source text. `path` must be workspace-relative with
 /// forward slashes (it selects which rules apply).
 pub fn audit_source(path: &str, source: &str) -> Vec<Violation> {
-    let lexed = lex(source);
+    audit_file(path, source, lex(source)).0
+}
+
+/// The per-file engine behind [`audit_source`]: takes the pre-lexed file
+/// and additionally returns the parsed allow comments, so the workspace
+/// driver can apply the same escape hatch to semantic findings without
+/// lexing twice.
+pub(crate) fn audit_file(path: &str, source: &str, lexed: Lexed) -> (Vec<Violation>, Vec<Allow>) {
     let ctx = FileCtx {
         path,
         test_ranges: test_line_ranges(&lexed),
@@ -310,11 +285,7 @@ pub fn audit_source(path: &str, source: &str) -> Vec<Violation> {
 
     // Apply the escape hatch, then append its own hygiene diagnostics
     // (which cannot themselves be allowed away).
-    violations.retain(|v| {
-        !allows.iter().any(|a| {
-            a.rule.as_deref() == Some(v.rule) && a.has_reason && a.covered.contains(&v.line)
-        })
-    });
+    violations.retain(|v| !allows.iter().any(|a| a.excuses(v.rule, v.line)));
     for a in &allows {
         match &a.rule {
             None => violations.push(Violation {
@@ -340,7 +311,7 @@ pub fn audit_source(path: &str, source: &str) -> Vec<Violation> {
         }
     }
     violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    violations
+    (violations, allows)
 }
 
 fn push(out: &mut Vec<Violation>, ctx: &FileCtx, line: usize, rule: &'static str, msg: String) {

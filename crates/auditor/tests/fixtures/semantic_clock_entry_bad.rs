@@ -1,0 +1,15 @@
+//! Violating half of the transitive-wall-clock pair: a pub result entry
+//! point whose call chain crosses a dependency edge into the clock sink.
+
+/// Assesses one pipeline tick, stamping telemetry (the bug under test).
+pub fn assess_pipeline() -> u64 {
+    telem::telemetry::stamp() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        let _ = super::assess_pipeline();
+    }
+}

@@ -1,0 +1,6 @@
+//! Consumer half of the dead-public pair: referencing the provider's
+//! names (from any other workspace file) makes them live.
+
+pub(crate) fn adjusted_intensity() -> f64 {
+    ghg::override_for(276) + ghg::OVERRIDE_GCO2_PER_KWH
+}

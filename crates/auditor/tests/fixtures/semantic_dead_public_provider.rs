@@ -1,0 +1,18 @@
+//! Provider half of the dead-public pair: audited alone, the pub const and
+//! pub fn are unreferenced rot; with the consumer file present they are
+//! legitimate API. The pub struct is type-exempt either way.
+
+/// Grid-intensity override applied when a country table is stale.
+pub const OVERRIDE_GCO2_PER_KWH: f64 = 420.0;
+
+/// A row shape that flows through inference — exempt from the rule.
+pub struct OverrideRow {
+    code: u32,
+}
+
+/// Looks up the override for one numeric country code.
+pub fn override_for(code: u32) -> f64 {
+    let row = OverrideRow { code };
+    let _ = row;
+    OVERRIDE_GCO2_PER_KWH
+}

@@ -1,0 +1,21 @@
+//! Violating half of the lock-order pair: two fns acquire the same two
+//! mutexes in opposite orders — an acquisition-order cycle.
+
+struct Shared {
+    jobs: Mutex<u64>,
+    results: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn submit(&self) {
+        let j = self.jobs.lock();
+        let r = self.results.lock();
+        drop((j, r));
+    }
+
+    pub fn drain(&self) {
+        let r = self.results.lock();
+        let j = self.jobs.lock();
+        drop((j, r));
+    }
+}

@@ -1,0 +1,21 @@
+//! Clean half of the lock-order pair: every fn acquires jobs before
+//! results, so the acquisition order forms a DAG.
+
+struct Shared {
+    jobs: Mutex<u64>,
+    results: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn submit(&self) {
+        let j = self.jobs.lock();
+        let r = self.results.lock();
+        drop((j, r));
+    }
+
+    pub fn drain(&self) {
+        let j = self.jobs.lock();
+        let r = self.results.lock();
+        drop((j, r));
+    }
+}

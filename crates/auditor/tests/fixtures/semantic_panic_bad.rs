@@ -1,0 +1,17 @@
+//! Violating half of the panic-surface pair: unwrap/expect on the request
+//! lifecycle with no justification and no structured error.
+
+/// Routes one request line (the panicky version under test).
+pub fn route(line: &str) -> String {
+    let req = parse(line).unwrap();
+    dispatch(req)
+}
+
+fn dispatch(req: usize) -> String {
+    let ops = ["assess", "sweep"];
+    ops.get(req).expect("op index in range").to_string()
+}
+
+fn parse(line: &str) -> Option<usize> {
+    line.trim().parse().ok()
+}

@@ -1,0 +1,29 @@
+//! Clean half of the panic-surface pair: the same routing logic with
+//! structured errors, plus one internal-invariant panic carrying a
+//! reasoned justification.
+
+/// Routes one request line, never panicking on hostile input.
+pub fn route(line: &str) -> String {
+    match parse(line) {
+        Some(req) => dispatch(req),
+        None => "error: malformed-request".to_string(),
+    }
+}
+
+fn dispatch(req: usize) -> String {
+    let ops = ["assess", "sweep"];
+    match ops.get(req) {
+        Some(op) => head(op),
+        None => "error: unknown-op".to_string(),
+    }
+}
+
+fn head(op: &str) -> String {
+    let parts: Vec<&str> = op.split('-').collect();
+    // audit: allow(panic-surface) — split always yields at least one part
+    parts.first().unwrap().to_string()
+}
+
+fn parse(line: &str) -> Option<usize> {
+    line.trim().parse().ok()
+}

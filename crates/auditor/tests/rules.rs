@@ -7,7 +7,8 @@
 //! they violate rules on purpose) and are audited under *pretend* paths,
 //! because rule scope is derived from the workspace-relative path.
 
-use auditor::{audit_source, audit_workspace, known_rule, Violation};
+use auditor::report;
+use auditor::{audit_source, audit_workspace, known_rule, Violation, REGISTRY};
 
 fn audit(pretend_path: &str, source: &str) -> Vec<Violation> {
     audit_source(pretend_path, source)
@@ -204,25 +205,118 @@ fn rule_registry_is_consistent() {
     assert!(!known_rule("fast-and-loose"));
 }
 
+#[test]
+fn removing_a_safety_justification_resurfaces_the_finding() {
+    // The acceptance contract for SAFETY comments mirrors the allow one:
+    // neutering any justification flips the audit outcome. Rewriting the
+    // marker (instead of deleting lines) keeps the unsafe sites in place.
+    let src = include_str!("fixtures/safety_ok.rs").replace("SAFETY:", "NOTE:");
+    let v = audit("crates/parallel/src/pool.rs", &src);
+    assert!(!lines_of(&v, "safety-comment").is_empty());
+}
+
 // -------------------------------------------------- the workspace itself
 
-/// The same gate CI runs: the real workspace must audit clean. Keeping it
-/// in `cargo test` means a violation fails fast locally, with the exact
-/// diagnostics in the assertion message.
-#[test]
-fn workspace_audits_clean() {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .canonicalize()
-        .expect("workspace root");
+        .expect("workspace root")
+}
+
+/// The same gate CI runs: the real workspace must audit clean *modulo the
+/// checked-in baseline* — no new findings, and no stale baseline entries
+/// (the baseline burns down, it never rots). Keeping it in `cargo test`
+/// means a violation fails fast locally, with the exact diagnostics in the
+/// assertion message.
+#[test]
+fn workspace_audits_clean() {
+    let root = workspace_root();
     let violations = audit_workspace(&root).expect("walk workspace");
+    let baseline_src =
+        std::fs::read_to_string(root.join("audit-baseline.json")).expect("audit-baseline.json");
+    let baseline = report::parse_baseline(&baseline_src).expect("parse audit-baseline.json");
+    let d = report::diff(&violations, &baseline);
     assert!(
-        violations.is_empty(),
-        "workspace has invariant violations:\n{}",
-        violations
+        d.new.is_empty(),
+        "workspace has invariant violations not in audit-baseline.json:\n{}",
+        d.new
             .iter()
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    assert!(
+        d.stale.is_empty(),
+        "audit-baseline.json has stale entries — regenerate with \
+         `cargo run -p auditor -- check --write-baseline`:\n{:?}",
+        d.stale
+    );
+}
+
+/// `--format json` output over the real workspace is deterministic and
+/// round-trips through the baseline parser: serialising the findings and
+/// diffing them against themselves yields no new and no stale entries.
+#[test]
+fn workspace_findings_round_trip_deterministically() {
+    let root = workspace_root();
+    let v1 = audit_workspace(&root).expect("walk workspace");
+    let v2 = audit_workspace(&root).expect("walk workspace again");
+    let json = report::to_json(&v1);
+    assert_eq!(
+        json,
+        report::to_json(&v2),
+        "two audits must serialise identically"
+    );
+    let keys = report::parse_baseline(&json).expect("parse own output");
+    assert_eq!(keys, v1.iter().map(report::key).collect::<Vec<_>>());
+    let d = report::diff(&v1, &keys);
+    assert!(d.new.is_empty() && d.stale.is_empty());
+}
+
+/// The committed crate-level DOT snapshot matches the live graph, so the
+/// CI `graph --dot --crates` smoke diff cannot go stale silently.
+#[test]
+fn crate_graph_snapshot_is_current() {
+    let root = workspace_root();
+    let dot = auditor::workspace_graph(&root)
+        .expect("build workspace graph")
+        .to_dot(true);
+    let committed =
+        std::fs::read_to_string(root.join("docs/audit-graph.dot")).expect("docs/audit-graph.dot");
+    assert_eq!(
+        dot, committed,
+        "docs/audit-graph.dot is stale — regenerate with \
+         `cargo run -p auditor -- graph --dot --crates > docs/audit-graph.dot`"
+    );
+}
+
+/// The rules table in `docs/ARCHITECTURE.md` (between the audit-rules
+/// markers) carries exactly the registry's rule ids — the docs cannot
+/// drift from what is enforced.
+#[test]
+fn docs_rules_table_matches_registry() {
+    let root = workspace_root();
+    let docs =
+        std::fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("docs/ARCHITECTURE.md");
+    let begin = docs
+        .find("<!-- audit-rules:begin -->")
+        .expect("audit-rules:begin marker in docs/ARCHITECTURE.md");
+    let end = docs
+        .find("<!-- audit-rules:end -->")
+        .expect("audit-rules:end marker in docs/ARCHITECTURE.md");
+    let mut documented = std::collections::BTreeSet::new();
+    for line in docs[begin..end].lines() {
+        if let Some(rest) = line.strip_prefix("| `") {
+            if let Some(id) = rest.split('`').next() {
+                documented.insert(id.to_string());
+            }
+        }
+    }
+    let registry: std::collections::BTreeSet<String> =
+        REGISTRY.iter().map(|r| r.id.to_string()).collect();
+    assert_eq!(
+        documented, registry,
+        "docs/ARCHITECTURE.md rules table does not match auditor::REGISTRY"
     );
 }

@@ -140,6 +140,7 @@ impl FleetColumns {
         assert!(range.end <= self.len, "patched range must lie in the fleet");
         let mut caches = ResolveCaches::default();
         for i in range {
+            // audit: allow(panic-surface) — `i` ranges over a patch range the asserts above pin inside the fleet
             let row = resolve_row(&mut caches, &list.systems()[i], &metrics[i]);
             self.write_row(i, &row);
         }

@@ -31,13 +31,13 @@ impl Scenario {
 }
 
 /// True when the operational estimator succeeds on this record.
-pub fn can_estimate_operational(record: &SystemRecord) -> bool {
+pub(crate) fn can_estimate_operational(record: &SystemRecord) -> bool {
     let metrics = SevenMetrics::extract(record);
     operational::estimate(record, &metrics).is_ok()
 }
 
 /// True when the embodied estimator succeeds on this record.
-pub fn can_estimate_embodied(record: &SystemRecord) -> bool {
+pub(crate) fn can_estimate_embodied(record: &SystemRecord) -> bool {
     let metrics = SevenMetrics::extract(record);
     embodied::estimate(record, &metrics).is_ok()
 }

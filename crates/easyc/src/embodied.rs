@@ -47,7 +47,7 @@ pub struct EmbodiedBreakdown {
 
 impl EmbodiedBreakdown {
     /// Total embodied carbon, kgCO2e.
-    pub fn total_kg(&self) -> f64 {
+    pub(crate) fn total_kg(&self) -> f64 {
         self.cpu_kg
             + self.accelerator_kg
             + self.dram_kg

@@ -80,7 +80,7 @@ pub fn effort_minutes_per_system() -> f64 {
 
 /// CPU socket count from total cores and the processor string's per-socket
 /// core count ("EPYC 9654 96C" → 96 cores/socket).
-pub fn derive_cpu_count(record: &SystemRecord) -> Option<u64> {
+pub(crate) fn derive_cpu_count(record: &SystemRecord) -> Option<u64> {
     let total = record.total_cores?;
     let processor = record.processor.as_deref()?;
     let parsed = hwdb::parse::parse_processor(processor);

@@ -113,7 +113,7 @@ pub fn resolve_aci(record: &SystemRecord) -> AciSource {
 
 /// [`resolve_aci`] through a scenario lens: masked location falls to the
 /// world prior without any record clone.
-pub fn resolve_aci_view(view: &SystemView<'_>) -> AciSource {
+pub(crate) fn resolve_aci_view(view: &SystemView<'_>) -> AciSource {
     if let Some(aci) = view.country().and_then(country_aci) {
         return AciSource::Country(aci);
     }
@@ -123,15 +123,10 @@ pub fn resolve_aci_view(view: &SystemView<'_>) -> AciSource {
     AciSource::WorldPrior(regional_aci(Region::World))
 }
 
-/// Resolves the average IT power (kW) and the path that provided it.
-/// `metrics` must come from the same record.
-pub fn resolve_power(record: &SystemRecord, metrics: &SevenMetrics) -> Result<(f64, PowerPath)> {
-    resolve_power_view(&SystemView::full(record, metrics))
-}
-
-/// [`resolve_power`] through a scenario lens — the single implementation
-/// both the serial facade and the batch/session engines run.
-pub fn resolve_power_view(view: &SystemView<'_>) -> Result<(f64, PowerPath)> {
+/// Resolves the average IT power (kW) and the path that provided it,
+/// through a scenario lens — the single implementation both the serial
+/// facade and the batch/session engines run.
+pub(crate) fn resolve_power_view(view: &SystemView<'_>) -> Result<(f64, PowerPath)> {
     if let Some(energy) = view.annual_energy_mwh() {
         if energy <= 0.0 {
             return Err(EasyCError::InvalidField {

@@ -63,7 +63,7 @@
 //! IEEE-754 addition is not invertible either — `(a + b) - b` need not be
 //! `a` — so [`retract`](PartialAssessment::retract) never subtracts.
 //! Instead, every segment records a scalar **checkpoint** (a copy of its
-//! accumulators, no arithmetic) every [`CHECKPOINT_EVERY`] absorbed rows.
+//! accumulators, no arithmetic) every `CHECKPOINT_EVERY` absorbed rows.
 //! Retracting a trailing range drops whole segments float-free, restores
 //! the split segment to its last checkpoint at or before the cut
 //! (float-free again), and re-folds at most `CHECKPOINT_EVERY − 1` rows
@@ -82,7 +82,7 @@ use std::ops::Range;
 /// A constant of the representation (not a tuning knob): two partials over
 /// the same rows carry the same checkpoints regardless of how the
 /// absorption was chunked, so `PartialEq` stays decomposition-determined.
-pub const CHECKPOINT_EVERY: usize = 256;
+pub(crate) const CHECKPOINT_EVERY: usize = 256;
 
 /// A copy of one segment's scalar accumulators after its first `rows`
 /// rows. Pure state capture — recording and restoring a checkpoint
@@ -421,6 +421,7 @@ impl PartialAssessment {
             }
             self.segments.push(Segment::empty(first_row, self.draws));
         }
+        // audit: allow(panic-surface) — the branch above pushes a segment when the list is empty
         let seg = self.segments.last_mut().expect("segment ensured above");
         for fp in footprints {
             seg.fold_row(fp);
@@ -478,6 +479,7 @@ impl PartialAssessment {
         // Drop every segment that lies entirely at or after the cut —
         // pure truncation, no arithmetic.
         self.segments.retain(|seg| seg.start < range.start);
+        // audit: allow(panic-surface) — the contract check above guarantees a segment containing the cut survives `retain`
         let seg = self.segments.last_mut().expect("cut is after `first`");
         if seg.end <= range.start {
             // The cut fell in a gap between segments: the tail is gone and
@@ -531,7 +533,9 @@ impl PartialAssessment {
                 right: right.draws,
             });
         }
+        // audit: allow(panic-surface) — identity operands returned early above, so both segment lists are non-empty
         let left_end = self.segments.last().expect("non-empty").end;
+        // audit: allow(panic-surface) — identity operands returned early above, so both segment lists are non-empty
         let right_start = right.segments.first().expect("non-empty").start;
         if left_end != right_start {
             return Err(MergeError::NotAdjacent {
@@ -565,6 +569,7 @@ impl PartialAssessment {
             }
         };
         if self.segments.len() == 1 {
+            // audit: allow(panic-surface) — guarded by the `len() == 1` test on the line above
             let seg = self.segments.pop().expect("one segment");
             return FleetTotals {
                 total: seg.total,
@@ -586,6 +591,7 @@ impl PartialAssessment {
                 return Vec::new();
             }
             (0..self.draws)
+                // audit: allow(panic-surface) — every covered segment's slot vector is `draws` long by the absorb contract
                 .map(|i| fold::sum_f64(segments.iter().map(|s| pick(s)[i])))
                 .collect()
         };

@@ -351,7 +351,7 @@ impl DataScenario {
     /// The legacy fixed scenarios as data. The legacy enum encoded *which
     /// list* was assessed (masked vs enriched records); as a `DataScenario`
     /// both see every field the list carries.
-    pub fn from_legacy(scenario: Scenario) -> DataScenario {
+    pub(crate) fn from_legacy(scenario: Scenario) -> DataScenario {
         DataScenario::full(scenario.label())
     }
 }

@@ -246,6 +246,7 @@ impl FleetState {
         assess_columns(&self.columns, &view, 0..n, &mut slots);
         let footprints: Vec<SystemFootprint> = slots
             .into_iter()
+            // audit: allow(panic-surface) — assess_columns fills the whole 0..n range it was given
             .map(|f| f.expect("assess_columns fills every slot"))
             .collect();
         let mut partial = PartialAssessment::identity(0);
@@ -262,6 +263,7 @@ impl FleetState {
     /// the serial left fold over the cached footprints.
     pub fn cached_totals(&self) -> Option<FleetTotals> {
         self.is_warm()
+            // audit: allow(panic-surface) — is_warm() is defined as the cache being populated
             .then(|| self.cache.as_ref().expect("warm implies cached"))
             .map(|c| c.partial.clone().finish())
     }
@@ -269,6 +271,7 @@ impl FleetState {
     /// The cached default-scenario footprints (`None` when cold).
     pub fn cached_footprints(&self) -> Option<&[SystemFootprint]> {
         self.is_warm()
+            // audit: allow(panic-surface) — is_warm() is defined as the cache being populated
             .then(|| self.cache.as_ref().expect("warm implies cached"))
             .map(|c| c.footprints.as_slice())
     }
@@ -321,6 +324,7 @@ impl FleetState {
         }
         let range = first_row..first_row + k;
         for (offset, row) in rows.iter().enumerate() {
+            // audit: allow(panic-surface) — `first_row + k <= n` was range-checked at entry
             let expected = self.list.systems()[first_row + offset].rank;
             if row.rank != expected {
                 return Err(UpdateError::RankChanged {
@@ -330,10 +334,12 @@ impl FleetState {
                 });
             }
         }
+        // audit: allow(panic-surface) — same entry range check covers the splice
         for (slot, row) in self.list.systems_mut()[range.clone()].iter_mut().zip(rows) {
             *slot = row;
         }
         for i in range.clone() {
+            // audit: allow(panic-surface) — same entry range check covers the re-extraction
             self.metrics[i] = SevenMetrics::extract(&self.list.systems()[i]);
         }
         self.columns
@@ -341,21 +347,25 @@ impl FleetState {
         let new_hash = chain_hash(
             self.source_hash,
             first_row,
+            // audit: allow(panic-surface) — same entry range check covers the hash window
             &self.list.systems()[range.clone()],
         );
 
         if self.is_warm() {
             let scenario = self.default_scenario();
             let view = FleetView::new(&self.list, &self.metrics, &scenario);
+            // audit: allow(panic-surface) — is_warm() is defined as the cache being populated
             let cache = self.cache.as_mut().expect("warm implies cached");
             cache
                 .partial
                 .retract(first_row..n, &cache.footprints[..first_row])
+                // audit: allow(panic-surface) — the warm cache always holds the full 0..n fold
                 .expect("cached partial covers 0..n and the cut lies inside it");
             let mut slots: Vec<Option<SystemFootprint>> = Vec::with_capacity(k);
             slots.resize_with(k, || None);
             assess_columns(&self.columns, &view, range.clone(), &mut slots);
             for (i, slot) in range.clone().zip(slots) {
+                // audit: allow(panic-surface) — assess_columns fills the whole range it was given
                 cache.footprints[i] = slot.expect("assess_columns fills every slot");
             }
             cache

@@ -251,6 +251,7 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                 for range in &ranges {
                     let (chunk, tail) = rest.split_at_mut(range.len());
                     rest = tail;
+                    // audit: allow(panic-surface) — the chunk plan partitions the chunk's rows, so every range is in bounds
                     let records = &list.systems()[range.clone()];
                     jobs.push(Box::new(move || {
                         for (slot, record) in chunk.iter_mut().zip(records) {
@@ -262,6 +263,7 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             }
             let metrics: Vec<SevenMetrics> = slots
                 .into_iter()
+                // audit: allow(panic-surface) — the pool scope joins every job, so each slot was filled
                 .map(|m| m.expect("every extraction chunk ran"))
                 .collect();
 
@@ -312,6 +314,7 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
             for (index, (partial, out)) in partials.iter_mut().zip(outputs).enumerate() {
                 let footprints: Vec<SystemFootprint> = out
                     .into_iter()
+                    // audit: allow(panic-surface) — the pool scope joins every job, so each slot was filled
                     .map(|fp| fp.expect("every assessment chunk ran"))
                     .collect();
                 if let Some(sink) = sink.as_mut() {
@@ -368,6 +371,7 @@ impl<'sink, S: FleetChunks> StreamingAssessment<'sink, S> {
                     }
                     let (op_draws, emb_draws) = partial
                         .draw_slots()
+                        // audit: allow(panic-surface) — guarded by the has_op/has_emb coverage test above
                         .expect("non-empty chunk was absorbed above");
                     if has_op {
                         let split = parallel::split_mut_by_ranges(op_draws, &sample_chunks);

@@ -126,7 +126,7 @@ impl DataFrame {
     }
 
     /// Rows matching a predicate over the row index.
-    pub fn filter_by_index(&self, mut pred: impl FnMut(usize) -> bool) -> Result<DataFrame> {
+    pub(crate) fn filter_by_index(&self, mut pred: impl FnMut(usize) -> bool) -> Result<DataFrame> {
         let keep: Vec<usize> = (0..self.rows).filter(|&i| pred(i)).collect();
         self.take(&keep)
     }

@@ -49,7 +49,7 @@ impl Series {
     }
 
     /// Numeric values with nulls dropped. Errors for non-numeric series.
-    pub fn numeric_present(&self) -> Result<Vec<f64>> {
+    pub(crate) fn numeric_present(&self) -> Result<Vec<f64>> {
         Ok(self
             .column
             .numeric(&self.name)?

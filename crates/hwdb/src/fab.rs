@@ -71,7 +71,7 @@ impl ProcessNode {
 
     /// Defect density (defects/cm²) for the yield model; mature nodes are
     /// cleaner.
-    pub fn defect_density_per_cm2(self) -> f64 {
+    pub(crate) fn defect_density_per_cm2(self) -> f64 {
         match self {
             ProcessNode::N28 => 0.05,
             ProcessNode::N16 => 0.07,

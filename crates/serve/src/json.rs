@@ -284,7 +284,9 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.at..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("peeked non-empty");
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.at += c.len_utf8();
                 }
@@ -328,8 +330,8 @@ impl Parser<'_> {
                 self.at += 1;
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.at]).expect("number bytes are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()
             .ok()
             .filter(|n| n.is_finite())

@@ -559,6 +559,29 @@ fn slice_summary(
         .finish()
 }
 
+/// Renders every scenario slice paired with its intervals — by iterator
+/// zip, never by index, so a shape mismatch inside the engine surfaces as
+/// a structured `internal-error` frame instead of a panicked worker and a
+/// dropped connection (auditor rule `panic-surface`).
+fn scenario_summaries(output: &easyc::AssessmentOutput) -> Result<Vec<String>, String> {
+    let slices = output.slices();
+    let (ops, embs) = (output.intervals(), output.embodied_intervals());
+    if ops.len() != slices.len() || embs.len() != slices.len() {
+        return Err(format!(
+            "interval rows ({}, {}) do not match {} scenario slice(s)",
+            ops.len(),
+            embs.len(),
+            slices.len(),
+        ));
+    }
+    Ok(slices
+        .iter()
+        .zip(ops)
+        .zip(embs)
+        .map(|((slice, op), emb)| slice_summary(slice, *op, *emb))
+        .collect())
+}
+
 fn op_assess(value: &Value, shared: &Shared) -> String {
     let scenario = match scenario_spec(value) {
         Ok(s) => s,
@@ -580,16 +603,19 @@ fn op_assess(value: &Value, shared: &Shared) -> String {
         query = query.scenario(scenario);
     }
     let output = query.run();
-    let slice = &output.slices()[0];
+    let result = match scenario_summaries(&output) {
+        Ok(summaries) => match summaries.into_iter().next() {
+            Some(s) => s,
+            None => return error_line("internal-error", "assessment produced no scenarios"),
+        },
+        Err(e) => return error_line("internal-error", &e),
+    };
     Obj::new()
         .field_bool("ok", true)
         .field_str("op", "assess")
         .field_bool("warm", state.is_warm())
         .field_str("source_hash", &format!("{:016x}", state.source_hash()))
-        .field_raw(
-            "result",
-            &slice_summary(slice, output.intervals()[0], output.embodied_intervals()[0]),
-        )
+        .field_raw("result", &result)
         .finish()
 }
 
@@ -628,14 +654,10 @@ fn op_sweep(value: &Value, shared: &Shared) -> String {
         query = query.workers(workers);
     }
     let output = query.run();
-    let summaries: Vec<String> = output
-        .slices()
-        .iter()
-        .enumerate()
-        .map(|(i, slice)| {
-            slice_summary(slice, output.intervals()[i], output.embodied_intervals()[i])
-        })
-        .collect();
+    let summaries = match scenario_summaries(&output) {
+        Ok(s) => s,
+        Err(e) => return error_line("internal-error", &e),
+    };
     // The same per-(scenario, system) CSV `sweep --out` writes — byte
     // identical, which is what the CI smoke diffs.
     let csv = frame::csv::write(&output.to_frame());

@@ -11,7 +11,7 @@ use frame::DataFrame;
 /// Raw CSV of Table II (see `data/table2.csv`). Columns:
 /// `rank,name,op_t,op_p,op_i,emb_t,emb_p,emb_i` — operational/embodied MT
 /// CO2e under top500.org-only, +public-info, and +interpolated scenarios.
-pub const TABLE2_CSV: &str = include_str!("../data/table2.csv");
+pub(crate) const TABLE2_CSV: &str = include_str!("../data/table2.csv");
 
 /// Carbon value of one system under the three data scenarios (MT CO2e).
 ///
@@ -59,7 +59,7 @@ pub fn load() -> Vec<AppendixRow> {
 }
 
 /// Parses an arbitrary frame with the Table II schema.
-pub fn frame_to_rows(df: &DataFrame) -> Vec<AppendixRow> {
+pub(crate) fn frame_to_rows(df: &DataFrame) -> Vec<AppendixRow> {
     let rank = df.numeric("rank").expect("rank column");
     let op_t = df.numeric("op_t").expect("op_t column");
     let op_p = df.numeric("op_p").expect("op_p column");
@@ -89,11 +89,6 @@ pub fn frame_to_rows(df: &DataFrame) -> Vec<AppendixRow> {
             },
         })
         .collect()
-}
-
-/// Load Table II as a raw [`DataFrame`] for the analysis pipelines.
-pub fn load_frame() -> DataFrame {
-    csv::parse(TABLE2_CSV).expect("embedded table2.csv parses")
 }
 
 /// Paper-reported headline constants used for validation and EXPERIMENTS.md.

@@ -197,6 +197,63 @@ mod serve_failures {
     }
 
     #[test]
+    fn hostile_json_fragments_yield_error_frames_not_dropped_connections() {
+        // Regression for the request-path panic retrofit: payloads aimed at
+        // the hand-rolled JSON parser's edge cases (unterminated strings,
+        // bad/truncated escapes, missing values) must come back as
+        // structured `malformed-request` frames on a connection that keeps
+        // serving — not as a panicked worker and a dropped socket.
+        let server = tiny_server(ServeConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        for line in [
+            r#"{"op":"assess","pad":"unterminated"#,
+            r#"{"op":"assess","pad":"bad \q escape"}"#,
+            r#"{"op":"assess","pad":"\u00"}"#,
+            r#"{"op":"assess","draws":}"#,
+            "null",
+            "[",
+            "{",
+            r#"{"op":"#,
+        ] {
+            assert_eq!(
+                error_code(&mut client, line),
+                "malformed-request",
+                "for {line:?}"
+            );
+        }
+        assert_serviceable(&mut client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sweep_pairs_every_scenario_with_exactly_one_summary() {
+        // The retrofitted summary path walks scenario slices zipped with
+        // their interval rows (never indexing one array by the other's
+        // length); a well-formed sweep must come back with exactly one
+        // result object per requested scenario.
+        let server = tiny_server(ServeConfig::default());
+        let mut client = Client::connect(server.addr()).unwrap();
+        let line = concat!(
+            r#"{"op":"sweep","draws":8,"seed":3,"#,
+            r#""matrix_csv":"name,mask\nbaseline,all\nnopower,all -power\nblind,none"}"#,
+        );
+        let response = client.request(line).expect("sweep");
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(response.get("scenarios").and_then(Value::as_usize), Some(3));
+        let results = response
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("results array");
+        assert_eq!(results.len(), 3);
+        let names: Vec<&str> = results
+            .iter()
+            .map(|s| s.get("name").and_then(Value::as_str).expect("summary name"))
+            .collect();
+        assert_eq!(names, ["baseline", "nopower", "blind"]);
+        server.shutdown();
+    }
+
+    #[test]
     fn oversized_request_line_is_rejected_and_the_stream_stays_in_sync() {
         let server = tiny_server(ServeConfig {
             max_line_bytes: 256,
